@@ -1,0 +1,133 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! 1. the implicit-group-by detection rewrite (Q naive vs rewritten vs
+//!    explicit Qgb);
+//! 2. hash-indexed deep-equal grouping vs the linear `using` comparator
+//!    path;
+//! 3. `nest ... order by` (sort per group) vs a global pre-sort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use xqa::{Engine, EngineOptions};
+use xqa_bench::{q_query, qgb_query, Dataset};
+
+fn bench_detection_rewrite(c: &mut Criterion) {
+    let dataset = Dataset::generate(2_000);
+    let ctx = dataset.context();
+    let plain = Engine::new();
+    let detecting = Engine::with_options(EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+    let q_src = q_query(&["shipmode"]);
+
+    let naive = plain.compile(&q_src).expect("compiles");
+    let rewritten = detecting.compile(&q_src).expect("compiles");
+    assert_eq!(rewritten.applied_rewrites().len(), 1, "rewrite must fire");
+    let explicit = plain.compile(&qgb_query(&["shipmode"])).expect("compiles");
+
+    let mut group = c.benchmark_group("ablation/detection");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("q_naive", |b| b.iter(|| naive.run(&ctx).expect("runs")));
+    group.bench_function("q_rewritten", |b| b.iter(|| rewritten.run(&ctx).expect("runs")));
+    group.bench_function("qgb_explicit", |b| b.iter(|| explicit.run(&ctx).expect("runs")));
+    group.finish();
+}
+
+fn bench_grouping_equality(c: &mut Criterion) {
+    let dataset = Dataset::generate(4_000);
+    let ctx = dataset.context();
+    let engine = Engine::new();
+    let hash = engine
+        .compile(
+            "for $litem in //order/lineitem \
+             group by $litem/shipmode into $a \
+             nest $litem into $items return count($items)",
+        )
+        .expect("compiles");
+    let using = engine
+        .compile(
+            "declare function local:eq($a as item()*, $b as item()*) as xs:boolean \
+             { deep-equal($a, $b) }; \
+             for $litem in //order/lineitem \
+             group by $litem/shipmode into $a using local:eq \
+             nest $litem into $items return count($items)",
+        )
+        .expect("compiles");
+
+    let mut group = c.benchmark_group("ablation/equality");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("hash_deep_equal", |b| b.iter(|| hash.run(&ctx).expect("runs")));
+    group.bench_function("linear_using", |b| b.iter(|| using.run(&ctx).expect("runs")));
+    group.finish();
+}
+
+fn bench_nest_ordering(c: &mut Criterion) {
+    let dataset = Dataset::generate(4_000);
+    let ctx = dataset.context();
+    let engine = Engine::new();
+    let nest_sort = engine
+        .compile(
+            "for $li in //order/lineitem \
+             group by $li/shipmode into $m \
+             nest $li/shipdate order by string($li/shipdate) into $ds \
+             return count($ds)",
+        )
+        .expect("compiles");
+    let pre_sort = engine
+        .compile(
+            "for $li in (for $x in //order/lineitem \
+                         order by string($x/shipdate) return $x) \
+             group by $li/shipmode into $m \
+             nest $li/shipdate into $ds \
+             return count($ds)",
+        )
+        .expect("compiles");
+
+    let mut group = c.benchmark_group("ablation/nest_order");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("per_group_sort", |b| b.iter(|| nest_sort.run(&ctx).expect("runs")));
+    group.bench_function("global_pre_sort", |b| b.iter(|| pre_sort.run(&ctx).expect("runs")));
+    group.finish();
+}
+
+fn bench_moving_windows(c: &mut Criterion) {
+    // The paper's Q8 moving window, three ways: nested iteration (the
+    // paper's only option), an XQuery 3.0 sliding window, and the O(n)
+    // xqa:moving-sum extension.
+    let engine = Engine::new();
+    let nested = engine
+        .compile(
+            "let $v := (1 to 500) \
+             return for $x at $i in $v \
+                    return sum(for $y at $j in $v \
+                               where $j > $i - 10 and $j <= $i return $y)",
+        )
+        .expect("compiles");
+    let window_clause = engine
+        .compile(
+            "for sliding window $w in (1 to 500) \
+             start at $s when true() \
+             end at $e when $e - $s = 9 \
+             return sum($w)",
+        )
+        .expect("compiles");
+    let extension = engine
+        .compile("xqa:moving-sum(1 to 500, 10)")
+        .expect("compiles");
+    let ctx = xqa::DynamicContext::new();
+
+    let mut group = c.benchmark_group("ablation/moving_window");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("nested_iteration_q8", |b| b.iter(|| nested.run(&ctx).expect("runs")));
+    group.bench_function("sliding_window_clause", |b| {
+        b.iter(|| window_clause.run(&ctx).expect("runs"))
+    });
+    group.bench_function("xqa_moving_sum", |b| b.iter(|| extension.run(&ctx).expect("runs")));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_detection_rewrite,
+    bench_grouping_equality,
+    bench_nest_ordering,
+    bench_moving_windows
+);
+criterion_main!(benches);

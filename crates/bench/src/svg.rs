@@ -1,0 +1,262 @@
+//! A tiny self-contained SVG line-chart writer, used by `repro chart
+//! --svg` to draw the paper's Section-6 figure (t(Q)/t(Qgb) against the
+//! number of groups, one polyline per collection size).
+
+use std::fmt::Write;
+
+/// One series: a label plus (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (e.g. "8000 lineitems").
+    pub label: String,
+    /// Points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in px.
+    pub width: u32,
+    /// Canvas height in px.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 720,
+            height: 480,
+        }
+    }
+}
+
+const COLORS: [&str; 5] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"];
+const MARGIN_LEFT: f64 = 64.0;
+const MARGIN_RIGHT: f64 = 160.0;
+const MARGIN_TOP: f64 = 48.0;
+const MARGIN_BOTTOM: f64 = 56.0;
+
+/// Render the chart to an SVG string.
+pub fn render_line_chart(config: &ChartConfig, series: &[Series]) -> String {
+    let w = config.width as f64;
+    let h = config.height as f64;
+    let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
+
+    let all_points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let (x_min, x_max) = axis_bounds(all_points.iter().map(|p| p.0), 0.0);
+    let (y_min, y_max) = axis_bounds(all_points.iter().map(|p| p.1), 0.0);
+
+    let to_px = |x: f64, y: f64| -> (f64, f64) {
+        let px = MARGIN_LEFT + (x - x_min) / (x_max - x_min).max(1e-9) * plot_w;
+        let py = MARGIN_TOP + plot_h - (y - y_min) / (y_max - y_min).max(1e-9) * plot_h;
+        (px, py)
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="28" text-anchor="middle" font-size="16">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        escape(&config.title)
+    );
+    // Axes.
+    let (x0, y0) = (MARGIN_LEFT, MARGIN_TOP + plot_h);
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"#,
+        MARGIN_LEFT + plot_w
+    );
+    let _ = write!(
+        svg,
+        r#"<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{MARGIN_TOP}" stroke="black"/>"#
+    );
+    // Ticks and gridlines (5 intervals each axis).
+    for i in 0..=5 {
+        let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+        let (px, _) = to_px(fx, y_min);
+        let _ = write!(
+            svg,
+            r##"<line x1="{px}" y1="{y0}" x2="{px}" y2="{MARGIN_TOP}" stroke="#eeeeee"/>"##
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{px}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            y0 + 18.0,
+            format_tick(fx)
+        );
+        let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+        let (_, py) = to_px(x_min, fy);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x0}" y1="{py}" x2="{}" y2="{py}" stroke="#eeeeee"/>"##,
+            MARGIN_LEFT + plot_w
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{}</text>"#,
+            x0 - 6.0,
+            py + 4.0,
+            format_tick(fy)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="13">{}</text>"#,
+        MARGIN_LEFT + plot_w / 2.0,
+        h - 12.0,
+        escape(&config.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" font-size="13" transform="rotate(-90 16 {})">{}</text>"#,
+        MARGIN_TOP + plot_h / 2.0,
+        MARGIN_TOP + plot_h / 2.0,
+        escape(&config.y_label)
+    );
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                let (px, py) = to_px(x, y);
+                format!("{px:.1},{py:.1}")
+            })
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let (px, py) = to_px(x, y);
+            let _ = write!(svg, r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.5" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let ly = MARGIN_TOP + 16.0 + i as f64 * 20.0;
+        let lx = MARGIN_LEFT + plot_w + 12.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 20.0
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+            lx + 26.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// (min, max) with a little headroom; `floor` pins the lower bound.
+fn axis_bounds(values: impl Iterator<Item = f64>, floor: f64) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    let min = min.min(floor);
+    let span = (max - min).max(1e-9);
+    (min, max + span * 0.05)
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series {
+                label: "8000 lineitems".into(),
+                points: vec![(4.0, 4.0), (7.0, 6.8), (50.0, 40.9)],
+            },
+            Series {
+                label: "32000 lineitems".into(),
+                points: vec![(4.0, 4.0), (7.0, 5.3), (50.0, 50.6)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_line_chart(
+            &ChartConfig {
+                title: "t(Q)/t(Qgb) vs groups".into(),
+                x_label: "number of groups".into(),
+                y_label: "ratio".into(),
+                ..Default::default()
+            },
+            &sample(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("8000 lineitems"));
+        // Parses as XML with our own parser (integration sanity).
+        xqa::parse_document(&svg).expect("SVG is well-formed XML");
+    }
+
+    #[test]
+    fn escape_in_labels() {
+        let svg = render_line_chart(
+            &ChartConfig { title: "a < b & c".into(), ..Default::default() },
+            &sample(),
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+        xqa::parse_document(&svg).expect("escaped SVG parses");
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let svg = render_line_chart(&ChartConfig::default(), &[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(4.0), "4");
+        assert_eq!(format_tick(6.8), "6.8");
+        assert_eq!(format_tick(150.2), "150");
+    }
+}

@@ -1,0 +1,157 @@
+//! `xqa` — command-line XQuery-with-analytics runner.
+//!
+//! ```text
+//! xqa [OPTIONS] <query.xq | -q "query text"> [input.xml]
+//!
+//!   -q, --query <TEXT>     inline query text instead of a file
+//!   -i, --input <FILE>     input XML document (context item)
+//!       --doc NAME=FILE    register a document for fn:doc("NAME")
+//!       --pretty           pretty-print the result
+//!       --stats            print evaluator statistics to stderr
+//!       --detect-groupby   enable the implicit group-by rewrite
+//!   -h, --help             this help
+//! ```
+
+use std::process::ExitCode;
+use xqa::{
+    parse_document, serialize_sequence_with, DynamicContext, Engine, EngineOptions,
+    SerializeOptions,
+};
+
+struct Args {
+    query_text: Option<String>,
+    query_file: Option<String>,
+    input: Option<String>,
+    docs: Vec<(String, String)>,
+    pretty: bool,
+    stats: bool,
+    explain: bool,
+    detect_groupby: bool,
+}
+
+const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
+options:
+  -q, --query TEXT     inline query text
+  -i, --input FILE     input XML document (context item)
+      --doc NAME=FILE  register a document for fn:doc(\"NAME\")
+      --pretty         pretty-print the result
+      --stats          print evaluator statistics to stderr
+      --explain        print the compiled plan to stderr before running
+      --detect-groupby enable the implicit group-by detection rewrite
+  -h, --help           show this help";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        query_text: None,
+        query_file: None,
+        input: None,
+        docs: Vec::new(),
+        pretty: false,
+        stats: false,
+        explain: false,
+        detect_groupby: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-q" | "--query" => {
+                args.query_text =
+                    Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
+            }
+            "-i" | "--input" => {
+                args.input = Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
+            }
+            "--doc" => {
+                let spec = it.next().ok_or("--doc requires NAME=FILE")?;
+                let (name, file) =
+                    spec.split_once('=').ok_or("--doc requires NAME=FILE syntax")?;
+                args.docs.push((name.to_string(), file.to_string()));
+            }
+            "--pretty" => args.pretty = true,
+            "--stats" => args.stats = true,
+            "--explain" => args.explain = true,
+            "--detect-groupby" => args.detect_groupby = true,
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    if args.query_text.is_none() {
+        args.query_file = Some(positional.next().ok_or("missing query (file or -q)")?);
+    }
+    if args.input.is_none() {
+        args.input = positional.next();
+    }
+    if let Some(extra) = positional.next() {
+        return Err(format!("unexpected argument {extra}"));
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let query_source = match (&args.query_text, &args.query_file) {
+        (Some(text), _) => text.clone(),
+        (None, Some(file)) => {
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?
+        }
+        (None, None) => unreachable!("parse_args guarantees a query"),
+    };
+    let engine =
+        Engine::with_options(EngineOptions { detect_implicit_groupby: args.detect_groupby, ..Default::default() });
+    let query = engine.compile(&query_source).map_err(|e| e.to_string())?;
+    for rewrite in query.applied_rewrites() {
+        eprintln!("rewrite: {rewrite}");
+    }
+    if args.explain {
+        eprint!("{}", query.explain());
+    }
+    let mut ctx = DynamicContext::new();
+    if let Some(input) = &args.input {
+        let text =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+        let doc = parse_document(&text).map_err(|e| format!("{input}: {e}"))?;
+        ctx.set_context_document(&doc);
+    }
+    // Hold registered docs alive for the duration of the run.
+    let mut registered = Vec::new();
+    for (name, file) in &args.docs {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+        ctx.register_document(name.clone(), &doc);
+        registered.push(doc);
+    }
+    let result = query.run(&ctx).map_err(|e| e.to_string())?;
+    let options =
+        if args.pretty { SerializeOptions::pretty() } else { SerializeOptions::default() };
+    println!("{}", serialize_sequence_with(&result, options));
+    if args.stats {
+        eprintln!(
+            "stats: nodes_visited={} tuples_grouped={} groups_emitted={} comparisons={}",
+            ctx.stats.nodes_visited.get(),
+            ctx.stats.tuples_grouped.get(),
+            ctx.stats.groups_emitted.get(),
+            ctx.stats.comparisons.get()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("xqa: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

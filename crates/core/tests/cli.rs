@@ -1,0 +1,150 @@
+//! End-to-end tests of the `xqa` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn xqa() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xqa"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xqa-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn inline_query_against_input_file() {
+    let input = write_temp("books.xml", "<bib><book><price>10</price></book><book><price>20</price></book></bib>");
+    let out = xqa()
+        .args(["-q", "sum(//price)"])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "30");
+}
+
+#[test]
+fn query_file_with_group_by() {
+    let query = write_temp(
+        "group.xq",
+        "for $b in //book group by $b/publisher into $p nest $b/price into $prices \
+         order by $p return <r>{string($p)}:{sum($prices)}</r>",
+    );
+    let input = write_temp(
+        "bib2.xml",
+        "<bib><book><publisher>A</publisher><price>1</price></book>\
+         <book><publisher>B</publisher><price>2</price></book>\
+         <book><publisher>A</publisher><price>3</price></book></bib>",
+    );
+    let out = xqa().arg(&query).arg(&input).output().expect("run xqa");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<r>A:4</r><r>B:2</r>");
+}
+
+#[test]
+fn stats_and_explain_go_to_stderr() {
+    let input = write_temp("v.xml", "<r><v>1</v><v>1</v></r>");
+    let out = xqa()
+        .args(["-q", "for $v in //v group by $v into $k return $k", "--stats", "--explain"])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("group-by (hash, deep-equal)"), "{stderr}");
+    assert!(stderr.contains("tuples_grouped=2"), "{stderr}");
+    assert!(stderr.contains("groups_emitted=1"), "{stderr}");
+    // stdout has only the result
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<v>1</v>");
+}
+
+#[test]
+fn pretty_printing() {
+    let input = write_temp("p.xml", "<r><a>1</a></r>");
+    let out = xqa()
+        .args(["-q", "<out><inner>{//a}</inner></out>", "--pretty"])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<out>\n  <inner>"), "{stdout}");
+}
+
+#[test]
+fn doc_registration() {
+    let input = write_temp("main.xml", "<main/>");
+    let extra = write_temp("extra.xml", "<data><v>7</v></data>");
+    let out = xqa()
+        .args(["-q", "sum(doc(\"extra\")//v)"])
+        .args(["--doc".to_string(), format!("extra={}", extra.display())])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
+}
+
+#[test]
+fn detect_groupby_announces_rewrite() {
+    let input = write_temp(
+        "orders.xml",
+        "<orders><order><lineitem><m>A</m></lineitem><lineitem><m>A</m></lineitem>\
+         <lineitem><m>B</m></lineitem></order></orders>",
+    );
+    let out = xqa()
+        .args([
+            "-q",
+            "for $a in distinct-values(//order/lineitem/m) \
+             let $items := for $i in //order/lineitem where $i/m = $a return $i \
+             return <r>{$a}|{count($items)}</r>",
+            "--detect-groupby",
+        ])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("implicit group-by detected"), "{stderr}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<r>A|2</r><r>B|1</r>"
+    );
+}
+
+#[test]
+fn bad_query_exits_nonzero_with_message() {
+    let out = xqa().args(["-q", "1 +"]).output().expect("run xqa");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));
+}
+
+#[test]
+fn missing_input_file_reports_cleanly() {
+    let out = xqa()
+        .args(["-q", "1", "-i", "/nonexistent/nope.xml"])
+        .output()
+        .expect("run xqa");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_and_unknown_flags() {
+    let out = xqa().arg("--help").output().expect("run xqa");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: xqa"));
+    let out = xqa().args(["--frobnicate", "-q", "1"]).output().expect("run xqa");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn no_input_document_queries_still_work() {
+    let out = xqa().args(["-q", "(1 to 5)[. mod 2 = 1]"]).output().expect("run xqa");
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1 3 5");
+}

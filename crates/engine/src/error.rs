@@ -1,0 +1,92 @@
+//! Engine error type: wraps static (compile) and dynamic (runtime)
+//! failures under one umbrella so the public API returns a single error.
+
+use std::fmt;
+use xqa_frontend::SyntaxError;
+use xqa_xdm::{ErrorCode, XdmError};
+
+/// Any failure while compiling or evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A parse error.
+    Syntax(SyntaxError),
+    /// A static error found while compiling (undefined variable,
+    /// unknown function, wrong arity, out-of-scope reference).
+    Static {
+        /// W3C error code (e.g. `XPST0008`).
+        code: ErrorCode,
+        /// Description.
+        message: String,
+    },
+    /// A dynamic (runtime) error.
+    Dynamic(XdmError),
+}
+
+impl EngineError {
+    /// Create a static error.
+    pub fn stat(code: ErrorCode, message: impl Into<String>) -> EngineError {
+        EngineError::Static { code, message: message.into() }
+    }
+
+    /// Create a dynamic error.
+    pub fn dynamic(code: ErrorCode, message: impl Into<String>) -> EngineError {
+        EngineError::Dynamic(XdmError::new(code, message))
+    }
+
+    /// The W3C error code, for matching in tests.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            EngineError::Syntax(_) => ErrorCode::XPST0003,
+            EngineError::Static { code, .. } => *code,
+            EngineError::Dynamic(e) => e.code,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Syntax(e) => write!(f, "{e}"),
+            EngineError::Static { code, message } => write!(f, "static error [{code}]: {message}"),
+            EngineError::Dynamic(e) => write!(f, "dynamic error {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SyntaxError> for EngineError {
+    fn from(e: SyntaxError) -> Self {
+        EngineError::Syntax(e)
+    }
+}
+
+impl From<XdmError> for EngineError {
+    fn from(e: XdmError) -> Self {
+        EngineError::Dynamic(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_extraction() {
+        let e = EngineError::stat(ErrorCode::XPST0008, "undefined variable $x");
+        assert_eq!(e.code(), ErrorCode::XPST0008);
+        let d: EngineError = XdmError::new(ErrorCode::FOAR0001, "div by zero").into();
+        assert_eq!(d.code(), ErrorCode::FOAR0001);
+    }
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::stat(ErrorCode::XPST0017, "unknown function");
+        assert!(e.to_string().contains("XPST0017"));
+        let d = EngineError::dynamic(ErrorCode::FORG0006, "bad ebv");
+        assert!(d.to_string().contains("FORG0006"));
+    }
+}

@@ -1,0 +1,989 @@
+//! The IR evaluator.
+//!
+//! A straightforward tree-walking interpreter: expressions evaluate to
+//! [`Sequence`]s against an environment of frame slots plus the focus
+//! (context item / position / size). FLWOR evaluation lives in
+//! [`crate::flwor`]; this module covers everything else — literals,
+//! arithmetic, comparisons, paths, constructors, and function calls.
+
+use crate::casts::cast_atomic;
+use crate::context::{DynamicContext, Focus};
+use crate::error::{EngineError, EngineResult};
+use crate::functions::{self, FnCtx};
+use crate::ir::*;
+use crate::types::{function_conversion, matches_seq_type};
+use std::cell::Cell;
+use std::rc::Rc;
+use xqa_frontend::ast::{ArithOp, Axis, NodeComparison, Quantifier, SetOp};
+use xqa_xdm::{
+    effective_boolean_value, general_compare, AtomicValue, Decimal, Document,
+    DocumentBuilder, ErrorCode, Item, NodeHandle, NodeKind, Sequence,
+};
+
+/// Maximum user-function recursion depth. Kept conservative because each
+/// level costs several (large, debug-mode) Rust stack frames; the paper's
+/// recursive membership functions only recurse to category-tree depth.
+const MAX_RECURSION: usize = 64;
+
+/// Execute a compiled query against a dynamic context.
+pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<Sequence> {
+    let mut interp = Interpreter { query, dynamic, globals: Vec::new(), depth: Cell::new(0) };
+    for g in &query.globals {
+        let mut env = Env::new(g.frame_size, initial_focus(dynamic));
+        let v = interp.eval(&g.init, &mut env)?;
+        interp.globals.push(Rc::new(v));
+    }
+    let mut env = Env::new(query.frame_size, initial_focus(dynamic));
+    interp.eval(&query.body, &mut env)
+}
+
+fn initial_focus(dynamic: &DynamicContext) -> Option<Focus> {
+    dynamic.context_item().map(|item| Focus { item: item.clone(), position: 1, size: 1 })
+}
+
+/// The evaluation environment: frame slots plus the focus.
+pub(crate) struct Env {
+    /// Variable slots (`Rc` so tuple snapshots are cheap).
+    pub slots: Vec<Rc<Sequence>>,
+    /// The focus, if a context item is defined.
+    pub focus: Option<Focus>,
+}
+
+impl Env {
+    pub(crate) fn new(frame_size: usize, focus: Option<Focus>) -> Env {
+        let empty: Rc<Sequence> = Rc::new(Vec::new());
+        Env { slots: vec![empty; frame_size], focus }
+    }
+}
+
+pub(crate) struct Interpreter<'a> {
+    pub(crate) query: &'a CompiledQuery,
+    pub(crate) dynamic: &'a DynamicContext,
+    pub(crate) globals: Vec<Rc<Sequence>>,
+    depth: Cell<usize>,
+}
+
+impl<'a> Interpreter<'a> {
+    pub(crate) fn eval(&self, ir: &Ir, env: &mut Env) -> EngineResult<Sequence> {
+        match ir {
+            Ir::Str(s) => Ok(vec![Item::Atomic(AtomicValue::String(Rc::clone(s)))]),
+            Ir::Int(v) => Ok(vec![Item::from(*v)]),
+            Ir::Dec(v) => Ok(vec![Item::Atomic(AtomicValue::Decimal(*v))]),
+            Ir::Dbl(v) => Ok(vec![Item::from(*v)]),
+            Ir::Empty => Ok(vec![]),
+            Ir::Seq(items) => {
+                let mut out = Vec::new();
+                for item in items {
+                    out.extend(self.eval(item, env)?);
+                }
+                Ok(out)
+            }
+            Ir::Var(slot) => Ok((*env.slots[*slot]).clone()),
+            Ir::Global(g) => Ok((*self.globals[*g]).clone()),
+            Ir::ContextItem => match &env.focus {
+                Some(f) => Ok(vec![f.item.clone()]),
+                None => Err(no_context("'.'")),
+            },
+            Ir::Range(a, b) => {
+                let lo = self.eval_opt_integer(a, env, "range start")?;
+                let hi = self.eval_opt_integer(b, env, "range end")?;
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) if lo <= hi => {
+                        Ok((lo..=hi).map(Item::from).collect())
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Ir::Arith(op, a, b) => {
+                let lhs = self.eval(a, env)?;
+                let rhs = self.eval(b, env)?;
+                eval_arith(*op, &lhs, &rhs)
+            }
+            Ir::Neg(a) => {
+                let v = self.eval(a, env)?;
+                match opt_numeric(&v, "unary minus")? {
+                    None => Ok(vec![]),
+                    Some(AtomicValue::Integer(i)) => Ok(vec![Item::from(
+                        i.checked_neg().ok_or_else(overflow)?,
+                    )]),
+                    Some(AtomicValue::Decimal(d)) => {
+                        Ok(vec![Item::Atomic(AtomicValue::Decimal(d.neg()))])
+                    }
+                    Some(AtomicValue::Double(d)) => Ok(vec![Item::from(-d)]),
+                    Some(_) => unreachable!("opt_numeric returns numerics"),
+                }
+            }
+            Ir::GeneralComp(op, a, b) => {
+                let lhs = self.eval(a, env)?;
+                let rhs = self.eval(b, env)?;
+                let stats = &self.dynamic.stats;
+                stats
+                    .comparisons
+                    .set(stats.comparisons.get() + (lhs.len() * rhs.len()) as u64);
+                Ok(vec![Item::from(general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?)])
+            }
+            Ir::ValueComp(op, a, b) => {
+                let lhs = self.eval(a, env)?;
+                let rhs = self.eval(b, env)?;
+                let la = opt_atomic(&lhs, "value comparison")?;
+                let ra = opt_atomic(&rhs, "value comparison")?;
+                match (la, ra) {
+                    (Some(la), Some(ra)) => {
+                        self.dynamic.stats.comparisons.set(self.dynamic.stats.comparisons.get() + 1);
+                        // Value comparisons treat untyped operands as strings.
+                        let la = untyped_to_string(la);
+                        let ra = untyped_to_string(ra);
+                        Ok(vec![Item::from(
+                            xqa_xdm::value_compare(&la, &ra, *op).map_err(EngineError::from)?,
+                        )])
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Ir::NodeComp(op, a, b) => {
+                let lhs = self.eval(a, env)?;
+                let rhs = self.eval(b, env)?;
+                let ln = opt_node(&lhs, "node comparison")?;
+                let rn = opt_node(&rhs, "node comparison")?;
+                match (ln, rn) {
+                    (Some(ln), Some(rn)) => {
+                        let result = match op {
+                            NodeComparison::Is => ln.is_same_node(&rn),
+                            NodeComparison::Precedes => ln.document_order(&rn).is_lt(),
+                            NodeComparison::Follows => ln.document_order(&rn).is_gt(),
+                        };
+                        Ok(vec![Item::from(result)])
+                    }
+                    _ => Ok(vec![]),
+                }
+            }
+            Ir::And(a, b) => {
+                let lhs = self.eval_ebv(a, env)?;
+                if !lhs {
+                    return Ok(vec![Item::from(false)]);
+                }
+                Ok(vec![Item::from(self.eval_ebv(b, env)?)])
+            }
+            Ir::Or(a, b) => {
+                let lhs = self.eval_ebv(a, env)?;
+                if lhs {
+                    return Ok(vec![Item::from(true)]);
+                }
+                Ok(vec![Item::from(self.eval_ebv(b, env)?)])
+            }
+            Ir::SetOp(op, a, b) => {
+                let lhs = self.eval(a, env)?;
+                let rhs = self.eval(b, env)?;
+                eval_set_op(*op, lhs, rhs)
+            }
+            Ir::If(cond, then, otherwise) => {
+                if self.eval_ebv(cond, env)? {
+                    self.eval(then, env)
+                } else {
+                    self.eval(otherwise, env)
+                }
+            }
+            Ir::Quantified { kind, bindings, satisfies } => {
+                let result = self.eval_quantified(*kind, bindings, satisfies, env, 0)?;
+                Ok(vec![Item::from(result)])
+            }
+            Ir::Flwor(f) => self.eval_flwor(f, env),
+            Ir::Path(p) => self.eval_path(p, env),
+            Ir::Filter { base, predicates } => {
+                let seq = self.eval(base, env)?;
+                self.apply_predicates(seq, predicates, env)
+            }
+            Ir::CallBuiltin(b, args) => {
+                let mut evaluated = Vec::with_capacity(args.len());
+                for a in args {
+                    evaluated.push(self.eval(a, env)?);
+                }
+                let cx = FnCtx { focus: env.focus.as_ref(), dynamic: self.dynamic };
+                functions::dispatch(*b, evaluated, &cx)
+            }
+            Ir::CallUser(id, args) => self.call_user(*id, args, env),
+            Ir::Element(el) => {
+                let mut b = DocumentBuilder::new();
+                self.construct_element(&mut b, el, env)?;
+                let doc = b.finish();
+                let node = doc.root().children().next().expect("constructor built one element");
+                Ok(vec![Item::Node(node)])
+            }
+            Ir::Attribute { name, value } => {
+                let text = match value {
+                    Some(v) => atomize_join(&self.eval(v, env)?),
+                    None => String::new(),
+                };
+                Ok(vec![Item::Node(Document::standalone_attribute(name.clone(), text.as_str()))])
+            }
+            Ir::Text(content) => {
+                let text = match content {
+                    Some(c) => atomize_join(&self.eval(c, env)?),
+                    None => String::new(),
+                };
+                if text.is_empty() {
+                    // Zero-length text constructors produce no node.
+                    return Ok(vec![]);
+                }
+                let mut b = DocumentBuilder::new();
+                b.text(&text);
+                let doc = b.finish();
+                Ok(vec![Item::Node(doc.root().children().next().expect("text node built"))])
+            }
+            Ir::Comment(text) => {
+                let mut b = DocumentBuilder::new();
+                b.comment(&**text);
+                let doc = b.finish();
+                Ok(vec![Item::Node(doc.root().children().next().expect("comment built"))])
+            }
+            Ir::Pi(target, data) => {
+                let mut b = DocumentBuilder::new();
+                b.processing_instruction(target.clone(), &**data);
+                let doc = b.finish();
+                Ok(vec![Item::Node(doc.root().children().next().expect("PI built"))])
+            }
+            Ir::InstanceOf(a, ty) => {
+                let v = self.eval(a, env)?;
+                Ok(vec![Item::from(matches_seq_type(&v, ty))])
+            }
+            Ir::Castable(a, target, optional) => {
+                let v = self.eval(a, env)?;
+                let ok = match opt_atomic(&v, "castable") {
+                    Err(_) => false, // more than one item is never castable
+                    Ok(None) => *optional,
+                    Ok(Some(v)) => cast_atomic(&v, *target).is_ok(),
+                };
+                Ok(vec![Item::from(ok)])
+            }
+            Ir::Cast(a, target, optional) => {
+                let v = self.eval(a, env)?;
+                match opt_atomic(&v, "cast")? {
+                    None => {
+                        if *optional {
+                            Ok(vec![])
+                        } else {
+                            Err(EngineError::dynamic(
+                                ErrorCode::XPTY0004,
+                                "cast of an empty sequence (use 'cast as T?' to allow it)",
+                            ))
+                        }
+                    }
+                    Some(v) => Ok(vec![Item::Atomic(cast_atomic(&v, *target)?)]),
+                }
+            }
+        }
+    }
+
+    pub(crate) fn eval_ebv(&self, ir: &Ir, env: &mut Env) -> EngineResult<bool> {
+        let v = self.eval(ir, env)?;
+        effective_boolean_value(&v).map_err(EngineError::from)
+    }
+
+    fn eval_opt_integer(&self, ir: &Ir, env: &mut Env, what: &str) -> EngineResult<Option<i64>> {
+        let v = self.eval(ir, env)?;
+        match opt_numeric(&v, what)? {
+            None => Ok(None),
+            Some(AtomicValue::Integer(i)) => Ok(Some(i)),
+            Some(AtomicValue::Decimal(d)) => Ok(Some(d.to_i64()?)),
+            Some(AtomicValue::Double(d)) => {
+                if d.fract() == 0.0 && d.is_finite() {
+                    Ok(Some(d as i64))
+                } else {
+                    Err(EngineError::dynamic(ErrorCode::XPTY0004, format!("{what}: not an integer")))
+                }
+            }
+            Some(_) => unreachable!("opt_numeric returns numerics"),
+        }
+    }
+
+    fn eval_quantified(
+        &self,
+        kind: Quantifier,
+        bindings: &[(Slot, Ir)],
+        satisfies: &Ir,
+        env: &mut Env,
+        index: usize,
+    ) -> EngineResult<bool> {
+        if index == bindings.len() {
+            return self.eval_ebv(satisfies, env);
+        }
+        let (slot, ref expr) = bindings[index];
+        let seq = self.eval(expr, env)?;
+        for item in seq {
+            env.slots[slot] = Rc::new(vec![item]);
+            let inner = self.eval_quantified(kind, bindings, satisfies, env, index + 1)?;
+            match kind {
+                Quantifier::Some if inner => return Ok(true),
+                Quantifier::Every if !inner => return Ok(false),
+                _ => {}
+            }
+        }
+        Ok(kind == Quantifier::Every)
+    }
+
+    fn call_user(&self, id: FunctionId, args: &[Ir], env: &mut Env) -> EngineResult<Sequence> {
+        let func = &self.query.functions[id];
+        debug_assert_eq!(func.arity, args.len());
+        let depth = self.depth.get();
+        if depth >= MAX_RECURSION {
+            return Err(EngineError::dynamic(
+                ErrorCode::Other,
+                format!("recursion limit ({MAX_RECURSION}) exceeded in {}", func.name),
+            ));
+        }
+        // Function bodies see no focus (the context item is undefined
+        // inside a function body per XQuery 1.0).
+        let mut callee = Env::new(func.frame_size.max(func.arity), None);
+        for (i, arg) in args.iter().enumerate() {
+            let value = self.eval(arg, env)?;
+            let value = match &func.param_types[i] {
+                Some(ty) => function_conversion(
+                    value,
+                    ty,
+                    &format!("argument {} of {}", i + 1, func.name),
+                )?,
+                None => value,
+            };
+            callee.slots[i] = Rc::new(value);
+        }
+        self.depth.set(depth + 1);
+        let result = self.eval(&func.body, &mut callee);
+        self.depth.set(depth);
+        let result = result?;
+        match &func.return_type {
+            Some(ty) => function_conversion(result, ty, &format!("result of {}", func.name)),
+            None => Ok(result),
+        }
+    }
+
+    /// Call a user function (by id) with already-evaluated arguments —
+    /// used by the `using` comparator in `group by`.
+    pub(crate) fn call_user_values(
+        &self,
+        id: FunctionId,
+        values: Vec<Sequence>,
+    ) -> EngineResult<Sequence> {
+        let func = &self.query.functions[id];
+        debug_assert_eq!(func.arity, values.len());
+        let depth = self.depth.get();
+        if depth >= MAX_RECURSION {
+            return Err(EngineError::dynamic(
+                ErrorCode::Other,
+                format!("recursion limit ({MAX_RECURSION}) exceeded in {}", func.name),
+            ));
+        }
+        let mut callee = Env::new(func.frame_size.max(func.arity), None);
+        for (i, value) in values.into_iter().enumerate() {
+            let value = match &func.param_types[i] {
+                Some(ty) => function_conversion(
+                    value,
+                    ty,
+                    &format!("argument {} of {}", i + 1, func.name),
+                )?,
+                None => value,
+            };
+            callee.slots[i] = Rc::new(value);
+        }
+        self.depth.set(depth + 1);
+        let result = self.eval(&func.body, &mut callee);
+        self.depth.set(depth);
+        let result = result?;
+        match &func.return_type {
+            Some(ty) => function_conversion(result, ty, &format!("result of {}", func.name)),
+            None => Ok(result),
+        }
+    }
+
+    // ---- paths ---------------------------------------------------------
+
+    fn eval_path(&self, p: &PathIr, env: &mut Env) -> EngineResult<Sequence> {
+        let mut current: Sequence = match &p.start {
+            PathStartIr::Context => match &env.focus {
+                Some(f) => vec![f.item.clone()],
+                None => return Err(no_context("relative path")),
+            },
+            PathStartIr::Root => match &env.focus {
+                Some(f) => match &f.item {
+                    Item::Node(n) => {
+                        let root = n.ancestors().last().unwrap_or_else(|| n.clone());
+                        vec![Item::Node(root)]
+                    }
+                    _ => {
+                        return Err(EngineError::dynamic(
+                            ErrorCode::XPTY0004,
+                            "'/' requires the context item to be a node",
+                        ))
+                    }
+                },
+                None => return Err(no_context("'/'")),
+            },
+            PathStartIr::Expr(e) => self.eval(e, env)?,
+        };
+        for step in &p.steps {
+            current = self.eval_step(step, current, env)?;
+        }
+        Ok(current)
+    }
+
+    fn eval_step(&self, step: &StepIr, input: Sequence, env: &mut Env) -> EngineResult<Sequence> {
+        match step {
+            StepIr::Axis { axis, test, predicates } => {
+                let mut out: Sequence = Vec::new();
+                for item in &input {
+                    let node = match item {
+                        Item::Node(n) => n,
+                        Item::Atomic(_) => {
+                            return Err(EngineError::dynamic(
+                                ErrorCode::XPTY0004,
+                                "axis step applied to an atomic value",
+                            ))
+                        }
+                    };
+                    let candidates = self.axis_nodes(*axis, node, test);
+                    if predicates.is_empty() {
+                        out.extend(candidates.into_iter().map(Item::Node));
+                    } else {
+                        let filtered = self.apply_predicates(
+                            candidates.into_iter().map(Item::Node).collect(),
+                            predicates,
+                            env,
+                        )?;
+                        out.extend(filtered);
+                    }
+                }
+                dedup_sort_document_order(&mut out);
+                Ok(out)
+            }
+            StepIr::Expr { expr, predicates } => {
+                let size = input.len() as i64;
+                let saved = env.focus.take();
+                let mut out: Sequence = Vec::new();
+                let mut result: EngineResult<()> = Ok(());
+                for (i, item) in input.iter().enumerate() {
+                    env.focus =
+                        Some(Focus { item: item.clone(), position: i as i64 + 1, size });
+                    match self.eval(expr, env) {
+                        Ok(r) => match self.apply_predicates(r, predicates, env) {
+                            Ok(r) => out.extend(r),
+                            Err(e) => {
+                                result = Err(e);
+                                break;
+                            }
+                        },
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                env.focus = saved;
+                result?;
+                let nodes = out.iter().filter(|i| i.is_node()).count();
+                if nodes == out.len() {
+                    dedup_sort_document_order(&mut out);
+                    Ok(out)
+                } else if nodes == 0 {
+                    Ok(out)
+                } else {
+                    Err(EngineError::dynamic(
+                        ErrorCode::XPTY0004,
+                        "path step result mixes nodes and atomic values (XPTY0018)",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// The nodes selected by `axis::test` from `node`, in axis order.
+    fn axis_nodes(&self, axis: Axis, node: &NodeHandle, test: &NodeTestIr) -> Vec<NodeHandle> {
+        let stats = &self.dynamic.stats;
+        let mut visited = 0u64;
+        let out: Vec<NodeHandle> = match axis {
+            Axis::Child => node
+                .children()
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, false))
+                .collect(),
+            Axis::Attribute => node
+                .attributes()
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, true))
+                .collect(),
+            Axis::Descendant => node
+                .descendants()
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, false))
+                .collect(),
+            Axis::DescendantOrSelf => node
+                .descendants_or_self()
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, false))
+                .collect(),
+            Axis::SelfAxis => {
+                visited += 1;
+                if test_matches(test, node, false) {
+                    vec![node.clone()]
+                } else {
+                    vec![]
+                }
+            }
+            Axis::Parent => {
+                visited += 1;
+                node.parent().filter(|n| test_matches(test, n, false)).into_iter().collect()
+            }
+            Axis::Ancestor => node
+                .ancestors()
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, false))
+                .collect(),
+            Axis::AncestorOrSelf => std::iter::once(node.clone())
+                .chain(node.ancestors())
+                .inspect(|_| visited += 1)
+                .filter(|n| test_matches(test, n, false))
+                .collect(),
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                let Some(parent) = node.parent() else { return Vec::new() };
+                let siblings: Vec<NodeHandle> = parent.children().collect();
+                visited += siblings.len() as u64;
+                let pos = siblings
+                    .iter()
+                    .position(|s| s.is_same_node(node))
+                    .expect("node is among its parent's children");
+                let mut picked: Vec<NodeHandle> = if axis == Axis::FollowingSibling {
+                    siblings[pos + 1..].to_vec()
+                } else {
+                    let mut v = siblings[..pos].to_vec();
+                    v.reverse(); // axis order: nearest sibling first
+                    v
+                };
+                picked.retain(|n| test_matches(test, n, false));
+                picked
+            }
+        };
+        stats.nodes_visited.set(stats.nodes_visited.get() + visited);
+        out
+    }
+
+    /// Apply predicates to a sequence with the usual focus/positional
+    /// semantics (forward order).
+    pub(crate) fn apply_predicates(
+        &self,
+        seq: Sequence,
+        predicates: &[Ir],
+        env: &mut Env,
+    ) -> EngineResult<Sequence> {
+        let mut current = seq;
+        for pred in predicates {
+            let size = current.len() as i64;
+            let saved = env.focus.take();
+            let mut kept: Sequence = Vec::with_capacity(current.len());
+            let mut failure: Option<EngineError> = None;
+            for (i, item) in current.iter().enumerate() {
+                let position = i as i64 + 1;
+                env.focus = Some(Focus { item: item.clone(), position, size });
+                match self.eval(pred, env) {
+                    Ok(value) => match predicate_truth(&value, position) {
+                        Ok(true) => kept.push(item.clone()),
+                        Ok(false) => {}
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                    },
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            env.focus = saved;
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            current = kept;
+        }
+        Ok(current)
+    }
+
+    // ---- constructors ---------------------------------------------------
+
+    fn construct_element(
+        &self,
+        b: &mut DocumentBuilder,
+        el: &ElementIr,
+        env: &mut Env,
+    ) -> EngineResult<()> {
+        b.start_element(el.name.clone());
+        for (name, parts) in &el.attributes {
+            let mut value = String::new();
+            for part in parts {
+                match part {
+                    AttrPartIr::Literal(s) => value.push_str(s),
+                    AttrPartIr::Enclosed(e) => {
+                        let v = self.eval(e, env)?;
+                        value.push_str(&atomize_join(&v));
+                    }
+                }
+            }
+            b.attribute(name.clone(), value.as_str());
+        }
+        let mut content_started = false;
+        for part in &el.content {
+            match part {
+                ContentIr::Literal(s) => {
+                    content_started = true;
+                    b.text(s);
+                }
+                ContentIr::Child(ir) => match ir {
+                    // Nested direct constructors build straight into the
+                    // parent's arena — no temporary document.
+                    Ir::Element(child) => {
+                        content_started = true;
+                        self.construct_element(b, child, env)?;
+                    }
+                    Ir::Comment(text) => {
+                        content_started = true;
+                        b.comment(&**text);
+                    }
+                    Ir::Pi(target, data) => {
+                        content_started = true;
+                        b.processing_instruction(target.clone(), &**data);
+                    }
+                    other => {
+                        let v = self.eval(other, env)?;
+                        self.insert_content(b, &v, &mut content_started)?;
+                    }
+                },
+                ContentIr::Enclosed(e) => {
+                    let v = self.eval(e, env)?;
+                    self.insert_content(b, &v, &mut content_started)?;
+                }
+            }
+        }
+        b.end_element();
+        Ok(())
+    }
+
+    /// Insert an evaluated sequence as element content: adjacent atomic
+    /// values join with single spaces into text; nodes are deep-copied;
+    /// attribute nodes become attributes (only before other content).
+    fn insert_content(
+        &self,
+        b: &mut DocumentBuilder,
+        seq: &[Item],
+        content_started: &mut bool,
+    ) -> EngineResult<()> {
+        let mut pending_text = String::new();
+        let mut have_pending = false;
+        for item in seq {
+            match item {
+                Item::Atomic(v) => {
+                    if have_pending {
+                        pending_text.push(' ');
+                    }
+                    pending_text.push_str(&v.string_value());
+                    have_pending = true;
+                }
+                Item::Node(n) => {
+                    if have_pending {
+                        *content_started = true;
+                        b.text(&pending_text);
+                        pending_text.clear();
+                        have_pending = false;
+                    }
+                    if n.kind() == NodeKind::Attribute {
+                        if *content_started {
+                            return Err(EngineError::dynamic(
+                                ErrorCode::Other,
+                                "attribute node after element content (XQTY0024)",
+                            ));
+                        }
+                        b.attribute(
+                            n.name().expect("attribute has a name").clone(),
+                            n.raw_text().unwrap_or(""),
+                        );
+                    } else {
+                        *content_started = true;
+                        b.copy_node(n);
+                    }
+                }
+            }
+        }
+        if have_pending {
+            *content_started = true;
+            b.text(&pending_text);
+        }
+        Ok(())
+    }
+}
+
+// ---- helpers --------------------------------------------------------
+
+fn no_context(what: &str) -> EngineError {
+    EngineError::dynamic(ErrorCode::Other, format!("{what} used with no context item (XPDY0002)"))
+}
+
+fn overflow() -> EngineError {
+    EngineError::dynamic(ErrorCode::FOAR0002, "integer overflow")
+}
+
+/// Truth of a predicate value at `position`: singleton numerics are
+/// positional tests, everything else uses the effective boolean value.
+fn predicate_truth(value: &[Item], position: i64) -> EngineResult<bool> {
+    if let [Item::Atomic(v)] = value {
+        match v {
+            AtomicValue::Integer(i) => return Ok(*i == position),
+            AtomicValue::Decimal(d) => {
+                return Ok(d.is_integer() && d.to_i64()? == position);
+            }
+            AtomicValue::Double(d) => {
+                return Ok(d.fract() == 0.0 && *d == position as f64);
+            }
+            _ => {}
+        }
+    }
+    effective_boolean_value(value).map_err(EngineError::from)
+}
+
+/// Atomized optional singleton.
+pub(crate) fn opt_atomic(seq: &[Item], what: &str) -> EngineResult<Option<AtomicValue>> {
+    match seq {
+        [] => Ok(None),
+        [item] => Ok(Some(item.atomize())),
+        _ => Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: expected at most one item, got {}", seq.len()),
+        )),
+    }
+}
+
+fn opt_node(seq: &[Item], what: &str) -> EngineResult<Option<NodeHandle>> {
+    match seq {
+        [] => Ok(None),
+        [Item::Node(n)] => Ok(Some(n.clone())),
+        [Item::Atomic(_)] => Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: expected a node"),
+        )),
+        _ => Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: expected at most one node, got {}", seq.len()),
+        )),
+    }
+}
+
+pub(crate) fn untyped_to_string(v: AtomicValue) -> AtomicValue {
+    match v {
+        AtomicValue::Untyped(s) => AtomicValue::String(s),
+        other => other,
+    }
+}
+
+/// Atomized optional singleton coerced to a numeric (untyped → double).
+fn opt_numeric(seq: &[Item], what: &str) -> EngineResult<Option<AtomicValue>> {
+    match opt_atomic(seq, what)? {
+        None => Ok(None),
+        Some(AtomicValue::Untyped(s)) => Ok(Some(AtomicValue::Double(
+            xqa_xdm::parse_double(&s).map_err(EngineError::from)?,
+        ))),
+        Some(v @ (AtomicValue::Integer(_) | AtomicValue::Decimal(_) | AtomicValue::Double(_))) => {
+            Ok(Some(v))
+        }
+        Some(other) => Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: expected a number, got {}", other.atomic_type()),
+        )),
+    }
+}
+
+/// Arithmetic with the integer → decimal → double promotion ladder.
+pub(crate) fn eval_arith(op: ArithOp, lhs: &[Item], rhs: &[Item]) -> EngineResult<Sequence> {
+    let a = opt_numeric(lhs, "arithmetic")?;
+    let b = opt_numeric(rhs, "arithmetic")?;
+    let (a, b) = match (a, b) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Ok(vec![]),
+    };
+    use AtomicValue as V;
+    let out = match (&a, &b) {
+        (V::Double(_), _) | (_, V::Double(_)) => {
+            let x = a.to_double()?;
+            let y = b.to_double()?;
+            double_arith(op, x, y)?
+        }
+        (V::Integer(x), V::Integer(y)) => integer_arith(op, *x, *y)?,
+        _ => {
+            let x = to_decimal(&a)?;
+            let y = to_decimal(&b)?;
+            decimal_arith(op, &x, &y)?
+        }
+    };
+    Ok(vec![Item::Atomic(out)])
+}
+
+fn to_decimal(v: &AtomicValue) -> EngineResult<Decimal> {
+    Ok(match v {
+        AtomicValue::Integer(i) => Decimal::from_i64(*i),
+        AtomicValue::Decimal(d) => *d,
+        _ => unreachable!("filtered by eval_arith"),
+    })
+}
+
+fn integer_arith(op: ArithOp, x: i64, y: i64) -> EngineResult<AtomicValue> {
+    Ok(match op {
+        ArithOp::Add => AtomicValue::Integer(x.checked_add(y).ok_or_else(overflow)?),
+        ArithOp::Sub => AtomicValue::Integer(x.checked_sub(y).ok_or_else(overflow)?),
+        ArithOp::Mul => AtomicValue::Integer(x.checked_mul(y).ok_or_else(overflow)?),
+        ArithOp::Div => {
+            // Integer ÷ integer is a decimal in XQuery.
+            AtomicValue::Decimal(Decimal::from_i64(x).checked_div(&Decimal::from_i64(y))?)
+        }
+        ArithOp::IDiv => {
+            if y == 0 {
+                return Err(EngineError::dynamic(ErrorCode::FOAR0001, "integer division by zero"));
+            }
+            AtomicValue::Integer(x.checked_div(y).ok_or_else(overflow)?)
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Err(EngineError::dynamic(ErrorCode::FOAR0001, "modulus by zero"));
+            }
+            AtomicValue::Integer(x % y)
+        }
+    })
+}
+
+fn decimal_arith(op: ArithOp, x: &Decimal, y: &Decimal) -> EngineResult<AtomicValue> {
+    Ok(match op {
+        ArithOp::Add => AtomicValue::Decimal(x.checked_add(y)?),
+        ArithOp::Sub => AtomicValue::Decimal(x.checked_sub(y)?),
+        ArithOp::Mul => AtomicValue::Decimal(x.checked_mul(y)?),
+        ArithOp::Div => AtomicValue::Decimal(x.checked_div(y)?),
+        ArithOp::IDiv => AtomicValue::Integer(
+            i64::try_from(x.checked_idiv(y)?).map_err(|_| overflow())?,
+        ),
+        ArithOp::Mod => AtomicValue::Decimal(x.checked_rem(y)?),
+    })
+}
+
+fn double_arith(op: ArithOp, x: f64, y: f64) -> EngineResult<AtomicValue> {
+    Ok(match op {
+        ArithOp::Add => AtomicValue::Double(x + y),
+        ArithOp::Sub => AtomicValue::Double(x - y),
+        ArithOp::Mul => AtomicValue::Double(x * y),
+        ArithOp::Div => AtomicValue::Double(x / y),
+        ArithOp::IDiv => {
+            if y == 0.0 || y.is_nan() || x.is_nan() || x.is_infinite() {
+                return Err(EngineError::dynamic(
+                    ErrorCode::FOAR0001,
+                    "invalid operands to idiv",
+                ));
+            }
+            AtomicValue::Integer((x / y).trunc() as i64)
+        }
+        ArithOp::Mod => AtomicValue::Double(x % y),
+    })
+}
+
+/// Sort nodes into document order and drop duplicate identities.
+pub(crate) fn dedup_sort_document_order(items: &mut Sequence) {
+    items.sort_by(|a, b| match (a, b) {
+        (Item::Node(x), Item::Node(y)) => x.document_order(y),
+        _ => std::cmp::Ordering::Equal,
+    });
+    items.dedup_by(|a, b| match (a, b) {
+        (Item::Node(x), Item::Node(y)) => x.is_same_node(y),
+        _ => false,
+    });
+}
+
+fn node_identity_key(n: &NodeHandle) -> (u64, u32) {
+    (n.document().serial(), n.id())
+}
+
+fn eval_set_op(op: SetOp, lhs: Sequence, rhs: Sequence) -> EngineResult<Sequence> {
+    use std::collections::HashSet;
+    let as_nodes = |seq: Sequence| -> EngineResult<Vec<NodeHandle>> {
+        seq.into_iter()
+            .map(|i| match i {
+                Item::Node(n) => Ok(n),
+                Item::Atomic(_) => Err(EngineError::dynamic(
+                    ErrorCode::XPTY0004,
+                    "set operations require node sequences",
+                )),
+            })
+            .collect()
+    };
+    let l = as_nodes(lhs)?;
+    let r = as_nodes(rhs)?;
+    let r_ids: HashSet<(u64, u32)> = r.iter().map(node_identity_key).collect();
+    let mut out: Sequence = match op {
+        SetOp::Union => l.into_iter().chain(r).map(Item::Node).collect(),
+        SetOp::Intersect => l
+            .into_iter()
+            .filter(|n| r_ids.contains(&node_identity_key(n)))
+            .map(Item::Node)
+            .collect(),
+        SetOp::Except => l
+            .into_iter()
+            .filter(|n| !r_ids.contains(&node_identity_key(n)))
+            .map(Item::Node)
+            .collect(),
+    };
+    dedup_sort_document_order(&mut out);
+    Ok(out)
+}
+
+/// Atomize a sequence and join the string values with single spaces
+/// (attribute value templates, computed constructors).
+fn atomize_join(seq: &[Item]) -> String {
+    let mut out = String::new();
+    for (i, item) in seq.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&item.atomize().string_value());
+    }
+    out
+}
+
+/// Node-test matching; `principal_attribute` is true on the attribute
+/// axis, where name tests select attributes.
+fn test_matches(test: &NodeTestIr, node: &NodeHandle, principal_attribute: bool) -> bool {
+    match test {
+        NodeTestIr::AnyKind => true,
+        NodeTestIr::Name(q) => {
+            let kind_ok = if principal_attribute {
+                node.kind() == NodeKind::Attribute
+            } else {
+                node.kind() == NodeKind::Element
+            };
+            kind_ok && node.name() == Some(q)
+        }
+        NodeTestIr::Wildcard => {
+            if principal_attribute {
+                node.kind() == NodeKind::Attribute
+            } else {
+                node.kind() == NodeKind::Element
+            }
+        }
+        NodeTestIr::Text => node.kind() == NodeKind::Text,
+        NodeTestIr::Comment => node.kind() == NodeKind::Comment,
+        NodeTestIr::Pi(target) => {
+            node.kind() == NodeKind::ProcessingInstruction
+                && target
+                    .as_ref()
+                    .map(|t| node.name().map(|q| q.local_part() == t).unwrap_or(false))
+                    .unwrap_or(true)
+        }
+        NodeTestIr::Element(name) => {
+            node.kind() == NodeKind::Element
+                && name.as_ref().map(|q| node.name() == Some(q)).unwrap_or(true)
+        }
+        NodeTestIr::Attribute(name) => {
+            node.kind() == NodeKind::Attribute
+                && name.as_ref().map(|q| node.name() == Some(q)).unwrap_or(true)
+        }
+        NodeTestIr::Document => node.kind() == NodeKind::Document,
+    }
+}

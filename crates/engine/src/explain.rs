@@ -1,0 +1,401 @@
+//! Plan rendering ("explain") for compiled queries.
+//!
+//! Renders the IR as an indented operator tree. The motivating use is
+//! the paper's argument made visible: the Table-1 `Qgb` plan is a
+//! single scan feeding one `GroupBy`, while the `Q` plan is a
+//! `distinct-values` scan with a *nested re-scan per tuple*.
+
+use crate::functions::Builtin;
+use crate::ir::*;
+use std::fmt::Write;
+
+/// Render a whole compiled query.
+pub fn explain_query(query: &CompiledQuery) -> String {
+    let mut out = String::new();
+    for (i, g) in query.globals.iter().enumerate() {
+        let _ = writeln!(out, "global ${} (slot g{i}):", g.name);
+        write_ir(&mut out, &g.init, 1);
+    }
+    for f in &query.functions {
+        let _ = writeln!(out, "function {}#{}:", f.name, f.arity);
+        write_ir(&mut out, &f.body, 1);
+    }
+    let _ = writeln!(out, "query body (frame size {}):", query.frame_size);
+    write_ir(&mut out, &query.body, 1);
+    out
+}
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn line(out: &mut String, depth: usize, text: &str) {
+    pad(out, depth);
+    out.push_str(text);
+    out.push('\n');
+}
+
+fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
+    match ir {
+        Ir::Str(s) => line(out, depth, &format!("string {s:?}")),
+        Ir::Int(v) => line(out, depth, &format!("integer {v}")),
+        Ir::Dec(v) => line(out, depth, &format!("decimal {v}")),
+        Ir::Dbl(v) => line(out, depth, &format!("double {v}")),
+        Ir::Empty => line(out, depth, "empty-sequence"),
+        Ir::Seq(items) => {
+            line(out, depth, "sequence");
+            for item in items {
+                write_ir(out, item, depth + 1);
+            }
+        }
+        Ir::Var(slot) => line(out, depth, &format!("var slot{slot}")),
+        Ir::Global(g) => line(out, depth, &format!("global g{g}")),
+        Ir::ContextItem => line(out, depth, "context-item"),
+        Ir::Range(a, b) => {
+            line(out, depth, "range");
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::Arith(op, a, b) => {
+            line(out, depth, &format!("arith {op:?}"));
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::Neg(a) => {
+            line(out, depth, "negate");
+            write_ir(out, a, depth + 1);
+        }
+        Ir::GeneralComp(op, a, b) => {
+            line(out, depth, &format!("general-compare {op:?} (existential)"));
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::ValueComp(op, a, b) => {
+            line(out, depth, &format!("value-compare {op:?}"));
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::NodeComp(op, a, b) => {
+            line(out, depth, &format!("node-compare {op:?}"));
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::And(a, b) => {
+            line(out, depth, "and");
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::Or(a, b) => {
+            line(out, depth, "or");
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::SetOp(op, a, b) => {
+            line(out, depth, &format!("set-op {op:?}"));
+            write_ir(out, a, depth + 1);
+            write_ir(out, b, depth + 1);
+        }
+        Ir::If(c, t, e) => {
+            line(out, depth, "if");
+            write_ir(out, c, depth + 1);
+            line(out, depth, "then");
+            write_ir(out, t, depth + 1);
+            line(out, depth, "else");
+            write_ir(out, e, depth + 1);
+        }
+        Ir::Quantified { kind, bindings, satisfies } => {
+            line(out, depth, &format!("quantified {kind:?}"));
+            for (slot, expr) in bindings {
+                line(out, depth + 1, &format!("bind slot{slot} in"));
+                write_ir(out, expr, depth + 2);
+            }
+            line(out, depth + 1, "satisfies");
+            write_ir(out, satisfies, depth + 2);
+        }
+        Ir::Flwor(f) => {
+            line(out, depth, "FLWOR");
+            for clause in &f.clauses {
+                write_clause(out, clause, depth + 1);
+            }
+            match f.return_at {
+                Some(slot) => line(out, depth + 1, &format!("return at slot{slot}")),
+                None => line(out, depth + 1, "return"),
+            }
+            write_ir(out, &f.return_expr, depth + 2);
+        }
+        Ir::Path(p) => {
+            let start = match &p.start {
+                PathStartIr::Context => "context".to_string(),
+                PathStartIr::Root => "root".to_string(),
+                PathStartIr::Expr(_) => "expr".to_string(),
+            };
+            line(out, depth, &format!("path from {start}"));
+            if let PathStartIr::Expr(e) = &p.start {
+                write_ir(out, e, depth + 1);
+            }
+            for step in &p.steps {
+                match step {
+                    StepIr::Axis { axis, test, predicates } => {
+                        line(
+                            out,
+                            depth + 1,
+                            &format!("step {axis:?}::{}{}", describe_test(test), preds(predicates)),
+                        );
+                        for p in predicates {
+                            write_ir(out, p, depth + 2);
+                        }
+                    }
+                    StepIr::Expr { expr, predicates } => {
+                        line(out, depth + 1, &format!("step expr{}", preds(predicates)));
+                        write_ir(out, expr, depth + 2);
+                        for p in predicates {
+                            write_ir(out, p, depth + 2);
+                        }
+                    }
+                }
+            }
+        }
+        Ir::Filter { base, predicates } => {
+            line(out, depth, &format!("filter{}", preds(predicates)));
+            write_ir(out, base, depth + 1);
+            for p in predicates {
+                write_ir(out, p, depth + 1);
+            }
+        }
+        Ir::CallBuiltin(b, args) => {
+            line(out, depth, &format!("call fn:{}", builtin_name(*b)));
+            for a in args {
+                write_ir(out, a, depth + 1);
+            }
+        }
+        Ir::CallUser(id, args) => {
+            line(out, depth, &format!("call user#{id}"));
+            for a in args {
+                write_ir(out, a, depth + 1);
+            }
+        }
+        Ir::Element(el) => {
+            line(out, depth, &format!("construct element <{}>", el.name));
+            for (name, parts) in &el.attributes {
+                line(out, depth + 1, &format!("attribute {name}"));
+                for part in parts {
+                    match part {
+                        AttrPartIr::Literal(s) => line(out, depth + 2, &format!("literal {s:?}")),
+                        AttrPartIr::Enclosed(e) => write_ir(out, e, depth + 2),
+                    }
+                }
+            }
+            for part in &el.content {
+                match part {
+                    ContentIr::Literal(s) => line(out, depth + 1, &format!("text {s:?}")),
+                    ContentIr::Enclosed(e) => {
+                        line(out, depth + 1, "enclosed");
+                        write_ir(out, e, depth + 2);
+                    }
+                    ContentIr::Child(e) => write_ir(out, e, depth + 1),
+                }
+            }
+        }
+        Ir::Attribute { name, value } => {
+            line(out, depth, &format!("construct attribute {name}"));
+            if let Some(v) = value {
+                write_ir(out, v, depth + 1);
+            }
+        }
+        Ir::Text(content) => {
+            line(out, depth, "construct text");
+            if let Some(c) = content {
+                write_ir(out, c, depth + 1);
+            }
+        }
+        Ir::Comment(text) => line(out, depth, &format!("construct comment {text:?}")),
+        Ir::Pi(target, _) => line(out, depth, &format!("construct pi <?{target}?>")),
+        Ir::InstanceOf(a, _) => {
+            line(out, depth, "instance-of");
+            write_ir(out, a, depth + 1);
+        }
+        Ir::Cast(a, target, _) => {
+            line(out, depth, &format!("cast as {target:?}"));
+            write_ir(out, a, depth + 1);
+        }
+        Ir::Castable(a, target, _) => {
+            line(out, depth, &format!("castable as {target:?}"));
+            write_ir(out, a, depth + 1);
+        }
+    }
+}
+
+fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
+    match clause {
+        ClauseIr::For { slot, at_slot, expr, .. } => {
+            let at = at_slot.map(|s| format!(" at slot{s}")).unwrap_or_default();
+            line(out, depth, &format!("for slot{slot}{at} in"));
+            write_ir(out, expr, depth + 1);
+        }
+        ClauseIr::Let { slot, expr, .. } => {
+            line(out, depth, &format!("let slot{slot} :="));
+            write_ir(out, expr, depth + 1);
+        }
+        ClauseIr::Where(cond) => {
+            line(out, depth, "where");
+            write_ir(out, cond, depth + 1);
+        }
+        ClauseIr::Count { slot } => {
+            line(out, depth, &format!("count slot{slot}"));
+        }
+        ClauseIr::Window(w) => {
+            line(
+                out,
+                depth,
+                &format!(
+                    "window {} -> slot{}{}",
+                    if w.sliding { "sliding" } else { "tumbling" },
+                    w.slot,
+                    if w.only_end { " (only end)" } else { "" }
+                ),
+            );
+            write_ir(out, &w.expr, depth + 1);
+            line(out, depth + 1, "start when");
+            write_ir(out, &w.start.when, depth + 2);
+            if let Some(end) = &w.end {
+                line(out, depth + 1, "end when");
+                write_ir(out, &end.when, depth + 2);
+            }
+        }
+        ClauseIr::GroupBy(g) => {
+            line(out, depth, "group-by (hash, deep-equal)");
+            for key in &g.keys {
+                let using = match key.using {
+                    Some(id) => format!(" using user#{id} (linear probe)"),
+                    None => String::new(),
+                };
+                line(out, depth + 1, &format!("key -> slot{}{using}", key.slot));
+                write_ir(out, &key.expr, depth + 2);
+            }
+            for nest in &g.nests {
+                let ordered = if nest.order_by.is_some() { " (ordered)" } else { "" };
+                line(out, depth + 1, &format!("nest -> slot{}{ordered}", nest.slot));
+                write_ir(out, &nest.expr, depth + 2);
+                if let Some(ob) = &nest.order_by {
+                    for spec in &ob.specs {
+                        line(
+                            out,
+                            depth + 2,
+                            &format!("order key{}", if spec.descending { " desc" } else { "" }),
+                        );
+                        write_ir(out, &spec.expr, depth + 3);
+                    }
+                }
+            }
+        }
+        ClauseIr::OrderBy(ob) => {
+            line(out, depth, if ob.stable { "order-by (stable)" } else { "order-by" });
+            for spec in &ob.specs {
+                line(
+                    out,
+                    depth + 1,
+                    &format!("key{}", if spec.descending { " desc" } else { "" }),
+                );
+                write_ir(out, &spec.expr, depth + 2);
+            }
+        }
+    }
+}
+
+fn preds(predicates: &[Ir]) -> String {
+    if predicates.is_empty() {
+        String::new()
+    } else {
+        format!(" [{} predicate(s)]", predicates.len())
+    }
+}
+
+fn describe_test(test: &NodeTestIr) -> String {
+    match test {
+        NodeTestIr::Name(q) => q.to_string(),
+        NodeTestIr::Wildcard => "*".to_string(),
+        NodeTestIr::AnyKind => "node()".to_string(),
+        NodeTestIr::Text => "text()".to_string(),
+        NodeTestIr::Comment => "comment()".to_string(),
+        NodeTestIr::Pi(Some(t)) => format!("processing-instruction({t})"),
+        NodeTestIr::Pi(None) => "processing-instruction()".to_string(),
+        NodeTestIr::Element(Some(q)) => format!("element({q})"),
+        NodeTestIr::Element(None) => "element()".to_string(),
+        NodeTestIr::Attribute(Some(q)) => format!("attribute({q})"),
+        NodeTestIr::Attribute(None) => "attribute()".to_string(),
+        NodeTestIr::Document => "document-node()".to_string(),
+    }
+}
+
+fn builtin_name(b: Builtin) -> String {
+    format!("{b:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use xqa_frontend::parse_query;
+
+    fn explain(src: &str) -> String {
+        let module = parse_query(src).expect("parse");
+        let compiled = compile::compile(&module).expect("compile");
+        explain_query(&compiled)
+    }
+
+    #[test]
+    fn qgb_plan_shows_single_scan_and_groupby() {
+        let plan = explain(
+            "for $li in //order/lineitem \
+             group by $li/shipmode into $a \
+             nest $li into $items \
+             return count($items)",
+        );
+        assert!(plan.contains("FLWOR"), "{plan}");
+        assert!(plan.contains("group-by (hash, deep-equal)"), "{plan}");
+        assert!(plan.contains("step DescendantOrSelf::node()"), "{plan}");
+        // exactly one descendant scan in the whole plan
+        assert_eq!(plan.matches("DescendantOrSelf").count(), 1, "{plan}");
+    }
+
+    #[test]
+    fn q_plan_shows_nested_rescan() {
+        let plan = explain(
+            "for $a in distinct-values(//order/lineitem/shipmode) \
+             let $items := for $i in //order/lineitem where $i/shipmode = $a return $i \
+             return count($items)",
+        );
+        // two descendant scans: one under distinct-values, one nested
+        // inside the let (re-executed per tuple)
+        assert_eq!(plan.matches("DescendantOrSelf").count(), 2, "{plan}");
+        assert!(!plan.contains("group-by"), "{plan}");
+        assert!(plan.contains("general-compare"), "{plan}");
+    }
+
+    #[test]
+    fn using_and_ordered_nest_are_annotated() {
+        let plan = explain(
+            "declare function local:eq($a as item()*, $b as item()*) as xs:boolean { true() }; \
+             for $x in (1, 2) \
+             group by $x into $k using local:eq \
+             nest $x order by $x into $xs \
+             return $k",
+        );
+        assert!(plan.contains("using user#0 (linear probe)"), "{plan}");
+        assert!(plan.contains("nest -> slot") && plan.contains("(ordered)"), "{plan}");
+        assert!(plan.contains("function local:eq#2"), "{plan}");
+    }
+
+    #[test]
+    fn globals_and_return_at_render() {
+        let plan = explain(
+            "declare variable $n := 3; \
+             for $x in (1, 2) order by $x return at $r ($r + $n)",
+        );
+        assert!(plan.contains("global $n (slot g0)"), "{plan}");
+        assert!(plan.contains("return at slot"), "{plan}");
+        assert!(plan.contains("order-by"), "{plan}");
+    }
+}

@@ -1,0 +1,488 @@
+//! FLWOR evaluation: the tuple-stream pipeline.
+//!
+//! Exactly the model of the paper's §3.1: the `for`/`let` clauses
+//! generate an ordered stream of tuples of bound variables; `where`
+//! filters it; **`group by` consumes the stream and emits one tuple per
+//! group** (grouping variables bound to representative values, nesting
+//! variables to the concatenated nest-expression values in input order,
+//! or in `nest ... order by` order); post-group `let`/`where` compute
+//! and filter group properties; `order by` sorts; `return` — optionally
+//! with an output positional variable (§4) — produces the result.
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{opt_atomic, untyped_to_string, Env, Interpreter};
+use crate::ir::*;
+use crate::keys::GroupIndex;
+use crate::types::matches_seq_type;
+use std::cmp::Ordering;
+use std::rc::Rc;
+use xqa_xdm::{deep_equal, effective_boolean_value, sort_compare, AtomicValue, ErrorCode, Item, Sequence};
+
+/// One tuple of the stream: a snapshot of the frame slots.
+type Tuple = Vec<Rc<Sequence>>;
+
+/// Order-by key values for one tuple (one entry per spec).
+type OrderKeys = Vec<Option<AtomicValue>>;
+
+impl Interpreter<'_> {
+    pub(crate) fn eval_flwor(&self, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
+        let saved = env.slots.clone();
+        let result = self.eval_flwor_inner(f, env);
+        env.slots = saved;
+        result
+    }
+
+    fn eval_flwor_inner(&self, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
+        let mut tuples: Vec<Tuple> = vec![env.slots.clone()];
+        for clause in &f.clauses {
+            tuples = self.apply_clause(clause, tuples, env)?;
+        }
+        let mut out: Sequence = Vec::new();
+        for (i, tuple) in tuples.into_iter().enumerate() {
+            env.slots = tuple;
+            if let Some(at) = f.return_at {
+                // §4: the output ordinal, after any order by.
+                env.slots[at] = Rc::new(vec![Item::from(i as i64 + 1)]);
+            }
+            out.extend(self.eval(&f.return_expr, env)?);
+        }
+        Ok(out)
+    }
+
+    fn apply_clause(
+        &self,
+        clause: &ClauseIr,
+        tuples: Vec<Tuple>,
+        env: &mut Env,
+    ) -> EngineResult<Vec<Tuple>> {
+        match clause {
+            ClauseIr::For { slot, at_slot, ty, expr } => {
+                let mut out = Vec::new();
+                for tuple in tuples {
+                    env.slots = tuple;
+                    let seq = self.eval(expr, env)?;
+                    let tuple = std::mem::take(&mut env.slots);
+                    for (i, item) in seq.into_iter().enumerate() {
+                        if let Some(ty) = ty {
+                            let single = [item.clone()];
+                            if !matches_seq_type(&single, ty) {
+                                return Err(EngineError::dynamic(
+                                    ErrorCode::XPTY0004,
+                                    "for-binding value does not match its declared type",
+                                ));
+                            }
+                        }
+                        let mut t = tuple.clone();
+                        t[*slot] = Rc::new(vec![item]);
+                        if let Some(at) = at_slot {
+                            t[*at] = Rc::new(vec![Item::from(i as i64 + 1)]);
+                        }
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            ClauseIr::Let { slot, ty, expr } => {
+                let mut out = Vec::with_capacity(tuples.len());
+                for tuple in tuples {
+                    env.slots = tuple;
+                    let seq = self.eval(expr, env)?;
+                    if let Some(ty) = ty {
+                        if !matches_seq_type(&seq, ty) {
+                            return Err(EngineError::dynamic(
+                                ErrorCode::XPTY0004,
+                                "let-binding value does not match its declared type",
+                            ));
+                        }
+                    }
+                    let mut t = std::mem::take(&mut env.slots);
+                    t[*slot] = Rc::new(seq);
+                    out.push(t);
+                }
+                Ok(out)
+            }
+            ClauseIr::Where(cond) => {
+                let mut out = Vec::with_capacity(tuples.len());
+                for tuple in tuples {
+                    env.slots = tuple;
+                    let keep = {
+                        let v = self.eval(cond, env)?;
+                        effective_boolean_value(&v).map_err(EngineError::from)?
+                    };
+                    let t = std::mem::take(&mut env.slots);
+                    if keep {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            ClauseIr::Count { slot } => {
+                let mut out = Vec::with_capacity(tuples.len());
+                for (i, mut tuple) in tuples.into_iter().enumerate() {
+                    tuple[*slot] = Rc::new(vec![Item::from(i as i64 + 1)]);
+                    out.push(tuple);
+                }
+                Ok(out)
+            }
+            ClauseIr::Window(w) => self.apply_window(w, tuples, env),
+            ClauseIr::GroupBy(g) => self.apply_group_by(g, tuples, env),
+            ClauseIr::OrderBy(ob) => self.apply_order_by(ob, tuples, env),
+        }
+    }
+
+    /// XQuery 3.0 windows: emit one tuple per window over the binding
+    /// sequence, binding the window variable and the start/end
+    /// condition variables.
+    fn apply_window(
+        &self,
+        w: &WindowIr,
+        tuples: Vec<Tuple>,
+        env: &mut Env,
+    ) -> EngineResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        for tuple in tuples {
+            env.slots = tuple;
+            let items = self.eval(&w.expr, env)?;
+            let tuple = std::mem::take(&mut env.slots);
+            let n = items.len();
+
+            // Bind a condition's variables for boundary index `i` on the
+            // scratch tuple, then evaluate `when` as a boolean.
+            let eval_cond = |cond: &WindowCondIr,
+                                 base: &Tuple,
+                                 i: usize,
+                                 env: &mut Env|
+             -> EngineResult<(bool, Tuple)> {
+                let mut t = base.clone();
+                bind_window_vars(&mut t, cond, &items, i);
+                env.slots = t;
+                let v = self.eval(&cond.when, env)?;
+                let keep = effective_boolean_value(&v).map_err(EngineError::from)?;
+                Ok((keep, std::mem::take(&mut env.slots)))
+            };
+
+            // Collect (start, end) index pairs.
+            let mut windows: Vec<(usize, usize, Tuple)> = Vec::new();
+            if w.sliding {
+                for i in 0..n {
+                    let (starts, with_start) = eval_cond(&w.start, &tuple, i, env)?;
+                    if !starts {
+                        continue;
+                    }
+                    let end_cond = w.end.as_ref().expect("parser enforces sliding end");
+                    let mut closed = None;
+                    for j in i..n {
+                        let (ends, with_both) = eval_cond(end_cond, &with_start, j, env)?;
+                        if ends {
+                            closed = Some((j, with_both));
+                            break;
+                        }
+                    }
+                    match closed {
+                        Some((j, t)) => windows.push((i, j, t)),
+                        None if !w.only_end => {
+                            // Close at the end of the sequence; end vars
+                            // describe the final item.
+                            let mut t = with_start;
+                            bind_window_vars_opt(&mut t, w.end.as_ref(), &items, n - 1);
+                            windows.push((i, n - 1, t));
+                        }
+                        None => {}
+                    }
+                }
+            } else {
+                let mut i = 0;
+                while i < n {
+                    let (starts, with_start) = eval_cond(&w.start, &tuple, i, env)?;
+                    if !starts {
+                        i += 1;
+                        continue;
+                    }
+                    match &w.end {
+                        Some(end_cond) => {
+                            let mut closed = None;
+                            for j in i..n {
+                                let (ends, with_both) = eval_cond(end_cond, &with_start, j, env)?;
+                                if ends {
+                                    closed = Some((j, with_both));
+                                    break;
+                                }
+                            }
+                            match closed {
+                                Some((j, t)) => {
+                                    windows.push((i, j, t));
+                                    i = j + 1;
+                                }
+                                None => {
+                                    if !w.only_end {
+                                        let mut t = with_start;
+                                        bind_window_vars_opt(&mut t, w.end.as_ref(), &items, n - 1);
+                                        windows.push((i, n - 1, t));
+                                    }
+                                    i = n;
+                                }
+                            }
+                        }
+                        None => {
+                            // Tumbling without end: the window runs to
+                            // just before the next start match.
+                            let mut j = i + 1;
+                            let mut next_start = n;
+                            while j < n {
+                                let (starts, _) = eval_cond(&w.start, &tuple, j, env)?;
+                                if starts {
+                                    next_start = j;
+                                    break;
+                                }
+                                j += 1;
+                            }
+                            windows.push((i, next_start - 1, with_start));
+                            i = next_start;
+                        }
+                    }
+                }
+            }
+
+            for (s_idx, e_idx, mut t) in windows {
+                t[w.slot] = Rc::new(items[s_idx..=e_idx].to_vec());
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluate the order-by key values for the current tuple.
+    fn order_keys(&self, specs: &[OrderSpecIr], env: &mut Env) -> EngineResult<OrderKeys> {
+        let mut keys = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let v = self.eval(&spec.expr, env)?;
+            let key = opt_atomic(&v, "order by key")?;
+            // Untyped order keys compare as strings (XQuery 1.0 rule).
+            keys.push(key.map(untyped_to_string));
+        }
+        Ok(keys)
+    }
+
+    fn apply_order_by(
+        &self,
+        ob: &OrderByIr,
+        tuples: Vec<Tuple>,
+        env: &mut Env,
+    ) -> EngineResult<Vec<Tuple>> {
+        let mut keyed: Vec<(OrderKeys, Tuple)> = Vec::with_capacity(tuples.len());
+        for tuple in tuples {
+            env.slots = tuple;
+            let keys = self.order_keys(&ob.specs, env)?;
+            keyed.push((keys, std::mem::take(&mut env.slots)));
+        }
+        sort_keyed(&mut keyed, &ob.specs)?;
+        Ok(keyed.into_iter().map(|(_, t)| t).collect())
+    }
+
+    fn apply_group_by(
+        &self,
+        g: &GroupByIr,
+        tuples: Vec<Tuple>,
+        env: &mut Env,
+    ) -> EngineResult<Vec<Tuple>> {
+        struct Group {
+            /// One key sequence per grouping variable.
+            keys: Vec<Sequence>,
+            /// The first member tuple (source of outer-variable values
+            /// for the output tuple; pre-group slots in it are hidden by
+            /// the compiler's §3.2 scope rule).
+            base: Tuple,
+            /// Collected nest entries: per nest binding, per member.
+            nests: Vec<Vec<(OrderKeys, Sequence)>>,
+        }
+
+        let stats = &self.dynamic.stats;
+        stats.tuples_grouped.set(stats.tuples_grouped.get() + tuples.len() as u64);
+
+        let has_using = g.keys.iter().any(|k| k.using.is_some());
+        let mut groups: Vec<Group> = Vec::new();
+        let mut index = GroupIndex::new();
+
+        for tuple in tuples {
+            env.slots = tuple;
+            // Grouping keys and nest values are computed in the
+            // pre-group scope, per input tuple.
+            let mut key_vals: Vec<Sequence> = Vec::with_capacity(g.keys.len());
+            for key in &g.keys {
+                key_vals.push(self.eval(&key.expr, env)?);
+            }
+            let mut nest_vals: Vec<(OrderKeys, Sequence)> = Vec::with_capacity(g.nests.len());
+            for nest in &g.nests {
+                let value = self.eval(&nest.expr, env)?;
+                let okeys = match &nest.order_by {
+                    Some(ob) => self.order_keys(&ob.specs, env)?,
+                    None => Vec::new(),
+                };
+                nest_vals.push((okeys, value));
+            }
+            let tuple = std::mem::take(&mut env.slots);
+
+            let group_idx = if has_using {
+                // Custom equality (§3.3): linear scan with the
+                // user-supplied comparator for `using` keys and
+                // deep-equal for the rest.
+                let mut found = None;
+                'groups: for (gi, group) in groups.iter().enumerate() {
+                    for (key, (stored, candidate)) in
+                        g.keys.iter().zip(group.keys.iter().zip(&key_vals))
+                    {
+                        let equal = match key.using {
+                            Some(fid) => {
+                                let result = self.call_user_values(
+                                    fid,
+                                    vec![stored.clone(), candidate.clone()],
+                                )?;
+                                effective_boolean_value(&result).map_err(EngineError::from)?
+                            }
+                            None => deep_equal(stored, candidate),
+                        };
+                        if !equal {
+                            continue 'groups;
+                        }
+                    }
+                    found = Some(gi);
+                    break;
+                }
+                found
+            } else {
+                index
+                    .find_or_insert(&key_vals, groups.len(), |i| groups[i].keys.as_slice())
+                    .ok()
+            };
+
+            match group_idx {
+                Some(gi) => {
+                    for (slot, entry) in groups[gi].nests.iter_mut().zip(nest_vals) {
+                        slot.push(entry);
+                    }
+                }
+                None => {
+                    groups.push(Group {
+                        keys: key_vals,
+                        base: tuple,
+                        nests: nest_vals.into_iter().map(|e| vec![e]).collect(),
+                    });
+                }
+            }
+        }
+
+        stats.groups_emitted.set(stats.groups_emitted.get() + groups.len() as u64);
+
+        // Emit one output tuple per group, in order of first appearance
+        // (the ordering-mode=ordered behaviour; with no order by the
+        // result order of a grouped FLWOR is implementation-defined,
+        // §3.4.2 — ours is first-appearance order, which is stable).
+        let mut out = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut tuple = group.base;
+            for (key, vals) in g.keys.iter().zip(group.keys) {
+                tuple[key.slot] = Rc::new(vals);
+            }
+            for (nest, mut entries) in g.nests.iter().zip(group.nests) {
+                if let Some(ob) = &nest.order_by {
+                    sort_keyed(&mut entries, &ob.specs)?;
+                }
+                let mut seq = Vec::new();
+                for (_, mut vals) in entries {
+                    // Nest values concatenate into one flat sequence —
+                    // "merged and lose their individual identity" (§3.1).
+                    seq.append(&mut vals);
+                }
+                tuple[nest.slot] = Rc::new(seq);
+            }
+            out.push(tuple);
+        }
+        Ok(out)
+    }
+}
+
+/// Stable-sort `(keys, payload)` pairs by the order specs. Errors from
+/// incomparable keys are surfaced after the sort.
+fn sort_keyed<T>(items: &mut [(OrderKeys, T)], specs: &[OrderSpecIr]) -> EngineResult<()> {
+    let mut failure: Option<EngineError> = None;
+    items.sort_by(|(a, _), (b, _)| {
+        if failure.is_some() {
+            return Ordering::Equal;
+        }
+        match compare_order_keys(a, b, specs) {
+            Ok(ord) => ord,
+            Err(e) => {
+                failure = Some(e);
+                Ordering::Equal
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Compare two key tuples under the specs (major key first). The empty
+/// sequence sorts least by default, greatest under `empty greatest`;
+/// `descending` reverses the whole comparison for that key.
+fn compare_order_keys(a: &OrderKeys, b: &OrderKeys, specs: &[OrderSpecIr]) -> EngineResult<Ordering> {
+    debug_assert_eq!(a.len(), specs.len());
+    for ((ka, kb), spec) in a.iter().zip(b).zip(specs) {
+        let ord = match (ka, kb) {
+            (None, None) => Ordering::Equal,
+            (None, Some(_)) => {
+                if spec.empty_greatest {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Some(_), None) => {
+                if spec.empty_greatest {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Some(x), Some(y)) => sort_compare(x, y).map_err(|_| {
+                EngineError::dynamic(
+                    ErrorCode::XPTY0004,
+                    format!(
+                        "order by keys are not comparable ({} vs {})",
+                        x.atomic_type(),
+                        y.atomic_type()
+                    ),
+                )
+            })?,
+        };
+        let ord = if spec.descending { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return Ok(ord);
+        }
+    }
+    Ok(Ordering::Equal)
+}
+
+
+/// Bind a window condition's variables on the tuple for boundary `i`.
+fn bind_window_vars(t: &mut Tuple, cond: &WindowCondIr, items: &[Item], i: usize) {
+    if let Some(slot) = cond.item_slot {
+        t[slot] = Rc::new(vec![items[i].clone()]);
+    }
+    if let Some(slot) = cond.at_slot {
+        t[slot] = Rc::new(vec![Item::from(i as i64 + 1)]);
+    }
+    if let Some(slot) = cond.previous_slot {
+        t[slot] = Rc::new(if i > 0 { vec![items[i - 1].clone()] } else { Vec::new() });
+    }
+    if let Some(slot) = cond.next_slot {
+        t[slot] = Rc::new(items.get(i + 1).map(|x| vec![x.clone()]).unwrap_or_default());
+    }
+}
+
+fn bind_window_vars_opt(t: &mut Tuple, cond: Option<&WindowCondIr>, items: &[Item], i: usize) {
+    if let Some(cond) = cond {
+        bind_window_vars(t, cond, items, i);
+    }
+}

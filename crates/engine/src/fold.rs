@@ -1,0 +1,355 @@
+//! Constant folding over the IR.
+//!
+//! A conservative bottom-up pass: arithmetic, comparisons, logic and
+//! conditionals over literal operands are evaluated at compile time.
+//! Folding never changes semantics for succeeding expressions; an
+//! expression that would raise a *dynamic* error (`1 div 0`) is left
+//! unfolded so the error is still raised at run time, when and if the
+//! expression is actually evaluated.
+
+use crate::eval::eval_arith;
+use crate::ir::*;
+use xqa_xdm::{effective_boolean_value, general_compare, value_compare, AtomicValue, Item};
+
+/// Fold a whole query in place. Returns the number of folds performed.
+pub fn fold_query(query: &mut CompiledQuery) -> usize {
+    let mut count = 0;
+    for g in &mut query.globals {
+        fold_ir(&mut g.init, &mut count);
+    }
+    for f in &mut query.functions {
+        fold_ir(&mut f.body, &mut count);
+    }
+    fold_ir(&mut query.body, &mut count);
+    count
+}
+
+/// The literal value of an IR node, if it is one.
+fn literal(ir: &Ir) -> Option<Item> {
+    Some(match ir {
+        Ir::Str(s) => Item::Atomic(AtomicValue::String(s.clone())),
+        Ir::Int(v) => Item::from(*v),
+        Ir::Dec(v) => Item::Atomic(AtomicValue::Decimal(*v)),
+        Ir::Dbl(v) => Item::from(*v),
+        Ir::CallBuiltin(crate::functions::Builtin::TrueFn, args) if args.is_empty() => {
+            Item::from(true)
+        }
+        Ir::CallBuiltin(crate::functions::Builtin::FalseFn, args) if args.is_empty() => {
+            Item::from(false)
+        }
+        _ => return None,
+    })
+}
+
+/// Build an IR literal back from a singleton result.
+fn make_literal(items: &[Item]) -> Option<Ir> {
+    match items {
+        [] => Some(Ir::Empty),
+        [Item::Atomic(v)] => Some(match v {
+            AtomicValue::String(s) => Ir::Str(s.clone()),
+            AtomicValue::Integer(i) => Ir::Int(*i),
+            AtomicValue::Decimal(d) => Ir::Dec(*d),
+            AtomicValue::Double(d) => Ir::Dbl(*d),
+            AtomicValue::Boolean(true) => {
+                Ir::CallBuiltin(crate::functions::Builtin::TrueFn, Vec::new())
+            }
+            AtomicValue::Boolean(false) => {
+                Ir::CallBuiltin(crate::functions::Builtin::FalseFn, Vec::new())
+            }
+            _ => return None,
+        }),
+        _ => None,
+    }
+}
+
+fn fold_ir(ir: &mut Ir, count: &mut usize) {
+    // Fold children first.
+    for child in child_irs(ir) {
+        fold_ir(child, count);
+    }
+    // Then try to collapse this node.
+    let replacement: Option<Ir> = match &*ir {
+        Ir::Arith(op, a, b) => match (literal(a), literal(b)) {
+            (Some(la), Some(lb)) => eval_arith(*op, &[la], &[lb])
+                .ok()
+                .and_then(|r| make_literal(&r)),
+            _ => None,
+        },
+        Ir::Neg(a) => literal(a).and_then(|v| {
+            eval_arith(
+                xqa_frontend::ast::ArithOp::Sub,
+                &[Item::from(0i64)],
+                &[v],
+            )
+            .ok()
+            .and_then(|r| make_literal(&r))
+        }),
+        Ir::ValueComp(op, a, b) => match (literal(a), literal(b)) {
+            (Some(Item::Atomic(la)), Some(Item::Atomic(lb))) => value_compare(&la, &lb, *op)
+                .ok()
+                .map(|v| {
+                    make_literal(&[Item::from(v)]).expect("boolean literal")
+                }),
+            _ => None,
+        },
+        Ir::GeneralComp(op, a, b) => match (literal(a), literal(b)) {
+            (Some(la), Some(lb)) => general_compare(&[la], &[lb], *op)
+                .ok()
+                .map(|v| make_literal(&[Item::from(v)]).expect("boolean literal")),
+            _ => None,
+        },
+        Ir::And(a, b) => fold_logic(a, b, true),
+        Ir::Or(a, b) => fold_logic(a, b, false),
+        Ir::If(c, t, e) => literal(c).and_then(|v| {
+            effective_boolean_value(&[v]).ok().map(|cond| {
+                if cond {
+                    (**t).clone()
+                } else {
+                    (**e).clone()
+                }
+            })
+        }),
+        _ => None,
+    };
+    if let Some(new) = replacement {
+        *ir = new;
+        *count += 1;
+    }
+}
+
+/// Fold `and`/`or` when an operand is a boolean literal.
+/// `is_and` selects the identity/absorbing values.
+fn fold_logic(a: &Ir, b: &Ir, is_and: bool) -> Option<Ir> {
+    let lit_bool = |ir: &Ir| {
+        literal(ir).and_then(|item| match item {
+            Item::Atomic(AtomicValue::Boolean(v)) => Some(v),
+            _ => None,
+        })
+    };
+    let t = || Ir::CallBuiltin(crate::functions::Builtin::TrueFn, Vec::new());
+    let f = || Ir::CallBuiltin(crate::functions::Builtin::FalseFn, Vec::new());
+    let wrap_ebv = |ir: &Ir| Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, vec![ir.clone()]);
+    match (lit_bool(a), lit_bool(b)) {
+        (Some(x), Some(y)) => Some(if is_and {
+            if x && y {
+                t()
+            } else {
+                f()
+            }
+        } else if x || y {
+            t()
+        } else {
+            f()
+        }),
+        // and false / or true absorb regardless of the other side (XQuery
+        // explicitly permits not evaluating the other operand).
+        (Some(false), _) | (_, Some(false)) if is_and => Some(f()),
+        (Some(true), _) | (_, Some(true)) if !is_and => Some(t()),
+        // and true / or false reduce to the EBV of the other operand.
+        (Some(true), None) if is_and => Some(wrap_ebv(b)),
+        (None, Some(true)) if is_and => Some(wrap_ebv(a)),
+        (Some(false), None) if !is_and => Some(wrap_ebv(b)),
+        (None, Some(false)) if !is_and => Some(wrap_ebv(a)),
+        _ => None,
+    }
+}
+
+/// All direct child expressions of an IR node.
+fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
+    let mut out: Vec<&mut Ir> = Vec::new();
+    match ir {
+        Ir::Str(_)
+        | Ir::Int(_)
+        | Ir::Dec(_)
+        | Ir::Dbl(_)
+        | Ir::Empty
+        | Ir::Var(_)
+        | Ir::Global(_)
+        | Ir::ContextItem
+        | Ir::Comment(_)
+        | Ir::Pi(..) => {}
+        Ir::Seq(items) => out.extend(items.iter_mut()),
+        Ir::Range(a, b)
+        | Ir::Arith(_, a, b)
+        | Ir::GeneralComp(_, a, b)
+        | Ir::ValueComp(_, a, b)
+        | Ir::NodeComp(_, a, b)
+        | Ir::And(a, b)
+        | Ir::Or(a, b)
+        | Ir::SetOp(_, a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+        Ir::Neg(a) | Ir::InstanceOf(a, _) | Ir::Cast(a, _, _) | Ir::Castable(a, _, _) => {
+            out.push(a)
+        }
+        Ir::If(c, t, e) => {
+            out.push(c);
+            out.push(t);
+            out.push(e);
+        }
+        Ir::Quantified { bindings, satisfies, .. } => {
+            out.extend(bindings.iter_mut().map(|(_, e)| e));
+            out.push(satisfies);
+        }
+        Ir::Flwor(f) => {
+            for clause in &mut f.clauses {
+                match clause {
+                    ClauseIr::For { expr, .. } | ClauseIr::Let { expr, .. } => out.push(expr),
+                    ClauseIr::Where(cond) => out.push(cond),
+                    ClauseIr::Count { .. } => {}
+                    ClauseIr::Window(w) => {
+                        out.push(&mut w.expr);
+                        out.push(&mut w.start.when);
+                        if let Some(end) = &mut w.end {
+                            out.push(&mut end.when);
+                        }
+                    }
+                    ClauseIr::GroupBy(g) => {
+                        out.extend(g.keys.iter_mut().map(|k| &mut k.expr));
+                        for nest in &mut g.nests {
+                            out.push(&mut nest.expr);
+                            if let Some(ob) = &mut nest.order_by {
+                                out.extend(ob.specs.iter_mut().map(|s| &mut s.expr));
+                            }
+                        }
+                    }
+                    ClauseIr::OrderBy(ob) => {
+                        out.extend(ob.specs.iter_mut().map(|s| &mut s.expr))
+                    }
+                }
+            }
+            out.push(&mut f.return_expr);
+        }
+        Ir::Path(p) => {
+            if let PathStartIr::Expr(e) = &mut p.start {
+                out.push(e);
+            }
+            for step in &mut p.steps {
+                match step {
+                    StepIr::Axis { predicates, .. } => out.extend(predicates.iter_mut()),
+                    StepIr::Expr { expr, predicates } => {
+                        out.push(expr);
+                        out.extend(predicates.iter_mut());
+                    }
+                }
+            }
+        }
+        Ir::Filter { base, predicates } => {
+            out.push(base);
+            out.extend(predicates.iter_mut());
+        }
+        Ir::CallBuiltin(_, args) | Ir::CallUser(_, args) => out.extend(args.iter_mut()),
+        Ir::Element(el) => {
+            for (_, parts) in &mut el.attributes {
+                for part in parts {
+                    if let AttrPartIr::Enclosed(e) = part {
+                        out.push(e);
+                    }
+                }
+            }
+            for part in &mut el.content {
+                match part {
+                    ContentIr::Enclosed(e) | ContentIr::Child(e) => out.push(e),
+                    ContentIr::Literal(_) => {}
+                }
+            }
+        }
+        Ir::Attribute { value, .. } => {
+            if let Some(v) = value {
+                out.push(v);
+            }
+        }
+        Ir::Text(content) => {
+            if let Some(c) = content {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use xqa_frontend::parse_query;
+
+    fn folded(src: &str) -> (CompiledQuery, usize) {
+        let module = parse_query(src).expect("parse");
+        let mut q = compile::compile(&module).expect("compile");
+        let n = fold_query(&mut q);
+        (q, n)
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        let (q, n) = folded("1 + 2 * 3");
+        assert!(n >= 2, "folded {n}");
+        assert!(matches!(q.body, Ir::Int(7)), "{:?}", q.body);
+        let (q, _) = folded("65.00 - 5.50");
+        assert!(matches!(q.body, Ir::Dec(d) if d.to_string() == "59.5"));
+        let (q, _) = folded("-(2 + 3)");
+        assert!(matches!(q.body, Ir::Int(-5)));
+    }
+
+    #[test]
+    fn dynamic_errors_are_not_folded() {
+        // 1 div 0 must raise at run time, not compile time.
+        let (q, n) = folded("1 div 0");
+        assert_eq!(n, 0);
+        assert!(matches!(q.body, Ir::Arith(..)));
+    }
+
+    #[test]
+    fn comparisons_fold() {
+        let (q, _) = folded("1 < 2");
+        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)));
+        let (q, _) = folded("\"a\" eq \"b\"");
+        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)));
+    }
+
+    #[test]
+    fn logic_folds_and_absorbs() {
+        let (q, _) = folded("1 = 1 and 2 = 2");
+        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)));
+        // false absorbs even with a non-constant side
+        let (q, _) = folded("for $x in (1, 2) return (1 = 2 and $x = 1)");
+        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        assert!(
+            matches!(f.return_expr, Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)),
+            "{:?}",
+            f.return_expr
+        );
+        // true reduces `and` to the other operand's EBV
+        let (q, _) = folded("for $x in (1, 2) return (1 = 1 and $x = 1)");
+        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        assert!(
+            matches!(f.return_expr, Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, _)),
+            "{:?}",
+            f.return_expr
+        );
+    }
+
+    #[test]
+    fn constant_conditionals_select_branch() {
+        let (q, _) = folded("if (1 = 1) then \"yes\" else \"no\"");
+        assert!(matches!(q.body, Ir::Str(ref s) if &**s == "yes"));
+    }
+
+    #[test]
+    fn folding_inside_flwor_clauses() {
+        let (q, n) = folded("for $x in (1, 2) where $x > 1 + 1 return $x * (2 + 3)");
+        assert!(n >= 2, "folded {n}");
+        // the where comparison's rhs and the multiply's rhs are literals now
+        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        let has_lit_5 = format!("{:?}", f.return_expr).contains("Int(5)");
+        assert!(has_lit_5, "{:?}", f.return_expr);
+    }
+
+    #[test]
+    fn variables_block_folding() {
+        let (_, n) = folded("for $x in (1, 2) return $x + 1");
+        assert_eq!(n, 0);
+    }
+}

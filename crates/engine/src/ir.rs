@@ -1,0 +1,457 @@
+//! Compiled intermediate representation.
+//!
+//! The compiler lowers the AST into this IR, resolving:
+//! - variable references to *frame slots* (indices into a flat
+//!   per-invocation environment), enforcing the paper's §3.2 scoping
+//!   rule at compile time;
+//! - function names to builtin ids or user-function indices;
+//! - decimal literals to exact [`Decimal`] values;
+//! - AST names to interned [`QName`]s.
+//!
+//! The evaluator walks this IR directly; FLWOR clauses form an explicit
+//! tuple-stream pipeline mirroring the paper's §3.1 description.
+
+use crate::functions::Builtin;
+use xqa_frontend::ast::{ArithOp, NodeComparison, Quantifier, SetOp};
+use xqa_xdm::{CompOp, Decimal, QName};
+
+/// Index of a variable slot in the current frame.
+pub type Slot = usize;
+
+/// Index of a global (prolog-declared) variable.
+pub type GlobalSlot = usize;
+
+/// Index of a user-declared function.
+pub type FunctionId = usize;
+
+/// A compiled expression.
+#[derive(Debug, Clone)]
+pub enum Ir {
+    /// String constant.
+    Str(std::rc::Rc<str>),
+    /// Integer constant.
+    Int(i64),
+    /// Decimal constant.
+    Dec(Decimal),
+    /// Double constant.
+    Dbl(f64),
+    /// The empty sequence.
+    Empty,
+    /// Sequence concatenation.
+    Seq(Vec<Ir>),
+    /// A local variable.
+    Var(Slot),
+    /// A global variable.
+    Global(GlobalSlot),
+    /// The context item (`.`).
+    ContextItem,
+    /// `a to b`.
+    Range(Box<Ir>, Box<Ir>),
+    /// Binary arithmetic.
+    Arith(ArithOp, Box<Ir>, Box<Ir>),
+    /// Unary minus (unary plus folds away).
+    Neg(Box<Ir>),
+    /// General comparison (existential).
+    GeneralComp(CompOp, Box<Ir>, Box<Ir>),
+    /// Value comparison (singleton).
+    ValueComp(CompOp, Box<Ir>, Box<Ir>),
+    /// Node comparison.
+    NodeComp(NodeComparison, Box<Ir>, Box<Ir>),
+    /// Short-circuit conjunction.
+    And(Box<Ir>, Box<Ir>),
+    /// Short-circuit disjunction.
+    Or(Box<Ir>, Box<Ir>),
+    /// `union` / `intersect` / `except` over node sequences.
+    SetOp(SetOp, Box<Ir>, Box<Ir>),
+    /// Conditional.
+    If(Box<Ir>, Box<Ir>, Box<Ir>),
+    /// `some`/`every ... satisfies`.
+    Quantified {
+        /// `some` or `every`.
+        kind: Quantifier,
+        /// Bindings evaluated left to right.
+        bindings: Vec<(Slot, Ir)>,
+        /// The predicate.
+        satisfies: Box<Ir>,
+    },
+    /// A FLWOR pipeline.
+    Flwor(Box<FlworIr>),
+    /// A path expression.
+    Path(Box<PathIr>),
+    /// Predicates over an arbitrary base.
+    Filter {
+        /// Base expression.
+        base: Box<Ir>,
+        /// Predicates applied left to right.
+        predicates: Vec<Ir>,
+    },
+    /// Call to a built-in function.
+    CallBuiltin(Builtin, Vec<Ir>),
+    /// Call to a user-declared function.
+    CallUser(FunctionId, Vec<Ir>),
+    /// Direct or computed element constructor.
+    Element(Box<ElementIr>),
+    /// Computed attribute constructor.
+    Attribute {
+        /// Attribute name.
+        name: QName,
+        /// Value expression.
+        value: Option<Box<Ir>>,
+    },
+    /// Computed text constructor.
+    Text(Option<Box<Ir>>),
+    /// Comment constructor (direct form has constant text).
+    Comment(std::rc::Rc<str>),
+    /// PI constructor.
+    Pi(QName, std::rc::Rc<str>),
+    /// `instance of` check.
+    InstanceOf(Box<Ir>, SeqTypeIr),
+    /// `cast as` (target type, empty-allowed flag).
+    Cast(Box<Ir>, CastTarget, bool),
+    /// `castable as` (target type, empty-allowed flag).
+    Castable(Box<Ir>, CastTarget, bool),
+}
+
+/// A compiled element constructor (direct or computed).
+#[derive(Debug, Clone)]
+pub struct ElementIr {
+    /// Element name.
+    pub name: QName,
+    /// Attributes: name plus value-template parts.
+    pub attributes: Vec<(QName, Vec<AttrPartIr>)>,
+    /// Content parts in document order.
+    pub content: Vec<ContentIr>,
+}
+
+/// One part of an attribute value template.
+#[derive(Debug, Clone)]
+pub enum AttrPartIr {
+    /// Literal text.
+    Literal(std::rc::Rc<str>),
+    /// `{ expr }` — atomized and space-joined.
+    Enclosed(Ir),
+}
+
+/// One part of element content.
+#[derive(Debug, Clone)]
+pub enum ContentIr {
+    /// Literal text.
+    Literal(std::rc::Rc<str>),
+    /// `{ expr }` — inserted per the construction rules.
+    Enclosed(Ir),
+    /// A nested constructor.
+    Child(Ir),
+}
+
+/// Cast target types supported by `cast as` and constructor functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastTarget {
+    /// `xs:string`
+    String,
+    /// `xs:untypedAtomic`
+    Untyped,
+    /// `xs:boolean`
+    Boolean,
+    /// `xs:integer`
+    Integer,
+    /// `xs:decimal`
+    Decimal,
+    /// `xs:double`
+    Double,
+    /// `xs:dateTime`
+    DateTime,
+    /// `xs:date`
+    Date,
+}
+
+/// A compiled sequence type for runtime checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqTypeIr {
+    /// Item test.
+    pub item: ItemTypeIr,
+    /// Occurrence bounds.
+    pub occurrence: OccurrenceIr,
+}
+
+/// Runtime item tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemTypeIr {
+    /// `item()`
+    AnyItem,
+    /// `node()`
+    AnyNode,
+    /// `element(name?)`
+    Element(Option<QName>),
+    /// `attribute(name?)`
+    Attribute(Option<QName>),
+    /// `document-node()`
+    Document,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    Pi,
+    /// A named atomic type.
+    Atomic(CastTarget),
+    /// `xs:anyAtomicType` — any atomic value.
+    AnyAtomic,
+    /// `empty-sequence()`
+    EmptySequence,
+}
+
+/// Occurrence bounds for sequence types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccurrenceIr {
+    /// Exactly one item.
+    One,
+    /// Zero or one.
+    Optional,
+    /// Any number.
+    ZeroOrMore,
+    /// At least one.
+    OneOrMore,
+}
+
+/// A compiled FLWOR expression.
+#[derive(Debug, Clone)]
+pub struct FlworIr {
+    /// The clause pipeline, in source order.
+    pub clauses: Vec<ClauseIr>,
+    /// Slot for the output positional variable (`return at $v`).
+    pub return_at: Option<Slot>,
+    /// The return expression.
+    pub return_expr: Ir,
+}
+
+/// One clause of the pipeline.
+#[derive(Debug, Clone)]
+pub enum ClauseIr {
+    /// `for $v (at $i)? in e` — fan out.
+    For {
+        /// Slot bound per item.
+        slot: Slot,
+        /// Input-position slot (`at`).
+        at_slot: Option<Slot>,
+        /// Declared type check, if any.
+        ty: Option<SeqTypeIr>,
+        /// Binding sequence.
+        expr: Ir,
+    },
+    /// `let $v := e`.
+    Let {
+        /// Slot bound to the whole sequence.
+        slot: Slot,
+        /// Declared type check, if any.
+        ty: Option<SeqTypeIr>,
+        /// Bound expression.
+        expr: Ir,
+    },
+    /// `where e` — filter tuples.
+    Where(Ir),
+    /// `count $v` — number tuples at this pipeline point (XQuery 3.0).
+    Count {
+        /// Slot bound to the 1-based ordinal.
+        slot: Slot,
+    },
+    /// `for tumbling|sliding window` (XQuery 3.0 windows).
+    Window(Box<WindowIr>),
+    /// `group by ... nest ...` — the paper's §3 operator.
+    GroupBy(GroupByIr),
+    /// `order by` — blocking sort.
+    OrderBy(OrderByIr),
+}
+
+/// A compiled window clause.
+#[derive(Debug, Clone)]
+pub struct WindowIr {
+    /// Overlapping (`sliding`) vs disjoint (`tumbling`) windows.
+    pub sliding: bool,
+    /// Slot bound to each window's item sequence.
+    pub slot: Slot,
+    /// The binding sequence.
+    pub expr: Ir,
+    /// Start condition.
+    pub start: WindowCondIr,
+    /// End condition.
+    pub end: Option<WindowCondIr>,
+    /// Drop windows whose end condition never matched.
+    pub only_end: bool,
+}
+
+/// A compiled window boundary condition.
+#[derive(Debug, Clone)]
+pub struct WindowCondIr {
+    /// Slot for the boundary item.
+    pub item_slot: Option<Slot>,
+    /// Slot for the boundary position.
+    pub at_slot: Option<Slot>,
+    /// Slot for the item before the boundary.
+    pub previous_slot: Option<Slot>,
+    /// Slot for the item after the boundary.
+    pub next_slot: Option<Slot>,
+    /// The `when` predicate.
+    pub when: Ir,
+}
+
+/// The compiled `group by` clause.
+#[derive(Debug, Clone)]
+pub struct GroupByIr {
+    /// Grouping keys.
+    pub keys: Vec<GroupKeyIr>,
+    /// Nesting bindings.
+    pub nests: Vec<NestIr>,
+}
+
+/// One grouping key.
+#[derive(Debug, Clone)]
+pub struct GroupKeyIr {
+    /// Key expression, evaluated per input tuple (pre-group scope).
+    pub expr: Ir,
+    /// Output slot for the grouping variable.
+    pub slot: Slot,
+    /// Custom equality function (§3.3 `using`): a user function of
+    /// arity 2 returning `xs:boolean`.
+    pub using: Option<FunctionId>,
+}
+
+/// One nesting binding.
+#[derive(Debug, Clone)]
+pub struct NestIr {
+    /// Nest expression, evaluated per input tuple (pre-group scope).
+    pub expr: Ir,
+    /// Optional per-group ordering of input tuples (§3.4.1); key
+    /// expressions are compiled in pre-group scope.
+    pub order_by: Option<OrderByIr>,
+    /// Output slot for the nesting variable.
+    pub slot: Slot,
+}
+
+/// A compiled `order by` clause.
+#[derive(Debug, Clone)]
+pub struct OrderByIr {
+    /// `stable` keyword present (we always sort stably; the flag is kept
+    /// for explain output).
+    pub stable: bool,
+    /// Sort keys, major first.
+    pub specs: Vec<OrderSpecIr>,
+}
+
+/// One sort key.
+#[derive(Debug, Clone)]
+pub struct OrderSpecIr {
+    /// Key expression (must atomize to 0 or 1 items).
+    pub expr: Ir,
+    /// Descending?
+    pub descending: bool,
+    /// Empty-sequence placement; `None` = the default (`empty least`).
+    pub empty_greatest: bool,
+}
+
+/// A compiled path.
+#[derive(Debug, Clone)]
+pub struct PathIr {
+    /// Starting point.
+    pub start: PathStartIr,
+    /// Steps, left to right.
+    pub steps: Vec<StepIr>,
+}
+
+/// Where a path starts.
+#[derive(Debug, Clone)]
+pub enum PathStartIr {
+    /// The context item.
+    Context,
+    /// The root of the context node's tree.
+    Root,
+    /// An arbitrary expression.
+    Expr(Ir),
+}
+
+/// A compiled step.
+#[derive(Debug, Clone)]
+pub enum StepIr {
+    /// An axis step.
+    Axis {
+        /// The axis.
+        axis: xqa_frontend::ast::Axis,
+        /// The node test.
+        test: NodeTestIr,
+        /// Predicates.
+        predicates: Vec<Ir>,
+    },
+    /// A general expression step (evaluated per context item).
+    Expr {
+        /// The step expression.
+        expr: Ir,
+        /// Predicates.
+        predicates: Vec<Ir>,
+    },
+}
+
+/// A compiled node test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTestIr {
+    /// Match by name (principal node kind of the axis).
+    Name(QName),
+    /// `*`
+    Wildcard,
+    /// `node()`
+    AnyKind,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction(target?)`
+    Pi(Option<String>),
+    /// `element(name?)`
+    Element(Option<QName>),
+    /// `attribute(name?)`
+    Attribute(Option<QName>),
+    /// `document-node()`
+    Document,
+}
+
+/// A compiled user function.
+#[derive(Debug, Clone)]
+pub struct UserFunction {
+    /// Diagnostic name.
+    pub name: String,
+    /// Number of parameters (parameters occupy slots `0..arity`).
+    pub arity: usize,
+    /// Declared parameter types.
+    pub param_types: Vec<Option<SeqTypeIr>>,
+    /// Declared return type.
+    pub return_type: Option<SeqTypeIr>,
+    /// The body.
+    pub body: Ir,
+    /// Total frame size needed by the body.
+    pub frame_size: usize,
+}
+
+/// A global-variable initializer.
+#[derive(Debug, Clone)]
+pub struct GlobalInit {
+    /// Diagnostic name.
+    pub name: String,
+    /// The initializer expression.
+    pub init: Ir,
+    /// Frame size needed to evaluate it.
+    pub frame_size: usize,
+}
+
+/// A fully compiled query: globals, functions, main body.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Global variable initializers, in declaration order.
+    pub globals: Vec<GlobalInit>,
+    /// User functions.
+    pub functions: Vec<UserFunction>,
+    /// The main expression.
+    pub body: Ir,
+    /// Frame size for the main expression.
+    pub frame_size: usize,
+    /// Whether `declare ordering unordered` was in effect (informational;
+    /// the engine always produces the ordered result).
+    pub ordered: bool,
+}

@@ -1,0 +1,367 @@
+//! Canonical hash keys for value- and deep-equality.
+//!
+//! Both `fn:distinct-values` and the paper's `group by` need to bucket
+//! values by an equality that spans the numeric tower (`2` = `2.0` =
+//! `xs:double(2)`), treats untyped data as strings, and (for grouping)
+//! extends to whole sequences under `fn:deep-equal` semantics.
+//!
+//! We compute a *canonical key string* per value. The key is designed so
+//! that equal values always produce equal keys; the converse may fail in
+//! corner cases (e.g. two distinct `xs:decimal`s that collapse to the
+//! same `f64`), so callers must verify bucket hits with the real
+//! equality predicate. That combination gives hash-speed grouping with
+//! exact semantics.
+
+use std::collections::HashMap;
+use xqa_xdm::{deep_equal, AtomicValue, Item, NodeHandle, NodeKind, Sequence};
+
+/// Append the canonical key of one atomic value.
+pub fn atomic_key(v: &AtomicValue, out: &mut String) {
+    use std::fmt::Write;
+    match v {
+        AtomicValue::String(s) | AtomicValue::Untyped(s) => {
+            out.push_str("s:");
+            out.push_str(s);
+        }
+        AtomicValue::Boolean(b) => {
+            out.push_str(if *b { "b:1" } else { "b:0" });
+        }
+        AtomicValue::Integer(i) => {
+            let _ = write!(out, "n:{i}");
+        }
+        AtomicValue::Decimal(d) => {
+            if d.is_integer() {
+                // Align with Integer keys for whole numbers.
+                let _ = write!(out, "n:{d}");
+            } else {
+                // Align with Double keys through the f64 image; bucket
+                // collisions between near-equal decimals are resolved by
+                // the verifying comparison.
+                let _ = write!(out, "f:{}", d.to_f64().to_bits());
+            }
+        }
+        AtomicValue::Double(d) => {
+            if d.is_nan() {
+                out.push_str("f:nan");
+            } else if *d == d.trunc() && d.abs() < 9.0e18 {
+                let _ = write!(out, "n:{}", *d as i64);
+            } else {
+                let _ = write!(out, "f:{}", d.to_bits());
+            }
+        }
+        AtomicValue::DateTime(dt) => {
+            let _ = write!(out, "dt:{}:{}", dt.epoch_seconds(), dt.nanos);
+        }
+        AtomicValue::Date(d) => {
+            let _ = write!(out, "d:{}", d.epoch_seconds());
+        }
+    }
+}
+
+/// Append a structural key for a node, mirroring `fn:deep-equal`:
+/// kind + name + (sorted) attributes + significant children.
+pub fn node_key(n: &NodeHandle, out: &mut String) {
+    match n.kind() {
+        NodeKind::Document => {
+            out.push_str("D[");
+            for c in n.children() {
+                node_key(&c, out);
+            }
+            out.push(']');
+        }
+        NodeKind::Element => {
+            out.push_str("E<");
+            if let Some(name) = n.name() {
+                out.push_str(&name.to_string());
+            }
+            out.push('>');
+            let mut attrs: Vec<(String, String)> = n
+                .attributes()
+                .map(|a| (a.name().map(|q| q.to_string()).unwrap_or_default(), a.string_value()))
+                .collect();
+            attrs.sort();
+            for (name, value) in attrs {
+                out.push('@');
+                out.push_str(&name);
+                out.push('=');
+                out.push_str(&value);
+                out.push(';');
+            }
+            out.push('[');
+            for c in n.children() {
+                // deep-equal ignores comments and PIs inside elements.
+                if !matches!(c.kind(), NodeKind::Comment | NodeKind::ProcessingInstruction) {
+                    node_key(&c, out);
+                }
+            }
+            out.push(']');
+        }
+        NodeKind::Attribute => {
+            out.push_str("A<");
+            if let Some(name) = n.name() {
+                out.push_str(&name.to_string());
+            }
+            out.push_str(">=");
+            out.push_str(&n.string_value());
+        }
+        NodeKind::Text => {
+            out.push_str("T:");
+            out.push_str(&n.string_value());
+            out.push('\u{0}');
+        }
+        NodeKind::Comment => {
+            out.push_str("C:");
+            out.push_str(&n.string_value());
+            out.push('\u{0}');
+        }
+        NodeKind::ProcessingInstruction => {
+            out.push_str("P<");
+            if let Some(name) = n.name() {
+                out.push_str(&name.to_string());
+            }
+            out.push_str(">:");
+            out.push_str(&n.string_value());
+            out.push('\u{0}');
+        }
+    }
+}
+
+/// Append the key of one item.
+pub fn item_key(item: &Item, out: &mut String) {
+    match item {
+        Item::Atomic(a) => atomic_key(a, out),
+        Item::Node(n) => node_key(n, out),
+    }
+}
+
+/// Canonical key of a whole sequence (order-sensitive, as the paper
+/// requires: "each permutation is considered a distinct value", §3.3).
+pub fn sequence_key(seq: &[Item]) -> String {
+    let mut out = String::with_capacity(16 * seq.len() + 2);
+    for item in seq {
+        item_key(item, &mut out);
+        out.push('\u{1}'); // item separator, cannot appear ambiguously
+    }
+    out
+}
+
+/// A set of atomic values under `eq` semantics (NaN collapses to one
+/// value), used by `fn:distinct-values`.
+#[derive(Debug, Default)]
+pub struct AtomicDistinctSet {
+    buckets: HashMap<String, Vec<AtomicValue>>,
+}
+
+impl AtomicDistinctSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert, returning `true` when the value was not yet present.
+    pub fn insert(&mut self, v: &AtomicValue) -> bool {
+        let mut key = String::new();
+        atomic_key(v, &mut key);
+        let bucket = self.buckets.entry(key).or_default();
+        for existing in bucket.iter() {
+            if atomic_eq_for_distinct(existing, v) {
+                return false;
+            }
+        }
+        bucket.push(v.clone());
+        true
+    }
+}
+
+/// Equality used by `distinct-values`: `eq`, with NaN = NaN and
+/// incomparable types simply unequal.
+fn atomic_eq_for_distinct(a: &AtomicValue, b: &AtomicValue) -> bool {
+    if let (AtomicValue::Double(x), AtomicValue::Double(y)) = (a, b) {
+        if x.is_nan() && y.is_nan() {
+            return true;
+        }
+    }
+    matches!(xqa_xdm::value_compare(a, b, xqa_xdm::CompOp::Eq), Ok(true))
+}
+
+/// A map from deep-equal sequence keys to group indices, with exact
+/// verification: the backbone of the `group by` operator.
+#[derive(Debug, Default)]
+pub struct GroupIndex {
+    buckets: HashMap<String, Vec<usize>>,
+}
+
+impl GroupIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find the group whose key sequences are pairwise deep-equal to
+    /// `keys`, or insert `new_index` for them. `stored_keys(i)` yields
+    /// the key sequences of group `i` for verification.
+    pub fn find_or_insert<'a>(
+        &mut self,
+        keys: &[Sequence],
+        new_index: usize,
+        stored_keys: impl Fn(usize) -> &'a [Sequence],
+    ) -> Result<usize, usize> {
+        let mut combined = String::new();
+        for k in keys {
+            combined.push_str(&sequence_key(k));
+            combined.push('\u{2}'); // key separator
+        }
+        let bucket = self.buckets.entry(combined).or_default();
+        for &idx in bucket.iter() {
+            let stored = stored_keys(idx);
+            if stored.len() == keys.len()
+                && stored.iter().zip(keys).all(|(a, b)| deep_equal(a, b))
+            {
+                return Ok(idx);
+            }
+        }
+        bucket.push(new_index);
+        Err(new_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_xdm::{Decimal, DocumentBuilder, QName};
+
+    fn key_of(v: AtomicValue) -> String {
+        let mut s = String::new();
+        atomic_key(&v, &mut s);
+        s
+    }
+
+    #[test]
+    fn numeric_tower_collapses() {
+        assert_eq!(key_of(AtomicValue::Integer(2)), key_of(AtomicValue::Double(2.0)));
+        assert_eq!(
+            key_of(AtomicValue::Integer(2)),
+            key_of(AtomicValue::Decimal(Decimal::parse("2.0").unwrap()))
+        );
+        assert_eq!(
+            key_of(AtomicValue::Decimal(Decimal::parse("0.5").unwrap())),
+            key_of(AtomicValue::Double(0.5))
+        );
+        assert_ne!(key_of(AtomicValue::Integer(2)), key_of(AtomicValue::Integer(3)));
+    }
+
+    #[test]
+    fn strings_and_untyped_collapse() {
+        assert_eq!(
+            key_of(AtomicValue::string("x")),
+            key_of(AtomicValue::untyped("x"))
+        );
+        // but string "2" is not the number 2
+        assert_ne!(key_of(AtomicValue::string("2")), key_of(AtomicValue::Integer(2)));
+    }
+
+    #[test]
+    fn nan_is_one_value() {
+        assert_eq!(key_of(AtomicValue::Double(f64::NAN)), key_of(AtomicValue::Double(f64::NAN)));
+        let mut set = AtomicDistinctSet::new();
+        assert!(set.insert(&AtomicValue::Double(f64::NAN)));
+        assert!(!set.insert(&AtomicValue::Double(f64::NAN)));
+    }
+
+    #[test]
+    fn distinct_set_dedups_across_types() {
+        let mut set = AtomicDistinctSet::new();
+        assert!(set.insert(&AtomicValue::Integer(2)));
+        assert!(!set.insert(&AtomicValue::Double(2.0)));
+        assert!(set.insert(&AtomicValue::string("2")));
+        assert!(!set.insert(&AtomicValue::untyped("2")));
+    }
+
+    #[test]
+    fn sequence_key_is_order_sensitive() {
+        let gray = Item::from("Gray");
+        let reuter = Item::from("Reuter");
+        assert_ne!(
+            sequence_key(&[gray.clone(), reuter.clone()]),
+            sequence_key(&[reuter, gray])
+        );
+        assert_eq!(sequence_key(&[]), sequence_key(&[]));
+    }
+
+    #[test]
+    fn sequence_key_no_concat_ambiguity() {
+        // ("ab") vs ("a", "b") must differ.
+        let one = vec![Item::from("ab")];
+        let two = vec![Item::from("a"), Item::from("b")];
+        assert_ne!(sequence_key(&one), sequence_key(&two));
+    }
+
+    #[test]
+    fn node_keys_follow_deep_equal() {
+        let make = |author: &str| {
+            let mut b = DocumentBuilder::new();
+            b.start_element(QName::local("author")).text(author).end_element();
+            b.finish().root().children().next().unwrap()
+        };
+        let a = make("Jim Gray");
+        let b = make("Jim Gray");
+        let c = make("Andreas Reuter");
+        let mut ka = String::new();
+        node_key(&a, &mut ka);
+        let mut kb = String::new();
+        node_key(&b, &mut kb);
+        let mut kc = String::new();
+        node_key(&c, &mut kc);
+        assert_eq!(ka, kb);
+        assert_ne!(ka, kc);
+    }
+
+    #[test]
+    fn node_key_ignores_comments_in_elements() {
+        let with_comment = {
+            let mut b = DocumentBuilder::new();
+            b.start_element(QName::local("r"));
+            b.comment("x");
+            b.start_element(QName::local("v")).text("1").end_element();
+            b.end_element();
+            b.finish().root().children().next().unwrap()
+        };
+        let without = {
+            let mut b = DocumentBuilder::new();
+            b.start_element(QName::local("r"));
+            b.start_element(QName::local("v")).text("1").end_element();
+            b.end_element();
+            b.finish().root().children().next().unwrap()
+        };
+        let mut k1 = String::new();
+        node_key(&with_comment, &mut k1);
+        let mut k2 = String::new();
+        node_key(&without, &mut k2);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn group_index_find_or_insert() {
+        let mut idx = GroupIndex::new();
+        let keys_a: Vec<Sequence> = vec![vec![Item::from("West")], vec![Item::from(2004i64)]];
+        let keys_b: Vec<Sequence> = vec![vec![Item::from("East")], vec![Item::from(2004i64)]];
+        let stored: Vec<Vec<Sequence>> = vec![keys_a.clone(), keys_b.clone()];
+        let lookup = |i: usize| stored[i].as_slice();
+        assert_eq!(idx.find_or_insert(&keys_a, 0, lookup), Err(0));
+        assert_eq!(idx.find_or_insert(&keys_b, 1, lookup), Err(1));
+        assert_eq!(idx.find_or_insert(&keys_a, 2, lookup), Ok(0));
+        assert_eq!(idx.find_or_insert(&keys_b, 2, lookup), Ok(1));
+    }
+
+    #[test]
+    fn empty_sequence_is_its_own_group_key() {
+        let mut idx = GroupIndex::new();
+        let empty: Vec<Sequence> = vec![vec![]];
+        let nonempty: Vec<Sequence> = vec![vec![Item::from("x")]];
+        let stored = [empty.clone(), nonempty.clone()];
+        let lookup = |i: usize| stored[i].as_slice();
+        assert_eq!(idx.find_or_insert(&empty, 0, lookup), Err(0));
+        assert_eq!(idx.find_or_insert(&nonempty, 1, lookup), Err(1));
+        assert_eq!(idx.find_or_insert(&empty, 2, lookup), Ok(0));
+    }
+}

@@ -1,0 +1,496 @@
+//! Implicit group-by detection (optimizer ablation).
+//!
+//! The paper argues (§2, §7) that recognizing grouping expressed in
+//! XQuery-1.0 style — `distinct-values` over a path plus a correlated
+//! self-join — is possible for simple patterns but "extremely difficult"
+//! in general, which motivates the explicit syntax. This module
+//! implements the detection for exactly the two templates of the
+//! paper's Table 1:
+//!
+//! ```text
+//! for $a in distinct-values(P/a) (, $b in distinct-values(P/b))?
+//! let $items := for $i in P where $i/a = $a (and $i/b = $b)? return $i
+//! (where exists($items))?
+//! return BODY
+//! ```
+//!
+//! rewriting it to the explicit plan
+//!
+//! ```text
+//! for $item in P
+//! group by data($item/a) into $a (, data($item/b) into $b)?
+//! nest $item into $items
+//! return BODY
+//! ```
+//!
+//! **Equivalence caveat** (this *is* the paper's point): the rewrite is
+//! only sound when every item of `P` has exactly one `a` (and `b`)
+//! child — items *missing* the key produce no group in the original but
+//! an empty-sequence group in the rewritten plan. The paper's workload
+//! guarantees "each grouping element occurred exactly once in its
+//! parent", and so does ours. The rewrite is opt-in
+//! ([`crate::EngineOptions::detect_implicit_groupby`]) and is benchmarked
+//! in the `ablation` bench.
+
+use xqa_frontend::ast::*;
+
+/// The fresh variable bound to the scanned item in rewritten plans.
+const FRESH_ITEM_VAR: &str = "xqa--rewrite-item";
+
+/// Walk the module body, rewriting every FLWOR that matches the Table-1
+/// implicit-grouping template. Returns a description per fired rewrite.
+pub fn detect_implicit_groupby(module: &mut Module) -> Vec<String> {
+    let mut fired = Vec::new();
+    rewrite_expr(&mut module.body, &mut fired);
+    for f in &mut module.prolog.functions {
+        rewrite_expr(&mut f.body, &mut fired);
+    }
+    for v in &mut module.prolog.variables {
+        rewrite_expr(&mut v.init, &mut fired);
+    }
+    fired
+}
+
+fn rewrite_expr(e: &mut Expr, fired: &mut Vec<String>) {
+    // Try the match at this node first; then recurse into children
+    // (including the rewritten form's return clause).
+    if let ExprKind::Flwor(f) = &mut e.kind {
+        if let Some(desc) = try_rewrite_flwor(f) {
+            fired.push(desc);
+        }
+    }
+    for child in subexpressions_mut(e) {
+        rewrite_expr(child, fired);
+    }
+}
+
+/// Attempt the Table-1 match on one FLWOR; rewrite in place on success.
+fn try_rewrite_flwor(f: &mut Flwor) -> Option<String> {
+    if f.group_by.is_some() || !f.post_group_clauses.is_empty() || f.post_group_where.is_some() {
+        return None;
+    }
+    // Shape: exactly one for-clause (1..=2 bindings) then one let-clause
+    // (1 binding).
+    if f.clauses.len() != 2 {
+        return None;
+    }
+    let key_bindings: Vec<(String, Path, Name)> = match &f.clauses[0] {
+        InitialClause::For(bindings) if (1..=2).contains(&bindings.len()) => {
+            let mut keys = Vec::new();
+            for b in bindings {
+                if b.at.is_some() {
+                    return None;
+                }
+                let (source, key) = match_distinct_values(&b.expr)?;
+                keys.push((b.var.clone(), source, key));
+            }
+            keys
+        }
+        _ => return None,
+    };
+    // All distinct-values calls must scan the same source path.
+    let source = key_bindings[0].1.clone();
+    if !key_bindings.iter().all(|(_, p, _)| *p == source) {
+        return None;
+    }
+    let (items_var, inner_var) = match &f.clauses[1] {
+        InitialClause::Let(bindings) if bindings.len() == 1 => {
+            let b = &bindings[0];
+            let inner = match_self_join(&b.expr, &source, &key_bindings)?;
+            (b.var.clone(), inner)
+        }
+        _ => return None,
+    };
+    let _ = inner_var;
+    // Outer where must be absent or `exists($items)`.
+    if let Some(w) = &f.where_clause {
+        if !is_exists_of(w, &items_var) {
+            return None;
+        }
+    }
+
+    // Build the explicit plan.
+    let span = Span::default();
+    let item_var_ref = Expr::new(ExprKind::VarRef(FRESH_ITEM_VAR.to_string()), span);
+    let keys = key_bindings
+        .iter()
+        .map(|(var, _, key)| GroupKey {
+            expr: Expr::new(
+                ExprKind::FunctionCall {
+                    name: Name::local("data"),
+                    args: vec![Expr::new(
+                        ExprKind::Path(Box::new(Path {
+                            start: PathStart::Expr(item_var_ref.clone()),
+                            steps: vec![Step::Axis(AxisStep {
+                                axis: Axis::Child,
+                                test: NodeTest::Name(key.clone()),
+                                predicates: Vec::new(),
+                            })],
+                        })),
+                        span,
+                    )],
+                },
+                span,
+            ),
+            var: var.clone(),
+            using: None,
+        })
+        .collect();
+    let nests = vec![NestBinding { expr: item_var_ref, order_by: None, var: items_var }];
+    let description = format!(
+        "implicit group-by detected: distinct-values self-join over {} key(s) \
+         rewritten to explicit group by",
+        key_bindings.len()
+    );
+    f.clauses = vec![InitialClause::For(vec![ForBinding {
+        var: FRESH_ITEM_VAR.to_string(),
+        at: None,
+        ty: None,
+        expr: Expr::new(ExprKind::Path(Box::new(source)), span),
+    }])];
+    f.where_clause = None;
+    f.group_by = Some(GroupByClause { keys, nests });
+    Some(description)
+}
+
+/// Match `distinct-values(P/key)` where `key` is a trailing child name
+/// step; returns (P, key).
+fn match_distinct_values(e: &Expr) -> Option<(Path, Name)> {
+    let ExprKind::FunctionCall { name, args } = &e.kind else { return None };
+    if name.prefix.as_deref().map(|p| p != "fn").unwrap_or(false) || name.local != "distinct-values"
+    {
+        return None;
+    }
+    let [arg] = args.as_slice() else { return None };
+    let ExprKind::Path(p) = &arg.kind else { return None };
+    let mut steps = p.steps.clone();
+    let last = steps.pop()?;
+    let Step::Axis(AxisStep { axis: Axis::Child, test: NodeTest::Name(key), predicates }) = last
+    else {
+        return None;
+    };
+    if !predicates.is_empty() {
+        return None;
+    }
+    Some((Path { start: p.start.clone(), steps }, key))
+}
+
+/// Match the correlated self-join
+/// `for $i in P where $i/k1 = $a1 (and $i/k2 = $a2)? return $i`.
+/// Returns the inner variable name on success.
+fn match_self_join(
+    e: &Expr,
+    source: &Path,
+    keys: &[(String, Path, Name)],
+) -> Option<String> {
+    let ExprKind::Flwor(inner) = &e.kind else { return None };
+    if inner.group_by.is_some() || inner.order_by.is_some() || inner.return_at.is_some() {
+        return None;
+    }
+    let [InitialClause::For(bindings)] = inner.clauses.as_slice() else { return None };
+    let [binding] = bindings.as_slice() else { return None };
+    if binding.at.is_some() {
+        return None;
+    }
+    let ExprKind::Path(scan) = &binding.expr.kind else { return None };
+    if **scan != *source {
+        return None;
+    }
+    let inner_var = binding.var.clone();
+    // return must be exactly $i
+    if !matches!(&inner.return_expr.kind, ExprKind::VarRef(v) if *v == inner_var) {
+        return None;
+    }
+    // where: conjunction of $i/k = $a covering every key exactly once.
+    let where_clause = inner.where_clause.as_ref()?;
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(where_clause, &mut conjuncts);
+    if conjuncts.len() != keys.len() {
+        return None;
+    }
+    let mut matched = vec![false; keys.len()];
+    for c in conjuncts {
+        let (step_name, var) = match_key_equality(c, &inner_var)?;
+        let idx = keys
+            .iter()
+            .position(|(kvar, _, kname)| *kvar == var && *kname == step_name)?;
+        if matched[idx] {
+            return None;
+        }
+        matched[idx] = true;
+    }
+    matched.iter().all(|&m| m).then_some(inner_var)
+}
+
+fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &e.kind {
+        ExprKind::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        _ => out.push(e),
+    }
+}
+
+/// Match `$i/key = $var` (either operand order). Returns (key, var).
+fn match_key_equality(e: &Expr, inner_var: &str) -> Option<(Name, String)> {
+    let ExprKind::GeneralComp(Comparison::Eq, lhs, rhs) = &e.kind else { return None };
+    let try_sides = |path_side: &Expr, var_side: &Expr| -> Option<(Name, String)> {
+        let ExprKind::VarRef(var) = &var_side.kind else { return None };
+        let ExprKind::Path(p) = &path_side.kind else { return None };
+        let PathStart::Expr(start) = &p.start else { return None };
+        if !matches!(&start.kind, ExprKind::VarRef(v) if v == inner_var) {
+            return None;
+        }
+        let [Step::Axis(AxisStep { axis: Axis::Child, test: NodeTest::Name(key), predicates })] =
+            p.steps.as_slice()
+        else {
+            return None;
+        };
+        if !predicates.is_empty() {
+            return None;
+        }
+        Some((key.clone(), var.clone()))
+    };
+    try_sides(lhs, rhs).or_else(|| try_sides(rhs, lhs))
+}
+
+fn is_exists_of(e: &Expr, var: &str) -> bool {
+    let ExprKind::FunctionCall { name, args } = &e.kind else { return false };
+    if name.prefix.is_some() && name.prefix.as_deref() != Some("fn") {
+        return false;
+    }
+    name.local == "exists"
+        && args.len() == 1
+        && matches!(&args[0].kind, ExprKind::VarRef(v) if v == var)
+}
+
+/// All direct subexpressions, for the recursive walk.
+fn subexpressions_mut(e: &mut Expr) -> Vec<&mut Expr> {
+    let mut out: Vec<&mut Expr> = Vec::new();
+    match &mut e.kind {
+        ExprKind::StringLit(_)
+        | ExprKind::IntegerLit(_)
+        | ExprKind::DecimalLit(_)
+        | ExprKind::DoubleLit(_)
+        | ExprKind::VarRef(_)
+        | ExprKind::ContextItem
+        | ExprKind::DirectComment(_)
+        | ExprKind::DirectPi(..) => {}
+        ExprKind::Sequence(items) => out.extend(items.iter_mut()),
+        ExprKind::Range(a, b)
+        | ExprKind::Arith(_, a, b)
+        | ExprKind::GeneralComp(_, a, b)
+        | ExprKind::ValueComp(_, a, b)
+        | ExprKind::NodeComp(_, a, b)
+        | ExprKind::And(a, b)
+        | ExprKind::Or(a, b)
+        | ExprKind::SetOp(_, a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+        ExprKind::Unary(_, a)
+        | ExprKind::InstanceOf(a, _)
+        | ExprKind::CastAs(a, _, _)
+        | ExprKind::CastableAs(a, _, _)
+        | ExprKind::ComputedText(Some(a)) => out.push(a),
+        ExprKind::ComputedText(None) => {}
+        ExprKind::If { cond, then, otherwise } => {
+            out.push(cond);
+            out.push(then);
+            out.push(otherwise);
+        }
+        ExprKind::Quantified { bindings, satisfies, .. } => {
+            out.extend(bindings.iter_mut().map(|(_, e)| e));
+            out.push(satisfies);
+        }
+        ExprKind::Flwor(f) => {
+            for clause in &mut f.clauses {
+                match clause {
+                    InitialClause::For(bs) => out.extend(bs.iter_mut().map(|b| &mut b.expr)),
+                    InitialClause::Let(bs) => out.extend(bs.iter_mut().map(|b| &mut b.expr)),
+                    InitialClause::Count(_) => {}
+                    InitialClause::Window(w) => {
+                        out.push(&mut w.expr);
+                        out.push(&mut w.start.when);
+                        if let Some(end) = &mut w.end {
+                            out.push(&mut end.when);
+                        }
+                    }
+                }
+            }
+            if let Some(w) = &mut f.where_clause {
+                out.push(w);
+            }
+            if let Some(g) = &mut f.group_by {
+                out.extend(g.keys.iter_mut().map(|k| &mut k.expr));
+                for n in &mut g.nests {
+                    out.push(&mut n.expr);
+                    if let Some(ob) = &mut n.order_by {
+                        out.extend(ob.specs.iter_mut().map(|s| &mut s.expr));
+                    }
+                }
+            }
+            for clause in &mut f.post_group_clauses {
+                if let PostGroupClause::Let(b) = clause {
+                    out.push(&mut b.expr);
+                }
+            }
+            if let Some(w) = &mut f.post_group_where {
+                out.push(w);
+            }
+            if let Some(ob) = &mut f.order_by {
+                out.extend(ob.specs.iter_mut().map(|s| &mut s.expr));
+            }
+            out.push(&mut f.return_expr);
+        }
+        ExprKind::Path(p) => {
+            if let PathStart::Expr(start) = &mut p.start {
+                out.push(start);
+            }
+            for step in &mut p.steps {
+                match step {
+                    Step::Axis(s) => out.extend(s.predicates.iter_mut()),
+                    Step::Expr { expr, predicates } => {
+                        out.push(expr);
+                        out.extend(predicates.iter_mut());
+                    }
+                }
+            }
+        }
+        ExprKind::Filter { base, predicates } => {
+            out.push(base);
+            out.extend(predicates.iter_mut());
+        }
+        ExprKind::FunctionCall { args, .. } => out.extend(args.iter_mut()),
+        ExprKind::DirectElement(el) => {
+            for (_, parts) in &mut el.attributes {
+                for part in parts {
+                    if let AttrPart::Enclosed(e) = part {
+                        out.push(e);
+                    }
+                }
+            }
+            for part in &mut el.content {
+                match part {
+                    ContentPart::Enclosed(e) | ContentPart::Child(e) => out.push(e),
+                    ContentPart::Literal(_) => {}
+                }
+            }
+        }
+        ExprKind::ComputedElement { content, .. } | ExprKind::ComputedAttribute { content, .. } => {
+            if let Some(c) = content {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_frontend::parse_query;
+
+    fn rewrite(src: &str) -> (Module, Vec<String>) {
+        let mut m = parse_query(src).expect("parse");
+        let fired = detect_implicit_groupby(&mut m);
+        (m, fired)
+    }
+
+    const Q_ONE_KEY: &str = r#"
+        for $a in distinct-values(//order/lineitem/shipmode)
+        let $items := for $i in //order/lineitem where $i/shipmode = $a return $i
+        return <r>{$a, count($items)}</r>"#;
+
+    const Q_TWO_KEY: &str = r#"
+        for $a in distinct-values(//order/lineitem/shipinstruct),
+            $b in distinct-values(//order/lineitem/shipmode)
+        let $items := for $i in //order/lineitem
+                      where $i/shipinstruct = $a and $i/shipmode = $b
+                      return $i
+        where exists($items)
+        return <r>{$a, $b, count($items)}</r>"#;
+
+    #[test]
+    fn one_key_template_detected() {
+        let (m, fired) = rewrite(Q_ONE_KEY);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        let ExprKind::Flwor(f) = &m.body.kind else { panic!("not a flwor") };
+        let g = f.group_by.as_ref().expect("group by synthesized");
+        assert_eq!(g.keys.len(), 1);
+        assert_eq!(g.keys[0].var, "a");
+        assert_eq!(g.nests.len(), 1);
+        assert_eq!(g.nests[0].var, "items");
+        assert!(f.where_clause.is_none());
+    }
+
+    #[test]
+    fn two_key_template_detected() {
+        let (m, fired) = rewrite(Q_TWO_KEY);
+        assert_eq!(fired.len(), 1, "{fired:?}");
+        let ExprKind::Flwor(f) = &m.body.kind else { panic!("not a flwor") };
+        let g = f.group_by.as_ref().expect("group by synthesized");
+        assert_eq!(g.keys.len(), 2);
+        assert_eq!(g.keys[0].var, "a");
+        assert_eq!(g.keys[1].var, "b");
+    }
+
+    #[test]
+    fn reversed_equality_operands_still_match() {
+        let (_, fired) = rewrite(
+            r#"for $a in distinct-values(//x/k)
+               let $items := for $i in //x where $a = $i/k return $i
+               return count($items)"#,
+        );
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn different_scan_paths_do_not_match() {
+        let (_, fired) = rewrite(
+            r#"for $a in distinct-values(//x/k)
+               let $items := for $i in //y where $i/k = $a return $i
+               return count($items)"#,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn extra_predicate_defeats_detection() {
+        // The paper's point: omit or add any construct and the simple
+        // pattern no longer matches.
+        let (_, fired) = rewrite(
+            r#"for $a in distinct-values(//x/k)
+               let $items := for $i in //x where $i/k = $a and $i/z = 1 return $i
+               return count($items)"#,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn unrelated_where_defeats_detection() {
+        let (_, fired) = rewrite(
+            r#"for $a in distinct-values(//x/k)
+               let $items := for $i in //x where $i/k = $a return $i
+               where count($items) > 1
+               return count($items)"#,
+        );
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn nested_flwor_bodies_are_rewritten() {
+        let src = format!("for $d in (1,2) return {}", Q_ONE_KEY.trim());
+        let (_, fired) = rewrite(&src);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn explicit_group_by_left_alone() {
+        let (_, fired) = rewrite(
+            "for $b in //book group by $b/publisher into $p nest $b into $bs return count($bs)",
+        );
+        assert!(fired.is_empty());
+    }
+}

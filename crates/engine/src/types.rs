@@ -1,0 +1,196 @@
+//! Runtime sequence-type checks and the function conversion rules.
+
+use crate::casts::cast_atomic;
+use crate::error::{EngineError, EngineResult};
+use crate::ir::{CastTarget, ItemTypeIr, OccurrenceIr, SeqTypeIr};
+use xqa_xdm::{AtomicType, AtomicValue, ErrorCode, Item, NodeKind, Sequence};
+
+/// Does `seq` match the sequence type?
+pub fn matches_seq_type(seq: &[Item], ty: &SeqTypeIr) -> bool {
+    if matches!(ty.item, ItemTypeIr::EmptySequence) {
+        return seq.is_empty();
+    }
+    let len_ok = match ty.occurrence {
+        OccurrenceIr::One => seq.len() == 1,
+        OccurrenceIr::Optional => seq.len() <= 1,
+        OccurrenceIr::ZeroOrMore => true,
+        OccurrenceIr::OneOrMore => !seq.is_empty(),
+    };
+    len_ok && seq.iter().all(|i| matches_item_type(i, &ty.item))
+}
+
+/// Does one item match the item type?
+pub fn matches_item_type(item: &Item, ty: &ItemTypeIr) -> bool {
+    match (item, ty) {
+        (_, ItemTypeIr::AnyItem) => true,
+        (Item::Node(_), ItemTypeIr::AnyNode) => true,
+        (Item::Node(n), ItemTypeIr::Element(name)) => {
+            n.kind() == NodeKind::Element
+                && name.as_ref().map(|q| n.name() == Some(q)).unwrap_or(true)
+        }
+        (Item::Node(n), ItemTypeIr::Attribute(name)) => {
+            n.kind() == NodeKind::Attribute
+                && name.as_ref().map(|q| n.name() == Some(q)).unwrap_or(true)
+        }
+        (Item::Node(n), ItemTypeIr::Document) => n.kind() == NodeKind::Document,
+        (Item::Node(n), ItemTypeIr::Text) => n.kind() == NodeKind::Text,
+        (Item::Node(n), ItemTypeIr::Comment) => n.kind() == NodeKind::Comment,
+        (Item::Node(n), ItemTypeIr::Pi) => n.kind() == NodeKind::ProcessingInstruction,
+        (Item::Atomic(_), ItemTypeIr::AnyAtomic) => true,
+        (Item::Atomic(v), ItemTypeIr::Atomic(t)) => atomic_matches(v, *t),
+        _ => false,
+    }
+}
+
+/// Dynamic-type/target compatibility, honouring the XDM derivation
+/// `xs:integer` ⊆ `xs:decimal`.
+fn atomic_matches(v: &AtomicValue, t: CastTarget) -> bool {
+    matches!(
+        (v.atomic_type(), t),
+        (AtomicType::String, CastTarget::String)
+            | (AtomicType::Untyped, CastTarget::Untyped)
+            | (AtomicType::Boolean, CastTarget::Boolean)
+            | (AtomicType::Integer, CastTarget::Integer | CastTarget::Decimal)
+            | (AtomicType::Decimal, CastTarget::Decimal)
+            | (AtomicType::Double, CastTarget::Double)
+            | (AtomicType::DateTime, CastTarget::DateTime)
+            | (AtomicType::Date, CastTarget::Date)
+    )
+}
+
+/// The XQuery *function conversion rules*, applied to arguments and
+/// return values of user functions with declared types:
+/// 1. if the expected item type is atomic, atomize;
+/// 2. cast `xs:untypedAtomic` items to the expected type;
+/// 3. promote numerics (`integer → decimal → double`);
+/// 4. check the final sequence against the type.
+pub fn function_conversion(seq: Sequence, ty: &SeqTypeIr, what: &str) -> EngineResult<Sequence> {
+    let expects_atomic = matches!(ty.item, ItemTypeIr::Atomic(_) | ItemTypeIr::AnyAtomic);
+    let converted: Sequence = if expects_atomic {
+        let target = match ty.item {
+            ItemTypeIr::Atomic(t) => Some(t),
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(seq.len());
+        for item in &seq {
+            let v = item.atomize();
+            let v = match (&v, target) {
+                (AtomicValue::Untyped(_), Some(t)) => cast_atomic(&v, t)?,
+                (AtomicValue::Integer(_), Some(CastTarget::Double)) => {
+                    cast_atomic(&v, CastTarget::Double)?
+                }
+                (AtomicValue::Integer(_), Some(CastTarget::Decimal)) => v,
+                (AtomicValue::Decimal(_), Some(CastTarget::Double)) => {
+                    cast_atomic(&v, CastTarget::Double)?
+                }
+                _ => v,
+            };
+            out.push(Item::Atomic(v));
+        }
+        out
+    } else {
+        seq
+    };
+    if matches_seq_type(&converted, ty) {
+        Ok(converted)
+    } else {
+        Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: value does not match declared type"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_xdm::{DocumentBuilder, QName};
+
+    fn st(item: ItemTypeIr, occurrence: OccurrenceIr) -> SeqTypeIr {
+        SeqTypeIr { item, occurrence }
+    }
+
+    fn element(name: &str) -> Item {
+        let mut b = DocumentBuilder::new();
+        b.start_element(QName::local(name)).end_element();
+        Item::Node(b.finish().root().children().next().unwrap())
+    }
+
+    #[test]
+    fn occurrence_checks() {
+        let one = st(ItemTypeIr::AnyItem, OccurrenceIr::One);
+        assert!(matches_seq_type(&[Item::from(1i64)], &one));
+        assert!(!matches_seq_type(&[], &one));
+        let star = st(ItemTypeIr::AnyItem, OccurrenceIr::ZeroOrMore);
+        assert!(matches_seq_type(&[], &star));
+        let plus = st(ItemTypeIr::AnyItem, OccurrenceIr::OneOrMore);
+        assert!(!matches_seq_type(&[], &plus));
+        let opt = st(ItemTypeIr::AnyItem, OccurrenceIr::Optional);
+        assert!(!matches_seq_type(&[Item::from(1i64), Item::from(2i64)], &opt));
+    }
+
+    #[test]
+    fn node_kind_tests() {
+        let el = element("book");
+        assert!(matches_item_type(&el, &ItemTypeIr::AnyNode));
+        assert!(matches_item_type(&el, &ItemTypeIr::Element(None)));
+        assert!(matches_item_type(&el, &ItemTypeIr::Element(Some(QName::local("book")))));
+        assert!(!matches_item_type(&el, &ItemTypeIr::Element(Some(QName::local("sale")))));
+        assert!(!matches_item_type(&el, &ItemTypeIr::Attribute(None)));
+        assert!(!matches_item_type(&Item::from(1i64), &ItemTypeIr::AnyNode));
+    }
+
+    #[test]
+    fn integer_is_a_decimal() {
+        let i = Item::from(5i64);
+        assert!(matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Integer)));
+        assert!(matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Decimal)));
+        assert!(!matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Double)));
+        assert!(matches_item_type(&i, &ItemTypeIr::AnyAtomic));
+    }
+
+    #[test]
+    fn empty_sequence_type() {
+        let ty = st(ItemTypeIr::EmptySequence, OccurrenceIr::One);
+        assert!(matches_seq_type(&[], &ty));
+        assert!(!matches_seq_type(&[Item::from(1i64)], &ty));
+    }
+
+    #[test]
+    fn conversion_casts_untyped_and_promotes() {
+        let ty = st(ItemTypeIr::Atomic(CastTarget::Double), OccurrenceIr::One);
+        let out =
+            function_conversion(vec![Item::Atomic(AtomicValue::untyped("2.5"))], &ty, "t").unwrap();
+        assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(d)) if d == 2.5));
+        // integer promoted to double
+        let out = function_conversion(vec![Item::from(2i64)], &ty, "t").unwrap();
+        assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(_))));
+        // node atomized then cast
+        let el = {
+            let mut b = DocumentBuilder::new();
+            b.start_element(QName::local("price")).text("9.5").end_element();
+            Item::Node(b.finish().root().children().next().unwrap())
+        };
+        let out = function_conversion(vec![el], &ty, "t").unwrap();
+        assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(d)) if d == 9.5));
+    }
+
+    #[test]
+    fn conversion_failures() {
+        let ty = st(ItemTypeIr::Atomic(CastTarget::Integer), OccurrenceIr::One);
+        assert!(function_conversion(vec![], &ty, "t").is_err(), "cardinality");
+        assert!(
+            function_conversion(vec![Item::from("abc")], &ty, "t").is_err(),
+            "string is not an integer (no implicit cast for typed values)"
+        );
+        let ok = function_conversion(vec![Item::Atomic(AtomicValue::untyped("7"))], &ty, "t");
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn node_types_pass_through_conversion() {
+        let ty = st(ItemTypeIr::Element(None), OccurrenceIr::ZeroOrMore);
+        let out = function_conversion(vec![element("c")], &ty, "t").unwrap();
+        assert!(matches!(out[0], Item::Node(_)));
+    }
+}

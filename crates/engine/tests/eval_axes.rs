@@ -1,0 +1,143 @@
+//! Focused coverage of axis/node-test combinations and positional
+//! semantics, including reverse axes and non-element node kinds.
+
+use xqa_engine::{DynamicContext, Engine};
+use xqa_xmlparse::{parse_document, serialize_sequence};
+
+const DOC: &str = r#"<library>
+  <shelf id="s1">
+    <!--fiction-->
+    <book id="b1"><title>A</title><?note keep?></book>
+    <book id="b2"><title>B</title></book>
+    <book id="b3"><title>C</title></book>
+  </shelf>
+  <shelf id="s2">
+    <book id="b4"><title>D</title></book>
+  </shelf>
+</library>"#;
+
+fn run(query: &str) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let doc = parse_document(DOC).expect("well-formed");
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    serialize_sequence(&compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}")))
+}
+
+#[test]
+fn reverse_axis_positions_count_from_near_end() {
+    // preceding-sibling::book[1] is the *nearest* preceding book.
+    assert_eq!(
+        run("string(//book[@id = \"b3\"]/preceding-sibling::book[1]/@id)"),
+        "b2"
+    );
+    assert_eq!(
+        run("string(//book[@id = \"b3\"]/preceding-sibling::book[2]/@id)"),
+        "b1"
+    );
+    // ancestor::*[1] is the parent.
+    assert_eq!(run("string((//title)[1]/ancestor::*[1]/@id)"), "b1");
+    assert_eq!(run("name((//title)[1]/ancestor::*[2])"), "shelf");
+}
+
+#[test]
+fn following_sibling_positions_count_forward() {
+    assert_eq!(
+        run("string(//book[@id = \"b1\"]/following-sibling::book[1]/@id)"),
+        "b2"
+    );
+    assert_eq!(run("count(//book[@id = \"b1\"]/following-sibling::*)"), "2");
+}
+
+#[test]
+fn comment_and_pi_kind_tests() {
+    assert_eq!(run("string(//shelf[1]/comment())"), "fiction");
+    assert_eq!(run("count(//comment())"), "1");
+    assert_eq!(run("string(//book[1]/processing-instruction())"), "keep");
+    assert_eq!(run("count(//processing-instruction(note))"), "1");
+    assert_eq!(run("count(//processing-instruction(other))"), "0");
+}
+
+#[test]
+fn text_kind_test_and_wildcards() {
+    assert_eq!(run("string((//title/text())[1])"), "A");
+    assert_eq!(run("count(//book/@*)"), "4");
+    assert_eq!(run("count(//shelf/*)"), "4", "elements only; comment excluded");
+    assert_eq!(run("count(//shelf/node())"), "5", "node() includes the comment");
+}
+
+#[test]
+fn element_and_attribute_tests_with_names() {
+    assert_eq!(run("count(//element(book))"), "4");
+    assert_eq!(run("count(//shelf[1]/element())"), "3");
+    assert_eq!(run("count(//book/attribute(id))"), "4");
+    assert_eq!(run("count(/document-node())"), "0", "document node has no document child");
+    assert_eq!(run("count(//book[@id eq \"b2\"])"), "1");
+}
+
+#[test]
+fn ancestor_or_self_and_self_tests() {
+    // title + book + shelf + library (self is an element too)
+    assert_eq!(run("count((//title)[1]/ancestor-or-self::*)"), "4");
+    assert_eq!(run("name((//title)[1]/ancestor-or-self::*[3])"), "shelf");
+    assert_eq!(run("name((//title)[1]/ancestor-or-self::*[4])"), "library");
+    assert_eq!(run("count(//book/self::shelf)"), "0");
+}
+
+#[test]
+fn descendant_vs_descendant_or_self() {
+    assert_eq!(run("count(//shelf[1]/descendant::*)"), "6", "3 books + 3 titles");
+    assert_eq!(run("count(//shelf[1]/descendant-or-self::*)"), "7");
+}
+
+#[test]
+fn union_across_axes_in_document_order() {
+    let out = run(
+        "for $n in (//book[@id = \"b2\"]/following-sibling::book \
+                    | //book[@id = \"b2\"]/preceding-sibling::book) \
+         return string($n/@id)",
+    );
+    assert_eq!(out, "b1 b3");
+}
+
+#[test]
+fn positional_predicates_on_expression_steps() {
+    // Filter applies per context item on expression steps.
+    assert_eq!(run("//shelf/(book/title)[1]/string()"), "A D");
+    // vs. filtering the whole result
+    assert_eq!(run("string((//shelf/book/title)[1])"), "A");
+}
+
+#[test]
+fn last_in_reverse_axis_predicates() {
+    // last() inside a reverse-axis predicate: the farthest node.
+    assert_eq!(
+        run("string(//book[@id = \"b3\"]/preceding-sibling::book[last()]/@id)"),
+        "b1"
+    );
+}
+
+#[test]
+fn parent_of_attribute_is_owner_element() {
+    assert_eq!(run("name((//@id)[2]/..)"), "book");
+    assert_eq!(run("count(//@id/ancestor::library)"), "1");
+}
+
+#[test]
+fn path_over_constructed_trees() {
+    // Paths navigate freshly constructed nodes too.
+    assert_eq!(
+        run("let $t := <a><b><c>1</c></b><b><c>2</c></b></a> \
+             return sum($t/b/c)"),
+        "3"
+    );
+    assert_eq!(
+        run("let $t := <a><b/><b/></a> return count($t//b)"),
+        "2"
+    );
+    assert_eq!(
+        run("let $t := <a x=\"9\"/> return string($t/@x)"),
+        "9"
+    );
+}

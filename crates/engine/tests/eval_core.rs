@@ -1,0 +1,449 @@
+//! End-to-end evaluation tests: core language (no grouping).
+
+use xqa_engine::{DynamicContext, Engine};
+use xqa_xdm::ErrorCode;
+use xqa_xmlparse::{parse_document, serialize_sequence};
+
+/// Run a query against an XML document, serializing the result.
+fn run_xml(query: &str, xml: &str) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let doc = parse_document(xml).expect("well-formed test document");
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    serialize_sequence(&result)
+}
+
+/// Run a query with no input document.
+fn run(query: &str) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let ctx = DynamicContext::new();
+    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    serialize_sequence(&result)
+}
+
+/// Expect a dynamic or static error and return its code.
+fn run_err(query: &str) -> ErrorCode {
+    let engine = Engine::new();
+    match engine.compile(query) {
+        Err(e) => e.code(),
+        Ok(q) => {
+            let ctx = DynamicContext::new();
+            match q.run(&ctx) {
+                Err(e) => e.code(),
+                Ok(v) => panic!("expected error for {query:?}, got {v:?}"),
+            }
+        }
+    }
+}
+
+const BIB: &str = r#"
+<bib>
+  <book>
+    <title>Transaction Processing</title>
+    <author>Jim Gray</author>
+    <author>Andreas Reuter</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>65.00</price>
+    <discount>5.50</discount>
+  </book>
+  <book>
+    <title>Understanding the New SQL</title>
+    <author>Jim Melton</author>
+    <publisher>Morgan Kaufmann</publisher>
+    <year>1993</year>
+    <price>54.95</price>
+  </book>
+  <book>
+    <title>Understanding SQL and Java Together</title>
+    <author>Jim Melton</author>
+    <year>2000</year>
+    <price>49.95</price>
+  </book>
+</bib>"#;
+
+#[test]
+fn arithmetic_tower() {
+    assert_eq!(run("1 + 2"), "3");
+    assert_eq!(run("1 + 2.5"), "3.5");
+    assert_eq!(run("1 + 2.5e0"), "3.5");
+    assert_eq!(run("10 div 4"), "2.5");
+    assert_eq!(run("10 idiv 4"), "2");
+    assert_eq!(run("10 mod 4"), "2");
+    assert_eq!(run("-(3 - 5)"), "2");
+    assert_eq!(run("2 * 3 + 4"), "10");
+    assert_eq!(run("65.00 - 5.50"), "59.5");
+    assert_eq!(run("() + 1"), "");
+    assert_eq!(run_err("1 div 0"), ErrorCode::FOAR0001);
+    assert_eq!(run("1 div 0e0"), "INF");
+    assert_eq!(run_err("9223372036854775807 + 1"), ErrorCode::FOAR0002);
+}
+
+#[test]
+fn sequences_and_ranges() {
+    assert_eq!(run("(1, 2, 3)"), "1 2 3");
+    assert_eq!(run("1 to 4"), "1 2 3 4");
+    assert_eq!(run("4 to 1"), "");
+    assert_eq!(run("((1,2), (), (3))"), "1 2 3");
+    assert_eq!(run("count(1 to 100)"), "100");
+}
+
+#[test]
+fn comparisons_general_vs_value() {
+    assert_eq!(run("(1, 2) = (2, 3)"), "true");
+    assert_eq!(run("(1, 2) != (1, 2)"), "true"); // existential quirk
+    assert_eq!(run("1 eq 1"), "true");
+    assert_eq!(run(r#""abc" lt "abd""#), "true");
+    assert_eq!(run("() = 1"), "false");
+    assert_eq!(run("() eq 1"), "");
+    assert_eq!(run_err(r#"(1,2) eq 1"#), ErrorCode::XPTY0004);
+}
+
+#[test]
+fn logic_and_conditionals() {
+    assert_eq!(run("true() and false()"), "false");
+    assert_eq!(run("true() or false()"), "true");
+    assert_eq!(run("if (1 < 2) then \"yes\" else \"no\""), "yes");
+    assert_eq!(run("not(())"), "true");
+    // short circuit: rhs would error
+    assert_eq!(run("false() and (1 div 0 = 1)"), "false");
+    assert_eq!(run("true() or (1 div 0 = 1)"), "true");
+}
+
+#[test]
+fn quantified_expressions() {
+    assert_eq!(run("some $x in (1, 2, 3) satisfies $x = 2"), "true");
+    assert_eq!(run("every $x in (1, 2, 3) satisfies $x < 4"), "true");
+    assert_eq!(run("every $x in (1, 2, 3) satisfies $x < 3"), "false");
+    assert_eq!(run("some $x in () satisfies true()"), "false");
+    assert_eq!(run("every $x in () satisfies false()"), "true");
+    assert_eq!(
+        run("some $x in (1,2), $y in (2,3) satisfies $x = $y"),
+        "true"
+    );
+}
+
+#[test]
+fn paths_and_predicates() {
+    assert_eq!(run_xml("count(//book)", BIB), "3");
+    assert_eq!(run_xml("count(//author)", BIB), "4");
+    assert_eq!(run_xml("string(//book[1]/title)", BIB), "Transaction Processing");
+    assert_eq!(run_xml("string(//book[3]/title)", BIB), "Understanding SQL and Java Together");
+    assert_eq!(run_xml("count(//book[publisher])", BIB), "2");
+    assert_eq!(
+        run_xml(r#"string(//book[author = "Jim Gray"]/price)"#, BIB),
+        "65.00"
+    );
+    assert_eq!(run_xml("count(//book[price > 50])", BIB), "2");
+    assert_eq!(run_xml("count(/bib/book)", BIB), "3");
+    assert_eq!(run_xml("count(/book)", BIB), "0");
+}
+
+#[test]
+fn path_atomization_and_arithmetic_steps() {
+    // Parenthesized arithmetic step from Q3
+    // Only book 1 has a discount; for the others `price - discount`
+    // is empty (arithmetic with an empty operand yields empty).
+    assert_eq!(run_xml("sum(//book/(price - discount))", BIB), "59.5");
+    // function call step
+    assert_eq!(run_xml("//book/string-length(title)", BIB), "22 25 35");
+}
+
+#[test]
+fn axes() {
+    assert_eq!(run_xml("string((//author)[1]/..//title)", BIB), "Transaction Processing");
+    assert_eq!(run_xml("count(//book/child::*)", BIB), "16");
+    assert_eq!(run_xml("count(//title/following-sibling::author)", BIB), "4");
+    assert_eq!(run_xml("count(//price/preceding-sibling::title)", BIB), "3");
+    assert_eq!(run_xml("count(//author/ancestor::bib)", BIB), "1");
+    assert_eq!(run_xml("count(//book/self::book)", BIB), "3");
+    assert_eq!(run_xml("count(//book/descendant-or-self::node())", BIB), "35");
+}
+
+#[test]
+fn attributes_axis() {
+    let xml = r#"<sales><sale id="s1" region="West"/><sale id="s2" region="East"/></sales>"#;
+    assert_eq!(run_xml("string(//sale[1]/@region)", xml), "West");
+    assert_eq!(run_xml("count(//sale/@*)", xml), "4");
+    assert_eq!(run_xml(r#"count(//sale[@region = "East"])"#, xml), "1");
+    assert_eq!(run_xml("string(//sale[2]/attribute::id)", xml), "s2");
+}
+
+#[test]
+fn document_order_and_dedup() {
+    // Union dedups and sorts in document order.
+    assert_eq!(
+        run_xml("count(//book[1] | //book | //book[2])", BIB),
+        "3"
+    );
+    let titles = run_xml("for $t in (//book[2]/title | //book[1]/title) return string($t)", BIB);
+    assert_eq!(titles, "Transaction Processing Understanding the New SQL");
+    assert_eq!(run_xml("count(//book intersect //book[2])", BIB), "1");
+    assert_eq!(run_xml("count(//book except //book[2])", BIB), "2");
+}
+
+#[test]
+fn node_comparisons() {
+    assert_eq!(run_xml("//book[1] is //book[1]", BIB), "true");
+    assert_eq!(run_xml("//book[1] is //book[2]", BIB), "false");
+    assert_eq!(run_xml("//book[1] << //book[2]", BIB), "true");
+    assert_eq!(run_xml("//book[2] >> //book[1]", BIB), "true");
+    assert_eq!(run_xml("() is //book[1]", BIB), "");
+    // constructed copies have fresh identities
+    assert_eq!(run("let $a := <x/> return $a is $a"), "true");
+    assert_eq!(run("<x/> is <x/>"), "false");
+}
+
+#[test]
+fn flwor_basics() {
+    assert_eq!(run("for $x in (1, 2, 3) return $x * 10"), "10 20 30");
+    assert_eq!(run("for $x in (1, 2, 3) where $x > 1 return $x"), "2 3");
+    assert_eq!(run("for $x at $i in (\"a\", \"b\") return ($i, $x)"), "1 a 2 b");
+    assert_eq!(run("let $x := (1, 2) return count($x)"), "2");
+    assert_eq!(
+        run("for $x in (1, 2), $y in (10, 20) return $x + $y"),
+        "11 21 12 22"
+    );
+}
+
+#[test]
+fn flwor_order_by() {
+    assert_eq!(run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+    assert_eq!(run("for $x in (3, 1, 2) order by $x descending return $x"), "3 2 1");
+    // sequences flatten before binding: six items total
+    assert_eq!(
+        run("for $p in ((1, 2), (2, 1), (1, 1)) for $x in $p order by $x return $x"),
+        "1 1 1 1 2 2"
+    );
+    // empty least default
+    assert_eq!(
+        run("for $x in (2, (), 1) order by $x return if (empty($x)) then \"E\" else $x"),
+        // () binds per item... a for over (2,(),1) has only 2 items; use let trick instead
+        "1 2"
+    );
+}
+
+#[test]
+fn order_by_empty_handling() {
+    let q = |modifier: &str| {
+        format!(
+            "for $b in (<r><k>2</k></r>, <r/>, <r><k>1</k></r>) \
+             order by $b/k {modifier} \
+             return if ($b/k) then string($b/k) else \"E\""
+        )
+    };
+    assert_eq!(run(&q("")), "E 1 2", "default empty least");
+    assert_eq!(run(&q("empty greatest")), "1 2 E");
+    assert_eq!(run(&q("descending")), "2 1 E");
+    assert_eq!(run(&q("descending empty greatest")), "E 2 1");
+}
+
+#[test]
+fn order_by_untyped_compares_as_string() {
+    let q = "for $b in (<v>10</v>, <v>9</v>) order by $b return string($b)";
+    assert_eq!(run(q), "10 9", "string order: \"10\" < \"9\"");
+    let qn = "for $b in (<v>10</v>, <v>9</v>) order by number($b) return string($b)";
+    assert_eq!(run(qn), "9 10", "numeric order");
+}
+
+#[test]
+fn order_by_is_stable() {
+    let q = "for $p in ((1, \"a\"), (1, \"b\")) return () ,
+             for $x at $i in (\"c\", \"a\", \"b\") order by 1 return $x";
+    // constant key: binding order preserved
+    assert_eq!(run(q), "c a b");
+}
+
+#[test]
+fn return_at_output_numbering() {
+    // §4: output ordinal after order by
+    assert_eq!(
+        run("for $x in (30, 10, 20) order by $x descending return at $r ($r * 100 + $x)"),
+        "130 220 310"
+    );
+    // contrast with input positional variable
+    assert_eq!(
+        run("for $x at $i in (30, 10, 20) order by $x return ($i, $x)"),
+        "2 10 3 20 1 30"
+    );
+    // top-k filtering requires at on return + predicate... use where on a second flwor
+    assert_eq!(
+        run("for $r in (for $x in (5, 9, 1, 7) order by $x descending return at $rank \
+             (if ($rank <= 2) then $x else ())) return $r"),
+        "9 7"
+    );
+}
+
+#[test]
+fn constructors_direct() {
+    assert_eq!(run("<a/>"), "<a/>");
+    assert_eq!(run("<a>text</a>"), "<a>text</a>");
+    assert_eq!(run("<a b=\"1\">x</a>"), "<a b=\"1\">x</a>");
+    assert_eq!(run("<a>{1 + 1}</a>"), "<a>2</a>");
+    assert_eq!(run("<a>{1, 2, 3}</a>"), "<a>1 2 3</a>");
+    assert_eq!(run("<a>x{1}y</a>"), "<a>x1y</a>");
+    assert_eq!(run("<a><b>{2}</b><c/></a>"), "<a><b>2</b><c/></a>");
+    // attribute value templates
+    assert_eq!(run("let $y := 2004 return <r year=\"{$y}\"/>"), "<r year=\"2004\"/>");
+    assert_eq!(run("let $y := (1,2) return <r v=\"{$y}!\"/>"), "<r v=\"1 2!\"/>");
+}
+
+#[test]
+fn constructors_copy_nodes() {
+    assert_eq!(
+        run_xml("<list>{//book[3]/title}</list>", BIB),
+        "<list><title>Understanding SQL and Java Together</title></list>"
+    );
+    // copied nodes have new identity
+    assert_eq!(run_xml("let $c := <w>{//book[1]/year}</w> return $c/year is //book[1]/year", BIB), "false");
+}
+
+#[test]
+fn constructors_computed() {
+    assert_eq!(run("element result { 1 + 1 }"), "<result>2</result>");
+    assert_eq!(
+        run("element r { attribute year { 2004 }, \"x\" }"),
+        "<r year=\"2004\">x</r>"
+    );
+    assert_eq!(run("text { \"hello\" }"), "hello");
+    assert_eq!(run("<!--note-->"), "<!--note-->");
+    assert_eq!(run("<?app data?>"), "<?app data?>");
+}
+
+#[test]
+fn builtin_functions_e2e() {
+    // prices atomize as untyped -> aggregate in the double space
+    assert_eq!(run_xml("avg(//book/price)", BIB), "56.63333333333333");
+    assert_eq!(run_xml("max(//book/price)", BIB), "65");
+    assert_eq!(run_xml("min(//book/year)", BIB), "1993");
+    assert_eq!(run_xml("count(distinct-values(//book/year))", BIB), "2");
+    assert_eq!(run_xml("count(distinct-values(//book/publisher))", BIB), "1");
+    assert_eq!(run_xml("string-join(for $b in //book return string($b/year), \",\")", BIB), "1993,1993,2000");
+    assert_eq!(run_xml("exists(//book[4])", BIB), "false");
+    assert_eq!(run_xml("deep-equal(//book[1]/author, //book[1]/author)", BIB), "true");
+    assert_eq!(run_xml("deep-equal(//book[1]/author, //book[2]/author)", BIB), "false");
+}
+
+#[test]
+fn datetime_functions_e2e() {
+    let xml = r#"<s><sale><timestamp>2004-01-31T11:32:07</timestamp></sale></s>"#;
+    assert_eq!(run_xml("//sale/year-from-dateTime(timestamp)", xml), "2004");
+    assert_eq!(run_xml("//sale/month-from-dateTime(timestamp)", xml), "1");
+    assert_eq!(
+        run_xml("year-from-dateTime(xs:dateTime(string(//timestamp)))", xml),
+        "2004"
+    );
+}
+
+#[test]
+fn user_functions() {
+    assert_eq!(
+        run("declare function local:fact($n as xs:integer) as xs:integer \
+             { if ($n le 1) then 1 else $n * local:fact($n - 1) }; \
+             local:fact(6)"),
+        "720"
+    );
+    assert_eq!(
+        run("declare function local:add($a, $b) { $a + $b }; local:add(2, 3)"),
+        "5"
+    );
+    // untyped argument cast via function conversion
+    assert_eq!(
+        run("declare function local:double($n as xs:double) { $n * 2 }; \
+             local:double(<v>2.5</v>)"),
+        "5"
+    );
+    assert_eq!(
+        run_err("declare function local:inf($n) { local:inf($n) }; local:inf(1)"),
+        ErrorCode::Other
+    );
+}
+
+#[test]
+fn global_variables() {
+    assert_eq!(run("declare variable $base := 10; $base + 5"), "15");
+    assert_eq!(
+        run("declare variable $a := 2; declare variable $b := $a * 3; $b"),
+        "6"
+    );
+}
+
+#[test]
+fn position_and_last_in_predicates() {
+    assert_eq!(run_xml("string(//book[position() = 2]/title)", BIB), "Understanding the New SQL");
+    assert_eq!(run_xml("string(//book[last()]/year)", BIB), "2000");
+    assert_eq!(run_xml("count(//book[position() le 2])", BIB), "2");
+}
+
+#[test]
+fn filter_expressions() {
+    assert_eq!(run("(11 to 20)[3]"), "13");
+    assert_eq!(run("(1 to 10)[. mod 2 = 0]"), "2 4 6 8 10");
+    assert_eq!(run("let $s := (\"a\", \"b\", \"c\") return $s[2]"), "b");
+    assert_eq!(run("(1 to 5)[. > 2][2]"), "4");
+}
+
+#[test]
+fn casts_and_instance_of() {
+    assert_eq!(run("\"42\" cast as xs:integer"), "42");
+    assert_eq!(run("() cast as xs:integer?"), "");
+    assert_eq!(run("5 instance of xs:integer"), "true");
+    assert_eq!(run("5 instance of xs:decimal"), "true");
+    assert_eq!(run("5.0 instance of xs:integer"), "false");
+    assert_eq!(run("(1, 2) instance of xs:integer+"), "true");
+    assert_eq!(run("() instance of empty-sequence()"), "true");
+    assert_eq!(run("<a/> instance of element(a)"), "true");
+    assert_eq!(run("<a/> instance of element(b)"), "false");
+    assert_eq!(run_err("() cast as xs:integer"), ErrorCode::XPTY0004);
+}
+
+#[test]
+fn string_value_of_complex_content() {
+    assert_eq!(run("string(<p>one <b>two</b> three</p>)"), "one two three");
+}
+
+#[test]
+fn errors_have_codes() {
+    assert_eq!(run_err("$undefined"), ErrorCode::XPST0008);
+    assert_eq!(run_err("nonexistent-fn()"), ErrorCode::XPST0017);
+    assert_eq!(run_err("sum((1, \"a\"))"), ErrorCode::FORG0006);
+    assert_eq!(run_err("error(\"x\", \"boom\")"), ErrorCode::FOER0000);
+}
+
+#[test]
+fn doc_and_collection() {
+    let engine = Engine::new();
+    let d1 = parse_document("<a><v>1</v></a>").unwrap();
+    let d2 = parse_document("<a><v>2</v></a>").unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.register_document("one.xml", &d1);
+    ctx.register_collection("all", vec![d1.root(), d2.root()]);
+    ctx.set_default_collection(vec![d2.root()]);
+    let q = engine.compile("sum(doc(\"one.xml\")//v)").unwrap();
+    assert_eq!(serialize_sequence(&q.run(&ctx).unwrap()), "1");
+    let q = engine.compile("sum(collection(\"all\")//v)").unwrap();
+    assert_eq!(serialize_sequence(&q.run(&ctx).unwrap()), "3");
+    let q = engine.compile("sum(collection()//v)").unwrap();
+    assert_eq!(serialize_sequence(&q.run(&ctx).unwrap()), "2");
+    let q = engine.compile("doc(\"missing.xml\")").unwrap();
+    assert!(q.run(&ctx).is_err());
+}
+
+#[test]
+fn stats_count_work() {
+    let engine = Engine::new();
+    let doc = parse_document(BIB).unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    let q = engine.compile("count(//book)").unwrap();
+    q.run(&ctx).unwrap();
+    assert!(ctx.stats.nodes_visited.get() > 0);
+    ctx.stats.reset();
+    let q = engine.compile("for $b in //book group by $b/year into $y return $y").unwrap();
+    q.run(&ctx).unwrap();
+    assert_eq!(ctx.stats.tuples_grouped.get(), 3);
+    assert_eq!(ctx.stats.groups_emitted.get(), 2);
+}

@@ -1,0 +1,128 @@
+//! Tests for features beyond the paper's minimum: `castable as`,
+//! context instants, diagnostics, codepoint utilities, and the `xqa:`
+//! windowed-aggregation extensions.
+
+use xqa_engine::{DynamicContext, Engine};
+use xqa_xmlparse::{parse_document, serialize_sequence};
+
+fn run(query: &str) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let doc = parse_document("<empty/>").unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    serialize_sequence(&result)
+}
+
+#[test]
+fn castable_as() {
+    assert_eq!(run("\"42\" castable as xs:integer"), "true");
+    assert_eq!(run("\"abc\" castable as xs:integer"), "false");
+    assert_eq!(run("\"2004-01-31\" castable as xs:date"), "true");
+    assert_eq!(run("\"2004-13-31\" castable as xs:date"), "false");
+    assert_eq!(run("() castable as xs:integer"), "false");
+    assert_eq!(run("() castable as xs:integer?"), "true");
+    assert_eq!(run("(1, 2) castable as xs:integer"), "false");
+    // combined with conditional logic, the idiomatic validation pattern
+    assert_eq!(
+        run("for $v in (\"5\", \"x\", \"7\") \
+             return if ($v castable as xs:integer) \
+                    then xs:integer($v) else ()"),
+        "5 7"
+    );
+}
+
+#[test]
+fn current_datetime_is_fixed_and_stable() {
+    // Deterministic default, stable within a query.
+    assert_eq!(run("current-dateTime()"), "2005-06-14T09:00:00Z");
+    assert_eq!(run("current-date()"), "2005-06-14Z");
+    assert_eq!(run("current-dateTime() eq current-dateTime()"), "true");
+    assert_eq!(run("year-from-dateTime(current-dateTime())"), "2005");
+}
+
+#[test]
+fn current_datetime_override() {
+    let engine = Engine::new();
+    let doc = parse_document("<x/>").unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    ctx.set_current_datetime(xqa_xdm::DateTime::parse("1999-12-31T23:59:59Z").unwrap());
+    let q = engine.compile("string(current-dateTime())").unwrap();
+    assert_eq!(q.run(&ctx).unwrap()[0].string_value(), "1999-12-31T23:59:59Z");
+}
+
+#[test]
+fn trace_passes_value_through() {
+    assert_eq!(run("trace((1, 2, 3), \"label\")"), "1 2 3");
+}
+
+#[test]
+fn compare_function() {
+    assert_eq!(run("compare(\"a\", \"b\")"), "-1");
+    assert_eq!(run("compare(\"b\", \"a\")"), "1");
+    assert_eq!(run("compare(\"a\", \"a\")"), "0");
+    assert_eq!(run("compare((), \"a\")"), "");
+}
+
+#[test]
+fn codepoint_functions() {
+    assert_eq!(run("string-to-codepoints(\"AB\")"), "65 66");
+    assert_eq!(run("codepoints-to-string((104, 105))"), "hi");
+    assert_eq!(run("codepoints-to-string(string-to-codepoints(\"round trip\"))"), "round trip");
+    assert_eq!(run("string-to-codepoints(\"\")"), "");
+}
+
+#[test]
+fn moving_sum_basic() {
+    assert_eq!(run("xqa:moving-sum((1, 2, 3, 4, 5), 2)"), "1 3 5 7 9");
+    assert_eq!(run("xqa:moving-sum((1, 2, 3), 10)"), "1 3 6");
+    assert_eq!(run("xqa:moving-sum((), 3)"), "");
+    assert_eq!(run("xqa:moving-sum((5), 1)"), "5");
+}
+
+#[test]
+fn moving_avg_basic() {
+    assert_eq!(run("xqa:moving-avg((2, 4, 6, 8), 2)"), "2 3 5 7");
+    assert_eq!(run("xqa:moving-avg((10, 20), 5)"), "10 15");
+}
+
+#[test]
+fn moving_window_errors() {
+    let engine = Engine::new();
+    let doc = parse_document("<x/>").unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    let q = engine.compile("xqa:moving-sum((1,2), 0)").unwrap();
+    assert!(q.run(&ctx).is_err(), "zero window");
+    let q = engine.compile("xqa:moving-sum((\"a\"), 2)").unwrap();
+    assert!(q.run(&ctx).is_err(), "non-numeric values");
+}
+
+#[test]
+fn moving_sum_equals_q8_style_window() {
+    // The O(n) extension must agree with the nested-iteration (paper
+    // Q8) formulation of "sum of this + previous 2 sales".
+    let q8 = run(
+        "let $vals := (3, 1, 4, 1, 5, 9, 2, 6) \
+         return for $v at $i in $vals \
+                return sum(for $w at $j in $vals \
+                           where $j > $i - 3 and $j <= $i return $w)",
+    );
+    let ext = run("xqa:moving-sum((3, 1, 4, 1, 5, 9, 2, 6), 3)");
+    assert_eq!(q8, ext);
+}
+
+#[test]
+fn moving_sum_over_ordered_nest() {
+    // The intended use: windowed totals over a `nest ... order by`.
+    let out = run(
+        "for $s in (<s><r>W</r><v>5</v></s>, <s><r>W</r><v>1</v></s>, <s><r>W</r><v>3</v></s>)
+         group by $s/r into $region
+         nest $s/v order by number($s/v) into $vs
+         return xqa:moving-sum($vs, 2)",
+    );
+    // sorted vs: 1 3 5 -> windows: 1, 4, 8
+    assert_eq!(out, "1 4 8");
+}

@@ -1,0 +1,711 @@
+//! Abstract syntax tree for the XQuery subset plus the SIGMOD'05
+//! extensions.
+//!
+//! The grammar implemented is the paper's extended FLWOR (§3.5):
+//!
+//! ```text
+//! FLWORExpr ::= (ForClause | LetClause)+ WhereClause?
+//!               (GroupByClause LetClause* WhereClause?)?
+//!               OrderByClause? ReturnClause
+//! GroupByClause ::= "group" "by"
+//!               Expr "into" "$" VarName ("using" QName)?
+//!               ("," Expr "into" "$" VarName ("using" QName)?)*
+//!               ("nest" Expr OrderByClause? "into" "$" VarName
+//!               ("," Expr OrderByClause? "into" "$" VarName)*)?
+//! ReturnClause ::= "return" ("at" "$" VarName)? Expr
+//! ```
+//!
+//! plus the XQuery 1.0 core needed to express every query in the paper:
+//! paths, predicates, constructors, quantified and conditional
+//! expressions, arithmetic/comparison/logic, and user function
+//! declarations.
+
+use std::fmt;
+
+/// A half-open byte range into the query source, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// The union of two spans.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// A lexical QName as written in the query (prefix not resolved).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name {
+    /// Optional prefix.
+    pub prefix: Option<String>,
+    /// Local part.
+    pub local: String,
+}
+
+impl Name {
+    /// Unprefixed name.
+    pub fn local(local: impl Into<String>) -> Name {
+        Name { prefix: None, local: local.into() }
+    }
+
+    /// Prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Name {
+        Name { prefix: Some(prefix.into()), local: local.into() }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// A complete query: prolog plus body expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Prolog declarations.
+    pub prolog: Prolog,
+    /// The query body.
+    pub body: Expr,
+}
+
+/// Prolog declarations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Prolog {
+    /// `declare ordering ordered|unordered` (§3.4.1 controls nesting order).
+    pub ordering: Option<OrderingMode>,
+    /// `declare function local:f(...) {...}` declarations.
+    pub functions: Vec<FunctionDecl>,
+    /// `declare variable $v := expr` declarations.
+    pub variables: Vec<VarDecl>,
+}
+
+/// The static ordering mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// Tuple/result order is significant (the default).
+    Ordered,
+    /// Order is implementation-defined.
+    Unordered,
+}
+
+/// A user function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Function name (e.g. `local:set-equal`).
+    pub name: Name,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Declared return type, if any.
+    pub return_type: Option<SequenceType>,
+    /// Function body.
+    pub body: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Variable name (without the `$`).
+    pub name: String,
+    /// Declared type, if any.
+    pub ty: Option<SequenceType>,
+}
+
+/// A prolog variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Variable name (without the `$`).
+    pub name: String,
+    /// Declared type, if any.
+    pub ty: Option<SequenceType>,
+    /// Initializer.
+    pub init: Expr,
+}
+
+/// A sequence type: item type plus occurrence indicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceType {
+    /// The item type.
+    pub item: ItemType,
+    /// How many items are allowed.
+    pub occurrence: Occurrence,
+}
+
+impl SequenceType {
+    /// `item()*` — anything.
+    pub fn any() -> SequenceType {
+        SequenceType { item: ItemType::AnyItem, occurrence: Occurrence::ZeroOrMore }
+    }
+}
+
+/// Item types in sequence-type syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItemType {
+    /// `item()`
+    AnyItem,
+    /// `node()`
+    AnyNode,
+    /// `element()` / `element(name)`
+    Element(Option<Name>),
+    /// `attribute()` / `attribute(name)`
+    Attribute(Option<Name>),
+    /// `document-node()`
+    Document,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()`
+    ProcessingInstruction,
+    /// A named atomic type, e.g. `xs:boolean`.
+    Atomic(Name),
+    /// `empty-sequence()`
+    EmptySequence,
+}
+
+/// Occurrence indicators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurrence {
+    /// Exactly one.
+    One,
+    /// `?` — zero or one.
+    Optional,
+    /// `*` — zero or more.
+    ZeroOrMore,
+    /// `+` — one or more.
+    OneOrMore,
+}
+
+/// An expression: kind plus source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression kind.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Construct an expression.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// String literal.
+    StringLit(String),
+    /// Integer literal.
+    IntegerLit(i64),
+    /// Decimal literal (kept lexically; engine parses to `Decimal`).
+    DecimalLit(String),
+    /// Double literal.
+    DoubleLit(f64),
+    /// `$name`
+    VarRef(String),
+    /// `.` — the context item.
+    ContextItem,
+    /// `()` or `(a, b, c)` — sequence construction.
+    Sequence(Vec<Expr>),
+    /// `a to b`
+    Range(Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Unary `+`/`-`.
+    Unary(UnaryOp, Box<Expr>),
+    /// General comparison (`=`, `!=`, `<`, ...) — existential.
+    GeneralComp(Comparison, Box<Expr>, Box<Expr>),
+    /// Value comparison (`eq`, `ne`, `lt`, ...).
+    ValueComp(Comparison, Box<Expr>, Box<Expr>),
+    /// Node comparison (`is`, `<<`, `>>`).
+    NodeComp(NodeComparison, Box<Expr>, Box<Expr>),
+    /// `and`
+    And(Box<Expr>, Box<Expr>),
+    /// `or`
+    Or(Box<Expr>, Box<Expr>),
+    /// Set operations on node sequences.
+    SetOp(SetOp, Box<Expr>, Box<Expr>),
+    /// `if (c) then t else e`
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch.
+        otherwise: Box<Expr>,
+    },
+    /// `some`/`every` `$v in e (, ...) satisfies p`
+    Quantified {
+        /// `some` or `every`.
+        kind: Quantifier,
+        /// The `in` bindings.
+        bindings: Vec<(String, Expr)>,
+        /// The `satisfies` predicate.
+        satisfies: Box<Expr>,
+    },
+    /// A FLWOR expression (with the paper's extensions).
+    Flwor(Box<Flwor>),
+    /// A path expression.
+    Path(Box<Path>),
+    /// `base[pred1][pred2]` applied to a non-step expression.
+    Filter {
+        /// The base expression.
+        base: Box<Expr>,
+        /// Predicates, applied left to right.
+        predicates: Vec<Expr>,
+    },
+    /// A (possibly user-defined) function call.
+    FunctionCall {
+        /// Function name.
+        name: Name,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Direct element constructor `<name attr="...">{...}</name>`.
+    DirectElement(Box<DirectElement>),
+    /// Direct comment constructor `<!-- ... -->`.
+    DirectComment(String),
+    /// Direct PI constructor `<?target data?>`.
+    DirectPi(String, String),
+    /// Computed element constructor `element name { content }`.
+    ComputedElement {
+        /// Element name.
+        name: Name,
+        /// Content expression (empty sequence if absent).
+        content: Option<Box<Expr>>,
+    },
+    /// Computed attribute constructor `attribute name { content }`.
+    ComputedAttribute {
+        /// Attribute name.
+        name: Name,
+        /// Value expression.
+        content: Option<Box<Expr>>,
+    },
+    /// Computed text constructor `text { content }`.
+    ComputedText(Option<Box<Expr>>),
+    /// `expr instance of SequenceType`
+    InstanceOf(Box<Expr>, SequenceType),
+    /// `expr cast as AtomicType?` (the `?` allows empty input).
+    CastAs(Box<Expr>, Name, bool),
+    /// `expr castable as AtomicType?` — true when the cast would succeed.
+    CastableAs(Box<Expr>, Name, bool),
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `idiv`
+    IDiv,
+    /// `mod`
+    Mod,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Plus,
+}
+
+/// Comparison operators (shared by general and value comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=` / `eq`
+    Eq,
+    /// `!=` / `ne`
+    Ne,
+    /// `<` / `lt`
+    Lt,
+    /// `<=` / `le`
+    Le,
+    /// `>` / `gt`
+    Gt,
+    /// `>=` / `ge`
+    Ge,
+}
+
+/// Node comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeComparison {
+    /// `is` — node identity.
+    Is,
+    /// `<<` — precedes in document order.
+    Precedes,
+    /// `>>` — follows in document order.
+    Follows,
+}
+
+/// Sequence set operators (node sequences only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `union` / `|`
+    Union,
+    /// `intersect`
+    Intersect,
+    /// `except`
+    Except,
+}
+
+/// Quantifier kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `some ... satisfies`
+    Some,
+    /// `every ... satisfies`
+    Every,
+}
+
+/// A FLWOR expression with the paper's extended clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flwor {
+    /// Interleaved `for`/`let` clauses (at least one).
+    pub clauses: Vec<InitialClause>,
+    /// Pre-grouping `where`.
+    pub where_clause: Option<Expr>,
+    /// The `group by` clause (§3).
+    pub group_by: Option<GroupByClause>,
+    /// `let` (and 3.0-style `count`) clauses after `group by`
+    /// (compute group properties, Q4).
+    pub post_group_clauses: Vec<PostGroupClause>,
+    /// `where` after `group by` (filter groups, Q4).
+    pub post_group_where: Option<Expr>,
+    /// The `order by` clause.
+    pub order_by: Option<OrderByClause>,
+    /// Output positional variable: `return at $rank` (§4).
+    pub return_at: Option<String>,
+    /// The `return` expression.
+    pub return_expr: Expr,
+}
+
+/// A clause allowed after `group by`: `let` or `count`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PostGroupClause {
+    /// `let $v := e`
+    Let(LetBinding),
+    /// `count $v`
+    Count(String),
+}
+
+/// A `for`, `let`, `count` or window clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InitialClause {
+    /// `for $v (at $i)? (as T)? in e, ...`
+    For(Vec<ForBinding>),
+    /// `let $v (as T)? := e, ...`
+    Let(Vec<LetBinding>),
+    /// `count $v` — binds the 1-based ordinal of each tuple at this
+    /// point in the pipeline (XQuery 3.0's descendant of the paper's
+    /// output-numbering proposal; unlike `return at $v` it numbers the
+    /// stream *before* any later `order by`).
+    Count(String),
+    /// `for tumbling|sliding window $w in E start ... end ...` —
+    /// XQuery 3.0 windows, the standardized form of the paper's
+    /// moving-window motivation (§3.4.1).
+    Window(Box<WindowClause>),
+}
+
+/// A window clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowClause {
+    /// `sliding` (overlapping) vs `tumbling` (disjoint).
+    pub sliding: bool,
+    /// The window variable (bound to the window's item sequence).
+    pub var: String,
+    /// The binding sequence.
+    pub expr: Expr,
+    /// The `start` condition.
+    pub start: WindowCondition,
+    /// The `end` condition (required for `sliding`).
+    pub end: Option<WindowCondition>,
+    /// `only end`: windows whose end condition never matches are
+    /// dropped instead of closing at the end of the sequence.
+    pub only_end: bool,
+}
+
+/// One window boundary condition: optional variables plus the `when`
+/// predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowCondition {
+    /// `$cur` — the boundary item.
+    pub item_var: Option<String>,
+    /// `at $p` — the boundary item's position in the binding sequence.
+    pub at_var: Option<String>,
+    /// `previous $p` — the item before the boundary (empty at the edge).
+    pub previous_var: Option<String>,
+    /// `next $n` — the item after the boundary (empty at the edge).
+    pub next_var: Option<String>,
+    /// The `when` predicate.
+    pub when: Expr,
+}
+
+/// One binding of a `for` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForBinding {
+    /// Bound variable (without `$`).
+    pub var: String,
+    /// Input positional variable (`at $i`).
+    pub at: Option<String>,
+    /// Declared type.
+    pub ty: Option<SequenceType>,
+    /// The binding sequence.
+    pub expr: Expr,
+}
+
+/// One binding of a `let` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LetBinding {
+    /// Bound variable (without `$`).
+    pub var: String,
+    /// Declared type.
+    pub ty: Option<SequenceType>,
+    /// The bound expression.
+    pub expr: Expr,
+}
+
+/// The `group by` clause (§3.1, §3.3, §3.4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByClause {
+    /// Grouping expressions and their output variables.
+    pub keys: Vec<GroupKey>,
+    /// Nesting expressions and their output variables.
+    pub nests: Vec<NestBinding>,
+}
+
+/// `Expr into $var (using QName)?`
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupKey {
+    /// The grouping expression (evaluated per input tuple).
+    pub expr: Expr,
+    /// The grouping variable bound in the output stream.
+    pub var: String,
+    /// Custom equality function (§3.3), e.g. `local:set-equal`.
+    pub using: Option<Name>,
+}
+
+/// `nest Expr (order by ...)? into $var`
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestBinding {
+    /// The nesting expression (evaluated per input tuple).
+    pub expr: Expr,
+    /// Optional per-nest ordering of the group's input tuples (§3.4.1).
+    pub order_by: Option<OrderByClause>,
+    /// The nesting variable bound in the output stream.
+    pub var: String,
+}
+
+/// An `order by` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByClause {
+    /// `stable order by` — preserve binding order among equal keys.
+    pub stable: bool,
+    /// Ordering keys, major first.
+    pub specs: Vec<OrderSpec>,
+}
+
+/// One ordering key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// The key expression.
+    pub expr: Expr,
+    /// `descending`?
+    pub descending: bool,
+    /// `empty greatest` / `empty least`.
+    pub empty: Option<EmptyOrder>,
+}
+
+/// Where empty keys sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyOrder {
+    /// `empty greatest`
+    Greatest,
+    /// `empty least`
+    Least,
+}
+
+/// A path expression, e.g. `//book/author[. = "Gray"]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Where the path starts.
+    pub start: PathStart,
+    /// The steps, left to right.
+    pub steps: Vec<Step>,
+}
+
+/// Path starting point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStart {
+    /// Relative path: starts at the context item.
+    Context,
+    /// `/...` — the root of the context node's tree.
+    Root,
+    /// `expr/...` — any primary expression.
+    Expr(Expr),
+}
+
+/// One path step: an axis step, or (per XPath 2.0) any expression
+/// evaluated once per context item — the paper uses both forms, e.g.
+/// `$region-sales/(quantity * price)` and
+/// `//sale/year-from-dateTime(timestamp)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `axis::test[preds]`
+    Axis(AxisStep),
+    /// `expr[preds]` evaluated with the context item bound.
+    Expr {
+        /// The step expression.
+        expr: Expr,
+        /// Predicates applied to the step's result per context item.
+        predicates: Vec<Expr>,
+    },
+}
+
+/// An axis step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisStep {
+    /// The axis.
+    pub axis: Axis,
+    /// The node test.
+    pub test: NodeTest,
+    /// Predicates (positional semantics; reverse axes count backwards).
+    pub predicates: Vec<Expr>,
+}
+
+/// Supported axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `child::` (the default).
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::` (what `//` desugars to).
+    DescendantOrSelf,
+    /// `attribute::` / `@`
+    Attribute,
+    /// `self::`
+    SelfAxis,
+    /// `parent::` / `..`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+}
+
+impl Axis {
+    /// True for axes that walk *up* or *backwards* (reverse axes):
+    /// positional predicates count from the far end on these.
+    pub fn is_reverse(&self) -> bool {
+        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+    }
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// A name test (`book`, `x:para`).
+    Name(Name),
+    /// `*`
+    Wildcard,
+    /// `node()`
+    AnyKind,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `processing-instruction()` (optionally with a target).
+    ProcessingInstruction(Option<String>),
+    /// `element()` / `element(name)`
+    Element(Option<Name>),
+    /// `attribute()` / `attribute(name)`
+    Attribute(Option<Name>),
+    /// `document-node()`
+    Document,
+}
+
+/// A direct element constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectElement {
+    /// Element name.
+    pub name: Name,
+    /// Attributes: name plus value template parts.
+    pub attributes: Vec<(Name, Vec<AttrPart>)>,
+    /// Content parts in document order.
+    pub content: Vec<ContentPart>,
+}
+
+/// One part of an attribute value template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrPart {
+    /// Literal text (entities already resolved).
+    Literal(String),
+    /// `{ expr }` — the expression's atomized, space-joined value.
+    Enclosed(Expr),
+}
+
+/// One part of element content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentPart {
+    /// Literal text (entities resolved; boundary whitespace stripped).
+    Literal(String),
+    /// `{ expr }` — evaluated and inserted per the construction rules.
+    Enclosed(Expr),
+    /// A nested direct constructor (element, comment or PI).
+    Child(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+    }
+
+    #[test]
+    fn name_display() {
+        assert_eq!(Name::local("book").to_string(), "book");
+        assert_eq!(Name::prefixed("local", "cube").to_string(), "local:cube");
+    }
+
+    #[test]
+    fn reverse_axes() {
+        assert!(Axis::Parent.is_reverse());
+        assert!(Axis::PrecedingSibling.is_reverse());
+        assert!(!Axis::Child.is_reverse());
+        assert!(!Axis::Descendant.is_reverse());
+    }
+}

@@ -1,0 +1,68 @@
+//! Syntax errors with line/column rendering.
+
+use std::fmt;
+
+/// A static (parse-time) error: W3C class `XPST0003` unless noted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+    /// Byte offset into the source.
+    pub offset: u32,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl SyntaxError {
+    /// Create an error at a byte offset, computing line/column from the
+    /// source text.
+    pub fn at(source: &str, offset: u32, message: impl Into<String>) -> SyntaxError {
+        let mut line = 1u32;
+        let mut column = 1u32;
+        for (i, c) in source.char_indices() {
+            if i as u32 >= offset {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        SyntaxError { line, column, offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+/// Result alias for the frontend.
+pub type SyntaxResult<T> = Result<T, SyntaxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_column_from_offset() {
+        let src = "for $b in //book\nreturn $b";
+        let e = SyntaxError::at(src, 17, "boom");
+        assert_eq!((e.line, e.column), (2, 1));
+        let e2 = SyntaxError::at(src, 4, "boom");
+        assert_eq!((e2.line, e2.column), (1, 5));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = SyntaxError::at("x", 0, "unexpected end");
+        assert_eq!(e.to_string(), "syntax error at 1:1: unexpected end");
+    }
+}

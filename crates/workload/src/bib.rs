@@ -1,0 +1,258 @@
+//! Bibliography workload — the paper's Sections 2–5 examples.
+//!
+//! Provides (a) the paper's *literal* example instances (for exact-value
+//! tests), and (b) a seeded generator producing arbitrarily large
+//! bibliographies with the same shape: 0–3 authors, 0/1 publisher,
+//! year, price, discount, and an optional ragged `<categories>` forest
+//! for the §5 rollup/cube queries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use xqa_xdm::{Document, DocumentBuilder, QName};
+
+const AUTHORS: [&str; 10] = [
+    "Jim Gray",
+    "Andreas Reuter",
+    "Jim Melton",
+    "Don Chamberlin",
+    "C. J. Date",
+    "Michael Stonebraker",
+    "Jennifer Widom",
+    "Hector Garcia-Molina",
+    "Jeffrey Ullman",
+    "Serge Abiteboul",
+];
+
+const PUBLISHERS: [&str; 5] =
+    ["Morgan Kaufmann", "Addison-Wesley", "Prentice Hall", "O'Reilly", "Springer"];
+
+const TITLE_HEADS: [&str; 6] =
+    ["Transaction", "Database", "Query", "Distributed", "Concurrent", "Declarative"];
+const TITLE_TAILS: [&str; 6] =
+    ["Processing", "Systems", "Optimization", "Foundations", "Readings", "Principles"];
+
+/// The category taxonomy used for `<categories>` forests: a small tree
+/// whose subtrees are sampled per book (ragged hierarchy, §5).
+const TAXONOMY: &[(&str, &[&str])] = &[
+    ("software", &["db", "os", "pl"]),
+    ("db", &["concurrency", "recovery", "query-processing"]),
+    ("hardware", &["cpu", "storage"]),
+    ("anthology", &[]),
+];
+
+/// Configuration for the bibliography generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BibConfig {
+    /// Number of books.
+    pub books: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that a book has a publisher (the paper's Q1/Q12 rely
+    /// on publisher-less books existing).
+    pub publisher_probability: f64,
+    /// Include the §5 `<categories>` forest.
+    pub with_categories: bool,
+}
+
+impl Default for BibConfig {
+    fn default() -> Self {
+        BibConfig { books: 1_000, seed: 42, publisher_probability: 0.9, with_categories: false }
+    }
+}
+
+fn q(s: &str) -> QName {
+    QName::local(s)
+}
+
+/// Generate a `<bib>` document.
+pub fn generate(cfg: &BibConfig) -> Rc<Document> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("bib"));
+    for i in 0..cfg.books {
+        write_book(&mut b, &mut rng, i, cfg);
+    }
+    b.end_element();
+    b.finish()
+}
+
+fn write_book(b: &mut DocumentBuilder, rng: &mut StdRng, index: usize, cfg: &BibConfig) {
+    b.start_element(q("book"));
+    let head = TITLE_HEADS[rng.gen_range(0..TITLE_HEADS.len())];
+    let tail = TITLE_TAILS[rng.gen_range(0..TITLE_TAILS.len())];
+    b.start_element(q("title"))
+        .text(&format!("{head} {tail} Vol. {}", index + 1))
+        .end_element();
+    // 0-3 authors; order matters for the §3.3 permutation semantics, so
+    // we sample *with order* from the pool.
+    let author_count = rng.gen_range(0..=3usize);
+    let mut chosen: Vec<&str> = Vec::new();
+    while chosen.len() < author_count {
+        let a = AUTHORS[rng.gen_range(0..AUTHORS.len())];
+        if !chosen.contains(&a) {
+            chosen.push(a);
+        }
+    }
+    for a in chosen {
+        b.start_element(q("author")).text(a).end_element();
+    }
+    if rng.gen_bool(cfg.publisher_probability) {
+        b.start_element(q("publisher"))
+            .text(PUBLISHERS[rng.gen_range(0..PUBLISHERS.len())])
+            .end_element();
+    }
+    b.start_element(q("year")).text(&rng.gen_range(1990..=2005).to_string()).end_element();
+    b.start_element(q("price"))
+        .text(&format!("{}.{:02}", rng.gen_range(15..130), [0, 25, 50, 75, 95][rng.gen_range(0..5)]))
+        .end_element();
+    b.start_element(q("discount"))
+        .text(&format!("{}.{:02}", rng.gen_range(0..10), rng.gen_range(0..100)))
+        .end_element();
+    if cfg.with_categories {
+        write_categories(b, rng);
+    }
+    b.end_element();
+}
+
+fn write_categories(b: &mut DocumentBuilder, rng: &mut StdRng) {
+    b.start_element(q("categories"));
+    // 1-2 top-level category trees.
+    let tops = rng.gen_range(1..=2usize);
+    for _ in 0..tops {
+        let (top, children) = TAXONOMY[rng.gen_range(0..TAXONOMY.len())];
+        b.start_element(q(top));
+        // Random subset of the second level; each child may get a
+        // third-level leaf from the taxonomy when one exists.
+        for &child in children.iter() {
+            if !rng.gen_bool(0.5) {
+                continue;
+            }
+            b.start_element(q(child));
+            if let Some((_, grandchildren)) = TAXONOMY.iter().find(|(n, _)| *n == child) {
+                for &gc in grandchildren.iter() {
+                    if rng.gen_bool(0.4) {
+                        b.start_element(q(gc)).end_element();
+                    }
+                }
+            }
+            b.end_element();
+        }
+        b.end_element();
+    }
+    b.end_element();
+}
+
+/// The paper's Section 2 example instance, verbatim shape.
+pub fn paper_example_book() -> Rc<Document> {
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("book"));
+    b.start_element(q("title")).text("Transaction Processing").end_element();
+    b.start_element(q("author")).text("Jim Gray").end_element();
+    b.start_element(q("author")).text("Andreas Reuter").end_element();
+    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("year")).text("1993").end_element();
+    b.start_element(q("price")).text("65.00").end_element();
+    b.start_element(q("discount")).text("5.50").end_element();
+    b.end_element();
+    b.finish()
+}
+
+/// The paper's Section 5 extended instances (with `<categories>`).
+pub fn paper_section5_bib() -> Rc<Document> {
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("bib"));
+    b.start_element(q("book"));
+    b.start_element(q("title")).text("Transaction Processing").end_element();
+    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("year")).text("1993").end_element();
+    b.start_element(q("price")).text("59.00").end_element();
+    b.start_element(q("categories"));
+    b.start_element(q("software"));
+    b.start_element(q("db"));
+    b.start_element(q("concurrency")).end_element();
+    b.end_element();
+    b.start_element(q("distributed")).end_element();
+    b.end_element();
+    b.end_element();
+    b.end_element();
+    b.start_element(q("book"));
+    b.start_element(q("title")).text("Readings in Database Systems").end_element();
+    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("year")).text("1998").end_element();
+    b.start_element(q("price")).text("65.00").end_element();
+    b.start_element(q("categories"));
+    b.start_element(q("software"));
+    b.start_element(q("db")).end_element();
+    b.end_element();
+    b.start_element(q("anthology")).end_element();
+    b.end_element();
+    b.end_element();
+    b.end_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_xmlparse::serialize_node;
+
+    #[test]
+    fn deterministic() {
+        let cfg = BibConfig { books: 30, ..Default::default() };
+        assert_eq!(
+            serialize_node(&generate(&cfg).root()),
+            serialize_node(&generate(&cfg).root())
+        );
+    }
+
+    #[test]
+    fn some_books_lack_publishers_and_authors() {
+        let cfg = BibConfig { books: 500, publisher_probability: 0.8, ..Default::default() };
+        let doc = generate(&cfg);
+        let bib = doc.root().children().next().unwrap();
+        let mut without_pub = 0;
+        let mut without_author = 0;
+        for book in bib.children() {
+            let names: Vec<String> = book
+                .children()
+                .filter_map(|c| c.name().map(|n| n.local_part().to_string()))
+                .collect();
+            if !names.iter().any(|n| n == "publisher") {
+                without_pub += 1;
+            }
+            if !names.iter().any(|n| n == "author") {
+                without_author += 1;
+            }
+        }
+        assert!(without_pub > 0, "publisher-less books must exist for Q1/Q12");
+        assert!(without_author > 0, "author-less books must exist for Q2");
+    }
+
+    #[test]
+    fn categories_present_when_requested() {
+        let cfg = BibConfig { books: 50, with_categories: true, ..Default::default() };
+        let doc = generate(&cfg);
+        let text = serialize_node(&doc.root());
+        assert!(text.contains("<categories>"));
+        let plain = generate(&BibConfig { with_categories: false, ..cfg });
+        assert!(!serialize_node(&plain.root()).contains("<categories>"));
+    }
+
+    #[test]
+    fn paper_example_matches_section2() {
+        let doc = paper_example_book();
+        let s = serialize_node(&doc.root());
+        assert!(s.starts_with("<book><title>Transaction Processing</title>"));
+        assert!(s.contains("<author>Jim Gray</author><author>Andreas Reuter</author>"));
+        assert!(s.contains("<price>65.00</price><discount>5.50</discount>"));
+    }
+
+    #[test]
+    fn section5_bib_has_ragged_categories() {
+        let doc = paper_section5_bib();
+        let s = serialize_node(&doc.root());
+        assert!(s.contains("<software><db><concurrency/></db><distributed/></software>"));
+        assert!(s.contains("<software><db/></software><anthology/>"));
+    }
+}

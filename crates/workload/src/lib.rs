@@ -1,0 +1,24 @@
+//! # xqa-workload — deterministic workload generators
+//!
+//! Reproduces the three document families of *"Extending XQuery for
+//! Analytics"* (SIGMOD 2005):
+//!
+//! - [`bib`] — bibliographies (Sections 2–5 examples, rollup/cube);
+//! - [`sales`] — sales facts (Q3/Q8/Q10: windows, hierarchies, ranking);
+//! - [`orders`] — the Section 6 purchase-order collection whose
+//!   grouping-column cardinalities (4/7/9/28/36/50) drive the paper's
+//!   chart.
+//!
+//! All generators are seeded (`rand::StdRng`) — the same configuration
+//! always produces byte-identical documents, so benchmarks are
+//! reproducible.
+
+#![warn(missing_docs)]
+
+pub mod bib;
+pub mod orders;
+pub mod sales;
+
+pub use bib::{generate as generate_bib, BibConfig};
+pub use orders::{generate as generate_orders, generate_split as generate_orders_split, OrdersConfig};
+pub use sales::{generate as generate_sales, SalesConfig};

@@ -1,0 +1,308 @@
+//! Purchase-order workload — the Section 6 experimental data.
+//!
+//! The paper: "XML documents containing purchase order data with each
+//! order containing detailed lineitem information about several items
+//! purchased, customer information, and other order information. Each
+//! order element had an average of four lineitem elements. Each
+//! lineitem element contained many child elements. The textual
+//! representation of each order document was about 3K bytes."
+//!
+//! We generate TPC-H-flavoured lineitems whose grouping columns have
+//! exactly the cardinalities the paper's chart sweeps:
+//! `shipinstruct` 4 values, `shipmode` 7, `tax` 9, `quantity` 50,
+//! so (shipinstruct, shipmode) = 28 and (shipinstruct, tax) = 36
+//! pairs. Each grouping element occurs exactly once per lineitem,
+//! matching the paper's setup.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use xqa_xdm::{Document, DocumentBuilder, QName};
+
+/// The four TPC-H shipping instructions.
+pub const SHIPINSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// The seven TPC-H shipping modes.
+pub const SHIPMODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// The nine TPC-H tax rates (0.00 to 0.08).
+pub const TAX: [&str; 9] =
+    ["0.00", "0.01", "0.02", "0.03", "0.04", "0.05", "0.06", "0.07", "0.08"];
+
+/// Quantity domain: 1..=50 (50 distinct values).
+pub const QUANTITY_MAX: u32 = 50;
+
+const FIRST_NAMES: [&str; 8] =
+    ["Ada", "Grace", "Edgar", "Jim", "Barbara", "Donald", "Tony", "Fran"];
+const LAST_NAMES: [&str; 8] =
+    ["Codd", "Hopper", "Gray", "Melton", "Liskov", "Chamberlin", "Hoare", "Allen"];
+const CITIES: [&str; 6] = ["San Jose", "Almaden", "Baltimore", "Toronto", "Madison", "Aalborg"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Configuration for the purchase-order generator.
+#[derive(Debug, Clone, Copy)]
+pub struct OrdersConfig {
+    /// Number of order elements.
+    pub orders: usize,
+    /// RNG seed — equal seeds give identical documents.
+    pub seed: u64,
+    /// Minimum lineitems per order (default 1).
+    pub lineitems_min: usize,
+    /// Maximum lineitems per order (default 7; with min 1 the mean is 4,
+    /// matching the paper).
+    pub lineitems_max: usize,
+}
+
+impl Default for OrdersConfig {
+    fn default() -> Self {
+        OrdersConfig { orders: 2_000, seed: 42, lineitems_min: 1, lineitems_max: 7 }
+    }
+}
+
+impl OrdersConfig {
+    /// A configuration sized to produce approximately
+    /// `total_lineitems` lineitems (the paper sweeps 8K–32K).
+    pub fn with_total_lineitems(total_lineitems: usize) -> OrdersConfig {
+        OrdersConfig { orders: total_lineitems / 4, ..Default::default() }
+    }
+
+    /// Override the seed.
+    pub fn seed(mut self, seed: u64) -> OrdersConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+fn q(s: &str) -> QName {
+    QName::local(s)
+}
+
+/// Generate the order collection as one document with an `<orders>`
+/// root (the in-memory equivalent of the paper's document collection;
+/// `//order/lineitem` sees the same node population either way).
+pub fn generate(cfg: &OrdersConfig) -> Rc<Document> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("orders"));
+    for order_id in 0..cfg.orders {
+        write_order(&mut b, &mut rng, order_id, cfg);
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// Generate the collection as one document per order, for
+/// `fn:collection()`-style runs.
+pub fn generate_split(cfg: &OrdersConfig) -> Vec<Rc<Document>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.orders)
+        .map(|order_id| {
+            let mut b = DocumentBuilder::new();
+            write_order(&mut b, &mut rng, order_id, cfg);
+            b.finish()
+        })
+        .collect()
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &'a [&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+fn write_order(b: &mut DocumentBuilder, rng: &mut StdRng, order_id: usize, cfg: &OrdersConfig) {
+    b.start_element(q("order"));
+    b.start_element(q("orderkey")).text(&order_id.to_string()).end_element();
+    b.start_element(q("orderstatus"))
+        .text(if rng.gen_bool(0.5) { "O" } else { "F" })
+        .end_element();
+    b.start_element(q("orderdate"))
+        .text(&format!(
+            "{:04}-{:02}-{:02}",
+            rng.gen_range(2003..=2005),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        ))
+        .end_element();
+    b.start_element(q("orderpriority")).text(pick(rng, &PRIORITIES)).end_element();
+    // Customer information block ("customer information, and other
+    // order information").
+    b.start_element(q("customer"));
+    b.start_element(q("name"))
+        .text(&format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES)))
+        .end_element();
+    b.start_element(q("address"));
+    b.start_element(q("street"))
+        .text(&format!("{} Harry Rd", rng.gen_range(1..=999)))
+        .end_element();
+    b.start_element(q("city")).text(pick(rng, &CITIES)).end_element();
+    b.start_element(q("zip")).text(&format!("{:05}", rng.gen_range(10000..99999))).end_element();
+    b.end_element(); // address
+    b.start_element(q("phone"))
+        .text(&format!(
+            "{:03}-{:03}-{:04}",
+            rng.gen_range(200..999),
+            rng.gen_range(200..999),
+            rng.gen_range(0..9999)
+        ))
+        .end_element();
+    b.start_element(q("mktsegment"))
+        .text(pick(rng, &["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]))
+        .end_element();
+    b.end_element(); // customer
+    let lineitems = rng.gen_range(cfg.lineitems_min..=cfg.lineitems_max);
+    for line in 0..lineitems {
+        write_lineitem(b, rng, line);
+    }
+    b.start_element(q("totalprice"))
+        .text(&format!("{}.{:02}", rng.gen_range(100..100_000), rng.gen_range(0..100)))
+        .end_element();
+    b.start_element(q("comment"))
+        .text("carefully packed; deliver to receiving dock between business hours only")
+        .end_element();
+    b.end_element(); // order
+}
+
+fn write_lineitem(b: &mut DocumentBuilder, rng: &mut StdRng, line: usize) {
+    b.start_element(q("lineitem"));
+    b.start_element(q("linenumber")).text(&(line + 1).to_string()).end_element();
+    b.start_element(q("partkey")).text(&rng.gen_range(1..200_000u32).to_string()).end_element();
+    b.start_element(q("suppkey")).text(&rng.gen_range(1..10_000u32).to_string()).end_element();
+    // The six grouping columns of the experiment. Each occurs exactly
+    // once per lineitem (the paper's precondition).
+    b.start_element(q("quantity"))
+        .text(&rng.gen_range(1..=QUANTITY_MAX).to_string())
+        .end_element();
+    b.start_element(q("extendedprice"))
+        .text(&format!("{}.{:02}", rng.gen_range(900..105_000), rng.gen_range(0..100)))
+        .end_element();
+    b.start_element(q("discount"))
+        .text(&format!("0.{:02}", rng.gen_range(0..=10)))
+        .end_element();
+    b.start_element(q("tax")).text(pick(rng, &TAX)).end_element();
+    b.start_element(q("returnflag")).text(pick(rng, &["A", "N", "R"])).end_element();
+    b.start_element(q("linestatus")).text(if rng.gen_bool(0.5) { "O" } else { "F" }).end_element();
+    b.start_element(q("shipdate"))
+        .text(&format!(
+            "{:04}-{:02}-{:02}",
+            rng.gen_range(2003..=2005),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        ))
+        .end_element();
+    b.start_element(q("shipinstruct")).text(pick(rng, &SHIPINSTRUCT)).end_element();
+    b.start_element(q("shipmode")).text(pick(rng, &SHIPMODE)).end_element();
+    b.start_element(q("comment"))
+        .text("final accounts nag blithely across the express deposits")
+        .end_element();
+    b.end_element(); // lineitem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_xmlparse::serialize_node;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let cfg = OrdersConfig { orders: 20, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(serialize_node(&a.root()), serialize_node(&b.root()));
+        let c = generate(&OrdersConfig { seed: 7, ..cfg });
+        assert_ne!(serialize_node(&a.root()), serialize_node(&c.root()));
+    }
+
+    #[test]
+    fn average_four_lineitems_per_order() {
+        let cfg = OrdersConfig { orders: 2_000, ..Default::default() };
+        let doc = generate(&cfg);
+        let root = doc.root().children().next().unwrap();
+        let mut lineitems = 0usize;
+        for order in root.children() {
+            lineitems += order
+                .children()
+                .filter(|c| c.name().map(|n| n.local_part() == "lineitem").unwrap_or(false))
+                .count();
+        }
+        let avg = lineitems as f64 / cfg.orders as f64;
+        assert!((3.6..=4.4).contains(&avg), "average lineitems {avg}");
+    }
+
+    #[test]
+    fn order_text_is_about_3kb() {
+        // The paper: "about 3K bytes" per order document.
+        let cfg = OrdersConfig { orders: 50, ..Default::default() };
+        let docs = generate_split(&cfg);
+        let total: usize = docs.iter().map(|d| serialize_node(&d.root()).len()).sum();
+        let avg = total as f64 / docs.len() as f64;
+        assert!((1_500.0..=4_500.0).contains(&avg), "average order bytes {avg}");
+    }
+
+    #[test]
+    fn grouping_cardinalities_are_the_charts() {
+        use std::collections::HashSet;
+        let cfg = OrdersConfig { orders: 2_000, ..Default::default() };
+        let doc = generate(&cfg);
+        let root = doc.root().children().next().unwrap();
+        let mut shipinstruct = HashSet::new();
+        let mut shipmode = HashSet::new();
+        let mut tax = HashSet::new();
+        let mut quantity = HashSet::new();
+        for order in root.children() {
+            for li in order.children() {
+                if li.name().map(|n| n.local_part()) != Some("lineitem") {
+                    continue;
+                }
+                for c in li.children() {
+                    let text = c.string_value();
+                    match c.name().map(|n| n.local_part()).unwrap_or("") {
+                        "shipinstruct" => {
+                            shipinstruct.insert(text);
+                        }
+                        "shipmode" => {
+                            shipmode.insert(text);
+                        }
+                        "tax" => {
+                            tax.insert(text);
+                        }
+                        "quantity" => {
+                            quantity.insert(text);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        assert_eq!(shipinstruct.len(), 4);
+        assert_eq!(shipmode.len(), 7);
+        assert_eq!(tax.len(), 9);
+        assert_eq!(quantity.len(), 50);
+    }
+
+    #[test]
+    fn with_total_lineitems_sizes_order_count() {
+        let cfg = OrdersConfig::with_total_lineitems(8_000);
+        assert_eq!(cfg.orders, 2_000);
+    }
+
+    #[test]
+    fn split_and_joint_generation_agree_on_content() {
+        let cfg = OrdersConfig { orders: 10, ..Default::default() };
+        let joint = generate(&cfg);
+        let split = generate_split(&cfg);
+        assert_eq!(split.len(), 10);
+        let joint_orders: Vec<String> = joint
+            .root()
+            .children()
+            .next()
+            .unwrap()
+            .children()
+            .map(|o| serialize_node(&o))
+            .collect();
+        let split_orders: Vec<String> = split
+            .iter()
+            .map(|d| serialize_node(&d.root().children().next().unwrap()))
+            .collect();
+        assert_eq!(joint_orders, split_orders);
+    }
+}

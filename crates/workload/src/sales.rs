@@ -1,0 +1,160 @@
+//! Sales workload — the paper's Q3/Q8/Q10 examples (moving windows,
+//! multi-level aggregation, ranking).
+//!
+//! Each `<sale>` has a timestamp, product, state, region, quantity and
+//! price, with states nested consistently inside their regions so the
+//! region/state hierarchy of Q3 is meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+use xqa_xdm::{Document, DocumentBuilder, QName};
+
+/// Region → states map (the Q3 hierarchy).
+pub const REGIONS: [(&str, &[&str]); 4] = [
+    ("West", &["CA", "OR", "WA", "NV"]),
+    ("East", &["NY", "MA", "NJ"]),
+    ("Central", &["IL", "MN", "TX"]),
+    ("South", &["FL", "GA"]),
+];
+
+/// The product catalogue.
+pub const PRODUCTS: [&str; 6] =
+    ["Green Tea", "Black Tea", "Oolong", "Espresso", "Drip Coffee", "Cocoa"];
+
+/// Configuration for the sales generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SalesConfig {
+    /// Number of sale elements.
+    pub sales: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// First year of the timestamp range (inclusive).
+    pub year_from: i32,
+    /// Last year of the timestamp range (inclusive).
+    pub year_to: i32,
+}
+
+impl Default for SalesConfig {
+    fn default() -> Self {
+        SalesConfig { sales: 10_000, seed: 42, year_from: 2003, year_to: 2005 }
+    }
+}
+
+fn q(s: &str) -> QName {
+    QName::local(s)
+}
+
+/// Generate a `<sales>` document.
+pub fn generate(cfg: &SalesConfig) -> Rc<Document> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("sales"));
+    for _ in 0..cfg.sales {
+        let (region, states) = REGIONS[rng.gen_range(0..REGIONS.len())];
+        let state = states[rng.gen_range(0..states.len())];
+        b.start_element(q("sale"));
+        b.start_element(q("timestamp"))
+            .text(&format!(
+                "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+                rng.gen_range(cfg.year_from..=cfg.year_to),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+                rng.gen_range(0..24),
+                rng.gen_range(0..60),
+                rng.gen_range(0..60)
+            ))
+            .end_element();
+        b.start_element(q("product"))
+            .text(PRODUCTS[rng.gen_range(0..PRODUCTS.len())])
+            .end_element();
+        b.start_element(q("state")).text(state).end_element();
+        b.start_element(q("region")).text(region).end_element();
+        b.start_element(q("quantity")).text(&rng.gen_range(1..=40u32).to_string()).end_element();
+        b.start_element(q("price"))
+            .text(&format!("{}.{:02}", rng.gen_range(1..100), 99))
+            .end_element();
+        b.end_element();
+    }
+    b.end_element();
+    b.finish()
+}
+
+/// The paper's Section 2 example sale instance.
+pub fn paper_example_sale() -> Rc<Document> {
+    let mut b = DocumentBuilder::new();
+    b.start_element(q("sale"));
+    b.start_element(q("timestamp")).text("2004-01-31T11:32:07").end_element();
+    b.start_element(q("product")).text("Green Tea").end_element();
+    b.start_element(q("state")).text("CA").end_element();
+    b.start_element(q("region")).text("West").end_element();
+    b.start_element(q("quantity")).text("10").end_element();
+    b.start_element(q("price")).text("9.99").end_element();
+    b.end_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use xqa_xmlparse::serialize_node;
+
+    #[test]
+    fn deterministic() {
+        let cfg = SalesConfig { sales: 25, ..Default::default() };
+        assert_eq!(
+            serialize_node(&generate(&cfg).root()),
+            serialize_node(&generate(&cfg).root())
+        );
+    }
+
+    #[test]
+    fn states_stay_inside_their_regions() {
+        let cfg = SalesConfig { sales: 2_000, ..Default::default() };
+        let doc = generate(&cfg);
+        let sales = doc.root().children().next().unwrap();
+        let mut state_region: HashMap<String, String> = HashMap::new();
+        for sale in sales.children() {
+            let mut state = String::new();
+            let mut region = String::new();
+            for c in sale.children() {
+                match c.name().map(|n| n.local_part()).unwrap_or("") {
+                    "state" => state = c.string_value(),
+                    "region" => region = c.string_value(),
+                    _ => {}
+                }
+            }
+            let prev = state_region.insert(state.clone(), region.clone());
+            if let Some(prev) = prev {
+                assert_eq!(prev, region, "state {state} appeared in two regions");
+            }
+        }
+        assert!(state_region.len() >= 10, "most states exercised");
+    }
+
+    #[test]
+    fn timestamps_parse_as_datetimes() {
+        let cfg = SalesConfig { sales: 100, ..Default::default() };
+        let doc = generate(&cfg);
+        let sales = doc.root().children().next().unwrap();
+        for sale in sales.children() {
+            let ts = sale
+                .children()
+                .find(|c| c.name().map(|n| n.local_part() == "timestamp").unwrap_or(false))
+                .expect("timestamp present");
+            xqa_xdm::DateTime::parse(&ts.string_value()).expect("valid dateTime");
+        }
+    }
+
+    #[test]
+    fn paper_example_matches_section2() {
+        let s = serialize_node(&paper_example_sale().root());
+        assert_eq!(
+            s,
+            "<sale><timestamp>2004-01-31T11:32:07</timestamp><product>Green Tea</product>\
+             <state>CA</state><region>West</region><quantity>10</quantity>\
+             <price>9.99</price></sale>"
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! `xs:dateTime` and `xs:date` values.
+//!
+//! The paper's sales queries extract year/month components from
+//! timestamps (`year-from-dateTime`, `month-from-dateTime`) and order
+//! sales by timestamp for moving-window aggregation, so we need parsing,
+//! total ordering, and component accessors. Timezone offsets are parsed
+//! and honoured in comparisons (values are compared on the UTC timeline;
+//! values without a timezone are treated as UTC, a simplification of the
+//! W3C ±14h indeterminacy rule).
+
+use crate::error::{ErrorCode, XdmError, XdmResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A parsed `xs:dateTime`: proleptic Gregorian calendar, nanosecond
+/// fraction, optional timezone offset in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DateTime {
+    /// Astronomical year (year 0 allowed, negative years BCE).
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u8,
+    /// Day 1..=31 (validated against the month).
+    pub day: u8,
+    /// Hour 0..=23.
+    pub hour: u8,
+    /// Minute 0..=59.
+    pub minute: u8,
+    /// Second 0..=59 (leap seconds are not modelled).
+    pub second: u8,
+    /// Nanoseconds 0..=999_999_999.
+    pub nanos: u32,
+    /// Timezone offset in minutes east of UTC, if stated.
+    pub tz_offset_min: Option<i16>,
+}
+
+/// A parsed `xs:date` (a dateTime with no time-of-day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Date {
+    /// Astronomical year.
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u8,
+    /// Day 1..=31.
+    pub day: u8,
+    /// Timezone offset in minutes east of UTC, if stated.
+    pub tz_offset_min: Option<i16>,
+}
+
+/// Days from civil date to days-since-epoch (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let m = m as i64;
+    let d = d as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// True if `y` is a leap year in the proleptic Gregorian calendar.
+pub fn is_leap_year(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(y: i32, m: u8) -> u8 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+fn validate_date(year: i32, month: u8, day: u8) -> XdmResult<()> {
+    if !(1..=12).contains(&month) {
+        return Err(XdmError::new(ErrorCode::FODT0001, format!("month {month} out of range")));
+    }
+    if day < 1 || day > days_in_month(year, month) {
+        return Err(XdmError::new(
+            ErrorCode::FODT0001,
+            format!("day {day} out of range for {year:04}-{month:02}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Parse a fixed-width unsigned integer field from ASCII digits.
+fn parse_digits(s: &str, what: &str) -> XdmResult<u32> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(XdmError::value_error(format!("invalid {what} field {s:?}")));
+    }
+    s.parse::<u32>()
+        .map_err(|_| XdmError::value_error(format!("invalid {what} field {s:?}")))
+}
+
+/// Split off a timezone suffix (`Z` or `±hh:mm`) from a lexical form.
+/// Returns the remaining prefix and the offset.
+fn split_timezone(s: &str) -> XdmResult<(&str, Option<i16>)> {
+    if let Some(stripped) = s.strip_suffix('Z') {
+        return Ok((stripped, Some(0)));
+    }
+    // ±hh:mm — but beware: the date part itself may start with '-', so we
+    // only look at the last 6 chars and require the ':' in the middle.
+    if s.len() >= 6 {
+        let tail = &s[s.len() - 6..];
+        let bytes = tail.as_bytes();
+        if (bytes[0] == b'+' || bytes[0] == b'-') && bytes[3] == b':' {
+            let hh = parse_digits(&tail[1..3], "timezone hour")?;
+            let mm = parse_digits(&tail[4..6], "timezone minute")?;
+            if hh > 14 || mm > 59 || (hh == 14 && mm != 0) {
+                return Err(XdmError::new(ErrorCode::FODT0001, format!("timezone {tail:?} out of range")));
+            }
+            let sign = if bytes[0] == b'-' { -1 } else { 1 };
+            return Ok((&s[..s.len() - 6], Some(sign * (hh * 60 + mm) as i16)));
+        }
+    }
+    Ok((s, None))
+}
+
+/// Parse `(-)YYYY-MM-DD`, returning (year, month, day).
+fn parse_date_part(s: &str) -> XdmResult<(i32, u8, u8)> {
+    let (negative, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let parts: Vec<&str> = body.split('-').collect();
+    if parts.len() != 3 || parts[0].len() < 4 {
+        return Err(XdmError::value_error(format!("invalid date {s:?}")));
+    }
+    let year = parse_digits(parts[0], "year")? as i32;
+    let year = if negative { -year } else { year };
+    let month = parse_digits(parts[1], "month")? as u8;
+    let day = parse_digits(parts[2], "day")? as u8;
+    if parts[1].len() != 2 || parts[2].len() != 2 {
+        return Err(XdmError::value_error(format!("invalid date {s:?}")));
+    }
+    validate_date(year, month, day)?;
+    Ok((year, month, day))
+}
+
+impl DateTime {
+    /// Parse the `xs:dateTime` lexical form
+    /// `YYYY-MM-DDThh:mm:ss(.fff...)?(Z|±hh:mm)?`.
+    pub fn parse(s: &str) -> XdmResult<DateTime> {
+        let t = s.trim();
+        let (body, tz) = split_timezone(t)?;
+        let tpos = body
+            .find('T')
+            .ok_or_else(|| XdmError::value_error(format!("invalid xs:dateTime {t:?} (missing 'T')")))?;
+        let (date_s, time_s) = body.split_at(tpos);
+        let time_s = &time_s[1..];
+        let (year, month, day) = parse_date_part(date_s)?;
+        let tparts: Vec<&str> = time_s.split(':').collect();
+        if tparts.len() != 3 || tparts[0].len() != 2 || tparts[1].len() != 2 {
+            return Err(XdmError::value_error(format!("invalid time in {t:?}")));
+        }
+        let hour = parse_digits(tparts[0], "hour")? as u8;
+        let minute = parse_digits(tparts[1], "minute")? as u8;
+        let (sec_s, nanos) = match tparts[2].find('.') {
+            Some(dot) => {
+                let (sec, frac) = tparts[2].split_at(dot);
+                let frac = &frac[1..];
+                if frac.is_empty() || frac.len() > 9 {
+                    return Err(XdmError::value_error(format!("invalid fractional seconds in {t:?}")));
+                }
+                let base = parse_digits(frac, "fractional seconds")?;
+                (sec, base * 10u32.pow(9 - frac.len() as u32))
+            }
+            None => (tparts[2], 0),
+        };
+        if sec_s.len() != 2 {
+            return Err(XdmError::value_error(format!("invalid seconds in {t:?}")));
+        }
+        let second = parse_digits(sec_s, "second")? as u8;
+        if hour > 24 || minute > 59 || second > 59 || (hour == 24 && (minute != 0 || second != 0 || nanos != 0)) {
+            return Err(XdmError::new(ErrorCode::FODT0001, format!("time out of range in {t:?}")));
+        }
+        // 24:00:00 normalizes to 00:00:00 of the next day; we keep it
+        // simple and reject it instead (not used by the paper workloads).
+        if hour == 24 {
+            return Err(XdmError::new(ErrorCode::FODT0001, "24:00:00 is not supported"));
+        }
+        Ok(DateTime { year, month, day, hour, minute, second, nanos, tz_offset_min: tz })
+    }
+
+    /// Seconds on the UTC timeline (absent timezone treated as UTC).
+    pub fn epoch_seconds(&self) -> i64 {
+        let days = days_from_civil(self.year, self.month, self.day);
+        let tz = self.tz_offset_min.unwrap_or(0) as i64;
+        days * 86_400 + self.hour as i64 * 3_600 + self.minute as i64 * 60 + self.second as i64
+            - tz * 60
+    }
+
+    /// Build from components, validating ranges.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        year: i32,
+        month: u8,
+        day: u8,
+        hour: u8,
+        minute: u8,
+        second: u8,
+        nanos: u32,
+        tz_offset_min: Option<i16>,
+    ) -> XdmResult<DateTime> {
+        validate_date(year, month, day)?;
+        if hour > 23 || minute > 59 || second > 59 || nanos > 999_999_999 {
+            return Err(XdmError::new(ErrorCode::FODT0001, "time component out of range"));
+        }
+        Ok(DateTime { year, month, day, hour, minute, second, nanos, tz_offset_min })
+    }
+
+    /// The date part of this dateTime.
+    pub fn date(&self) -> Date {
+        Date { year: self.year, month: self.month, day: self.day, tz_offset_min: self.tz_offset_min }
+    }
+}
+
+impl PartialOrd for DateTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DateTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.epoch_seconds()
+            .cmp(&other.epoch_seconds())
+            .then_with(|| self.nanos.cmp(&other.nanos))
+    }
+}
+
+impl fmt::Display for DateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+            self.year, self.month, self.day, self.hour, self.minute, self.second
+        )?;
+        if self.nanos != 0 {
+            let frac = format!("{:09}", self.nanos);
+            write!(f, ".{}", frac.trim_end_matches('0'))?;
+        }
+        fmt_tz(f, self.tz_offset_min)
+    }
+}
+
+fn fmt_tz(f: &mut fmt::Formatter<'_>, tz: Option<i16>) -> fmt::Result {
+    match tz {
+        None => Ok(()),
+        Some(0) => f.write_str("Z"),
+        Some(m) => {
+            let sign = if m < 0 { '-' } else { '+' };
+            let m = m.abs();
+            write!(f, "{sign}{:02}:{:02}", m / 60, m % 60)
+        }
+    }
+}
+
+impl Date {
+    /// Parse the `xs:date` lexical form `YYYY-MM-DD(Z|±hh:mm)?`.
+    pub fn parse(s: &str) -> XdmResult<Date> {
+        let t = s.trim();
+        let (body, tz) = split_timezone(t)?;
+        let (year, month, day) = parse_date_part(body)?;
+        Ok(Date { year, month, day, tz_offset_min: tz })
+    }
+
+    /// Build from components, validating ranges.
+    pub fn new(year: i32, month: u8, day: u8, tz_offset_min: Option<i16>) -> XdmResult<Date> {
+        validate_date(year, month, day)?;
+        Ok(Date { year, month, day, tz_offset_min })
+    }
+
+    /// Midnight at the start of this date, on the UTC timeline.
+    pub fn epoch_seconds(&self) -> i64 {
+        let days = days_from_civil(self.year, self.month, self.day);
+        days * 86_400 - self.tz_offset_min.unwrap_or(0) as i64 * 60
+    }
+}
+
+impl PartialOrd for Date {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Date {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.epoch_seconds().cmp(&other.epoch_seconds())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)?;
+        fmt_tz(f, self.tz_offset_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_timestamp() {
+        let dt = DateTime::parse("2004-01-31T11:32:07").unwrap();
+        assert_eq!((dt.year, dt.month, dt.day), (2004, 1, 31));
+        assert_eq!((dt.hour, dt.minute, dt.second), (11, 32, 7));
+        assert_eq!(dt.tz_offset_min, None);
+        assert_eq!(dt.to_string(), "2004-01-31T11:32:07");
+    }
+
+    #[test]
+    fn parse_with_timezone_and_fraction() {
+        let dt = DateTime::parse("2004-04-01T11:32:07.5-08:00").unwrap();
+        assert_eq!(dt.nanos, 500_000_000);
+        assert_eq!(dt.tz_offset_min, Some(-480));
+        assert_eq!(dt.to_string(), "2004-04-01T11:32:07.5-08:00");
+        let z = DateTime::parse("2004-04-01T00:00:00Z").unwrap();
+        assert_eq!(z.tz_offset_min, Some(0));
+    }
+
+    #[test]
+    fn timezone_affects_timeline_order() {
+        let a = DateTime::parse("2004-01-01T12:00:00+02:00").unwrap();
+        let b = DateTime::parse("2004-01-01T11:00:00Z").unwrap();
+        // 12:00+02:00 is 10:00Z, so a < b.
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ordering_follows_timeline() {
+        let a = DateTime::parse("2003-12-31T23:59:59").unwrap();
+        let b = DateTime::parse("2004-01-01T00:00:00").unwrap();
+        assert!(a < b);
+        let c = DateTime::parse("2004-01-01T00:00:00.001").unwrap();
+        assert!(b < c);
+    }
+
+    #[test]
+    fn reject_invalid_dates() {
+        assert!(DateTime::parse("2004-02-30T00:00:00").is_err());
+        assert!(DateTime::parse("2004-13-01T00:00:00").is_err());
+        assert!(DateTime::parse("2004-00-01T00:00:00").is_err());
+        assert!(DateTime::parse("2004-01-01").is_err()); // no time part
+        assert!(DateTime::parse("2004-01-01T25:00:00").is_err());
+        assert!(DateTime::parse("2004-01-01T10:61:00").is_err());
+        assert!(DateTime::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+        assert!(DateTime::parse("2004-02-29T00:00:00").is_ok());
+        assert!(DateTime::parse("2003-02-29T00:00:00").is_err());
+    }
+
+    #[test]
+    fn date_parse_and_order() {
+        let a = Date::parse("1993-01-01").unwrap();
+        let b = Date::parse("1995-06-30").unwrap();
+        assert!(a < b);
+        assert_eq!(b.to_string(), "1995-06-30");
+        assert!(Date::parse("1995-6-30").is_err());
+    }
+
+    #[test]
+    fn negative_years_parse() {
+        let d = Date::parse("-0044-03-15").unwrap();
+        assert_eq!(d.year, -44);
+        assert!(d < Date::parse("0001-01-01").unwrap());
+    }
+
+    #[test]
+    fn epoch_reference_point() {
+        // 1970-01-01 is day 0.
+        let epoch = DateTime::parse("1970-01-01T00:00:00Z").unwrap();
+        assert_eq!(epoch.epoch_seconds(), 0);
+        let one_day = DateTime::parse("1970-01-02T00:00:00Z").unwrap();
+        assert_eq!(one_day.epoch_seconds(), 86_400);
+    }
+
+    #[test]
+    fn timezone_out_of_range_rejected() {
+        assert!(DateTime::parse("2004-01-01T00:00:00+15:00").is_err());
+        assert!(DateTime::parse("2004-01-01T00:00:00+14:30").is_err());
+        assert!(DateTime::parse("2004-01-01T00:00:00+14:00").is_ok());
+    }
+}

@@ -1,0 +1,560 @@
+//! An `xs:decimal` implementation with exact arithmetic.
+//!
+//! XQuery requires decimal arithmetic to be exact (unlike `xs:double`),
+//! which matters for the paper's price/discount computations. We store a
+//! decimal as a 128-bit signed mantissa plus a decimal scale (number of
+//! digits after the point). The scale is capped at [`MAX_SCALE`]; division
+//! produces at most `MAX_SCALE` fractional digits, matching the W3C
+//! requirement of an implementation-defined minimum of 18 total digits.
+
+use crate::error::{ErrorCode, XdmError, XdmResult};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum number of fractional digits retained by arithmetic.
+pub const MAX_SCALE: u32 = 18;
+
+/// An exact decimal number: `mantissa * 10^(-scale)`.
+///
+/// The representation is normalized so that either `scale == 0` or the
+/// mantissa is not divisible by 10 — this gives a canonical form with a
+/// unique `(mantissa, scale)` per numeric value, making `Eq`/`Hash`
+/// derivable.
+///
+/// ```
+/// use xqa_xdm::Decimal;
+///
+/// let price = Decimal::parse("65.00").unwrap();
+/// let discount = Decimal::parse("5.50").unwrap();
+/// let net = price.checked_sub(&discount).unwrap();
+/// assert_eq!(net.to_string(), "59.5");
+/// // exact, unlike f64:
+/// let a = Decimal::parse("0.1").unwrap();
+/// let b = Decimal::parse("0.2").unwrap();
+/// assert_eq!(a.checked_add(&b).unwrap(), Decimal::parse("0.3").unwrap());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    mantissa: i128,
+    scale: u32,
+}
+
+impl Decimal {
+    /// Zero.
+    pub const ZERO: Decimal = Decimal { mantissa: 0, scale: 0 };
+    /// One.
+    pub const ONE: Decimal = Decimal { mantissa: 1, scale: 0 };
+
+    /// Build a decimal from a raw mantissa and scale, normalizing
+    /// trailing zeros away.
+    pub fn from_parts(mantissa: i128, scale: u32) -> Decimal {
+        let mut m = mantissa;
+        let mut s = scale;
+        while s > 0 && m % 10 == 0 {
+            m /= 10;
+            s -= 1;
+        }
+        if m == 0 {
+            s = 0;
+        }
+        Decimal { mantissa: m, scale: s }
+    }
+
+    /// The raw mantissa (after normalization).
+    pub fn mantissa(&self) -> i128 {
+        self.mantissa
+    }
+
+    /// The number of fractional digits (after normalization).
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// True when the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// True when the value is an integer (no fractional part).
+    pub fn is_integer(&self) -> bool {
+        self.scale == 0
+    }
+
+    /// Parse the `xs:decimal` lexical form: optional sign, digits,
+    /// optional point and fraction digits. Scientific notation is *not*
+    /// part of the decimal lexical space.
+    pub fn parse(s: &str) -> XdmResult<Decimal> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Err(XdmError::value_error("empty string is not an xs:decimal"));
+        }
+        let bytes = t.as_bytes();
+        let mut i = 0;
+        let negative = match bytes[0] {
+            b'-' => {
+                i = 1;
+                true
+            }
+            b'+' => {
+                i = 1;
+                false
+            }
+            _ => false,
+        };
+        let mut mantissa: i128 = 0;
+        let mut scale: u32 = 0;
+        let mut seen_digit = false;
+        let mut seen_point = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'0'..=b'9' => {
+                    seen_digit = true;
+                    if seen_point && scale >= MAX_SCALE {
+                        // Silently truncate ultra-long fractions; exactness
+                        // beyond 18 digits is outside our supported space.
+                        i += 1;
+                        continue;
+                    }
+                    mantissa = mantissa
+                        .checked_mul(10)
+                        .and_then(|m| m.checked_add((bytes[i] - b'0') as i128))
+                        .ok_or_else(|| {
+                            XdmError::new(ErrorCode::FOAR0002, format!("decimal overflow parsing {t:?}"))
+                        })?;
+                    if seen_point {
+                        scale += 1;
+                    }
+                }
+                b'.' if !seen_point => seen_point = true,
+                _ => {
+                    return Err(XdmError::value_error(format!("invalid xs:decimal literal {t:?}")));
+                }
+            }
+            i += 1;
+        }
+        if !seen_digit {
+            return Err(XdmError::value_error(format!("invalid xs:decimal literal {t:?}")));
+        }
+        if negative {
+            mantissa = -mantissa;
+        }
+        Ok(Decimal::from_parts(mantissa, scale))
+    }
+
+    /// Rescale so that the value has exactly `scale` fractional digits.
+    /// Panics if the new scale would lose precision (callers align to the
+    /// *larger* scale of two operands, which is always lossless).
+    fn with_scale(&self, scale: u32) -> XdmResult<i128> {
+        debug_assert!(scale >= self.scale);
+        let factor = 10i128
+            .checked_pow(scale - self.scale)
+            .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal scale overflow"))?;
+        self.mantissa
+            .checked_mul(factor)
+            .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow"))
+    }
+
+    fn align(a: &Decimal, b: &Decimal) -> XdmResult<(i128, i128, u32)> {
+        let scale = a.scale.max(b.scale);
+        Ok((a.with_scale(scale)?, b.with_scale(scale)?, scale))
+    }
+
+    /// Exact addition.
+    pub fn checked_add(&self, other: &Decimal) -> XdmResult<Decimal> {
+        let (a, b, scale) = Decimal::align(self, other)?;
+        let m = a
+            .checked_add(b)
+            .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in addition"))?;
+        Ok(Decimal::from_parts(m, scale))
+    }
+
+    /// Exact subtraction.
+    pub fn checked_sub(&self, other: &Decimal) -> XdmResult<Decimal> {
+        self.checked_add(&other.neg())
+    }
+
+    /// Exact multiplication.
+    pub fn checked_mul(&self, other: &Decimal) -> XdmResult<Decimal> {
+        let m = self
+            .mantissa
+            .checked_mul(other.mantissa)
+            .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in multiplication"))?;
+        Ok(Decimal::from_parts(m, self.scale + other.scale))
+    }
+
+    /// Division with up to [`MAX_SCALE`] fractional digits
+    /// (round-half-to-even on the final digit).
+    pub fn checked_div(&self, other: &Decimal) -> XdmResult<Decimal> {
+        if other.is_zero() {
+            return Err(XdmError::new(ErrorCode::FOAR0001, "decimal division by zero"));
+        }
+        // Compute self/other at MAX_SCALE digits of precision:
+        // result = mantissa_a * 10^(MAX_SCALE + scale_b - scale_a) / mantissa_b
+        let shift = MAX_SCALE as i64 + other.scale as i64 - self.scale as i64;
+        let (num, denom) = if shift >= 0 {
+            let factor = 10i128
+                .checked_pow(shift as u32)
+                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division"))?;
+            (
+                self.mantissa.checked_mul(factor).ok_or_else(|| {
+                    XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division")
+                })?,
+                other.mantissa,
+            )
+        } else {
+            let factor = 10i128
+                .checked_pow((-shift) as u32)
+                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division"))?;
+            (
+                self.mantissa,
+                other.mantissa.checked_mul(factor).ok_or_else(|| {
+                    XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division")
+                })?,
+            )
+        };
+        let q = num / denom;
+        let r = num % denom;
+        // round half to even
+        let q = round_half_even(q, r, denom);
+        Ok(Decimal::from_parts(q, MAX_SCALE))
+    }
+
+    /// Integer division (`idiv`): truncates toward zero, returns an i128.
+    pub fn checked_idiv(&self, other: &Decimal) -> XdmResult<i128> {
+        if other.is_zero() {
+            return Err(XdmError::new(ErrorCode::FOAR0001, "integer division by zero"));
+        }
+        let (a, b, _) = Decimal::align(self, other)?;
+        Ok(a / b)
+    }
+
+    /// Modulus (`mod`): `a - (a idiv b) * b`, sign follows the dividend.
+    pub fn checked_rem(&self, other: &Decimal) -> XdmResult<Decimal> {
+        if other.is_zero() {
+            return Err(XdmError::new(ErrorCode::FOAR0001, "modulus by zero"));
+        }
+        let (a, b, scale) = Decimal::align(self, other)?;
+        Ok(Decimal::from_parts(a % b, scale))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Decimal {
+        Decimal { mantissa: -self.mantissa, scale: self.scale }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Decimal {
+        Decimal { mantissa: self.mantissa.abs(), scale: self.scale }
+    }
+
+    /// `fn:floor` — largest integer not greater than the value.
+    pub fn floor(&self) -> Decimal {
+        if self.scale == 0 {
+            return *self;
+        }
+        let factor = 10i128.pow(self.scale);
+        let mut q = self.mantissa / factor;
+        if self.mantissa < 0 && self.mantissa % factor != 0 {
+            q -= 1;
+        }
+        Decimal::from_parts(q, 0)
+    }
+
+    /// `fn:ceiling` — smallest integer not less than the value.
+    pub fn ceiling(&self) -> Decimal {
+        if self.scale == 0 {
+            return *self;
+        }
+        let factor = 10i128.pow(self.scale);
+        let mut q = self.mantissa / factor;
+        if self.mantissa > 0 && self.mantissa % factor != 0 {
+            q += 1;
+        }
+        Decimal::from_parts(q, 0)
+    }
+
+    /// `fn:round` — round half away from zero (per F&O for decimals).
+    pub fn round(&self) -> Decimal {
+        self.round_to(0)
+    }
+
+    /// Round to `digits` fractional digits, half away from zero.
+    pub fn round_to(&self, digits: u32) -> Decimal {
+        if self.scale <= digits {
+            return *self;
+        }
+        let factor = 10i128.pow(self.scale - digits);
+        let q = self.mantissa / factor;
+        let r = self.mantissa % factor;
+        let half = factor / 2;
+        let q = if r.abs() >= half {
+            if self.mantissa >= 0 {
+                q + 1
+            } else {
+                q - 1
+            }
+        } else {
+            q
+        };
+        Decimal::from_parts(q, digits)
+    }
+
+    /// Convert to `f64`, possibly losing precision.
+    pub fn to_f64(&self) -> f64 {
+        self.mantissa as f64 / 10f64.powi(self.scale as i32)
+    }
+
+    /// Convert from an i64 integer.
+    pub fn from_i64(v: i64) -> Decimal {
+        Decimal::from_parts(v as i128, 0)
+    }
+
+    /// Convert from an `f64`, via its shortest display form (used for
+    /// `xs:decimal(xs:double)` casts). Errors on NaN/Inf.
+    pub fn from_f64(v: f64) -> XdmResult<Decimal> {
+        if !v.is_finite() {
+            return Err(XdmError::value_error("cannot convert NaN or infinity to xs:decimal"));
+        }
+        // `{:?}`/`{}` on f64 prints the shortest round-tripping form;
+        // it may use exponent notation for extreme magnitudes.
+        let s = format!("{v}");
+        if let Some(epos) = s.find(['e', 'E']) {
+            let (mant, exp) = s.split_at(epos);
+            let exp: i32 = exp[1..]
+                .parse()
+                .map_err(|_| XdmError::value_error("bad double representation"))?;
+            let d = Decimal::parse(mant)?;
+            return d.shift10(exp);
+        }
+        Decimal::parse(&s)
+    }
+
+    /// Multiply by 10^exp exactly (errors on overflow or if precision
+    /// would be lost below `MAX_SCALE`).
+    fn shift10(&self, exp: i32) -> XdmResult<Decimal> {
+        if exp >= 0 {
+            let factor = 10i128
+                .checked_pow(exp as u32)
+                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow"))?;
+            let m = self
+                .mantissa
+                .checked_mul(factor)
+                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow"))?;
+            Ok(Decimal::from_parts(m, self.scale))
+        } else {
+            let add = (-exp) as u32;
+            if self.scale + add > 2 * MAX_SCALE {
+                return Err(XdmError::new(ErrorCode::FOAR0002, "decimal underflow"));
+            }
+            Ok(Decimal::from_parts(self.mantissa, self.scale + add))
+        }
+    }
+
+    /// Truncate to an i64 (toward zero), used for `xs:integer` casts.
+    pub fn to_i64(&self) -> XdmResult<i64> {
+        let factor = 10i128.pow(self.scale);
+        let v = self.mantissa / factor;
+        i64::try_from(v).map_err(|_| XdmError::new(ErrorCode::FOAR0002, "integer overflow"))
+    }
+}
+
+/// Round `q` (quotient) given remainder `r` and divisor `d`, half to even.
+fn round_half_even(q: i128, r: i128, d: i128) -> i128 {
+    if r == 0 {
+        return q;
+    }
+    let r2 = (r.abs()) * 2;
+    let da = d.abs();
+    let sign = if (r < 0) != (d < 0) { -1 } else { 1 };
+    match r2.cmp(&da) {
+        Ordering::Less => q,
+        Ordering::Greater => q + sign,
+        Ordering::Equal => {
+            if q % 2 == 0 {
+                q
+            } else {
+                q + sign
+            }
+        }
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare without materializing aligned mantissas when scales are
+        // equal (the common case for money-like data).
+        if self.scale == other.scale {
+            return self.mantissa.cmp(&other.mantissa);
+        }
+        match Decimal::align(self, other) {
+            Ok((a, b, _)) => a.cmp(&b),
+            // Overflow during alignment: fall back to float comparison,
+            // good enough for sorting astronomically mismatched scales.
+            Err(_) => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.mantissa);
+        }
+        let neg = self.mantissa < 0;
+        let abs = self.mantissa.unsigned_abs();
+        let factor = 10u128.pow(self.scale);
+        let int = abs / factor;
+        let frac = abs % factor;
+        let frac_str = format!("{:0width$}", frac, width = self.scale as usize);
+        if neg {
+            write!(f, "-{int}.{frac_str}")
+        } else {
+            write!(f, "{int}.{frac_str}")
+        }
+    }
+}
+
+impl From<i64> for Decimal {
+    fn from(v: i64) -> Self {
+        Decimal::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Decimal {
+        Decimal::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0", "1", "-1", "59.95", "-0.5", "123456789.000000001"] {
+            assert_eq!(d(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_normalizes_trailing_zeros() {
+        assert_eq!(d("1.50"), d("1.5"));
+        assert_eq!(d("1.50").to_string(), "1.5");
+        assert_eq!(d("-0.0"), Decimal::ZERO);
+        assert_eq!(d("0.000").to_string(), "0");
+    }
+
+    #[test]
+    fn parse_accepts_leading_plus_and_bare_point_forms() {
+        assert_eq!(d("+5"), d("5"));
+        assert_eq!(d(".5"), d("0.5"));
+        assert_eq!(d("5."), d("5"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "abc", "1.2.3", "1e5", "--2", "1,5"] {
+            assert!(Decimal::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn addition_aligns_scales() {
+        assert_eq!(d("1.05").checked_add(&d("2.9")).unwrap(), d("3.95"));
+        assert_eq!(d("-1.05").checked_add(&d("1.05")).unwrap(), Decimal::ZERO);
+    }
+
+    #[test]
+    fn subtraction_matches_paper_net_price() {
+        // price 65.00, discount 5.50 -> net 59.50
+        assert_eq!(d("65.00").checked_sub(&d("5.50")).unwrap(), d("59.5"));
+    }
+
+    #[test]
+    fn multiplication_is_exact() {
+        assert_eq!(d("9.99").checked_mul(&d("10")).unwrap(), d("99.9"));
+        assert_eq!(d("0.1").checked_mul(&d("0.1")).unwrap(), d("0.01"));
+    }
+
+    #[test]
+    fn division_produces_bounded_scale() {
+        assert_eq!(d("1").checked_div(&d("4")).unwrap(), d("0.25"));
+        let third = d("1").checked_div(&d("3")).unwrap();
+        assert_eq!(third.scale(), MAX_SCALE);
+        assert_eq!(third.to_string(), "0.333333333333333333");
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let err = d("1").checked_div(&Decimal::ZERO).unwrap_err();
+        assert_eq!(err.code, ErrorCode::FOAR0001);
+    }
+
+    #[test]
+    fn idiv_truncates_toward_zero() {
+        assert_eq!(d("7").checked_idiv(&d("2")).unwrap(), 3);
+        assert_eq!(d("-7").checked_idiv(&d("2")).unwrap(), -3);
+        assert_eq!(d("7.5").checked_idiv(&d("2.5")).unwrap(), 3);
+    }
+
+    #[test]
+    fn rem_follows_dividend_sign() {
+        assert_eq!(d("7").checked_rem(&d("2")).unwrap(), d("1"));
+        assert_eq!(d("-7").checked_rem(&d("2")).unwrap(), d("-1"));
+        assert_eq!(d("7.5").checked_rem(&d("2")).unwrap(), d("1.5"));
+    }
+
+    #[test]
+    fn floor_and_ceiling() {
+        assert_eq!(d("1.5").floor(), d("1"));
+        assert_eq!(d("-1.5").floor(), d("-2"));
+        assert_eq!(d("1.5").ceiling(), d("2"));
+        assert_eq!(d("-1.5").ceiling(), d("-1"));
+        assert_eq!(d("3").floor(), d("3"));
+    }
+
+    #[test]
+    fn round_half_away_from_zero() {
+        assert_eq!(d("2.5").round(), d("3"));
+        assert_eq!(d("-2.5").round(), d("-3"));
+        assert_eq!(d("2.4999").round(), d("2"));
+        assert_eq!(d("1.25").round_to(1), d("1.3"));
+    }
+
+    #[test]
+    fn ordering_across_scales() {
+        assert!(d("1.5") < d("1.51"));
+        assert!(d("-2") < d("1.5"));
+        assert!(d("10") > d("9.999999"));
+        assert_eq!(d("2.0").cmp(&d("2")), Ordering::Equal);
+    }
+
+    #[test]
+    fn f64_round_trips_for_simple_values() {
+        assert_eq!(Decimal::from_f64(0.25).unwrap(), d("0.25"));
+        assert_eq!(Decimal::from_f64(-3.0).unwrap(), d("-3"));
+        assert!(Decimal::from_f64(f64::NAN).is_err());
+        assert!(Decimal::from_f64(f64::INFINITY).is_err());
+        assert_eq!(Decimal::from_f64(1e3).unwrap(), d("1000"));
+    }
+
+    #[test]
+    fn to_i64_truncates() {
+        assert_eq!(d("3.99").to_i64().unwrap(), 3);
+        assert_eq!(d("-3.99").to_i64().unwrap(), -3);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let big = Decimal::from_parts(i128::MAX / 10, 0);
+        assert!(big.checked_mul(&d("100")).is_err());
+    }
+}

@@ -1,0 +1,656 @@
+//! Arena-backed node trees with node identity and document order.
+//!
+//! A [`Document`] owns a flat `Vec<NodeData>`; a node is addressed by its
+//! index ([`NodeId`]). The builder emits nodes in document order
+//! (preorder, attributes directly after their owner element), so document
+//! order within a document is simply `NodeId` order. Each document also
+//! carries a process-unique serial number, giving a stable, total
+//! document order across documents — XQuery leaves inter-document order
+//! implementation-defined but requires it to be stable within a query.
+//!
+//! A [`NodeHandle`] pairs an `Rc<Document>` with a `NodeId`; it is the
+//! value stored inside [`crate::item::Item`]. Cloning a handle is a
+//! refcount bump.
+
+use crate::qname::QName;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Index of a node within its document's arena.
+pub type NodeId = u32;
+
+/// The seven XDM node kinds (namespace nodes are not modelled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The document root.
+    Document,
+    /// An element node.
+    Element,
+    /// An attribute node.
+    Attribute,
+    /// A text node.
+    Text,
+    /// A comment node.
+    Comment,
+    /// A processing instruction.
+    ProcessingInstruction,
+}
+
+/// The data stored per node in the arena.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeData {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    /// Element/attribute name, or PI target.
+    pub(crate) name: Option<QName>,
+    /// Text content for text/comment/PI nodes, value for attributes.
+    pub(crate) text: Option<Rc<str>>,
+    /// Child *nodes* (attributes excluded) for document/element nodes.
+    pub(crate) children: Vec<NodeId>,
+    /// Attribute nodes for element nodes.
+    pub(crate) attributes: Vec<NodeId>,
+}
+
+static DOC_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// An immutable XML document (or constructed tree fragment).
+pub struct Document {
+    serial: u64,
+    nodes: Vec<NodeData>,
+}
+
+impl fmt::Debug for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Document")
+            .field("serial", &self.serial)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Document {
+    /// The process-unique serial number of this document.
+    pub fn serial(&self) -> u64 {
+        self.serial
+    }
+
+    /// Number of nodes in the arena (including the document node).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document contains only its document node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id as usize]
+    }
+
+    /// Handle to the document node of `doc`.
+    pub fn root(self: &Rc<Self>) -> NodeHandle {
+        NodeHandle { doc: Rc::clone(self), id: 0 }
+    }
+}
+
+/// A reference to one node: the owning document plus the node's id.
+#[derive(Clone)]
+pub struct NodeHandle {
+    doc: Rc<Document>,
+    id: NodeId,
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeHandle(doc#{}, n{}, {:?}", self.doc.serial, self.id, self.kind())?;
+        if let Some(n) = self.name() {
+            write!(f, " <{n}>")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl NodeHandle {
+    fn data(&self) -> &NodeData {
+        self.doc.data(self.id)
+    }
+
+    /// The owning document.
+    pub fn document(&self) -> &Rc<Document> {
+        &self.doc
+    }
+
+    /// This node's id within its document.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node kind.
+    pub fn kind(&self) -> NodeKind {
+        self.data().kind
+    }
+
+    /// Element/attribute name or PI target.
+    pub fn name(&self) -> Option<&QName> {
+        self.data().name.as_ref()
+    }
+
+    /// The parent node, if any (attributes report their owner element).
+    pub fn parent(&self) -> Option<NodeHandle> {
+        self.data().parent.map(|id| NodeHandle { doc: Rc::clone(&self.doc), id })
+    }
+
+    /// Node identity: same document *and* same arena slot.
+    pub fn is_same_node(&self, other: &NodeHandle) -> bool {
+        self.id == other.id && Rc::ptr_eq(&self.doc, &other.doc)
+    }
+
+    /// Total document order: by document serial, then arena index.
+    pub fn document_order(&self, other: &NodeHandle) -> std::cmp::Ordering {
+        (self.doc.serial, self.id).cmp(&(other.doc.serial, other.id))
+    }
+
+    /// Child nodes (attributes excluded), in document order.
+    pub fn children(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.data()
+            .children
+            .iter()
+            .map(move |&id| NodeHandle { doc: Rc::clone(&self.doc), id })
+    }
+
+    /// Attribute nodes, in the order they were written.
+    pub fn attributes(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        self.data()
+            .attributes
+            .iter()
+            .map(move |&id| NodeHandle { doc: Rc::clone(&self.doc), id })
+    }
+
+    /// The attribute with the given name, if present.
+    pub fn attribute(&self, name: &QName) -> Option<NodeHandle> {
+        self.attributes().find(|a| a.name() == Some(name))
+    }
+
+    /// Descendant nodes in document order (self excluded, attributes
+    /// excluded), i.e. the `descendant::node()` axis.
+    pub fn descendants(&self) -> Descendants {
+        Descendants { doc: Rc::clone(&self.doc), stack: self.data().children.iter().rev().copied().collect() }
+    }
+
+    /// Self plus descendants in document order (`descendant-or-self`).
+    pub fn descendants_or_self(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        std::iter::once(self.clone()).chain(self.descendants())
+    }
+
+    /// Ancestor nodes, nearest first.
+    pub fn ancestors(&self) -> impl Iterator<Item = NodeHandle> + '_ {
+        std::iter::successors(self.parent(), |n| n.parent())
+    }
+
+    /// The typed-value/string-value text content:
+    /// - text/comment/PI/attribute: the stored text,
+    /// - element/document: concatenation of descendant text nodes.
+    pub fn string_value(&self) -> String {
+        match self.kind() {
+            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction | NodeKind::Attribute => {
+                self.data().text.as_deref().unwrap_or("").to_string()
+            }
+            NodeKind::Element | NodeKind::Document => {
+                let mut out = String::new();
+                self.accumulate_text(&mut out);
+                out
+            }
+        }
+    }
+
+    fn accumulate_text(&self, out: &mut String) {
+        for child in self.children() {
+            match child.kind() {
+                NodeKind::Text => out.push_str(child.data().text.as_deref().unwrap_or("")),
+                NodeKind::Element => child.accumulate_text(out),
+                _ => {}
+            }
+        }
+    }
+
+    /// Raw stored text (None for elements/documents).
+    pub fn raw_text(&self) -> Option<&str> {
+        self.data().text.as_deref()
+    }
+
+    /// Child *elements* with the given local name (fast path for the
+    /// ubiquitous `child::name` step).
+    pub fn child_elements_named<'a>(&'a self, name: &'a QName) -> impl Iterator<Item = NodeHandle> + 'a {
+        self.children()
+            .filter(move |c| c.kind() == NodeKind::Element && c.name() == Some(name))
+    }
+}
+
+/// Iterator over descendants in document order.
+pub struct Descendants {
+    doc: Rc<Document>,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants {
+    type Item = NodeHandle;
+
+    fn next(&mut self) -> Option<NodeHandle> {
+        let id = self.stack.pop()?;
+        let data = self.doc.data(id);
+        // Push children in reverse so the leftmost child pops first.
+        self.stack.extend(data.children.iter().rev().copied());
+        Some(NodeHandle { doc: Rc::clone(&self.doc), id })
+    }
+}
+
+impl Document {
+    /// Build a document holding a single parentless attribute node (the
+    /// result of a computed attribute constructor evaluated outside an
+    /// element). Returns the attribute's handle.
+    pub fn standalone_attribute(name: QName, value: impl Into<Rc<str>>) -> NodeHandle {
+        let doc_node = NodeData {
+            kind: NodeKind::Document,
+            parent: None,
+            name: None,
+            text: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        };
+        let attr = NodeData {
+            kind: NodeKind::Attribute,
+            parent: None,
+            name: Some(name),
+            text: Some(value.into()),
+            children: Vec::new(),
+            attributes: Vec::new(),
+        };
+        let doc = Rc::new(Document {
+            serial: DOC_SERIAL.fetch_add(1, AtomicOrdering::Relaxed),
+            nodes: vec![doc_node, attr],
+        });
+        NodeHandle { doc, id: 1 }
+    }
+}
+
+/// Builds a [`Document`] in document order.
+///
+/// The builder enforces preorder construction: `start_element` /
+/// `end_element` must nest properly, attributes may only be added
+/// immediately after `start_element` (before any content).
+///
+/// ```
+/// use xqa_xdm::{DocumentBuilder, QName};
+///
+/// let mut b = DocumentBuilder::new();
+/// b.start_element(QName::local("book"));
+/// b.attribute(QName::local("year"), "1993");
+/// b.start_element(QName::local("title")).text("Transaction Processing").end_element();
+/// b.end_element();
+/// let doc = b.finish();
+///
+/// let book = doc.root().children().next().unwrap();
+/// assert_eq!(book.string_value(), "Transaction Processing");
+/// assert_eq!(book.attribute(&QName::local("year")).unwrap().string_value(), "1993");
+/// ```
+pub struct DocumentBuilder {
+    nodes: Vec<NodeData>,
+    /// Open element stack (document node is the bottom entry).
+    open: Vec<NodeId>,
+    /// True until the first non-attribute content of the innermost
+    /// open element has been written.
+    attrs_allowed: bool,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    /// Start an empty document.
+    pub fn new() -> DocumentBuilder {
+        let doc_node = NodeData {
+            kind: NodeKind::Document,
+            parent: None,
+            name: None,
+            text: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        };
+        DocumentBuilder { nodes: vec![doc_node], open: vec![0], attrs_allowed: false }
+    }
+
+    fn push(&mut self, data: NodeData) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(data);
+        id
+    }
+
+    fn current(&self) -> NodeId {
+        *self.open.last().expect("builder always has an open node")
+    }
+
+    /// Open a new element as a child of the current node.
+    pub fn start_element(&mut self, name: QName) -> &mut Self {
+        let parent = self.current();
+        let id = self.push(NodeData {
+            kind: NodeKind::Element,
+            parent: Some(parent),
+            name: Some(name),
+            text: None,
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(id);
+        self.open.push(id);
+        self.attrs_allowed = true;
+        self
+    }
+
+    /// Add an attribute to the innermost open element.
+    ///
+    /// # Panics
+    /// Panics if content has already been written to the element, or if
+    /// no element is open — both indicate a builder-usage bug.
+    pub fn attribute(&mut self, name: QName, value: impl Into<Rc<str>>) -> &mut Self {
+        assert!(self.attrs_allowed, "attributes must precede element content");
+        let owner = self.current();
+        assert!(
+            self.nodes[owner as usize].kind == NodeKind::Element,
+            "attributes require an open element"
+        );
+        let id = self.push(NodeData {
+            kind: NodeKind::Attribute,
+            parent: Some(owner),
+            name: Some(name),
+            text: Some(value.into()),
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes[owner as usize].attributes.push(id);
+        self
+    }
+
+    /// Append a text node. Adjacent text nodes are merged, and empty
+    /// strings are ignored, per the XDM construction rules.
+    pub fn text(&mut self, value: &str) -> &mut Self {
+        if value.is_empty() {
+            return self;
+        }
+        self.attrs_allowed = false;
+        let parent = self.current();
+        // Merge with a trailing text sibling if present.
+        if let Some(&last) = self.nodes[parent as usize].children.last() {
+            if self.nodes[last as usize].kind == NodeKind::Text {
+                let existing = self.nodes[last as usize].text.take().unwrap_or_else(|| Rc::from(""));
+                let merged: Rc<str> = Rc::from(format!("{existing}{value}"));
+                self.nodes[last as usize].text = Some(merged);
+                return self;
+            }
+        }
+        let id = self.push(NodeData {
+            kind: NodeKind::Text,
+            parent: Some(parent),
+            name: None,
+            text: Some(Rc::from(value)),
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(id);
+        self
+    }
+
+    /// Append a comment node.
+    pub fn comment(&mut self, value: impl Into<Rc<str>>) -> &mut Self {
+        self.attrs_allowed = false;
+        let parent = self.current();
+        let id = self.push(NodeData {
+            kind: NodeKind::Comment,
+            parent: Some(parent),
+            name: None,
+            text: Some(value.into()),
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(id);
+        self
+    }
+
+    /// Append a processing-instruction node.
+    pub fn processing_instruction(&mut self, target: QName, value: impl Into<Rc<str>>) -> &mut Self {
+        self.attrs_allowed = false;
+        let parent = self.current();
+        let id = self.push(NodeData {
+            kind: NodeKind::ProcessingInstruction,
+            parent: Some(parent),
+            name: Some(target),
+            text: Some(value.into()),
+            children: Vec::new(),
+            attributes: Vec::new(),
+        });
+        self.nodes[parent as usize].children.push(id);
+        self
+    }
+
+    /// Close the innermost open element.
+    ///
+    /// # Panics
+    /// Panics when no element is open.
+    pub fn end_element(&mut self) -> &mut Self {
+        assert!(self.open.len() > 1, "end_element with no open element");
+        self.open.pop();
+        self.attrs_allowed = false;
+        self
+    }
+
+    /// Deep-copy `node` (and its subtree) as a child of the current node.
+    /// This is how element constructors copy enclosed content: the copy
+    /// receives fresh node identities, per the XQuery construction rules.
+    pub fn copy_node(&mut self, node: &NodeHandle) -> &mut Self {
+        match node.kind() {
+            NodeKind::Document => {
+                for child in node.children() {
+                    self.copy_node(&child);
+                }
+            }
+            NodeKind::Element => {
+                self.start_element(node.name().expect("element has a name").clone());
+                for attr in node.attributes() {
+                    self.attribute(
+                        attr.name().expect("attribute has a name").clone(),
+                        attr.raw_text().unwrap_or(""),
+                    );
+                }
+                for child in node.children() {
+                    self.copy_node(&child);
+                }
+                self.end_element();
+            }
+            NodeKind::Attribute => {
+                self.attribute(node.name().expect("attribute has a name").clone(), node.raw_text().unwrap_or(""));
+            }
+            NodeKind::Text => {
+                self.text(node.raw_text().unwrap_or(""));
+            }
+            NodeKind::Comment => {
+                self.comment(node.raw_text().unwrap_or(""));
+            }
+            NodeKind::ProcessingInstruction => {
+                self.processing_instruction(
+                    node.name().expect("PI has a target").clone(),
+                    node.raw_text().unwrap_or(""),
+                );
+            }
+        }
+        self
+    }
+
+    /// Finish construction, producing the immutable document.
+    ///
+    /// # Panics
+    /// Panics if elements remain open.
+    pub fn finish(self) -> Rc<Document> {
+        assert!(self.open.len() == 1, "finish with {} unclosed element(s)", self.open.len() - 1);
+        Rc::new(Document {
+            serial: DOC_SERIAL.fetch_add(1, AtomicOrdering::Relaxed),
+            nodes: self.nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> QName {
+        QName::local(s)
+    }
+
+    /// Build the paper's first example instance.
+    fn book_doc() -> Rc<Document> {
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("book"));
+        b.start_element(q("title")).text("Transaction Processing").end_element();
+        b.start_element(q("author")).text("Jim Gray").end_element();
+        b.start_element(q("author")).text("Andreas Reuter").end_element();
+        b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+        b.start_element(q("price")).text("65.00").end_element();
+        b.end_element();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_preorder_ids() {
+        let doc = book_doc();
+        let root = doc.root();
+        let ids: Vec<NodeId> = root.descendants().map(|n| n.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "descendants iterate in document order");
+    }
+
+    #[test]
+    fn children_and_names() {
+        let doc = book_doc();
+        let book = doc.root().children().next().unwrap();
+        assert_eq!(book.name().unwrap().local_part(), "book");
+        let names: Vec<String> =
+            book.children().map(|c| c.name().unwrap().local_part().to_string()).collect();
+        assert_eq!(names, ["title", "author", "author", "publisher", "price"]);
+    }
+
+    #[test]
+    fn string_value_concatenates_text() {
+        let doc = book_doc();
+        let book = doc.root().children().next().unwrap();
+        assert_eq!(
+            book.string_value(),
+            "Transaction ProcessingJim GrayAndreas ReuterMorgan Kaufmann65.00"
+        );
+        let title = book.children().next().unwrap();
+        assert_eq!(title.string_value(), "Transaction Processing");
+    }
+
+    #[test]
+    fn attributes_are_reachable_but_not_children() {
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("report"));
+        b.attribute(q("year"), "2004");
+        b.attribute(q("month"), "10");
+        b.start_element(q("rank")).text("1").end_element();
+        b.end_element();
+        let doc = b.finish();
+        let report = doc.root().children().next().unwrap();
+        assert_eq!(report.attributes().count(), 2);
+        assert_eq!(report.children().count(), 1);
+        let year = report.attribute(&q("year")).unwrap();
+        assert_eq!(year.string_value(), "2004");
+        assert_eq!(year.kind(), NodeKind::Attribute);
+        assert!(year.parent().unwrap().is_same_node(&report));
+        assert!(report.attribute(&q("absent")).is_none());
+    }
+
+    #[test]
+    fn node_identity_distinguishes_equal_content() {
+        let doc = book_doc();
+        let book = doc.root().children().next().unwrap();
+        let authors: Vec<NodeHandle> = book.child_elements_named(&q("author")).collect();
+        assert_eq!(authors.len(), 2);
+        assert!(!authors[0].is_same_node(&authors[1]));
+        assert!(authors[0].is_same_node(&authors[0].clone()));
+    }
+
+    #[test]
+    fn document_order_is_total_across_documents() {
+        let d1 = book_doc();
+        let d2 = book_doc();
+        let a = d1.root();
+        let b = d2.root();
+        assert_ne!(a.document_order(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a.document_order(&b), b.document_order(&a).reverse());
+    }
+
+    #[test]
+    fn adjacent_text_merges_and_empty_text_dropped() {
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("t"));
+        b.text("foo").text("").text("bar");
+        b.end_element();
+        let doc = b.finish();
+        let t = doc.root().children().next().unwrap();
+        assert_eq!(t.children().count(), 1);
+        assert_eq!(t.string_value(), "foobar");
+    }
+
+    #[test]
+    fn copy_node_creates_fresh_identity() {
+        let src = book_doc();
+        let book = src.root().children().next().unwrap();
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("wrapper"));
+        b.copy_node(&book);
+        b.end_element();
+        let doc = b.finish();
+        let copy = doc.root().children().next().unwrap().children().next().unwrap();
+        assert_eq!(copy.name().unwrap().local_part(), "book");
+        assert!(!copy.is_same_node(&book));
+        assert_eq!(copy.string_value(), book.string_value());
+    }
+
+    #[test]
+    fn ancestors_walk_to_document() {
+        let doc = book_doc();
+        let book = doc.root().children().next().unwrap();
+        let title = book.children().next().unwrap();
+        let kinds: Vec<NodeKind> = title.ancestors().map(|a| a.kind()).collect();
+        assert_eq!(kinds, [NodeKind::Element, NodeKind::Document]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes must precede element content")]
+    fn attribute_after_content_panics() {
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("e"));
+        b.text("x");
+        b.attribute(q("a"), "v");
+    }
+
+    #[test]
+    fn comments_and_pis_are_stored() {
+        let mut b = DocumentBuilder::new();
+        b.start_element(q("e"));
+        b.comment("a comment");
+        b.processing_instruction(q("target"), "data");
+        b.end_element();
+        let doc = b.finish();
+        let e = doc.root().children().next().unwrap();
+        let kinds: Vec<NodeKind> = e.children().map(|c| c.kind()).collect();
+        assert_eq!(kinds, [NodeKind::Comment, NodeKind::ProcessingInstruction]);
+        // Comments/PIs do not contribute to an element's string value.
+        assert_eq!(e.string_value(), "");
+    }
+}

@@ -1,0 +1,135 @@
+//! Qualified names.
+//!
+//! The engine supports the paper's queries, which use unprefixed element
+//! names plus the `fn:`/`local:`/`xs:` prefixes on functions and types.
+//! A [`QName`] stores an optional prefix and a local part; equality and
+//! hashing consider both. Strings are reference-counted so cloning a
+//! QName (which happens on every constructed element) is two pointer
+//! copies.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A qualified name: optional prefix plus local part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QName {
+    prefix: Option<Rc<str>>,
+    local: Rc<str>,
+}
+
+impl QName {
+    /// An unprefixed name.
+    pub fn local(local: impl Into<Rc<str>>) -> QName {
+        QName { prefix: None, local: local.into() }
+    }
+
+    /// A prefixed name such as `local:set-equal`.
+    pub fn prefixed(prefix: impl Into<Rc<str>>, local: impl Into<Rc<str>>) -> QName {
+        QName { prefix: Some(prefix.into()), local: local.into() }
+    }
+
+    /// Parse a lexical QName (`name` or `prefix:name`).
+    pub fn parse(s: &str) -> Option<QName> {
+        if s.is_empty() {
+            return None;
+        }
+        match s.split_once(':') {
+            Some((p, l)) => {
+                if p.is_empty() || l.is_empty() || l.contains(':') {
+                    None
+                } else if is_ncname(p) && is_ncname(l) {
+                    Some(QName::prefixed(p, l))
+                } else {
+                    None
+                }
+            }
+            None => {
+                if is_ncname(s) {
+                    Some(QName::local(s))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The prefix, if any.
+    pub fn prefix(&self) -> Option<&str> {
+        self.prefix.as_deref()
+    }
+
+    /// The local part.
+    pub fn local_part(&self) -> &str {
+        &self.local
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.prefix {
+            Some(p) => write!(f, "{p}:{}", self.local),
+            None => f.write_str(&self.local),
+        }
+    }
+}
+
+/// True when `s` is a valid NCName (no-colon name). We accept the XML 1.0
+/// name characters restricted to the ASCII subset plus any non-ASCII
+/// character, which covers realistic data while staying simple.
+pub fn is_ncname(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if is_ncname_start(c) => {}
+        _ => return false,
+    }
+    chars.all(is_ncname_char)
+}
+
+/// True when `c` may start an NCName.
+pub fn is_ncname_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+/// True when `c` may continue an NCName.
+pub fn is_ncname_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.') || !c.is_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_local_and_prefixed() {
+        assert_eq!(QName::parse("book"), Some(QName::local("book")));
+        assert_eq!(QName::parse("local:paths"), Some(QName::prefixed("local", "paths")));
+        assert_eq!(QName::parse("avg-price"), Some(QName::local("avg-price")));
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        for s in ["", ":x", "x:", "a:b:c", "1abc", "-a", "a b", ".x"] {
+            assert!(QName::parse(s).is_none(), "{s:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        assert_eq!(QName::parse("local:cube").unwrap().to_string(), "local:cube");
+        assert_eq!(QName::parse("title").unwrap().to_string(), "title");
+    }
+
+    #[test]
+    fn equality_considers_prefix() {
+        assert_ne!(QName::parse("fn:avg"), QName::parse("avg"));
+        assert_eq!(QName::parse("a:b"), QName::parse("a:b"));
+    }
+
+    #[test]
+    fn ncname_allows_dots_dashes_not_first() {
+        assert!(is_ncname("ship-instruct"));
+        assert!(is_ncname("a.b"));
+        assert!(is_ncname("_hidden"));
+        assert!(!is_ncname("2fast"));
+    }
+}

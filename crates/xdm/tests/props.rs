@@ -1,0 +1,153 @@
+//! Property-based tests for the data-model primitives.
+
+use proptest::prelude::*;
+use xqa_xdm::{
+    deep_equal, sort_compare, AtomicValue, CompOp, Date, DateTime, Decimal, Item,
+};
+
+/// A strategy for decimals with bounded mantissas (avoids overflow so
+/// algebraic laws hold exactly).
+fn small_decimal() -> impl Strategy<Value = Decimal> {
+    (-1_000_000_000i64..1_000_000_000, 0u32..6)
+        .prop_map(|(m, s)| Decimal::from_parts(m as i128, s))
+}
+
+fn atomic_value() -> impl Strategy<Value = AtomicValue> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| AtomicValue::Integer(v as i64)),
+        small_decimal().prop_map(AtomicValue::Decimal),
+        (-1.0e6f64..1.0e6).prop_map(AtomicValue::Double),
+        "[a-z]{0,6}".prop_map(AtomicValue::string),
+        any::<bool>().prop_map(AtomicValue::Boolean),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decimal_display_parse_roundtrip(d in small_decimal()) {
+        let s = d.to_string();
+        let back = Decimal::parse(&s).unwrap();
+        prop_assert_eq!(d, back);
+    }
+
+    #[test]
+    fn decimal_addition_commutes(a in small_decimal(), b in small_decimal()) {
+        prop_assert_eq!(a.checked_add(&b).unwrap(), b.checked_add(&a).unwrap());
+    }
+
+    #[test]
+    fn decimal_addition_associates(a in small_decimal(), b in small_decimal(), c in small_decimal()) {
+        let left = a.checked_add(&b).unwrap().checked_add(&c).unwrap();
+        let right = a.checked_add(&b.checked_add(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn decimal_multiplication_commutes(a in small_decimal(), b in small_decimal()) {
+        prop_assert_eq!(a.checked_mul(&b).unwrap(), b.checked_mul(&a).unwrap());
+    }
+
+    #[test]
+    fn decimal_sub_then_add_roundtrips(a in small_decimal(), b in small_decimal()) {
+        let diff = a.checked_sub(&b).unwrap();
+        prop_assert_eq!(diff.checked_add(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_floor_ceiling_bracket(d in small_decimal()) {
+        let floor = d.floor();
+        let ceiling = d.ceiling();
+        prop_assert!(floor <= d && d <= ceiling);
+        prop_assert!(ceiling.checked_sub(&floor).unwrap() <= Decimal::ONE);
+        prop_assert!(floor.is_integer() && ceiling.is_integer());
+    }
+
+    #[test]
+    fn decimal_ordering_is_total_and_consistent(a in small_decimal(), b in small_decimal()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert!(b > a),
+            Ordering::Greater => prop_assert!(b < a),
+            Ordering::Equal => prop_assert_eq!(a, b),
+        }
+        // Consistent with the f64 image (within float tolerance).
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn decimal_division_inverse_of_multiplication(a in small_decimal(), b in small_decimal()) {
+        prop_assume!(!b.is_zero());
+        let q = a.checked_mul(&b).unwrap().checked_div(&b).unwrap();
+        // Exact when representable within MAX_SCALE digits.
+        let diff = q.checked_sub(&a).unwrap().abs();
+        prop_assert!(diff.to_f64() < 1e-9, "a={a} b={b} q={q}");
+    }
+
+    #[test]
+    fn datetime_order_matches_component_order(
+        y1 in 1990i32..2030, m1 in 1u8..=12, d1 in 1u8..=28,
+        y2 in 1990i32..2030, m2 in 1u8..=12, d2 in 1u8..=28,
+    ) {
+        let a = DateTime::new(y1, m1, d1, 12, 0, 0, 0, None).unwrap();
+        let b = DateTime::new(y2, m2, d2, 12, 0, 0, 0, None).unwrap();
+        prop_assert_eq!(a.cmp(&b), (y1, m1, d1).cmp(&(y2, m2, d2)));
+    }
+
+    #[test]
+    fn datetime_display_parse_roundtrip(
+        y in 1900i32..2100, m in 1u8..=12, d in 1u8..=28,
+        h in 0u8..24, min in 0u8..60, s in 0u8..60,
+        tz in prop_oneof![Just(None), (-840i16..=840).prop_map(Some)],
+    ) {
+        let dt = DateTime::new(y, m, d, h, min, s, 0, tz).unwrap();
+        let parsed = DateTime::parse(&dt.to_string()).unwrap();
+        prop_assert_eq!(dt, parsed);
+    }
+
+    #[test]
+    fn date_roundtrip(y in 1900i32..2100, m in 1u8..=12, d in 1u8..=28) {
+        let date = Date::new(y, m, d, None).unwrap();
+        prop_assert_eq!(Date::parse(&date.to_string()).unwrap(), date);
+    }
+
+    #[test]
+    fn deep_equal_is_reflexive(values in proptest::collection::vec(atomic_value(), 0..8)) {
+        let seq: Vec<Item> = values.into_iter().map(Item::Atomic).collect();
+        prop_assert!(deep_equal(&seq, &seq.clone()));
+    }
+
+    #[test]
+    fn deep_equal_is_symmetric(
+        a in proptest::collection::vec(atomic_value(), 0..6),
+        b in proptest::collection::vec(atomic_value(), 0..6),
+    ) {
+        let sa: Vec<Item> = a.into_iter().map(Item::Atomic).collect();
+        let sb: Vec<Item> = b.into_iter().map(Item::Atomic).collect();
+        prop_assert_eq!(deep_equal(&sa, &sb), deep_equal(&sb, &sa));
+    }
+
+    #[test]
+    fn sort_compare_is_antisymmetric_within_numeric(
+        a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6,
+    ) {
+        let va = AtomicValue::Double(a);
+        let vb = AtomicValue::Double(b);
+        let ab = sort_compare(&va, &vb).unwrap();
+        let ba = sort_compare(&vb, &va).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn value_compare_eq_agrees_with_ordering(a in small_decimal(), b in small_decimal()) {
+        let va = AtomicValue::Decimal(a);
+        let vb = AtomicValue::Decimal(b);
+        let eq = xqa_xdm::value_compare(&va, &vb, CompOp::Eq).unwrap();
+        prop_assert_eq!(eq, a == b);
+        let lt = xqa_xdm::value_compare(&va, &vb, CompOp::Lt).unwrap();
+        prop_assert_eq!(lt, a < b);
+    }
+}

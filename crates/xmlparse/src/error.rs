@@ -1,0 +1,47 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An XML well-formedness error at a line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line (0 when position is unknown).
+    pub line: u32,
+    /// 1-based column (0 when position is unknown).
+    pub column: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create an error at the given position.
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "XML error: {}", self.message)
+        } else {
+            write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parse operations.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_position() {
+        assert_eq!(ParseError::new(3, 7, "boom").to_string(), "XML error at 3:7: boom");
+        assert_eq!(ParseError::new(0, 0, "boom").to_string(), "XML error: boom");
+    }
+}

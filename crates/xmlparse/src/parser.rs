@@ -1,0 +1,567 @@
+//! A from-scratch, non-validating XML 1.0 parser.
+//!
+//! Supports the constructs that appear in data-centric documents:
+//! elements, attributes (single- or double-quoted), character data,
+//! the five predefined entities plus numeric character references,
+//! CDATA sections, comments, processing instructions, and an optional
+//! XML declaration / doctype (skipped, not validated).
+//!
+//! Not supported (rejected with a clear error): external entities,
+//! custom entity declarations. Namespaces are *lexical only*: prefixes
+//! are kept on names but no URI resolution is performed.
+
+use crate::error::{ParseError, ParseResult};
+use std::rc::Rc;
+use xqa_xdm::node::{Document, DocumentBuilder};
+use xqa_xdm::qname::QName;
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist entirely of XML whitespace
+    /// (the "data-centric" convention; defaults to `true` so that
+    /// indented test documents compare deep-equal to generated ones).
+    pub strip_whitespace_only_text: bool,
+    /// Keep comment nodes (default `true`).
+    pub keep_comments: bool,
+    /// Keep processing-instruction nodes (default `true`).
+    pub keep_processing_instructions: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            strip_whitespace_only_text: true,
+            keep_comments: true,
+            keep_processing_instructions: true,
+        }
+    }
+}
+
+/// Parse a complete XML document (single root element).
+///
+/// ```
+/// let doc = xqa_xmlparse::parse_document("<bib><book year=\"1993\"/></bib>").unwrap();
+/// let bib = doc.root().children().next().unwrap();
+/// assert_eq!(bib.name().unwrap().local_part(), "bib");
+/// assert_eq!(bib.children().count(), 1);
+/// ```
+pub fn parse_document(input: &str) -> ParseResult<Rc<Document>> {
+    parse_document_with(input, ParseOptions::default())
+}
+
+/// Parse a complete XML document with explicit options.
+pub fn parse_document_with(input: &str, options: ParseOptions) -> ParseResult<Rc<Document>> {
+    let mut p = Parser::new(input, options);
+    p.skip_prolog()?;
+    let mut roots = 0usize;
+    loop {
+        p.skip_misc();
+        if p.at_end() {
+            break;
+        }
+        if p.peek_str("<") {
+            p.parse_content_item(&mut roots, true)?;
+        } else {
+            return Err(p.error("text content is not allowed at document top level"));
+        }
+    }
+    if roots == 0 {
+        return Err(ParseError::new(0, 0, "document has no root element"));
+    }
+    if roots > 1 {
+        return Err(ParseError::new(0, 0, "document has more than one root element"));
+    }
+    Ok(p.builder.finish())
+}
+
+/// Parse an XML *fragment*: zero or more elements plus bare text,
+/// wrapped under a synthetic document node. Handy in tests.
+pub fn parse_fragment(input: &str) -> ParseResult<Rc<Document>> {
+    let options = ParseOptions::default();
+    let mut p = Parser::new(input, options);
+    p.skip_prolog()?;
+    let mut roots = 0usize;
+    while !p.at_end() {
+        if p.peek_str("<") {
+            p.parse_content_item(&mut roots, true)?;
+        } else {
+            let text = p.parse_char_data()?;
+            p.emit_text(&text);
+        }
+    }
+    Ok(p.builder.finish())
+}
+
+/// Maximum element nesting depth (guards against stack overflow on
+/// adversarial input; real documents stay far below this).
+const MAX_XML_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+    options: ParseOptions,
+    builder: DocumentBuilder,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, options: ParseOptions) -> Parser<'a> {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+            options,
+            builder: DocumentBuilder::new(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect_str(&mut self, s: &str) -> ParseResult<()> {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {s:?}")))
+        }
+    }
+
+    fn line_col(&self) -> (u32, u32) {
+        let mut line = 1u32;
+        let mut col = 1u32;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.line_col();
+        ParseError::new(line, col, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip the XML declaration and doctype, if present.
+    fn skip_prolog(&mut self) -> ParseResult<()> {
+        self.skip_ws();
+        if self.peek_str("<?xml") {
+            let end = self.input[self.pos..]
+                .find("?>")
+                .ok_or_else(|| self.error("unterminated XML declaration"))?;
+            self.pos += end + 2;
+        }
+        self.skip_misc();
+        if self.peek_str("<!DOCTYPE") {
+            // Skip to the matching '>' (internal subsets with nested
+            // brackets are handled by bracket counting).
+            let mut depth = 0i32;
+            while let Some(b) = self.bump() {
+                match b {
+                    b'[' => depth += 1,
+                    b']' => depth -= 1,
+                    b'>' if depth == 0 => return Ok(()),
+                    _ => {}
+                }
+            }
+            return Err(self.error("unterminated DOCTYPE"));
+        }
+        Ok(())
+    }
+
+    /// Skip whitespace between top-level constructs.
+    fn skip_misc(&mut self) {
+        self.skip_ws();
+    }
+
+    /// Parse one item of content starting with `<`: element, comment,
+    /// PI, or CDATA. `top_level` restricts what is allowed and counts
+    /// root elements.
+    fn parse_content_item(&mut self, roots: &mut usize, top_level: bool) -> ParseResult<()> {
+        debug_assert!(self.peek() == Some(b'<'));
+        if self.peek_str("<!--") {
+            self.parse_comment()
+        } else if self.peek_str("<?") {
+            self.parse_pi()
+        } else if self.peek_str("<![CDATA[") {
+            if top_level {
+                return Err(self.error("CDATA is not allowed at document top level"));
+            }
+            let text = self.parse_cdata()?;
+            self.builder.text(&text);
+            Ok(())
+        } else if self.peek_str("</") {
+            Err(self.error("unexpected end tag"))
+        } else {
+            if top_level {
+                *roots += 1;
+            }
+            self.parse_element()
+        }
+    }
+
+    fn parse_name(&mut self) -> ParseResult<QName> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_whitespace() || matches!(c, '=' | '>' | '/' | '<' | '?' | '"' | '\'') {
+                break;
+            }
+            // Multi-byte UTF-8 is allowed in names; advance a full char.
+            let ch = self.input[self.pos..].chars().next().unwrap();
+            self.pos += ch.len_utf8();
+        }
+        let raw = &self.input[start..self.pos];
+        QName::parse(raw).ok_or_else(|| self.error(format!("invalid name {raw:?}")))
+    }
+
+    fn parse_element(&mut self) -> ParseResult<()> {
+        if self.depth >= MAX_XML_DEPTH {
+            return Err(self.error(format!(
+                "element nesting exceeds the supported depth ({MAX_XML_DEPTH})"
+            )));
+        }
+        self.depth += 1;
+        let result = self.parse_element_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_element_inner(&mut self) -> ParseResult<()> {
+        self.expect_str("<")?;
+        let name = self.parse_name()?;
+        self.builder.start_element(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.expect_str("/>")?;
+                    self.builder.end_element();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect_str("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    self.builder.attribute(attr_name, value);
+                }
+                None => return Err(self.error("unterminated start tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.at_end() {
+                return Err(self.error(format!("unterminated element <{name}>")));
+            }
+            if self.peek_str("</") {
+                self.expect_str("</")?;
+                let end_name = self.parse_name()?;
+                if end_name != name {
+                    return Err(self.error(format!("mismatched end tag </{end_name}> for <{name}>")));
+                }
+                self.skip_ws();
+                self.expect_str(">")?;
+                self.builder.end_element();
+                return Ok(());
+            }
+            if self.peek() == Some(b'<') {
+                let mut dummy = 0;
+                self.parse_content_item(&mut dummy, false)?;
+            } else {
+                let text = self.parse_char_data()?;
+                self.emit_text(&text);
+            }
+        }
+    }
+
+    fn emit_text(&mut self, text: &str) {
+        if self.options.strip_whitespace_only_text && text.chars().all(|c| c.is_ascii_whitespace())
+        {
+            return;
+        }
+        self.builder.text(text);
+    }
+
+    fn parse_attr_value(&mut self) -> ParseResult<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'<') => return Err(self.error("'<' is not allowed in attribute values")),
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(_) => {
+                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    self.pos += ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn parse_char_data(&mut self) -> ParseResult<String> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'<') => return Ok(out),
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(_) => {
+                    if self.peek_str("]]>") {
+                        return Err(self.error("']]>' is not allowed in character data"));
+                    }
+                    let ch = self.input[self.pos..].chars().next().unwrap();
+                    self.pos += ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn parse_entity(&mut self) -> ParseResult<char> {
+        debug_assert!(self.peek() == Some(b'&'));
+        self.pos += 1;
+        let end = self.input[self.pos..]
+            .find(';')
+            .ok_or_else(|| self.error("unterminated entity reference"))?;
+        let name = &self.input[self.pos..self.pos + end];
+        self.pos += end + 1;
+        match name {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.error(format!("invalid character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.error(format!("invalid code point &{name};")))
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.error(format!("invalid character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.error(format!("invalid code point &{name};")))
+            }
+            _ => Err(self.error(format!("unknown entity &{name}; (external entities unsupported)"))),
+        }
+    }
+
+    fn parse_comment(&mut self) -> ParseResult<()> {
+        self.expect_str("<!--")?;
+        let end = self.input[self.pos..]
+            .find("-->")
+            .ok_or_else(|| self.error("unterminated comment"))?;
+        let text = &self.input[self.pos..self.pos + end];
+        if text.contains("--") {
+            return Err(self.error("'--' is not allowed inside comments"));
+        }
+        self.pos += end + 3;
+        if self.options.keep_comments {
+            self.builder.comment(text);
+        }
+        Ok(())
+    }
+
+    fn parse_pi(&mut self) -> ParseResult<()> {
+        self.expect_str("<?")?;
+        let target = self.parse_name()?;
+        if target.local_part().eq_ignore_ascii_case("xml") && target.prefix().is_none() {
+            return Err(self.error("'<?xml' is only allowed at the start of the document"));
+        }
+        self.skip_ws();
+        let end = self.input[self.pos..]
+            .find("?>")
+            .ok_or_else(|| self.error("unterminated processing instruction"))?;
+        let data = &self.input[self.pos..self.pos + end];
+        self.pos += end + 2;
+        if self.options.keep_processing_instructions {
+            self.builder.processing_instruction(target, data);
+        }
+        Ok(())
+    }
+
+    fn parse_cdata(&mut self) -> ParseResult<String> {
+        self.expect_str("<![CDATA[")?;
+        let end = self.input[self.pos..]
+            .find("]]>")
+            .ok_or_else(|| self.error("unterminated CDATA section"))?;
+        let text = self.input[self.pos..self.pos + end].to_string();
+        self.pos += end + 3;
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_xdm::node::NodeKind;
+
+    #[test]
+    fn parse_paper_book_instance() {
+        let doc = parse_document(
+            r#"<book>
+                <title>Transaction Processing</title>
+                <author>Jim Gray</author>
+                <author>Andreas Reuter</author>
+                <publisher>Morgan Kaufmann</publisher>
+                <year>1993</year>
+                <price>65.00</price>
+                <discount>5.50</discount>
+               </book>"#,
+        )
+        .unwrap();
+        let book = doc.root().children().next().unwrap();
+        assert_eq!(book.name().unwrap().local_part(), "book");
+        assert_eq!(book.children().count(), 7);
+        let title = book.children().next().unwrap();
+        assert_eq!(title.string_value(), "Transaction Processing");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_stripped_by_default() {
+        let doc = parse_document("<a>\n  <b>x</b>\n</a>").unwrap();
+        let a = doc.root().children().next().unwrap();
+        assert_eq!(a.children().count(), 1);
+        let keep = ParseOptions { strip_whitespace_only_text: false, ..Default::default() };
+        let doc2 = parse_document_with("<a>\n  <b>x</b>\n</a>", keep).unwrap();
+        let a2 = doc2.root().children().next().unwrap();
+        assert_eq!(a2.children().count(), 3);
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let doc = parse_document(r#"<r a="1" b='two' c="a&amp;b"/>"#).unwrap();
+        let r = doc.root().children().next().unwrap();
+        let vals: Vec<String> = r.attributes().map(|a| a.string_value()).collect();
+        assert_eq!(vals, ["1", "two", "a&b"]);
+    }
+
+    #[test]
+    fn entities_and_char_refs() {
+        let doc = parse_document("<t>&lt;a&gt; &amp; &#65;&#x42;&apos;&quot;</t>").unwrap();
+        let t = doc.root().children().next().unwrap();
+        assert_eq!(t.string_value(), "<a> & AB'\"");
+    }
+
+    #[test]
+    fn cdata_is_literal_text() {
+        let doc = parse_document("<t><![CDATA[<not> & parsed]]></t>").unwrap();
+        let t = doc.root().children().next().unwrap();
+        assert_eq!(t.string_value(), "<not> & parsed");
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let doc = parse_document("<r><!-- note --><?app data?></r>").unwrap();
+        let r = doc.root().children().next().unwrap();
+        let kinds: Vec<NodeKind> = r.children().map(|c| c.kind()).collect();
+        assert_eq!(kinds, [NodeKind::Comment, NodeKind::ProcessingInstruction]);
+    }
+
+    #[test]
+    fn xml_decl_and_doctype_skipped() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE r [<!ELEMENT r ANY>]>\n<r/>",
+        )
+        .unwrap();
+        assert_eq!(doc.root().children().count(), 1);
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let doc = parse_document("<categories><software><db/><distributed/></software></categories>")
+            .unwrap();
+        let cats = doc.root().children().next().unwrap();
+        let sw = cats.children().next().unwrap();
+        let names: Vec<String> =
+            sw.children().map(|c| c.name().unwrap().local_part().to_string()).collect();
+        assert_eq!(names, ["db", "distributed"]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_document("<a>\n<b></c></a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn reject_malformed() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("<a>").is_err());
+        assert!(parse_document("<a></b>").is_err());
+        assert!(parse_document("<a/><b/>").is_err(), "two roots");
+        assert!(parse_document("text only").is_err());
+        assert!(parse_document("<a b=c/>").is_err(), "unquoted attribute");
+        assert!(parse_document("<a>&nbsp;</a>").is_err(), "unknown entity");
+        assert!(parse_document("<1tag/>").is_err());
+        assert!(parse_document("<a><!-- -- --></a>").is_err());
+    }
+
+    #[test]
+    fn fragment_allows_multiple_roots_and_text() {
+        let doc = parse_fragment("<a/>text<b/>").unwrap();
+        assert_eq!(doc.root().children().count(), 3);
+    }
+
+    #[test]
+    fn prefixed_names_kept_lexically() {
+        let doc = parse_document("<x:r xmlns:x='urn:x'><x:c/></x:r>").unwrap();
+        let r = doc.root().children().next().unwrap();
+        assert_eq!(r.name().unwrap().to_string(), "x:r");
+        // xmlns:x is kept as an ordinary attribute (lexical namespaces).
+        assert_eq!(r.attributes().count(), 1);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let doc = parse_document("<p>one <b>two</b> three</p>").unwrap();
+        let p = doc.root().children().next().unwrap();
+        assert_eq!(p.string_value(), "one two three");
+        assert_eq!(p.children().count(), 3);
+    }
+}

@@ -1,0 +1,229 @@
+//! Serialization of XDM nodes back to XML text.
+//!
+//! Two modes: compact (no added whitespace — round-trips with the
+//! parser's default whitespace stripping) and indented (for human
+//! inspection, used by the CLI and examples).
+
+use std::fmt::Write as _;
+use xqa_xdm::item::Item;
+use xqa_xdm::node::{NodeHandle, NodeKind};
+
+/// Serialization configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializeOptions {
+    /// Pretty-print with the given indent width; `None` = compact.
+    pub indent: Option<usize>,
+}
+
+impl SerializeOptions {
+    /// Pretty-printing with a 2-space indent.
+    pub fn pretty() -> Self {
+        SerializeOptions { indent: Some(2) }
+    }
+}
+
+/// Serialize one node (compact).
+pub fn serialize_node(node: &NodeHandle) -> String {
+    serialize_node_with(node, SerializeOptions::default())
+}
+
+/// Serialize one node with options.
+pub fn serialize_node_with(node: &NodeHandle, options: SerializeOptions) -> String {
+    let mut out = String::new();
+    write_node(&mut out, node, &options, 0);
+    out
+}
+
+/// Serialize a whole sequence: nodes as XML, atomics as their string
+/// values, with single spaces between adjacent atomic values (the
+/// XQuery serialization rule).
+pub fn serialize_sequence(seq: &[Item]) -> String {
+    serialize_sequence_with(seq, SerializeOptions::default())
+}
+
+/// Serialize a whole sequence with options.
+pub fn serialize_sequence_with(seq: &[Item], options: SerializeOptions) -> String {
+    let mut out = String::new();
+    let mut prev_atomic = false;
+    for (idx, item) in seq.iter().enumerate() {
+        match item {
+            Item::Node(n) => {
+                if options.indent.is_some() && idx > 0 {
+                    out.push('\n');
+                }
+                write_node(&mut out, n, &options, 0);
+                prev_atomic = false;
+            }
+            Item::Atomic(a) => {
+                if prev_atomic {
+                    out.push(' ');
+                }
+                out.push_str(&a.string_value());
+                prev_atomic = true;
+            }
+        }
+    }
+    out
+}
+
+fn write_node(out: &mut String, node: &NodeHandle, options: &SerializeOptions, depth: usize) {
+    match node.kind() {
+        NodeKind::Document => {
+            let mut first = true;
+            for child in node.children() {
+                if !first && options.indent.is_some() {
+                    out.push('\n');
+                }
+                write_node(out, &child, options, depth);
+                first = false;
+            }
+        }
+        NodeKind::Element => write_element(out, node, options, depth),
+        NodeKind::Attribute => {
+            // A bare attribute outside an element serializes as name="value".
+            let _ = write!(
+                out,
+                "{}=\"{}\"",
+                node.name().expect("attribute name"),
+                escape_attr(&node.string_value())
+            );
+        }
+        NodeKind::Text => out.push_str(&escape_text(node.raw_text().unwrap_or(""))),
+        NodeKind::Comment => {
+            let _ = write!(out, "<!--{}-->", node.raw_text().unwrap_or(""));
+        }
+        NodeKind::ProcessingInstruction => {
+            let _ = write!(
+                out,
+                "<?{} {}?>",
+                node.name().expect("PI target"),
+                node.raw_text().unwrap_or("")
+            );
+        }
+    }
+}
+
+fn write_element(out: &mut String, node: &NodeHandle, options: &SerializeOptions, depth: usize) {
+    let name = node.name().expect("element name");
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(w) = options.indent {
+            out.push_str(&" ".repeat(w * depth));
+        }
+    };
+    let _ = write!(out, "<{name}");
+    for attr in node.attributes() {
+        let _ = write!(
+            out,
+            " {}=\"{}\"",
+            attr.name().expect("attribute name"),
+            escape_attr(&attr.string_value())
+        );
+    }
+    let children: Vec<NodeHandle> = node.children().collect();
+    if children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    // Text-only content stays inline even when indenting.
+    let text_only = children.iter().all(|c| c.kind() == NodeKind::Text);
+    if text_only || options.indent.is_none() {
+        for child in &children {
+            write_node(out, child, options, depth + 1);
+        }
+    } else {
+        for child in &children {
+            out.push('\n');
+            pad(out, depth + 1);
+            write_node(out, child, options, depth + 1);
+        }
+        out.push('\n');
+        pad(out, depth);
+    }
+    let _ = write!(out, "</{name}>");
+}
+
+/// Escape character data: `&`, `<`, `>` (the latter for `]]>` safety).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape attribute values: also `"`.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+    use xqa_xdm::item::AtomicValue;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"<book year="1993"><title>A &amp; B</title><price>65.00</price></book>"#;
+        let doc = parse_document(src).unwrap();
+        assert_eq!(serialize_node(&doc.root()), src);
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = parse_document("<c><db></db></c>").unwrap();
+        assert_eq!(serialize_node(&doc.root()), "<c><db/></c>");
+    }
+
+    #[test]
+    fn pretty_print_indents_structure() {
+        let doc = parse_document("<r><a>1</a><b><c/></b></r>").unwrap();
+        let s = serialize_node_with(&doc.root(), SerializeOptions::pretty());
+        assert_eq!(s, "<r>\n  <a>1</a>\n  <b>\n    <c/>\n  </b>\n</r>");
+    }
+
+    #[test]
+    fn sequence_spaces_adjacent_atomics() {
+        let seq = vec![
+            Item::Atomic(AtomicValue::Integer(1)),
+            Item::Atomic(AtomicValue::Integer(2)),
+            Item::from("x"),
+        ];
+        assert_eq!(serialize_sequence(&seq), "1 2 x");
+    }
+
+    #[test]
+    fn sequence_mixes_nodes_and_atomics() {
+        let doc = parse_document("<a>v</a>").unwrap();
+        let a = doc.root().children().next().unwrap();
+        let seq = vec![Item::from(1i64), Item::Node(a), Item::from(2i64)];
+        assert_eq!(serialize_sequence(&seq), "1<a>v</a>2");
+    }
+
+    #[test]
+    fn escaping_in_text_and_attrs() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+    }
+
+    #[test]
+    fn comment_and_pi_serialization() {
+        let doc = parse_document("<r><!--note--><?app data?></r>").unwrap();
+        assert_eq!(serialize_node(&doc.root()), "<r><!--note--><?app data?></r>");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based round-trip tests: generated trees survive
+//! serialize → parse → serialize as a fixed point, and deep-equal is
+//! preserved.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+use xqa_xdm::node::{Document, DocumentBuilder};
+use xqa_xdm::{node_deep_equal, QName};
+use xqa_xmlparse::{parse_document, serialize_node};
+
+/// A recursive element-tree description.
+#[derive(Debug, Clone)]
+enum Tree {
+    Element { name: usize, attrs: Vec<(usize, String)>, children: Vec<Tree> },
+    Text(String),
+}
+
+const NAMES: [&str; 6] = ["book", "title", "author", "sale", "region", "price"];
+const ATTR_NAMES: [&str; 4] = ["id", "year", "month", "kind"];
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Non-whitespace-only text (the parser strips whitespace-only nodes
+    // by default); may contain XML-significant characters to exercise
+    // escaping.
+    "[a-zA-Z0-9<>&'\" ]{1,12}".prop_filter("not whitespace-only", |s| {
+        !s.chars().all(|c| c.is_ascii_whitespace())
+    })
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(Tree::Text),
+        (0..NAMES.len(), proptest::collection::vec((0..ATTR_NAMES.len(), text_strategy()), 0..3))
+            .prop_map(|(name, mut attrs)| {
+                attrs.sort_by_key(|(i, _)| *i);
+                attrs.dedup_by_key(|(i, _)| *i);
+                Tree::Element { name, attrs, children: Vec::new() }
+            }),
+    ];
+    leaf.prop_recursive(4, 40, 5, |inner| {
+        (
+            0..NAMES.len(),
+            proptest::collection::vec((0..ATTR_NAMES.len(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(name, mut attrs, children)| {
+                attrs.sort_by_key(|(i, _)| *i);
+                attrs.dedup_by_key(|(i, _)| *i);
+                Tree::Element { name, attrs, children }
+            })
+    })
+}
+
+fn build(tree: &Tree) -> Rc<Document> {
+    let mut b = DocumentBuilder::new();
+    // Ensure a single element root: wrap when the root is text.
+    match tree {
+        Tree::Element { .. } => build_into(&mut b, tree),
+        Tree::Text(_) => {
+            b.start_element(QName::local("wrapper"));
+            build_into(&mut b, tree);
+            b.end_element();
+        }
+    }
+    b.finish()
+}
+
+fn build_into(b: &mut DocumentBuilder, tree: &Tree) {
+    match tree {
+        Tree::Text(t) => {
+            b.text(t);
+        }
+        Tree::Element { name, attrs, children } => {
+            b.start_element(QName::local(NAMES[*name]));
+            for (attr, value) in attrs {
+                b.attribute(QName::local(ATTR_NAMES[*attr]), value.as_str());
+            }
+            for child in children {
+                build_into(b, child);
+            }
+            b.end_element();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize → parse → serialize is a fixed point.
+    #[test]
+    fn serialize_parse_fixed_point(tree in tree_strategy()) {
+        let doc = build(&tree);
+        let text1 = serialize_node(&doc.root());
+        let reparsed = parse_document(&text1).unwrap();
+        let text2 = serialize_node(&reparsed.root());
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// Parsing a serialization yields a deep-equal tree.
+    #[test]
+    fn roundtrip_preserves_deep_equality(tree in tree_strategy()) {
+        let doc = build(&tree);
+        let text = serialize_node(&doc.root());
+        let reparsed = parse_document(&text).unwrap();
+        prop_assert!(node_deep_equal(&doc.root(), &reparsed.root()),
+            "round-trip changed the tree: {text}");
+    }
+}
+
+#[test]
+fn deep_documents_error_instead_of_overflowing() {
+    std::thread::Builder::new()
+        .stack_size(16 * 1024 * 1024)
+        .spawn(|| {
+            let ok = format!("{}x{}", "<e>".repeat(200), "</e>".repeat(200));
+            assert!(parse_document(&ok).is_ok());
+            let deep = format!("{}x{}", "<e>".repeat(100_000), "</e>".repeat(100_000));
+            let err = parse_document(&deep).unwrap_err();
+            assert!(err.to_string().contains("nesting"), "{err}");
+        })
+        .expect("spawn")
+        .join()
+        .expect("deep XML thread");
+}

@@ -1,0 +1,69 @@
+//! The paper's core argument, live: the same grouping intent written
+//! the XQuery-1.0 way (`distinct-values` + self-join) versus the
+//! explicit `group by`, with plan-shape statistics and timings, plus
+//! the optional detection rewrite (§7 discussion) applied to the old
+//! form.
+//!
+//! ```sh
+//! cargo run --release --example implicit_groupby [-- <lineitems>]
+//! ```
+
+use std::time::Instant;
+use xqa::{DynamicContext, Engine, EngineOptions};
+use xqa_workload::{generate_orders, OrdersConfig};
+
+const QGB: &str = r#"
+    for $litem in //order/lineitem
+    group by $litem/shipmode into $a
+    nest $litem into $items
+    return <r>{$a, count($items)}</r>"#;
+
+const Q: &str = r#"
+    for $a in distinct-values(//order/lineitem/shipmode)
+    let $items := for $i in //order/lineitem where $i/shipmode = $a return $i
+    return <r>{$a, count($items)}</r>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lineitems: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(8_000);
+    let doc = generate_orders(&OrdersConfig::with_total_lineitems(lineitems));
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+
+    let plain = Engine::new();
+    let detecting = Engine::with_options(EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+
+    let report = |label: &str, query: &xqa::PreparedQuery| -> Result<(), xqa::EngineError> {
+        ctx.stats.reset();
+        let start = Instant::now();
+        let result = query.run(&ctx)?;
+        let elapsed = start.elapsed();
+        println!(
+            "{label:<28} {:>8.1?}  groups={:<3} nodes_visited={:<10} comparisons={}",
+            elapsed,
+            result.len(),
+            ctx.stats.nodes_visited.get(),
+            ctx.stats.comparisons.get(),
+        );
+        Ok(())
+    };
+
+    println!("group-by shipmode over ~{lineitems} lineitems\n");
+    report("explicit group by (Qgb)", &plain.compile(QGB)?)?;
+    report("distinct-values self-join (Q)", &plain.compile(Q)?)?;
+    let rewritten = detecting.compile(Q)?;
+    for r in rewritten.applied_rewrites() {
+        println!("\n[optimizer] {r}");
+    }
+    report("Q + detection rewrite", &rewritten)?;
+
+    println!(
+        "\nThe explicit form (and the rewritten plan) scan the data once;\n\
+         the 1.0 form re-scans per distinct value — the gap grows with the\n\
+         number of groups, which is exactly the paper's Section 6 chart."
+    );
+    Ok(())
+}

@@ -1,0 +1,216 @@
+//! Cross-query invariants at larger scale: different formulations of
+//! the same analytics must agree on generated workloads, and grouping
+//! laws must hold at realistic sizes.
+
+use std::collections::HashMap;
+use xqa::{serialize_sequence, DynamicContext, Engine};
+use xqa_workload::{
+    generate_bib, generate_orders, generate_sales, BibConfig, OrdersConfig, SalesConfig,
+};
+
+fn run_doc(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(doc);
+    serialize_sequence(&compiled.run(&ctx).unwrap_or_else(|e| panic!("run: {e}\n{query}")))
+}
+
+#[test]
+fn group_sizes_sum_to_input_size() {
+    let doc = generate_orders(&OrdersConfig { orders: 400, ..Default::default() });
+    let total: i64 = run_doc("count(//order/lineitem)", &doc).parse().unwrap();
+    for key in ["shipmode", "shipinstruct", "tax", "quantity"] {
+        let sizes = run_doc(
+            &format!(
+                "for $li in //order/lineitem group by $li/{key} into $k \
+                 nest $li into $items return count($items)"
+            ),
+            &doc,
+        );
+        let sum: i64 = sizes.split_whitespace().map(|s| s.parse::<i64>().unwrap()).sum();
+        assert_eq!(sum, total, "partition law for {key}");
+    }
+}
+
+#[test]
+fn two_level_grouping_refines_one_level() {
+    // Every (a, b) group nests inside its (a) group; per-a sums agree.
+    let doc = generate_orders(&OrdersConfig { orders: 300, ..Default::default() });
+    let one = run_doc(
+        "for $li in //order/lineitem group by string($li/shipinstruct) into $a \
+         nest $li into $items order by $a return <g a=\"{$a}\">{count($items)}</g>",
+        &doc,
+    );
+    let two = run_doc(
+        "for $li in //order/lineitem \
+         group by string($li/shipinstruct) into $a, string($li/shipmode) into $b \
+         nest $li into $items order by $a, $b \
+         return <g a=\"{$a}\">{count($items)}</g>",
+        &doc,
+    );
+    let collect = |s: &str| -> HashMap<String, i64> {
+        let mut m = HashMap::new();
+        for part in s.split("</g>").filter(|p| !p.is_empty()) {
+            let a = part.split("a=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+            let n: i64 = part.split('>').nth(1).unwrap().parse().unwrap();
+            *m.entry(a).or_insert(0) += n;
+        }
+        m
+    };
+    assert_eq!(collect(&one), collect(&two));
+}
+
+#[test]
+fn group_count_equals_distinct_values_count_for_scalar_keys() {
+    let doc = generate_sales(&SalesConfig { sales: 3_000, ..Default::default() });
+    for key in ["region", "state", "product"] {
+        let distinct: i64 = run_doc(&format!("count(distinct-values(//sale/{key}))"), &doc)
+            .parse()
+            .unwrap();
+        let groups: i64 = run_doc(
+            &format!("count(for $s in //sale group by string($s/{key}) into $k return <g/>)"),
+            &doc,
+        )
+        .parse()
+        .unwrap();
+        assert_eq!(groups, distinct, "key {key}");
+    }
+}
+
+#[test]
+fn hierarchical_sums_are_consistent() {
+    // Sum over states within a region == region total (paper Q3's
+    // internal consistency), for every region and year.
+    let doc = generate_sales(&SalesConfig { sales: 2_000, ..Default::default() });
+    let out = run_doc(
+        "for $s in //sale \
+         group by $s/region into $region, year-from-dateTime($s/timestamp) into $year \
+         nest $s into $rs \
+         let $rsum := sum($rs/(quantity * price)) \
+         order by $year, $region \
+         return <r> \
+           {round-half-to-even($rsum, 2)} | \
+           {round-half-to-even(sum(for $t in $rs \
+             group by $t/state into $state \
+             nest $t/quantity * $t/price into $amts \
+             return sum($amts)), 2)} \
+         </r>",
+        &doc,
+    );
+    for row in out.split("</r>").filter(|r| !r.is_empty()) {
+        let body = row.trim_start_matches("<r>").trim();
+        let (region_total, state_sum) = body.split_once('|').expect("two numbers");
+        assert_eq!(region_total.trim(), state_sum.trim(), "row {body}");
+    }
+}
+
+#[test]
+fn ranking_is_consistent_with_max() {
+    // The rank-1 row of Q10's inner query must be the max total.
+    let doc = generate_sales(&SalesConfig { sales: 1_500, ..Default::default() });
+    let top = run_doc(
+        "for $s in //sale \
+         group by $s/region into $region \
+         nest $s/quantity * $s/price into $amounts \
+         let $sum := sum($amounts) \
+         order by $sum descending \
+         return at $rank (if ($rank = 1) then round-half-to-even($sum, 2) else ())",
+        &doc,
+    );
+    let max = run_doc(
+        "round-half-to-even(max(for $s in //sale \
+           group by $s/region into $region \
+           nest $s/quantity * $s/price into $amounts \
+           return sum($amounts)), 2)",
+        &doc,
+    );
+    assert_eq!(top, max);
+}
+
+#[test]
+fn moving_sum_extension_agrees_with_window_clause_at_scale() {
+    let doc = generate_sales(&SalesConfig { sales: 600, ..Default::default() });
+    let via_windows = run_doc(
+        "for $s in //sale \
+         group by $s/region into $region \
+         nest $s/quantity order by $s/timestamp into $qs \
+         order by $region \
+         return <r>{for sliding window $w in $qs \
+                    start at $st when true() \
+                    end at $e when $e - $st = 4 \
+                    return sum($w)}</r>",
+        &doc,
+    );
+    let via_extension = run_doc(
+        "for $s in //sale \
+         group by $s/region into $region \
+         nest $s/quantity order by $s/timestamp into $qs \
+         order by $region \
+         return <r>{for $v at $i in xqa:moving-sum($qs, 5) \
+                    return xs:integer($v)}</r>",
+        &doc,
+    );
+    // moving-sum yields a value per position (windows *ending* at i);
+    // the sliding window yields one per start. Compare the stable core:
+    // totals of full windows == moving sums from position 5 onward.
+    let windows: Vec<Vec<i64>> = via_windows
+        .split("</r>")
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim_start_matches("<r>")
+                .split_whitespace()
+                .map(|v| v.parse().unwrap())
+                .collect()
+        })
+        .collect();
+    let moving: Vec<Vec<i64>> = via_extension
+        .split("</r>")
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim_start_matches("<r>")
+                .split_whitespace()
+                .map(|v| v.parse().unwrap())
+                .collect()
+        })
+        .collect();
+    assert_eq!(windows.len(), moving.len());
+    for (w, m) in windows.iter().zip(&moving) {
+        if m.len() >= 5 {
+            let full = &m[4..];
+            assert_eq!(&w[..full.len()], full, "full windows agree");
+        }
+    }
+}
+
+#[test]
+fn rollup_child_categories_never_exceed_parents() {
+    // In the Q11 rollup, a child path's book count can't exceed its
+    // parent's (every book in software/db is in software).
+    let doc = generate_bib(&BibConfig { books: 600, with_categories: true, ..Default::default() });
+    let out = run_doc(
+        "for $b in //book \
+         for $c in xqa:paths($b/categories/*) \
+         group by $c into $cat \
+         nest $b into $books \
+         order by $cat \
+         return <r path=\"{$cat}\">{count($books)}</r>",
+        &doc,
+    );
+    let mut counts: HashMap<String, i64> = HashMap::new();
+    for row in out.split("</r>").filter(|p| !p.is_empty()) {
+        let path = row.split("path=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+        let n: i64 = row.split('>').nth(1).unwrap().parse().unwrap();
+        counts.insert(path, n);
+    }
+    assert!(counts.len() > 3, "taxonomy produced several paths: {counts:?}");
+    for (path, &n) in &counts {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            let parent_n = counts.get(parent).copied().unwrap_or(0);
+            assert!(
+                parent_n >= n,
+                "child {path} ({n}) exceeds parent {parent} ({parent_n})"
+            );
+        }
+    }
+}

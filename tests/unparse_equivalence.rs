@@ -1,0 +1,152 @@
+//! Unparser equivalence: for every paper query, `unparse(parse(q))`
+//! must re-parse and produce the *same results* as the original — a
+//! strong end-to-end check on parser, unparser and evaluator together.
+
+use xqa::{frontend, parse_document, serialize_sequence, DynamicContext, Engine};
+use xqa_workload::{generate_bib, generate_sales, BibConfig, SalesConfig};
+
+const QUERIES: &[&str] = &[
+    // Q1 both forms
+    "for $b in //book group by $b/publisher into $p, $b/year into $y \
+     nest $b/price - $b/discount into $n order by $p, $y \
+     return <group>{string($p), string($y)}<a>{avg($n)}</a></group>",
+    "for $p in distinct-values(//book/publisher) \
+     for $y in distinct-values(//book/year) \
+     let $b := //book[publisher = $p and year = $y] \
+     where exists($b) order by $p, $y \
+     return <group>{$p}|{string($y)}|{count($b)}</group>",
+    // Q2a with using
+    "declare function local:set-equal($a1 as item()*, $a2 as item()*) as xs:boolean \
+     { (every $i1 in $a1 satisfies some $i2 in $a2 satisfies $i1 eq $i2) \
+       and (every $i2 in $a2 satisfies some $i1 in $a1 satisfies $i1 eq $i2) }; \
+     for $b in //book group by $b/author into $a using local:set-equal \
+     nest $b/price into $prices return <g>{count($prices)}</g>",
+    // Q4
+    "for $b in //book group by $b/publisher into $pub nest $b/price into $prices \
+     let $avg := avg($prices) where $avg > 40 order by $avg descending \
+     return <p>{string($pub)}:{$avg}</p>",
+    // Q5
+    "for $b in //book group by $b/publisher into $pub, $b/title into $t \
+     order by $pub, $t return <pair>{string($pub)}/{string($t)}</pair>",
+    // Q7
+    "for $b in //book group by $b/publisher into $pub nest $b into $b \
+     order by $pub return <pub><n>{string($pub)}</n><c>{count($b)}</c></pub>",
+    // Q9b with return at
+    "for $b in //book order by $b/price descending \
+     return at $rank (if ($rank <= 3) then <r n=\"{$rank}\">{$b/title}</r> else ())",
+    // misc coverage
+    "for $b at $i in //book where $i mod 2 = 0 return string($b/title)",
+    "sum(//book/(price - discount))",
+    "count(//book[price > 50][position() <= 2])",
+    "every $b in //book satisfies $b/price > 0",
+];
+
+const SALES_QUERIES: &[&str] = &[
+    // Q3 extended form
+    "for $s in //sale group by $s/region into $region, \
+     year-from-dateTime($s/timestamp) into $year nest $s into $rs \
+     let $sum := sum($rs/(quantity * price)) order by $year, $region \
+     return <t>{string($region)}|{$year}|{round-half-to-even($sum, 2)}</t>",
+    // Q8 windowing
+    "for $s in //sale group by $s/region into $r \
+     nest $s order by $s/timestamp into $rs \
+     order by $r \
+     return <w r=\"{string($r)}\">{count($rs)}</w>",
+    // Q10 ranking
+    "for $s in //sale group by month-from-dateTime($s/timestamp) into $m \
+     nest $s/quantity * $s/price into $amts order by $m \
+     return <m n=\"{$m}\">{round-half-to-even(sum($amts), 2)}</m>",
+];
+
+fn check(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) {
+    let engine = Engine::new();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(doc);
+
+    let original = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let module = frontend::parse_query(query).expect("parse");
+    let printed = frontend::unparse_module(&module);
+    let reparsed = engine
+        .compile(&printed)
+        .unwrap_or_else(|e| panic!("re-compile failed: {e}\n--- printed:\n{printed}"));
+
+    let a = serialize_sequence(&original.run(&ctx).unwrap());
+    let b = serialize_sequence(&reparsed.run(&ctx).unwrap());
+    assert_eq!(a, b, "results differ after unparse round-trip:\n{query}\n--- printed:\n{printed}");
+}
+
+#[test]
+fn bibliography_queries_survive_unparse() {
+    let doc = generate_bib(&BibConfig { books: 120, ..Default::default() });
+    for q in QUERIES {
+        check(q, &doc);
+    }
+}
+
+#[test]
+fn sales_queries_survive_unparse() {
+    let doc = generate_sales(&SalesConfig { sales: 200, ..Default::default() });
+    for q in SALES_QUERIES {
+        check(q, &doc);
+    }
+}
+
+#[test]
+fn unparse_paper_q10_nested() {
+    let doc = generate_sales(&SalesConfig { sales: 150, ..Default::default() });
+    check(
+        "for $s in //sale \
+         group by year-from-dateTime($s/timestamp) into $year, \
+                  month-from-dateTime($s/timestamp) into $month \
+         nest $s into $ms order by $year, $month \
+         return <monthly-report year=\"{$year}\" month=\"{$month}\"> \
+           {for $m in $ms group by $m/region into $region \
+            nest $m/quantity * $m/price into $amounts \
+            let $sum := sum($amounts) order by $sum descending \
+            return at $rank <rr><rank>{$rank}</rank>{$region}</rr>} \
+         </monthly-report>",
+        &doc,
+    );
+}
+
+#[test]
+fn unparse_rollup_with_recursion() {
+    let doc = parse_document(
+        "<bib><book><price>10.00</price>\
+         <categories><software><db/></software></categories></book></bib>",
+    )
+    .unwrap();
+    check(
+        "declare function local:paths($roots as element()*) as xs:string* { \
+           for $c in $roots \
+           return ( string(node-name($c)), \
+                    for $p in local:paths($c/*) \
+                    return concat(string(node-name($c)), \"/\", $p) ) }; \
+         for $b in //book for $c in local:paths($b/categories/*) \
+         group by $c into $cat nest $b/price into $prices \
+         order by $cat return <r>{$cat}:{avg($prices)}</r>",
+        &doc,
+    );
+}
+
+#[test]
+fn window_and_count_clauses_survive_unparse() {
+    let doc = parse_document("<r/>").unwrap();
+    for q in [
+        "for tumbling window $w in (1 to 10) \
+         start $s at $i previous $p next $n when $i mod 3 = 1 \
+         return <w>{sum($w)}</w>",
+        "for sliding window $w in (1 to 6) \
+         start at $s when true() \
+         only end at $e when $e - $s = 2 \
+         return avg($w)",
+        "for tumbling window $w in (2, 4, 6, 1, 8) \
+         start $s when $s mod 2 = 0 end $e when $e mod 2 = 1 \
+         return count($w)",
+        "for $x in (1 to 5) count $i where $x mod 2 = 1 return ($i, $x)",
+        "for $x in (\"b\", \"a\", \"b\") group by $x into $k count $i \
+         return concat($i, $k)",
+    ] {
+        check(q, &doc);
+    }
+}

@@ -1,0 +1,299 @@
+//! The W3C XML Query Use Cases, "XMP" group, adapted to the engine's
+//! subset — the classic bibliography workload the paper's examples are
+//! modelled on. These exercise joins, restructuring, aggregation and
+//! search in combination, far beyond the paper's minimal queries.
+
+use xqa::{parse_document, serialize_sequence, DynamicContext, Engine};
+
+/// The use cases' sample `bib.xml` (attributes simplified to elements
+/// where the original used attributes only incidentally).
+const BIB: &str = r#"
+<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>"#;
+
+/// Second source for the join use cases.
+const REVIEWS: &str = r#"
+<reviews>
+  <entry>
+    <title>Data on the Web</title>
+    <price>34.95</price>
+    <review>A very good discussion of semi-structured database systems and XML.</review>
+  </entry>
+  <entry>
+    <title>Advanced Programming in the Unix environment</title>
+    <price>65.95</price>
+    <review>A clear and detailed discussion of UNIX programming.</review>
+  </entry>
+  <entry>
+    <title>TCP/IP Illustrated</title>
+    <price>65.95</price>
+    <review>One of the best books on TCP/IP.</review>
+  </entry>
+</reviews>"#;
+
+fn run(query: &str) -> String {
+    let engine = Engine::new();
+    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let bib = parse_document(BIB).unwrap();
+    let reviews = parse_document(REVIEWS).unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&bib);
+    ctx.register_document("bib.xml", &bib);
+    ctx.register_document("reviews.xml", &reviews);
+    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run: {e}\n{query}"));
+    serialize_sequence(&result)
+}
+
+#[test]
+fn xmp_q1_books_by_publisher_after_year() {
+    // List books published by Addison-Wesley after 1991, including
+    // their year and title.
+    let out = run(
+        r#"<bib>
+             {for $b in doc("bib.xml")/bib/book
+              where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+              return <book year="{$b/@year}">{$b/title}</book>}
+           </bib>"#,
+    );
+    assert_eq!(
+        out,
+        "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>\
+         <book year=\"1992\"><title>Advanced Programming in the Unix environment</title></book></bib>"
+    );
+}
+
+#[test]
+fn xmp_q2_flat_title_author_pairs() {
+    // One <result> per (title, author) pair.
+    let out = run(
+        r#"for $b in doc("bib.xml")/bib/book, $t in $b/title, $a in $b/author
+           return <result>{$t, $a/last}</result>"#,
+    );
+    assert_eq!(out.matches("<result>").count(), 5, "{out}");
+    assert!(out.contains("<result><title>Data on the Web</title><last>Suciu</last></result>"));
+}
+
+#[test]
+fn xmp_q3_titles_with_authors_grouped() {
+    // One result per book with its title and all authors.
+    let out = run(
+        r#"for $b in doc("bib.xml")/bib/book
+           return <result>{$b/title}{$b/author/last}</result>"#,
+    );
+    assert!(out.contains(
+        "<result><title>Data on the Web</title>\
+         <last>Abiteboul</last><last>Buneman</last><last>Suciu</last></result>"
+    ));
+    // The editor-only book has no authors.
+    assert!(out.contains(
+        "<result><title>The Economics of Technology and Content for Digital TV</title></result>"
+    ));
+}
+
+#[test]
+fn xmp_q4_books_per_author_via_group_by() {
+    // The use case's "invert the hierarchy" query — exactly the paper's
+    // Q7 pattern, expressed with the extension.
+    let out = run(
+        r#"for $b in doc("bib.xml")/bib/book
+           for $a in $b/author
+           group by string($a/last) into $last
+           nest $b/title into $titles
+           order by $last
+           return <result><author>{$last}</author>{$titles}</result>"#,
+    );
+    assert!(out.starts_with("<result><author>Abiteboul</author><title>Data on the Web</title></result>"));
+    assert!(out.contains(
+        "<result><author>Stevens</author><title>TCP/IP Illustrated</title>\
+         <title>Advanced Programming in the Unix environment</title></result>"
+    ));
+}
+
+#[test]
+fn xmp_q5_join_books_with_reviews() {
+    // Join bib.xml and reviews.xml on title; report both prices.
+    let out = run(
+        r#"for $b in doc("bib.xml")/bib/book,
+               $e in doc("reviews.xml")/reviews/entry
+           where string($b/title) = string($e/title)
+           order by $b/title
+           return
+             <book-with-prices>
+               {$b/title}
+               <price-bstore2>{string($e/price)}</price-bstore2>
+               <price-bstore1>{string($b/price)}</price-bstore1>
+             </book-with-prices>"#,
+    );
+    assert_eq!(out.matches("<book-with-prices>").count(), 3);
+    assert!(out.contains(
+        "<book-with-prices><title>Data on the Web</title>\
+         <price-bstore2>34.95</price-bstore2><price-bstore1>39.95</price-bstore1></book-with-prices>"
+    ));
+}
+
+#[test]
+fn xmp_q6_books_with_multiple_authors() {
+    let out = run(
+        r#"for $b in doc("bib.xml")//book
+           where count($b/author) >= 2
+           return $b/title"#,
+    );
+    assert_eq!(out, "<title>Data on the Web</title>");
+}
+
+#[test]
+fn xmp_q7_sorted_expensive_books() {
+    // Books costing more than 60, sorted by title.
+    let out = run(
+        r#"<bib>
+             {for $b in doc("bib.xml")//book[price > 60]
+              order by $b/title
+              return <book>{$b/title, $b/price}</book>}
+           </bib>"#,
+    );
+    assert_eq!(
+        out,
+        "<bib><book><title>Advanced Programming in the Unix environment</title><price>65.95</price></book>\
+         <book><title>TCP/IP Illustrated</title><price>65.95</price></book>\
+         <book><title>The Economics of Technology and Content for Digital TV</title><price>129.95</price></book></bib>"
+    );
+}
+
+#[test]
+fn xmp_q8_text_search_in_reviews() {
+    // Find titles whose review mentions "UNIX".
+    let out = run(
+        r#"for $e in doc("reviews.xml")//entry
+           where contains(string($e/review), "UNIX")
+           return $e/title"#,
+    );
+    assert_eq!(out, "<title>Advanced Programming in the Unix environment</title>");
+}
+
+#[test]
+fn xmp_q9_min_max_avg_prices() {
+    let out = run(
+        r#"let $prices := doc("bib.xml")//book/price
+           return <prices>
+             <min>{min($prices)}</min>
+             <max>{max($prices)}</max>
+             <avg>{round-half-to-even(avg($prices), 2)}</avg>
+           </prices>"#,
+    );
+    assert_eq!(out, "<prices><min>39.95</min><max>129.95</max><avg>75.45</avg></prices>");
+}
+
+#[test]
+fn xmp_q10_price_differences_across_stores() {
+    // For each book sold at both stores, the absolute price difference.
+    let out = run(
+        r#"for $b in doc("bib.xml")//book,
+               $e in doc("reviews.xml")//entry
+           where string($b/title) = string($e/title)
+              and number($b/price) != number($e/price)
+           return <diff title="{$b/title}">{abs(number($b/price) - number($e/price))}</diff>"#,
+    );
+    assert_eq!(out, "<diff title=\"Data on the Web\">5</diff>");
+}
+
+#[test]
+fn xmp_q11_books_without_authors_have_editors() {
+    let out = run(
+        r#"for $b in doc("bib.xml")//book
+           where empty($b/author)
+           return <reference>{$b/title}{$b/editor/last}</reference>"#,
+    );
+    assert_eq!(
+        out,
+        "<reference><title>The Economics of Technology and Content for Digital TV</title>\
+         <last>Gerbarg</last></reference>"
+    );
+}
+
+#[test]
+fn xmp_q12_co_author_pairs() {
+    // Distinct unordered co-author pairs via group by on constructed keys.
+    let out = run(
+        r#"for $b in doc("bib.xml")//book
+           for $a1 in $b/author/last, $a2 in $b/author/last
+           where string($a1) < string($a2)
+           group by concat(string($a1), "+", string($a2)) into $pair
+           order by $pair
+           return <pair>{$pair}</pair>"#,
+    );
+    assert_eq!(
+        out,
+        "<pair>Abiteboul+Buneman</pair><pair>Abiteboul+Suciu</pair><pair>Buneman+Suciu</pair>"
+    );
+}
+
+#[test]
+fn allocation_query_from_paper_conclusions() {
+    // §8 mentions "allocation queries": distribute a regional budget
+    // across states proportionally to their sales — two grouping levels
+    // plus arithmetic over group properties.
+    let sales = r#"<sales>
+      <sale><state>CA</state><region>West</region><amount>60</amount></sale>
+      <sale><state>OR</state><region>West</region><amount>40</amount></sale>
+      <sale><state>NY</state><region>East</region><amount>50</amount></sale>
+    </sales>"#;
+    let engine = Engine::new();
+    let doc = parse_document(sales).unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    let q = engine
+        .compile(
+            // Note: $budget must be bound by an *enclosing* FLWOR — a
+            // `let` in the same FLWOR before `group by` would be out of
+            // scope after it (the §3.2 rule, enforced statically).
+            r#"let $budget := 1000
+               return
+               for $s in //sale
+               group by $s/region into $region
+               nest $s into $rs
+               let $regional := sum($rs/amount)
+               order by $region
+               return
+                 for $t in $rs
+                 group by $t/state into $state
+                 nest $t/amount into $amounts
+                 order by $state
+                 return <alloc region="{string($region)}" state="{string($state)}">
+                          {$budget * sum($amounts) div $regional}
+                        </alloc>"#,
+        )
+        .unwrap();
+    let out = serialize_sequence(&q.run(&ctx).unwrap());
+    assert_eq!(
+        out,
+        "<alloc region=\"East\" state=\"NY\">1000</alloc>\
+         <alloc region=\"West\" state=\"CA\">600</alloc>\
+         <alloc region=\"West\" state=\"OR\">400</alloc>"
+    );
+}
