@@ -5,16 +5,25 @@
 //!    path;
 //! 3. `nest ... order by` (sort per group) vs a global pre-sort.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use xqa::{Engine, EngineOptions};
+use xqa_bench::harness::Harness;
 use xqa_bench::{q_query, qgb_query, Dataset};
 
-fn bench_detection_rewrite(c: &mut Criterion) {
+fn main() {
+    bench_detection_rewrite();
+    bench_grouping_equality();
+    bench_nest_ordering();
+    bench_moving_windows();
+}
+
+fn bench_detection_rewrite() {
     let dataset = Dataset::generate(2_000);
     let ctx = dataset.context();
     let plain = Engine::new();
-    let detecting = Engine::with_options(EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+    let detecting = Engine::with_options(EngineOptions {
+        detect_implicit_groupby: true,
+        ..Default::default()
+    });
     let q_src = q_query(&["shipmode"]);
 
     let naive = plain.compile(&q_src).expect("compiles");
@@ -22,15 +31,19 @@ fn bench_detection_rewrite(c: &mut Criterion) {
     assert_eq!(rewritten.applied_rewrites().len(), 1, "rewrite must fire");
     let explicit = plain.compile(&qgb_query(&["shipmode"])).expect("compiles");
 
-    let mut group = c.benchmark_group("ablation/detection");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
-    group.bench_function("q_naive", |b| b.iter(|| naive.run(&ctx).expect("runs")));
-    group.bench_function("q_rewritten", |b| b.iter(|| rewritten.run(&ctx).expect("runs")));
-    group.bench_function("qgb_explicit", |b| b.iter(|| explicit.run(&ctx).expect("runs")));
-    group.finish();
+    let mut group = Harness::group("ablation/detection");
+    group.bench("q_naive", || {
+        naive.run(&ctx).expect("runs");
+    });
+    group.bench("q_rewritten", || {
+        rewritten.run(&ctx).expect("runs");
+    });
+    group.bench("qgb_explicit", || {
+        explicit.run(&ctx).expect("runs");
+    });
 }
 
-fn bench_grouping_equality(c: &mut Criterion) {
+fn bench_grouping_equality() {
     let dataset = Dataset::generate(4_000);
     let ctx = dataset.context();
     let engine = Engine::new();
@@ -51,14 +64,16 @@ fn bench_grouping_equality(c: &mut Criterion) {
         )
         .expect("compiles");
 
-    let mut group = c.benchmark_group("ablation/equality");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
-    group.bench_function("hash_deep_equal", |b| b.iter(|| hash.run(&ctx).expect("runs")));
-    group.bench_function("linear_using", |b| b.iter(|| using.run(&ctx).expect("runs")));
-    group.finish();
+    let mut group = Harness::group("ablation/equality");
+    group.bench("hash_deep_equal", || {
+        hash.run(&ctx).expect("runs");
+    });
+    group.bench("linear_using", || {
+        using.run(&ctx).expect("runs");
+    });
 }
 
-fn bench_nest_ordering(c: &mut Criterion) {
+fn bench_nest_ordering() {
     let dataset = Dataset::generate(4_000);
     let ctx = dataset.context();
     let engine = Engine::new();
@@ -80,14 +95,16 @@ fn bench_nest_ordering(c: &mut Criterion) {
         )
         .expect("compiles");
 
-    let mut group = c.benchmark_group("ablation/nest_order");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
-    group.bench_function("per_group_sort", |b| b.iter(|| nest_sort.run(&ctx).expect("runs")));
-    group.bench_function("global_pre_sort", |b| b.iter(|| pre_sort.run(&ctx).expect("runs")));
-    group.finish();
+    let mut group = Harness::group("ablation/nest_order");
+    group.bench("per_group_sort", || {
+        nest_sort.run(&ctx).expect("runs");
+    });
+    group.bench("global_pre_sort", || {
+        pre_sort.run(&ctx).expect("runs");
+    });
 }
 
-fn bench_moving_windows(c: &mut Criterion) {
+fn bench_moving_windows() {
     // The paper's Q8 moving window, three ways: nested iteration (the
     // paper's only option), an XQuery 3.0 sliding window, and the O(n)
     // xqa:moving-sum extension.
@@ -113,21 +130,14 @@ fn bench_moving_windows(c: &mut Criterion) {
         .expect("compiles");
     let ctx = xqa::DynamicContext::new();
 
-    let mut group = c.benchmark_group("ablation/moving_window");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
-    group.bench_function("nested_iteration_q8", |b| b.iter(|| nested.run(&ctx).expect("runs")));
-    group.bench_function("sliding_window_clause", |b| {
-        b.iter(|| window_clause.run(&ctx).expect("runs"))
+    let mut group = Harness::group("ablation/moving_window");
+    group.bench("nested_iteration_q8", || {
+        nested.run(&ctx).expect("runs");
     });
-    group.bench_function("xqa_moving_sum", |b| b.iter(|| extension.run(&ctx).expect("runs")));
-    group.finish();
+    group.bench("sliding_window_clause", || {
+        window_clause.run(&ctx).expect("runs");
+    });
+    group.bench("xqa_moving_sum", || {
+        extension.run(&ctx).expect("runs");
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_detection_rewrite,
-    bench_grouping_equality,
-    bench_nest_ordering,
-    bench_moving_windows
-);
-criterion_main!(benches);

@@ -1,47 +1,30 @@
-//! Criterion bench behind the Section-6 chart: the Qgb side across
-//! input sizes (scaling behaviour), plus the Q side at the smallest
-//! size for the ratio's numerator.
+//! Bench behind the Section-6 chart: the Qgb side across input sizes
+//! (scaling behaviour), plus the Q side at the smallest size for the
+//! ratio's numerator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
 use xqa::Engine;
+use xqa_bench::harness::Harness;
 use xqa_bench::{q_query, qgb_query, Dataset, EXPERIMENTS};
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let engine = Engine::new();
-    let mut group = c.benchmark_group("chart/qgb_scaling");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut group = Harness::group("chart/qgb_scaling");
     for lineitems in [2_000usize, 4_000, 8_000] {
         let dataset = Dataset::generate(lineitems);
         let ctx = dataset.context();
         let compiled = engine.compile(&qgb_query(&["shipmode"])).expect("compiles");
-        group.throughput(Throughput::Elements(lineitems as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(lineitems),
-            &compiled,
-            |b, q| {
-                b.iter(|| q.run(&ctx).expect("runs"));
-            },
-        );
+        group.bench(&lineitems.to_string(), || {
+            compiled.run(&ctx).expect("runs");
+        });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("chart/q_numerator");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut group = Harness::group("chart/q_numerator");
     let dataset = Dataset::generate(2_000);
     let ctx = dataset.context();
     for e in EXPERIMENTS {
         let compiled = engine.compile(&q_query(e.keys)).expect("compiles");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}-{}groups", e.id, e.groups)),
-            &compiled,
-            |b, q| {
-                b.iter(|| q.run(&ctx).expect("runs"));
-            },
-        );
+        group.bench(&format!("{}-{}groups", e.id, e.groups), || {
+            compiled.run(&ctx).expect("runs");
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

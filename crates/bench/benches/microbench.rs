@@ -2,29 +2,23 @@
 //! query compilation, path scans, element construction, and the
 //! grouping operator in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::time::Duration;
 use xqa::{parse_document, serialize_node, DynamicContext, Engine};
+use xqa_bench::harness::Harness;
 use xqa_bench::Dataset;
 use xqa_workload::{generate_sales, SalesConfig};
 
-fn bench_xml_parse(c: &mut Criterion) {
+fn main() {
     let dataset = Dataset::generate(2_000);
     let text = serialize_node(&dataset.doc.root());
-    let mut group = c.benchmark_group("micro/xml");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
-    group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("parse", |b| {
-        b.iter(|| parse_document(&text).expect("parses"));
+    let mut group = Harness::group("micro/xml");
+    group.bench(&format!("parse ({} bytes)", text.len()), || {
+        parse_document(&text).expect("parses");
     });
     let doc = parse_document(&text).expect("parses");
-    group.bench_function("serialize", |b| {
-        b.iter(|| serialize_node(&doc.root()));
+    group.bench("serialize", || {
+        serialize_node(&doc.root());
     });
-    group.finish();
-}
 
-fn bench_compile(c: &mut Criterion) {
     let engine = Engine::new();
     let query = r#"
         for $s in //sale
@@ -36,43 +30,48 @@ fn bench_compile(c: &mut Criterion) {
         order by $year, $region
         return at $rank
           <row rank="{$rank}">{$region, $year, $sum}</row>"#;
-    let mut group = c.benchmark_group("micro/frontend");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
-    group.bench_function("parse_query", |b| {
-        b.iter(|| xqa::frontend::parse_query(query).expect("parses"));
+    let mut group = Harness::group("micro/frontend");
+    group.bench("parse_query", || {
+        xqa::frontend::parse_query(query).expect("parses");
     });
-    group.bench_function("compile_query", |b| {
-        b.iter(|| engine.compile(query).expect("compiles"));
+    group.bench("compile_query", || {
+        engine.compile(query).expect("compiles");
     });
-    group.finish();
-}
 
-fn bench_operators(c: &mut Criterion) {
-    let engine = Engine::new();
     let dataset = Dataset::generate(4_000);
     let ctx = dataset.context();
-    let mut group = c.benchmark_group("micro/operators");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut group = Harness::group("micro/operators");
 
     let scan = engine.compile("count(//order/lineitem)").expect("compiles");
-    group.bench_function("descendant_scan", |b| b.iter(|| scan.run(&ctx).expect("runs")));
+    group.bench("descendant_scan", || {
+        scan.run(&ctx).expect("runs");
+    });
 
     let predicate = engine
         .compile("count(//order/lineitem[quantity > 25])")
         .expect("compiles");
-    group.bench_function("predicate_filter", |b| b.iter(|| predicate.run(&ctx).expect("runs")));
+    group.bench("predicate_filter", || {
+        predicate.run(&ctx).expect("runs");
+    });
 
-    let aggregate = engine.compile("sum(//order/lineitem/quantity)").expect("compiles");
-    group.bench_function("sum_aggregate", |b| b.iter(|| aggregate.run(&ctx).expect("runs")));
+    let aggregate = engine
+        .compile("sum(//order/lineitem/quantity)")
+        .expect("compiles");
+    group.bench("sum_aggregate", || {
+        aggregate.run(&ctx).expect("runs");
+    });
 
     let construct = engine
-        .compile(
-            "for $o in //order return <o k=\"{$o/orderkey}\">{$o/customer/name}</o>",
-        )
+        .compile("for $o in //order return <o k=\"{$o/orderkey}\">{$o/customer/name}</o>")
         .expect("compiles");
-    group.bench_function("construct_elements", |b| b.iter(|| construct.run(&ctx).expect("runs")));
+    group.bench("construct_elements", || {
+        construct.run(&ctx).expect("runs");
+    });
 
-    let sales = generate_sales(&SalesConfig { sales: 4_000, ..Default::default() });
+    let sales = generate_sales(&SalesConfig {
+        sales: 4_000,
+        ..Default::default()
+    });
     let mut sctx = DynamicContext::new();
     sctx.set_context_document(&sales);
     let window = engine
@@ -83,9 +82,7 @@ fn bench_operators(c: &mut Criterion) {
              return count($rs)",
         )
         .expect("compiles");
-    group.bench_function("group_nest_orderby", |b| b.iter(|| window.run(&sctx).expect("runs")));
-    group.finish();
+    group.bench("group_nest_orderby", || {
+        window.run(&sctx).expect("runs");
+    });
 }
-
-criterion_group!(benches, bench_xml_parse, bench_compile, bench_operators);
-criterion_main!(benches);

@@ -1,37 +1,31 @@
-//! Criterion bench for Table 1: each query pair (with / without
-//! explicit group by), one bench per experiment.
+//! Bench for Table 1: each query pair (with / without explicit
+//! group by), one bench per experiment.
 //!
 //! Sizes are kept modest so `cargo bench` completes quickly; the
 //! `repro` binary runs the full-size sweep (8K–32K lineitems).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use xqa::Engine;
+use xqa_bench::harness::Harness;
 use xqa_bench::{q_query, qgb_query, Dataset, EXPERIMENTS};
 
-fn bench_table1(c: &mut Criterion) {
+fn main() {
     let engine = Engine::new();
     let dataset = Dataset::generate(4_000);
     let ctx = dataset.context();
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut group = Harness::group("table1");
     for e in EXPERIMENTS {
         let qgb = engine.compile(&qgb_query(e.keys)).expect("Qgb compiles");
-        group.bench_with_input(BenchmarkId::new("Qgb", e.id), &qgb, |b, q| {
-            b.iter(|| q.run(&ctx).expect("Qgb runs"));
+        group.bench(&format!("Qgb/{}", e.id), || {
+            qgb.run(&ctx).expect("Qgb runs");
         });
     }
     // The Q side is O(groups x scan), so bench only the cheap half of
     // the sweep here (the expensive points are the repro binary's job).
     for e in EXPERIMENTS.iter().take(3) {
         let q = engine.compile(&q_query(e.keys)).expect("Q compiles");
-        group.bench_with_input(BenchmarkId::new("Q", e.id), &q, |b, qq| {
-            b.iter(|| qq.run(&ctx).expect("Q runs"));
+        group.bench(&format!("Q/{}", e.id), || {
+            q.run(&ctx).expect("Q runs");
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

@@ -37,11 +37,17 @@ fn main() {
 }
 
 fn parse_flag(args: &[String], name: &str) -> Option<usize> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).and_then(|v| v.parse().ok())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
 }
 
 fn parse_string_flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn parse_list_flag(args: &[String], name: &str) -> Option<Vec<usize>> {
@@ -60,7 +66,10 @@ fn table1() {
     println!("-- group by one element ({}) --", one.keys[0]);
     println!("Qgb: {}", qgb_query(one.keys));
     println!("Q:   {}\n", q_query(one.keys));
-    println!("-- group by two elements ({}, {}) --", two.keys[0], two.keys[1]);
+    println!(
+        "-- group by two elements ({}, {}) --",
+        two.keys[0], two.keys[1]
+    );
     println!("Qgb: {}", qgb_query(two.keys));
     println!("Q:   {}\n", q_query(two.keys));
 
@@ -135,8 +144,10 @@ fn chart(sizes: &[usize], runs: usize, svg_path: Option<&str>) {
     // The chart, as the paper draws it.
     println!("chart series (x = groups, y = t(Q)/t(Qgb)):");
     for (size, points) in &series {
-        let line: Vec<String> =
-            points.iter().map(|(g, r)| format!("({g}, {r:.1})")).collect();
+        let line: Vec<String> = points
+            .iter()
+            .map(|(g, r)| format!("({g}, {r:.1})"))
+            .collect();
         println!("  {size} lineitems: {}", line.join(" "));
     }
     println!();
@@ -172,7 +183,10 @@ fn ablation() {
     // 1. Implicit group-by detection on the Q form.
     let q_src = q_query(&["shipmode"]);
     let plain = Engine::new();
-    let detecting = Engine::with_options(EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+    let detecting = Engine::with_options(EngineOptions {
+        detect_implicit_groupby: true,
+        ..Default::default()
+    });
     let t_q = bench_compiled(&plain.compile(&q_src).unwrap(), &ctx);
     let rewritten = detecting.compile(&q_src).unwrap();
     assert_eq!(rewritten.applied_rewrites().len(), 1);
@@ -206,7 +220,8 @@ fn ablation() {
                      group by $li/shipmode into $m \
                      nest $li/shipdate order by string($li/shipdate) into $ds \
                      return count($ds)";
-    let pre_sort = "for $li in (for $x in //order/lineitem order by string($x/shipdate) return $x) \
+    let pre_sort =
+        "for $li in (for $x in //order/lineitem order by string($x/shipdate) return $x) \
                     group by $li/shipmode into $m \
                     nest $li/shipdate into $ds \
                     return count($ds)";

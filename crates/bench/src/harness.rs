@@ -1,0 +1,61 @@
+//! Minimal std-only benchmark harness (Criterion-style reporting
+//! without the dependency, so the workspace builds offline).
+//!
+//! Each `[[bench]]` target sets `harness = false` and drives this from
+//! a plain `main`. Timing protocol: one untimed warm-up, then enough
+//! iterations to fill a fixed measurement budget (at least
+//! [`MIN_ITERS`]), reporting mean and minimum wall-clock time.
+
+use std::time::{Duration, Instant};
+
+/// Minimum timed iterations per benchmark.
+pub const MIN_ITERS: u32 = 5;
+
+/// Per-benchmark measurement budget.
+const BUDGET: Duration = Duration::from_millis(500);
+
+/// A named group of benchmarks, printed as a table.
+pub struct Harness {
+    group: String,
+}
+
+impl Harness {
+    /// Start a group (prints its header).
+    pub fn group(name: &str) -> Harness {
+        println!("\n== {name} ==");
+        Harness {
+            group: name.to_string(),
+        }
+    }
+
+    /// Run one benchmark: warm up, estimate, then measure.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        // Warm-up doubles as the iteration-count estimate.
+        let start = Instant::now();
+        f();
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = ((BUDGET.as_secs_f64() / once.as_secs_f64()) as u32).clamp(MIN_ITERS, 10_000);
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..iters {
+            let start = Instant::now();
+            f();
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        let mean = total / iters;
+        println!(
+            "{:<40} mean {:>12?}  min {:>12?}  ({iters} iters)",
+            format!("{}/{name}", self.group),
+            mean,
+            min
+        );
+    }
+}
+
+/// Format a throughput figure given bytes processed per iteration.
+pub fn mibps(bytes: usize, per_iter: Duration) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0) / per_iter.as_secs_f64().max(1e-12)
+}

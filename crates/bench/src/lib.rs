@@ -5,12 +5,13 @@
 //! `tax` (9), `(shipinstruct, shipmode)` (28), `(shipinstruct, tax)`
 //! (36) and `quantity` (50). [`qgb_query`]/[`q_query`] instantiate the
 //! exact Table 1 templates. The `repro` binary regenerates the paper's
-//! table and chart; the Criterion benches cover the same queries plus
+//! table and chart; the std-only benches ([`harness`]) cover the same queries plus
 //! the design-choice ablations from DESIGN.md.
 
+pub mod harness;
 pub mod svg;
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xqa::{DynamicContext, Engine, EngineResult};
 use xqa_workload::{generate_orders, OrdersConfig};
@@ -29,12 +30,36 @@ pub struct Experiment {
 
 /// The six experiments of the Section-6 chart, ordered by group count.
 pub const EXPERIMENTS: [Experiment; 6] = [
-    Experiment { id: "Q1", keys: &["shipinstruct"], groups: 4 },
-    Experiment { id: "Q2", keys: &["shipmode"], groups: 7 },
-    Experiment { id: "Q3", keys: &["tax"], groups: 9 },
-    Experiment { id: "Q4", keys: &["shipinstruct", "shipmode"], groups: 28 },
-    Experiment { id: "Q5", keys: &["shipinstruct", "tax"], groups: 36 },
-    Experiment { id: "Q6", keys: &["quantity"], groups: 50 },
+    Experiment {
+        id: "Q1",
+        keys: &["shipinstruct"],
+        groups: 4,
+    },
+    Experiment {
+        id: "Q2",
+        keys: &["shipmode"],
+        groups: 7,
+    },
+    Experiment {
+        id: "Q3",
+        keys: &["tax"],
+        groups: 9,
+    },
+    Experiment {
+        id: "Q4",
+        keys: &["shipinstruct", "shipmode"],
+        groups: 28,
+    },
+    Experiment {
+        id: "Q5",
+        keys: &["shipinstruct", "tax"],
+        groups: 36,
+    },
+    Experiment {
+        id: "Q6",
+        keys: &["quantity"],
+        groups: 50,
+    },
 ];
 
 /// Table 1, right template — *with* explicit group by (`Qgb`).
@@ -80,7 +105,7 @@ pub fn q_query(keys: &[&str]) -> String {
 /// `lineitems` total lineitems.
 pub struct Dataset {
     /// The document.
-    pub doc: Rc<xqa::xdm::Document>,
+    pub doc: Arc<xqa::xdm::Document>,
     /// Approximate lineitem count requested.
     pub lineitems: usize,
 }
@@ -88,7 +113,10 @@ pub struct Dataset {
 impl Dataset {
     /// Generate the collection.
     pub fn generate(lineitems: usize) -> Dataset {
-        Dataset { doc: generate_orders(&OrdersConfig::with_total_lineitems(lineitems)), lineitems }
+        Dataset {
+            doc: generate_orders(&OrdersConfig::with_total_lineitems(lineitems)),
+            lineitems,
+        }
     }
 
     /// A context with this dataset as the input document.
@@ -123,7 +151,10 @@ pub fn time_query(query: &str, ctx: &DynamicContext, runs: usize) -> EngineResul
         total += start.elapsed();
         assert_eq!(out.len(), result_items, "non-deterministic result size");
     }
-    Ok(Timing { mean: total / runs as u32, result_items })
+    Ok(Timing {
+        mean: total / runs as u32,
+        result_items,
+    })
 }
 
 /// One row of the chart reproduction.

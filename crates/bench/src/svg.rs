@@ -53,8 +53,10 @@ pub fn render_line_chart(config: &ChartConfig, series: &[Series]) -> String {
     let plot_w = w - MARGIN_LEFT - MARGIN_RIGHT;
     let plot_h = h - MARGIN_TOP - MARGIN_BOTTOM;
 
-    let all_points: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all_points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let (x_min, x_max) = axis_bounds(all_points.iter().map(|p| p.0), 0.0);
     let (y_min, y_max) = axis_bounds(all_points.iter().map(|p| p.1), 0.0);
 
@@ -150,7 +152,10 @@ pub fn render_line_chart(config: &ChartConfig, series: &[Series]) -> String {
         );
         for &(x, y) in &s.points {
             let (px, py) = to_px(x, y);
-            let _ = write!(svg, r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.5" fill="{color}"/>"#);
+            let _ = write!(
+                svg,
+                r#"<circle cx="{px:.1}" cy="{py:.1}" r="3.5" fill="{color}"/>"#
+            );
         }
         // Legend entry.
         let ly = MARGIN_TOP + 16.0 + i as f64 * 20.0;
@@ -197,7 +202,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -240,7 +247,10 @@ mod tests {
     #[test]
     fn escape_in_labels() {
         let svg = render_line_chart(
-            &ChartConfig { title: "a < b & c".into(), ..Default::default() },
+            &ChartConfig {
+                title: "a < b & c".into(),
+                ..Default::default()
+            },
             &sample(),
         );
         assert!(svg.contains("a &lt; b &amp; c"));

@@ -1,15 +1,26 @@
-//! `xqa` — command-line XQuery-with-analytics runner.
+//! `xqa` — command-line XQuery-with-analytics runner and server.
 //!
 //! ```text
 //! xqa [OPTIONS] <query.xq | -q "query text"> [input.xml]
 //!
-//!   -q, --query <TEXT>     inline query text instead of a file
-//!   -i, --input <FILE>     input XML document (context item)
-//!       --doc NAME=FILE    register a document for fn:doc("NAME")
-//!       --pretty           pretty-print the result
-//!       --stats            print evaluator statistics to stderr
-//!       --detect-groupby   enable the implicit group-by rewrite
-//!   -h, --help             this help
+//!   -q, --query <TEXT>          inline query text instead of a file
+//!   -i, --input <FILE>          input XML document (context item)
+//!       --doc NAME=FILE         register a document for fn:doc("NAME")
+//!       --collection NAME=F,..  register a collection for fn:collection("NAME")
+//!       --pretty                pretty-print the result
+//!       --stats                 print evaluator statistics to stderr
+//!       --detect-groupby        enable the implicit group-by rewrite
+//!   -h, --help                  this help
+//!
+//! xqa serve [OPTIONS]           start the HTTP query service
+//!
+//!       --addr HOST:PORT        bind address (default 127.0.0.1:8399)
+//!   -i, --input FILE            context document served to every query
+//!       --doc NAME=FILE         as above
+//!       --collection NAME=F,..  as above
+//!       --workers N             worker threads (default: one per core)
+//!       --cache-size N          prepared-plan cache capacity (default 128)
+//!       --detect-groupby        as above
 //! ```
 
 use std::process::ExitCode;
@@ -17,12 +28,14 @@ use xqa::{
     parse_document, serialize_sequence_with, DynamicContext, Engine, EngineOptions,
     SerializeOptions,
 };
+use xqa_service::{DocumentCatalog, Server, ServiceConfig};
 
 struct Args {
     query_text: Option<String>,
     query_file: Option<String>,
     input: Option<String>,
     docs: Vec<(String, String)>,
+    collections: Vec<(String, Vec<String>)>,
     pretty: bool,
     stats: bool,
     explain: bool,
@@ -30,44 +43,77 @@ struct Args {
 }
 
 const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
+       xqa serve [OPTIONS]
 options:
-  -q, --query TEXT     inline query text
-  -i, --input FILE     input XML document (context item)
-      --doc NAME=FILE  register a document for fn:doc(\"NAME\")
-      --pretty         pretty-print the result
-      --stats          print evaluator statistics to stderr
-      --explain        print the compiled plan to stderr before running
-      --detect-groupby enable the implicit group-by detection rewrite
-  -h, --help           show this help";
+  -q, --query TEXT          inline query text
+  -i, --input FILE          input XML document (context item)
+      --doc NAME=FILE       register a document for fn:doc(\"NAME\")
+      --collection NAME=FILE[,FILE...]
+                            register a collection for fn:collection(\"NAME\")
+      --pretty              pretty-print the result
+      --stats               print evaluator statistics to stderr
+      --explain             print the compiled plan to stderr before running
+      --detect-groupby      enable the implicit group-by detection rewrite
+  -h, --help                show this help
+serve options:
+      --addr HOST:PORT      bind address (default 127.0.0.1:8399)
+      --workers N           worker threads (default: one per core)
+      --cache-size N        prepared-plan cache capacity (default 128)";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_doc_spec(spec: &str) -> Result<(String, String), String> {
+    let (name, file) = spec
+        .split_once('=')
+        .ok_or("--doc requires NAME=FILE syntax")?;
+    Ok((name.to_string(), file.to_string()))
+}
+
+fn parse_collection_spec(spec: &str) -> Result<(String, Vec<String>), String> {
+    let (name, files) = spec
+        .split_once('=')
+        .ok_or("--collection requires NAME=FILE[,FILE...] syntax")?;
+    let files: Vec<String> = files
+        .split(',')
+        .filter(|f| !f.is_empty())
+        .map(str::to_string)
+        .collect();
+    if files.is_empty() {
+        return Err("--collection requires at least one file".to_string());
+    }
+    Ok((name.to_string(), files))
+}
+
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         query_text: None,
         query_file: None,
         input: None,
         docs: Vec::new(),
+        collections: Vec::new(),
         pretty: false,
         stats: false,
         explain: false,
         detect_groupby: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = raw;
     let mut positional: Vec<String> = Vec::new();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-h" | "--help" => return Err(USAGE.to_string()),
             "-q" | "--query" => {
-                args.query_text =
-                    Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
+                args.query_text = Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
             }
             "-i" | "--input" => {
                 args.input = Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
             }
             "--doc" => {
                 let spec = it.next().ok_or("--doc requires NAME=FILE")?;
-                let (name, file) =
-                    spec.split_once('=').ok_or("--doc requires NAME=FILE syntax")?;
-                args.docs.push((name.to_string(), file.to_string()));
+                args.docs.push(parse_doc_spec(&spec)?);
+            }
+            "--collection" => {
+                let spec = it
+                    .next()
+                    .ok_or("--collection requires NAME=FILE[,FILE...]")?;
+                args.collections.push(parse_collection_spec(&spec)?);
             }
             "--pretty" => args.pretty = true,
             "--stats" => args.stats = true,
@@ -98,8 +144,10 @@ fn run(args: &Args) -> Result<(), String> {
         }
         (None, None) => unreachable!("parse_args guarantees a query"),
     };
-    let engine =
-        Engine::with_options(EngineOptions { detect_implicit_groupby: args.detect_groupby, ..Default::default() });
+    let engine = Engine::with_options(EngineOptions {
+        detect_implicit_groupby: args.detect_groupby,
+        ..Default::default()
+    });
     let query = engine.compile(&query_source).map_err(|e| e.to_string())?;
     for rewrite in query.applied_rewrites() {
         eprintln!("rewrite: {rewrite}");
@@ -117,30 +165,150 @@ fn run(args: &Args) -> Result<(), String> {
     // Hold registered docs alive for the duration of the run.
     let mut registered = Vec::new();
     for (name, file) in &args.docs {
-        let text =
-            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
         let doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
         ctx.register_document(name.clone(), &doc);
         registered.push(doc);
     }
+    for (name, files) in &args.collections {
+        let mut roots = Vec::with_capacity(files.len());
+        for file in files {
+            let text =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            let doc = parse_document(&text).map_err(|e| format!("{file}: {e}"))?;
+            roots.push(doc.root());
+            registered.push(doc);
+        }
+        ctx.register_collection(name.clone(), roots);
+    }
     let result = query.run(&ctx).map_err(|e| e.to_string())?;
-    let options =
-        if args.pretty { SerializeOptions::pretty() } else { SerializeOptions::default() };
+    let options = if args.pretty {
+        SerializeOptions::pretty()
+    } else {
+        SerializeOptions::default()
+    };
     println!("{}", serialize_sequence_with(&result, options));
     if args.stats {
+        let s = ctx.stats.snapshot();
         eprintln!(
             "stats: nodes_visited={} tuples_grouped={} groups_emitted={} comparisons={}",
-            ctx.stats.nodes_visited.get(),
-            ctx.stats.tuples_grouped.get(),
-            ctx.stats.groups_emitted.get(),
-            ctx.stats.comparisons.get()
+            s.nodes_visited, s.tuples_grouped, s.groups_emitted, s.comparisons
         );
     }
     Ok(())
 }
 
+struct ServeArgs {
+    addr: String,
+    input: Option<String>,
+    docs: Vec<(String, String)>,
+    collections: Vec<(String, Vec<String>)>,
+    workers: usize,
+    cache_size: usize,
+    detect_groupby: bool,
+}
+
+fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        addr: "127.0.0.1:8399".to_string(),
+        input: None,
+        docs: Vec::new(),
+        collections: Vec::new(),
+        workers: 0,
+        cache_size: 128,
+        detect_groupby: false,
+    };
+    let mut it = raw;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--addr" => {
+                args.addr = it.next().ok_or("--addr requires HOST:PORT")?;
+            }
+            "-i" | "--input" => {
+                args.input = Some(it.next().ok_or_else(|| format!("{arg} requires a value"))?);
+            }
+            "--doc" => {
+                let spec = it.next().ok_or("--doc requires NAME=FILE")?;
+                args.docs.push(parse_doc_spec(&spec)?);
+            }
+            "--collection" => {
+                let spec = it
+                    .next()
+                    .ok_or("--collection requires NAME=FILE[,FILE...]")?;
+                args.collections.push(parse_collection_spec(&spec)?);
+            }
+            "--workers" => {
+                let n = it.next().ok_or("--workers requires a number")?;
+                args.workers = n.parse().map_err(|_| format!("invalid worker count {n}"))?;
+            }
+            "--cache-size" => {
+                let n = it.next().ok_or("--cache-size requires a number")?;
+                args.cache_size = n.parse().map_err(|_| format!("invalid cache size {n}"))?;
+            }
+            "--detect-groupby" => args.detect_groupby = true,
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn serve(args: &ServeArgs) -> Result<(), String> {
+    let mut catalog = DocumentCatalog::new();
+    if let Some(input) = &args.input {
+        catalog.set_context_file(input).map_err(|e| e.to_string())?;
+    }
+    for (name, file) in &args.docs {
+        catalog
+            .add_document_file(name, file)
+            .map_err(|e| e.to_string())?;
+    }
+    for (name, files) in &args.collections {
+        catalog
+            .add_collection_files(name, files)
+            .map_err(|e| e.to_string())?;
+    }
+    let config = ServiceConfig {
+        workers: args.workers,
+        plan_cache_capacity: args.cache_size,
+        engine_options: EngineOptions {
+            detect_implicit_groupby: args.detect_groupby,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = Server::start(&args.addr, &catalog, config)
+        .map_err(|e| format!("cannot bind {}: {e}", args.addr))?;
+    // Announce the bound address (with the real port when --addr used
+    // port 0) so callers can connect; then serve until killed.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        let args = match parse_serve_args(argv) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+        };
+        return match serve(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("xqa: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let args = match parse_args(argv) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");

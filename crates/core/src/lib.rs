@@ -57,6 +57,10 @@ pub use xqa_xdm as xdm;
 /// The frontend (lexer, AST, parser) for tooling that wants syntax trees.
 pub use xqa_frontend as frontend;
 
+/// The serving layer (document catalog, plan cache, HTTP server) behind
+/// `xqa serve`.
+pub use xqa_service as service;
+
 use xqa_xdm::Sequence;
 
 /// One-shot convenience: compile `query`, run it against `xml`, and
@@ -73,8 +77,9 @@ pub fn run_query(query: &str, xml: &str) -> EngineResult<String> {
 pub fn run_query_items(query: &str, xml: &str) -> EngineResult<Sequence> {
     let engine = Engine::new();
     let compiled = engine.compile(query)?;
-    let doc = parse_document(xml).map_err(|e| {
-        EngineError::Static { code: xqa_xdm::ErrorCode::Other, message: e.to_string() }
+    let doc = parse_document(xml).map_err(|e| EngineError::Static {
+        code: xqa_xdm::ErrorCode::Other,
+        message: e.to_string(),
     })?;
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);

@@ -18,13 +18,20 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 
 #[test]
 fn inline_query_against_input_file() {
-    let input = write_temp("books.xml", "<bib><book><price>10</price></book><book><price>20</price></book></bib>");
+    let input = write_temp(
+        "books.xml",
+        "<bib><book><price>10</price></book><book><price>20</price></book></bib>",
+    );
     let out = xqa()
         .args(["-q", "sum(//price)"])
         .arg(&input)
         .output()
         .expect("run xqa");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "30");
 }
 
@@ -42,15 +49,27 @@ fn query_file_with_group_by() {
          <book><publisher>A</publisher><price>3</price></book></bib>",
     );
     let out = xqa().arg(&query).arg(&input).output().expect("run xqa");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "<r>A:4</r><r>B:2</r>");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "<r>A:4</r><r>B:2</r>"
+    );
 }
 
 #[test]
 fn stats_and_explain_go_to_stderr() {
     let input = write_temp("v.xml", "<r><v>1</v><v>1</v></r>");
     let out = xqa()
-        .args(["-q", "for $v in //v group by $v into $k return $k", "--stats", "--explain"])
+        .args([
+            "-q",
+            "for $v in //v group by $v into $k return $k",
+            "--stats",
+            "--explain",
+        ])
         .arg(&input)
         .output()
         .expect("run xqa");
@@ -85,7 +104,11 @@ fn doc_registration() {
         .arg(&input)
         .output()
         .expect("run xqa");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
 }
 
@@ -138,13 +161,121 @@ fn help_and_unknown_flags() {
     let out = xqa().arg("--help").output().expect("run xqa");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage: xqa"));
-    let out = xqa().args(["--frobnicate", "-q", "1"]).output().expect("run xqa");
+    let out = xqa()
+        .args(["--frobnicate", "-q", "1"])
+        .output()
+        .expect("run xqa");
     assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
 fn no_input_document_queries_still_work() {
-    let out = xqa().args(["-q", "(1 to 5)[. mod 2 = 1]"]).output().expect("run xqa");
+    let out = xqa()
+        .args(["-q", "(1 to 5)[. mod 2 = 1]"])
+        .output()
+        .expect("run xqa");
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "1 3 5");
+}
+
+#[test]
+fn collection_registration() {
+    let input = write_temp("coll-main.xml", "<main/>");
+    let a = write_temp("coll-a.xml", "<part><v>1</v></part>");
+    let b = write_temp("coll-b.xml", "<part><v>2</v><v>3</v></part>");
+    let out = xqa()
+        .args([
+            "-q",
+            "sum(for $d in collection(\"parts\") return sum($d//v))",
+        ])
+        .args([
+            "--collection".to_string(),
+            format!("parts={},{}", a.display(), b.display()),
+        ])
+        .arg(&input)
+        .output()
+        .expect("run xqa");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "6");
+    // Malformed spec is a usage error.
+    let out = xqa()
+        .args(["-q", "1", "--collection", "nofiles="])
+        .output()
+        .expect("run xqa");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// Spawn `xqa serve` on an ephemeral port and run HTTP requests
+/// against it, comparing with one-shot CLI output.
+#[test]
+fn serve_answers_queries_like_one_shot_runs() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+
+    let input = write_temp(
+        "serve-bib.xml",
+        "<bib><book><publisher>A</publisher><price>1</price></book>\
+         <book><publisher>B</publisher><price>2</price></book>\
+         <book><publisher>A</publisher><price>3</price></book></bib>",
+    );
+    let query = "for $b in //book group by $b/publisher into $p \
+                 nest $b/price into $prices order by $p \
+                 return <r>{string($p)}:{sum($prices)}</r>";
+
+    // Reference: a one-shot CLI run of the same query over the same file.
+    let one_shot = xqa()
+        .args(["-q", query])
+        .arg(&input)
+        .output()
+        .expect("one-shot run");
+    assert!(
+        one_shot.status.success(),
+        "{}",
+        String::from_utf8_lossy(&one_shot.stderr)
+    );
+    let expected = String::from_utf8_lossy(&one_shot.stdout).trim().to_string();
+
+    let mut child = xqa()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "-i"])
+        .arg(&input)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn xqa serve");
+    // The server prints "listening on HOST:PORT" once bound.
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("child stdout"))
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listen line")
+        .to_string();
+
+    let served = (|| -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(&addr)?;
+        use std::io::Write as _;
+        write!(
+            stream,
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+            query.len()
+        )?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        Ok(response)
+    })();
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let response = served.expect("query over HTTP");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("");
+    assert_eq!(body, expected);
 }

@@ -33,7 +33,10 @@ pub fn cast_atomic(v: &AtomicValue, target: CastTarget) -> XdmResult<AtomicValue
                 }
                 let t = d.trunc();
                 if t < i64::MIN as f64 || t > i64::MAX as f64 {
-                    return Err(XdmError::new(ErrorCode::FOAR0002, "integer overflow in cast"));
+                    return Err(XdmError::new(
+                        ErrorCode::FOAR0002,
+                        "integer overflow in cast",
+                    ));
                 }
                 V::Integer(t as i64)
             }
@@ -65,7 +68,16 @@ pub fn cast_atomic(v: &AtomicValue, target: CastTarget) -> XdmResult<AtomicValue
         },
         CastTarget::DateTime => match v {
             V::DateTime(dt) => V::DateTime(*dt),
-            V::Date(d) => V::DateTime(DateTime::new(d.year, d.month, d.day, 0, 0, 0, 0, d.tz_offset_min)?),
+            V::Date(d) => V::DateTime(DateTime::new(
+                d.year,
+                d.month,
+                d.day,
+                0,
+                0,
+                0,
+                0,
+                d.tz_offset_min,
+            )?),
             V::String(s) | V::Untyped(s) => V::DateTime(DateTime::parse(s)?),
             other => return cast_err(other, "xs:dateTime"),
         },
@@ -79,7 +91,10 @@ pub fn cast_atomic(v: &AtomicValue, target: CastTarget) -> XdmResult<AtomicValue
 }
 
 fn cast_err(v: &AtomicValue, target: &str) -> XdmResult<AtomicValue> {
-    Err(XdmError::type_error(format!("cannot cast {} to {target}", v.atomic_type())))
+    Err(XdmError::type_error(format!(
+        "cannot cast {} to {target}",
+        v.atomic_type()
+    )))
 }
 
 /// Resolve a lexical type name (`xs:integer`, `integer`) to a cast
@@ -137,8 +152,14 @@ mod tests {
 
     #[test]
     fn boolean_casts() {
-        assert!(matches!(cast_atomic(&s("true"), CastTarget::Boolean).unwrap(), AtomicValue::Boolean(true)));
-        assert!(matches!(cast_atomic(&s("0"), CastTarget::Boolean).unwrap(), AtomicValue::Boolean(false)));
+        assert!(matches!(
+            cast_atomic(&s("true"), CastTarget::Boolean).unwrap(),
+            AtomicValue::Boolean(true)
+        ));
+        assert!(matches!(
+            cast_atomic(&s("0"), CastTarget::Boolean).unwrap(),
+            AtomicValue::Boolean(false)
+        ));
         assert!(matches!(
             cast_atomic(&AtomicValue::Double(f64::NAN), CastTarget::Boolean).unwrap(),
             AtomicValue::Boolean(false)
@@ -160,8 +181,14 @@ mod tests {
 
     #[test]
     fn name_resolution() {
-        assert_eq!(cast_target_from_name(Some("xs"), "integer"), Some(CastTarget::Integer));
-        assert_eq!(cast_target_from_name(None, "double"), Some(CastTarget::Double));
+        assert_eq!(
+            cast_target_from_name(Some("xs"), "integer"),
+            Some(CastTarget::Integer)
+        );
+        assert_eq!(
+            cast_target_from_name(None, "double"),
+            Some(CastTarget::Double)
+        );
         assert_eq!(cast_target_from_name(Some("xs"), "anyURI"), None);
         assert_eq!(cast_target_from_name(Some("my"), "integer"), None);
     }

@@ -14,7 +14,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::functions;
 use crate::ir::{self, Ir};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use xqa_frontend::ast;
 use xqa_xdm::{Decimal, ErrorCode, QName};
 
@@ -77,7 +77,11 @@ impl Frame {
     }
 
     fn lookup(&self, name: &str) -> Option<ir::Slot> {
-        self.bindings.iter().rev().find(|(n, _)| n == name).map(|&(_, s)| s)
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
     }
 
     fn mark(&self) -> usize {
@@ -87,7 +91,11 @@ impl Frame {
     /// Drop visibility of bindings made after `mark` (slots stay
     /// allocated — tuples may still carry their values).
     fn truncate(&mut self, mark: usize) -> Vec<String> {
-        self.bindings.split_off(mark).into_iter().map(|(n, _)| n).collect()
+        self.bindings
+            .split_off(mark)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
     }
 }
 
@@ -129,7 +137,9 @@ impl Compiler {
         let id = self.signatures.len();
         self.function_ids.insert(key, id);
         let _ = name;
-        self.signatures.push(FunctionSig { arity: f.params.len() });
+        self.signatures.push(FunctionSig {
+            arity: f.params.len(),
+        });
         Ok(())
     }
 
@@ -175,7 +185,9 @@ impl Compiler {
             ast::ItemType::ProcessingInstruction => ir::ItemTypeIr::Pi,
             ast::ItemType::EmptySequence => ir::ItemTypeIr::EmptySequence,
             ast::ItemType::Atomic(name) => {
-                if name.local == "anyAtomicType" && matches!(name.prefix.as_deref(), None | Some("xs")) {
+                if name.local == "anyAtomicType"
+                    && matches!(name.prefix.as_deref(), None | Some("xs"))
+                {
                     ir::ItemTypeIr::AnyAtomic
                 } else {
                     match cast_target_from_name(name.prefix.as_deref(), &name.local) {
@@ -207,7 +219,11 @@ impl Compiler {
             return Ok(Ir::Global(g));
         }
         // The §3.2 diagnostic: the name exists but was hidden by group by.
-        if self.group_hidden.iter().any(|level| level.iter().any(|n| n == name)) {
+        if self
+            .group_hidden
+            .iter()
+            .any(|level| level.iter().any(|n| n == name))
+        {
             return Err(EngineError::stat(
                 ErrorCode::XPST0008,
                 format!(
@@ -216,16 +232,17 @@ impl Compiler {
                 ),
             ));
         }
-        Err(EngineError::stat(ErrorCode::XPST0008, format!("undefined variable ${name}")))
+        Err(EngineError::stat(
+            ErrorCode::XPST0008,
+            format!("undefined variable ${name}"),
+        ))
     }
 
     fn compile_expr(&mut self, e: &ast::Expr) -> EngineResult<Ir> {
         Ok(match &e.kind {
-            ast::ExprKind::StringLit(s) => Ir::Str(Rc::from(s.as_str())),
+            ast::ExprKind::StringLit(s) => Ir::Str(Arc::from(s.as_str())),
             ast::ExprKind::IntegerLit(v) => Ir::Int(*v),
-            ast::ExprKind::DecimalLit(s) => {
-                Ir::Dec(Decimal::parse(s).map_err(EngineError::from)?)
-            }
+            ast::ExprKind::DecimalLit(s) => Ir::Dec(Decimal::parse(s).map_err(EngineError::from)?),
             ast::ExprKind::DoubleLit(v) => Ir::Dbl(*v),
             ast::ExprKind::VarRef(name) => self.lookup_var(name)?,
             ast::ExprKind::ContextItem => Ir::ContextItem,
@@ -248,9 +265,10 @@ impl Compiler {
                     }
                 }
             }
-            ast::ExprKind::Range(a, b) => {
-                Ir::Range(Box::new(self.compile_expr(a)?), Box::new(self.compile_expr(b)?))
-            }
+            ast::ExprKind::Range(a, b) => Ir::Range(
+                Box::new(self.compile_expr(a)?),
+                Box::new(self.compile_expr(b)?),
+            ),
             ast::ExprKind::Arith(op, a, b) => Ir::Arith(
                 *op,
                 Box::new(self.compile_expr(a)?),
@@ -273,23 +291,33 @@ impl Compiler {
                 Box::new(self.compile_expr(a)?),
                 Box::new(self.compile_expr(b)?),
             ),
-            ast::ExprKind::And(a, b) => {
-                Ir::And(Box::new(self.compile_expr(a)?), Box::new(self.compile_expr(b)?))
-            }
-            ast::ExprKind::Or(a, b) => {
-                Ir::Or(Box::new(self.compile_expr(a)?), Box::new(self.compile_expr(b)?))
-            }
+            ast::ExprKind::And(a, b) => Ir::And(
+                Box::new(self.compile_expr(a)?),
+                Box::new(self.compile_expr(b)?),
+            ),
+            ast::ExprKind::Or(a, b) => Ir::Or(
+                Box::new(self.compile_expr(a)?),
+                Box::new(self.compile_expr(b)?),
+            ),
             ast::ExprKind::SetOp(op, a, b) => Ir::SetOp(
                 *op,
                 Box::new(self.compile_expr(a)?),
                 Box::new(self.compile_expr(b)?),
             ),
-            ast::ExprKind::If { cond, then, otherwise } => Ir::If(
+            ast::ExprKind::If {
+                cond,
+                then,
+                otherwise,
+            } => Ir::If(
                 Box::new(self.compile_expr(cond)?),
                 Box::new(self.compile_expr(then)?),
                 Box::new(self.compile_expr(otherwise)?),
             ),
-            ast::ExprKind::Quantified { kind, bindings, satisfies } => {
+            ast::ExprKind::Quantified {
+                kind,
+                bindings,
+                satisfies,
+            } => {
                 let mark = self.frame.mark();
                 let mut compiled = Vec::with_capacity(bindings.len());
                 for (var, expr) in bindings {
@@ -299,7 +327,11 @@ impl Compiler {
                 }
                 let satisfies = Box::new(self.compile_expr(satisfies)?);
                 self.frame.truncate(mark);
-                Ir::Quantified { kind: *kind, bindings: compiled, satisfies }
+                Ir::Quantified {
+                    kind: *kind,
+                    bindings: compiled,
+                    satisfies,
+                }
             }
             ast::ExprKind::Flwor(f) => self.compile_flwor(f)?,
             ast::ExprKind::Path(p) => self.compile_path(p)?,
@@ -310,9 +342,9 @@ impl Compiler {
             }
             ast::ExprKind::FunctionCall { name, args } => self.compile_call(name, args)?,
             ast::ExprKind::DirectElement(el) => self.compile_direct_element(el)?,
-            ast::ExprKind::DirectComment(text) => Ir::Comment(Rc::from(text.as_str())),
+            ast::ExprKind::DirectComment(text) => Ir::Comment(Arc::from(text.as_str())),
             ast::ExprKind::DirectPi(target, data) => {
-                Ir::Pi(QName::local(target.as_str()), Rc::from(data.as_str()))
+                Ir::Pi(QName::local(target.as_str()), Arc::from(data.as_str()))
             }
             ast::ExprKind::ComputedElement { name, content } => {
                 let content = match content {
@@ -369,8 +401,10 @@ impl Compiler {
     }
 
     fn compile_call(&mut self, name: &ast::Name, args: &[ast::Expr]) -> EngineResult<Ir> {
-        let compiled: Vec<Ir> =
-            args.iter().map(|a| self.compile_expr(a)).collect::<EngineResult<_>>()?;
+        let compiled: Vec<Ir> = args
+            .iter()
+            .map(|a| self.compile_expr(a))
+            .collect::<EngineResult<_>>()?;
         // User functions take precedence for prefixed names they define
         // (`local:` in practice).
         let key = (name.to_string(), args.len());
@@ -417,7 +451,12 @@ impl Compiler {
                             Some(t) => Some(self.compile_seq_type(t)?),
                             None => None,
                         };
-                        clauses.push(ir::ClauseIr::For { slot, at_slot, ty, expr });
+                        clauses.push(ir::ClauseIr::For {
+                            slot,
+                            at_slot,
+                            ty,
+                            expr,
+                        });
                     }
                 }
                 ast::InitialClause::Let(bindings) => {
@@ -492,7 +531,11 @@ impl Compiler {
             let mut nests = Vec::new();
             for (nest, (expr, order_by)) in g.nests.iter().zip(nest_parts) {
                 let slot = self.frame.bind(&nest.var);
-                nests.push(ir::NestIr { expr, order_by, slot });
+                nests.push(ir::NestIr {
+                    expr,
+                    order_by,
+                    slot,
+                });
             }
             clauses.push(ir::ClauseIr::GroupBy(ir::GroupByIr { keys, nests }));
 
@@ -529,7 +572,11 @@ impl Compiler {
             self.group_hidden.pop();
         }
         self.frame.truncate(flwor_mark);
-        Ok(Ir::Flwor(Box::new(ir::FlworIr { clauses, return_at, return_expr })))
+        Ok(Ir::Flwor(Box::new(ir::FlworIr {
+            clauses,
+            return_at,
+            return_expr,
+        })))
     }
 
     /// Compile a window clause. Scoping per XQuery 3.0: the start
@@ -544,7 +591,13 @@ impl Compiler {
         let previous_slot = bind_opt(&mut self.frame, &w.start.previous_var);
         let next_slot = bind_opt(&mut self.frame, &w.start.next_var);
         let when = self.compile_expr(&w.start.when)?;
-        let start = ir::WindowCondIr { item_slot, at_slot, previous_slot, next_slot, when };
+        let start = ir::WindowCondIr {
+            item_slot,
+            at_slot,
+            previous_slot,
+            next_slot,
+            when,
+        };
         let end = match &w.end {
             Some(c) => {
                 let item_slot = bind_opt(&mut self.frame, &c.item_var);
@@ -552,12 +605,25 @@ impl Compiler {
                 let previous_slot = bind_opt(&mut self.frame, &c.previous_var);
                 let next_slot = bind_opt(&mut self.frame, &c.next_var);
                 let when = self.compile_expr(&c.when)?;
-                Some(ir::WindowCondIr { item_slot, at_slot, previous_slot, next_slot, when })
+                Some(ir::WindowCondIr {
+                    item_slot,
+                    at_slot,
+                    previous_slot,
+                    next_slot,
+                    when,
+                })
             }
             None => None,
         };
         let slot = self.frame.bind(&w.var);
-        Ok(ir::WindowIr { sliding: w.sliding, slot, expr, start, end, only_end: w.only_end })
+        Ok(ir::WindowIr {
+            sliding: w.sliding,
+            slot,
+            expr,
+            start,
+            end,
+            only_end: w.only_end,
+        })
     }
 
     fn compile_order_by(&mut self, ob: &ast::OrderByClause) -> EngineResult<ir::OrderByIr> {
@@ -569,7 +635,10 @@ impl Compiler {
                 empty_greatest: spec.empty == Some(ast::EmptyOrder::Greatest),
             });
         }
-        Ok(ir::OrderByIr { stable: ob.stable, specs })
+        Ok(ir::OrderByIr {
+            stable: ob.stable,
+            specs,
+        })
     }
 
     fn compile_path(&mut self, p: &ast::Path) -> EngineResult<Ir> {
@@ -601,7 +670,7 @@ impl Compiler {
             let mut compiled = Vec::new();
             for part in parts {
                 compiled.push(match part {
-                    ast::AttrPart::Literal(s) => ir::AttrPartIr::Literal(Rc::from(s.as_str())),
+                    ast::AttrPart::Literal(s) => ir::AttrPartIr::Literal(Arc::from(s.as_str())),
                     ast::AttrPart::Enclosed(e) => ir::AttrPartIr::Enclosed(self.compile_expr(e)?),
                 });
             }
@@ -610,12 +679,16 @@ impl Compiler {
         let mut content = Vec::new();
         for part in &el.content {
             content.push(match part {
-                ast::ContentPart::Literal(s) => ir::ContentIr::Literal(Rc::from(s.as_str())),
+                ast::ContentPart::Literal(s) => ir::ContentIr::Literal(Arc::from(s.as_str())),
                 ast::ContentPart::Enclosed(e) => ir::ContentIr::Enclosed(self.compile_expr(e)?),
                 ast::ContentPart::Child(e) => ir::ContentIr::Child(self.compile_expr(e)?),
             });
         }
-        Ok(Ir::Element(Box::new(ir::ElementIr { name: to_qname(&el.name), attributes, content })))
+        Ok(Ir::Element(Box::new(ir::ElementIr {
+            name: to_qname(&el.name),
+            attributes,
+            content,
+        })))
     }
 }
 
@@ -651,9 +724,7 @@ fn compile_node_test(t: &ast::NodeTest) -> ir::NodeTestIr {
         ast::NodeTest::AnyKind => ir::NodeTestIr::AnyKind,
         ast::NodeTest::Text => ir::NodeTestIr::Text,
         ast::NodeTest::Comment => ir::NodeTestIr::Comment,
-        ast::NodeTest::ProcessingInstruction(target) => {
-            ir::NodeTestIr::Pi(target.clone())
-        }
+        ast::NodeTest::ProcessingInstruction(target) => ir::NodeTestIr::Pi(target.clone()),
         ast::NodeTest::Element(n) => ir::NodeTestIr::Element(n.as_ref().map(to_qname)),
         ast::NodeTest::Attribute(n) => ir::NodeTestIr::Attribute(n.as_ref().map(to_qname)),
         ast::NodeTest::Document => ir::NodeTestIr::Document,
@@ -691,10 +762,7 @@ mod tests {
 
     #[test]
     fn pre_group_variable_out_of_scope_after_group_by() {
-        let err = compile_src(
-            "for $b in (1,2) group by $b into $k return $b",
-        )
-        .unwrap_err();
+        let err = compile_src("for $b in (1,2) group by $b into $k return $b").unwrap_err();
         assert_eq!(err.code(), ErrorCode::XPST0008);
         assert!(err.to_string().contains("group by"), "got: {err}");
     }
@@ -702,19 +770,15 @@ mod tests {
     #[test]
     fn rebinding_same_name_as_nest_variable_is_allowed_q7() {
         // Q7 rebinds $b as a nesting variable.
-        let q = compile_src(
-            "for $b in (1,2) group by $b into $pub nest $b into $b return $b",
-        );
+        let q = compile_src("for $b in (1,2) group by $b into $pub nest $b into $b return $b");
         assert!(q.is_ok(), "{q:?}");
     }
 
     #[test]
     fn grouping_expression_may_not_reference_grouping_variable() {
         // $k is only in scope *after* groups form.
-        let err = compile_src(
-            "for $b in (1,2) group by $b into $k, $k into $k2 return $k",
-        )
-        .unwrap_err();
+        let err =
+            compile_src("for $b in (1,2) group by $b into $k, $k into $k2 return $k").unwrap_err();
         assert_eq!(err.code(), ErrorCode::XPST0008);
     }
 
@@ -755,10 +819,8 @@ mod tests {
 
     #[test]
     fn using_requires_declared_arity_2_function() {
-        let err = compile_src(
-            "for $b in (1,2) group by $b into $k using local:nope return $k",
-        )
-        .unwrap_err();
+        let err = compile_src("for $b in (1,2) group by $b into $k using local:nope return $k")
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::XPST0017);
         let ok = compile_src(
             "declare function local:same($a as item()*, $b as item()*) as xs:boolean { true() }; \
@@ -769,10 +831,7 @@ mod tests {
 
     #[test]
     fn globals_compile_in_order() {
-        let q = compile_src(
-            "declare variable $a := 1; declare variable $b := $a + 1; $b",
-        )
-        .unwrap();
+        let q = compile_src("declare variable $a := 1; declare variable $b := $a + 1; $b").unwrap();
         assert_eq!(q.globals.len(), 2);
         assert!(matches!(q.body, Ir::Global(1)));
         // $b referencing a later global fails

@@ -1,8 +1,8 @@
 //! Static and dynamic evaluation contexts.
 
-use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use xqa_xdm::{DateTime, Document, Item, NodeHandle};
 
 /// The focus: context item, position and size, as set by path steps and
@@ -19,25 +19,73 @@ pub struct Focus {
 
 /// Evaluation statistics, useful for demonstrating the plan-shape
 /// difference the paper measures (scans vs. single-pass grouping).
+///
+/// Counters are relaxed [`AtomicU64`]s so a context can be shared
+/// (`Arc<DynamicContext>`) across service worker threads and the stats
+/// aggregate without locks; single-threaded overhead is an uncontended
+/// atomic add per bump.
 #[derive(Debug, Default)]
 pub struct EvalStats {
     /// Nodes touched by axis traversal.
-    pub nodes_visited: Cell<u64>,
+    pub nodes_visited: AtomicU64,
     /// Input tuples consumed by `group by` clauses.
-    pub tuples_grouped: Cell<u64>,
+    pub tuples_grouped: AtomicU64,
     /// Groups emitted by `group by` clauses.
-    pub groups_emitted: Cell<u64>,
+    pub groups_emitted: AtomicU64,
     /// Item comparisons performed (general/value comparisons).
-    pub comparisons: Cell<u64>,
+    pub comparisons: AtomicU64,
+}
+
+/// A plain-value copy of [`EvalStats`] taken at one instant.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EvalStatsSnapshot {
+    /// Nodes touched by axis traversal.
+    pub nodes_visited: u64,
+    /// Input tuples consumed by `group by` clauses.
+    pub tuples_grouped: u64,
+    /// Groups emitted by `group by` clauses.
+    pub groups_emitted: u64,
+    /// Item comparisons performed.
+    pub comparisons: u64,
 }
 
 impl EvalStats {
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.nodes_visited.set(0);
-        self.tuples_grouped.set(0);
-        self.groups_emitted.set(0);
-        self.comparisons.set(0);
+        self.nodes_visited.store(0, Ordering::Relaxed);
+        self.tuples_grouped.store(0, Ordering::Relaxed);
+        self.groups_emitted.store(0, Ordering::Relaxed);
+        self.comparisons.store(0, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the nodes-visited counter.
+    pub fn add_nodes_visited(&self, n: u64) {
+        self.nodes_visited.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the tuples-grouped counter.
+    pub fn add_tuples_grouped(&self, n: u64) {
+        self.tuples_grouped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the groups-emitted counter.
+    pub fn add_groups_emitted(&self, n: u64) {
+        self.groups_emitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the comparisons counter.
+    pub fn add_comparisons(&self, n: u64) {
+        self.comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> EvalStatsSnapshot {
+        EvalStatsSnapshot {
+            nodes_visited: self.nodes_visited.load(Ordering::Relaxed),
+            tuples_grouped: self.tuples_grouped.load(Ordering::Relaxed),
+            groups_emitted: self.groups_emitted.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -100,7 +148,7 @@ impl DynamicContext {
 
     /// Set the initial context item to the given document's root,
     /// making `/`, `//x` and `fn:root()` work.
-    pub fn set_context_document(&mut self, doc: &Rc<Document>) -> &mut Self {
+    pub fn set_context_document(&mut self, doc: &Arc<Document>) -> &mut Self {
         self.context_item = Some(Item::Node(doc.root()));
         self
     }
@@ -117,7 +165,7 @@ impl DynamicContext {
     }
 
     /// Register a document for `fn:doc("uri")`.
-    pub fn register_document(&mut self, uri: impl Into<String>, doc: &Rc<Document>) -> &mut Self {
+    pub fn register_document(&mut self, uri: impl Into<String>, doc: &Arc<Document>) -> &mut Self {
         self.documents.insert(uri.into(), doc.root());
         self
     }
@@ -157,7 +205,7 @@ mod tests {
     use super::*;
     use xqa_xdm::{DocumentBuilder, QName};
 
-    fn doc() -> Rc<Document> {
+    fn doc() -> Arc<Document> {
         let mut b = DocumentBuilder::new();
         b.start_element(QName::local("r")).end_element();
         b.finish()
@@ -192,10 +240,26 @@ mod tests {
     #[test]
     fn stats_reset() {
         let ctx = DynamicContext::new();
-        ctx.stats.nodes_visited.set(5);
-        ctx.stats.comparisons.set(2);
+        ctx.stats.add_nodes_visited(5);
+        ctx.stats.add_comparisons(2);
+        assert_eq!(ctx.stats.snapshot().nodes_visited, 5);
         ctx.stats.reset();
-        assert_eq!(ctx.stats.nodes_visited.get(), 0);
-        assert_eq!(ctx.stats.comparisons.get(), 0);
+        assert_eq!(ctx.stats.snapshot(), EvalStatsSnapshot::default());
+    }
+
+    #[test]
+    fn stats_aggregate_across_threads() {
+        let ctx = std::sync::Arc::new(DynamicContext::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = std::sync::Arc::clone(&ctx);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        ctx.stats.add_comparisons(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(ctx.stats.snapshot().comparisons, 4000);
     }
 }

@@ -25,7 +25,10 @@ pub enum EngineError {
 impl EngineError {
     /// Create a static error.
     pub fn stat(code: ErrorCode, message: impl Into<String>) -> EngineError {
-        EngineError::Static { code, message: message.into() }
+        EngineError::Static {
+            code,
+            message: message.into(),
+        }
     }
 
     /// Create a dynamic error.

@@ -13,11 +13,11 @@ use crate::functions::{self, FnCtx};
 use crate::ir::*;
 use crate::types::{function_conversion, matches_seq_type};
 use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::Arc;
 use xqa_frontend::ast::{ArithOp, Axis, NodeComparison, Quantifier, SetOp};
 use xqa_xdm::{
-    effective_boolean_value, general_compare, AtomicValue, Decimal, Document,
-    DocumentBuilder, ErrorCode, Item, NodeHandle, NodeKind, Sequence,
+    effective_boolean_value, general_compare, AtomicValue, Decimal, Document, DocumentBuilder,
+    ErrorCode, Item, NodeHandle, NodeKind, Sequence,
 };
 
 /// Maximum user-function recursion depth. Kept conservative because each
@@ -27,46 +27,58 @@ const MAX_RECURSION: usize = 64;
 
 /// Execute a compiled query against a dynamic context.
 pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<Sequence> {
-    let mut interp = Interpreter { query, dynamic, globals: Vec::new(), depth: Cell::new(0) };
+    let mut interp = Interpreter {
+        query,
+        dynamic,
+        globals: Vec::new(),
+        depth: Cell::new(0),
+    };
     for g in &query.globals {
         let mut env = Env::new(g.frame_size, initial_focus(dynamic));
         let v = interp.eval(&g.init, &mut env)?;
-        interp.globals.push(Rc::new(v));
+        interp.globals.push(Arc::new(v));
     }
     let mut env = Env::new(query.frame_size, initial_focus(dynamic));
     interp.eval(&query.body, &mut env)
 }
 
 fn initial_focus(dynamic: &DynamicContext) -> Option<Focus> {
-    dynamic.context_item().map(|item| Focus { item: item.clone(), position: 1, size: 1 })
+    dynamic.context_item().map(|item| Focus {
+        item: item.clone(),
+        position: 1,
+        size: 1,
+    })
 }
 
 /// The evaluation environment: frame slots plus the focus.
 pub(crate) struct Env {
-    /// Variable slots (`Rc` so tuple snapshots are cheap).
-    pub slots: Vec<Rc<Sequence>>,
+    /// Variable slots (`Arc` so tuple snapshots are cheap).
+    pub slots: Vec<Arc<Sequence>>,
     /// The focus, if a context item is defined.
     pub focus: Option<Focus>,
 }
 
 impl Env {
     pub(crate) fn new(frame_size: usize, focus: Option<Focus>) -> Env {
-        let empty: Rc<Sequence> = Rc::new(Vec::new());
-        Env { slots: vec![empty; frame_size], focus }
+        let empty: Arc<Sequence> = Arc::new(Vec::new());
+        Env {
+            slots: vec![empty; frame_size],
+            focus,
+        }
     }
 }
 
 pub(crate) struct Interpreter<'a> {
     pub(crate) query: &'a CompiledQuery,
     pub(crate) dynamic: &'a DynamicContext,
-    pub(crate) globals: Vec<Rc<Sequence>>,
+    pub(crate) globals: Vec<Arc<Sequence>>,
     depth: Cell<usize>,
 }
 
 impl<'a> Interpreter<'a> {
     pub(crate) fn eval(&self, ir: &Ir, env: &mut Env) -> EngineResult<Sequence> {
         match ir {
-            Ir::Str(s) => Ok(vec![Item::Atomic(AtomicValue::String(Rc::clone(s)))]),
+            Ir::Str(s) => Ok(vec![Item::Atomic(AtomicValue::String(Arc::clone(s)))]),
             Ir::Int(v) => Ok(vec![Item::from(*v)]),
             Ir::Dec(v) => Ok(vec![Item::Atomic(AtomicValue::Decimal(*v))]),
             Ir::Dbl(v) => Ok(vec![Item::from(*v)]),
@@ -88,9 +100,7 @@ impl<'a> Interpreter<'a> {
                 let lo = self.eval_opt_integer(a, env, "range start")?;
                 let hi = self.eval_opt_integer(b, env, "range end")?;
                 match (lo, hi) {
-                    (Some(lo), Some(hi)) if lo <= hi => {
-                        Ok((lo..=hi).map(Item::from).collect())
-                    }
+                    (Some(lo), Some(hi)) if lo <= hi => Ok((lo..=hi).map(Item::from).collect()),
                     _ => Ok(vec![]),
                 }
             }
@@ -103,9 +113,9 @@ impl<'a> Interpreter<'a> {
                 let v = self.eval(a, env)?;
                 match opt_numeric(&v, "unary minus")? {
                     None => Ok(vec![]),
-                    Some(AtomicValue::Integer(i)) => Ok(vec![Item::from(
-                        i.checked_neg().ok_or_else(overflow)?,
-                    )]),
+                    Some(AtomicValue::Integer(i)) => {
+                        Ok(vec![Item::from(i.checked_neg().ok_or_else(overflow)?)])
+                    }
                     Some(AtomicValue::Decimal(d)) => {
                         Ok(vec![Item::Atomic(AtomicValue::Decimal(d.neg()))])
                     }
@@ -116,11 +126,12 @@ impl<'a> Interpreter<'a> {
             Ir::GeneralComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
                 let rhs = self.eval(b, env)?;
-                let stats = &self.dynamic.stats;
-                stats
-                    .comparisons
-                    .set(stats.comparisons.get() + (lhs.len() * rhs.len()) as u64);
-                Ok(vec![Item::from(general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?)])
+                self.dynamic
+                    .stats
+                    .add_comparisons((lhs.len() * rhs.len()) as u64);
+                Ok(vec![Item::from(
+                    general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?,
+                )])
             }
             Ir::ValueComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
@@ -129,7 +140,7 @@ impl<'a> Interpreter<'a> {
                 let ra = opt_atomic(&rhs, "value comparison")?;
                 match (la, ra) {
                     (Some(la), Some(ra)) => {
-                        self.dynamic.stats.comparisons.set(self.dynamic.stats.comparisons.get() + 1);
+                        self.dynamic.stats.add_comparisons(1);
                         // Value comparisons treat untyped operands as strings.
                         let la = untyped_to_string(la);
                         let ra = untyped_to_string(ra);
@@ -183,7 +194,11 @@ impl<'a> Interpreter<'a> {
                     self.eval(otherwise, env)
                 }
             }
-            Ir::Quantified { kind, bindings, satisfies } => {
+            Ir::Quantified {
+                kind,
+                bindings,
+                satisfies,
+            } => {
                 let result = self.eval_quantified(*kind, bindings, satisfies, env, 0)?;
                 Ok(vec![Item::from(result)])
             }
@@ -198,7 +213,10 @@ impl<'a> Interpreter<'a> {
                 for a in args {
                     evaluated.push(self.eval(a, env)?);
                 }
-                let cx = FnCtx { focus: env.focus.as_ref(), dynamic: self.dynamic };
+                let cx = FnCtx {
+                    focus: env.focus.as_ref(),
+                    dynamic: self.dynamic,
+                };
                 functions::dispatch(*b, evaluated, &cx)
             }
             Ir::CallUser(id, args) => self.call_user(*id, args, env),
@@ -206,7 +224,11 @@ impl<'a> Interpreter<'a> {
                 let mut b = DocumentBuilder::new();
                 self.construct_element(&mut b, el, env)?;
                 let doc = b.finish();
-                let node = doc.root().children().next().expect("constructor built one element");
+                let node = doc
+                    .root()
+                    .children()
+                    .next()
+                    .expect("constructor built one element");
                 Ok(vec![Item::Node(node)])
             }
             Ir::Attribute { name, value } => {
@@ -214,7 +236,10 @@ impl<'a> Interpreter<'a> {
                     Some(v) => atomize_join(&self.eval(v, env)?),
                     None => String::new(),
                 };
-                Ok(vec![Item::Node(Document::standalone_attribute(name.clone(), text.as_str()))])
+                Ok(vec![Item::Node(Document::standalone_attribute(
+                    name.clone(),
+                    text.as_str(),
+                ))])
             }
             Ir::Text(content) => {
                 let text = match content {
@@ -228,19 +253,25 @@ impl<'a> Interpreter<'a> {
                 let mut b = DocumentBuilder::new();
                 b.text(&text);
                 let doc = b.finish();
-                Ok(vec![Item::Node(doc.root().children().next().expect("text node built"))])
+                Ok(vec![Item::Node(
+                    doc.root().children().next().expect("text node built"),
+                )])
             }
             Ir::Comment(text) => {
                 let mut b = DocumentBuilder::new();
                 b.comment(&**text);
                 let doc = b.finish();
-                Ok(vec![Item::Node(doc.root().children().next().expect("comment built"))])
+                Ok(vec![Item::Node(
+                    doc.root().children().next().expect("comment built"),
+                )])
             }
             Ir::Pi(target, data) => {
                 let mut b = DocumentBuilder::new();
                 b.processing_instruction(target.clone(), &**data);
                 let doc = b.finish();
-                Ok(vec![Item::Node(doc.root().children().next().expect("PI built"))])
+                Ok(vec![Item::Node(
+                    doc.root().children().next().expect("PI built"),
+                )])
             }
             Ir::InstanceOf(a, ty) => {
                 let v = self.eval(a, env)?;
@@ -289,7 +320,10 @@ impl<'a> Interpreter<'a> {
                 if d.fract() == 0.0 && d.is_finite() {
                     Ok(Some(d as i64))
                 } else {
-                    Err(EngineError::dynamic(ErrorCode::XPTY0004, format!("{what}: not an integer")))
+                    Err(EngineError::dynamic(
+                        ErrorCode::XPTY0004,
+                        format!("{what}: not an integer"),
+                    ))
                 }
             }
             Some(_) => unreachable!("opt_numeric returns numerics"),
@@ -310,7 +344,7 @@ impl<'a> Interpreter<'a> {
         let (slot, ref expr) = bindings[index];
         let seq = self.eval(expr, env)?;
         for item in seq {
-            env.slots[slot] = Rc::new(vec![item]);
+            env.slots[slot] = Arc::new(vec![item]);
             let inner = self.eval_quantified(kind, bindings, satisfies, env, index + 1)?;
             match kind {
                 Quantifier::Some if inner => return Ok(true),
@@ -328,7 +362,10 @@ impl<'a> Interpreter<'a> {
         if depth >= MAX_RECURSION {
             return Err(EngineError::dynamic(
                 ErrorCode::Other,
-                format!("recursion limit ({MAX_RECURSION}) exceeded in {}", func.name),
+                format!(
+                    "recursion limit ({MAX_RECURSION}) exceeded in {}",
+                    func.name
+                ),
             ));
         }
         // Function bodies see no focus (the context item is undefined
@@ -337,14 +374,12 @@ impl<'a> Interpreter<'a> {
         for (i, arg) in args.iter().enumerate() {
             let value = self.eval(arg, env)?;
             let value = match &func.param_types[i] {
-                Some(ty) => function_conversion(
-                    value,
-                    ty,
-                    &format!("argument {} of {}", i + 1, func.name),
-                )?,
+                Some(ty) => {
+                    function_conversion(value, ty, &format!("argument {} of {}", i + 1, func.name))?
+                }
                 None => value,
             };
-            callee.slots[i] = Rc::new(value);
+            callee.slots[i] = Arc::new(value);
         }
         self.depth.set(depth + 1);
         let result = self.eval(&func.body, &mut callee);
@@ -369,20 +404,21 @@ impl<'a> Interpreter<'a> {
         if depth >= MAX_RECURSION {
             return Err(EngineError::dynamic(
                 ErrorCode::Other,
-                format!("recursion limit ({MAX_RECURSION}) exceeded in {}", func.name),
+                format!(
+                    "recursion limit ({MAX_RECURSION}) exceeded in {}",
+                    func.name
+                ),
             ));
         }
         let mut callee = Env::new(func.frame_size.max(func.arity), None);
         for (i, value) in values.into_iter().enumerate() {
             let value = match &func.param_types[i] {
-                Some(ty) => function_conversion(
-                    value,
-                    ty,
-                    &format!("argument {} of {}", i + 1, func.name),
-                )?,
+                Some(ty) => {
+                    function_conversion(value, ty, &format!("argument {} of {}", i + 1, func.name))?
+                }
                 None => value,
             };
-            callee.slots[i] = Rc::new(value);
+            callee.slots[i] = Arc::new(value);
         }
         self.depth.set(depth + 1);
         let result = self.eval(&func.body, &mut callee);
@@ -427,7 +463,11 @@ impl<'a> Interpreter<'a> {
 
     fn eval_step(&self, step: &StepIr, input: Sequence, env: &mut Env) -> EngineResult<Sequence> {
         match step {
-            StepIr::Axis { axis, test, predicates } => {
+            StepIr::Axis {
+                axis,
+                test,
+                predicates,
+            } => {
                 let mut out: Sequence = Vec::new();
                 for item in &input {
                     let node = match item {
@@ -460,8 +500,11 @@ impl<'a> Interpreter<'a> {
                 let mut out: Sequence = Vec::new();
                 let mut result: EngineResult<()> = Ok(());
                 for (i, item) in input.iter().enumerate() {
-                    env.focus =
-                        Some(Focus { item: item.clone(), position: i as i64 + 1, size });
+                    env.focus = Some(Focus {
+                        item: item.clone(),
+                        position: i as i64 + 1,
+                        size,
+                    });
                     match self.eval(expr, env) {
                         Ok(r) => match self.apply_predicates(r, predicates, env) {
                             Ok(r) => out.extend(r),
@@ -529,7 +572,10 @@ impl<'a> Interpreter<'a> {
             }
             Axis::Parent => {
                 visited += 1;
-                node.parent().filter(|n| test_matches(test, n, false)).into_iter().collect()
+                node.parent()
+                    .filter(|n| test_matches(test, n, false))
+                    .into_iter()
+                    .collect()
             }
             Axis::Ancestor => node
                 .ancestors()
@@ -542,7 +588,9 @@ impl<'a> Interpreter<'a> {
                 .filter(|n| test_matches(test, n, false))
                 .collect(),
             Axis::FollowingSibling | Axis::PrecedingSibling => {
-                let Some(parent) = node.parent() else { return Vec::new() };
+                let Some(parent) = node.parent() else {
+                    return Vec::new();
+                };
                 let siblings: Vec<NodeHandle> = parent.children().collect();
                 visited += siblings.len() as u64;
                 let pos = siblings
@@ -560,7 +608,7 @@ impl<'a> Interpreter<'a> {
                 picked
             }
         };
-        stats.nodes_visited.set(stats.nodes_visited.get() + visited);
+        stats.add_nodes_visited(visited);
         out
     }
 
@@ -580,7 +628,11 @@ impl<'a> Interpreter<'a> {
             let mut failure: Option<EngineError> = None;
             for (i, item) in current.iter().enumerate() {
                 let position = i as i64 + 1;
-                env.focus = Some(Focus { item: item.clone(), position, size });
+                env.focus = Some(Focus {
+                    item: item.clone(),
+                    position,
+                    size,
+                });
                 match self.eval(pred, env) {
                     Ok(value) => match predicate_truth(&value, position) {
                         Ok(true) => kept.push(item.clone()),
@@ -720,7 +772,10 @@ impl<'a> Interpreter<'a> {
 // ---- helpers --------------------------------------------------------
 
 fn no_context(what: &str) -> EngineError {
-    EngineError::dynamic(ErrorCode::Other, format!("{what} used with no context item (XPDY0002)"))
+    EngineError::dynamic(
+        ErrorCode::Other,
+        format!("{what} used with no context item (XPDY0002)"),
+    )
 }
 
 fn overflow() -> EngineError {
@@ -840,7 +895,10 @@ fn integer_arith(op: ArithOp, x: i64, y: i64) -> EngineResult<AtomicValue> {
         }
         ArithOp::IDiv => {
             if y == 0 {
-                return Err(EngineError::dynamic(ErrorCode::FOAR0001, "integer division by zero"));
+                return Err(EngineError::dynamic(
+                    ErrorCode::FOAR0001,
+                    "integer division by zero",
+                ));
             }
             AtomicValue::Integer(x.checked_div(y).ok_or_else(overflow)?)
         }
@@ -859,9 +917,9 @@ fn decimal_arith(op: ArithOp, x: &Decimal, y: &Decimal) -> EngineResult<AtomicVa
         ArithOp::Sub => AtomicValue::Decimal(x.checked_sub(y)?),
         ArithOp::Mul => AtomicValue::Decimal(x.checked_mul(y)?),
         ArithOp::Div => AtomicValue::Decimal(x.checked_div(y)?),
-        ArithOp::IDiv => AtomicValue::Integer(
-            i64::try_from(x.checked_idiv(y)?).map_err(|_| overflow())?,
-        ),
+        ArithOp::IDiv => {
+            AtomicValue::Integer(i64::try_from(x.checked_idiv(y)?).map_err(|_| overflow())?)
+        }
         ArithOp::Mod => AtomicValue::Decimal(x.checked_rem(y)?),
     })
 }
@@ -978,11 +1036,17 @@ fn test_matches(test: &NodeTestIr, node: &NodeHandle, principal_attribute: bool)
         }
         NodeTestIr::Element(name) => {
             node.kind() == NodeKind::Element
-                && name.as_ref().map(|q| node.name() == Some(q)).unwrap_or(true)
+                && name
+                    .as_ref()
+                    .map(|q| node.name() == Some(q))
+                    .unwrap_or(true)
         }
         NodeTestIr::Attribute(name) => {
             node.kind() == NodeKind::Attribute
-                && name.as_ref().map(|q| node.name() == Some(q)).unwrap_or(true)
+                && name
+                    .as_ref()
+                    .map(|q| node.name() == Some(q))
+                    .unwrap_or(true)
         }
         NodeTestIr::Document => node.kind() == NodeKind::Document,
     }

@@ -105,7 +105,11 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
             line(out, depth, "else");
             write_ir(out, e, depth + 1);
         }
-        Ir::Quantified { kind, bindings, satisfies } => {
+        Ir::Quantified {
+            kind,
+            bindings,
+            satisfies,
+        } => {
             line(out, depth, &format!("quantified {kind:?}"));
             for (slot, expr) in bindings {
                 line(out, depth + 1, &format!("bind slot{slot} in"));
@@ -137,11 +141,19 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
             }
             for step in &p.steps {
                 match step {
-                    StepIr::Axis { axis, test, predicates } => {
+                    StepIr::Axis {
+                        axis,
+                        test,
+                        predicates,
+                    } => {
                         line(
                             out,
                             depth + 1,
-                            &format!("step {axis:?}::{}{}", describe_test(test), preds(predicates)),
+                            &format!(
+                                "step {axis:?}::{}{}",
+                                describe_test(test),
+                                preds(predicates)
+                            ),
                         );
                         for p in predicates {
                             write_ir(out, p, depth + 2);
@@ -229,7 +241,12 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
 
 fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
     match clause {
-        ClauseIr::For { slot, at_slot, expr, .. } => {
+        ClauseIr::For {
+            slot,
+            at_slot,
+            expr,
+            ..
+        } => {
             let at = at_slot.map(|s| format!(" at slot{s}")).unwrap_or_default();
             line(out, depth, &format!("for slot{slot}{at} in"));
             write_ir(out, expr, depth + 1);
@@ -275,8 +292,16 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                 write_ir(out, &key.expr, depth + 2);
             }
             for nest in &g.nests {
-                let ordered = if nest.order_by.is_some() { " (ordered)" } else { "" };
-                line(out, depth + 1, &format!("nest -> slot{}{ordered}", nest.slot));
+                let ordered = if nest.order_by.is_some() {
+                    " (ordered)"
+                } else {
+                    ""
+                };
+                line(
+                    out,
+                    depth + 1,
+                    &format!("nest -> slot{}{ordered}", nest.slot),
+                );
                 write_ir(out, &nest.expr, depth + 2);
                 if let Some(ob) = &nest.order_by {
                     for spec in &ob.specs {
@@ -291,7 +316,15 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
             }
         }
         ClauseIr::OrderBy(ob) => {
-            line(out, depth, if ob.stable { "order-by (stable)" } else { "order-by" });
+            line(
+                out,
+                depth,
+                if ob.stable {
+                    "order-by (stable)"
+                } else {
+                    "order-by"
+                },
+            );
             for spec in &ob.specs {
                 line(
                     out,
@@ -384,7 +417,10 @@ mod tests {
              return $k",
         );
         assert!(plan.contains("using user#0 (linear probe)"), "{plan}");
-        assert!(plan.contains("nest -> slot") && plan.contains("(ordered)"), "{plan}");
+        assert!(
+            plan.contains("nest -> slot") && plan.contains("(ordered)"),
+            "{plan}"
+        );
         assert!(plan.contains("function local:eq#2"), "{plan}");
     }
 

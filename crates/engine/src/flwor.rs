@@ -15,11 +15,13 @@ use crate::ir::*;
 use crate::keys::GroupIndex;
 use crate::types::matches_seq_type;
 use std::cmp::Ordering;
-use std::rc::Rc;
-use xqa_xdm::{deep_equal, effective_boolean_value, sort_compare, AtomicValue, ErrorCode, Item, Sequence};
+use std::sync::Arc;
+use xqa_xdm::{
+    deep_equal, effective_boolean_value, sort_compare, AtomicValue, ErrorCode, Item, Sequence,
+};
 
 /// One tuple of the stream: a snapshot of the frame slots.
-type Tuple = Vec<Rc<Sequence>>;
+type Tuple = Vec<Arc<Sequence>>;
 
 /// Order-by key values for one tuple (one entry per spec).
 type OrderKeys = Vec<Option<AtomicValue>>;
@@ -42,7 +44,7 @@ impl Interpreter<'_> {
             env.slots = tuple;
             if let Some(at) = f.return_at {
                 // §4: the output ordinal, after any order by.
-                env.slots[at] = Rc::new(vec![Item::from(i as i64 + 1)]);
+                env.slots[at] = Arc::new(vec![Item::from(i as i64 + 1)]);
             }
             out.extend(self.eval(&f.return_expr, env)?);
         }
@@ -56,7 +58,12 @@ impl Interpreter<'_> {
         env: &mut Env,
     ) -> EngineResult<Vec<Tuple>> {
         match clause {
-            ClauseIr::For { slot, at_slot, ty, expr } => {
+            ClauseIr::For {
+                slot,
+                at_slot,
+                ty,
+                expr,
+            } => {
                 let mut out = Vec::new();
                 for tuple in tuples {
                     env.slots = tuple;
@@ -73,9 +80,9 @@ impl Interpreter<'_> {
                             }
                         }
                         let mut t = tuple.clone();
-                        t[*slot] = Rc::new(vec![item]);
+                        t[*slot] = Arc::new(vec![item]);
                         if let Some(at) = at_slot {
-                            t[*at] = Rc::new(vec![Item::from(i as i64 + 1)]);
+                            t[*at] = Arc::new(vec![Item::from(i as i64 + 1)]);
                         }
                         out.push(t);
                     }
@@ -96,7 +103,7 @@ impl Interpreter<'_> {
                         }
                     }
                     let mut t = std::mem::take(&mut env.slots);
-                    t[*slot] = Rc::new(seq);
+                    t[*slot] = Arc::new(seq);
                     out.push(t);
                 }
                 Ok(out)
@@ -119,7 +126,7 @@ impl Interpreter<'_> {
             ClauseIr::Count { slot } => {
                 let mut out = Vec::with_capacity(tuples.len());
                 for (i, mut tuple) in tuples.into_iter().enumerate() {
-                    tuple[*slot] = Rc::new(vec![Item::from(i as i64 + 1)]);
+                    tuple[*slot] = Arc::new(vec![Item::from(i as i64 + 1)]);
                     out.push(tuple);
                 }
                 Ok(out)
@@ -149,9 +156,9 @@ impl Interpreter<'_> {
             // Bind a condition's variables for boundary index `i` on the
             // scratch tuple, then evaluate `when` as a boolean.
             let eval_cond = |cond: &WindowCondIr,
-                                 base: &Tuple,
-                                 i: usize,
-                                 env: &mut Env|
+                             base: &Tuple,
+                             i: usize,
+                             env: &mut Env|
              -> EngineResult<(bool, Tuple)> {
                 let mut t = base.clone();
                 bind_window_vars(&mut t, cond, &items, i);
@@ -244,7 +251,7 @@ impl Interpreter<'_> {
             }
 
             for (s_idx, e_idx, mut t) in windows {
-                t[w.slot] = Rc::new(items[s_idx..=e_idx].to_vec());
+                t[w.slot] = Arc::new(items[s_idx..=e_idx].to_vec());
                 out.push(t);
             }
         }
@@ -297,7 +304,7 @@ impl Interpreter<'_> {
         }
 
         let stats = &self.dynamic.stats;
-        stats.tuples_grouped.set(stats.tuples_grouped.get() + tuples.len() as u64);
+        stats.add_tuples_grouped(tuples.len() as u64);
 
         let has_using = g.keys.iter().any(|k| k.using.is_some());
         let mut groups: Vec<Group> = Vec::new();
@@ -371,7 +378,7 @@ impl Interpreter<'_> {
             }
         }
 
-        stats.groups_emitted.set(stats.groups_emitted.get() + groups.len() as u64);
+        stats.add_groups_emitted(groups.len() as u64);
 
         // Emit one output tuple per group, in order of first appearance
         // (the ordering-mode=ordered behaviour; with no order by the
@@ -381,7 +388,7 @@ impl Interpreter<'_> {
         for group in groups {
             let mut tuple = group.base;
             for (key, vals) in g.keys.iter().zip(group.keys) {
-                tuple[key.slot] = Rc::new(vals);
+                tuple[key.slot] = Arc::new(vals);
             }
             for (nest, mut entries) in g.nests.iter().zip(group.nests) {
                 if let Some(ob) = &nest.order_by {
@@ -393,7 +400,7 @@ impl Interpreter<'_> {
                     // "merged and lose their individual identity" (§3.1).
                     seq.append(&mut vals);
                 }
-                tuple[nest.slot] = Rc::new(seq);
+                tuple[nest.slot] = Arc::new(seq);
             }
             out.push(tuple);
         }
@@ -426,7 +433,11 @@ fn sort_keyed<T>(items: &mut [(OrderKeys, T)], specs: &[OrderSpecIr]) -> EngineR
 /// Compare two key tuples under the specs (major key first). The empty
 /// sequence sorts least by default, greatest under `empty greatest`;
 /// `descending` reverses the whole comparison for that key.
-fn compare_order_keys(a: &OrderKeys, b: &OrderKeys, specs: &[OrderSpecIr]) -> EngineResult<Ordering> {
+fn compare_order_keys(
+    a: &OrderKeys,
+    b: &OrderKeys,
+    specs: &[OrderSpecIr],
+) -> EngineResult<Ordering> {
     debug_assert_eq!(a.len(), specs.len());
     for ((ka, kb), spec) in a.iter().zip(b).zip(specs) {
         let ord = match (ka, kb) {
@@ -464,20 +475,28 @@ fn compare_order_keys(a: &OrderKeys, b: &OrderKeys, specs: &[OrderSpecIr]) -> En
     Ok(Ordering::Equal)
 }
 
-
 /// Bind a window condition's variables on the tuple for boundary `i`.
 fn bind_window_vars(t: &mut Tuple, cond: &WindowCondIr, items: &[Item], i: usize) {
     if let Some(slot) = cond.item_slot {
-        t[slot] = Rc::new(vec![items[i].clone()]);
+        t[slot] = Arc::new(vec![items[i].clone()]);
     }
     if let Some(slot) = cond.at_slot {
-        t[slot] = Rc::new(vec![Item::from(i as i64 + 1)]);
+        t[slot] = Arc::new(vec![Item::from(i as i64 + 1)]);
     }
     if let Some(slot) = cond.previous_slot {
-        t[slot] = Rc::new(if i > 0 { vec![items[i - 1].clone()] } else { Vec::new() });
+        t[slot] = Arc::new(if i > 0 {
+            vec![items[i - 1].clone()]
+        } else {
+            Vec::new()
+        });
     }
     if let Some(slot) = cond.next_slot {
-        t[slot] = Rc::new(items.get(i + 1).map(|x| vec![x.clone()]).unwrap_or_default());
+        t[slot] = Arc::new(
+            items
+                .get(i + 1)
+                .map(|x| vec![x.clone()])
+                .unwrap_or_default(),
+        );
     }
 }
 

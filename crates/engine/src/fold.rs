@@ -68,49 +68,44 @@ fn fold_ir(ir: &mut Ir, count: &mut usize) {
         fold_ir(child, count);
     }
     // Then try to collapse this node.
-    let replacement: Option<Ir> = match &*ir {
-        Ir::Arith(op, a, b) => match (literal(a), literal(b)) {
-            (Some(la), Some(lb)) => eval_arith(*op, &[la], &[lb])
-                .ok()
-                .and_then(|r| make_literal(&r)),
+    let replacement: Option<Ir> =
+        match &*ir {
+            Ir::Arith(op, a, b) => match (literal(a), literal(b)) {
+                (Some(la), Some(lb)) => eval_arith(*op, &[la], &[lb])
+                    .ok()
+                    .and_then(|r| make_literal(&r)),
+                _ => None,
+            },
+            Ir::Neg(a) => literal(a).and_then(|v| {
+                eval_arith(xqa_frontend::ast::ArithOp::Sub, &[Item::from(0i64)], &[v])
+                    .ok()
+                    .and_then(|r| make_literal(&r))
+            }),
+            Ir::ValueComp(op, a, b) => match (literal(a), literal(b)) {
+                (Some(Item::Atomic(la)), Some(Item::Atomic(lb))) => value_compare(&la, &lb, *op)
+                    .ok()
+                    .map(|v| make_literal(&[Item::from(v)]).expect("boolean literal")),
+                _ => None,
+            },
+            Ir::GeneralComp(op, a, b) => match (literal(a), literal(b)) {
+                (Some(la), Some(lb)) => general_compare(&[la], &[lb], *op)
+                    .ok()
+                    .map(|v| make_literal(&[Item::from(v)]).expect("boolean literal")),
+                _ => None,
+            },
+            Ir::And(a, b) => fold_logic(a, b, true),
+            Ir::Or(a, b) => fold_logic(a, b, false),
+            Ir::If(c, t, e) => literal(c).and_then(|v| {
+                effective_boolean_value(&[v]).ok().map(|cond| {
+                    if cond {
+                        (**t).clone()
+                    } else {
+                        (**e).clone()
+                    }
+                })
+            }),
             _ => None,
-        },
-        Ir::Neg(a) => literal(a).and_then(|v| {
-            eval_arith(
-                xqa_frontend::ast::ArithOp::Sub,
-                &[Item::from(0i64)],
-                &[v],
-            )
-            .ok()
-            .and_then(|r| make_literal(&r))
-        }),
-        Ir::ValueComp(op, a, b) => match (literal(a), literal(b)) {
-            (Some(Item::Atomic(la)), Some(Item::Atomic(lb))) => value_compare(&la, &lb, *op)
-                .ok()
-                .map(|v| {
-                    make_literal(&[Item::from(v)]).expect("boolean literal")
-                }),
-            _ => None,
-        },
-        Ir::GeneralComp(op, a, b) => match (literal(a), literal(b)) {
-            (Some(la), Some(lb)) => general_compare(&[la], &[lb], *op)
-                .ok()
-                .map(|v| make_literal(&[Item::from(v)]).expect("boolean literal")),
-            _ => None,
-        },
-        Ir::And(a, b) => fold_logic(a, b, true),
-        Ir::Or(a, b) => fold_logic(a, b, false),
-        Ir::If(c, t, e) => literal(c).and_then(|v| {
-            effective_boolean_value(&[v]).ok().map(|cond| {
-                if cond {
-                    (**t).clone()
-                } else {
-                    (**e).clone()
-                }
-            })
-        }),
-        _ => None,
-    };
+        };
     if let Some(new) = replacement {
         *ir = new;
         *count += 1;
@@ -128,7 +123,8 @@ fn fold_logic(a: &Ir, b: &Ir, is_and: bool) -> Option<Ir> {
     };
     let t = || Ir::CallBuiltin(crate::functions::Builtin::TrueFn, Vec::new());
     let f = || Ir::CallBuiltin(crate::functions::Builtin::FalseFn, Vec::new());
-    let wrap_ebv = |ir: &Ir| Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, vec![ir.clone()]);
+    let wrap_ebv =
+        |ir: &Ir| Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, vec![ir.clone()]);
     match (lit_bool(a), lit_bool(b)) {
         (Some(x), Some(y)) => Some(if is_and {
             if x && y {
@@ -188,7 +184,11 @@ fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
             out.push(t);
             out.push(e);
         }
-        Ir::Quantified { bindings, satisfies, .. } => {
+        Ir::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
             out.extend(bindings.iter_mut().map(|(_, e)| e));
             out.push(satisfies);
         }
@@ -214,9 +214,7 @@ fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
                             }
                         }
                     }
-                    ClauseIr::OrderBy(ob) => {
-                        out.extend(ob.specs.iter_mut().map(|s| &mut s.expr))
-                    }
+                    ClauseIr::OrderBy(ob) => out.extend(ob.specs.iter_mut().map(|s| &mut s.expr)),
                 }
             }
             out.push(&mut f.return_expr);
@@ -304,28 +302,47 @@ mod tests {
     #[test]
     fn comparisons_fold() {
         let (q, _) = folded("1 < 2");
-        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)));
+        assert!(matches!(
+            q.body,
+            Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)
+        ));
         let (q, _) = folded("\"a\" eq \"b\"");
-        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)));
+        assert!(matches!(
+            q.body,
+            Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)
+        ));
     }
 
     #[test]
     fn logic_folds_and_absorbs() {
         let (q, _) = folded("1 = 1 and 2 = 2");
-        assert!(matches!(q.body, Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)));
+        assert!(matches!(
+            q.body,
+            Ir::CallBuiltin(crate::functions::Builtin::TrueFn, _)
+        ));
         // false absorbs even with a non-constant side
         let (q, _) = folded("for $x in (1, 2) return (1 = 2 and $x = 1)");
-        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        let Ir::Flwor(f) = &q.body else {
+            panic!("not flwor")
+        };
         assert!(
-            matches!(f.return_expr, Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)),
+            matches!(
+                f.return_expr,
+                Ir::CallBuiltin(crate::functions::Builtin::FalseFn, _)
+            ),
             "{:?}",
             f.return_expr
         );
         // true reduces `and` to the other operand's EBV
         let (q, _) = folded("for $x in (1, 2) return (1 = 1 and $x = 1)");
-        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        let Ir::Flwor(f) = &q.body else {
+            panic!("not flwor")
+        };
         assert!(
-            matches!(f.return_expr, Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, _)),
+            matches!(
+                f.return_expr,
+                Ir::CallBuiltin(crate::functions::Builtin::BooleanFn, _)
+            ),
             "{:?}",
             f.return_expr
         );
@@ -342,7 +359,9 @@ mod tests {
         let (q, n) = folded("for $x in (1, 2) where $x > 1 + 1 return $x * (2 + 3)");
         assert!(n >= 2, "folded {n}");
         // the where comparison's rhs and the multiply's rhs are literals now
-        let Ir::Flwor(f) = &q.body else { panic!("not flwor") };
+        let Ir::Flwor(f) = &q.body else {
+            panic!("not flwor")
+        };
         let has_lit_5 = format!("{:?}", f.return_expr).contains("Int(5)");
         assert!(has_lit_5, "{:?}", f.return_expr);
     }

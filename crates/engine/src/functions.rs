@@ -279,12 +279,18 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             if args[0].len() <= 1 {
                 Ok(args.pop().expect("arity checked"))
             } else {
-                Err(EngineError::dynamic(ErrorCode::FORG0003, "zero-or-one: more than one item"))
+                Err(EngineError::dynamic(
+                    ErrorCode::FORG0003,
+                    "zero-or-one: more than one item",
+                ))
             }
         }
         OneOrMore => {
             if args[0].is_empty() {
-                Err(EngineError::dynamic(ErrorCode::FORG0004, "one-or-more: empty sequence"))
+                Err(EngineError::dynamic(
+                    ErrorCode::FORG0004,
+                    "one-or-more: empty sequence",
+                ))
             } else {
                 Ok(args.pop().expect("arity checked"))
             }
@@ -308,7 +314,10 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
         StringFn => {
             let target = zero_or_one_focus(args, cx, "string")?;
             Ok(vec![Item::from(
-                target.map(|i| i.string_value()).unwrap_or_default().as_str(),
+                target
+                    .map(|i| i.string_value())
+                    .unwrap_or_default()
+                    .as_str(),
             )])
         }
         Concat => {
@@ -335,16 +344,24 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             Ok(vec![Item::from(s.to_lowercase().as_str())])
         }
         Contains => {
-            let (a, b) = (string_arg(&args[0], "contains")?, string_arg(&args[1], "contains")?);
+            let (a, b) = (
+                string_arg(&args[0], "contains")?,
+                string_arg(&args[1], "contains")?,
+            );
             Ok(vec![Item::from(a.contains(&b))])
         }
         StartsWith => {
-            let (a, b) =
-                (string_arg(&args[0], "starts-with")?, string_arg(&args[1], "starts-with")?);
+            let (a, b) = (
+                string_arg(&args[0], "starts-with")?,
+                string_arg(&args[1], "starts-with")?,
+            );
             Ok(vec![Item::from(a.starts_with(&b))])
         }
         EndsWith => {
-            let (a, b) = (string_arg(&args[0], "ends-with")?, string_arg(&args[1], "ends-with")?);
+            let (a, b) = (
+                string_arg(&args[0], "ends-with")?,
+                string_arg(&args[1], "ends-with")?,
+            );
             Ok(vec![Item::from(a.ends_with(&b))])
         }
         NormalizeSpace => {
@@ -395,7 +412,13 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
         NameFn | LocalName | NodeName => {
             let target = zero_or_one_focus(args, cx, "name")?;
             let node = match target {
-                None => return Ok(if b == NodeName { vec![] } else { vec![Item::from("")] }),
+                None => {
+                    return Ok(if b == NodeName {
+                        vec![]
+                    } else {
+                        vec![Item::from("")]
+                    })
+                }
                 Some(item) => match item {
                     Item::Node(n) => n,
                     _ => {
@@ -412,7 +435,9 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                     .map(|q| vec![Item::from(q.to_string().as_str())])
                     .unwrap_or_default()),
                 LocalName => Ok(vec![Item::from(
-                    name.map(|q| q.local_part().to_string()).unwrap_or_default().as_str(),
+                    name.map(|q| q.local_part().to_string())
+                        .unwrap_or_default()
+                        .as_str(),
                 )]),
                 _ => Ok(vec![Item::from(
                     name.map(|q| q.to_string()).unwrap_or_default().as_str(),
@@ -427,7 +452,10 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                     let root = n.ancestors().last().unwrap_or(n);
                     Ok(vec![Item::Node(root)])
                 }
-                Some(_) => Err(EngineError::dynamic(ErrorCode::XPTY0004, "root() requires a node")),
+                Some(_) => Err(EngineError::dynamic(
+                    ErrorCode::XPTY0004,
+                    "root() requires a node",
+                )),
             }
         }
         Position => match cx.focus {
@@ -473,16 +501,20 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 .get(1)
                 .and_then(|s| s.first())
                 .map(|i| i.string_value())
-                .or_else(|| args.first().and_then(|s| s.first()).map(|i| i.string_value()))
+                .or_else(|| {
+                    args.first()
+                        .and_then(|s| s.first())
+                        .map(|i| i.string_value())
+                })
                 .unwrap_or_else(|| "error raised by fn:error()".to_string());
             Err(EngineError::dynamic(ErrorCode::FOER0000, description))
         }
-        CurrentDateTime => {
-            Ok(vec![Item::Atomic(AtomicValue::DateTime(cx.dynamic.current_datetime()))])
-        }
-        CurrentDate => {
-            Ok(vec![Item::Atomic(AtomicValue::Date(cx.dynamic.current_datetime().date()))])
-        }
+        CurrentDateTime => Ok(vec![Item::Atomic(AtomicValue::DateTime(
+            cx.dynamic.current_datetime(),
+        ))]),
+        CurrentDate => Ok(vec![Item::Atomic(AtomicValue::Date(
+            cx.dynamic.current_datetime().date(),
+        ))]),
         Trace => {
             let label = string_arg(&args[1], "trace label")?;
             eprintln!("trace[{label}]: {} item(s)", args[0].len());
@@ -519,19 +551,20 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             Ok(vec![Item::from(out.as_str())])
         }
         XqaMovingSum | XqaMovingAvg => fn_xqa_moving(b, &args[0], &args[1]),
-        Cast(target) => {
-            match opt_atomic(&args[0], "constructor function")? {
-                None => Ok(vec![]),
-                Some(v) => Ok(vec![Item::Atomic(cast_atomic(&v, target)?)]),
-            }
-        }
+        Cast(target) => match opt_atomic(&args[0], "constructor function")? {
+            None => Ok(vec![]),
+            Some(v) => Ok(vec![Item::Atomic(cast_atomic(&v, target)?)]),
+        },
         XqaPaths => fn_xqa_paths(&args[0]),
         XqaCube => fn_xqa_cube(&args[0]),
     }
 }
 
 fn no_focus(what: &str) -> EngineError {
-    EngineError::dynamic(ErrorCode::Other, format!("{what} used with no context item"))
+    EngineError::dynamic(
+        ErrorCode::Other,
+        format!("{what} used with no context item"),
+    )
 }
 
 /// Helpers: 0-or-1-item argument, falling back to the focus item when
@@ -572,7 +605,9 @@ fn opt_atomic(seq: &[Item], what: &str) -> EngineResult<Option<AtomicValue>> {
 
 /// A string argument (empty sequence = "").
 fn string_arg(seq: &[Item], what: &str) -> EngineResult<String> {
-    Ok(opt_atomic(seq, what)?.map(|v| v.string_value()).unwrap_or_default())
+    Ok(opt_atomic(seq, what)?
+        .map(|v| v.string_value())
+        .unwrap_or_default())
 }
 
 /// Numeric accumulator over the tower integer → decimal → double.
@@ -588,15 +623,20 @@ impl NumAcc {
             (NumAcc::Int(a), AtomicValue::Integer(b)) => match a.checked_add(*b) {
                 Some(s) => NumAcc::Int(s),
                 None => NumAcc::Dec(
-                    Decimal::from_i64(a).checked_add(&Decimal::from_i64(*b)).map_err(EngineError::from)?,
+                    Decimal::from_i64(a)
+                        .checked_add(&Decimal::from_i64(*b))
+                        .map_err(EngineError::from)?,
                 ),
             },
-            (NumAcc::Int(a), AtomicValue::Decimal(b)) => {
-                NumAcc::Dec(Decimal::from_i64(a).checked_add(b).map_err(EngineError::from)?)
-            }
-            (NumAcc::Dec(a), AtomicValue::Integer(b)) => {
-                NumAcc::Dec(a.checked_add(&Decimal::from_i64(*b)).map_err(EngineError::from)?)
-            }
+            (NumAcc::Int(a), AtomicValue::Decimal(b)) => NumAcc::Dec(
+                Decimal::from_i64(a)
+                    .checked_add(b)
+                    .map_err(EngineError::from)?,
+            ),
+            (NumAcc::Dec(a), AtomicValue::Integer(b)) => NumAcc::Dec(
+                a.checked_add(&Decimal::from_i64(*b))
+                    .map_err(EngineError::from)?,
+            ),
             (NumAcc::Dec(a), AtomicValue::Decimal(b)) => {
                 NumAcc::Dec(a.checked_add(b).map_err(EngineError::from)?)
             }
@@ -666,11 +706,15 @@ fn fn_avg(seq: &[Item]) -> EngineResult<Sequence> {
     let avg = match acc {
         NumAcc::Dbl(v) => Item::from(v / n as f64),
         NumAcc::Int(v) => {
-            let d = Decimal::from_i64(v).checked_div(&Decimal::from_i64(n)).map_err(EngineError::from)?;
+            let d = Decimal::from_i64(v)
+                .checked_div(&Decimal::from_i64(n))
+                .map_err(EngineError::from)?;
             Item::Atomic(AtomicValue::Decimal(d))
         }
         NumAcc::Dec(v) => {
-            let d = v.checked_div(&Decimal::from_i64(n)).map_err(EngineError::from)?;
+            let d = v
+                .checked_div(&Decimal::from_i64(n))
+                .map_err(EngineError::from)?;
             Item::Atomic(AtomicValue::Decimal(d))
         }
     };
@@ -727,13 +771,19 @@ fn fn_distinct_values(seq: &[Item]) -> EngineResult<Sequence> {
 fn double_arg(seq: &[Item], what: &str) -> EngineResult<f64> {
     match opt_atomic(seq, what)? {
         Some(v) => Ok(v.to_double().map_err(EngineError::from)?),
-        None => Err(EngineError::dynamic(ErrorCode::XPTY0004, format!("{what}: empty argument"))),
+        None => Err(EngineError::dynamic(
+            ErrorCode::XPTY0004,
+            format!("{what}: empty argument"),
+        )),
     }
 }
 
 fn fn_subsequence(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     let len = if args.len() == 3 {
-        Some(double_arg(&args.pop().expect("arity checked"), "subsequence length")?)
+        Some(double_arg(
+            &args.pop().expect("arity checked"),
+            "subsequence length",
+        )?)
     } else {
         None
     };
@@ -760,7 +810,10 @@ fn fn_subsequence(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
 
 fn fn_insert_before(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     let inserts = args.pop().expect("arity checked");
-    let pos = double_arg(&args.pop().expect("arity checked"), "insert-before position")? as i64;
+    let pos = double_arg(
+        &args.pop().expect("arity checked"),
+        "insert-before position",
+    )? as i64;
     let target = args.pop().expect("arity checked");
     let pos = pos.max(1).min(target.len() as i64 + 1) as usize - 1;
     let mut out = target;
@@ -790,13 +843,17 @@ fn fn_index_of(seq: &[Item], search: &[Item]) -> EngineResult<Sequence> {
         let v = item.atomize();
         // `eq` semantics with incomparable = no match.
         let (a, b) = match (&v, &needle) {
-            (AtomicValue::Untyped(_), n) if n.is_numeric() => {
-                (v.cast_untyped_as(needle.atomic_type()).ok(), Some(needle.clone()))
-            }
+            (AtomicValue::Untyped(_), n) if n.is_numeric() => (
+                v.cast_untyped_as(needle.atomic_type()).ok(),
+                Some(needle.clone()),
+            ),
             _ => (Some(v.clone()), Some(needle.clone())),
         };
         if let (Some(a), Some(b)) = (a, b) {
-            if matches!(xqa_xdm::value_compare(&a, &b, xqa_xdm::CompOp::Eq), Ok(true)) {
+            if matches!(
+                xqa_xdm::value_compare(&a, &b, xqa_xdm::CompOp::Eq),
+                Ok(true)
+            ) {
                 out.push(Item::from((i + 1) as i64));
             }
         }
@@ -806,7 +863,10 @@ fn fn_index_of(seq: &[Item], search: &[Item]) -> EngineResult<Sequence> {
 
 fn fn_substring(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     let len = if args.len() == 3 {
-        Some(double_arg(&args.pop().expect("arity checked"), "substring length")?)
+        Some(double_arg(
+            &args.pop().expect("arity checked"),
+            "substring length",
+        )?)
     } else {
         None
     };
@@ -838,9 +898,9 @@ fn fn_numeric_unary(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
         Some(v) => v,
     };
     let v = match v {
-        AtomicValue::Untyped(ref s) => AtomicValue::Double(
-            xqa_xdm::parse_double(s).map_err(EngineError::from)?,
-        ),
+        AtomicValue::Untyped(ref s) => {
+            AtomicValue::Double(xqa_xdm::parse_double(s).map_err(EngineError::from)?)
+        }
         other => other,
     };
     let out = match (b, v) {
@@ -871,7 +931,10 @@ fn fn_numeric_unary(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
 
 fn fn_round_half_even(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     let precision = if args.len() == 2 {
-        double_arg(&args.pop().expect("arity checked"), "round-half-to-even precision")? as i32
+        double_arg(
+            &args.pop().expect("arity checked"),
+            "round-half-to-even precision",
+        )? as i32
     } else {
         0
     };
@@ -891,11 +954,8 @@ fn fn_round_half_even(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
                 .expect("static literal");
             if diff.abs() == half {
                 // exact tie: choose the even neighbour
-                let unit = Decimal::parse(&format!(
-                    "0.{}1",
-                    "0".repeat(precision as usize)
-                ))
-                .expect("static literal");
+                let unit = Decimal::parse(&format!("0.{}1", "0".repeat(precision as usize)))
+                    .expect("static literal");
                 let down = scaled.checked_sub(&unit).map_err(EngineError::from)?;
                 let scaled_digit = last_digit(&scaled, precision as u32);
                 AtomicValue::Decimal(if scaled_digit % 2 == 0 { scaled } else { down })
@@ -1042,7 +1102,10 @@ fn fn_xqa_moving(b: Builtin, values: &[Item], window: &[Item]) -> EngineResult<S
     let w = match opt_atomic(window, "window size")? {
         Some(v) => v.to_double().map_err(EngineError::from)? as i64,
         None => {
-            return Err(EngineError::dynamic(ErrorCode::XPTY0004, "window size required"))
+            return Err(EngineError::dynamic(
+                ErrorCode::XPTY0004,
+                "window size required",
+            ))
         }
     };
     if w < 1 {
@@ -1064,7 +1127,11 @@ fn fn_xqa_moving(b: Builtin, values: &[Item], window: &[Item]) -> EngineResult<S
             rolling -= nums[i - w];
         }
         let len = (i + 1).min(w);
-        let value = if b == Builtin::XqaMovingSum { rolling } else { rolling / len as f64 };
+        let value = if b == Builtin::XqaMovingSum {
+            rolling
+        } else {
+            rolling / len as f64
+        };
         out.push(Item::from(value));
     }
     Ok(out)
@@ -1079,7 +1146,11 @@ fn fn_xqa_cube(seq: &[Item]) -> EngineResult<Sequence> {
     if seq.len() > 20 {
         return Err(EngineError::dynamic(
             ErrorCode::Other,
-            format!("xqa:cube: {} dimensions would produce 2^{} subsets", seq.len(), seq.len()),
+            format!(
+                "xqa:cube: {} dimensions would produce 2^{} subsets",
+                seq.len(),
+                seq.len()
+            ),
         ));
     }
     let n = seq.len() as u32;
@@ -1120,7 +1191,10 @@ mod tests {
 
     fn call(b: Builtin, args: Vec<Sequence>) -> EngineResult<Sequence> {
         let dynamic = cx_owned();
-        let cx = FnCtx { focus: None, dynamic: &dynamic };
+        let cx = FnCtx {
+            focus: None,
+            dynamic: &dynamic,
+        };
         dispatch(b, args, &cx)
     }
 
@@ -1131,9 +1205,18 @@ mod tests {
     #[test]
     fn count_sum_avg() {
         let seq = vec![dec("65.00"), dec("43.00"), dec("57.00")];
-        assert_eq!(call(Builtin::Count, vec![seq.clone()]).unwrap()[0].string_value(), "3");
-        assert_eq!(call(Builtin::Sum, vec![seq.clone()]).unwrap()[0].string_value(), "165");
-        assert_eq!(call(Builtin::Avg, vec![seq]).unwrap()[0].string_value(), "55");
+        assert_eq!(
+            call(Builtin::Count, vec![seq.clone()]).unwrap()[0].string_value(),
+            "3"
+        );
+        assert_eq!(
+            call(Builtin::Sum, vec![seq.clone()]).unwrap()[0].string_value(),
+            "165"
+        );
+        assert_eq!(
+            call(Builtin::Avg, vec![seq]).unwrap()[0].string_value(),
+            "55"
+        );
     }
 
     #[test]
@@ -1148,7 +1231,10 @@ mod tests {
 
     #[test]
     fn sum_empty_returns_zero_or_custom() {
-        assert_eq!(call(Builtin::Sum, vec![vec![]]).unwrap()[0].string_value(), "0");
+        assert_eq!(
+            call(Builtin::Sum, vec![vec![]]).unwrap()[0].string_value(),
+            "0"
+        );
         let custom = call(Builtin::Sum, vec![vec![], vec![Item::from("none")]]).unwrap();
         assert_eq!(custom[0].string_value(), "none");
         assert!(call(Builtin::Avg, vec![vec![]]).unwrap().is_empty());
@@ -1164,14 +1250,26 @@ mod tests {
     #[test]
     fn min_max_across_types() {
         let seq = vec![Item::from(3i64), dec("2.5"), Item::from(4.0f64)];
-        assert_eq!(call(Builtin::Min, vec![seq.clone()]).unwrap()[0].string_value(), "2.5");
-        assert_eq!(call(Builtin::Max, vec![seq]).unwrap()[0].string_value(), "4");
+        assert_eq!(
+            call(Builtin::Min, vec![seq.clone()]).unwrap()[0].string_value(),
+            "2.5"
+        );
+        assert_eq!(
+            call(Builtin::Max, vec![seq]).unwrap()[0].string_value(),
+            "4"
+        );
         // strings compare too
         let strs = vec![Item::from("pear"), Item::from("apple")];
-        assert_eq!(call(Builtin::Min, vec![strs]).unwrap()[0].string_value(), "apple");
+        assert_eq!(
+            call(Builtin::Min, vec![strs]).unwrap()[0].string_value(),
+            "apple"
+        );
         // NaN poisons
         let with_nan = vec![Item::from(1i64), Item::from(f64::NAN)];
-        assert_eq!(call(Builtin::Min, vec![with_nan]).unwrap()[0].string_value(), "NaN");
+        assert_eq!(
+            call(Builtin::Min, vec![with_nan]).unwrap()[0].string_value(),
+            "NaN"
+        );
         // incomparable mix errors
         let mixed = vec![Item::from(1i64), Item::from("x")];
         assert!(call(Builtin::Min, vec![mixed]).is_err());
@@ -1196,8 +1294,11 @@ mod tests {
         let seq: Sequence = (1..=5).map(Item::from).collect();
         let rev = call(Builtin::Reverse, vec![seq.clone()]).unwrap();
         assert_eq!(rev[0].string_value(), "5");
-        let sub = call(Builtin::Subsequence, vec![seq.clone(), vec![Item::from(2i64)], vec![Item::from(2i64)]])
-            .unwrap();
+        let sub = call(
+            Builtin::Subsequence,
+            vec![seq.clone(), vec![Item::from(2i64)], vec![Item::from(2i64)]],
+        )
+        .unwrap();
         assert_eq!(sub.len(), 2);
         assert_eq!(sub[0].string_value(), "2");
         let ins = call(
@@ -1217,7 +1318,11 @@ mod tests {
     #[test]
     fn cardinality_checks() {
         assert!(call(Builtin::ZeroOrOne, vec![vec![]]).is_ok());
-        assert!(call(Builtin::ZeroOrOne, vec![vec![Item::from(1i64), Item::from(2i64)]]).is_err());
+        assert!(call(
+            Builtin::ZeroOrOne,
+            vec![vec![Item::from(1i64), Item::from(2i64)]]
+        )
+        .is_err());
         assert!(call(Builtin::OneOrMore, vec![vec![]]).is_err());
         assert!(call(Builtin::ExactlyOne, vec![vec![Item::from(1i64)]]).is_ok());
         assert!(call(Builtin::ExactlyOne, vec![vec![]]).is_err());
@@ -1226,21 +1331,31 @@ mod tests {
     #[test]
     fn string_functions() {
         assert_eq!(
-            call(Builtin::Concat, vec![vec![Item::from("a")], vec![Item::from("b")], vec![]])
-                .unwrap()[0]
+            call(
+                Builtin::Concat,
+                vec![vec![Item::from("a")], vec![Item::from("b")], vec![]]
+            )
+            .unwrap()[0]
                 .string_value(),
             "ab"
         );
         assert_eq!(
-            call(Builtin::Substring, vec![vec![Item::from("motor car")], vec![Item::from(6i64)]])
-                .unwrap()[0]
+            call(
+                Builtin::Substring,
+                vec![vec![Item::from("motor car")], vec![Item::from(6i64)]]
+            )
+            .unwrap()[0]
                 .string_value(),
             " car"
         );
         assert_eq!(
             call(
                 Builtin::Substring,
-                vec![vec![Item::from("metadata")], vec![Item::from(4i64)], vec![Item::from(3i64)]]
+                vec![
+                    vec![Item::from("metadata")],
+                    vec![Item::from(4i64)],
+                    vec![Item::from(3i64)]
+                ]
             )
             .unwrap()[0]
                 .string_value(),
@@ -1252,24 +1367,33 @@ mod tests {
             "a b"
         );
         assert_eq!(
-            call(Builtin::Translate, vec![
-                vec![Item::from("bar")],
-                vec![Item::from("abc")],
-                vec![Item::from("ABC")]
-            ])
+            call(
+                Builtin::Translate,
+                vec![
+                    vec![Item::from("bar")],
+                    vec![Item::from("abc")],
+                    vec![Item::from("ABC")]
+                ]
+            )
             .unwrap()[0]
                 .string_value(),
             "BAr"
         );
         assert_eq!(
-            call(Builtin::SubstringBefore, vec![vec![Item::from("a/b/c")], vec![Item::from("/")]])
-                .unwrap()[0]
+            call(
+                Builtin::SubstringBefore,
+                vec![vec![Item::from("a/b/c")], vec![Item::from("/")]]
+            )
+            .unwrap()[0]
                 .string_value(),
             "a"
         );
         assert_eq!(
-            call(Builtin::SubstringAfter, vec![vec![Item::from("a/b/c")], vec![Item::from("/")]])
-                .unwrap()[0]
+            call(
+                Builtin::SubstringAfter,
+                vec![vec![Item::from("a/b/c")], vec![Item::from("/")]]
+            )
+            .unwrap()[0]
                 .string_value(),
             "b/c"
         );
@@ -1285,14 +1409,26 @@ mod tests {
             call(Builtin::NumberFn, vec![vec![Item::from("nope")]]).unwrap()[0].string_value(),
             "NaN"
         );
-        assert_eq!(call(Builtin::NumberFn, vec![vec![]]).unwrap()[0].string_value(), "NaN");
+        assert_eq!(
+            call(Builtin::NumberFn, vec![vec![]]).unwrap()[0].string_value(),
+            "NaN"
+        );
     }
 
     #[test]
     fn rounding_family() {
-        assert_eq!(call(Builtin::Floor, vec![vec![dec("2.7")]]).unwrap()[0].string_value(), "2");
-        assert_eq!(call(Builtin::Ceiling, vec![vec![dec("2.1")]]).unwrap()[0].string_value(), "3");
-        assert_eq!(call(Builtin::Round, vec![vec![dec("2.5")]]).unwrap()[0].string_value(), "3");
+        assert_eq!(
+            call(Builtin::Floor, vec![vec![dec("2.7")]]).unwrap()[0].string_value(),
+            "2"
+        );
+        assert_eq!(
+            call(Builtin::Ceiling, vec![vec![dec("2.1")]]).unwrap()[0].string_value(),
+            "3"
+        );
+        assert_eq!(
+            call(Builtin::Round, vec![vec![dec("2.5")]]).unwrap()[0].string_value(),
+            "3"
+        );
         // fn:round on double: round half toward +INF
         assert_eq!(
             call(Builtin::Round, vec![vec![Item::from(-2.5f64)]]).unwrap()[0].string_value(),
@@ -1322,7 +1458,10 @@ mod tests {
             call(Builtin::MonthFromDateTime, vec![dt.clone()]).unwrap()[0].string_value(),
             "1"
         );
-        assert_eq!(call(Builtin::DayFromDateTime, vec![dt.clone()]).unwrap()[0].string_value(), "31");
+        assert_eq!(
+            call(Builtin::DayFromDateTime, vec![dt.clone()]).unwrap()[0].string_value(),
+            "31"
+        );
         assert_eq!(
             call(Builtin::HoursFromDateTime, vec![dt.clone()]).unwrap()[0].string_value(),
             "11"
@@ -1332,19 +1471,35 @@ mod tests {
             "7"
         );
         let d = vec![Item::Atomic(AtomicValue::untyped("1993-06-15"))];
-        assert_eq!(call(Builtin::YearFromDate, vec![d.clone()]).unwrap()[0].string_value(), "1993");
-        assert_eq!(call(Builtin::DayFromDate, vec![d]).unwrap()[0].string_value(), "15");
+        assert_eq!(
+            call(Builtin::YearFromDate, vec![d.clone()]).unwrap()[0].string_value(),
+            "1993"
+        );
+        assert_eq!(
+            call(Builtin::DayFromDate, vec![d]).unwrap()[0].string_value(),
+            "15"
+        );
     }
 
     #[test]
     fn xs_constructors() {
         assert_eq!(
-            call(Builtin::Cast(CastTarget::Integer), vec![vec![Item::from("7")]]).unwrap()[0]
+            call(
+                Builtin::Cast(CastTarget::Integer),
+                vec![vec![Item::from("7")]]
+            )
+            .unwrap()[0]
                 .string_value(),
             "7"
         );
-        assert!(call(Builtin::Cast(CastTarget::Integer), vec![vec![]]).unwrap().is_empty());
-        assert!(call(Builtin::Cast(CastTarget::Integer), vec![vec![Item::from("x")]]).is_err());
+        assert!(call(Builtin::Cast(CastTarget::Integer), vec![vec![]])
+            .unwrap()
+            .is_empty());
+        assert!(call(
+            Builtin::Cast(CastTarget::Integer),
+            vec![vec![Item::from("x")]]
+        )
+        .is_err());
     }
 
     #[test]
@@ -1363,7 +1518,10 @@ mod tests {
     fn resolve_names() {
         assert_eq!(resolve(None, "avg"), Some(Builtin::Avg));
         assert_eq!(resolve(Some("fn"), "deep-equal"), Some(Builtin::DeepEqual));
-        assert_eq!(resolve(Some("xs"), "decimal"), Some(Builtin::Cast(CastTarget::Decimal)));
+        assert_eq!(
+            resolve(Some("xs"), "decimal"),
+            Some(Builtin::Cast(CastTarget::Decimal))
+        );
         assert_eq!(resolve(Some("xqa"), "paths"), Some(Builtin::XqaPaths));
         assert_eq!(resolve(None, "nonsense"), None);
         assert_eq!(resolve(Some("other"), "avg"), None);
@@ -1388,7 +1546,12 @@ mod tests {
         let paths: Vec<String> = out.iter().map(|i| i.string_value()).collect();
         assert_eq!(
             paths,
-            ["software", "software/db", "software/db/concurrency", "software/distributed"]
+            [
+                "software",
+                "software/db",
+                "software/db/concurrency",
+                "software/distributed"
+            ]
         );
     }
 
@@ -1403,8 +1566,10 @@ mod tests {
             assert_eq!(n.name().unwrap().local_part(), "dims");
         }
         // Sizes: {}, {A}, {B}, {A,B}
-        let mut sizes: Vec<usize> =
-            out.iter().map(|i| i.as_node().unwrap().children().count()).collect();
+        let mut sizes: Vec<usize> = out
+            .iter()
+            .map(|i| i.as_node().unwrap().children().count())
+            .collect();
         sizes.sort_unstable();
         assert_eq!(sizes, [0, 1, 1, 2]);
         // Guard against exponential blowup.

@@ -28,7 +28,7 @@ pub type FunctionId = usize;
 #[derive(Debug, Clone)]
 pub enum Ir {
     /// String constant.
-    Str(std::rc::Rc<str>),
+    Str(std::sync::Arc<str>),
     /// Integer constant.
     Int(i64),
     /// Decimal constant.
@@ -101,9 +101,9 @@ pub enum Ir {
     /// Computed text constructor.
     Text(Option<Box<Ir>>),
     /// Comment constructor (direct form has constant text).
-    Comment(std::rc::Rc<str>),
+    Comment(std::sync::Arc<str>),
     /// PI constructor.
-    Pi(QName, std::rc::Rc<str>),
+    Pi(QName, std::sync::Arc<str>),
     /// `instance of` check.
     InstanceOf(Box<Ir>, SeqTypeIr),
     /// `cast as` (target type, empty-allowed flag).
@@ -127,7 +127,7 @@ pub struct ElementIr {
 #[derive(Debug, Clone)]
 pub enum AttrPartIr {
     /// Literal text.
-    Literal(std::rc::Rc<str>),
+    Literal(std::sync::Arc<str>),
     /// `{ expr }` — atomized and space-joined.
     Enclosed(Ir),
 }
@@ -136,7 +136,7 @@ pub enum AttrPartIr {
 #[derive(Debug, Clone)]
 pub enum ContentIr {
     /// Literal text.
-    Literal(std::rc::Rc<str>),
+    Literal(std::sync::Arc<str>),
     /// `{ expr }` — inserted per the construction rules.
     Enclosed(Ir),
     /// A nested constructor.

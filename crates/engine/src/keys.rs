@@ -77,7 +77,12 @@ pub fn node_key(n: &NodeHandle, out: &mut String) {
             out.push('>');
             let mut attrs: Vec<(String, String)> = n
                 .attributes()
-                .map(|a| (a.name().map(|q| q.to_string()).unwrap_or_default(), a.string_value()))
+                .map(|a| {
+                    (
+                        a.name().map(|q| q.to_string()).unwrap_or_default(),
+                        a.string_value(),
+                    )
+                })
                 .collect();
             attrs.sort();
             for (name, value) in attrs {
@@ -90,7 +95,10 @@ pub fn node_key(n: &NodeHandle, out: &mut String) {
             out.push('[');
             for c in n.children() {
                 // deep-equal ignores comments and PIs inside elements.
-                if !matches!(c.kind(), NodeKind::Comment | NodeKind::ProcessingInstruction) {
+                if !matches!(
+                    c.kind(),
+                    NodeKind::Comment | NodeKind::ProcessingInstruction
+                ) {
                     node_key(&c, out);
                 }
             }
@@ -214,8 +222,7 @@ impl GroupIndex {
         let bucket = self.buckets.entry(combined).or_default();
         for &idx in bucket.iter() {
             let stored = stored_keys(idx);
-            if stored.len() == keys.len()
-                && stored.iter().zip(keys).all(|(a, b)| deep_equal(a, b))
+            if stored.len() == keys.len() && stored.iter().zip(keys).all(|(a, b)| deep_equal(a, b))
             {
                 return Ok(idx);
             }
@@ -238,7 +245,10 @@ mod tests {
 
     #[test]
     fn numeric_tower_collapses() {
-        assert_eq!(key_of(AtomicValue::Integer(2)), key_of(AtomicValue::Double(2.0)));
+        assert_eq!(
+            key_of(AtomicValue::Integer(2)),
+            key_of(AtomicValue::Double(2.0))
+        );
         assert_eq!(
             key_of(AtomicValue::Integer(2)),
             key_of(AtomicValue::Decimal(Decimal::parse("2.0").unwrap()))
@@ -247,7 +257,10 @@ mod tests {
             key_of(AtomicValue::Decimal(Decimal::parse("0.5").unwrap())),
             key_of(AtomicValue::Double(0.5))
         );
-        assert_ne!(key_of(AtomicValue::Integer(2)), key_of(AtomicValue::Integer(3)));
+        assert_ne!(
+            key_of(AtomicValue::Integer(2)),
+            key_of(AtomicValue::Integer(3))
+        );
     }
 
     #[test]
@@ -257,12 +270,18 @@ mod tests {
             key_of(AtomicValue::untyped("x"))
         );
         // but string "2" is not the number 2
-        assert_ne!(key_of(AtomicValue::string("2")), key_of(AtomicValue::Integer(2)));
+        assert_ne!(
+            key_of(AtomicValue::string("2")),
+            key_of(AtomicValue::Integer(2))
+        );
     }
 
     #[test]
     fn nan_is_one_value() {
-        assert_eq!(key_of(AtomicValue::Double(f64::NAN)), key_of(AtomicValue::Double(f64::NAN)));
+        assert_eq!(
+            key_of(AtomicValue::Double(f64::NAN)),
+            key_of(AtomicValue::Double(f64::NAN))
+        );
         let mut set = AtomicDistinctSet::new();
         assert!(set.insert(&AtomicValue::Double(f64::NAN)));
         assert!(!set.insert(&AtomicValue::Double(f64::NAN)));
@@ -300,7 +319,9 @@ mod tests {
     fn node_keys_follow_deep_equal() {
         let make = |author: &str| {
             let mut b = DocumentBuilder::new();
-            b.start_element(QName::local("author")).text(author).end_element();
+            b.start_element(QName::local("author"))
+                .text(author)
+                .end_element();
             b.finish().root().children().next().unwrap()
         };
         let a = make("Jim Gray");

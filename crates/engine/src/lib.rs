@@ -25,22 +25,25 @@ pub mod context;
 pub mod error;
 mod eval;
 pub mod explain;
-pub mod fold;
 mod flwor;
+pub mod fold;
 pub mod functions;
 pub mod ir;
 pub mod keys;
 pub mod rewrite;
 pub mod types;
 
-pub use context::{DynamicContext, EvalStats, Focus};
+pub use context::{DynamicContext, EvalStats, EvalStatsSnapshot, Focus};
 pub use error::{EngineError, EngineResult};
 
 use xqa_frontend::parse_query;
 use xqa_xdm::Sequence;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Eq`/`Hash` are derived so options can key a prepared-plan
+/// cache together with the query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineOptions {
     /// Detect the `distinct-values` + self-join pattern (Table 1's "Q"
     /// template) and rewrite it into an explicit `group by` plan. Off by
@@ -54,7 +57,10 @@ pub struct EngineOptions {
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { detect_implicit_groupby: false, constant_folding: true }
+        EngineOptions {
+            detect_implicit_groupby: false,
+            constant_folding: true,
+        }
     }
 }
 
@@ -125,5 +131,26 @@ impl PreparedQuery {
     /// Render the compiled plan as an indented operator tree.
     pub fn explain(&self) -> String {
         explain::explain_query(&self.compiled)
+    }
+}
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    /// The cross-thread contract the service layer relies on: documents,
+    /// items, contexts and compiled plans may be shared freely between
+    /// worker threads.
+    #[test]
+    fn shared_types_are_send_and_sync() {
+        assert_send_sync::<xqa_xdm::Document>();
+        assert_send_sync::<xqa_xdm::NodeHandle>();
+        assert_send_sync::<xqa_xdm::Item>();
+        assert_send_sync::<DynamicContext>();
+        assert_send_sync::<EvalStats>();
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<Engine>();
     }
 }

@@ -136,7 +136,11 @@ fn try_rewrite_flwor(f: &mut Flwor) -> Option<String> {
             using: None,
         })
         .collect();
-    let nests = vec![NestBinding { expr: item_var_ref, order_by: None, var: items_var }];
+    let nests = vec![NestBinding {
+        expr: item_var_ref,
+        order_by: None,
+        var: items_var,
+    }];
     let description = format!(
         "implicit group-by detected: distinct-values self-join over {} key(s) \
          rewritten to explicit group by",
@@ -156,43 +160,61 @@ fn try_rewrite_flwor(f: &mut Flwor) -> Option<String> {
 /// Match `distinct-values(P/key)` where `key` is a trailing child name
 /// step; returns (P, key).
 fn match_distinct_values(e: &Expr) -> Option<(Path, Name)> {
-    let ExprKind::FunctionCall { name, args } = &e.kind else { return None };
+    let ExprKind::FunctionCall { name, args } = &e.kind else {
+        return None;
+    };
     if name.prefix.as_deref().map(|p| p != "fn").unwrap_or(false) || name.local != "distinct-values"
     {
         return None;
     }
     let [arg] = args.as_slice() else { return None };
-    let ExprKind::Path(p) = &arg.kind else { return None };
+    let ExprKind::Path(p) = &arg.kind else {
+        return None;
+    };
     let mut steps = p.steps.clone();
     let last = steps.pop()?;
-    let Step::Axis(AxisStep { axis: Axis::Child, test: NodeTest::Name(key), predicates }) = last
+    let Step::Axis(AxisStep {
+        axis: Axis::Child,
+        test: NodeTest::Name(key),
+        predicates,
+    }) = last
     else {
         return None;
     };
     if !predicates.is_empty() {
         return None;
     }
-    Some((Path { start: p.start.clone(), steps }, key))
+    Some((
+        Path {
+            start: p.start.clone(),
+            steps,
+        },
+        key,
+    ))
 }
 
 /// Match the correlated self-join
 /// `for $i in P where $i/k1 = $a1 (and $i/k2 = $a2)? return $i`.
 /// Returns the inner variable name on success.
-fn match_self_join(
-    e: &Expr,
-    source: &Path,
-    keys: &[(String, Path, Name)],
-) -> Option<String> {
-    let ExprKind::Flwor(inner) = &e.kind else { return None };
+fn match_self_join(e: &Expr, source: &Path, keys: &[(String, Path, Name)]) -> Option<String> {
+    let ExprKind::Flwor(inner) = &e.kind else {
+        return None;
+    };
     if inner.group_by.is_some() || inner.order_by.is_some() || inner.return_at.is_some() {
         return None;
     }
-    let [InitialClause::For(bindings)] = inner.clauses.as_slice() else { return None };
-    let [binding] = bindings.as_slice() else { return None };
+    let [InitialClause::For(bindings)] = inner.clauses.as_slice() else {
+        return None;
+    };
+    let [binding] = bindings.as_slice() else {
+        return None;
+    };
     if binding.at.is_some() {
         return None;
     }
-    let ExprKind::Path(scan) = &binding.expr.kind else { return None };
+    let ExprKind::Path(scan) = &binding.expr.kind else {
+        return None;
+    };
     if **scan != *source {
         return None;
     }
@@ -234,16 +256,27 @@ fn collect_conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
 
 /// Match `$i/key = $var` (either operand order). Returns (key, var).
 fn match_key_equality(e: &Expr, inner_var: &str) -> Option<(Name, String)> {
-    let ExprKind::GeneralComp(Comparison::Eq, lhs, rhs) = &e.kind else { return None };
+    let ExprKind::GeneralComp(Comparison::Eq, lhs, rhs) = &e.kind else {
+        return None;
+    };
     let try_sides = |path_side: &Expr, var_side: &Expr| -> Option<(Name, String)> {
-        let ExprKind::VarRef(var) = &var_side.kind else { return None };
-        let ExprKind::Path(p) = &path_side.kind else { return None };
-        let PathStart::Expr(start) = &p.start else { return None };
+        let ExprKind::VarRef(var) = &var_side.kind else {
+            return None;
+        };
+        let ExprKind::Path(p) = &path_side.kind else {
+            return None;
+        };
+        let PathStart::Expr(start) = &p.start else {
+            return None;
+        };
         if !matches!(&start.kind, ExprKind::VarRef(v) if v == inner_var) {
             return None;
         }
-        let [Step::Axis(AxisStep { axis: Axis::Child, test: NodeTest::Name(key), predicates })] =
-            p.steps.as_slice()
+        let [Step::Axis(AxisStep {
+            axis: Axis::Child,
+            test: NodeTest::Name(key),
+            predicates,
+        })] = p.steps.as_slice()
         else {
             return None;
         };
@@ -256,7 +289,9 @@ fn match_key_equality(e: &Expr, inner_var: &str) -> Option<(Name, String)> {
 }
 
 fn is_exists_of(e: &Expr, var: &str) -> bool {
-    let ExprKind::FunctionCall { name, args } = &e.kind else { return false };
+    let ExprKind::FunctionCall { name, args } = &e.kind else {
+        return false;
+    };
     if name.prefix.is_some() && name.prefix.as_deref() != Some("fn") {
         return false;
     }
@@ -295,12 +330,20 @@ fn subexpressions_mut(e: &mut Expr) -> Vec<&mut Expr> {
         | ExprKind::CastableAs(a, _, _)
         | ExprKind::ComputedText(Some(a)) => out.push(a),
         ExprKind::ComputedText(None) => {}
-        ExprKind::If { cond, then, otherwise } => {
+        ExprKind::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             out.push(cond);
             out.push(then);
             out.push(otherwise);
         }
-        ExprKind::Quantified { bindings, satisfies, .. } => {
+        ExprKind::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
             out.extend(bindings.iter_mut().map(|(_, e)| e));
             out.push(satisfies);
         }
@@ -416,7 +459,9 @@ mod tests {
     fn one_key_template_detected() {
         let (m, fired) = rewrite(Q_ONE_KEY);
         assert_eq!(fired.len(), 1, "{fired:?}");
-        let ExprKind::Flwor(f) = &m.body.kind else { panic!("not a flwor") };
+        let ExprKind::Flwor(f) = &m.body.kind else {
+            panic!("not a flwor")
+        };
         let g = f.group_by.as_ref().expect("group by synthesized");
         assert_eq!(g.keys.len(), 1);
         assert_eq!(g.keys[0].var, "a");
@@ -429,7 +474,9 @@ mod tests {
     fn two_key_template_detected() {
         let (m, fired) = rewrite(Q_TWO_KEY);
         assert_eq!(fired.len(), 1, "{fired:?}");
-        let ExprKind::Flwor(f) = &m.body.kind else { panic!("not a flwor") };
+        let ExprKind::Flwor(f) = &m.body.kind else {
+            panic!("not a flwor")
+        };
         let g = f.group_by.as_ref().expect("group by synthesized");
         assert_eq!(g.keys.len(), 2);
         assert_eq!(g.keys[0].var, "a");

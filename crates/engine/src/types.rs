@@ -50,7 +50,10 @@ fn atomic_matches(v: &AtomicValue, t: CastTarget) -> bool {
         (AtomicType::String, CastTarget::String)
             | (AtomicType::Untyped, CastTarget::Untyped)
             | (AtomicType::Boolean, CastTarget::Boolean)
-            | (AtomicType::Integer, CastTarget::Integer | CastTarget::Decimal)
+            | (
+                AtomicType::Integer,
+                CastTarget::Integer | CastTarget::Decimal
+            )
             | (AtomicType::Decimal, CastTarget::Decimal)
             | (AtomicType::Double, CastTarget::Double)
             | (AtomicType::DateTime, CastTarget::DateTime)
@@ -126,7 +129,10 @@ mod tests {
         let plus = st(ItemTypeIr::AnyItem, OccurrenceIr::OneOrMore);
         assert!(!matches_seq_type(&[], &plus));
         let opt = st(ItemTypeIr::AnyItem, OccurrenceIr::Optional);
-        assert!(!matches_seq_type(&[Item::from(1i64), Item::from(2i64)], &opt));
+        assert!(!matches_seq_type(
+            &[Item::from(1i64), Item::from(2i64)],
+            &opt
+        ));
     }
 
     #[test]
@@ -134,8 +140,14 @@ mod tests {
         let el = element("book");
         assert!(matches_item_type(&el, &ItemTypeIr::AnyNode));
         assert!(matches_item_type(&el, &ItemTypeIr::Element(None)));
-        assert!(matches_item_type(&el, &ItemTypeIr::Element(Some(QName::local("book")))));
-        assert!(!matches_item_type(&el, &ItemTypeIr::Element(Some(QName::local("sale")))));
+        assert!(matches_item_type(
+            &el,
+            &ItemTypeIr::Element(Some(QName::local("book")))
+        ));
+        assert!(!matches_item_type(
+            &el,
+            &ItemTypeIr::Element(Some(QName::local("sale")))
+        ));
         assert!(!matches_item_type(&el, &ItemTypeIr::Attribute(None)));
         assert!(!matches_item_type(&Item::from(1i64), &ItemTypeIr::AnyNode));
     }
@@ -143,9 +155,18 @@ mod tests {
     #[test]
     fn integer_is_a_decimal() {
         let i = Item::from(5i64);
-        assert!(matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Integer)));
-        assert!(matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Decimal)));
-        assert!(!matches_item_type(&i, &ItemTypeIr::Atomic(CastTarget::Double)));
+        assert!(matches_item_type(
+            &i,
+            &ItemTypeIr::Atomic(CastTarget::Integer)
+        ));
+        assert!(matches_item_type(
+            &i,
+            &ItemTypeIr::Atomic(CastTarget::Decimal)
+        ));
+        assert!(!matches_item_type(
+            &i,
+            &ItemTypeIr::Atomic(CastTarget::Double)
+        ));
         assert!(matches_item_type(&i, &ItemTypeIr::AnyAtomic));
     }
 
@@ -168,7 +189,9 @@ mod tests {
         // node atomized then cast
         let el = {
             let mut b = DocumentBuilder::new();
-            b.start_element(QName::local("price")).text("9.5").end_element();
+            b.start_element(QName::local("price"))
+                .text("9.5")
+                .end_element();
             Item::Node(b.finish().root().children().next().unwrap())
         };
         let out = function_conversion(vec![el], &ty, "t").unwrap();
@@ -178,7 +201,10 @@ mod tests {
     #[test]
     fn conversion_failures() {
         let ty = st(ItemTypeIr::Atomic(CastTarget::Integer), OccurrenceIr::One);
-        assert!(function_conversion(vec![], &ty, "t").is_err(), "cardinality");
+        assert!(
+            function_conversion(vec![], &ty, "t").is_err(),
+            "cardinality"
+        );
         assert!(
             function_conversion(vec![Item::from("abc")], &ty, "t").is_err(),
             "string is not an integer (no implicit cast for typed values)"

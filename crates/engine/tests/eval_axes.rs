@@ -18,11 +18,17 @@ const DOC: &str = r#"<library>
 
 fn run(query: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
     let doc = parse_document(DOC).expect("well-formed");
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
-    serialize_sequence(&compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}")))
+    serialize_sequence(
+        &compiled
+            .run(&ctx)
+            .unwrap_or_else(|e| panic!("run {query:?}: {e}")),
+    )
 }
 
 #[test]
@@ -63,8 +69,16 @@ fn comment_and_pi_kind_tests() {
 fn text_kind_test_and_wildcards() {
     assert_eq!(run("string((//title/text())[1])"), "A");
     assert_eq!(run("count(//book/@*)"), "4");
-    assert_eq!(run("count(//shelf/*)"), "4", "elements only; comment excluded");
-    assert_eq!(run("count(//shelf/node())"), "5", "node() includes the comment");
+    assert_eq!(
+        run("count(//shelf/*)"),
+        "4",
+        "elements only; comment excluded"
+    );
+    assert_eq!(
+        run("count(//shelf/node())"),
+        "5",
+        "node() includes the comment"
+    );
 }
 
 #[test]
@@ -72,7 +86,11 @@ fn element_and_attribute_tests_with_names() {
     assert_eq!(run("count(//element(book))"), "4");
     assert_eq!(run("count(//shelf[1]/element())"), "3");
     assert_eq!(run("count(//book/attribute(id))"), "4");
-    assert_eq!(run("count(/document-node())"), "0", "document node has no document child");
+    assert_eq!(
+        run("count(/document-node())"),
+        "0",
+        "document node has no document child"
+    );
     assert_eq!(run("count(//book[@id eq \"b2\"])"), "1");
 }
 
@@ -87,17 +105,19 @@ fn ancestor_or_self_and_self_tests() {
 
 #[test]
 fn descendant_vs_descendant_or_self() {
-    assert_eq!(run("count(//shelf[1]/descendant::*)"), "6", "3 books + 3 titles");
+    assert_eq!(
+        run("count(//shelf[1]/descendant::*)"),
+        "6",
+        "3 books + 3 titles"
+    );
     assert_eq!(run("count(//shelf[1]/descendant-or-self::*)"), "7");
 }
 
 #[test]
 fn union_across_axes_in_document_order() {
-    let out = run(
-        "for $n in (//book[@id = \"b2\"]/following-sibling::book \
+    let out = run("for $n in (//book[@id = \"b2\"]/following-sibling::book \
                     | //book[@id = \"b2\"]/preceding-sibling::book) \
-         return string($n/@id)",
-    );
+         return string($n/@id)");
     assert_eq!(out, "b1 b3");
 }
 
@@ -132,12 +152,6 @@ fn path_over_constructed_trees() {
              return sum($t/b/c)"),
         "3"
     );
-    assert_eq!(
-        run("let $t := <a><b/><b/></a> return count($t//b)"),
-        "2"
-    );
-    assert_eq!(
-        run("let $t := <a x=\"9\"/> return string($t/@x)"),
-        "9"
-    );
+    assert_eq!(run("let $t := <a><b/><b/></a> return count($t//b)"), "2");
+    assert_eq!(run("let $t := <a x=\"9\"/> return string($t/@x)"), "9");
 }

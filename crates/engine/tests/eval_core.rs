@@ -7,20 +7,28 @@ use xqa_xmlparse::{parse_document, serialize_sequence};
 /// Run a query against an XML document, serializing the result.
 fn run_xml(query: &str, xml: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
     let doc = parse_document(xml).expect("well-formed test document");
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run {query:?}: {e}"));
     serialize_sequence(&result)
 }
 
 /// Run a query with no input document.
 fn run(query: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
     let ctx = DynamicContext::new();
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run {query:?}: {e}"));
     serialize_sequence(&result)
 }
 
@@ -130,8 +138,14 @@ fn quantified_expressions() {
 fn paths_and_predicates() {
     assert_eq!(run_xml("count(//book)", BIB), "3");
     assert_eq!(run_xml("count(//author)", BIB), "4");
-    assert_eq!(run_xml("string(//book[1]/title)", BIB), "Transaction Processing");
-    assert_eq!(run_xml("string(//book[3]/title)", BIB), "Understanding SQL and Java Together");
+    assert_eq!(
+        run_xml("string(//book[1]/title)", BIB),
+        "Transaction Processing"
+    );
+    assert_eq!(
+        run_xml("string(//book[3]/title)", BIB),
+        "Understanding SQL and Java Together"
+    );
     assert_eq!(run_xml("count(//book[publisher])", BIB), "2");
     assert_eq!(
         run_xml(r#"string(//book[author = "Jim Gray"]/price)"#, BIB),
@@ -154,13 +168,22 @@ fn path_atomization_and_arithmetic_steps() {
 
 #[test]
 fn axes() {
-    assert_eq!(run_xml("string((//author)[1]/..//title)", BIB), "Transaction Processing");
+    assert_eq!(
+        run_xml("string((//author)[1]/..//title)", BIB),
+        "Transaction Processing"
+    );
     assert_eq!(run_xml("count(//book/child::*)", BIB), "16");
-    assert_eq!(run_xml("count(//title/following-sibling::author)", BIB), "4");
+    assert_eq!(
+        run_xml("count(//title/following-sibling::author)", BIB),
+        "4"
+    );
     assert_eq!(run_xml("count(//price/preceding-sibling::title)", BIB), "3");
     assert_eq!(run_xml("count(//author/ancestor::bib)", BIB), "1");
     assert_eq!(run_xml("count(//book/self::book)", BIB), "3");
-    assert_eq!(run_xml("count(//book/descendant-or-self::node())", BIB), "35");
+    assert_eq!(
+        run_xml("count(//book/descendant-or-self::node())", BIB),
+        "35"
+    );
 }
 
 #[test]
@@ -175,11 +198,11 @@ fn attributes_axis() {
 #[test]
 fn document_order_and_dedup() {
     // Union dedups and sorts in document order.
-    assert_eq!(
-        run_xml("count(//book[1] | //book | //book[2])", BIB),
-        "3"
+    assert_eq!(run_xml("count(//book[1] | //book | //book[2])", BIB), "3");
+    let titles = run_xml(
+        "for $t in (//book[2]/title | //book[1]/title) return string($t)",
+        BIB,
     );
-    let titles = run_xml("for $t in (//book[2]/title | //book[1]/title) return string($t)", BIB);
     assert_eq!(titles, "Transaction Processing Understanding the New SQL");
     assert_eq!(run_xml("count(//book intersect //book[2])", BIB), "1");
     assert_eq!(run_xml("count(//book except //book[2])", BIB), "2");
@@ -201,7 +224,10 @@ fn node_comparisons() {
 fn flwor_basics() {
     assert_eq!(run("for $x in (1, 2, 3) return $x * 10"), "10 20 30");
     assert_eq!(run("for $x in (1, 2, 3) where $x > 1 return $x"), "2 3");
-    assert_eq!(run("for $x at $i in (\"a\", \"b\") return ($i, $x)"), "1 a 2 b");
+    assert_eq!(
+        run("for $x at $i in (\"a\", \"b\") return ($i, $x)"),
+        "1 a 2 b"
+    );
     assert_eq!(run("let $x := (1, 2) return count($x)"), "2");
     assert_eq!(
         run("for $x in (1, 2), $y in (10, 20) return $x + $y"),
@@ -212,7 +238,10 @@ fn flwor_basics() {
 #[test]
 fn flwor_order_by() {
     assert_eq!(run("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
-    assert_eq!(run("for $x in (3, 1, 2) order by $x descending return $x"), "3 2 1");
+    assert_eq!(
+        run("for $x in (3, 1, 2) order by $x descending return $x"),
+        "3 2 1"
+    );
     // sequences flatten before binding: six items total
     assert_eq!(
         run("for $p in ((1, 2), (2, 1), (1, 1)) for $x in $p order by $x return $x"),
@@ -271,8 +300,10 @@ fn return_at_output_numbering() {
     );
     // top-k filtering requires at on return + predicate... use where on a second flwor
     assert_eq!(
-        run("for $r in (for $x in (5, 9, 1, 7) order by $x descending return at $rank \
-             (if ($rank <= 2) then $x else ())) return $r"),
+        run(
+            "for $r in (for $x in (5, 9, 1, 7) order by $x descending return at $rank \
+             (if ($rank <= 2) then $x else ())) return $r"
+        ),
         "9 7"
     );
 }
@@ -287,8 +318,14 @@ fn constructors_direct() {
     assert_eq!(run("<a>x{1}y</a>"), "<a>x1y</a>");
     assert_eq!(run("<a><b>{2}</b><c/></a>"), "<a><b>2</b><c/></a>");
     // attribute value templates
-    assert_eq!(run("let $y := 2004 return <r year=\"{$y}\"/>"), "<r year=\"2004\"/>");
-    assert_eq!(run("let $y := (1,2) return <r v=\"{$y}!\"/>"), "<r v=\"1 2!\"/>");
+    assert_eq!(
+        run("let $y := 2004 return <r year=\"{$y}\"/>"),
+        "<r year=\"2004\"/>"
+    );
+    assert_eq!(
+        run("let $y := (1,2) return <r v=\"{$y}!\"/>"),
+        "<r v=\"1 2!\"/>"
+    );
 }
 
 #[test]
@@ -298,7 +335,13 @@ fn constructors_copy_nodes() {
         "<list><title>Understanding SQL and Java Together</title></list>"
     );
     // copied nodes have new identity
-    assert_eq!(run_xml("let $c := <w>{//book[1]/year}</w> return $c/year is //book[1]/year", BIB), "false");
+    assert_eq!(
+        run_xml(
+            "let $c := <w>{//book[1]/year}</w> return $c/year is //book[1]/year",
+            BIB
+        ),
+        "false"
+    );
 }
 
 #[test]
@@ -320,11 +363,26 @@ fn builtin_functions_e2e() {
     assert_eq!(run_xml("max(//book/price)", BIB), "65");
     assert_eq!(run_xml("min(//book/year)", BIB), "1993");
     assert_eq!(run_xml("count(distinct-values(//book/year))", BIB), "2");
-    assert_eq!(run_xml("count(distinct-values(//book/publisher))", BIB), "1");
-    assert_eq!(run_xml("string-join(for $b in //book return string($b/year), \",\")", BIB), "1993,1993,2000");
+    assert_eq!(
+        run_xml("count(distinct-values(//book/publisher))", BIB),
+        "1"
+    );
+    assert_eq!(
+        run_xml(
+            "string-join(for $b in //book return string($b/year), \",\")",
+            BIB
+        ),
+        "1993,1993,2000"
+    );
     assert_eq!(run_xml("exists(//book[4])", BIB), "false");
-    assert_eq!(run_xml("deep-equal(//book[1]/author, //book[1]/author)", BIB), "true");
-    assert_eq!(run_xml("deep-equal(//book[1]/author, //book[2]/author)", BIB), "false");
+    assert_eq!(
+        run_xml("deep-equal(//book[1]/author, //book[1]/author)", BIB),
+        "true"
+    );
+    assert_eq!(
+        run_xml("deep-equal(//book[1]/author, //book[2]/author)", BIB),
+        "false"
+    );
 }
 
 #[test]
@@ -341,9 +399,11 @@ fn datetime_functions_e2e() {
 #[test]
 fn user_functions() {
     assert_eq!(
-        run("declare function local:fact($n as xs:integer) as xs:integer \
+        run(
+            "declare function local:fact($n as xs:integer) as xs:integer \
              { if ($n le 1) then 1 else $n * local:fact($n - 1) }; \
-             local:fact(6)"),
+             local:fact(6)"
+        ),
         "720"
     );
     assert_eq!(
@@ -352,8 +412,10 @@ fn user_functions() {
     );
     // untyped argument cast via function conversion
     assert_eq!(
-        run("declare function local:double($n as xs:double) { $n * 2 }; \
-             local:double(<v>2.5</v>)"),
+        run(
+            "declare function local:double($n as xs:double) { $n * 2 }; \
+             local:double(<v>2.5</v>)"
+        ),
         "5"
     );
     assert_eq!(
@@ -373,7 +435,10 @@ fn global_variables() {
 
 #[test]
 fn position_and_last_in_predicates() {
-    assert_eq!(run_xml("string(//book[position() = 2]/title)", BIB), "Understanding the New SQL");
+    assert_eq!(
+        run_xml("string(//book[position() = 2]/title)", BIB),
+        "Understanding the New SQL"
+    );
     assert_eq!(run_xml("string(//book[last()]/year)", BIB), "2000");
     assert_eq!(run_xml("count(//book[position() le 2])", BIB), "2");
 }
@@ -440,10 +505,12 @@ fn stats_count_work() {
     ctx.set_context_document(&doc);
     let q = engine.compile("count(//book)").unwrap();
     q.run(&ctx).unwrap();
-    assert!(ctx.stats.nodes_visited.get() > 0);
+    assert!(ctx.stats.snapshot().nodes_visited > 0);
     ctx.stats.reset();
-    let q = engine.compile("for $b in //book group by $b/year into $y return $y").unwrap();
+    let q = engine
+        .compile("for $b in //book group by $b/year into $y return $y")
+        .unwrap();
     q.run(&ctx).unwrap();
-    assert_eq!(ctx.stats.tuples_grouped.get(), 3);
-    assert_eq!(ctx.stats.groups_emitted.get(), 2);
+    assert_eq!(ctx.stats.snapshot().tuples_grouped, 3);
+    assert_eq!(ctx.stats.snapshot().groups_emitted, 2);
 }

@@ -11,7 +11,9 @@ fn try_run(query: &str) -> Result<String, EngineError> {
     let doc = parse_document("<r><v>1</v><v>2</v><t>x</t></r>").unwrap();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
-    compiled.run(&ctx).map(|seq| xqa_xmlparse::serialize_sequence(&seq))
+    compiled
+        .run(&ctx)
+        .map(|seq| xqa_xmlparse::serialize_sequence(&seq))
 }
 
 fn code_of(query: &str) -> ErrorCode {
@@ -26,8 +28,16 @@ fn static_errors() {
     assert_eq!(code_of("$ghost"), ErrorCode::XPST0008);
     assert_eq!(code_of("let $x := 1 return $y"), ErrorCode::XPST0008);
     assert_eq!(code_of("no-such-function()"), ErrorCode::XPST0017);
-    assert_eq!(code_of("concat(1)"), ErrorCode::XPST0017, "below minimum arity");
-    assert_eq!(code_of("true(1)"), ErrorCode::XPST0017, "above maximum arity");
+    assert_eq!(
+        code_of("concat(1)"),
+        ErrorCode::XPST0017,
+        "below minimum arity"
+    );
+    assert_eq!(
+        code_of("true(1)"),
+        ErrorCode::XPST0017,
+        "above maximum arity"
+    );
     assert_eq!(code_of("1 +"), ErrorCode::XPST0003);
     assert_eq!(code_of("\"x\" cast as xs:duration"), ErrorCode::XPST0003);
 }
@@ -49,16 +59,32 @@ fn arithmetic_errors() {
     assert_eq!(code_of("1.5 div 0.0"), ErrorCode::FOAR0001);
     assert_eq!(code_of("9223372036854775807 * 2"), ErrorCode::FOAR0002);
     assert_eq!(code_of("1 + \"x\""), ErrorCode::XPTY0004);
-    assert_eq!(code_of("//t + 1"), ErrorCode::FORG0001, "non-numeric untyped content");
-    assert_eq!(code_of("(1, 2) + 1"), ErrorCode::XPTY0004, "non-singleton operand");
+    assert_eq!(
+        code_of("//t + 1"),
+        ErrorCode::FORG0001,
+        "non-numeric untyped content"
+    );
+    assert_eq!(
+        code_of("(1, 2) + 1"),
+        ErrorCode::XPTY0004,
+        "non-singleton operand"
+    );
 }
 
 #[test]
 fn comparison_errors() {
     assert_eq!(code_of("1 eq \"x\""), ErrorCode::XPTY0004);
     assert_eq!(code_of("(1, 2) lt 3"), ErrorCode::XPTY0004);
-    assert_eq!(code_of("1 = \"x\""), ErrorCode::XPTY0004, "general comparison, typed operands");
-    assert_eq!(code_of("5 is //v[1]"), ErrorCode::XPTY0004, "node comparison on atomic");
+    assert_eq!(
+        code_of("1 = \"x\""),
+        ErrorCode::XPTY0004,
+        "general comparison, typed operands"
+    );
+    assert_eq!(
+        code_of("5 is //v[1]"),
+        ErrorCode::XPTY0004,
+        "node comparison on atomic"
+    );
 }
 
 #[test]
@@ -76,7 +102,10 @@ fn sequence_type_errors() {
 fn cast_errors() {
     assert_eq!(code_of("\"abc\" cast as xs:integer"), ErrorCode::FORG0001);
     assert_eq!(code_of("() cast as xs:integer"), ErrorCode::XPTY0004);
-    assert_eq!(code_of("\"2004-13-01\" cast as xs:date"), ErrorCode::FODT0001);
+    assert_eq!(
+        code_of("\"2004-13-01\" cast as xs:date"),
+        ErrorCode::FODT0001
+    );
     assert_eq!(code_of("xs:dateTime(\"yesterday\")"), ErrorCode::FORG0001);
 }
 
@@ -96,23 +125,27 @@ fn order_by_type_errors() {
 
 #[test]
 fn path_type_errors() {
-    assert_eq!(code_of("(1)/child::a"), ErrorCode::XPTY0004, "axis step on atomic");
-    assert_eq!(code_of("//v/(if (. = 1) then . else 5)"), ErrorCode::XPTY0004, "mixed step result");
+    assert_eq!(
+        code_of("(1)/child::a"),
+        ErrorCode::XPTY0004,
+        "axis step on atomic"
+    );
+    assert_eq!(
+        code_of("//v/(if (. = 1) then . else 5)"),
+        ErrorCode::XPTY0004,
+        "mixed step result"
+    );
 }
 
 #[test]
 fn function_conversion_errors() {
-    let err = try_run(
-        "declare function local:f($n as xs:integer) { $n }; local:f(\"nope\")",
-    )
-    .unwrap_err();
+    let err = try_run("declare function local:f($n as xs:integer) { $n }; local:f(\"nope\")")
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::XPTY0004);
     assert!(err.to_string().contains("local:f"), "{err}");
     // Cardinality violation on return type.
-    let err = try_run(
-        "declare function local:g($n) as xs:integer { ($n, $n) }; local:g(1)",
-    )
-    .unwrap_err();
+    let err =
+        try_run("declare function local:g($n) as xs:integer { ($n, $n) }; local:g(1)").unwrap_err();
     assert_eq!(err.code(), ErrorCode::XPTY0004);
     assert!(err.to_string().contains("result of local:g"), "{err}");
 }
@@ -184,6 +217,12 @@ fn good_queries_do_not_error() {
     // Sanity inverse: close cousins of the error cases succeed.
     assert_eq!(try_run("1 idiv 1").unwrap(), "1");
     assert_eq!(try_run("string(//v[1]) cast as xs:integer").unwrap(), "1");
-    assert_eq!(try_run("for $x in (2, 1) order by $x return $x").unwrap(), "1 2");
-    assert_eq!(try_run("element r { attribute a { 1 }, \"text\" }").unwrap(), "<r a=\"1\">text</r>");
+    assert_eq!(
+        try_run("for $x in (2, 1) order by $x return $x").unwrap(),
+        "1 2"
+    );
+    assert_eq!(
+        try_run("element r { attribute a { 1 }, \"text\" }").unwrap(),
+        "<r a=\"1\">text</r>"
+    );
 }

@@ -7,11 +7,15 @@ use xqa_xmlparse::{parse_document, serialize_sequence};
 
 fn run(query: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
     let doc = parse_document("<empty/>").unwrap();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run {query:?}: {e}"));
     serialize_sequence(&result)
 }
 
@@ -50,7 +54,10 @@ fn current_datetime_override() {
     ctx.set_context_document(&doc);
     ctx.set_current_datetime(xqa_xdm::DateTime::parse("1999-12-31T23:59:59Z").unwrap());
     let q = engine.compile("string(current-dateTime())").unwrap();
-    assert_eq!(q.run(&ctx).unwrap()[0].string_value(), "1999-12-31T23:59:59Z");
+    assert_eq!(
+        q.run(&ctx).unwrap()[0].string_value(),
+        "1999-12-31T23:59:59Z"
+    );
 }
 
 #[test]
@@ -70,7 +77,10 @@ fn compare_function() {
 fn codepoint_functions() {
     assert_eq!(run("string-to-codepoints(\"AB\")"), "65 66");
     assert_eq!(run("codepoints-to-string((104, 105))"), "hi");
-    assert_eq!(run("codepoints-to-string(string-to-codepoints(\"round trip\"))"), "round trip");
+    assert_eq!(
+        run("codepoints-to-string(string-to-codepoints(\"round trip\"))"),
+        "round trip"
+    );
     assert_eq!(run("string-to-codepoints(\"\")"), "");
 }
 
@@ -104,12 +114,10 @@ fn moving_window_errors() {
 fn moving_sum_equals_q8_style_window() {
     // The O(n) extension must agree with the nested-iteration (paper
     // Q8) formulation of "sum of this + previous 2 sales".
-    let q8 = run(
-        "let $vals := (3, 1, 4, 1, 5, 9, 2, 6) \
+    let q8 = run("let $vals := (3, 1, 4, 1, 5, 9, 2, 6) \
          return for $v at $i in $vals \
                 return sum(for $w at $j in $vals \
-                           where $j > $i - 3 and $j <= $i return $w)",
-    );
+                           where $j > $i - 3 and $j <= $i return $w)");
     let ext = run("xqa:moving-sum((3, 1, 4, 1, 5, 9, 2, 6), 3)");
     assert_eq!(q8, ext);
 }

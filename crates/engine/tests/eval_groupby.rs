@@ -8,11 +8,15 @@ use xqa_xmlparse::{parse_document, serialize_sequence};
 
 fn run_xml(query: &str, xml: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile {query:?}: {e}"));
     let doc = parse_document(xml).expect("well-formed test document");
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run {query:?}: {e}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run {query:?}: {e}"));
     serialize_sequence(&result)
 }
 
@@ -227,9 +231,8 @@ fn group_representative_is_from_first_tuple() {
 
 #[test]
 fn grouping_on_numbers_spans_numeric_tower() {
-    let out = run(
-        "for $v in (1, 1.0, 1e0, 2) group by $v into $k nest $v into $vs return count($vs)",
-    );
+    let out =
+        run("for $v in (1, 1.0, 1e0, 2) group by $v into $k nest $v into $vs return count($vs)");
     assert_eq!(out, "3 1", "1 = 1.0 = 1e0 group together");
 }
 
@@ -249,31 +252,25 @@ fn nest_order_by_orders_within_group() {
 
 #[test]
 fn nest_order_by_descending() {
-    let out = run(
-        r#"for $s in (<v>1</v>, <v>3</v>, <v>2</v>)
+    let out = run(r#"for $s in (<v>1</v>, <v>3</v>, <v>2</v>)
            group by 1 into $k
            nest $s order by number($s) descending into $vs
-           return string-join(for $v in $vs return string($v), ",")"#,
-    );
+           return string-join(for $v in $vs return string($v), ",")"#);
     assert_eq!(out, "3,2,1");
 }
 
 #[test]
 fn nest_default_order_preserves_input_tuple_order() {
-    let out = run(
-        r#"for $s in (<v>b</v>, <v>c</v>, <v>a</v>)
+    let out = run(r#"for $s in (<v>b</v>, <v>c</v>, <v>a</v>)
            group by 1 into $k
            nest $s into $vs
-           return string-join(for $v in $vs return string($v), "")"#,
-    );
+           return string-join(for $v in $vs return string($v), "")"#);
     assert_eq!(out, "bca");
 }
 
 #[test]
 fn groups_without_order_by_appear_in_first_seen_order() {
-    let out = run(
-        "for $v in (3, 1, 3, 2, 1) group by $v into $k nest $v into $vs return $k",
-    );
+    let out = run("for $v in (3, 1, 3, 2, 1) group by $v into $k nest $v into $vs return $k");
     assert_eq!(out, "3 1 2");
 }
 
@@ -312,9 +309,17 @@ fn q3_nested_grouped_flwors() {
         xml,
     );
     // West 2004: CA = 40, OR = 20, region 60; East 2005: NY = 14.
-    assert!(out.contains("<summary>West 2004 CA<state-sales>40</state-sales><region-sales>60</region-sales>"), "{out}");
+    assert!(
+        out.contains(
+            "<summary>West 2004 CA<state-sales>40</state-sales><region-sales>60</region-sales>"
+        ),
+        "{out}"
+    );
     assert!(out.contains("<pct>66.66666666666667</pct>"), "{out}");
-    assert!(out.contains("<summary>West 2004 OR<state-sales>20</state-sales>"), "{out}");
+    assert!(
+        out.contains("<summary>West 2004 OR<state-sales>20</state-sales>"),
+        "{out}"
+    );
     assert!(out.contains("<summary>East 2005 NY<state-sales>14</state-sales><region-sales>14</region-sales><pct>100</pct></summary>"), "{out}");
     // Ordered by year then region: 2004/West rows precede 2005/East.
     assert!(out.find("West 2004 CA").unwrap() < out.find("West 2004 OR").unwrap());
@@ -511,9 +516,7 @@ fn multiple_group_by_in_one_flwor_is_rejected() {
     // §3.5: only one group by clause per FLWOR.
     let engine = Engine::new();
     let err = engine
-        .compile(
-            "for $b in (1,2) group by $b into $k group by $k into $j return $j",
-        )
+        .compile("for $b in (1,2) group by $b into $k group by $k into $j return $j")
         .unwrap_err();
     // Parses as: the second 'group' is not a valid clause keyword here,
     // so it is a syntax error.
@@ -548,14 +551,12 @@ fn empty_input_produces_no_groups() {
 
 #[test]
 fn where_before_group_by_filters_tuples_first() {
-    let out = run(
-        "for $v in (1, 2, 3, 4, 5, 6)
+    let out = run("for $v in (1, 2, 3, 4, 5, 6)
          where $v mod 2 = 0
          group by $v mod 4 into $k
          nest $v into $vs
          order by $k
-         return <g>{$k}:{count($vs)}</g>",
-    );
+         return <g>{$k}:{count($vs)}</g>");
     // evens: 2,4,6 -> keys 2,0,2
     assert_eq!(out, "<g>0:1</g><g>2:2</g>");
 }

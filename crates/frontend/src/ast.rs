@@ -39,7 +39,10 @@ impl Span {
 
     /// The union of two spans.
     pub fn merge(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 
@@ -55,12 +58,18 @@ pub struct Name {
 impl Name {
     /// Unprefixed name.
     pub fn local(local: impl Into<String>) -> Name {
-        Name { prefix: None, local: local.into() }
+        Name {
+            prefix: None,
+            local: local.into(),
+        }
     }
 
     /// Prefixed name.
     pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Name {
-        Name { prefix: Some(prefix.into()), local: local.into() }
+        Name {
+            prefix: Some(prefix.into()),
+            local: local.into(),
+        }
     }
 }
 
@@ -149,7 +158,10 @@ pub struct SequenceType {
 impl SequenceType {
     /// `item()*` — anything.
     pub fn any() -> SequenceType {
-        SequenceType { item: ItemType::AnyItem, occurrence: Occurrence::ZeroOrMore }
+        SequenceType {
+            item: ItemType::AnyItem,
+            occurrence: Occurrence::ZeroOrMore,
+        }
     }
 }
 
@@ -626,7 +638,10 @@ impl Axis {
     /// True for axes that walk *up* or *backwards* (reverse axes):
     /// positional predicates count from the far end on these.
     pub fn is_reverse(&self) -> bool {
-        matches!(self, Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling)
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling
+        )
     }
 }
 

@@ -32,13 +32,22 @@ impl SyntaxError {
                 column += 1;
             }
         }
-        SyntaxError { line, column, offset, message: message.into() }
+        SyntaxError {
+            line,
+            column,
+            offset,
+            message: message.into(),
+        }
     }
 }
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "syntax error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

@@ -769,20 +769,26 @@ mod tests {
 
     #[test]
     fn comparisons_need_space_before_names() {
-        assert_eq!(tokens("$a < $b"), vec![
-            Token::VarName("a".into()),
-            Token::Lt,
-            Token::VarName("b".into())
-        ]);
+        assert_eq!(
+            tokens("$a < $b"),
+            vec![
+                Token::VarName("a".into()),
+                Token::Lt,
+                Token::VarName("b".into())
+            ]
+        );
         // '<' + name = start tag
         assert_eq!(tokens("<b"), vec![Token::StartTagOpen(Name::local("b"))]);
-        assert_eq!(tokens("<= >= != << >>"), vec![
-            Token::Le,
-            Token::Ge,
-            Token::Ne,
-            Token::Precedes,
-            Token::Follows
-        ]);
+        assert_eq!(
+            tokens("<= >= != << >>"),
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Precedes,
+                Token::Follows
+            ]
+        );
     }
 
     #[test]
@@ -793,11 +799,14 @@ mod tests {
         assert_eq!(tokens("1e3"), vec![Token::Double(1000.0)]);
         assert_eq!(tokens("1.5E-2"), vec![Token::Double(0.015)]);
         // 100 div 10 — 'div' is a name token here
-        assert_eq!(tokens("100 div 10"), vec![
-            Token::Integer(100),
-            Token::NCName("div".into()),
-            Token::Integer(10)
-        ]);
+        assert_eq!(
+            tokens("100 div 10"),
+            vec![
+                Token::Integer(100),
+                Token::NCName("div".into()),
+                Token::Integer(10)
+            ]
+        );
     }
 
     #[test]
@@ -810,48 +819,62 @@ mod tests {
 
     #[test]
     fn strings_with_escapes_and_entities() {
-        assert_eq!(tokens(r#""Jim ""The"" Gray""#), vec![Token::StringLit(
-            r#"Jim "The" Gray"#.into()
-        )]);
+        assert_eq!(
+            tokens(r#""Jim ""The"" Gray""#),
+            vec![Token::StringLit(r#"Jim "The" Gray"#.into())]
+        );
         assert_eq!(tokens("'it''s'"), vec![Token::StringLit("it's".into())]);
         assert_eq!(tokens(r#""a&amp;b""#), vec![Token::StringLit("a&b".into())]);
     }
 
     #[test]
     fn variables_and_qnames() {
-        assert_eq!(tokens("$region-sales"), vec![Token::VarName("region-sales".into())]);
-        assert_eq!(tokens("local:set-equal"), vec![Token::QName(
-            "local".into(),
-            "set-equal".into()
-        )]);
-        assert_eq!(tokens("fn:avg"), vec![Token::QName("fn".into(), "avg".into())]);
+        assert_eq!(
+            tokens("$region-sales"),
+            vec![Token::VarName("region-sales".into())]
+        );
+        assert_eq!(
+            tokens("local:set-equal"),
+            vec![Token::QName("local".into(), "set-equal".into())]
+        );
+        assert_eq!(
+            tokens("fn:avg"),
+            vec![Token::QName("fn".into(), "avg".into())]
+        );
     }
 
     #[test]
     fn axis_colon_colon_not_confused_with_qname() {
-        assert_eq!(tokens("child::book"), vec![
-            Token::NCName("child".into()),
-            Token::ColonColon,
-            Token::NCName("book".into())
-        ]);
+        assert_eq!(
+            tokens("child::book"),
+            vec![
+                Token::NCName("child".into()),
+                Token::ColonColon,
+                Token::NCName("book".into())
+            ]
+        );
     }
 
     #[test]
     fn comments_nest_and_are_skipped() {
-        assert_eq!(tokens("1 (: outer (: inner :) still :) 2"), vec![
-            Token::Integer(1),
-            Token::Integer(2)
-        ]);
+        assert_eq!(
+            tokens("1 (: outer (: inner :) still :) 2"),
+            vec![Token::Integer(1), Token::Integer(2)]
+        );
         let mut lx = Lexer::new("(: never closed");
         assert!(lx.next_token().is_err());
     }
 
     #[test]
     fn tag_open_lexes_name() {
-        assert_eq!(tokens("<monthly-report"), vec![Token::StartTagOpen(Name::local(
-            "monthly-report"
-        ))]);
-        assert_eq!(tokens("<x:r"), vec![Token::StartTagOpen(Name::prefixed("x", "r"))]);
+        assert_eq!(
+            tokens("<monthly-report"),
+            vec![Token::StartTagOpen(Name::local("monthly-report"))]
+        );
+        assert_eq!(
+            tokens("<x:r"),
+            vec![Token::StartTagOpen(Name::prefixed("x", "r"))]
+        );
     }
 
     #[test]

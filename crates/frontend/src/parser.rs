@@ -64,7 +64,11 @@ enum StepOrExpr {
 
 impl<'a> Parser<'a> {
     fn new(source: &'a str) -> Parser<'a> {
-        Parser { lexer: Lexer::new(source), buffer: VecDeque::new(), depth: 0 }
+        Parser {
+            lexer: Lexer::new(source),
+            buffer: VecDeque::new(),
+            depth: 0,
+        }
     }
 
     // ---- token plumbing ----------------------------------------------
@@ -222,7 +226,11 @@ impl<'a> Parser<'a> {
                 let ty = self.try_parse_type_declaration()?;
                 self.expect(&Token::Assign)?;
                 let init = self.parse_expr_single()?;
-                prolog.variables.push(VarDecl { name: var, ty, init });
+                prolog.variables.push(VarDecl {
+                    name: var,
+                    ty,
+                    init,
+                });
             } else {
                 self.expect_keyword("ordering")?;
                 prolog.ordering = Some(if self.eat_keyword("ordered")? {
@@ -256,7 +264,13 @@ impl<'a> Parser<'a> {
         self.expect(&Token::LBrace)?;
         let body = self.parse_expr()?;
         let end = self.expect(&Token::RBrace)?;
-        Ok(FunctionDecl { name, params, return_type, body, span: start_span.merge(end) })
+        Ok(FunctionDecl {
+            name,
+            params,
+            return_type,
+            body,
+            span: start_span.merge(end),
+        })
     }
 
     fn eat_token(&mut self, t: &Token) -> SyntaxResult<bool> {
@@ -280,7 +294,10 @@ impl<'a> Parser<'a> {
     fn parse_sequence_type(&mut self) -> SyntaxResult<SequenceType> {
         let item = self.parse_item_type()?;
         if matches!(item, ItemType::EmptySequence) {
-            return Ok(SequenceType { item, occurrence: Occurrence::ZeroOrMore });
+            return Ok(SequenceType {
+                item,
+                occurrence: Occurrence::ZeroOrMore,
+            });
         }
         let occurrence = match self.peek()? {
             Token::Question => {
@@ -314,12 +331,11 @@ impl<'a> Parser<'a> {
                 "document-node" => ItemType::Document,
                 "empty-sequence" => ItemType::EmptySequence,
                 "element" | "attribute" => {
-                    let inner =
-                        if self.peek()? == &Token::RParen || self.eat_token(&Token::Star)? {
-                            None
-                        } else {
-                            Some(self.expect_name()?.0)
-                        };
+                    let inner = if self.peek()? == &Token::RParen || self.eat_token(&Token::Star)? {
+                        None
+                    } else {
+                        Some(self.expect_name()?.0)
+                    };
                     self.expect(&Token::RParen)?;
                     return Ok(if name.local == "element" {
                         ItemType::Element(inner)
@@ -372,8 +388,7 @@ impl<'a> Parser<'a> {
                 "for" | "let" if matches!(self.peek2()?, Token::VarName(_)) => {
                     return self.parse_flwor();
                 }
-                "for"
-                    if matches!(self.peek2()?, Token::NCName(s) if s == "tumbling" || s == "sliding") =>
+                "for" if matches!(self.peek2()?, Token::NCName(s) if s == "tumbling" || s == "sliding") =>
                 {
                     return self.parse_flwor();
                 }
@@ -408,13 +423,21 @@ impl<'a> Parser<'a> {
         let otherwise = self.parse_expr_single()?;
         let span = start.merge(otherwise.span);
         Ok(Expr::new(
-            ExprKind::If { cond: Box::new(cond), then: Box::new(then), otherwise: Box::new(otherwise) },
+            ExprKind::If {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                otherwise: Box::new(otherwise),
+            },
             span,
         ))
     }
 
     fn parse_quantified(&mut self, kw: &str) -> SyntaxResult<Expr> {
-        let kind = if kw == "some" { Quantifier::Some } else { Quantifier::Every };
+        let kind = if kw == "some" {
+            Quantifier::Some
+        } else {
+            Quantifier::Every
+        };
         let start = self.next()?.1; // some/every
         let mut bindings = Vec::new();
         loop {
@@ -429,7 +452,14 @@ impl<'a> Parser<'a> {
         self.expect_keyword("satisfies")?;
         let satisfies = self.parse_expr_single()?;
         let span = start.merge(satisfies.span);
-        Ok(Expr::new(ExprKind::Quantified { kind, bindings, satisfies: Box::new(satisfies.clone()) }, span))
+        Ok(Expr::new(
+            ExprKind::Quantified {
+                kind,
+                bindings,
+                satisfies: Box::new(satisfies.clone()),
+            },
+            span,
+        ))
     }
 
     fn parse_computed_constructor(&mut self, kw: &str) -> SyntaxResult<Expr> {
@@ -509,8 +539,11 @@ impl<'a> Parser<'a> {
             return Err(self.error_here("FLWOR expression requires at least one for/let clause"));
         }
 
-        let where_clause =
-            if self.eat_keyword("where")? { Some(self.parse_expr_single()?) } else { None };
+        let where_clause = if self.eat_keyword("where")? {
+            Some(self.parse_expr_single()?)
+        } else {
+            None
+        };
 
         let group_by = if self.at_keyword("group")? {
             self.next()?;
@@ -527,7 +560,9 @@ impl<'a> Parser<'a> {
                 if self.at_keyword("let")? && matches!(self.peek2()?, Token::VarName(_)) {
                     self.next()?;
                     post_group_clauses.extend(
-                        self.parse_let_bindings()?.into_iter().map(PostGroupClause::Let),
+                        self.parse_let_bindings()?
+                            .into_iter()
+                            .map(PostGroupClause::Let),
                     );
                 } else if self.at_keyword("count")? && matches!(self.peek2()?, Token::VarName(_)) {
                     self.next()?;
@@ -616,7 +651,14 @@ impl<'a> Parser<'a> {
         if sliding && end.is_none() {
             return Err(self.error_here("sliding windows require an end condition"));
         }
-        Ok(WindowClause { sliding, var, expr, start, end, only_end })
+        Ok(WindowClause {
+            sliding,
+            var,
+            expr,
+            start,
+            end,
+            only_end,
+        })
     }
 
     /// `($cur)? ("at" $p)? ("previous" $x)? ("next" $y)? "when" Expr`
@@ -647,7 +689,13 @@ impl<'a> Parser<'a> {
         };
         self.expect_keyword("when")?;
         let when = self.parse_expr_single()?;
-        Ok(WindowCondition { item_var, at_var, previous_var, next_var, when })
+        Ok(WindowCondition {
+            item_var,
+            at_var,
+            previous_var,
+            next_var,
+            when,
+        })
     }
 
     /// The body of `group by` (keywords `group by` already consumed).
@@ -674,7 +722,11 @@ impl<'a> Parser<'a> {
                 let order_by = self.try_parse_order_by()?;
                 self.expect_keyword("into")?;
                 let (var, _) = self.expect_var()?;
-                nests.push(NestBinding { expr, order_by, var });
+                nests.push(NestBinding {
+                    expr,
+                    order_by,
+                    var,
+                });
                 if !self.eat_token(&Token::Comma)? {
                     break;
                 }
@@ -722,7 +774,11 @@ impl<'a> Parser<'a> {
             } else {
                 None
             };
-            specs.push(OrderSpec { expr, descending, empty });
+            specs.push(OrderSpec {
+                expr,
+                descending,
+                empty,
+            });
             if !self.eat_token(&Token::Comma)? {
                 break;
             }
@@ -779,7 +835,10 @@ impl<'a> Parser<'a> {
             self.next()?;
             let rhs = self.parse_range_expr()?;
             let span = lhs.span.merge(rhs.span);
-            return Ok(Expr::new(ExprKind::GeneralComp(op, Box::new(lhs), Box::new(rhs)), span));
+            return Ok(Expr::new(
+                ExprKind::GeneralComp(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            ));
         }
         // Node comparisons (token forms).
         let node_cmp = match self.peek()? {
@@ -791,7 +850,10 @@ impl<'a> Parser<'a> {
             self.next()?;
             let rhs = self.parse_range_expr()?;
             let span = lhs.span.merge(rhs.span);
-            return Ok(Expr::new(ExprKind::NodeComp(op, Box::new(lhs), Box::new(rhs)), span));
+            return Ok(Expr::new(
+                ExprKind::NodeComp(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            ));
         }
         // Keyword comparisons.
         if let Token::NCName(kw) = self.peek()? {
@@ -808,7 +870,10 @@ impl<'a> Parser<'a> {
                 self.next()?;
                 let rhs = self.parse_range_expr()?;
                 let span = lhs.span.merge(rhs.span);
-                return Ok(Expr::new(ExprKind::ValueComp(op, Box::new(lhs), Box::new(rhs)), span));
+                return Ok(Expr::new(
+                    ExprKind::ValueComp(op, Box::new(lhs), Box::new(rhs)),
+                    span,
+                ));
             }
             if kw == "is" {
                 self.next()?;
@@ -829,7 +894,10 @@ impl<'a> Parser<'a> {
             self.next()?;
             let rhs = self.parse_additive_expr()?;
             let span = lhs.span.merge(rhs.span);
-            return Ok(Expr::new(ExprKind::Range(Box::new(lhs), Box::new(rhs)), span));
+            return Ok(Expr::new(
+                ExprKind::Range(Box::new(lhs), Box::new(rhs)),
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -879,7 +947,10 @@ impl<'a> Parser<'a> {
             self.next()?;
             let rhs = self.parse_intersect_expr()?;
             let span = lhs.span.merge(rhs.span);
-            lhs = Expr::new(ExprKind::SetOp(SetOp::Union, Box::new(lhs), Box::new(rhs)), span);
+            lhs = Expr::new(
+                ExprKind::SetOp(SetOp::Union, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -920,7 +991,10 @@ impl<'a> Parser<'a> {
             let (name, _) = self.expect_name()?;
             let optional = self.eat_token(&Token::Question)?;
             let span = lhs.span;
-            return Ok(Expr::new(ExprKind::CastAs(Box::new(lhs), name, optional), span));
+            return Ok(Expr::new(
+                ExprKind::CastAs(Box::new(lhs), name, optional),
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -933,7 +1007,10 @@ impl<'a> Parser<'a> {
             let (name, _) = self.expect_name()?;
             let optional = self.eat_token(&Token::Question)?;
             let span = lhs.span;
-            return Ok(Expr::new(ExprKind::CastableAs(Box::new(lhs), name, optional), span));
+            return Ok(Expr::new(
+                ExprKind::CastableAs(Box::new(lhs), name, optional),
+                span,
+            ));
         }
         Ok(lhs)
     }
@@ -944,13 +1021,19 @@ impl<'a> Parser<'a> {
                 let start = self.next()?.1;
                 let inner = self.parse_unary_expr()?;
                 let span = start.merge(inner.span);
-                Ok(Expr::new(ExprKind::Unary(UnaryOp::Neg, Box::new(inner)), span))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnaryOp::Neg, Box::new(inner)),
+                    span,
+                ))
             }
             Token::Plus => {
                 let start = self.next()?.1;
                 let inner = self.parse_unary_expr()?;
                 let span = start.merge(inner.span);
-                Ok(Expr::new(ExprKind::Unary(UnaryOp::Plus, Box::new(inner)), span))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnaryOp::Plus, Box::new(inner)),
+                    span,
+                ))
             }
             _ => self.parse_path_expr(),
         }
@@ -967,7 +1050,10 @@ impl<'a> Parser<'a> {
                     self.parse_relative_path(PathStart::Root, Vec::new(), start_span, true)
                 } else {
                     Ok(Expr::new(
-                        ExprKind::Path(Box::new(Path { start: PathStart::Root, steps: Vec::new() })),
+                        ExprKind::Path(Box::new(Path {
+                            start: PathStart::Root,
+                            steps: Vec::new(),
+                        })),
                         start_span,
                     ))
                 }
@@ -987,7 +1073,10 @@ impl<'a> Parser<'a> {
                         } else {
                             let span = expr.span;
                             Ok(Expr::new(
-                                ExprKind::Filter { base: Box::new(expr), predicates },
+                                ExprKind::Filter {
+                                    base: Box::new(expr),
+                                    predicates,
+                                },
                                 span,
                             ))
                         }
@@ -997,9 +1086,20 @@ impl<'a> Parser<'a> {
                             expr
                         } else {
                             let span = expr.span;
-                            Expr::new(ExprKind::Filter { base: Box::new(expr), predicates }, span)
+                            Expr::new(
+                                ExprKind::Filter {
+                                    base: Box::new(expr),
+                                    predicates,
+                                },
+                                span,
+                            )
                         };
-                        self.parse_relative_path(PathStart::Expr(base), Vec::new(), start_span, false)
+                        self.parse_relative_path(
+                            PathStart::Expr(base),
+                            Vec::new(),
+                            start_span,
+                            false,
+                        )
                     }
                     StepOrExpr::Step(step) => self.parse_relative_path(
                         PathStart::Context,
@@ -1045,7 +1145,10 @@ impl<'a> Parser<'a> {
         }
         let end = steps.last().map(step_span).unwrap_or(start_span);
         let span = start_span.merge(end);
-        Ok(Expr::new(ExprKind::Path(Box::new(Path { start, steps })), span))
+        Ok(Expr::new(
+            ExprKind::Path(Box::new(Path { start, steps })),
+            span,
+        ))
     }
 
     /// Can the current token begin a path step?
@@ -1073,12 +1176,20 @@ impl<'a> Parser<'a> {
                 self.next()?;
                 let test = self.parse_node_test()?;
                 let predicates = self.parse_predicates()?;
-                Ok(StepOrExpr::Step(AxisStep { axis: Axis::Attribute, test, predicates }))
+                Ok(StepOrExpr::Step(AxisStep {
+                    axis: Axis::Attribute,
+                    test,
+                    predicates,
+                }))
             }
             Token::DotDot => {
                 self.next()?;
                 let predicates = self.parse_predicates()?;
-                Ok(StepOrExpr::Step(AxisStep { axis: Axis::Parent, test: NodeTest::AnyKind, predicates }))
+                Ok(StepOrExpr::Step(AxisStep {
+                    axis: Axis::Parent,
+                    test: NodeTest::AnyKind,
+                    predicates,
+                }))
             }
             Token::NCName(name) => {
                 let name = name.clone();
@@ -1090,18 +1201,27 @@ impl<'a> Parser<'a> {
                     self.next()?; // ::
                     let test = self.parse_node_test()?;
                     let predicates = self.parse_predicates()?;
-                    return Ok(StepOrExpr::Step(AxisStep { axis, test, predicates }));
+                    return Ok(StepOrExpr::Step(AxisStep {
+                        axis,
+                        test,
+                        predicates,
+                    }));
                 }
                 // Kind test or function call?
                 if self.peek2()? == &Token::LParen {
                     if let Some(test) = self.try_parse_kind_test()? {
                         let predicates = self.parse_predicates()?;
                         let axis = default_axis_for_test(&test);
-                        return Ok(StepOrExpr::Step(AxisStep { axis, test, predicates }));
+                        return Ok(StepOrExpr::Step(AxisStep {
+                            axis,
+                            test,
+                            predicates,
+                        }));
                     }
                     if RESERVED_FUNCTION_NAMES.contains(&name.as_str()) {
-                        return Err(self
-                            .error_here(format!("{name:?} is reserved and cannot be called here")));
+                        return Err(self.error_here(format!(
+                            "{name:?} is reserved and cannot be called here"
+                        )));
                     }
                     let expr = self.parse_function_call()?;
                     let predicates = self.parse_predicates()?;
@@ -1237,7 +1357,10 @@ impl<'a> Parser<'a> {
             }
         }
         let end = self.expect(&Token::RParen)?;
-        Ok(Expr::new(ExprKind::FunctionCall { name, args }, start.merge(end)))
+        Ok(Expr::new(
+            ExprKind::FunctionCall { name, args },
+            start.merge(end),
+        ))
     }
 
     // ---- primary expressions ----------------------------------------------
@@ -1270,7 +1393,10 @@ impl<'a> Parser<'a> {
                 let target = self.lexer.raw_name()?;
                 self.lexer.raw_skip_ws();
                 let data = self.lexer.raw_until("?>")?;
-                Ok(Expr::new(ExprKind::DirectPi(target.to_string(), data), span))
+                Ok(Expr::new(
+                    ExprKind::DirectPi(target.to_string(), data),
+                    span,
+                ))
             }
             other => Err(SyntaxError::at(
                 self.lexer.source(),
@@ -1284,7 +1410,10 @@ impl<'a> Parser<'a> {
     /// token would mean the lexer cursor has already moved past the raw
     /// text we are about to scan.
     fn assert_raw_ready(&self) {
-        debug_assert!(self.buffer.is_empty(), "token lookahead must be empty before raw mode");
+        debug_assert!(
+            self.buffer.is_empty(),
+            "token lookahead must be empty before raw mode"
+        );
     }
 
     // ---- direct constructors -----------------------------------------------
@@ -1354,9 +1483,8 @@ impl<'a> Parser<'a> {
                 ContentChunkEnd::EndTagOpen => {
                     let end_name = self.lexer.raw_name()?;
                     if end_name != name {
-                        return Err(self.error_here(format!(
-                            "mismatched end tag </{end_name}> for <{name}>"
-                        )));
+                        return Err(self
+                            .error_here(format!("mismatched end tag </{end_name}> for <{name}>")));
                     }
                     self.lexer.raw_skip_ws();
                     self.lexer.raw_expect(">")?;
@@ -1377,7 +1505,10 @@ impl<'a> Parser<'a> {
                 ContentChunkEnd::CommentStart => {
                     let text = self.lexer.raw_until("-->")?;
                     let span = Span::new(start.start, self.lexer.position());
-                    content.push(ContentPart::Child(Expr::new(ExprKind::DirectComment(text), span)));
+                    content.push(ContentPart::Child(Expr::new(
+                        ExprKind::DirectComment(text),
+                        span,
+                    )));
                 }
                 ContentChunkEnd::PiStart => {
                     let target = self.lexer.raw_name()?;
@@ -1393,7 +1524,11 @@ impl<'a> Parser<'a> {
         }
         let span = Span::new(start.start, self.lexer.position());
         Ok(Expr::new(
-            ExprKind::DirectElement(Box::new(DirectElement { name, attributes, content })),
+            ExprKind::DirectElement(Box::new(DirectElement {
+                name,
+                attributes,
+                content,
+            })),
             span,
         ))
     }
@@ -1435,9 +1570,7 @@ fn default_axis_for_test(test: &NodeTest) -> Axis {
 fn step_span(step: &Step) -> Span {
     match step {
         Step::Axis(s) => s.predicates.last().map(|p| p.span).unwrap_or_default(),
-        Step::Expr { expr, predicates } => {
-            predicates.last().map(|p| p.span).unwrap_or(expr.span)
-        }
+        Step::Expr { expr, predicates } => predicates.last().map(|p| p.span).unwrap_or(expr.span),
     }
 }
 
@@ -1481,14 +1614,23 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert!(matches!(expr("$a = 5").kind, ExprKind::GeneralComp(Comparison::Eq, _, _)));
-        assert!(matches!(expr("$a eq 5").kind, ExprKind::ValueComp(Comparison::Eq, _, _)));
-        assert!(matches!(expr("$a >= $b").kind, ExprKind::GeneralComp(Comparison::Ge, _, _)));
-        assert!(matches!(expr("$a is $b").kind, ExprKind::NodeComp(NodeComparison::Is, _, _)));
         assert!(matches!(
-            expr("$a and $b or $c").kind,
-            ExprKind::Or(_, _)
+            expr("$a = 5").kind,
+            ExprKind::GeneralComp(Comparison::Eq, _, _)
         ));
+        assert!(matches!(
+            expr("$a eq 5").kind,
+            ExprKind::ValueComp(Comparison::Eq, _, _)
+        ));
+        assert!(matches!(
+            expr("$a >= $b").kind,
+            ExprKind::GeneralComp(Comparison::Ge, _, _)
+        ));
+        assert!(matches!(
+            expr("$a is $b").kind,
+            ExprKind::NodeComp(NodeComparison::Is, _, _)
+        ));
+        assert!(matches!(expr("$a and $b or $c").kind, ExprKind::Or(_, _)));
     }
 
     #[test]
@@ -1505,7 +1647,11 @@ mod tests {
                 assert_eq!(p.steps.len(), 2);
                 assert!(matches!(
                     &p.steps[0],
-                    Step::Axis(AxisStep { axis: Axis::DescendantOrSelf, test: NodeTest::AnyKind, .. })
+                    Step::Axis(AxisStep {
+                        axis: Axis::DescendantOrSelf,
+                        test: NodeTest::AnyKind,
+                        ..
+                    })
                 ));
                 assert!(matches!(
                     &p.steps[1],
@@ -1520,7 +1666,9 @@ mod tests {
     fn variable_rooted_path() {
         match expr("$b/price").kind {
             ExprKind::Path(p) => {
-                assert!(matches!(&p.start, PathStart::Expr(e) if matches!(e.kind, ExprKind::VarRef(_))));
+                assert!(
+                    matches!(&p.start, PathStart::Expr(e) if matches!(e.kind, ExprKind::VarRef(_)))
+                );
                 assert_eq!(p.steps.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -1561,13 +1709,25 @@ mod tests {
     fn attribute_and_parent_steps() {
         match expr("@year").kind {
             ExprKind::Path(p) => {
-                assert!(matches!(&p.steps[0], Step::Axis(AxisStep { axis: Axis::Attribute, .. })));
+                assert!(matches!(
+                    &p.steps[0],
+                    Step::Axis(AxisStep {
+                        axis: Axis::Attribute,
+                        ..
+                    })
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
         match expr("../price").kind {
             ExprKind::Path(p) => {
-                assert!(matches!(&p.steps[0], Step::Axis(AxisStep { axis: Axis::Parent, .. })));
+                assert!(matches!(
+                    &p.steps[0],
+                    Step::Axis(AxisStep {
+                        axis: Axis::Parent,
+                        ..
+                    })
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1577,10 +1737,20 @@ mod tests {
     fn explicit_axes_and_kind_tests() {
         match expr("child::book/descendant::text()").kind {
             ExprKind::Path(p) => {
-                assert!(matches!(&p.steps[0], Step::Axis(AxisStep { axis: Axis::Child, .. })));
+                assert!(matches!(
+                    &p.steps[0],
+                    Step::Axis(AxisStep {
+                        axis: Axis::Child,
+                        ..
+                    })
+                ));
                 assert!(matches!(
                     &p.steps[1],
-                    Step::Axis(AxisStep { axis: Axis::Descendant, test: NodeTest::Text, .. })
+                    Step::Axis(AxisStep {
+                        axis: Axis::Descendant,
+                        test: NodeTest::Text,
+                        ..
+                    })
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -1589,7 +1759,11 @@ mod tests {
             ExprKind::Path(p) => {
                 assert!(matches!(
                     &p.steps[0],
-                    Step::Axis(AxisStep { axis: Axis::SelfAxis, test: NodeTest::AnyKind, .. })
+                    Step::Axis(AxisStep {
+                        axis: Axis::SelfAxis,
+                        test: NodeTest::AnyKind,
+                        ..
+                    })
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -1602,7 +1776,10 @@ mod tests {
             ExprKind::Path(p) => {
                 assert!(matches!(
                     p.steps.last().unwrap(),
-                    Step::Axis(AxisStep { test: NodeTest::Wildcard, .. })
+                    Step::Axis(AxisStep {
+                        test: NodeTest::Wildcard,
+                        ..
+                    })
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -1835,7 +2012,9 @@ mod tests {
         let e = expr("<name>Morgan Kaufmann</name>");
         match e.kind {
             ExprKind::DirectElement(el) => {
-                assert!(matches!(&el.content[0], ContentPart::Literal(s) if s == "Morgan Kaufmann"));
+                assert!(
+                    matches!(&el.content[0], ContentPart::Literal(s) if s == "Morgan Kaufmann")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1872,8 +2051,14 @@ mod tests {
             expr("attribute year { 2004 }").kind,
             ExprKind::ComputedAttribute { .. }
         ));
-        assert!(matches!(expr("text { \"hi\" }").kind, ExprKind::ComputedText(_)));
-        assert!(matches!(expr("element e {}").kind, ExprKind::ComputedElement { content: None, .. }));
+        assert!(matches!(
+            expr("text { \"hi\" }").kind,
+            ExprKind::ComputedText(_)
+        ));
+        assert!(matches!(
+            expr("element e {}").kind,
+            ExprKind::ComputedElement { content: None, .. }
+        ));
     }
 
     #[test]
@@ -1948,21 +2133,36 @@ mod tests {
 
     #[test]
     fn set_operations() {
-        assert!(matches!(expr("$a | $b").kind, ExprKind::SetOp(SetOp::Union, _, _)));
-        assert!(matches!(expr("$a union $b").kind, ExprKind::SetOp(SetOp::Union, _, _)));
+        assert!(matches!(
+            expr("$a | $b").kind,
+            ExprKind::SetOp(SetOp::Union, _, _)
+        ));
+        assert!(matches!(
+            expr("$a union $b").kind,
+            ExprKind::SetOp(SetOp::Union, _, _)
+        ));
         assert!(matches!(
             expr("$a intersect $b").kind,
             ExprKind::SetOp(SetOp::Intersect, _, _)
         ));
-        assert!(matches!(expr("$a except $b").kind, ExprKind::SetOp(SetOp::Except, _, _)));
+        assert!(matches!(
+            expr("$a except $b").kind,
+            ExprKind::SetOp(SetOp::Except, _, _)
+        ));
     }
 
     #[test]
     fn error_cases() {
         assert!(parse_expression("for $b in").is_err());
-        assert!(parse_expression("for $b in //book").is_err(), "missing return");
+        assert!(
+            parse_expression("for $b in //book").is_err(),
+            "missing return"
+        );
         assert!(parse_expression("<a></b>").is_err(), "mismatched tags");
-        assert!(parse_expression("group by $x into $y").is_err(), "group by without for");
+        assert!(
+            parse_expression("group by $x into $y").is_err(),
+            "group by without for"
+        );
         assert!(parse_expression("1 +").is_err());
         assert!(parse_expression("//").is_err());
         assert!(parse_expression("$x[").is_err());

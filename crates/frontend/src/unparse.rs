@@ -178,7 +178,11 @@ fn write_expr(out: &mut String, e: &Expr) {
             };
             binary(out, a, symbol, b);
         }
-        ExprKind::If { cond, then, otherwise } => {
+        ExprKind::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             out.push_str("if (");
             write_expr(out, cond);
             out.push_str(") then ");
@@ -186,7 +190,11 @@ fn write_expr(out: &mut String, e: &Expr) {
             out.push_str(" else ");
             paren(out, otherwise);
         }
-        ExprKind::Quantified { kind, bindings, satisfies } => {
+        ExprKind::Quantified {
+            kind,
+            bindings,
+            satisfies,
+        } => {
             out.push_str(match kind {
                 Quantifier::Some => "some ",
                 Quantifier::Every => "every ",
@@ -259,7 +267,11 @@ fn write_expr(out: &mut String, e: &Expr) {
         }
         ExprKind::CastableAs(a, name, optional) => {
             paren(out, a);
-            let _ = write!(out, " castable as {name}{}", if *optional { "?" } else { "" });
+            let _ = write!(
+                out,
+                " castable as {name}{}",
+                if *optional { "?" } else { "" }
+            );
         }
     }
 }

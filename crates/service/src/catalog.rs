@@ -1,0 +1,244 @@
+//! The document catalog: named documents and collections, parsed once
+//! at startup and shared immutably across worker threads.
+//!
+//! Every entry is an `Arc<Document>`; building a per-request
+//! [`DynamicContext`] from the catalog only clones handles, never
+//! re-parses XML. The catalog is the single owner of input data for a
+//! [`crate::Server`] — workers evaluate against one shared context.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+use xqa_engine::DynamicContext;
+use xqa_xdm::Document;
+use xqa_xmlparse::parse_document;
+
+/// Error raised while loading catalog entries (file I/O or XML parse),
+/// tagged with the offending source so startup failures are actionable.
+#[derive(Debug)]
+pub struct CatalogError {
+    /// The document name, collection name or file path that failed.
+    pub source: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.source, self.message)
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+fn parse_named(source: &str, xml: &str) -> Result<Arc<Document>, CatalogError> {
+    parse_document(xml).map_err(|e| CatalogError {
+        source: source.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn read_file(path: &Path) -> Result<String, CatalogError> {
+    std::fs::read_to_string(path).map_err(|e| CatalogError {
+        source: path.display().to_string(),
+        message: format!("cannot read: {e}"),
+    })
+}
+
+/// Named documents and collections, parsed once and shared immutably.
+///
+/// Entry order is preserved so contexts built from the same catalog are
+/// identical (collections keep their file order, which is observable
+/// through `fn:collection()` document order).
+#[derive(Debug, Default, Clone)]
+pub struct DocumentCatalog {
+    context: Option<Arc<Document>>,
+    documents: Vec<(String, Arc<Document>)>,
+    collections: Vec<(String, Vec<Arc<Document>>)>,
+}
+
+impl DocumentCatalog {
+    /// An empty catalog.
+    pub fn new() -> DocumentCatalog {
+        DocumentCatalog::default()
+    }
+
+    /// Set the context document (the initial context item) from a
+    /// pre-built document.
+    pub fn set_context(&mut self, doc: Arc<Document>) -> &mut Self {
+        self.context = Some(doc);
+        self
+    }
+
+    /// Set the context document from XML text.
+    pub fn set_context_xml(&mut self, xml: &str) -> Result<&mut Self, CatalogError> {
+        self.context = Some(parse_named("<context>", xml)?);
+        Ok(self)
+    }
+
+    /// Set the context document from a file.
+    pub fn set_context_file(&mut self, path: impl AsRef<Path>) -> Result<&mut Self, CatalogError> {
+        let path = path.as_ref();
+        self.context = Some(parse_named(&path.display().to_string(), &read_file(path)?)?);
+        Ok(self)
+    }
+
+    /// Register a pre-built document for `fn:doc("name")`.
+    pub fn add_document(&mut self, name: impl Into<String>, doc: Arc<Document>) -> &mut Self {
+        self.documents.push((name.into(), doc));
+        self
+    }
+
+    /// Register a document for `fn:doc("name")` from XML text.
+    pub fn add_document_xml(
+        &mut self,
+        name: impl Into<String>,
+        xml: &str,
+    ) -> Result<&mut Self, CatalogError> {
+        let name = name.into();
+        let doc = parse_named(&name, xml)?;
+        self.documents.push((name, doc));
+        Ok(self)
+    }
+
+    /// Register a document for `fn:doc("name")` from a file.
+    pub fn add_document_file(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> Result<&mut Self, CatalogError> {
+        let path = path.as_ref();
+        let doc = parse_named(&path.display().to_string(), &read_file(path)?)?;
+        self.documents.push((name.into(), doc));
+        Ok(self)
+    }
+
+    /// Register a pre-built collection for `fn:collection("name")`.
+    pub fn add_collection(
+        &mut self,
+        name: impl Into<String>,
+        docs: Vec<Arc<Document>>,
+    ) -> &mut Self {
+        self.collections.push((name.into(), docs));
+        self
+    }
+
+    /// Register a collection for `fn:collection("name")` from files, in
+    /// the given order.
+    pub fn add_collection_files<P: AsRef<Path>>(
+        &mut self,
+        name: impl Into<String>,
+        paths: &[P],
+    ) -> Result<&mut Self, CatalogError> {
+        let mut docs = Vec::with_capacity(paths.len());
+        for path in paths {
+            let path = path.as_ref();
+            docs.push(parse_named(&path.display().to_string(), &read_file(path)?)?);
+        }
+        self.collections.push((name.into(), docs));
+        Ok(self)
+    }
+
+    /// Number of named documents.
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of named collections.
+    pub fn collection_count(&self) -> usize {
+        self.collections.len()
+    }
+
+    /// Whether a context document is set.
+    pub fn has_context(&self) -> bool {
+        self.context.is_some()
+    }
+
+    /// Build a fresh [`DynamicContext`] over the catalog's documents.
+    ///
+    /// Cheap: registers shared `Arc<Document>` handles, no re-parsing.
+    /// The returned context carries its own [`xqa_engine::EvalStats`].
+    pub fn new_context(&self) -> DynamicContext {
+        let mut ctx = DynamicContext::new();
+        if let Some(doc) = &self.context {
+            ctx.set_context_document(doc);
+        }
+        for (name, doc) in &self.documents {
+            ctx.register_document(name.clone(), doc);
+        }
+        for (name, docs) in &self.collections {
+            ctx.register_collection(name.clone(), docs.iter().map(|d| d.root()).collect());
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xqa_engine::Engine;
+
+    #[test]
+    fn context_and_documents_are_queryable() {
+        let mut catalog = DocumentCatalog::new();
+        catalog.set_context_xml("<r><v>1</v><v>2</v></r>").unwrap();
+        catalog
+            .add_document_xml("aux", "<aux><v>40</v></aux>")
+            .unwrap();
+        let ctx = catalog.new_context();
+        let engine = Engine::new();
+        let q = engine.compile("sum(//v) + sum(doc('aux')//v)").unwrap();
+        assert_eq!(q.run(&ctx).unwrap()[0].string_value(), "43");
+    }
+
+    #[test]
+    fn collections_preserve_document_order() {
+        let mut catalog = DocumentCatalog::new();
+        catalog.add_collection(
+            "c",
+            vec![
+                parse_document("<d><n>first</n></d>").unwrap(),
+                parse_document("<d><n>second</n></d>").unwrap(),
+            ],
+        );
+        let ctx = catalog.new_context();
+        let engine = Engine::new();
+        let q = engine
+            .compile("for $d in collection('c') return string($d//n)")
+            .unwrap();
+        let out = q.run(&ctx).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].string_value(), "first");
+        assert_eq!(out[1].string_value(), "second");
+    }
+
+    #[test]
+    fn parse_errors_name_the_source() {
+        let mut catalog = DocumentCatalog::new();
+        let err = catalog
+            .add_document_xml("broken", "<not closed")
+            .unwrap_err();
+        assert_eq!(err.source, "broken");
+        let err = catalog
+            .add_document_file("x", "/nonexistent/path.xml")
+            .unwrap_err();
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn contexts_from_one_catalog_share_documents() {
+        let mut catalog = DocumentCatalog::new();
+        catalog.set_context_xml("<r><v>7</v></r>").unwrap();
+        let a = catalog.new_context();
+        let b = catalog.new_context();
+        // Same underlying document: the root handles compare as the
+        // same node across both contexts.
+        match (a.context_item().unwrap(), b.context_item().unwrap()) {
+            (xqa_xdm::Item::Node(na), xqa_xdm::Item::Node(nb)) => {
+                assert!(na.is_same_node(nb));
+            }
+            other => panic!("unexpected context items {other:?}"),
+        }
+    }
+}

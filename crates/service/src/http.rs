@@ -1,0 +1,251 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::io`.
+//!
+//! Parses just enough of a request for the service's three endpoints —
+//! request line, `Content-Length`, body — and writes
+//! `Connection: close` responses. Hard limits on header and body size
+//! keep a misbehaving client from pinning a worker.
+
+use std::io::{BufRead, Read, Write};
+
+/// Maximum accepted header-section size (request line included).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request-body size.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, target and raw body.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path plus any query string).
+    pub target: String,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// Malformed request line, header or length field.
+    Malformed(&'static str),
+    /// Headers or body exceeded the size limits.
+    TooLarge,
+    /// The connection dropped mid-request.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
+            RequestError::TooLarge => write!(f, "request too large"),
+            RequestError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for RequestError {
+    fn from(e: std::io::Error) -> RequestError {
+        RequestError::Io(e.kind())
+    }
+}
+
+/// Read one line terminated by `\n`, stripping `\r\n`/`\n`, bounding
+/// the running header total.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    // Cap the read so a newline-free flood cannot grow unboundedly.
+    let mut limited = reader.take(*budget as u64 + 1);
+    let n = limited.read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Err(RequestError::Malformed("unexpected end of stream"));
+    }
+    if n > *budget {
+        return Err(RequestError::TooLarge);
+    }
+    *budget -= n;
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 header"))
+}
+
+/// Parse one HTTP/1.1 request from `reader`.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().map(str::to_string);
+    let version = parts.next();
+    let (target, version) = match (target, version, parts.next()) {
+        (Some(t), Some(v), None) if !method.is_empty() && !t.is_empty() => (t, v),
+        _ => return Err(RequestError::Malformed("request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length: usize = 0;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed("header line"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// The canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Minimal JSON string escaping for error payloads.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\nsum(1)\n").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/query");
+        assert_eq!(req.body, b"sum(1)\n");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse(b"POST /q HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi").unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn rejects_garbage_request_line() {
+        assert_eq!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(RequestError::Malformed("request line"))
+        );
+        assert_eq!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(RequestError::Malformed("unsupported HTTP version"))
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(parse(raw.as_bytes()), Err(RequestError::TooLarge));
+    }
+
+    #[test]
+    fn rejects_unbounded_headers() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
+        assert_eq!(parse(&raw), Err(RequestError::TooLarge));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let err = parse(b"POST /q HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, RequestError::Io(_)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn json_escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,42 @@
+//! # xqa-service — a resident, concurrent query service
+//!
+//! Turns the [`xqa_engine`] evaluator into a long-lived server with
+//! zero dependencies beyond `std`:
+//!
+//! - [`catalog::DocumentCatalog`] — named documents and collections,
+//!   parsed **once** at startup and shared immutably (`Arc<Document>`)
+//!   across all worker threads;
+//! - [`cache::PlanCache`] — an LRU cache of prepared plans keyed by
+//!   `(query text, EngineOptions)`, so repeated queries skip the
+//!   parse/compile pipeline;
+//! - [`pool::ThreadPool`] — a hand-rolled executor over `std::thread`
+//!   and channels with graceful shutdown and panic isolation;
+//! - [`server::Server`] — a minimal HTTP/1.1 endpoint
+//!   (`POST /query`, `GET /healthz`, `GET /metrics`) over
+//!   `std::net::TcpListener`.
+//!
+//! ```
+//! use xqa_service::{DocumentCatalog, Server, ServiceConfig};
+//!
+//! let mut catalog = DocumentCatalog::new();
+//! catalog.set_context_xml("<r><v>1</v><v>2</v></r>").unwrap();
+//! let server = Server::start("127.0.0.1:0", &catalog, ServiceConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! // POST "sum(//v)" to http://{addr}/query  ->  "3"
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use cache::PlanCache;
+pub use catalog::{CatalogError, DocumentCatalog};
+pub use metrics::Metrics;
+pub use pool::ThreadPool;
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,394 @@
+//! The HTTP server: an acceptor thread feeding a worker pool, all over
+//! one shared catalog context.
+//!
+//! ```text
+//! POST /query    body = query text -> 200 serialized sequence
+//!                                     400 {"error":{"kind":...,"message":...}}
+//! GET  /healthz  -> 200 "ok"
+//! GET  /metrics  -> 200 Prometheus-style text
+//! ```
+//!
+//! One [`DynamicContext`] is built from the catalog at startup and
+//! shared by every worker — documents are parsed exactly once, plans
+//! come from the LRU [`PlanCache`], and [`EvalStats`] aggregate across
+//! requests via their relaxed atomics.
+//!
+//! [`EvalStats`]: xqa_engine::EvalStats
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use xqa_engine::{DynamicContext, Engine, EngineOptions};
+use xqa_xmlparse::serialize_sequence;
+
+use crate::cache::PlanCache;
+use crate::catalog::DocumentCatalog;
+use crate::http::{self, Request, RequestError};
+use crate::metrics::Metrics;
+use crate::pool::ThreadPool;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+    /// Maximum number of cached prepared plans.
+    pub plan_cache_capacity: usize,
+    /// Options for the engine compiling every query.
+    pub engine_options: EngineOptions,
+    /// Per-connection read timeout (keeps slow clients from pinning a
+    /// worker).
+    pub read_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            plan_cache_capacity: 128,
+            engine_options: EngineOptions::default(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    engine: Engine,
+    cache: PlanCache,
+    ctx: DynamicContext,
+    metrics: Metrics,
+    pool: ThreadPool,
+    started: Instant,
+    read_timeout: Duration,
+}
+
+/// A running query service bound to a TCP address.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Mutex<Option<thread::JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("workers", &self.shared.pool.size())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port), build the shared
+    /// context from `catalog`, spawn the worker pool and the acceptor.
+    pub fn start(
+        addr: &str,
+        catalog: &DocumentCatalog,
+        config: ServiceConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            engine: Engine::with_options(config.engine_options),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            ctx: catalog.new_context(),
+            metrics: Metrics::new(),
+            pool: ThreadPool::new("xqa-worker", workers),
+            started: Instant::now(),
+            read_timeout: config.read_timeout,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("xqa-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let conn_shared = Arc::clone(&shared);
+                        shared
+                            .pool
+                            .execute(move || handle_connection(stream, &conn_shared));
+                    }
+                })?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Mutex::new(Some(acceptor)),
+            stop,
+        })
+    }
+
+    /// The bound address (with the real port when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// join every thread. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self
+            .acceptor
+            .lock()
+            .expect("acceptor handle poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request = match http::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(err) => {
+            Metrics::bump(&shared.metrics.bad_requests);
+            let status = if err == RequestError::TooLarge {
+                413
+            } else {
+                400
+            };
+            respond_text(&mut stream, status, &format!("{err}\n"));
+            return;
+        }
+    };
+    route(&mut stream, &request, shared);
+}
+
+fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("POST", "/query") => handle_query(stream, request, shared),
+        ("GET", "/healthz") => respond_text(stream, 200, "ok\n"),
+        ("GET", "/metrics") => respond_text(stream, 200, &render_metrics(shared)),
+        (_, "/query" | "/healthz" | "/metrics") => {
+            Metrics::bump(&shared.metrics.not_found);
+            respond_text(stream, 405, "method not allowed\n");
+        }
+        _ => {
+            Metrics::bump(&shared.metrics.not_found);
+            respond_text(stream, 404, "not found\n");
+        }
+    }
+}
+
+fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+    let start = Instant::now();
+    Metrics::bump(&shared.metrics.query_requests);
+    let outcome = (|| {
+        let query = std::str::from_utf8(&request.body)
+            .map_err(|_| ("body".to_string(), "query text must be UTF-8".to_string()))?;
+        let plan = shared
+            .cache
+            .get_or_compile(&shared.engine, query)
+            .map_err(|e| ("compile".to_string(), e.to_string()))?;
+        let result = plan
+            .run(&shared.ctx)
+            .map_err(|e| ("runtime".to_string(), e.to_string()))?;
+        Ok(serialize_sequence(&result))
+    })();
+    shared.metrics.query_latency.record(start.elapsed());
+    match outcome {
+        Ok(body) => {
+            Metrics::bump(&shared.metrics.query_ok);
+            respond(
+                stream,
+                200,
+                "application/xml; charset=utf-8",
+                body.as_bytes(),
+            );
+        }
+        Err((kind, message)) => {
+            Metrics::bump(&shared.metrics.query_errors);
+            let body = format!(
+                "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+                http::json_escape(&kind),
+                http::json_escape(&message)
+            );
+            respond(stream, 400, "application/json", body.as_bytes());
+        }
+    }
+}
+
+/// Render the Prometheus-style metrics page.
+fn render_metrics(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let m = &shared.metrics;
+    let stats = shared.ctx.stats.snapshot();
+    let mut out = String::with_capacity(1024);
+    let mut line = |name: &str, value: u64| {
+        let _ = writeln!(&mut out, "{name} {value}");
+    };
+    line("xqa_uptime_seconds", shared.started.elapsed().as_secs());
+    line("xqa_workers", shared.pool.size() as u64);
+    line("xqa_worker_panics_total", shared.pool.panic_count());
+    line("xqa_query_requests_total", Metrics::read(&m.query_requests));
+    line("xqa_query_ok_total", Metrics::read(&m.query_ok));
+    line("xqa_query_errors_total", Metrics::read(&m.query_errors));
+    line("xqa_bad_requests_total", Metrics::read(&m.bad_requests));
+    line("xqa_not_found_total", Metrics::read(&m.not_found));
+    line("xqa_plan_cache_size", shared.cache.len() as u64);
+    line("xqa_plan_cache_capacity", shared.cache.capacity() as u64);
+    line("xqa_plan_cache_hits_total", shared.cache.hits());
+    line("xqa_plan_cache_misses_total", shared.cache.misses());
+    line("xqa_eval_nodes_visited_total", stats.nodes_visited);
+    line("xqa_eval_tuples_grouped_total", stats.tuples_grouped);
+    line("xqa_eval_groups_emitted_total", stats.groups_emitted);
+    line("xqa_eval_comparisons_total", stats.comparisons);
+    let _ = writeln!(
+        &mut out,
+        "xqa_plan_cache_hit_rate {:.4}",
+        shared.cache.hit_rate()
+    );
+    let _ = writeln!(
+        &mut out,
+        "xqa_query_latency_mean_us {}",
+        m.query_latency.mean_us()
+    );
+    m.query_latency.render(&mut out, "xqa_query_latency_us");
+    out
+}
+
+fn respond_text(stream: &mut impl Write, status: u16, body: &str) {
+    respond(stream, status, "text/plain; charset=utf-8", body.as_bytes());
+}
+
+fn respond(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
+    // The client may already be gone; nothing useful to do about it.
+    let _ = http::write_response(stream, status, content_type, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Blocking one-shot HTTP client for tests.
+    pub(crate) fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status: u16 = response
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    pub(crate) fn post_query(addr: SocketAddr, query: &str) -> (u16, String) {
+        request(
+            addr,
+            &format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                query.len(),
+                query
+            ),
+        )
+    }
+
+    pub(crate) fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn test_server() -> Server {
+        let mut catalog = DocumentCatalog::new();
+        catalog
+            .set_context_xml("<r><v>1</v><v>2</v><v>3</v></r>")
+            .unwrap();
+        let config = ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        };
+        Server::start("127.0.0.1:0", &catalog, config).expect("bind")
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let server = test_server();
+        assert_eq!(
+            get(server.local_addr(), "/healthz"),
+            (200, "ok\n".to_string())
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_endpoint_evaluates_against_the_catalog() {
+        let server = test_server();
+        let (status, body) = post_query(server.local_addr(), "sum(//v)");
+        assert_eq!((status, body.as_str()), (200, "6"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn compile_and_runtime_errors_are_structured() {
+        let server = test_server();
+        let (status, body) = post_query(server.local_addr(), "for $x in");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"kind\":\"compile\""), "{body}");
+        let (status, body) = post_query(server.local_addr(), "$undefined");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"error\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let server = test_server();
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/nope").0, 404);
+        assert_eq!(get(addr, "/query").0, 405);
+        assert_eq!(request(addr, "BROKEN\r\n\r\n").0, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_runs_on_drop() {
+        let server = test_server();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end test of the HTTP service over real sockets: parallel
+//! clients, mixed cached/novel queries, and metrics aggregation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use xqa_engine::{DynamicContext, Engine};
+use xqa_service::{DocumentCatalog, Server, ServiceConfig};
+use xqa_workload::{generate_orders, OrdersConfig};
+use xqa_xmlparse::serialize_sequence;
+
+fn http(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn post_query(addr: SocketAddr, query: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+            query.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn metric(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+}
+
+/// One-shot reference evaluation, exactly what the CLI does for
+/// `xqa -q QUERY -i FILE`: fresh engine, fresh context, compact
+/// serialization.
+fn one_shot(catalog: &DocumentCatalog, query: &str) -> String {
+    let engine = Engine::new();
+    let plan = engine.compile(query).expect("reference compile");
+    let ctx: DynamicContext = catalog.new_context();
+    serialize_sequence(&plan.run(&ctx).expect("reference run"))
+}
+
+/// The paper's analytics shapes, as served traffic: a `group by` /
+/// `nest ... into` aggregation and a `return at $rank` numbering query.
+const GROUPBY_QUERY: &str = "for $litem in //order/lineitem \
+     group by $litem/shipmode into $mode \
+     nest $litem into $items \
+     order by $mode \
+     return <r>{string($mode)}: {count($items)}</r>";
+
+const RANK_QUERY: &str = "for $litem in //order/lineitem \
+     order by number($litem/quantity) descending \
+     return at $rank <top>{$rank}: {string($litem/quantity)}</top>";
+
+#[test]
+fn parallel_clients_match_one_shot_results_and_metrics_aggregate() {
+    let mut catalog = DocumentCatalog::new();
+    catalog.set_context(generate_orders(&OrdersConfig::with_total_lineitems(300)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        &catalog,
+        ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // 20 requests from 20 client threads: the two analytics queries
+    // are repeated (so their second-and-later runs hit the plan
+    // cache), the rest are novel per-thread arithmetic.
+    let mut requests: Vec<String> = Vec::new();
+    for _ in 0..4 {
+        requests.push(GROUPBY_QUERY.to_string());
+        requests.push(RANK_QUERY.to_string());
+    }
+    for i in 0..12 {
+        requests.push(format!("sum(//order/lineitem/quantity) + {i}"));
+    }
+    assert!(requests.len() >= 16);
+
+    let expected: Vec<String> = requests.iter().map(|q| one_shot(&catalog, q)).collect();
+
+    let bodies: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|q| s.spawn(move || post_query(addr, q)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (status, body) = h.join().expect("client thread");
+                assert_eq!(status, 200, "{body}");
+                body
+            })
+            .collect()
+    });
+
+    for (i, (got, want)) in bodies.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "request {i} ({})",
+            &requests[i][..40.min(requests[i].len())]
+        );
+    }
+
+    // Group-by output sanity: the orders workload uses the TPC-H
+    // shipmode domain of seven values.
+    assert_eq!(bodies[0].matches("<r>").count(), 7);
+    // Rank numbering starts at 1.
+    assert!(bodies[1].starts_with("<top>1: "), "{}", &bodies[1]);
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(metric(&metrics, "xqa_query_requests_total") as u64, 20);
+    assert_eq!(metric(&metrics, "xqa_query_ok_total") as u64, 20);
+    assert_eq!(metric(&metrics, "xqa_query_errors_total") as u64, 0);
+    // 14 distinct queries -> 6 cache hits out of 20 lookups.
+    assert_eq!(metric(&metrics, "xqa_plan_cache_hits_total") as u64, 6);
+    assert_eq!(metric(&metrics, "xqa_plan_cache_misses_total") as u64, 14);
+    assert!(metric(&metrics, "xqa_plan_cache_hit_rate") > 0.0);
+    assert_eq!(metric(&metrics, "xqa_query_latency_us_count") as u64, 20);
+    // The group-by queries ran through the grouping operator, so the
+    // shared context's stats picked up tuples and groups.
+    assert!(metric(&metrics, "xqa_eval_tuples_grouped_total") > 0.0);
+    assert!(metric(&metrics, "xqa_eval_groups_emitted_total") > 0.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn mixed_good_and_bad_traffic_is_isolated_per_request() {
+    let mut catalog = DocumentCatalog::new();
+    catalog.set_context_xml("<r><v>5</v><v>6</v></r>").unwrap();
+    let server = Server::start(
+        "127.0.0.1:0",
+        &catalog,
+        ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                assert_eq!(post_query(addr, "sum(//v)"), (200, "11".to_string()));
+                let (status, body) = post_query(addr, "1 +");
+                assert_eq!(status, 400);
+                assert!(body.contains("\"kind\":\"compile\""));
+                assert_eq!(post_query(addr, "count(//v)"), (200, "2".to_string()));
+            });
+        }
+    });
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(metric(&metrics, "xqa_query_requests_total") as u64, 12);
+    assert_eq!(metric(&metrics, "xqa_query_ok_total") as u64, 8);
+    assert_eq!(metric(&metrics, "xqa_query_errors_total") as u64, 4);
+    assert_eq!(metric(&metrics, "xqa_worker_panics_total") as u64, 0);
+    assert_eq!(get(addr, "/healthz").0, 200);
+
+    server.shutdown();
+}

@@ -6,9 +6,8 @@
 //! year, price, discount, and an optional ragged `<categories>` forest
 //! for the §5 rollup/cube queries.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use crate::rng::DetRng;
+use std::sync::Arc;
 use xqa_xdm::{Document, DocumentBuilder, QName};
 
 const AUTHORS: [&str; 10] = [
@@ -24,13 +23,30 @@ const AUTHORS: [&str; 10] = [
     "Serge Abiteboul",
 ];
 
-const PUBLISHERS: [&str; 5] =
-    ["Morgan Kaufmann", "Addison-Wesley", "Prentice Hall", "O'Reilly", "Springer"];
+const PUBLISHERS: [&str; 5] = [
+    "Morgan Kaufmann",
+    "Addison-Wesley",
+    "Prentice Hall",
+    "O'Reilly",
+    "Springer",
+];
 
-const TITLE_HEADS: [&str; 6] =
-    ["Transaction", "Database", "Query", "Distributed", "Concurrent", "Declarative"];
-const TITLE_TAILS: [&str; 6] =
-    ["Processing", "Systems", "Optimization", "Foundations", "Readings", "Principles"];
+const TITLE_HEADS: [&str; 6] = [
+    "Transaction",
+    "Database",
+    "Query",
+    "Distributed",
+    "Concurrent",
+    "Declarative",
+];
+const TITLE_TAILS: [&str; 6] = [
+    "Processing",
+    "Systems",
+    "Optimization",
+    "Foundations",
+    "Readings",
+    "Principles",
+];
 
 /// The category taxonomy used for `<categories>` forests: a small tree
 /// whose subtrees are sampled per book (ragged hierarchy, §5).
@@ -57,7 +73,12 @@ pub struct BibConfig {
 
 impl Default for BibConfig {
     fn default() -> Self {
-        BibConfig { books: 1_000, seed: 42, publisher_probability: 0.9, with_categories: false }
+        BibConfig {
+            books: 1_000,
+            seed: 42,
+            publisher_probability: 0.9,
+            with_categories: false,
+        }
     }
 }
 
@@ -66,8 +87,8 @@ fn q(s: &str) -> QName {
 }
 
 /// Generate a `<bib>` document.
-pub fn generate(cfg: &BibConfig) -> Rc<Document> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+pub fn generate(cfg: &BibConfig) -> Arc<Document> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut b = DocumentBuilder::new();
     b.start_element(q("bib"));
     for i in 0..cfg.books {
@@ -77,7 +98,7 @@ pub fn generate(cfg: &BibConfig) -> Rc<Document> {
     b.finish()
 }
 
-fn write_book(b: &mut DocumentBuilder, rng: &mut StdRng, index: usize, cfg: &BibConfig) {
+fn write_book(b: &mut DocumentBuilder, rng: &mut DetRng, index: usize, cfg: &BibConfig) {
     b.start_element(q("book"));
     let head = TITLE_HEADS[rng.gen_range(0..TITLE_HEADS.len())];
     let tail = TITLE_TAILS[rng.gen_range(0..TITLE_TAILS.len())];
@@ -102,12 +123,22 @@ fn write_book(b: &mut DocumentBuilder, rng: &mut StdRng, index: usize, cfg: &Bib
             .text(PUBLISHERS[rng.gen_range(0..PUBLISHERS.len())])
             .end_element();
     }
-    b.start_element(q("year")).text(&rng.gen_range(1990..=2005).to_string()).end_element();
+    b.start_element(q("year"))
+        .text(&rng.gen_range(1990..=2005i32).to_string())
+        .end_element();
     b.start_element(q("price"))
-        .text(&format!("{}.{:02}", rng.gen_range(15..130), [0, 25, 50, 75, 95][rng.gen_range(0..5)]))
+        .text(&format!(
+            "{}.{:02}",
+            rng.gen_range(15..130i32),
+            [0, 25, 50, 75, 95][rng.gen_range(0..5usize)]
+        ))
         .end_element();
     b.start_element(q("discount"))
-        .text(&format!("{}.{:02}", rng.gen_range(0..10), rng.gen_range(0..100)))
+        .text(&format!(
+            "{}.{:02}",
+            rng.gen_range(0..10i32),
+            rng.gen_range(0..100i32)
+        ))
         .end_element();
     if cfg.with_categories {
         write_categories(b, rng);
@@ -115,7 +146,7 @@ fn write_book(b: &mut DocumentBuilder, rng: &mut StdRng, index: usize, cfg: &Bib
     b.end_element();
 }
 
-fn write_categories(b: &mut DocumentBuilder, rng: &mut StdRng) {
+fn write_categories(b: &mut DocumentBuilder, rng: &mut DetRng) {
     b.start_element(q("categories"));
     // 1-2 top-level category trees.
     let tops = rng.gen_range(1..=2usize);
@@ -144,13 +175,19 @@ fn write_categories(b: &mut DocumentBuilder, rng: &mut StdRng) {
 }
 
 /// The paper's Section 2 example instance, verbatim shape.
-pub fn paper_example_book() -> Rc<Document> {
+pub fn paper_example_book() -> Arc<Document> {
     let mut b = DocumentBuilder::new();
     b.start_element(q("book"));
-    b.start_element(q("title")).text("Transaction Processing").end_element();
+    b.start_element(q("title"))
+        .text("Transaction Processing")
+        .end_element();
     b.start_element(q("author")).text("Jim Gray").end_element();
-    b.start_element(q("author")).text("Andreas Reuter").end_element();
-    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("author"))
+        .text("Andreas Reuter")
+        .end_element();
+    b.start_element(q("publisher"))
+        .text("Morgan Kaufmann")
+        .end_element();
     b.start_element(q("year")).text("1993").end_element();
     b.start_element(q("price")).text("65.00").end_element();
     b.start_element(q("discount")).text("5.50").end_element();
@@ -159,12 +196,16 @@ pub fn paper_example_book() -> Rc<Document> {
 }
 
 /// The paper's Section 5 extended instances (with `<categories>`).
-pub fn paper_section5_bib() -> Rc<Document> {
+pub fn paper_section5_bib() -> Arc<Document> {
     let mut b = DocumentBuilder::new();
     b.start_element(q("bib"));
     b.start_element(q("book"));
-    b.start_element(q("title")).text("Transaction Processing").end_element();
-    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("title"))
+        .text("Transaction Processing")
+        .end_element();
+    b.start_element(q("publisher"))
+        .text("Morgan Kaufmann")
+        .end_element();
     b.start_element(q("year")).text("1993").end_element();
     b.start_element(q("price")).text("59.00").end_element();
     b.start_element(q("categories"));
@@ -177,8 +218,12 @@ pub fn paper_section5_bib() -> Rc<Document> {
     b.end_element();
     b.end_element();
     b.start_element(q("book"));
-    b.start_element(q("title")).text("Readings in Database Systems").end_element();
-    b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+    b.start_element(q("title"))
+        .text("Readings in Database Systems")
+        .end_element();
+    b.start_element(q("publisher"))
+        .text("Morgan Kaufmann")
+        .end_element();
     b.start_element(q("year")).text("1998").end_element();
     b.start_element(q("price")).text("65.00").end_element();
     b.start_element(q("categories"));
@@ -199,7 +244,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = BibConfig { books: 30, ..Default::default() };
+        let cfg = BibConfig {
+            books: 30,
+            ..Default::default()
+        };
         assert_eq!(
             serialize_node(&generate(&cfg).root()),
             serialize_node(&generate(&cfg).root())
@@ -208,7 +256,11 @@ mod tests {
 
     #[test]
     fn some_books_lack_publishers_and_authors() {
-        let cfg = BibConfig { books: 500, publisher_probability: 0.8, ..Default::default() };
+        let cfg = BibConfig {
+            books: 500,
+            publisher_probability: 0.8,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let bib = doc.root().children().next().unwrap();
         let mut without_pub = 0;
@@ -225,17 +277,27 @@ mod tests {
                 without_author += 1;
             }
         }
-        assert!(without_pub > 0, "publisher-less books must exist for Q1/Q12");
+        assert!(
+            without_pub > 0,
+            "publisher-less books must exist for Q1/Q12"
+        );
         assert!(without_author > 0, "author-less books must exist for Q2");
     }
 
     #[test]
     fn categories_present_when_requested() {
-        let cfg = BibConfig { books: 50, with_categories: true, ..Default::default() };
+        let cfg = BibConfig {
+            books: 50,
+            with_categories: true,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let text = serialize_node(&doc.root());
         assert!(text.contains("<categories>"));
-        let plain = generate(&BibConfig { with_categories: false, ..cfg });
+        let plain = generate(&BibConfig {
+            with_categories: false,
+            ..cfg
+        });
         assert!(!serialize_node(&plain.root()).contains("<categories>"));
     }
 

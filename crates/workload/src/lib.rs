@@ -9,16 +9,20 @@
 //!   grouping-column cardinalities (4/7/9/28/36/50) drive the paper's
 //!   chart.
 //!
-//! All generators are seeded (`rand::StdRng`) — the same configuration
-//! always produces byte-identical documents, so benchmarks are
-//! reproducible.
+//! All generators are seeded (a dependency-free splitmix64,
+//! [`rng::DetRng`]) — the same configuration always produces
+//! byte-identical documents, so benchmarks are reproducible.
 
 #![warn(missing_docs)]
 
 pub mod bib;
 pub mod orders;
+pub mod rng;
 pub mod sales;
 
 pub use bib::{generate as generate_bib, BibConfig};
-pub use orders::{generate as generate_orders, generate_split as generate_orders_split, OrdersConfig};
+pub use orders::{
+    generate as generate_orders, generate_split as generate_orders_split, OrdersConfig,
+};
+pub use rng::DetRng;
 pub use sales::{generate as generate_sales, SalesConfig};

@@ -14,30 +14,50 @@
 //! pairs. Each grouping element occurs exactly once per lineitem,
 //! matching the paper's setup.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use crate::rng::DetRng;
+use std::sync::Arc;
 use xqa_xdm::{Document, DocumentBuilder, QName};
 
 /// The four TPC-H shipping instructions.
-pub const SHIPINSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIPINSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// The seven TPC-H shipping modes.
 pub const SHIPMODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// The nine TPC-H tax rates (0.00 to 0.08).
-pub const TAX: [&str; 9] =
-    ["0.00", "0.01", "0.02", "0.03", "0.04", "0.05", "0.06", "0.07", "0.08"];
+pub const TAX: [&str; 9] = [
+    "0.00", "0.01", "0.02", "0.03", "0.04", "0.05", "0.06", "0.07", "0.08",
+];
 
 /// Quantity domain: 1..=50 (50 distinct values).
 pub const QUANTITY_MAX: u32 = 50;
 
-const FIRST_NAMES: [&str; 8] =
-    ["Ada", "Grace", "Edgar", "Jim", "Barbara", "Donald", "Tony", "Fran"];
-const LAST_NAMES: [&str; 8] =
-    ["Codd", "Hopper", "Gray", "Melton", "Liskov", "Chamberlin", "Hoare", "Allen"];
-const CITIES: [&str; 6] = ["San Jose", "Almaden", "Baltimore", "Toronto", "Madison", "Aalborg"];
+const FIRST_NAMES: [&str; 8] = [
+    "Ada", "Grace", "Edgar", "Jim", "Barbara", "Donald", "Tony", "Fran",
+];
+const LAST_NAMES: [&str; 8] = [
+    "Codd",
+    "Hopper",
+    "Gray",
+    "Melton",
+    "Liskov",
+    "Chamberlin",
+    "Hoare",
+    "Allen",
+];
+const CITIES: [&str; 6] = [
+    "San Jose",
+    "Almaden",
+    "Baltimore",
+    "Toronto",
+    "Madison",
+    "Aalborg",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Configuration for the purchase-order generator.
@@ -56,7 +76,12 @@ pub struct OrdersConfig {
 
 impl Default for OrdersConfig {
     fn default() -> Self {
-        OrdersConfig { orders: 2_000, seed: 42, lineitems_min: 1, lineitems_max: 7 }
+        OrdersConfig {
+            orders: 2_000,
+            seed: 42,
+            lineitems_min: 1,
+            lineitems_max: 7,
+        }
     }
 }
 
@@ -64,7 +89,10 @@ impl OrdersConfig {
     /// A configuration sized to produce approximately
     /// `total_lineitems` lineitems (the paper sweeps 8K–32K).
     pub fn with_total_lineitems(total_lineitems: usize) -> OrdersConfig {
-        OrdersConfig { orders: total_lineitems / 4, ..Default::default() }
+        OrdersConfig {
+            orders: total_lineitems / 4,
+            ..Default::default()
+        }
     }
 
     /// Override the seed.
@@ -81,8 +109,8 @@ fn q(s: &str) -> QName {
 /// Generate the order collection as one document with an `<orders>`
 /// root (the in-memory equivalent of the paper's document collection;
 /// `//order/lineitem` sees the same node population either way).
-pub fn generate(cfg: &OrdersConfig) -> Rc<Document> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+pub fn generate(cfg: &OrdersConfig) -> Arc<Document> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut b = DocumentBuilder::new();
     b.start_element(q("orders"));
     for order_id in 0..cfg.orders {
@@ -94,8 +122,8 @@ pub fn generate(cfg: &OrdersConfig) -> Rc<Document> {
 
 /// Generate the collection as one document per order, for
 /// `fn:collection()`-style runs.
-pub fn generate_split(cfg: &OrdersConfig) -> Vec<Rc<Document>> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+pub fn generate_split(cfg: &OrdersConfig) -> Vec<Arc<Document>> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     (0..cfg.orders)
         .map(|order_id| {
             let mut b = DocumentBuilder::new();
@@ -105,48 +133,69 @@ pub fn generate_split(cfg: &OrdersConfig) -> Vec<Rc<Document>> {
         .collect()
 }
 
-fn pick<'a>(rng: &mut StdRng, options: &'a [&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut DetRng, options: &'a [&'a str]) -> &'a str {
     options[rng.gen_range(0..options.len())]
 }
 
-fn write_order(b: &mut DocumentBuilder, rng: &mut StdRng, order_id: usize, cfg: &OrdersConfig) {
+fn write_order(b: &mut DocumentBuilder, rng: &mut DetRng, order_id: usize, cfg: &OrdersConfig) {
     b.start_element(q("order"));
-    b.start_element(q("orderkey")).text(&order_id.to_string()).end_element();
+    b.start_element(q("orderkey"))
+        .text(&order_id.to_string())
+        .end_element();
     b.start_element(q("orderstatus"))
         .text(if rng.gen_bool(0.5) { "O" } else { "F" })
         .end_element();
     b.start_element(q("orderdate"))
         .text(&format!(
             "{:04}-{:02}-{:02}",
-            rng.gen_range(2003..=2005),
-            rng.gen_range(1..=12),
-            rng.gen_range(1..=28)
+            rng.gen_range(2003..=2005i32),
+            rng.gen_range(1..=12i32),
+            rng.gen_range(1..=28i32)
         ))
         .end_element();
-    b.start_element(q("orderpriority")).text(pick(rng, &PRIORITIES)).end_element();
+    b.start_element(q("orderpriority"))
+        .text(pick(rng, &PRIORITIES))
+        .end_element();
     // Customer information block ("customer information, and other
     // order information").
     b.start_element(q("customer"));
     b.start_element(q("name"))
-        .text(&format!("{} {}", pick(rng, &FIRST_NAMES), pick(rng, &LAST_NAMES)))
+        .text(&format!(
+            "{} {}",
+            pick(rng, &FIRST_NAMES),
+            pick(rng, &LAST_NAMES)
+        ))
         .end_element();
     b.start_element(q("address"));
     b.start_element(q("street"))
-        .text(&format!("{} Harry Rd", rng.gen_range(1..=999)))
+        .text(&format!("{} Harry Rd", rng.gen_range(1..=999i32)))
         .end_element();
-    b.start_element(q("city")).text(pick(rng, &CITIES)).end_element();
-    b.start_element(q("zip")).text(&format!("{:05}", rng.gen_range(10000..99999))).end_element();
+    b.start_element(q("city"))
+        .text(pick(rng, &CITIES))
+        .end_element();
+    b.start_element(q("zip"))
+        .text(&format!("{:05}", rng.gen_range(10000..99999i32)))
+        .end_element();
     b.end_element(); // address
     b.start_element(q("phone"))
         .text(&format!(
             "{:03}-{:03}-{:04}",
-            rng.gen_range(200..999),
-            rng.gen_range(200..999),
-            rng.gen_range(0..9999)
+            rng.gen_range(200..999i32),
+            rng.gen_range(200..999i32),
+            rng.gen_range(0..9999i32)
         ))
         .end_element();
     b.start_element(q("mktsegment"))
-        .text(pick(rng, &["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]))
+        .text(pick(
+            rng,
+            &[
+                "BUILDING",
+                "AUTOMOBILE",
+                "MACHINERY",
+                "HOUSEHOLD",
+                "FURNITURE",
+            ],
+        ))
         .end_element();
     b.end_element(); // customer
     let lineitems = rng.gen_range(cfg.lineitems_min..=cfg.lineitems_max);
@@ -154,7 +203,11 @@ fn write_order(b: &mut DocumentBuilder, rng: &mut StdRng, order_id: usize, cfg: 
         write_lineitem(b, rng, line);
     }
     b.start_element(q("totalprice"))
-        .text(&format!("{}.{:02}", rng.gen_range(100..100_000), rng.gen_range(0..100)))
+        .text(&format!(
+            "{}.{:02}",
+            rng.gen_range(100..100_000i32),
+            rng.gen_range(0..100i32)
+        ))
         .end_element();
     b.start_element(q("comment"))
         .text("carefully packed; deliver to receiving dock between business hours only")
@@ -162,35 +215,55 @@ fn write_order(b: &mut DocumentBuilder, rng: &mut StdRng, order_id: usize, cfg: 
     b.end_element(); // order
 }
 
-fn write_lineitem(b: &mut DocumentBuilder, rng: &mut StdRng, line: usize) {
+fn write_lineitem(b: &mut DocumentBuilder, rng: &mut DetRng, line: usize) {
     b.start_element(q("lineitem"));
-    b.start_element(q("linenumber")).text(&(line + 1).to_string()).end_element();
-    b.start_element(q("partkey")).text(&rng.gen_range(1..200_000u32).to_string()).end_element();
-    b.start_element(q("suppkey")).text(&rng.gen_range(1..10_000u32).to_string()).end_element();
+    b.start_element(q("linenumber"))
+        .text(&(line + 1).to_string())
+        .end_element();
+    b.start_element(q("partkey"))
+        .text(&rng.gen_range(1..200_000u32).to_string())
+        .end_element();
+    b.start_element(q("suppkey"))
+        .text(&rng.gen_range(1..10_000u32).to_string())
+        .end_element();
     // The six grouping columns of the experiment. Each occurs exactly
     // once per lineitem (the paper's precondition).
     b.start_element(q("quantity"))
         .text(&rng.gen_range(1..=QUANTITY_MAX).to_string())
         .end_element();
     b.start_element(q("extendedprice"))
-        .text(&format!("{}.{:02}", rng.gen_range(900..105_000), rng.gen_range(0..100)))
+        .text(&format!(
+            "{}.{:02}",
+            rng.gen_range(900..105_000i32),
+            rng.gen_range(0..100i32)
+        ))
         .end_element();
     b.start_element(q("discount"))
-        .text(&format!("0.{:02}", rng.gen_range(0..=10)))
+        .text(&format!("0.{:02}", rng.gen_range(0..=10i32)))
         .end_element();
-    b.start_element(q("tax")).text(pick(rng, &TAX)).end_element();
-    b.start_element(q("returnflag")).text(pick(rng, &["A", "N", "R"])).end_element();
-    b.start_element(q("linestatus")).text(if rng.gen_bool(0.5) { "O" } else { "F" }).end_element();
+    b.start_element(q("tax"))
+        .text(pick(rng, &TAX))
+        .end_element();
+    b.start_element(q("returnflag"))
+        .text(pick(rng, &["A", "N", "R"]))
+        .end_element();
+    b.start_element(q("linestatus"))
+        .text(if rng.gen_bool(0.5) { "O" } else { "F" })
+        .end_element();
     b.start_element(q("shipdate"))
         .text(&format!(
             "{:04}-{:02}-{:02}",
-            rng.gen_range(2003..=2005),
-            rng.gen_range(1..=12),
-            rng.gen_range(1..=28)
+            rng.gen_range(2003..=2005i32),
+            rng.gen_range(1..=12i32),
+            rng.gen_range(1..=28i32)
         ))
         .end_element();
-    b.start_element(q("shipinstruct")).text(pick(rng, &SHIPINSTRUCT)).end_element();
-    b.start_element(q("shipmode")).text(pick(rng, &SHIPMODE)).end_element();
+    b.start_element(q("shipinstruct"))
+        .text(pick(rng, &SHIPINSTRUCT))
+        .end_element();
+    b.start_element(q("shipmode"))
+        .text(pick(rng, &SHIPMODE))
+        .end_element();
     b.start_element(q("comment"))
         .text("final accounts nag blithely across the express deposits")
         .end_element();
@@ -204,7 +277,10 @@ mod tests {
 
     #[test]
     fn deterministic_for_equal_seeds() {
-        let cfg = OrdersConfig { orders: 20, ..Default::default() };
+        let cfg = OrdersConfig {
+            orders: 20,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(serialize_node(&a.root()), serialize_node(&b.root()));
@@ -214,14 +290,21 @@ mod tests {
 
     #[test]
     fn average_four_lineitems_per_order() {
-        let cfg = OrdersConfig { orders: 2_000, ..Default::default() };
+        let cfg = OrdersConfig {
+            orders: 2_000,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let root = doc.root().children().next().unwrap();
         let mut lineitems = 0usize;
         for order in root.children() {
             lineitems += order
                 .children()
-                .filter(|c| c.name().map(|n| n.local_part() == "lineitem").unwrap_or(false))
+                .filter(|c| {
+                    c.name()
+                        .map(|n| n.local_part() == "lineitem")
+                        .unwrap_or(false)
+                })
                 .count();
         }
         let avg = lineitems as f64 / cfg.orders as f64;
@@ -231,17 +314,26 @@ mod tests {
     #[test]
     fn order_text_is_about_3kb() {
         // The paper: "about 3K bytes" per order document.
-        let cfg = OrdersConfig { orders: 50, ..Default::default() };
+        let cfg = OrdersConfig {
+            orders: 50,
+            ..Default::default()
+        };
         let docs = generate_split(&cfg);
         let total: usize = docs.iter().map(|d| serialize_node(&d.root()).len()).sum();
         let avg = total as f64 / docs.len() as f64;
-        assert!((1_500.0..=4_500.0).contains(&avg), "average order bytes {avg}");
+        assert!(
+            (1_500.0..=4_500.0).contains(&avg),
+            "average order bytes {avg}"
+        );
     }
 
     #[test]
     fn grouping_cardinalities_are_the_charts() {
         use std::collections::HashSet;
-        let cfg = OrdersConfig { orders: 2_000, ..Default::default() };
+        let cfg = OrdersConfig {
+            orders: 2_000,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let root = doc.root().children().next().unwrap();
         let mut shipinstruct = HashSet::new();
@@ -287,7 +379,10 @@ mod tests {
 
     #[test]
     fn split_and_joint_generation_agree_on_content() {
-        let cfg = OrdersConfig { orders: 10, ..Default::default() };
+        let cfg = OrdersConfig {
+            orders: 10,
+            ..Default::default()
+        };
         let joint = generate(&cfg);
         let split = generate_split(&cfg);
         assert_eq!(split.len(), 10);

@@ -1,0 +1,140 @@
+//! Deterministic pseudo-random generator for the workload generators.
+//!
+//! A splitmix64 core: tiny, fast, statistically solid for data
+//! generation, and — most importantly — dependency-free, so the
+//! workspace builds offline. Equal seeds always produce equal streams,
+//! which is the property every generator test relies on.
+
+/// Splitmix64 generator. Not cryptographic; for workload synthesis and
+/// deterministic fuzz-style tests only.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Seed the generator. Equal seeds give identical streams.
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` via rejection sampling (no modulo bias).
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "bounded(0)");
+        // 2^64 mod n: values below this threshold would bias the result.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let r = self.next_u64();
+            if r >= threshold {
+                return r % n;
+            }
+        }
+    }
+
+    /// Uniform value in the given (half-open or inclusive) integer range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, the standard u64 -> f64 construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Integer ranges [`DetRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Draw a uniform value from the range.
+    fn sample(self, rng: &mut DetRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut DetRng) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 drawn");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(1..=50u32);
+            assert!((1..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&heads), "p=0.25 gave {heads}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = DetRng::seed_from_u64(9);
+        assert_eq!(rng.gen_range(3..=3i32), 3);
+    }
+}

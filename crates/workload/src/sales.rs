@@ -5,9 +5,8 @@
 //! price, with states nested consistently inside their regions so the
 //! region/state hierarchy of Q3 is meaningful.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::rc::Rc;
+use crate::rng::DetRng;
+use std::sync::Arc;
 use xqa_xdm::{Document, DocumentBuilder, QName};
 
 /// Region → states map (the Q3 hierarchy).
@@ -19,8 +18,14 @@ pub const REGIONS: [(&str, &[&str]); 4] = [
 ];
 
 /// The product catalogue.
-pub const PRODUCTS: [&str; 6] =
-    ["Green Tea", "Black Tea", "Oolong", "Espresso", "Drip Coffee", "Cocoa"];
+pub const PRODUCTS: [&str; 6] = [
+    "Green Tea",
+    "Black Tea",
+    "Oolong",
+    "Espresso",
+    "Drip Coffee",
+    "Cocoa",
+];
 
 /// Configuration for the sales generator.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +42,12 @@ pub struct SalesConfig {
 
 impl Default for SalesConfig {
     fn default() -> Self {
-        SalesConfig { sales: 10_000, seed: 42, year_from: 2003, year_to: 2005 }
+        SalesConfig {
+            sales: 10_000,
+            seed: 42,
+            year_from: 2003,
+            year_to: 2005,
+        }
     }
 }
 
@@ -46,8 +56,8 @@ fn q(s: &str) -> QName {
 }
 
 /// Generate a `<sales>` document.
-pub fn generate(cfg: &SalesConfig) -> Rc<Document> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+pub fn generate(cfg: &SalesConfig) -> Arc<Document> {
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let mut b = DocumentBuilder::new();
     b.start_element(q("sales"));
     for _ in 0..cfg.sales {
@@ -58,11 +68,11 @@ pub fn generate(cfg: &SalesConfig) -> Rc<Document> {
             .text(&format!(
                 "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
                 rng.gen_range(cfg.year_from..=cfg.year_to),
-                rng.gen_range(1..=12),
-                rng.gen_range(1..=28),
-                rng.gen_range(0..24),
-                rng.gen_range(0..60),
-                rng.gen_range(0..60)
+                rng.gen_range(1..=12i32),
+                rng.gen_range(1..=28i32),
+                rng.gen_range(0..24i32),
+                rng.gen_range(0..60i32),
+                rng.gen_range(0..60i32)
             ))
             .end_element();
         b.start_element(q("product"))
@@ -70,9 +80,11 @@ pub fn generate(cfg: &SalesConfig) -> Rc<Document> {
             .end_element();
         b.start_element(q("state")).text(state).end_element();
         b.start_element(q("region")).text(region).end_element();
-        b.start_element(q("quantity")).text(&rng.gen_range(1..=40u32).to_string()).end_element();
+        b.start_element(q("quantity"))
+            .text(&rng.gen_range(1..=40u32).to_string())
+            .end_element();
         b.start_element(q("price"))
-            .text(&format!("{}.{:02}", rng.gen_range(1..100), 99))
+            .text(&format!("{}.{:02}", rng.gen_range(1..100i32), 99))
             .end_element();
         b.end_element();
     }
@@ -81,11 +93,15 @@ pub fn generate(cfg: &SalesConfig) -> Rc<Document> {
 }
 
 /// The paper's Section 2 example sale instance.
-pub fn paper_example_sale() -> Rc<Document> {
+pub fn paper_example_sale() -> Arc<Document> {
     let mut b = DocumentBuilder::new();
     b.start_element(q("sale"));
-    b.start_element(q("timestamp")).text("2004-01-31T11:32:07").end_element();
-    b.start_element(q("product")).text("Green Tea").end_element();
+    b.start_element(q("timestamp"))
+        .text("2004-01-31T11:32:07")
+        .end_element();
+    b.start_element(q("product"))
+        .text("Green Tea")
+        .end_element();
     b.start_element(q("state")).text("CA").end_element();
     b.start_element(q("region")).text("West").end_element();
     b.start_element(q("quantity")).text("10").end_element();
@@ -102,7 +118,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = SalesConfig { sales: 25, ..Default::default() };
+        let cfg = SalesConfig {
+            sales: 25,
+            ..Default::default()
+        };
         assert_eq!(
             serialize_node(&generate(&cfg).root()),
             serialize_node(&generate(&cfg).root())
@@ -111,7 +130,10 @@ mod tests {
 
     #[test]
     fn states_stay_inside_their_regions() {
-        let cfg = SalesConfig { sales: 2_000, ..Default::default() };
+        let cfg = SalesConfig {
+            sales: 2_000,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let sales = doc.root().children().next().unwrap();
         let mut state_region: HashMap<String, String> = HashMap::new();
@@ -135,13 +157,20 @@ mod tests {
 
     #[test]
     fn timestamps_parse_as_datetimes() {
-        let cfg = SalesConfig { sales: 100, ..Default::default() };
+        let cfg = SalesConfig {
+            sales: 100,
+            ..Default::default()
+        };
         let doc = generate(&cfg);
         let sales = doc.root().children().next().unwrap();
         for sale in sales.children() {
             let ts = sale
                 .children()
-                .find(|c| c.name().map(|n| n.local_part() == "timestamp").unwrap_or(false))
+                .find(|c| {
+                    c.name()
+                        .map(|n| n.local_part() == "timestamp")
+                        .unwrap_or(false)
+                })
                 .expect("timestamp present");
             xqa_xdm::DateTime::parse(&ts.string_value()).expect("valid dateTime");
         }

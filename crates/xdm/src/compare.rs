@@ -210,7 +210,10 @@ fn attribute_sets_equal(a: &NodeHandle, b: &NodeHandle) -> bool {
 
 fn children_deep_equal(a: &NodeHandle, b: &NodeHandle) -> bool {
     let significant = |n: &NodeHandle| {
-        !matches!(n.kind(), NodeKind::Comment | NodeKind::ProcessingInstruction)
+        !matches!(
+            n.kind(),
+            NodeKind::Comment | NodeKind::ProcessingInstruction
+        )
     };
     let ac: Vec<NodeHandle> = a.children().filter(significant).collect();
     let bc: Vec<NodeHandle> = b.children().filter(significant).collect();
@@ -318,7 +321,10 @@ mod tests {
         let reuter = Item::from("Reuter");
         let a = vec![gray.clone(), reuter.clone()];
         let b = vec![reuter, gray];
-        assert!(!deep_equal(&a, &b), "permutations are distinct (paper §3.3)");
+        assert!(
+            !deep_equal(&a, &b),
+            "permutations are distinct (paper §3.3)"
+        );
         assert!(deep_equal(&a, &a.clone()));
     }
 
@@ -337,9 +343,14 @@ mod tests {
             b.start_element(q("author")).text("Jim Gray").end_element();
         });
         let c = elem(|b| {
-            b.start_element(q("author")).text("Andreas Reuter").end_element();
+            b.start_element(q("author"))
+                .text("Andreas Reuter")
+                .end_element();
         });
-        assert!(node_deep_equal(&a, &a2), "equal content, different identity");
+        assert!(
+            node_deep_equal(&a, &a2),
+            "equal content, different identity"
+        );
         assert!(!node_deep_equal(&a, &c));
         assert!(!a.is_same_node(&a2));
     }

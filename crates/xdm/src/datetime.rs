@@ -82,7 +82,10 @@ pub fn days_in_month(y: i32, m: u8) -> u8 {
 
 fn validate_date(year: i32, month: u8, day: u8) -> XdmResult<()> {
     if !(1..=12).contains(&month) {
-        return Err(XdmError::new(ErrorCode::FODT0001, format!("month {month} out of range")));
+        return Err(XdmError::new(
+            ErrorCode::FODT0001,
+            format!("month {month} out of range"),
+        ));
     }
     if day < 1 || day > days_in_month(year, month) {
         return Err(XdmError::new(
@@ -117,7 +120,10 @@ fn split_timezone(s: &str) -> XdmResult<(&str, Option<i16>)> {
             let hh = parse_digits(&tail[1..3], "timezone hour")?;
             let mm = parse_digits(&tail[4..6], "timezone minute")?;
             if hh > 14 || mm > 59 || (hh == 14 && mm != 0) {
-                return Err(XdmError::new(ErrorCode::FODT0001, format!("timezone {tail:?} out of range")));
+                return Err(XdmError::new(
+                    ErrorCode::FODT0001,
+                    format!("timezone {tail:?} out of range"),
+                ));
             }
             let sign = if bytes[0] == b'-' { -1 } else { 1 };
             return Ok((&s[..s.len() - 6], Some(sign * (hh * 60 + mm) as i16)));
@@ -153,9 +159,9 @@ impl DateTime {
     pub fn parse(s: &str) -> XdmResult<DateTime> {
         let t = s.trim();
         let (body, tz) = split_timezone(t)?;
-        let tpos = body
-            .find('T')
-            .ok_or_else(|| XdmError::value_error(format!("invalid xs:dateTime {t:?} (missing 'T')")))?;
+        let tpos = body.find('T').ok_or_else(|| {
+            XdmError::value_error(format!("invalid xs:dateTime {t:?} (missing 'T')"))
+        })?;
         let (date_s, time_s) = body.split_at(tpos);
         let time_s = &time_s[1..];
         let (year, month, day) = parse_date_part(date_s)?;
@@ -170,7 +176,9 @@ impl DateTime {
                 let (sec, frac) = tparts[2].split_at(dot);
                 let frac = &frac[1..];
                 if frac.is_empty() || frac.len() > 9 {
-                    return Err(XdmError::value_error(format!("invalid fractional seconds in {t:?}")));
+                    return Err(XdmError::value_error(format!(
+                        "invalid fractional seconds in {t:?}"
+                    )));
                 }
                 let base = parse_digits(frac, "fractional seconds")?;
                 (sec, base * 10u32.pow(9 - frac.len() as u32))
@@ -181,15 +189,34 @@ impl DateTime {
             return Err(XdmError::value_error(format!("invalid seconds in {t:?}")));
         }
         let second = parse_digits(sec_s, "second")? as u8;
-        if hour > 24 || minute > 59 || second > 59 || (hour == 24 && (minute != 0 || second != 0 || nanos != 0)) {
-            return Err(XdmError::new(ErrorCode::FODT0001, format!("time out of range in {t:?}")));
+        if hour > 24
+            || minute > 59
+            || second > 59
+            || (hour == 24 && (minute != 0 || second != 0 || nanos != 0))
+        {
+            return Err(XdmError::new(
+                ErrorCode::FODT0001,
+                format!("time out of range in {t:?}"),
+            ));
         }
         // 24:00:00 normalizes to 00:00:00 of the next day; we keep it
         // simple and reject it instead (not used by the paper workloads).
         if hour == 24 {
-            return Err(XdmError::new(ErrorCode::FODT0001, "24:00:00 is not supported"));
+            return Err(XdmError::new(
+                ErrorCode::FODT0001,
+                "24:00:00 is not supported",
+            ));
         }
-        Ok(DateTime { year, month, day, hour, minute, second, nanos, tz_offset_min: tz })
+        Ok(DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            nanos,
+            tz_offset_min: tz,
+        })
     }
 
     /// Seconds on the UTC timeline (absent timezone treated as UTC).
@@ -214,14 +241,31 @@ impl DateTime {
     ) -> XdmResult<DateTime> {
         validate_date(year, month, day)?;
         if hour > 23 || minute > 59 || second > 59 || nanos > 999_999_999 {
-            return Err(XdmError::new(ErrorCode::FODT0001, "time component out of range"));
+            return Err(XdmError::new(
+                ErrorCode::FODT0001,
+                "time component out of range",
+            ));
         }
-        Ok(DateTime { year, month, day, hour, minute, second, nanos, tz_offset_min })
+        Ok(DateTime {
+            year,
+            month,
+            day,
+            hour,
+            minute,
+            second,
+            nanos,
+            tz_offset_min,
+        })
     }
 
     /// The date part of this dateTime.
     pub fn date(&self) -> Date {
-        Date { year: self.year, month: self.month, day: self.day, tz_offset_min: self.tz_offset_min }
+        Date {
+            year: self.year,
+            month: self.month,
+            day: self.day,
+            tz_offset_min: self.tz_offset_min,
+        }
     }
 }
 
@@ -272,13 +316,23 @@ impl Date {
         let t = s.trim();
         let (body, tz) = split_timezone(t)?;
         let (year, month, day) = parse_date_part(body)?;
-        Ok(Date { year, month, day, tz_offset_min: tz })
+        Ok(Date {
+            year,
+            month,
+            day,
+            tz_offset_min: tz,
+        })
     }
 
     /// Build from components, validating ranges.
     pub fn new(year: i32, month: u8, day: u8, tz_offset_min: Option<i16>) -> XdmResult<Date> {
         validate_date(year, month, day)?;
-        Ok(Date { year, month, day, tz_offset_min })
+        Ok(Date {
+            year,
+            month,
+            day,
+            tz_offset_min,
+        })
     }
 
     /// Midnight at the start of this date, on the UTC timeline.

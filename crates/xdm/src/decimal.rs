@@ -41,9 +41,15 @@ pub struct Decimal {
 
 impl Decimal {
     /// Zero.
-    pub const ZERO: Decimal = Decimal { mantissa: 0, scale: 0 };
+    pub const ZERO: Decimal = Decimal {
+        mantissa: 0,
+        scale: 0,
+    };
     /// One.
-    pub const ONE: Decimal = Decimal { mantissa: 1, scale: 0 };
+    pub const ONE: Decimal = Decimal {
+        mantissa: 1,
+        scale: 0,
+    };
 
     /// Build a decimal from a raw mantissa and scale, normalizing
     /// trailing zeros away.
@@ -57,7 +63,10 @@ impl Decimal {
         if m == 0 {
             s = 0;
         }
-        Decimal { mantissa: m, scale: s }
+        Decimal {
+            mantissa: m,
+            scale: s,
+        }
     }
 
     /// The raw mantissa (after normalization).
@@ -119,7 +128,10 @@ impl Decimal {
                         .checked_mul(10)
                         .and_then(|m| m.checked_add((bytes[i] - b'0') as i128))
                         .ok_or_else(|| {
-                            XdmError::new(ErrorCode::FOAR0002, format!("decimal overflow parsing {t:?}"))
+                            XdmError::new(
+                                ErrorCode::FOAR0002,
+                                format!("decimal overflow parsing {t:?}"),
+                            )
                         })?;
                     if seen_point {
                         scale += 1;
@@ -127,13 +139,17 @@ impl Decimal {
                 }
                 b'.' if !seen_point => seen_point = true,
                 _ => {
-                    return Err(XdmError::value_error(format!("invalid xs:decimal literal {t:?}")));
+                    return Err(XdmError::value_error(format!(
+                        "invalid xs:decimal literal {t:?}"
+                    )));
                 }
             }
             i += 1;
         }
         if !seen_digit {
-            return Err(XdmError::value_error(format!("invalid xs:decimal literal {t:?}")));
+            return Err(XdmError::value_error(format!(
+                "invalid xs:decimal literal {t:?}"
+            )));
         }
         if negative {
             mantissa = -mantissa;
@@ -175,10 +191,9 @@ impl Decimal {
 
     /// Exact multiplication.
     pub fn checked_mul(&self, other: &Decimal) -> XdmResult<Decimal> {
-        let m = self
-            .mantissa
-            .checked_mul(other.mantissa)
-            .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in multiplication"))?;
+        let m = self.mantissa.checked_mul(other.mantissa).ok_or_else(|| {
+            XdmError::new(ErrorCode::FOAR0002, "decimal overflow in multiplication")
+        })?;
         Ok(Decimal::from_parts(m, self.scale + other.scale))
     }
 
@@ -186,15 +201,18 @@ impl Decimal {
     /// (round-half-to-even on the final digit).
     pub fn checked_div(&self, other: &Decimal) -> XdmResult<Decimal> {
         if other.is_zero() {
-            return Err(XdmError::new(ErrorCode::FOAR0001, "decimal division by zero"));
+            return Err(XdmError::new(
+                ErrorCode::FOAR0001,
+                "decimal division by zero",
+            ));
         }
         // Compute self/other at MAX_SCALE digits of precision:
         // result = mantissa_a * 10^(MAX_SCALE + scale_b - scale_a) / mantissa_b
         let shift = MAX_SCALE as i64 + other.scale as i64 - self.scale as i64;
         let (num, denom) = if shift >= 0 {
-            let factor = 10i128
-                .checked_pow(shift as u32)
-                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division"))?;
+            let factor = 10i128.checked_pow(shift as u32).ok_or_else(|| {
+                XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division")
+            })?;
             (
                 self.mantissa.checked_mul(factor).ok_or_else(|| {
                     XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division")
@@ -202,9 +220,9 @@ impl Decimal {
                 other.mantissa,
             )
         } else {
-            let factor = 10i128
-                .checked_pow((-shift) as u32)
-                .ok_or_else(|| XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division"))?;
+            let factor = 10i128.checked_pow((-shift) as u32).ok_or_else(|| {
+                XdmError::new(ErrorCode::FOAR0002, "decimal overflow in division")
+            })?;
             (
                 self.mantissa,
                 other.mantissa.checked_mul(factor).ok_or_else(|| {
@@ -222,7 +240,10 @@ impl Decimal {
     /// Integer division (`idiv`): truncates toward zero, returns an i128.
     pub fn checked_idiv(&self, other: &Decimal) -> XdmResult<i128> {
         if other.is_zero() {
-            return Err(XdmError::new(ErrorCode::FOAR0001, "integer division by zero"));
+            return Err(XdmError::new(
+                ErrorCode::FOAR0001,
+                "integer division by zero",
+            ));
         }
         let (a, b, _) = Decimal::align(self, other)?;
         Ok(a / b)
@@ -239,12 +260,18 @@ impl Decimal {
 
     /// Negation.
     pub fn neg(&self) -> Decimal {
-        Decimal { mantissa: -self.mantissa, scale: self.scale }
+        Decimal {
+            mantissa: -self.mantissa,
+            scale: self.scale,
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Decimal {
-        Decimal { mantissa: self.mantissa.abs(), scale: self.scale }
+        Decimal {
+            mantissa: self.mantissa.abs(),
+            scale: self.scale,
+        }
     }
 
     /// `fn:floor` — largest integer not greater than the value.
@@ -313,7 +340,9 @@ impl Decimal {
     /// `xs:decimal(xs:double)` casts). Errors on NaN/Inf.
     pub fn from_f64(v: f64) -> XdmResult<Decimal> {
         if !v.is_finite() {
-            return Err(XdmError::value_error("cannot convert NaN or infinity to xs:decimal"));
+            return Err(XdmError::value_error(
+                "cannot convert NaN or infinity to xs:decimal",
+            ));
         }
         // `{:?}`/`{}` on f64 prints the shortest round-tripping form;
         // it may use exponent notation for extreme magnitudes.

@@ -82,7 +82,10 @@ pub struct XdmError {
 impl XdmError {
     /// Create an error with the given code and message.
     pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
-        XdmError { code, message: message.into() }
+        XdmError {
+            code,
+            message: message.into(),
+        }
     }
 
     /// Shorthand for the ubiquitous type error `XPTY0004`.

@@ -12,15 +12,15 @@ use crate::decimal::Decimal;
 use crate::error::{ErrorCode, XdmError, XdmResult};
 use crate::node::NodeHandle;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The atomic types the engine supports.
 #[derive(Debug, Clone)]
 pub enum AtomicValue {
     /// `xs:string`.
-    String(Rc<str>),
+    String(Arc<str>),
     /// `xs:untypedAtomic` — the type of atomized node content.
-    Untyped(Rc<str>),
+    Untyped(Arc<str>),
     /// `xs:boolean`.
     Boolean(bool),
     /// `xs:integer`.
@@ -74,12 +74,12 @@ impl fmt::Display for AtomicType {
 
 impl AtomicValue {
     /// Convenience constructor for `xs:string` values.
-    pub fn string(s: impl Into<Rc<str>>) -> AtomicValue {
+    pub fn string(s: impl Into<Arc<str>>) -> AtomicValue {
         AtomicValue::String(s.into())
     }
 
     /// Convenience constructor for `xs:untypedAtomic` values.
-    pub fn untyped(s: impl Into<Rc<str>>) -> AtomicValue {
+    pub fn untyped(s: impl Into<Arc<str>>) -> AtomicValue {
         AtomicValue::Untyped(s.into())
     }
 
@@ -166,7 +166,9 @@ pub fn parse_double(s: &str) -> XdmResult<f64> {
     // Rust's f64 parser accepts "inf"/"nan" spellings XQuery does not;
     // reject anything containing alphabetic chars other than e/E.
     if t.is_empty() || t.chars().any(|c| c.is_alphabetic() && c != 'e' && c != 'E') {
-        return Err(XdmError::value_error(format!("cannot cast {t:?} to xs:double")));
+        return Err(XdmError::value_error(format!(
+            "cannot cast {t:?} to xs:double"
+        )));
     }
     t.parse::<f64>()
         .map_err(|_| XdmError::value_error(format!("cannot cast {t:?} to xs:double")))
@@ -177,7 +179,9 @@ pub fn parse_boolean(s: &str) -> XdmResult<bool> {
     match s.trim() {
         "true" | "1" => Ok(true),
         "false" | "0" => Ok(false),
-        other => Err(XdmError::value_error(format!("cannot cast {other:?} to xs:boolean"))),
+        other => Err(XdmError::value_error(format!(
+            "cannot cast {other:?} to xs:boolean"
+        ))),
     }
 }
 
@@ -192,7 +196,11 @@ pub fn format_double(v: f64) -> String {
         return if v > 0.0 { "INF" } else { "-INF" }.to_string();
     }
     if v == 0.0 {
-        return if v.is_sign_negative() { "-0".to_string() } else { "0".to_string() };
+        return if v.is_sign_negative() {
+            "-0".to_string()
+        } else {
+            "0".to_string()
+        };
     }
     let abs = v.abs();
     if (1e-6..1e6).contains(&abs) {
@@ -202,7 +210,10 @@ pub fn format_double(v: f64) -> String {
             let s = format!("{v}");
             // Rust may still emit exponents for values like 1e-5 -> "0.00001".
             if s.contains('e') || s.contains('E') {
-                format!("{v:.10}").trim_end_matches('0').trim_end_matches('.').to_string()
+                format!("{v:.10}")
+                    .trim_end_matches('0')
+                    .trim_end_matches('.')
+                    .to_string()
             } else {
                 s
             }
@@ -335,7 +346,9 @@ pub fn effective_boolean_value(seq: &[Item]) -> XdmResult<bool> {
 pub fn singleton<'a>(seq: &'a [Item], what: &str) -> XdmResult<&'a Item> {
     match seq {
         [item] => Ok(item),
-        [] => Err(XdmError::type_error(format!("{what}: empty sequence where one item required"))),
+        [] => Err(XdmError::type_error(format!(
+            "{what}: empty sequence where one item required"
+        ))),
         _ => Err(XdmError::type_error(format!(
             "{what}: sequence of {} items where one required",
             seq.len()
@@ -378,7 +391,8 @@ mod tests {
         let err = effective_boolean_value(&[Item::from(1i64), Item::from(2i64)]).unwrap_err();
         assert_eq!(err.code, ErrorCode::FORG0006);
         // dateTime singleton: error.
-        let dt = AtomicValue::DateTime(crate::datetime::DateTime::parse("2004-01-01T00:00:00").unwrap());
+        let dt =
+            AtomicValue::DateTime(crate::datetime::DateTime::parse("2004-01-01T00:00:00").unwrap());
         assert!(effective_boolean_value(&[Item::Atomic(dt)]).is_err());
     }
 
@@ -413,8 +427,13 @@ mod tests {
             other => panic!("expected double, got {other:?}"),
         }
         let u = AtomicValue::untyped("2004-05-06");
-        assert!(matches!(u.cast_untyped_as(AtomicType::Date).unwrap(), AtomicValue::Date(_)));
-        assert!(AtomicValue::untyped("abc").cast_untyped_as(AtomicType::Double).is_err());
+        assert!(matches!(
+            u.cast_untyped_as(AtomicType::Date).unwrap(),
+            AtomicValue::Date(_)
+        ));
+        assert!(AtomicValue::untyped("abc")
+            .cast_untyped_as(AtomicType::Double)
+            .is_err());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod item;
 pub mod node;
 pub mod qname;
 
-pub use compare::{deep_equal, general_compare, node_deep_equal, sort_compare, value_compare, CompOp};
+pub use compare::{
+    deep_equal, general_compare, node_deep_equal, sort_compare, value_compare, CompOp,
+};
 pub use datetime::{Date, DateTime};
 pub use decimal::Decimal;
 pub use error::{ErrorCode, XdmError, XdmResult};

@@ -8,14 +8,14 @@
 //! document order across documents — XQuery leaves inter-document order
 //! implementation-defined but requires it to be stable within a query.
 //!
-//! A [`NodeHandle`] pairs an `Rc<Document>` with a `NodeId`; it is the
+//! A [`NodeHandle`] pairs an `Arc<Document>` with a `NodeId`; it is the
 //! value stored inside [`crate::item::Item`]. Cloning a handle is a
 //! refcount bump.
 
 use crate::qname::QName;
 use std::fmt;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
 
 /// Index of a node within its document's arena.
 pub type NodeId = u32;
@@ -45,7 +45,7 @@ pub(crate) struct NodeData {
     /// Element/attribute name, or PI target.
     pub(crate) name: Option<QName>,
     /// Text content for text/comment/PI nodes, value for attributes.
-    pub(crate) text: Option<Rc<str>>,
+    pub(crate) text: Option<Arc<str>>,
     /// Child *nodes* (attributes excluded) for document/element nodes.
     pub(crate) children: Vec<NodeId>,
     /// Attribute nodes for element nodes.
@@ -90,21 +90,30 @@ impl Document {
     }
 
     /// Handle to the document node of `doc`.
-    pub fn root(self: &Rc<Self>) -> NodeHandle {
-        NodeHandle { doc: Rc::clone(self), id: 0 }
+    pub fn root(self: &Arc<Self>) -> NodeHandle {
+        NodeHandle {
+            doc: Arc::clone(self),
+            id: 0,
+        }
     }
 }
 
 /// A reference to one node: the owning document plus the node's id.
 #[derive(Clone)]
 pub struct NodeHandle {
-    doc: Rc<Document>,
+    doc: Arc<Document>,
     id: NodeId,
 }
 
 impl fmt::Debug for NodeHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "NodeHandle(doc#{}, n{}, {:?}", self.doc.serial, self.id, self.kind())?;
+        write!(
+            f,
+            "NodeHandle(doc#{}, n{}, {:?}",
+            self.doc.serial,
+            self.id,
+            self.kind()
+        )?;
         if let Some(n) = self.name() {
             write!(f, " <{n}>")?;
         }
@@ -118,7 +127,7 @@ impl NodeHandle {
     }
 
     /// The owning document.
-    pub fn document(&self) -> &Rc<Document> {
+    pub fn document(&self) -> &Arc<Document> {
         &self.doc
     }
 
@@ -139,12 +148,15 @@ impl NodeHandle {
 
     /// The parent node, if any (attributes report their owner element).
     pub fn parent(&self) -> Option<NodeHandle> {
-        self.data().parent.map(|id| NodeHandle { doc: Rc::clone(&self.doc), id })
+        self.data().parent.map(|id| NodeHandle {
+            doc: Arc::clone(&self.doc),
+            id,
+        })
     }
 
     /// Node identity: same document *and* same arena slot.
     pub fn is_same_node(&self, other: &NodeHandle) -> bool {
-        self.id == other.id && Rc::ptr_eq(&self.doc, &other.doc)
+        self.id == other.id && Arc::ptr_eq(&self.doc, &other.doc)
     }
 
     /// Total document order: by document serial, then arena index.
@@ -154,18 +166,18 @@ impl NodeHandle {
 
     /// Child nodes (attributes excluded), in document order.
     pub fn children(&self) -> impl Iterator<Item = NodeHandle> + '_ {
-        self.data()
-            .children
-            .iter()
-            .map(move |&id| NodeHandle { doc: Rc::clone(&self.doc), id })
+        self.data().children.iter().map(move |&id| NodeHandle {
+            doc: Arc::clone(&self.doc),
+            id,
+        })
     }
 
     /// Attribute nodes, in the order they were written.
     pub fn attributes(&self) -> impl Iterator<Item = NodeHandle> + '_ {
-        self.data()
-            .attributes
-            .iter()
-            .map(move |&id| NodeHandle { doc: Rc::clone(&self.doc), id })
+        self.data().attributes.iter().map(move |&id| NodeHandle {
+            doc: Arc::clone(&self.doc),
+            id,
+        })
     }
 
     /// The attribute with the given name, if present.
@@ -176,7 +188,10 @@ impl NodeHandle {
     /// Descendant nodes in document order (self excluded, attributes
     /// excluded), i.e. the `descendant::node()` axis.
     pub fn descendants(&self) -> Descendants {
-        Descendants { doc: Rc::clone(&self.doc), stack: self.data().children.iter().rev().copied().collect() }
+        Descendants {
+            doc: Arc::clone(&self.doc),
+            stack: self.data().children.iter().rev().copied().collect(),
+        }
     }
 
     /// Self plus descendants in document order (`descendant-or-self`).
@@ -194,9 +209,10 @@ impl NodeHandle {
     /// - element/document: concatenation of descendant text nodes.
     pub fn string_value(&self) -> String {
         match self.kind() {
-            NodeKind::Text | NodeKind::Comment | NodeKind::ProcessingInstruction | NodeKind::Attribute => {
-                self.data().text.as_deref().unwrap_or("").to_string()
-            }
+            NodeKind::Text
+            | NodeKind::Comment
+            | NodeKind::ProcessingInstruction
+            | NodeKind::Attribute => self.data().text.as_deref().unwrap_or("").to_string(),
             NodeKind::Element | NodeKind::Document => {
                 let mut out = String::new();
                 self.accumulate_text(&mut out);
@@ -222,7 +238,10 @@ impl NodeHandle {
 
     /// Child *elements* with the given local name (fast path for the
     /// ubiquitous `child::name` step).
-    pub fn child_elements_named<'a>(&'a self, name: &'a QName) -> impl Iterator<Item = NodeHandle> + 'a {
+    pub fn child_elements_named<'a>(
+        &'a self,
+        name: &'a QName,
+    ) -> impl Iterator<Item = NodeHandle> + 'a {
         self.children()
             .filter(move |c| c.kind() == NodeKind::Element && c.name() == Some(name))
     }
@@ -230,7 +249,7 @@ impl NodeHandle {
 
 /// Iterator over descendants in document order.
 pub struct Descendants {
-    doc: Rc<Document>,
+    doc: Arc<Document>,
     stack: Vec<NodeId>,
 }
 
@@ -242,7 +261,10 @@ impl Iterator for Descendants {
         let data = self.doc.data(id);
         // Push children in reverse so the leftmost child pops first.
         self.stack.extend(data.children.iter().rev().copied());
-        Some(NodeHandle { doc: Rc::clone(&self.doc), id })
+        Some(NodeHandle {
+            doc: Arc::clone(&self.doc),
+            id,
+        })
     }
 }
 
@@ -250,7 +272,7 @@ impl Document {
     /// Build a document holding a single parentless attribute node (the
     /// result of a computed attribute constructor evaluated outside an
     /// element). Returns the attribute's handle.
-    pub fn standalone_attribute(name: QName, value: impl Into<Rc<str>>) -> NodeHandle {
+    pub fn standalone_attribute(name: QName, value: impl Into<Arc<str>>) -> NodeHandle {
         let doc_node = NodeData {
             kind: NodeKind::Document,
             parent: None,
@@ -267,7 +289,7 @@ impl Document {
             children: Vec::new(),
             attributes: Vec::new(),
         };
-        let doc = Rc::new(Document {
+        let doc = Arc::new(Document {
             serial: DOC_SERIAL.fetch_add(1, AtomicOrdering::Relaxed),
             nodes: vec![doc_node, attr],
         });
@@ -321,7 +343,11 @@ impl DocumentBuilder {
             children: Vec::new(),
             attributes: Vec::new(),
         };
-        DocumentBuilder { nodes: vec![doc_node], open: vec![0], attrs_allowed: false }
+        DocumentBuilder {
+            nodes: vec![doc_node],
+            open: vec![0],
+            attrs_allowed: false,
+        }
     }
 
     fn push(&mut self, data: NodeData) -> NodeId {
@@ -356,8 +382,11 @@ impl DocumentBuilder {
     /// # Panics
     /// Panics if content has already been written to the element, or if
     /// no element is open — both indicate a builder-usage bug.
-    pub fn attribute(&mut self, name: QName, value: impl Into<Rc<str>>) -> &mut Self {
-        assert!(self.attrs_allowed, "attributes must precede element content");
+    pub fn attribute(&mut self, name: QName, value: impl Into<Arc<str>>) -> &mut Self {
+        assert!(
+            self.attrs_allowed,
+            "attributes must precede element content"
+        );
         let owner = self.current();
         assert!(
             self.nodes[owner as usize].kind == NodeKind::Element,
@@ -386,8 +415,11 @@ impl DocumentBuilder {
         // Merge with a trailing text sibling if present.
         if let Some(&last) = self.nodes[parent as usize].children.last() {
             if self.nodes[last as usize].kind == NodeKind::Text {
-                let existing = self.nodes[last as usize].text.take().unwrap_or_else(|| Rc::from(""));
-                let merged: Rc<str> = Rc::from(format!("{existing}{value}"));
+                let existing = self.nodes[last as usize]
+                    .text
+                    .take()
+                    .unwrap_or_else(|| Arc::from(""));
+                let merged: Arc<str> = Arc::from(format!("{existing}{value}"));
                 self.nodes[last as usize].text = Some(merged);
                 return self;
             }
@@ -396,7 +428,7 @@ impl DocumentBuilder {
             kind: NodeKind::Text,
             parent: Some(parent),
             name: None,
-            text: Some(Rc::from(value)),
+            text: Some(Arc::from(value)),
             children: Vec::new(),
             attributes: Vec::new(),
         });
@@ -405,7 +437,7 @@ impl DocumentBuilder {
     }
 
     /// Append a comment node.
-    pub fn comment(&mut self, value: impl Into<Rc<str>>) -> &mut Self {
+    pub fn comment(&mut self, value: impl Into<Arc<str>>) -> &mut Self {
         self.attrs_allowed = false;
         let parent = self.current();
         let id = self.push(NodeData {
@@ -421,7 +453,11 @@ impl DocumentBuilder {
     }
 
     /// Append a processing-instruction node.
-    pub fn processing_instruction(&mut self, target: QName, value: impl Into<Rc<str>>) -> &mut Self {
+    pub fn processing_instruction(
+        &mut self,
+        target: QName,
+        value: impl Into<Arc<str>>,
+    ) -> &mut Self {
         self.attrs_allowed = false;
         let parent = self.current();
         let id = self.push(NodeData {
@@ -471,7 +507,10 @@ impl DocumentBuilder {
                 self.end_element();
             }
             NodeKind::Attribute => {
-                self.attribute(node.name().expect("attribute has a name").clone(), node.raw_text().unwrap_or(""));
+                self.attribute(
+                    node.name().expect("attribute has a name").clone(),
+                    node.raw_text().unwrap_or(""),
+                );
             }
             NodeKind::Text => {
                 self.text(node.raw_text().unwrap_or(""));
@@ -493,9 +532,13 @@ impl DocumentBuilder {
     ///
     /// # Panics
     /// Panics if elements remain open.
-    pub fn finish(self) -> Rc<Document> {
-        assert!(self.open.len() == 1, "finish with {} unclosed element(s)", self.open.len() - 1);
-        Rc::new(Document {
+    pub fn finish(self) -> Arc<Document> {
+        assert!(
+            self.open.len() == 1,
+            "finish with {} unclosed element(s)",
+            self.open.len() - 1
+        );
+        Arc::new(Document {
             serial: DOC_SERIAL.fetch_add(1, AtomicOrdering::Relaxed),
             nodes: self.nodes,
         })
@@ -511,13 +554,19 @@ mod tests {
     }
 
     /// Build the paper's first example instance.
-    fn book_doc() -> Rc<Document> {
+    fn book_doc() -> Arc<Document> {
         let mut b = DocumentBuilder::new();
         b.start_element(q("book"));
-        b.start_element(q("title")).text("Transaction Processing").end_element();
+        b.start_element(q("title"))
+            .text("Transaction Processing")
+            .end_element();
         b.start_element(q("author")).text("Jim Gray").end_element();
-        b.start_element(q("author")).text("Andreas Reuter").end_element();
-        b.start_element(q("publisher")).text("Morgan Kaufmann").end_element();
+        b.start_element(q("author"))
+            .text("Andreas Reuter")
+            .end_element();
+        b.start_element(q("publisher"))
+            .text("Morgan Kaufmann")
+            .end_element();
         b.start_element(q("price")).text("65.00").end_element();
         b.end_element();
         b.finish()
@@ -538,8 +587,10 @@ mod tests {
         let doc = book_doc();
         let book = doc.root().children().next().unwrap();
         assert_eq!(book.name().unwrap().local_part(), "book");
-        let names: Vec<String> =
-            book.children().map(|c| c.name().unwrap().local_part().to_string()).collect();
+        let names: Vec<String> = book
+            .children()
+            .map(|c| c.name().unwrap().local_part().to_string())
+            .collect();
         assert_eq!(names, ["title", "author", "author", "publisher", "price"]);
     }
 
@@ -615,7 +666,14 @@ mod tests {
         b.copy_node(&book);
         b.end_element();
         let doc = b.finish();
-        let copy = doc.root().children().next().unwrap().children().next().unwrap();
+        let copy = doc
+            .root()
+            .children()
+            .next()
+            .unwrap()
+            .children()
+            .next()
+            .unwrap();
         assert_eq!(copy.name().unwrap().local_part(), "book");
         assert!(!copy.is_same_node(&book));
         assert_eq!(copy.string_value(), book.string_value());

@@ -8,24 +8,30 @@
 //! copies.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A qualified name: optional prefix plus local part.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QName {
-    prefix: Option<Rc<str>>,
-    local: Rc<str>,
+    prefix: Option<Arc<str>>,
+    local: Arc<str>,
 }
 
 impl QName {
     /// An unprefixed name.
-    pub fn local(local: impl Into<Rc<str>>) -> QName {
-        QName { prefix: None, local: local.into() }
+    pub fn local(local: impl Into<Arc<str>>) -> QName {
+        QName {
+            prefix: None,
+            local: local.into(),
+        }
     }
 
     /// A prefixed name such as `local:set-equal`.
-    pub fn prefixed(prefix: impl Into<Rc<str>>, local: impl Into<Rc<str>>) -> QName {
-        QName { prefix: Some(prefix.into()), local: local.into() }
+    pub fn prefixed(prefix: impl Into<Arc<str>>, local: impl Into<Arc<str>>) -> QName {
+        QName {
+            prefix: Some(prefix.into()),
+            local: local.into(),
+        }
     }
 
     /// Parse a lexical QName (`name` or `prefix:name`).
@@ -102,7 +108,10 @@ mod tests {
     #[test]
     fn parse_local_and_prefixed() {
         assert_eq!(QName::parse("book"), Some(QName::local("book")));
-        assert_eq!(QName::parse("local:paths"), Some(QName::prefixed("local", "paths")));
+        assert_eq!(
+            QName::parse("local:paths"),
+            Some(QName::prefixed("local", "paths"))
+        );
         assert_eq!(QName::parse("avg-price"), Some(QName::local("avg-price")));
     }
 
@@ -115,7 +124,10 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        assert_eq!(QName::parse("local:cube").unwrap().to_string(), "local:cube");
+        assert_eq!(
+            QName::parse("local:cube").unwrap().to_string(),
+            "local:cube"
+        );
         assert_eq!(QName::parse("title").unwrap().to_string(), "title");
     }
 

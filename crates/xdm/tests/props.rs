@@ -1,153 +1,262 @@
-//! Property-based tests for the data-model primitives.
+//! Property-style tests for the data-model primitives, driven by a
+//! deterministic splitmix64 generator (no external dependencies; every
+//! run checks the same cases).
 
-use proptest::prelude::*;
-use xqa_xdm::{
-    deep_equal, sort_compare, AtomicValue, CompOp, Date, DateTime, Decimal, Item,
-};
+use xqa_xdm::{deep_equal, sort_compare, AtomicValue, CompOp, Date, DateTime, Decimal, Item};
 
-/// A strategy for decimals with bounded mantissas (avoids overflow so
-/// algebraic laws hold exactly).
-fn small_decimal() -> impl Strategy<Value = Decimal> {
-    (-1_000_000_000i64..1_000_000_000, 0u32..6)
-        .prop_map(|(m, s)| Decimal::from_parts(m as i128, s))
-}
+/// Minimal splitmix64 — identical algorithm to `xqa_workload::DetRng`,
+/// inlined to keep this crate's dev-dependency graph empty.
+struct Rng(u64);
 
-fn atomic_value() -> impl Strategy<Value = AtomicValue> {
-    prop_oneof![
-        any::<i32>().prop_map(|v| AtomicValue::Integer(v as i64)),
-        small_decimal().prop_map(AtomicValue::Decimal),
-        (-1.0e6f64..1.0e6).prop_map(AtomicValue::Double),
-        "[a-z]{0,6}".prop_map(AtomicValue::string),
-        any::<bool>().prop_map(AtomicValue::Boolean),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn decimal_display_parse_roundtrip(d in small_decimal()) {
-        let s = d.to_string();
-        let back = Decimal::parse(&s).unwrap();
-        prop_assert_eq!(d, back);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
-    #[test]
-    fn decimal_addition_commutes(a in small_decimal(), b in small_decimal()) {
-        prop_assert_eq!(a.checked_add(&b).unwrap(), b.checked_add(&a).unwrap());
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
     }
 
-    #[test]
-    fn decimal_addition_associates(a in small_decimal(), b in small_decimal(), c in small_decimal()) {
+    /// Uniform in `[lo, hi)`.
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo) as u64) as i64
+    }
+}
+
+const CASES: usize = 256;
+
+fn small_decimal(rng: &mut Rng) -> Decimal {
+    let m = rng.range_i64(-1_000_000_000, 1_000_000_000);
+    let s = rng.below(6) as u32;
+    Decimal::from_parts(m as i128, s)
+}
+
+fn atomic_value(rng: &mut Rng) -> AtomicValue {
+    match rng.below(5) {
+        0 => AtomicValue::Integer(rng.range_i64(i32::MIN as i64, i32::MAX as i64 + 1)),
+        1 => AtomicValue::Decimal(small_decimal(rng)),
+        2 => AtomicValue::Double(rng.range_i64(-1_000_000, 1_000_000) as f64 / 7.0),
+        3 => {
+            let len = rng.below(7) as usize;
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.below(26) as u8) as char)
+                .collect();
+            AtomicValue::string(s)
+        }
+        _ => AtomicValue::Boolean(rng.below(2) == 0),
+    }
+}
+
+#[test]
+fn decimal_display_parse_roundtrip() {
+    let mut rng = Rng(1);
+    for _ in 0..CASES {
+        let d = small_decimal(&mut rng);
+        let back = Decimal::parse(&d.to_string()).unwrap();
+        assert_eq!(d, back);
+    }
+}
+
+#[test]
+fn decimal_addition_commutes() {
+    let mut rng = Rng(2);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
+        assert_eq!(a.checked_add(&b).unwrap(), b.checked_add(&a).unwrap());
+    }
+}
+
+#[test]
+fn decimal_addition_associates() {
+    let mut rng = Rng(3);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            small_decimal(&mut rng),
+            small_decimal(&mut rng),
+            small_decimal(&mut rng),
+        );
         let left = a.checked_add(&b).unwrap().checked_add(&c).unwrap();
         let right = a.checked_add(&b.checked_add(&c).unwrap()).unwrap();
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
 
-    #[test]
-    fn decimal_multiplication_commutes(a in small_decimal(), b in small_decimal()) {
-        prop_assert_eq!(a.checked_mul(&b).unwrap(), b.checked_mul(&a).unwrap());
+#[test]
+fn decimal_multiplication_commutes() {
+    let mut rng = Rng(4);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
+        assert_eq!(a.checked_mul(&b).unwrap(), b.checked_mul(&a).unwrap());
     }
+}
 
-    #[test]
-    fn decimal_sub_then_add_roundtrips(a in small_decimal(), b in small_decimal()) {
+#[test]
+fn decimal_sub_then_add_roundtrips() {
+    let mut rng = Rng(5);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
         let diff = a.checked_sub(&b).unwrap();
-        prop_assert_eq!(diff.checked_add(&b).unwrap(), a);
+        assert_eq!(diff.checked_add(&b).unwrap(), a);
     }
+}
 
-    #[test]
-    fn decimal_floor_ceiling_bracket(d in small_decimal()) {
+#[test]
+fn decimal_floor_ceiling_bracket() {
+    let mut rng = Rng(6);
+    for _ in 0..CASES {
+        let d = small_decimal(&mut rng);
         let floor = d.floor();
         let ceiling = d.ceiling();
-        prop_assert!(floor <= d && d <= ceiling);
-        prop_assert!(ceiling.checked_sub(&floor).unwrap() <= Decimal::ONE);
-        prop_assert!(floor.is_integer() && ceiling.is_integer());
+        assert!(floor <= d && d <= ceiling);
+        assert!(ceiling.checked_sub(&floor).unwrap() <= Decimal::ONE);
+        assert!(floor.is_integer() && ceiling.is_integer());
     }
+}
 
-    #[test]
-    fn decimal_ordering_is_total_and_consistent(a in small_decimal(), b in small_decimal()) {
-        use std::cmp::Ordering;
+#[test]
+fn decimal_ordering_is_total_and_consistent() {
+    use std::cmp::Ordering;
+    let mut rng = Rng(7);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
         match a.cmp(&b) {
-            Ordering::Less => prop_assert!(b > a),
-            Ordering::Greater => prop_assert!(b < a),
-            Ordering::Equal => prop_assert_eq!(a, b),
+            Ordering::Less => assert!(b > a),
+            Ordering::Greater => assert!(b < a),
+            Ordering::Equal => assert_eq!(a, b),
         }
-        // Consistent with the f64 image (within float tolerance).
         if a < b {
-            prop_assert!(a.to_f64() <= b.to_f64() + 1e-9);
+            assert!(a.to_f64() <= b.to_f64() + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn decimal_division_inverse_of_multiplication(a in small_decimal(), b in small_decimal()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn decimal_division_inverse_of_multiplication() {
+    let mut rng = Rng(8);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
+        if b.is_zero() {
+            continue;
+        }
         let q = a.checked_mul(&b).unwrap().checked_div(&b).unwrap();
-        // Exact when representable within MAX_SCALE digits.
         let diff = q.checked_sub(&a).unwrap().abs();
-        prop_assert!(diff.to_f64() < 1e-9, "a={a} b={b} q={q}");
+        assert!(diff.to_f64() < 1e-9, "a={a} b={b} q={q}");
     }
+}
 
-    #[test]
-    fn datetime_order_matches_component_order(
-        y1 in 1990i32..2030, m1 in 1u8..=12, d1 in 1u8..=28,
-        y2 in 1990i32..2030, m2 in 1u8..=12, d2 in 1u8..=28,
-    ) {
+#[test]
+fn datetime_order_matches_component_order() {
+    let mut rng = Rng(9);
+    for _ in 0..CASES {
+        let mut ymd = || {
+            (
+                rng.range_i64(1990, 2030) as i32,
+                rng.range_i64(1, 13) as u8,
+                rng.range_i64(1, 29) as u8,
+            )
+        };
+        let (y1, m1, d1) = ymd();
+        let (y2, m2, d2) = ymd();
         let a = DateTime::new(y1, m1, d1, 12, 0, 0, 0, None).unwrap();
         let b = DateTime::new(y2, m2, d2, 12, 0, 0, 0, None).unwrap();
-        prop_assert_eq!(a.cmp(&b), (y1, m1, d1).cmp(&(y2, m2, d2)));
+        assert_eq!(a.cmp(&b), (y1, m1, d1).cmp(&(y2, m2, d2)));
     }
+}
 
-    #[test]
-    fn datetime_display_parse_roundtrip(
-        y in 1900i32..2100, m in 1u8..=12, d in 1u8..=28,
-        h in 0u8..24, min in 0u8..60, s in 0u8..60,
-        tz in prop_oneof![Just(None), (-840i16..=840).prop_map(Some)],
-    ) {
-        let dt = DateTime::new(y, m, d, h, min, s, 0, tz).unwrap();
+#[test]
+fn datetime_display_parse_roundtrip() {
+    let mut rng = Rng(10);
+    for _ in 0..CASES {
+        let tz = match rng.below(3) {
+            0 => None,
+            _ => Some(rng.range_i64(-840, 841) as i16),
+        };
+        let dt = DateTime::new(
+            rng.range_i64(1900, 2100) as i32,
+            rng.range_i64(1, 13) as u8,
+            rng.range_i64(1, 29) as u8,
+            rng.range_i64(0, 24) as u8,
+            rng.range_i64(0, 60) as u8,
+            rng.range_i64(0, 60) as u8,
+            0,
+            tz,
+        )
+        .unwrap();
         let parsed = DateTime::parse(&dt.to_string()).unwrap();
-        prop_assert_eq!(dt, parsed);
+        assert_eq!(dt, parsed);
     }
+}
 
-    #[test]
-    fn date_roundtrip(y in 1900i32..2100, m in 1u8..=12, d in 1u8..=28) {
-        let date = Date::new(y, m, d, None).unwrap();
-        prop_assert_eq!(Date::parse(&date.to_string()).unwrap(), date);
+#[test]
+fn date_roundtrip() {
+    let mut rng = Rng(11);
+    for _ in 0..CASES {
+        let date = Date::new(
+            rng.range_i64(1900, 2100) as i32,
+            rng.range_i64(1, 13) as u8,
+            rng.range_i64(1, 29) as u8,
+            None,
+        )
+        .unwrap();
+        assert_eq!(Date::parse(&date.to_string()).unwrap(), date);
     }
+}
 
-    #[test]
-    fn deep_equal_is_reflexive(values in proptest::collection::vec(atomic_value(), 0..8)) {
-        let seq: Vec<Item> = values.into_iter().map(Item::Atomic).collect();
-        prop_assert!(deep_equal(&seq, &seq.clone()));
+#[test]
+fn deep_equal_is_reflexive() {
+    let mut rng = Rng(12);
+    for _ in 0..CASES {
+        let len = rng.below(8) as usize;
+        let seq: Vec<Item> = (0..len)
+            .map(|_| Item::Atomic(atomic_value(&mut rng)))
+            .collect();
+        assert!(deep_equal(&seq, &seq.clone()));
     }
+}
 
-    #[test]
-    fn deep_equal_is_symmetric(
-        a in proptest::collection::vec(atomic_value(), 0..6),
-        b in proptest::collection::vec(atomic_value(), 0..6),
-    ) {
-        let sa: Vec<Item> = a.into_iter().map(Item::Atomic).collect();
-        let sb: Vec<Item> = b.into_iter().map(Item::Atomic).collect();
-        prop_assert_eq!(deep_equal(&sa, &sb), deep_equal(&sb, &sa));
+#[test]
+fn deep_equal_is_symmetric() {
+    let mut rng = Rng(13);
+    for _ in 0..CASES {
+        let seq = |rng: &mut Rng| -> Vec<Item> {
+            let len = rng.below(6) as usize;
+            (0..len).map(|_| Item::Atomic(atomic_value(rng))).collect()
+        };
+        let sa = seq(&mut rng);
+        let sb = seq(&mut rng);
+        assert_eq!(deep_equal(&sa, &sb), deep_equal(&sb, &sa));
     }
+}
 
-    #[test]
-    fn sort_compare_is_antisymmetric_within_numeric(
-        a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6,
-    ) {
+#[test]
+fn sort_compare_is_antisymmetric_within_numeric() {
+    let mut rng = Rng(14);
+    for _ in 0..CASES {
+        let a = rng.range_i64(-1_000_000, 1_000_000) as f64 / 3.0;
+        let b = rng.range_i64(-1_000_000, 1_000_000) as f64 / 3.0;
         let va = AtomicValue::Double(a);
         let vb = AtomicValue::Double(b);
         let ab = sort_compare(&va, &vb).unwrap();
         let ba = sort_compare(&vb, &va).unwrap();
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse());
     }
+}
 
-    #[test]
-    fn value_compare_eq_agrees_with_ordering(a in small_decimal(), b in small_decimal()) {
+#[test]
+fn value_compare_eq_agrees_with_ordering() {
+    let mut rng = Rng(15);
+    for _ in 0..CASES {
+        let (a, b) = (small_decimal(&mut rng), small_decimal(&mut rng));
         let va = AtomicValue::Decimal(a);
         let vb = AtomicValue::Decimal(b);
         let eq = xqa_xdm::value_compare(&va, &vb, CompOp::Eq).unwrap();
-        prop_assert_eq!(eq, a == b);
+        assert_eq!(eq, a == b);
         let lt = xqa_xdm::value_compare(&va, &vb, CompOp::Lt).unwrap();
-        prop_assert_eq!(lt, a < b);
+        assert_eq!(lt, a < b);
     }
 }

@@ -16,7 +16,11 @@ pub struct ParseError {
 impl ParseError {
     /// Create an error at the given position.
     pub fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
-        ParseError { line, column, message: message.into() }
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
     }
 }
 
@@ -25,7 +29,11 @@ impl fmt::Display for ParseError {
         if self.line == 0 {
             write!(f, "XML error: {}", self.message)
         } else {
-            write!(f, "XML error at {}:{}: {}", self.line, self.column, self.message)
+            write!(
+                f,
+                "XML error at {}:{}: {}",
+                self.line, self.column, self.message
+            )
         }
     }
 }
@@ -41,7 +49,10 @@ mod tests {
 
     #[test]
     fn display_with_and_without_position() {
-        assert_eq!(ParseError::new(3, 7, "boom").to_string(), "XML error at 3:7: boom");
+        assert_eq!(
+            ParseError::new(3, 7, "boom").to_string(),
+            "XML error at 3:7: boom"
+        );
         assert_eq!(ParseError::new(0, 0, "boom").to_string(), "XML error: boom");
     }
 }

@@ -11,7 +11,7 @@
 //! are kept on names but no URI resolution is performed.
 
 use crate::error::{ParseError, ParseResult};
-use std::rc::Rc;
+use std::sync::Arc;
 use xqa_xdm::node::{Document, DocumentBuilder};
 use xqa_xdm::qname::QName;
 
@@ -46,12 +46,12 @@ impl Default for ParseOptions {
 /// assert_eq!(bib.name().unwrap().local_part(), "bib");
 /// assert_eq!(bib.children().count(), 1);
 /// ```
-pub fn parse_document(input: &str) -> ParseResult<Rc<Document>> {
+pub fn parse_document(input: &str) -> ParseResult<Arc<Document>> {
     parse_document_with(input, ParseOptions::default())
 }
 
 /// Parse a complete XML document with explicit options.
-pub fn parse_document_with(input: &str, options: ParseOptions) -> ParseResult<Rc<Document>> {
+pub fn parse_document_with(input: &str, options: ParseOptions) -> ParseResult<Arc<Document>> {
     let mut p = Parser::new(input, options);
     p.skip_prolog()?;
     let mut roots = 0usize;
@@ -70,14 +70,18 @@ pub fn parse_document_with(input: &str, options: ParseOptions) -> ParseResult<Rc
         return Err(ParseError::new(0, 0, "document has no root element"));
     }
     if roots > 1 {
-        return Err(ParseError::new(0, 0, "document has more than one root element"));
+        return Err(ParseError::new(
+            0,
+            0,
+            "document has more than one root element",
+        ));
     }
     Ok(p.builder.finish())
 }
 
 /// Parse an XML *fragment*: zero or more elements plus bare text,
 /// wrapped under a synthetic document node. Handy in tests.
-pub fn parse_fragment(input: &str) -> ParseResult<Rc<Document>> {
+pub fn parse_fragment(input: &str) -> ParseResult<Arc<Document>> {
     let options = ParseOptions::default();
     let mut p = Parser::new(input, options);
     p.skip_prolog()?;
@@ -292,7 +296,9 @@ impl<'a> Parser<'a> {
                 self.expect_str("</")?;
                 let end_name = self.parse_name()?;
                 if end_name != name {
-                    return Err(self.error(format!("mismatched end tag </{end_name}> for <{name}>")));
+                    return Err(
+                        self.error(format!("mismatched end tag </{end_name}> for <{name}>"))
+                    );
                 }
                 self.skip_ws();
                 self.expect_str(">")?;
@@ -386,7 +392,9 @@ impl<'a> Parser<'a> {
                 char::from_u32(code)
                     .ok_or_else(|| self.error(format!("invalid code point &{name};")))
             }
-            _ => Err(self.error(format!("unknown entity &{name}; (external entities unsupported)"))),
+            _ => Err(self.error(format!(
+                "unknown entity &{name}; (external entities unsupported)"
+            ))),
         }
     }
 
@@ -466,7 +474,10 @@ mod tests {
         let doc = parse_document("<a>\n  <b>x</b>\n</a>").unwrap();
         let a = doc.root().children().next().unwrap();
         assert_eq!(a.children().count(), 1);
-        let keep = ParseOptions { strip_whitespace_only_text: false, ..Default::default() };
+        let keep = ParseOptions {
+            strip_whitespace_only_text: false,
+            ..Default::default()
+        };
         let doc2 = parse_document_with("<a>\n  <b>x</b>\n</a>", keep).unwrap();
         let a2 = doc2.root().children().next().unwrap();
         assert_eq!(a2.children().count(), 3);
@@ -513,12 +524,15 @@ mod tests {
 
     #[test]
     fn self_closing_and_nested() {
-        let doc = parse_document("<categories><software><db/><distributed/></software></categories>")
-            .unwrap();
+        let doc =
+            parse_document("<categories><software><db/><distributed/></software></categories>")
+                .unwrap();
         let cats = doc.root().children().next().unwrap();
         let sw = cats.children().next().unwrap();
-        let names: Vec<String> =
-            sw.children().map(|c| c.name().unwrap().local_part().to_string()).collect();
+        let names: Vec<String> = sw
+            .children()
+            .map(|c| c.name().unwrap().local_part().to_string())
+            .collect();
         assert_eq!(names, ["db", "distributed"]);
     }
 

@@ -218,12 +218,18 @@ mod tests {
     #[test]
     fn escaping_in_text_and_attrs() {
         assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
-        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+        assert_eq!(
+            escape_attr(r#"say "hi" & <go>"#),
+            "say &quot;hi&quot; &amp; &lt;go>"
+        );
     }
 
     #[test]
     fn comment_and_pi_serialization() {
         let doc = parse_document("<r><!--note--><?app data?></r>").unwrap();
-        assert_eq!(serialize_node(&doc.root()), "<r><!--note--><?app data?></r>");
+        assert_eq!(
+            serialize_node(&doc.root()),
+            "<r><!--note--><?app data?></r>"
+        );
     }
 }

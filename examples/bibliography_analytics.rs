@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let books: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(800);
     let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
 
-    let doc = generate_bib(&BibConfig { books, seed, ..Default::default() });
+    let doc = generate_bib(&BibConfig {
+        books,
+        seed,
+        ..Default::default()
+    });
     let engine = Engine::new();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
@@ -42,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Q2a with set semantics via `using` -----------------------------
     println!("\nQ2a with `using local:set-equal` — permutations merge:");
-    let permutation_counts = engine.compile(
-        r#"count(for $b in //book group by $b/author into $a return <g/>)"#,
-    )?;
+    let permutation_counts =
+        engine.compile(r#"count(for $b in //book group by $b/author into $a return <g/>)"#)?;
     let set_counts = engine.compile(
         // The paper's function, with the parentheses its prose implies
         // (the printed form is not grammatical XQuery; see the parser
@@ -84,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  group by $b/publisher into $pub, $b/year into $year
                  return <pair/>)"#,
     )?;
-    println!("\nQ5 — {} distinct (publisher, year) pairs", q5.run(&ctx)?[0].string_value());
+    println!(
+        "\nQ5 — {} distinct (publisher, year) pairs",
+        q5.run(&ctx)?[0].string_value()
+    );
 
     // ---- Q7: hierarchy inversion ----------------------------------------
     println!("\nQ7 — books-per-publisher (hierarchy inversion):");

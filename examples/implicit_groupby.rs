@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ctx.set_context_document(&doc);
 
     let plain = Engine::new();
-    let detecting = Engine::with_options(EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+    let detecting = Engine::with_options(EngineOptions {
+        detect_implicit_groupby: true,
+        ..Default::default()
+    });
 
     let report = |label: &str, query: &xqa::PreparedQuery| -> Result<(), xqa::EngineError> {
         ctx.stats.reset();
@@ -45,8 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{label:<28} {:>8.1?}  groups={:<3} nodes_visited={:<10} comparisons={}",
             elapsed,
             result.len(),
-            ctx.stats.nodes_visited.get(),
-            ctx.stats.comparisons.get(),
+            ctx.stats.snapshot().nodes_visited,
+            ctx.stats.snapshot().comparisons,
         );
         Ok(())
     };

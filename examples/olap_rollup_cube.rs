@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                          "  avg=", round-half-to-even(avg($prices), 2))"#,
     )?;
     let a: Vec<String> = q11.run(&ctx)?.iter().map(|i| i.string_value()).collect();
-    let b: Vec<String> = q11_builtin.run(&ctx)?.iter().map(|i| i.string_value()).collect();
+    let b: Vec<String> = q11_builtin
+        .run(&ctx)?
+        .iter()
+        .map(|i| i.string_value())
+        .collect();
     assert_eq!(a, b, "builtin xqa:paths must agree with local:paths");
     println!("  (xqa:paths builtin verified identical)");
 

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = query.run(&ctx)?;
 
     println!("Q1 — average net price per (publisher, year):\n");
-    println!("{}\n", serialize_sequence_with(&result, SerializeOptions::pretty()));
+    println!(
+        "{}\n",
+        serialize_sequence_with(&result, SerializeOptions::pretty())
+    );
 
     // 4. Ranking with output numbering (§4): no second FLWOR needed.
     let ranked = engine.compile(
@@ -62,9 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. The evaluator keeps plan-shape statistics.
-    println!("\nstats: {} nodes visited, {} tuples grouped into {} groups",
-        ctx.stats.nodes_visited.get(),
-        ctx.stats.tuples_grouped.get(),
-        ctx.stats.groups_emitted.get());
+    let stats = ctx.stats.snapshot();
+    println!(
+        "\nstats: {} nodes visited, {} tuples grouped into {} groups",
+        stats.nodes_visited, stats.tuples_grouped, stats.groups_emitted
+    );
     Ok(())
 }

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sales: usize = args.next().map(|s| s.parse()).transpose()?.unwrap_or(2_000);
     let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
 
-    let doc = generate_sales(&SalesConfig { sales, seed, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales,
+        seed,
+        ..Default::default()
+    });
     let engine = Engine::new();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
@@ -65,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Q8, three ways: nested iteration (the paper), an XQuery 3.0
     // sliding window, and the O(n) extension function ------------------
-    println!("\nQ8 variants — trailing 10-sale totals for the West region, all three formulations:");
+    println!(
+        "\nQ8 variants — trailing 10-sale totals for the West region, all three formulations:"
+    );
     let q8_window = engine.compile(
         r#"for $s in //sale
            group by $s/region into $region
@@ -86,8 +92,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              for $m at $i in xqa:moving-sum($amounts, 10)
              return (if ($i >= 10) then round-half-to-even($m, 2) else ())"#,
     )?;
-    let w: Vec<String> = q8_window.run(&ctx)?.iter().map(|i| i.string_value()).collect();
-    let x: Vec<String> = q8_extension.run(&ctx)?.iter().map(|i| i.string_value()).collect();
+    let w: Vec<String> = q8_window
+        .run(&ctx)?
+        .iter()
+        .map(|i| i.string_value())
+        .collect();
+    let x: Vec<String> = q8_extension
+        .run(&ctx)?
+        .iter()
+        .map(|i| i.string_value())
+        .collect();
     assert_eq!(w, x, "window clause and xqa:moving-sum must agree");
     println!(
         "  {} windows; first five totals: {}",
@@ -127,8 +141,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nprocessed {} sales; {} tuples grouped into {} groups across all queries",
         sales,
-        ctx.stats.tuples_grouped.get(),
-        ctx.stats.groups_emitted.get()
+        ctx.stats.snapshot().tuples_grouped,
+        ctx.stats.snapshot().groups_emitted
     );
     Ok(())
 }

@@ -6,12 +6,16 @@
 use xqa::{parse_document, serialize_sequence, DynamicContext, Engine};
 use xqa_workload::{bib, sales, BibConfig, SalesConfig};
 
-fn run_doc(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) -> String {
+fn run_doc(query: &str, doc: &std::sync::Arc<xqa::xdm::Document>) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(doc);
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run: {e}\n{query}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run: {e}\n{query}"));
     serialize_sequence(&result)
 }
 
@@ -128,7 +132,10 @@ fn q1_old_syntax_misses_publisherless_books() {
     );
     let (count_new, count_old): (i64, i64) =
         (count_new.parse().unwrap(), count_old.parse().unwrap());
-    assert!(count_new > count_old, "explicit grouping found {count_new} groups, old {count_old}");
+    assert!(
+        count_new > count_old,
+        "explicit grouping found {count_new} groups, old {count_old}"
+    );
 }
 
 #[test]
@@ -166,10 +173,7 @@ fn q2a_new_syntax_groups_per_author_set() {
            return <group>{for $x in $a return string($x)}|{avg($prices)}</group>"#,
         xml,
     );
-    assert_eq!(
-        out,
-        "<group>Gray Reuter|10</group><group>Gray|30</group>"
-    );
+    assert_eq!(out, "<group>Gray Reuter|10</group><group>Gray|30</group>");
 }
 
 /// Sales data small enough to verify Q3 by hand.
@@ -234,11 +238,14 @@ fn q3_new_syntax_hand_checked() {
     let out = run_xml(Q3_NEW, Q3_SALES);
     // 2004 East: NY=10, region 10. 2004 West: CA=40, OR=20, region 60.
     // 2005 East: NY=12.
-    assert!(out.starts_with(
-        "<summary><year>2004</year><region>East</region><state>NY</state>\
+    assert!(
+        out.starts_with(
+            "<summary><year>2004</year><region>East</region><state>NY</state>\
          <state-sales>10</state-sales><region-sales>10</region-sales>\
          <state-percentage>100</state-percentage></summary>"
-    ), "{out}");
+        ),
+        "{out}"
+    );
     assert!(out.contains(
         "<summary><year>2004</year><region>West</region><state>CA</state>\
          <state-sales>40</state-sales><region-sales>60</region-sales>"
@@ -247,18 +254,24 @@ fn q3_new_syntax_hand_checked() {
         "<summary><year>2004</year><region>West</region><state>OR</state>\
          <state-sales>20</state-sales>"
     ));
-    assert!(out.ends_with(
-        "<summary><year>2005</year><region>East</region><state>NY</state>\
+    assert!(
+        out.ends_with(
+            "<summary><year>2005</year><region>East</region><state>NY</state>\
          <state-sales>12</state-sales><region-sales>12</region-sales>\
          <state-percentage>100</state-percentage></summary>"
-    ), "{out}");
+        ),
+        "{out}"
+    );
 }
 
 #[test]
 fn q3_old_and_new_agree() {
     assert_eq!(run_xml(Q3_OLD, Q3_SALES), run_xml(Q3_NEW, Q3_SALES));
     // And on a generated workload.
-    let doc = sales::generate(&SalesConfig { sales: 400, ..Default::default() });
+    let doc = sales::generate(&SalesConfig {
+        sales: 400,
+        ..Default::default()
+    });
     assert_eq!(run_doc(Q3_OLD, &doc), run_doc(Q3_NEW, &doc));
 }
 
@@ -377,7 +390,10 @@ fn figure2_bindings_after_group_by_region_year() {
         xml,
     );
     // 10*6.25 + 5*12.48 = 62.5 + 62.4 = 124.9 (the figure's 124.90).
-    assert_eq!(out, "<t region=\"West\" year=\"1993\" n=\"2\" sum=\"124.9\"/>");
+    assert_eq!(
+        out,
+        "<t region=\"West\" year=\"1993\" n=\"2\" sum=\"124.9\"/>"
+    );
 }
 
 const MELTON_BIB: &str = r#"<bib>
@@ -458,7 +474,10 @@ fn q9b_top_three_by_output_numbering() {
 
 #[test]
 fn q10_monthly_regional_ranking() {
-    let doc = sales::generate(&SalesConfig { sales: 500, ..Default::default() });
+    let doc = sales::generate(&SalesConfig {
+        sales: 500,
+        ..Default::default()
+    });
     let out = run_doc(
         r#"for $s in //sale
            group by year-from-dateTime($s/timestamp) into $year,
@@ -491,7 +510,10 @@ fn q10_monthly_regional_ranking() {
             .map(|t| t.split('<').next().unwrap().parse().unwrap())
             .collect();
         assert!(!totals.is_empty());
-        assert!(totals.windows(2).all(|w| w[0] >= w[1]), "ranked descending: {totals:?}");
+        assert!(
+            totals.windows(2).all(|w| w[0] >= w[1]),
+            "ranked descending: {totals:?}"
+        );
         let ranks: Vec<usize> = report
             .split("<rank>")
             .skip(1)
@@ -551,7 +573,10 @@ fn q12_datacube_matches_paper_output() {
         xml,
     );
     // Overall: 3 books avg 40.
-    assert!(out.contains("<result><dims>0</dims><n>3</n><avg>40</avg></result>"), "{out}");
+    assert!(
+        out.contains("<result><dims>0</dims><n>3</n><avg>40</avg></result>"),
+        "{out}"
+    );
     // By publisher: MK (2 books avg 50), empty (1 book avg 20).
     assert!(out.contains("<dims>1</dims><n>2</n><avg>50</avg>"), "{out}");
     // By year: 1993 (2 books avg 30), 1995 (60).
@@ -628,7 +653,10 @@ fn implicit_groupby_rewrite_preserves_results() {
                    order by $a
                    return <r>{$a}|{count($items)}</r>"#;
     let plain = Engine::new();
-    let detecting = Engine::with_options(xqa::EngineOptions { detect_implicit_groupby: true, ..Default::default() });
+    let detecting = Engine::with_options(xqa::EngineOptions {
+        detect_implicit_groupby: true,
+        ..Default::default()
+    });
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&doc);
     let baseline = plain.compile(q_src).unwrap();
@@ -641,10 +669,10 @@ fn implicit_groupby_rewrite_preserves_results() {
     // And the rewritten plan does dramatically less node visiting.
     ctx.stats.reset();
     baseline.run(&ctx).unwrap();
-    let baseline_nodes = ctx.stats.nodes_visited.get();
+    let baseline_nodes = ctx.stats.snapshot().nodes_visited;
     ctx.stats.reset();
     rewritten.run(&ctx).unwrap();
-    let rewritten_nodes = ctx.stats.nodes_visited.get();
+    let rewritten_nodes = ctx.stats.snapshot().nodes_visited;
     assert!(
         rewritten_nodes * 3 < baseline_nodes,
         "rewritten {rewritten_nodes} vs baseline {baseline_nodes}"

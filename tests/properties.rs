@@ -1,9 +1,13 @@
-//! Property-based tests of the core invariants, driven through the
-//! whole stack (parser → compiler → evaluator).
+//! Property-style tests of the core invariants, driven through the
+//! whole stack (parser → compiler → evaluator) with deterministically
+//! generated inputs (`xqa_workload::DetRng`; every run checks the same
+//! cases).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use xqa::{run_query, run_query_items};
+use xqa_workload::DetRng;
+
+const CASES: usize = 64;
 
 /// Build `<r><v>..</v>...</r>` from a list of small integers.
 fn values_doc(values: &[u8]) -> String {
@@ -11,25 +15,47 @@ fn values_doc(values: &[u8]) -> String {
     format!("<r>{items}</r>")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A vec of `len in [min_len, max_len)` draws from `0..domain`.
+fn gen_values(rng: &mut DetRng, domain: u8, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(0..domain)).collect()
+}
 
-    /// `group by` forms a partition: every input lands in exactly one
-    /// group, group sizes sum to the input size, and the number of
-    /// groups equals the number of distinct key values.
-    #[test]
-    fn groupby_partitions_input(values in proptest::collection::vec(0u8..6, 0..60)) {
+/// `group by` forms a partition: every input lands in exactly one
+/// group, group sizes sum to the input size, and the number of groups
+/// equals the number of distinct key values.
+#[test]
+fn groupby_partitions_input() {
+    let mut rng = DetRng::seed_from_u64(101);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 6, 0, 60);
         let xml = values_doc(&values);
         let out = run_query(
             "for $v in //v group by string($v) into $k nest $v into $vs \
              return <g k=\"{$k}\" n=\"{count($vs)}\"/>",
             &xml,
-        ).unwrap();
+        )
+        .unwrap();
         // Parse the tiny output back.
         let mut seen: Vec<(String, usize)> = Vec::new();
         for part in out.split("/>").filter(|p| !p.is_empty()) {
-            let k = part.split("k=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
-            let n: usize = part.split("n=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+            let k = part
+                .split("k=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string();
+            let n: usize = part
+                .split("n=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
             seen.push((k, n));
         }
         // Expected: counts per distinct value, in first-appearance order.
@@ -45,35 +71,52 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(seen, expected);
+        assert_eq!(seen, expected);
     }
+}
 
-    /// The cardinality law of §3.1: |output| <= |input| for group by.
-    #[test]
-    fn groupby_output_not_larger_than_input(values in proptest::collection::vec(0u8..4, 1..40)) {
+/// The cardinality law of §3.1: |output| <= |input| for group by.
+#[test]
+fn groupby_output_not_larger_than_input() {
+    let mut rng = DetRng::seed_from_u64(102);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 4, 1, 40);
         let xml = values_doc(&values);
         let groups: usize = run_query(
             "count(for $v in //v group by $v mod 2 into $k return <g/>)",
             &xml,
-        ).unwrap().parse().unwrap();
-        prop_assert!(groups <= values.len());
-        prop_assert!(groups >= 1);
+        )
+        .unwrap()
+        .parse()
+        .unwrap();
+        assert!(groups <= values.len());
+        assert!(groups >= 1);
     }
+}
 
-    /// `order by` produces a sorted permutation; stability preserves
-    /// binding order among equal keys.
-    #[test]
-    fn order_by_sorts_stably(values in proptest::collection::vec(-50i64..50, 0..50)) {
+/// `order by` produces a sorted permutation; stability preserves
+/// binding order among equal keys.
+#[test]
+fn order_by_sorts_stably() {
+    let mut rng = DetRng::seed_from_u64(103);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..50usize);
+        let values: Vec<i64> = (0..len).map(|_| rng.gen_range(-50..50i64)).collect();
         let xml = {
-            let items: String = values.iter().enumerate()
-                .map(|(i, v)| format!("<v i=\"{i}\">{v}</v>")).collect();
+            let items: String = values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("<v i=\"{i}\">{v}</v>"))
+                .collect();
             format!("<r>{items}</r>")
         };
         let out = run_query(
             "for $v in //v order by number($v) return concat(string($v/@i), \":\", string($v))",
             &xml,
-        ).unwrap();
-        let got: Vec<(usize, i64)> = out.split_whitespace()
+        )
+        .unwrap();
+        let got: Vec<(usize, i64)> = out
+            .split_whitespace()
             .map(|p| {
                 let (i, v) = p.split_once(':').unwrap();
                 (i.parse().unwrap(), v.parse().unwrap())
@@ -81,25 +124,34 @@ proptest! {
             .collect();
         let mut expected: Vec<(usize, i64)> = values.iter().copied().enumerate().collect();
         expected.sort_by_key(|&(_, v)| v); // stable
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// `return at $rank` yields exactly 1..=n.
-    #[test]
-    fn return_at_numbers_output(values in proptest::collection::vec(0i64..100, 0..40)) {
-        let xml = values_doc(&values.iter().map(|v| *v as u8).collect::<Vec<_>>());
+/// `return at $rank` yields exactly 1..=n.
+#[test]
+fn return_at_numbers_output() {
+    let mut rng = DetRng::seed_from_u64(104);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 100, 0, 40);
+        let xml = values_doc(&values);
         let out = run_query(
             "for $v in //v order by number($v) descending return at $r $r",
             &xml,
-        ).unwrap();
+        )
+        .unwrap();
         let got: Vec<usize> = out.split_whitespace().map(|s| s.parse().unwrap()).collect();
-        prop_assert_eq!(got, (1..=values.len()).collect::<Vec<_>>());
+        assert_eq!(got, (1..=values.len()).collect::<Vec<_>>());
     }
+}
 
-    /// `distinct-values` agrees with a Rust set, preserving first
-    /// appearance order.
-    #[test]
-    fn distinct_values_matches_reference(values in proptest::collection::vec(0u8..10, 0..60)) {
+/// `distinct-values` agrees with a Rust set, preserving first
+/// appearance order.
+#[test]
+fn distinct_values_matches_reference() {
+    let mut rng = DetRng::seed_from_u64(105);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 10, 0, 60);
         let xml = values_doc(&values);
         let out = run_query("distinct-values(//v)", &xml).unwrap();
         let got: Vec<String> = out.split_whitespace().map(str::to_string).collect();
@@ -110,24 +162,37 @@ proptest! {
                 expected.push(s);
             }
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
+}
 
-    /// sum/count/avg consistency: avg = sum div count on non-empty input.
-    #[test]
-    fn aggregate_consistency(values in proptest::collection::vec(0u32..1000, 1..50)) {
-        let xml = values_doc(&values.iter().map(|v| (v % 256) as u8).collect::<Vec<_>>());
+/// sum/count/avg consistency: avg = sum div count on non-empty input.
+#[test]
+fn aggregate_consistency() {
+    let mut rng = DetRng::seed_from_u64(106);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 255, 1, 50);
+        let xml = values_doc(&values);
         let consistent = run_query(
             "let $v := //v return (avg($v) = sum($v) div count($v))",
             &xml,
-        ).unwrap();
-        prop_assert_eq!(consistent, "true");
+        )
+        .unwrap();
+        assert_eq!(consistent, "true");
     }
+}
 
-    /// `nest ... order by` emits each group's values sorted.
-    #[test]
-    fn nest_order_by_sorts_within_groups(values in proptest::collection::vec((0u8..3, 0u8..100), 1..40)) {
-        let items: String = values.iter()
+/// `nest ... order by` emits each group's values sorted.
+#[test]
+fn nest_order_by_sorts_within_groups() {
+    let mut rng = DetRng::seed_from_u64(107);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..40usize);
+        let values: Vec<(u8, u8)> = (0..len)
+            .map(|_| (rng.gen_range(0..3u8), rng.gen_range(0..100u8)))
+            .collect();
+        let items: String = values
+            .iter()
             .map(|(g, v)| format!("<s><g>{g}</g><t>{v}</t></s>"))
             .collect();
         let xml = format!("<r>{items}</r>");
@@ -136,36 +201,55 @@ proptest! {
              nest $s/t order by number($s/t) into $ts \
              return <grp>{string-join(for $t in $ts return string($t), \",\")}</grp>",
             &xml,
-        ).unwrap();
+        )
+        .unwrap();
         for grp in out.split("</grp>").filter(|g| !g.is_empty()) {
             let body = grp.trim_start_matches("<grp>");
-            if body.is_empty() { continue; }
+            if body.is_empty() {
+                continue;
+            }
             let ts: Vec<i64> = body.split(',').map(|t| t.parse().unwrap()).collect();
-            prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted nest: {:?}", ts);
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted nest: {ts:?}");
         }
     }
+}
 
-    /// Grouping by a two-part key equals grouping by the pair in Rust.
-    #[test]
-    fn two_key_grouping_matches_reference(values in proptest::collection::vec((0u8..3, 0u8..3), 0..50)) {
-        let items: String = values.iter()
+/// Grouping by a two-part key equals grouping by the pair in Rust.
+#[test]
+fn two_key_grouping_matches_reference() {
+    let mut rng = DetRng::seed_from_u64(108);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..50usize);
+        let values: Vec<(u8, u8)> = (0..len)
+            .map(|_| (rng.gen_range(0..3u8), rng.gen_range(0..3u8)))
+            .collect();
+        let items: String = values
+            .iter()
             .map(|(a, b)| format!("<s><a>{a}</a><b>{b}</b></s>"))
             .collect();
         let xml = format!("<r>{items}</r>");
         let groups: usize = run_query(
             "count(for $s in //s group by $s/a into $a, $s/b into $b return <g/>)",
             &xml,
-        ).unwrap().parse().unwrap();
+        )
+        .unwrap()
+        .parse()
+        .unwrap();
         let expected: std::collections::HashSet<(u8, u8)> = values.iter().copied().collect();
-        prop_assert_eq!(groups, expected.len());
+        assert_eq!(groups, expected.len());
     }
+}
 
-    /// The Table-1 equivalence holds for arbitrary seeds: the old-syntax
-    /// Q and the explicit Qgb produce identical group/count results.
-    #[test]
-    fn q_vs_qgb_equivalence(seed in 0u64..1000) {
-        let doc = xqa_workload::generate_orders(
-            &xqa_workload::OrdersConfig { orders: 25, seed, ..Default::default() });
+/// The Table-1 equivalence holds for arbitrary seeds: the old-syntax
+/// Q and the explicit Qgb produce identical group/count results.
+#[test]
+fn q_vs_qgb_equivalence() {
+    for seed in [0u64, 7, 42, 99, 123, 500, 777, 999] {
+        let doc = xqa_workload::generate_orders(&xqa_workload::OrdersConfig {
+            orders: 25,
+            seed,
+            ..Default::default()
+        });
         let run = |q: &str| {
             let engine = xqa::Engine::new();
             let compiled = engine.compile(q).unwrap();
@@ -173,20 +257,22 @@ proptest! {
             ctx.set_context_document(&doc);
             xqa::serialize_sequence(&compiled.run(&ctx).unwrap())
         };
-        let qgb = run(
-            "for $litem in //order/lineitem \
+        let qgb = run("for $litem in //order/lineitem \
              group by $litem/shipmode into $a nest $litem into $items \
              order by $a return <r>{string($a)}|{count($items)}</r>");
-        let q = run(
-            "for $a in distinct-values(//order/lineitem/shipmode) \
+        let q = run("for $a in distinct-values(//order/lineitem/shipmode) \
              let $items := for $i in //order/lineitem where $i/shipmode = $a return $i \
              order by $a return <r>{$a}|{count($items)}</r>");
-        prop_assert_eq!(qgb, q);
+        assert_eq!(qgb, q);
     }
+}
 
-    /// Constructed elements round-trip through the parser.
-    #[test]
-    fn constructor_serialization_roundtrip(values in proptest::collection::vec(0u8..100, 0..20)) {
+/// Constructed elements round-trip through the parser.
+#[test]
+fn constructor_serialization_roundtrip() {
+    let mut rng = DetRng::seed_from_u64(109);
+    for _ in 0..CASES {
+        let values = gen_values(&mut rng, 100, 0, 20);
         let xml = values_doc(&values);
         let items = run_query_items("<snapshot>{//v}</snapshot>", &xml).unwrap();
         let serialized = xqa::serialize_sequence(&items);
@@ -195,18 +281,26 @@ proptest! {
         let mut ctx = xqa::DynamicContext::new();
         ctx.set_context_document(&reparsed);
         let count = engine.compile("count(//v)").unwrap().run(&ctx).unwrap();
-        prop_assert_eq!(count[0].string_value(), values.len().to_string());
+        assert_eq!(count[0].string_value(), values.len().to_string());
     }
+}
 
-    /// The lexer/parser never panic on arbitrary input (errors only).
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,200}") {
+/// Arbitrary printable garbage: the lexer/parser and the XML parser
+/// return errors rather than panicking.
+#[test]
+fn parsers_never_panic() {
+    let mut rng = DetRng::seed_from_u64(110);
+    // Printable ASCII plus the delimiters both grammars care about.
+    let alphabet: Vec<char> = (0x20u8..0x7F)
+        .map(|b| b as char)
+        .chain(['\n', '\t', '€', 'λ'])
+        .collect();
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..200usize);
+        let input: String = (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
         let _ = xqa::frontend::parse_query(&input);
-    }
-
-    /// The XML parser never panics on arbitrary input.
-    #[test]
-    fn xml_parser_never_panics(input in "\\PC{0,200}") {
         let _ = xqa::parse_document(&input);
     }
 }

@@ -8,17 +8,26 @@ use xqa_workload::{
     generate_bib, generate_orders, generate_sales, BibConfig, OrdersConfig, SalesConfig,
 };
 
-fn run_doc(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) -> String {
+fn run_doc(query: &str, doc: &std::sync::Arc<xqa::xdm::Document>) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(doc);
-    serialize_sequence(&compiled.run(&ctx).unwrap_or_else(|e| panic!("run: {e}\n{query}")))
+    serialize_sequence(
+        &compiled
+            .run(&ctx)
+            .unwrap_or_else(|e| panic!("run: {e}\n{query}")),
+    )
 }
 
 #[test]
 fn group_sizes_sum_to_input_size() {
-    let doc = generate_orders(&OrdersConfig { orders: 400, ..Default::default() });
+    let doc = generate_orders(&OrdersConfig {
+        orders: 400,
+        ..Default::default()
+    });
     let total: i64 = run_doc("count(//order/lineitem)", &doc).parse().unwrap();
     for key in ["shipmode", "shipinstruct", "tax", "quantity"] {
         let sizes = run_doc(
@@ -28,7 +37,10 @@ fn group_sizes_sum_to_input_size() {
             ),
             &doc,
         );
-        let sum: i64 = sizes.split_whitespace().map(|s| s.parse::<i64>().unwrap()).sum();
+        let sum: i64 = sizes
+            .split_whitespace()
+            .map(|s| s.parse::<i64>().unwrap())
+            .sum();
         assert_eq!(sum, total, "partition law for {key}");
     }
 }
@@ -36,7 +48,10 @@ fn group_sizes_sum_to_input_size() {
 #[test]
 fn two_level_grouping_refines_one_level() {
     // Every (a, b) group nests inside its (a) group; per-a sums agree.
-    let doc = generate_orders(&OrdersConfig { orders: 300, ..Default::default() });
+    let doc = generate_orders(&OrdersConfig {
+        orders: 300,
+        ..Default::default()
+    });
     let one = run_doc(
         "for $li in //order/lineitem group by string($li/shipinstruct) into $a \
          nest $li into $items order by $a return <g a=\"{$a}\">{count($items)}</g>",
@@ -52,7 +67,14 @@ fn two_level_grouping_refines_one_level() {
     let collect = |s: &str| -> HashMap<String, i64> {
         let mut m = HashMap::new();
         for part in s.split("</g>").filter(|p| !p.is_empty()) {
-            let a = part.split("a=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+            let a = part
+                .split("a=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap()
+                .to_string();
             let n: i64 = part.split('>').nth(1).unwrap().parse().unwrap();
             *m.entry(a).or_insert(0) += n;
         }
@@ -63,7 +85,10 @@ fn two_level_grouping_refines_one_level() {
 
 #[test]
 fn group_count_equals_distinct_values_count_for_scalar_keys() {
-    let doc = generate_sales(&SalesConfig { sales: 3_000, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 3_000,
+        ..Default::default()
+    });
     for key in ["region", "state", "product"] {
         let distinct: i64 = run_doc(&format!("count(distinct-values(//sale/{key}))"), &doc)
             .parse()
@@ -82,7 +107,10 @@ fn group_count_equals_distinct_values_count_for_scalar_keys() {
 fn hierarchical_sums_are_consistent() {
     // Sum over states within a region == region total (paper Q3's
     // internal consistency), for every region and year.
-    let doc = generate_sales(&SalesConfig { sales: 2_000, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 2_000,
+        ..Default::default()
+    });
     let out = run_doc(
         "for $s in //sale \
          group by $s/region into $region, year-from-dateTime($s/timestamp) into $year \
@@ -108,7 +136,10 @@ fn hierarchical_sums_are_consistent() {
 #[test]
 fn ranking_is_consistent_with_max() {
     // The rank-1 row of Q10's inner query must be the max total.
-    let doc = generate_sales(&SalesConfig { sales: 1_500, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 1_500,
+        ..Default::default()
+    });
     let top = run_doc(
         "for $s in //sale \
          group by $s/region into $region \
@@ -130,7 +161,10 @@ fn ranking_is_consistent_with_max() {
 
 #[test]
 fn moving_sum_extension_agrees_with_window_clause_at_scale() {
-    let doc = generate_sales(&SalesConfig { sales: 600, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 600,
+        ..Default::default()
+    });
     let via_windows = run_doc(
         "for $s in //sale \
          group by $s/region into $region \
@@ -187,7 +221,11 @@ fn moving_sum_extension_agrees_with_window_clause_at_scale() {
 fn rollup_child_categories_never_exceed_parents() {
     // In the Q11 rollup, a child path's book count can't exceed its
     // parent's (every book in software/db is in software).
-    let doc = generate_bib(&BibConfig { books: 600, with_categories: true, ..Default::default() });
+    let doc = generate_bib(&BibConfig {
+        books: 600,
+        with_categories: true,
+        ..Default::default()
+    });
     let out = run_doc(
         "for $b in //book \
          for $c in xqa:paths($b/categories/*) \
@@ -199,11 +237,21 @@ fn rollup_child_categories_never_exceed_parents() {
     );
     let mut counts: HashMap<String, i64> = HashMap::new();
     for row in out.split("</r>").filter(|p| !p.is_empty()) {
-        let path = row.split("path=\"").nth(1).unwrap().split('"').next().unwrap().to_string();
+        let path = row
+            .split("path=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .to_string();
         let n: i64 = row.split('>').nth(1).unwrap().parse().unwrap();
         counts.insert(path, n);
     }
-    assert!(counts.len() > 3, "taxonomy produced several paths: {counts:?}");
+    assert!(
+        counts.len() > 3,
+        "taxonomy produced several paths: {counts:?}"
+    );
     for (path, &n) in &counts {
         if let Some((parent, _)) = path.rsplit_once('/') {
             let parent_n = counts.get(parent).copied().unwrap_or(0);

@@ -58,12 +58,14 @@ const SALES_QUERIES: &[&str] = &[
      return <m n=\"{$m}\">{round-half-to-even(sum($amts), 2)}</m>",
 ];
 
-fn check(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) {
+fn check(query: &str, doc: &std::sync::Arc<xqa::xdm::Document>) {
     let engine = Engine::new();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(doc);
 
-    let original = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let original = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
     let module = frontend::parse_query(query).expect("parse");
     let printed = frontend::unparse_module(&module);
     let reparsed = engine
@@ -72,12 +74,18 @@ fn check(query: &str, doc: &std::rc::Rc<xqa::xdm::Document>) {
 
     let a = serialize_sequence(&original.run(&ctx).unwrap());
     let b = serialize_sequence(&reparsed.run(&ctx).unwrap());
-    assert_eq!(a, b, "results differ after unparse round-trip:\n{query}\n--- printed:\n{printed}");
+    assert_eq!(
+        a, b,
+        "results differ after unparse round-trip:\n{query}\n--- printed:\n{printed}"
+    );
 }
 
 #[test]
 fn bibliography_queries_survive_unparse() {
-    let doc = generate_bib(&BibConfig { books: 120, ..Default::default() });
+    let doc = generate_bib(&BibConfig {
+        books: 120,
+        ..Default::default()
+    });
     for q in QUERIES {
         check(q, &doc);
     }
@@ -85,7 +93,10 @@ fn bibliography_queries_survive_unparse() {
 
 #[test]
 fn sales_queries_survive_unparse() {
-    let doc = generate_sales(&SalesConfig { sales: 200, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 200,
+        ..Default::default()
+    });
     for q in SALES_QUERIES {
         check(q, &doc);
     }
@@ -93,7 +104,10 @@ fn sales_queries_survive_unparse() {
 
 #[test]
 fn unparse_paper_q10_nested() {
-    let doc = generate_sales(&SalesConfig { sales: 150, ..Default::default() });
+    let doc = generate_sales(&SalesConfig {
+        sales: 150,
+        ..Default::default()
+    });
     check(
         "for $s in //sale \
          group by year-from-dateTime($s/timestamp) into $year, \

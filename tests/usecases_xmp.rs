@@ -59,14 +59,18 @@ const REVIEWS: &str = r#"
 
 fn run(query: &str) -> String {
     let engine = Engine::new();
-    let compiled = engine.compile(query).unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
+    let compiled = engine
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile: {e}\n{query}"));
     let bib = parse_document(BIB).unwrap();
     let reviews = parse_document(REVIEWS).unwrap();
     let mut ctx = DynamicContext::new();
     ctx.set_context_document(&bib);
     ctx.register_document("bib.xml", &bib);
     ctx.register_document("reviews.xml", &reviews);
-    let result = compiled.run(&ctx).unwrap_or_else(|e| panic!("run: {e}\n{query}"));
+    let result = compiled
+        .run(&ctx)
+        .unwrap_or_else(|e| panic!("run: {e}\n{query}"));
     serialize_sequence(&result)
 }
 
@@ -74,13 +78,11 @@ fn run(query: &str) -> String {
 fn xmp_q1_books_by_publisher_after_year() {
     // List books published by Addison-Wesley after 1991, including
     // their year and title.
-    let out = run(
-        r#"<bib>
+    let out = run(r#"<bib>
              {for $b in doc("bib.xml")/bib/book
               where $b/publisher = "Addison-Wesley" and $b/@year > 1991
               return <book year="{$b/@year}">{$b/title}</book>}
-           </bib>"#,
-    );
+           </bib>"#);
     assert_eq!(
         out,
         "<bib><book year=\"1994\"><title>TCP/IP Illustrated</title></book>\
@@ -102,10 +104,8 @@ fn xmp_q2_flat_title_author_pairs() {
 #[test]
 fn xmp_q3_titles_with_authors_grouped() {
     // One result per book with its title and all authors.
-    let out = run(
-        r#"for $b in doc("bib.xml")/bib/book
-           return <result>{$b/title}{$b/author/last}</result>"#,
-    );
+    let out = run(r#"for $b in doc("bib.xml")/bib/book
+           return <result>{$b/title}{$b/author/last}</result>"#);
     assert!(out.contains(
         "<result><title>Data on the Web</title>\
          <last>Abiteboul</last><last>Buneman</last><last>Suciu</last></result>"
@@ -120,15 +120,14 @@ fn xmp_q3_titles_with_authors_grouped() {
 fn xmp_q4_books_per_author_via_group_by() {
     // The use case's "invert the hierarchy" query — exactly the paper's
     // Q7 pattern, expressed with the extension.
-    let out = run(
-        r#"for $b in doc("bib.xml")/bib/book
+    let out = run(r#"for $b in doc("bib.xml")/bib/book
            for $a in $b/author
            group by string($a/last) into $last
            nest $b/title into $titles
            order by $last
-           return <result><author>{$last}</author>{$titles}</result>"#,
-    );
-    assert!(out.starts_with("<result><author>Abiteboul</author><title>Data on the Web</title></result>"));
+           return <result><author>{$last}</author>{$titles}</result>"#);
+    assert!(out
+        .starts_with("<result><author>Abiteboul</author><title>Data on the Web</title></result>"));
     assert!(out.contains(
         "<result><author>Stevens</author><title>TCP/IP Illustrated</title>\
          <title>Advanced Programming in the Unix environment</title></result>"
@@ -138,8 +137,7 @@ fn xmp_q4_books_per_author_via_group_by() {
 #[test]
 fn xmp_q5_join_books_with_reviews() {
     // Join bib.xml and reviews.xml on title; report both prices.
-    let out = run(
-        r#"for $b in doc("bib.xml")/bib/book,
+    let out = run(r#"for $b in doc("bib.xml")/bib/book,
                $e in doc("reviews.xml")/reviews/entry
            where string($b/title) = string($e/title)
            order by $b/title
@@ -148,8 +146,7 @@ fn xmp_q5_join_books_with_reviews() {
                {$b/title}
                <price-bstore2>{string($e/price)}</price-bstore2>
                <price-bstore1>{string($b/price)}</price-bstore1>
-             </book-with-prices>"#,
-    );
+             </book-with-prices>"#);
     assert_eq!(out.matches("<book-with-prices>").count(), 3);
     assert!(out.contains(
         "<book-with-prices><title>Data on the Web</title>\
@@ -159,24 +156,20 @@ fn xmp_q5_join_books_with_reviews() {
 
 #[test]
 fn xmp_q6_books_with_multiple_authors() {
-    let out = run(
-        r#"for $b in doc("bib.xml")//book
+    let out = run(r#"for $b in doc("bib.xml")//book
            where count($b/author) >= 2
-           return $b/title"#,
-    );
+           return $b/title"#);
     assert_eq!(out, "<title>Data on the Web</title>");
 }
 
 #[test]
 fn xmp_q7_sorted_expensive_books() {
     // Books costing more than 60, sorted by title.
-    let out = run(
-        r#"<bib>
+    let out = run(r#"<bib>
              {for $b in doc("bib.xml")//book[price > 60]
               order by $b/title
               return <book>{$b/title, $b/price}</book>}
-           </bib>"#,
-    );
+           </bib>"#);
     assert_eq!(
         out,
         "<bib><book><title>Advanced Programming in the Unix environment</title><price>65.95</price></book>\
@@ -188,47 +181,45 @@ fn xmp_q7_sorted_expensive_books() {
 #[test]
 fn xmp_q8_text_search_in_reviews() {
     // Find titles whose review mentions "UNIX".
-    let out = run(
-        r#"for $e in doc("reviews.xml")//entry
+    let out = run(r#"for $e in doc("reviews.xml")//entry
            where contains(string($e/review), "UNIX")
-           return $e/title"#,
+           return $e/title"#);
+    assert_eq!(
+        out,
+        "<title>Advanced Programming in the Unix environment</title>"
     );
-    assert_eq!(out, "<title>Advanced Programming in the Unix environment</title>");
 }
 
 #[test]
 fn xmp_q9_min_max_avg_prices() {
-    let out = run(
-        r#"let $prices := doc("bib.xml")//book/price
+    let out = run(r#"let $prices := doc("bib.xml")//book/price
            return <prices>
              <min>{min($prices)}</min>
              <max>{max($prices)}</max>
              <avg>{round-half-to-even(avg($prices), 2)}</avg>
-           </prices>"#,
+           </prices>"#);
+    assert_eq!(
+        out,
+        "<prices><min>39.95</min><max>129.95</max><avg>75.45</avg></prices>"
     );
-    assert_eq!(out, "<prices><min>39.95</min><max>129.95</max><avg>75.45</avg></prices>");
 }
 
 #[test]
 fn xmp_q10_price_differences_across_stores() {
     // For each book sold at both stores, the absolute price difference.
-    let out = run(
-        r#"for $b in doc("bib.xml")//book,
+    let out = run(r#"for $b in doc("bib.xml")//book,
                $e in doc("reviews.xml")//entry
            where string($b/title) = string($e/title)
               and number($b/price) != number($e/price)
-           return <diff title="{$b/title}">{abs(number($b/price) - number($e/price))}</diff>"#,
-    );
+           return <diff title="{$b/title}">{abs(number($b/price) - number($e/price))}</diff>"#);
     assert_eq!(out, "<diff title=\"Data on the Web\">5</diff>");
 }
 
 #[test]
 fn xmp_q11_books_without_authors_have_editors() {
-    let out = run(
-        r#"for $b in doc("bib.xml")//book
+    let out = run(r#"for $b in doc("bib.xml")//book
            where empty($b/author)
-           return <reference>{$b/title}{$b/editor/last}</reference>"#,
-    );
+           return <reference>{$b/title}{$b/editor/last}</reference>"#);
     assert_eq!(
         out,
         "<reference><title>The Economics of Technology and Content for Digital TV</title>\
@@ -239,14 +230,12 @@ fn xmp_q11_books_without_authors_have_editors() {
 #[test]
 fn xmp_q12_co_author_pairs() {
     // Distinct unordered co-author pairs via group by on constructed keys.
-    let out = run(
-        r#"for $b in doc("bib.xml")//book
+    let out = run(r#"for $b in doc("bib.xml")//book
            for $a1 in $b/author/last, $a2 in $b/author/last
            where string($a1) < string($a2)
            group by concat(string($a1), "+", string($a2)) into $pair
            order by $pair
-           return <pair>{$pair}</pair>"#,
-    );
+           return <pair>{$pair}</pair>"#);
     assert_eq!(
         out,
         "<pair>Abiteboul+Buneman</pair><pair>Abiteboul+Suciu</pair><pair>Buneman+Suciu</pair>"
