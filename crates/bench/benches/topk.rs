@@ -1,0 +1,101 @@
+//! Top-k rank benches: `return at $rank` under a positional bound, the
+//! §4 headline use case. Measures the streaming pipeline's bounded-heap
+//! order-by (top-k pushdown) against the legacy materializing path,
+//! over growing input sizes and growing group counts (k = 10).
+
+use xqa::{serialize_sequence, Engine, EngineOptions};
+use xqa_bench::harness::Harness;
+use xqa_bench::Dataset;
+
+const K: usize = 10;
+
+/// Rank individual lineitems by price: n input tuples, k survivors.
+fn rank_items_query(k: usize) -> String {
+    format!(
+        "(for $li in //order/lineitem \
+          order by number($li/extendedprice) descending \
+          return at $r <top rank=\"{{$r}}\">{{data($li/partkey)}}</top>)\
+         [position() le {k}]"
+    )
+}
+
+/// Rank groups by size: group-by feeds the bounded order-by.
+fn rank_groups_query(key: &str, k: usize) -> String {
+    format!(
+        "(for $li in //order/lineitem \
+          group by $li/{key} into $g \
+          nest $li into $items \
+          order by count($items) descending \
+          return at $r <top rank=\"{{$r}}\">{{data($g)}}</top>)\
+         [position() le {k}]"
+    )
+}
+
+fn engines() -> (Engine, Engine) {
+    let streaming = Engine::new();
+    let materializing = Engine::with_options(EngineOptions {
+        streaming_pipeline: false,
+        ..Default::default()
+    });
+    (streaming, materializing)
+}
+
+/// Compile under both paths, check byte-identical output, bench both.
+fn bench_pair(group: &mut Harness, label: &str, query: &str, ctx: &xqa::DynamicContext) {
+    let (streaming, materializing) = engines();
+    let fast = streaming.compile(query).expect("compiles");
+    assert!(
+        fast.applied_rewrites()
+            .iter()
+            .any(|r| r.contains("top-k pushdown")),
+        "top-k pushdown must fire for {label}"
+    );
+    let slow = materializing.compile(query).expect("compiles");
+    let a = serialize_sequence(&fast.run(ctx).expect("runs"));
+    let b = serialize_sequence(&slow.run(ctx).expect("runs"));
+    assert_eq!(a, b, "paths disagree for {label}");
+
+    group.bench(&format!("{label}/streaming_heap"), || {
+        fast.run(ctx).expect("runs");
+    });
+    group.bench(&format!("{label}/materializing"), || {
+        slow.run(ctx).expect("runs");
+    });
+}
+
+fn main() {
+    // Growing input size, fixed k: the heap's O(n log k) vs the full
+    // sort's O(n log n) — and, dominating in practice, delta tuples vs
+    // full-frame clones.
+    let mut group = Harness::group("topk/rank_items");
+    for lineitems in [2_000usize, 10_000, 20_000] {
+        let dataset = Dataset::generate(lineitems);
+        let ctx = dataset.context();
+        bench_pair(
+            &mut group,
+            &format!("n{lineitems}"),
+            &rank_items_query(K),
+            &ctx,
+        );
+    }
+
+    // Growing group counts, fixed input: the breaker chain
+    // GroupConsume -> OrderBy(limit) under the same bound.
+    let mut group = Harness::group("topk/rank_groups");
+    let dataset = Dataset::generate(10_000);
+    let ctx = dataset.context();
+    for (key, groups) in [("shipinstruct", 4usize), ("shipmode", 7), ("quantity", 50)] {
+        bench_pair(
+            &mut group,
+            &format!("{key}_g{groups}"),
+            &rank_groups_query(key, K),
+            &ctx,
+        );
+    }
+
+    // CI uploads the machine-readable run as BENCH_pipeline.json.
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        xqa_bench::harness::write_json(&path).expect("write bench json");
+        println!("\nbench records written to {path}");
+    }
+}

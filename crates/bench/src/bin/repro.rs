@@ -7,6 +7,8 @@
 //!                              group count, one series per input size;
 //!                              --svg also draws the figure
 //! repro ablation               the DESIGN.md ablation measurements
+//! repro topk [--sizes A,B,C]   streaming top-k heap vs the legacy
+//!                              materializing path on rank queries
 //! repro all                    everything (default)
 //! ```
 
@@ -24,13 +26,15 @@ fn main() {
         "table1" => table1(),
         "chart" => chart(&sizes, runs, svg_path.as_deref()),
         "ablation" => ablation(),
+        "topk" => topk(&sizes),
         "all" => {
             table1();
             chart(&sizes, runs, svg_path.as_deref());
             ablation();
+            topk(&sizes);
         }
         other => {
-            eprintln!("unknown command {other:?}; expected table1|chart|ablation|all");
+            eprintln!("unknown command {other:?}; expected table1|chart|ablation|topk|all");
             std::process::exit(2);
         }
     }
@@ -189,7 +193,10 @@ fn ablation() {
     });
     let t_q = bench_compiled(&plain.compile(&q_src).unwrap(), &ctx);
     let rewritten = detecting.compile(&q_src).unwrap();
-    assert_eq!(rewritten.applied_rewrites().len(), 1);
+    assert!(rewritten
+        .applied_rewrites()
+        .iter()
+        .any(|r| r.contains("implicit group-by")));
     let t_rw = bench_compiled(&rewritten, &ctx);
     let t_qgb = bench_compiled(&plain.compile(&qgb_query(&["shipmode"])).unwrap(), &ctx);
     println!("1. implicit-group-by detection (shipmode, 8K lineitems):");
@@ -230,6 +237,51 @@ fn ablation() {
     println!("3. windowed nests (order within groups, 8K lineitems):");
     println!("   nest ... order by (sort per group) {t_nest:>10.2?}");
     println!("   global pre-sort + plain nest       {t_pre:>10.2?}\n");
+}
+
+/// Top-k rank queries (`return at $rank` under `[position() le 10]`):
+/// the streaming pipeline's bounded heap vs the materializing path.
+fn topk(sizes: &[usize]) {
+    const K: usize = 10;
+    println!("== Top-k rank: streaming heap vs materializing path (k = {K}) ==\n");
+    let query = format!(
+        "(for $li in //order/lineitem \
+          order by number($li/extendedprice) descending \
+          return at $r <top rank=\"{{$r}}\">{{data($li/partkey)}}</top>)\
+         [position() le {K}]"
+    );
+    println!("query: {query}\n");
+    let streaming = Engine::new();
+    let materializing = Engine::with_options(EngineOptions {
+        streaming_pipeline: false,
+        ..Default::default()
+    });
+    println!(
+        "{:<10} {:>14} {:>16} {:>9}",
+        "lineitems", "streaming", "materializing", "speedup"
+    );
+    for &size in sizes {
+        let dataset = Dataset::generate(size);
+        let ctx = dataset.context();
+        let fast = streaming.compile(&query).expect("compiles");
+        assert!(
+            fast.applied_rewrites()
+                .iter()
+                .any(|r| r.contains("top-k pushdown")),
+            "top-k pushdown must fire"
+        );
+        let slow = materializing.compile(&query).expect("compiles");
+        let a = xqa::serialize_sequence(&fast.run(&ctx).expect("runs"));
+        let b = xqa::serialize_sequence(&slow.run(&ctx).expect("runs"));
+        assert_eq!(a, b, "paths disagree at {size} lineitems");
+        let t_fast = bench_compiled(&fast, &ctx);
+        let t_slow = bench_compiled(&slow, &ctx);
+        println!(
+            "{size:<10} {t_fast:>14.2?} {t_slow:>16.2?} {:>8}x",
+            ratio(t_slow, t_fast)
+        );
+    }
+    println!();
 }
 
 fn bench_compiled(query: &xqa::PreparedQuery, ctx: &DynamicContext) -> std::time::Duration {

@@ -6,6 +6,7 @@
 //! iterations to fill a fixed measurement budget (at least
 //! [`MIN_ITERS`]), reporting mean and minimum wall-clock time.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Minimum timed iterations per benchmark.
@@ -52,7 +53,52 @@ impl Harness {
             mean,
             min
         );
+        RECORDS.lock().unwrap().push(Record {
+            group: self.group.clone(),
+            name: name.to_string(),
+            mean_ns: mean.as_nanos(),
+            min_ns: min.as_nanos(),
+            iters,
+        });
     }
+}
+
+/// One measured benchmark, kept for machine-readable reporting.
+struct Record {
+    group: String,
+    name: String,
+    mean_ns: u128,
+    min_ns: u128,
+    iters: u32,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Write every benchmark measured so far as a JSON array (used by CI to
+/// upload a machine-readable artifact next to the textual report).
+pub fn write_json(path: &str) -> std::io::Result<()> {
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {}, \
+             \"min_ns\": {}, \"iters\": {}}}",
+            escape(&r.group),
+            escape(&r.name),
+            r.mean_ns,
+            r.min_ns,
+            r.iters
+        ));
+    }
+    out.push_str("\n]\n");
+    std::fs::write(path, out)
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Format a throughput figure given bytes processed per iteration.

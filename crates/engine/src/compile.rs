@@ -56,6 +56,7 @@ pub fn compile(module: &ast::Module) -> EngineResult<ir::CompiledQuery> {
         body,
         frame_size: c.frame.max_slots,
         ordered: module.prolog.ordering != Some(ast::OrderingMode::Unordered),
+        streaming: true,
     })
 }
 
@@ -572,8 +573,10 @@ impl Compiler {
             self.group_hidden.pop();
         }
         self.frame.truncate(flwor_mark);
+        let plan = ir::plan_pipeline(&clauses);
         Ok(Ir::Flwor(Box::new(ir::FlworIr {
             clauses,
+            plan,
             return_at,
             return_expr,
         })))
@@ -638,6 +641,7 @@ impl Compiler {
         Ok(ir::OrderByIr {
             stable: ob.stable,
             specs,
+            limit: None,
         })
     }
 

@@ -34,6 +34,12 @@ pub struct EvalStats {
     pub groups_emitted: AtomicU64,
     /// Item comparisons performed (general/value comparisons).
     pub comparisons: AtomicU64,
+    /// Tuples produced by pipeline scan operators (`for` / window).
+    pub tuples_produced: AtomicU64,
+    /// Tuples dropped by `where` filters.
+    pub tuples_pruned_filter: AtomicU64,
+    /// Tuples rejected or evicted by the bounded top-k heap.
+    pub tuples_pruned_topk: AtomicU64,
 }
 
 /// A plain-value copy of [`EvalStats`] taken at one instant.
@@ -47,6 +53,12 @@ pub struct EvalStatsSnapshot {
     pub groups_emitted: u64,
     /// Item comparisons performed.
     pub comparisons: u64,
+    /// Tuples produced by pipeline scan operators.
+    pub tuples_produced: u64,
+    /// Tuples dropped by `where` filters.
+    pub tuples_pruned_filter: u64,
+    /// Tuples rejected or evicted by the bounded top-k heap.
+    pub tuples_pruned_topk: u64,
 }
 
 impl EvalStats {
@@ -56,6 +68,9 @@ impl EvalStats {
         self.tuples_grouped.store(0, Ordering::Relaxed);
         self.groups_emitted.store(0, Ordering::Relaxed);
         self.comparisons.store(0, Ordering::Relaxed);
+        self.tuples_produced.store(0, Ordering::Relaxed);
+        self.tuples_pruned_filter.store(0, Ordering::Relaxed);
+        self.tuples_pruned_topk.store(0, Ordering::Relaxed);
     }
 
     /// Add `n` to the nodes-visited counter.
@@ -78,6 +93,21 @@ impl EvalStats {
         self.comparisons.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add `n` to the tuples-produced counter.
+    pub fn add_tuples_produced(&self, n: u64) {
+        self.tuples_produced.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the filter-pruned counter.
+    pub fn add_tuples_pruned_filter(&self, n: u64) {
+        self.tuples_pruned_filter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the top-k-pruned counter.
+    pub fn add_tuples_pruned_topk(&self, n: u64) {
+        self.tuples_pruned_topk.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> EvalStatsSnapshot {
         EvalStatsSnapshot {
@@ -85,6 +115,9 @@ impl EvalStats {
             tuples_grouped: self.tuples_grouped.load(Ordering::Relaxed),
             groups_emitted: self.groups_emitted.load(Ordering::Relaxed),
             comparisons: self.comparisons.load(Ordering::Relaxed),
+            tuples_produced: self.tuples_produced.load(Ordering::Relaxed),
+            tuples_pruned_filter: self.tuples_pruned_filter.load(Ordering::Relaxed),
+            tuples_pruned_topk: self.tuples_pruned_topk.load(Ordering::Relaxed),
         }
     }
 }

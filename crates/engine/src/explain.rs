@@ -20,7 +20,16 @@ pub fn explain_query(query: &CompiledQuery) -> String {
         let _ = writeln!(out, "function {}#{}:", f.name, f.arity);
         write_ir(&mut out, &f.body, 1);
     }
-    let _ = writeln!(out, "query body (frame size {}):", query.frame_size);
+    let _ = writeln!(
+        out,
+        "query body (frame size {}, {}):",
+        query.frame_size,
+        if query.streaming {
+            "streaming pipeline"
+        } else {
+            "materializing (legacy)"
+        }
+    );
     write_ir(&mut out, &query.body, 1);
     out
 }
@@ -120,6 +129,7 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
         }
         Ir::Flwor(f) => {
             line(out, depth, "FLWOR");
+            line(out, depth + 1, &format!("pipeline: {}", render_plan(f)));
             for clause in &f.clauses {
                 write_clause(out, clause, depth + 1);
             }
@@ -335,6 +345,34 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
             }
         }
     }
+}
+
+/// Render the compiled operator plan as a `->` chain. Operators without
+/// an annotation stream tuples batch-at-a-time; pipeline breakers are
+/// marked `[materializes]`, and a bounded top-k order-by shows its
+/// `limit` and `[heap]` mode.
+fn render_plan(f: &FlworIr) -> String {
+    let mut parts: Vec<String> = f
+        .plan
+        .iter()
+        .zip(&f.clauses)
+        .map(|(op, clause)| match op {
+            PlanOpIr::ForScan => "ForScan".to_string(),
+            PlanOpIr::LetBind => "LetBind".to_string(),
+            PlanOpIr::Filter => "Filter".to_string(),
+            PlanOpIr::CountBind => "CountBind".to_string(),
+            PlanOpIr::WindowScan => "WindowScan".to_string(),
+            PlanOpIr::GroupConsume => "GroupConsume [materializes]".to_string(),
+            PlanOpIr::OrderBy => match clause {
+                ClauseIr::OrderBy(ob) if ob.limit.is_some() => {
+                    format!("OrderBy(limit={}) [heap]", ob.limit.unwrap())
+                }
+                _ => "OrderBy [materializes]".to_string(),
+            },
+        })
+        .collect();
+    parts.push("ReturnAt".to_string());
+    parts.join(" -> ")
 }
 
 fn preds(predicates: &[Ir]) -> String {

@@ -21,21 +21,31 @@ use xqa_xdm::{
 };
 
 /// One tuple of the stream: a snapshot of the frame slots.
-type Tuple = Vec<Arc<Sequence>>;
+pub(crate) type Tuple = Vec<Arc<Sequence>>;
 
 /// Order-by key values for one tuple (one entry per spec).
-type OrderKeys = Vec<Option<AtomicValue>>;
+pub(crate) type OrderKeys = Vec<Option<AtomicValue>>;
 
 impl Interpreter<'_> {
     pub(crate) fn eval_flwor(&self, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
-        let saved = env.slots.clone();
-        let result = self.eval_flwor_inner(f, env);
+        if self.query.streaming {
+            // The streaming path writes slots in place: every binding in
+            // the query has a globally unique slot (the compiler's frame
+            // only shrinks *visibility*, never reuses numbers), so there
+            // is nothing to save or restore.
+            return crate::pipeline::run(self, f, env);
+        }
+        // Legacy materializing path. Scope guard: move the frame out
+        // (no clone), seed the pipeline with one snapshot, and move it
+        // back on exit — one allocation instead of the former two.
+        let saved = std::mem::take(&mut env.slots);
+        let result = self.eval_flwor_inner(f, saved.clone(), env);
         env.slots = saved;
         result
     }
 
-    fn eval_flwor_inner(&self, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
-        let mut tuples: Vec<Tuple> = vec![env.slots.clone()];
+    fn eval_flwor_inner(&self, f: &FlworIr, seed: Tuple, env: &mut Env) -> EngineResult<Sequence> {
+        let mut tuples: Vec<Tuple> = vec![seed];
         for clause in &f.clauses {
             tuples = self.apply_clause(clause, tuples, env)?;
         }
@@ -139,8 +149,9 @@ impl Interpreter<'_> {
 
     /// XQuery 3.0 windows: emit one tuple per window over the binding
     /// sequence, binding the window variable and the start/end
-    /// condition variables.
-    fn apply_window(
+    /// condition variables. (Also used per input tuple by the streaming
+    /// [`crate::pipeline::WindowScan`] operator.)
+    pub(crate) fn apply_window(
         &self,
         w: &WindowIr,
         tuples: Vec<Tuple>,
@@ -259,7 +270,11 @@ impl Interpreter<'_> {
     }
 
     /// Evaluate the order-by key values for the current tuple.
-    fn order_keys(&self, specs: &[OrderSpecIr], env: &mut Env) -> EngineResult<OrderKeys> {
+    pub(crate) fn order_keys(
+        &self,
+        specs: &[OrderSpecIr],
+        env: &mut Env,
+    ) -> EngineResult<OrderKeys> {
         let mut keys = Vec::with_capacity(specs.len());
         for spec in specs {
             let v = self.eval(&spec.expr, env)?;
@@ -410,7 +425,10 @@ impl Interpreter<'_> {
 
 /// Stable-sort `(keys, payload)` pairs by the order specs. Errors from
 /// incomparable keys are surfaced after the sort.
-fn sort_keyed<T>(items: &mut [(OrderKeys, T)], specs: &[OrderSpecIr]) -> EngineResult<()> {
+pub(crate) fn sort_keyed<T>(
+    items: &mut [(OrderKeys, T)],
+    specs: &[OrderSpecIr],
+) -> EngineResult<()> {
     let mut failure: Option<EngineError> = None;
     items.sort_by(|(a, _), (b, _)| {
         if failure.is_some() {
@@ -433,7 +451,7 @@ fn sort_keyed<T>(items: &mut [(OrderKeys, T)], specs: &[OrderSpecIr]) -> EngineR
 /// Compare two key tuples under the specs (major key first). The empty
 /// sequence sorts least by default, greatest under `empty greatest`;
 /// `descending` reverses the whole comparison for that key.
-fn compare_order_keys(
+pub(crate) fn compare_order_keys(
     a: &OrderKeys,
     b: &OrderKeys,
     specs: &[OrderSpecIr],

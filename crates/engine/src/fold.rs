@@ -150,8 +150,9 @@ fn fold_logic(a: &Ir, b: &Ir, is_and: bool) -> Option<Ir> {
     }
 }
 
-/// All direct child expressions of an IR node.
-fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
+/// All direct child expressions of an IR node (shared with the IR-level
+/// rewrites in [`crate::rewrite`]).
+pub(crate) fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
     let mut out: Vec<&mut Ir> = Vec::new();
     match ir {
         Ir::Str(_)

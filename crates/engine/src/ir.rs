@@ -218,10 +218,66 @@ pub enum OccurrenceIr {
 pub struct FlworIr {
     /// The clause pipeline, in source order.
     pub clauses: Vec<ClauseIr>,
+    /// The lowered operator plan, one entry per clause (the compile-time
+    /// pipeline planner's output; see [`plan_pipeline`]).
+    pub plan: Vec<PlanOpIr>,
     /// Slot for the output positional variable (`return at $v`).
     pub return_at: Option<Slot>,
     /// The return expression.
     pub return_expr: Ir,
+}
+
+/// One operator of the compiled pipeline plan.
+///
+/// The planner lowers each [`ClauseIr`] to the Volcano-style operator
+/// that will evaluate it in the streaming engine ([`crate::pipeline`]).
+/// Streaming operators pass tuples through batch-at-a-time; pipeline
+/// *breakers* must consume their entire input before emitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOpIr {
+    /// `for` — streaming fan-out scan (one output tuple per item).
+    ForScan,
+    /// `let` — streaming 1:1 binder.
+    LetBind,
+    /// `where` — streaming filter.
+    Filter,
+    /// `count` — streaming ordinal binder.
+    CountBind,
+    /// window clause — streaming window scan.
+    WindowScan,
+    /// `group by` — pipeline breaker: hash aggregation over deep-equal
+    /// keys (reuses [`crate::keys::GroupIndex`]).
+    GroupConsume,
+    /// `order by` — pipeline breaker: full sort, or a bounded binary
+    /// heap when [`OrderByIr::limit`] is set (top-k in O(n log k)).
+    OrderBy,
+}
+
+impl PlanOpIr {
+    /// Whether the operator streams tuples through (`true`) or must
+    /// materialize its whole input first (`false`).
+    pub fn streams(&self) -> bool {
+        !matches!(self, PlanOpIr::GroupConsume | PlanOpIr::OrderBy)
+    }
+}
+
+/// The compile-time pipeline planner: lower a FLWOR clause list to its
+/// operator plan. Today the plan is a linear chain that mirrors the
+/// clause order; the indirection is what lets rewrites (e.g. top-k
+/// pushdown) annotate operators without touching clause semantics.
+pub fn plan_pipeline(clauses: &[ClauseIr]) -> Vec<PlanOpIr> {
+    clauses
+        .iter()
+        .map(|clause| match clause {
+            ClauseIr::For { .. } => PlanOpIr::ForScan,
+            ClauseIr::Let { .. } => PlanOpIr::LetBind,
+            ClauseIr::Where(_) => PlanOpIr::Filter,
+            ClauseIr::Count { .. } => PlanOpIr::CountBind,
+            ClauseIr::Window(_) => PlanOpIr::WindowScan,
+            ClauseIr::GroupBy(_) => PlanOpIr::GroupConsume,
+            ClauseIr::OrderBy(_) => PlanOpIr::OrderBy,
+        })
+        .collect()
 }
 
 /// One clause of the pipeline.
@@ -335,6 +391,12 @@ pub struct OrderByIr {
     pub stable: bool,
     /// Sort keys, major first.
     pub specs: Vec<OrderSpecIr>,
+    /// Keep only the first `k` tuples of the sorted stream (top-k
+    /// pushdown, set by [`crate::rewrite::pushdown_topk`]). The
+    /// streaming engine then runs a bounded binary heap instead of a
+    /// full sort; the materializing path ignores it (the residual
+    /// positional predicate still bounds the result).
+    pub limit: Option<usize>,
 }
 
 /// One sort key.
@@ -454,4 +516,10 @@ pub struct CompiledQuery {
     /// Whether `declare ordering unordered` was in effect (informational;
     /// the engine always produces the ordered result).
     pub ordered: bool,
+    /// Evaluate FLWORs through the pull-based operator pipeline
+    /// (default). `false` selects the legacy clause-by-clause
+    /// materializing path, kept for one release behind
+    /// [`crate::EngineOptions::streaming_pipeline`] to back the
+    /// differential test suite.
+    pub streaming: bool,
 }

@@ -146,11 +146,17 @@ pub fn item_key(item: &Item, out: &mut String) {
 /// requires: "each permutation is considered a distinct value", §3.3).
 pub fn sequence_key(seq: &[Item]) -> String {
     let mut out = String::with_capacity(16 * seq.len() + 2);
+    sequence_key_into(seq, &mut out);
+    out
+}
+
+/// Append the canonical key of a whole sequence to `out` (the
+/// allocation-free form of [`sequence_key`], for per-tuple hot loops).
+pub fn sequence_key_into(seq: &[Item], out: &mut String) {
     for item in seq {
-        item_key(item, &mut out);
+        item_key(item, out);
         out.push('\u{1}'); // item separator, cannot appear ambiguously
     }
-    out
 }
 
 /// A set of atomic values under `eq` semantics (NaN collapses to one
@@ -214,20 +220,39 @@ impl GroupIndex {
         new_index: usize,
         stored_keys: impl Fn(usize) -> &'a [Sequence],
     ) -> Result<usize, usize> {
-        let mut combined = String::new();
+        let mut scratch = String::new();
+        self.find_or_insert_buf(&mut scratch, keys, new_index, stored_keys)
+    }
+
+    /// [`GroupIndex::find_or_insert`] with a caller-owned scratch buffer:
+    /// the combined key is built into `scratch` and only cloned into the
+    /// map on a vacant bucket, so a hit (the common case once groups
+    /// stabilize) allocates nothing.
+    pub fn find_or_insert_buf<'a>(
+        &mut self,
+        scratch: &mut String,
+        keys: &[Sequence],
+        new_index: usize,
+        stored_keys: impl Fn(usize) -> &'a [Sequence],
+    ) -> Result<usize, usize> {
+        scratch.clear();
         for k in keys {
-            combined.push_str(&sequence_key(k));
-            combined.push('\u{2}'); // key separator
+            sequence_key_into(k, scratch);
+            scratch.push('\u{2}'); // key separator
         }
-        let bucket = self.buckets.entry(combined).or_default();
-        for &idx in bucket.iter() {
-            let stored = stored_keys(idx);
-            if stored.len() == keys.len() && stored.iter().zip(keys).all(|(a, b)| deep_equal(a, b))
-            {
-                return Ok(idx);
+        if let Some(bucket) = self.buckets.get_mut(scratch.as_str()) {
+            for &idx in bucket.iter() {
+                let stored = stored_keys(idx);
+                if stored.len() == keys.len()
+                    && stored.iter().zip(keys).all(|(a, b)| deep_equal(a, b))
+                {
+                    return Ok(idx);
+                }
             }
+            bucket.push(new_index);
+            return Err(new_index);
         }
-        bucket.push(new_index);
+        self.buckets.insert(scratch.clone(), vec![new_index]);
         Err(new_index)
     }
 }

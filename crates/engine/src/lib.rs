@@ -30,6 +30,7 @@ pub mod fold;
 pub mod functions;
 pub mod ir;
 pub mod keys;
+mod pipeline;
 pub mod rewrite;
 pub mod types;
 
@@ -53,6 +54,16 @@ pub struct EngineOptions {
     /// Fold constant subexpressions at compile time (on by default;
     /// never changes results, only when work happens).
     pub constant_folding: bool,
+    /// Evaluate FLWORs through the pull-based streaming operator
+    /// pipeline (on by default). `false` selects the legacy
+    /// clause-by-clause materializing evaluator, kept for one release to
+    /// back the differential test suite.
+    pub streaming_pipeline: bool,
+    /// Push `[position() le k]`-style bounds over an `order by` FLWOR
+    /// into the sort as a `limit`, so the streaming path runs a bounded
+    /// top-k heap instead of a full sort (on by default; never changes
+    /// results — the residual predicate stays in place).
+    pub topk_pushdown: bool,
 }
 
 impl Default for EngineOptions {
@@ -60,6 +71,8 @@ impl Default for EngineOptions {
         EngineOptions {
             detect_implicit_groupby: false,
             constant_folding: true,
+            streaming_pipeline: true,
+            topk_pushdown: true,
         }
     }
 }
@@ -94,12 +107,22 @@ impl Engine {
             rewrites = rewrite::detect_implicit_groupby(&mut module);
         }
         let mut compiled = compile::compile(&module)?;
+        compiled.streaming = self.options.streaming_pipeline;
         if self.options.constant_folding {
             let folds = fold::fold_query(&mut compiled);
             if folds > 0 {
                 rewrites.push(format!("constant folding: {folds} subexpression(s) folded"));
             }
         }
+        if self.options.topk_pushdown {
+            // After folding, so literal bounds like `le 5 + 5` are
+            // visible. The limit only changes how the streaming order-by
+            // runs; the materializing path ignores it.
+            rewrites.extend(rewrite::pushdown_topk(&mut compiled));
+        }
+        // Always-sound plan normalization: `//T` scans one descendant
+        // pass instead of materializing every node of the subtree.
+        rewrites.extend(rewrite::fuse_descendant_paths(&mut compiled));
         Ok(PreparedQuery { compiled, rewrites })
     }
 }

@@ -1,0 +1,747 @@
+//! The pull-based streaming FLWOR pipeline.
+//!
+//! The materializing evaluator in [`crate::flwor`] realizes the paper's
+//! §3.1 tuple stream as a `Vec<Tuple>` snapshot after every clause,
+//! cloning the full slot frame per tuple. This module replaces it with a
+//! Volcano-style operator pipeline (the architecture VXQuery showed is
+//! what makes an XQuery engine scale):
+//!
+//! - [`TupleSource`] is the pull interface. Operators exchange *batches*
+//!   of tuples ([`BATCH`] at a time) to amortize dynamic dispatch.
+//! - A [`Tuple`] is copy-on-write: a small delta of `(slot, value)`
+//!   bindings layered over the shared parent frame, instead of a full
+//!   frame snapshot. Cloning a tuple clones a handful of `Arc`s.
+//! - `ForScan`, `LetBind`, `Filter`, `CountBind` and `WindowScan`
+//!   stream; [`GroupConsume`] and [`OrderBy`] are pipeline *breakers*
+//!   that drain their input before emitting.
+//! - When the top-k rewrite ([`crate::rewrite::pushdown_topk`]) has set
+//!   [`OrderByIr::limit`], `OrderBy` keeps a bounded binary heap of k
+//!   tuples instead of sorting the whole input: O(n log k) comparisons,
+//!   O(k) kept tuples.
+//!
+//! In-place slot writes are sound because the compiler never reuses slot
+//! numbers: dropping a binding from scope only hides it, so every
+//! binding in a body has a globally unique slot ([`Ir::Quantified`]
+//! evaluation already relies on the same contract).
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{Env, Interpreter};
+use crate::ir::*;
+use crate::keys::GroupIndex;
+use crate::types::matches_seq_type;
+use std::cmp::Ordering;
+use std::sync::Arc;
+use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence};
+
+use crate::flwor::{compare_order_keys, sort_keyed, OrderKeys};
+
+/// Tuples per batch. Large enough to amortize the virtual `next_batch`
+/// call, small enough that a streaming chain stays cache-resident.
+pub(crate) const BATCH: usize = 64;
+
+/// A copy-on-write tuple: bindings this FLWOR has made, layered over the
+/// shared parent frame. Slots absent from the delta hold their parent
+/// values in `env.slots`, which no pipeline operator ever overwrites.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Tuple {
+    delta: Vec<(Slot, Arc<Sequence>)>,
+}
+
+impl Tuple {
+    /// Bind `slot` in this tuple (replacing an existing binding: the
+    /// compiler can re-bind a slot only for the same variable).
+    fn bind(&mut self, slot: Slot, value: Arc<Sequence>) {
+        for entry in &mut self.delta {
+            if entry.0 == slot {
+                entry.1 = value;
+                return;
+            }
+        }
+        self.delta.push((slot, value));
+    }
+
+    /// Install this tuple's bindings into the frame before evaluating a
+    /// per-tuple expression. O(|delta|) `Arc` clones.
+    fn apply(&self, env: &mut Env) {
+        for (slot, value) in &self.delta {
+            env.slots[*slot] = Arc::clone(value);
+        }
+    }
+}
+
+/// The Volcano-style pull interface: `Ok(Some(batch))` (possibly empty)
+/// while tuples remain, `Ok(None)` once exhausted.
+pub(crate) trait TupleSource {
+    /// Pull the next batch of tuples.
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>>;
+}
+
+type BoxSource<'p> = Box<dyn TupleSource + 'p>;
+
+/// Evaluate a FLWOR through the streaming pipeline.
+pub(crate) fn run(interp: &Interpreter, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
+    debug_assert_eq!(f.plan.len(), f.clauses.len());
+    let mut source: BoxSource = Box::new(Singleton { done: false });
+    for clause in &f.clauses {
+        source = match clause {
+            ClauseIr::For {
+                slot,
+                at_slot,
+                ty,
+                expr,
+            } => Box::new(ForScan {
+                input: source,
+                slot: *slot,
+                at_slot: *at_slot,
+                ty: ty.as_ref(),
+                expr,
+                batch: Vec::new().into_iter(),
+                items: Vec::new().into_iter(),
+                item_pos: 0,
+                base: Tuple::default(),
+                input_done: false,
+            }),
+            ClauseIr::Let { slot, ty, expr } => Box::new(LetBind {
+                input: source,
+                slot: *slot,
+                ty: ty.as_ref(),
+                expr,
+            }),
+            ClauseIr::Where(cond) => Box::new(Filter {
+                input: source,
+                cond,
+            }),
+            ClauseIr::Count { slot } => Box::new(CountBind {
+                input: source,
+                slot: *slot,
+                n: 0,
+            }),
+            ClauseIr::Window(w) => Box::new(WindowScan { input: source, w }),
+            ClauseIr::GroupBy(g) => Box::new(GroupConsume {
+                input: source,
+                g,
+                output: Vec::new().into_iter(),
+                consumed: false,
+            }),
+            ClauseIr::OrderBy(ob) => Box::new(OrderBy {
+                input: source,
+                ob,
+                output: Vec::new().into_iter(),
+                consumed: false,
+            }),
+        };
+    }
+    ReturnAt {
+        at: f.return_at,
+        expr: &f.return_expr,
+    }
+    .execute(source, interp, env)
+}
+
+/// The pipeline root: one tuple with no bindings (the incoming frame).
+struct Singleton {
+    done: bool,
+}
+
+impl TupleSource for Singleton {
+    fn next_batch(&mut self, _: &Interpreter, _: &mut Env) -> EngineResult<Option<Vec<Tuple>>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        Ok(Some(vec![Tuple::default()]))
+    }
+}
+
+/// `for $v (at $i)? in e`: fan out one tuple per item. Resumable: a
+/// half-expanded binding sequence carries over to the next batch, so a
+/// million-item `for` still emits [`BATCH`]-sized batches.
+struct ForScan<'p> {
+    input: BoxSource<'p>,
+    slot: Slot,
+    at_slot: Option<Slot>,
+    ty: Option<&'p SeqTypeIr>,
+    expr: &'p Ir,
+    batch: std::vec::IntoIter<Tuple>,
+    items: std::vec::IntoIter<Item>,
+    item_pos: i64,
+    base: Tuple,
+    input_done: bool,
+}
+
+impl TupleSource for ForScan<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let mut out = Vec::new();
+        loop {
+            for item in self.items.by_ref() {
+                if let Some(ty) = self.ty {
+                    let single = [item.clone()];
+                    if !matches_seq_type(&single, ty) {
+                        return Err(EngineError::dynamic(
+                            ErrorCode::XPTY0004,
+                            "for-binding value does not match its declared type",
+                        ));
+                    }
+                }
+                self.item_pos += 1;
+                let mut t = self.base.clone();
+                t.bind(self.slot, Arc::new(vec![item]));
+                if let Some(at) = self.at_slot {
+                    t.bind(at, Arc::new(vec![Item::from(self.item_pos)]));
+                }
+                out.push(t);
+                if out.len() >= BATCH {
+                    interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+                    return Ok(Some(out));
+                }
+            }
+            match self.batch.next() {
+                Some(base) => {
+                    base.apply(env);
+                    self.items = interp.eval(self.expr, env)?.into_iter();
+                    self.item_pos = 0;
+                    self.base = base;
+                }
+                None if self.input_done => {
+                    interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+                    return Ok(if out.is_empty() { None } else { Some(out) });
+                }
+                None => match self.input.next_batch(interp, env)? {
+                    Some(b) => self.batch = b.into_iter(),
+                    None => self.input_done = true,
+                },
+            }
+        }
+    }
+}
+
+/// `let $v := e`: 1:1 streaming binder.
+struct LetBind<'p> {
+    input: BoxSource<'p>,
+    slot: Slot,
+    ty: Option<&'p SeqTypeIr>,
+    expr: &'p Ir,
+}
+
+impl TupleSource for LetBind<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let Some(mut batch) = self.input.next_batch(interp, env)? else {
+            return Ok(None);
+        };
+        for t in &mut batch {
+            t.apply(env);
+            let seq = interp.eval(self.expr, env)?;
+            if let Some(ty) = self.ty {
+                if !matches_seq_type(&seq, ty) {
+                    return Err(EngineError::dynamic(
+                        ErrorCode::XPTY0004,
+                        "let-binding value does not match its declared type",
+                    ));
+                }
+            }
+            t.bind(self.slot, Arc::new(seq));
+        }
+        Ok(Some(batch))
+    }
+}
+
+/// `where e`: streaming filter.
+struct Filter<'p> {
+    input: BoxSource<'p>,
+    cond: &'p Ir,
+}
+
+impl TupleSource for Filter<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let Some(batch) = self.input.next_batch(interp, env)? else {
+            return Ok(None);
+        };
+        let before = batch.len();
+        let mut out = Vec::with_capacity(before);
+        for t in batch {
+            t.apply(env);
+            let v = interp.eval(self.cond, env)?;
+            if effective_boolean_value(&v).map_err(EngineError::from)? {
+                out.push(t);
+            }
+        }
+        interp
+            .dynamic
+            .stats
+            .add_tuples_pruned_filter((before - out.len()) as u64);
+        Ok(Some(out))
+    }
+}
+
+/// `count $v`: bind the 1-based ordinal at this pipeline point.
+struct CountBind<'p> {
+    input: BoxSource<'p>,
+    slot: Slot,
+    n: i64,
+}
+
+impl TupleSource for CountBind<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let Some(mut batch) = self.input.next_batch(interp, env)? else {
+            return Ok(None);
+        };
+        for t in &mut batch {
+            self.n += 1;
+            t.bind(self.slot, Arc::new(vec![Item::from(self.n)]));
+        }
+        Ok(Some(batch))
+    }
+}
+
+/// Window clause: delegates the boundary-condition machinery to the
+/// materializing [`Interpreter::apply_window`] one input tuple at a
+/// time, then converts the full-frame outputs back into deltas (only
+/// the window slot and the condition-variable slots can have changed).
+/// Windows are not a hot path; correctness over allocation thrift.
+struct WindowScan<'p> {
+    input: BoxSource<'p>,
+    w: &'p WindowIr,
+}
+
+impl TupleSource for WindowScan<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let Some(batch) = self.input.next_batch(interp, env)? else {
+            return Ok(None);
+        };
+        let mut out = Vec::new();
+        for t in batch {
+            t.apply(env);
+            let frame = env.slots.clone();
+            let windows = interp.apply_window(self.w, vec![frame.clone()], env)?;
+            // apply_window leaves the frame moved-out; restore it.
+            env.slots = frame;
+            for full in windows {
+                let mut nt = t.clone();
+                bind_from_frame(&mut nt, &full, self.w.slot);
+                bind_cond_slots(&mut nt, &full, &self.w.start);
+                if let Some(end) = &self.w.end {
+                    bind_cond_slots(&mut nt, &full, end);
+                }
+                out.push(nt);
+            }
+        }
+        interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+        Ok(Some(out))
+    }
+}
+
+fn bind_from_frame(t: &mut Tuple, frame: &[Arc<Sequence>], slot: Slot) {
+    t.bind(slot, Arc::clone(&frame[slot]));
+}
+
+fn bind_cond_slots(t: &mut Tuple, frame: &[Arc<Sequence>], cond: &WindowCondIr) {
+    for slot in [
+        cond.item_slot,
+        cond.at_slot,
+        cond.previous_slot,
+        cond.next_slot,
+    ]
+    .into_iter()
+    .flatten()
+    {
+        bind_from_frame(t, frame, slot);
+    }
+}
+
+/// `group by ... nest ...`: pipeline breaker. Drains the input into a
+/// hash aggregation ([`GroupIndex`], scratch-buffer key building), then
+/// emits one tuple per group in first-appearance order.
+struct GroupConsume<'p> {
+    input: BoxSource<'p>,
+    g: &'p GroupByIr,
+    output: std::vec::IntoIter<Tuple>,
+    consumed: bool,
+}
+
+struct GroupState {
+    /// One key sequence per grouping variable.
+    keys: Vec<Sequence>,
+    /// The first member tuple (source of outer-variable values for the
+    /// output tuple; pre-group slots in it are hidden by the compiler's
+    /// §3.2 scope rule).
+    base: Tuple,
+    /// Collected nest entries: per nest binding, per member.
+    nests: Vec<Vec<(OrderKeys, Sequence)>>,
+}
+
+impl GroupConsume<'_> {
+    fn consume(&mut self, interp: &Interpreter, env: &mut Env) -> EngineResult<()> {
+        let g = self.g;
+        let stats = &interp.dynamic.stats;
+        let has_using = g.keys.iter().any(|k| k.using.is_some());
+        let mut groups: Vec<GroupState> = Vec::new();
+        let mut index = GroupIndex::new();
+        let mut scratch = String::new();
+        let mut consumed = 0u64;
+
+        while let Some(batch) = self.input.next_batch(interp, env)? {
+            consumed += batch.len() as u64;
+            for t in batch {
+                t.apply(env);
+                let mut key_vals: Vec<Sequence> = Vec::with_capacity(g.keys.len());
+                for key in &g.keys {
+                    key_vals.push(interp.eval(&key.expr, env)?);
+                }
+                let mut nest_vals: Vec<(OrderKeys, Sequence)> = Vec::with_capacity(g.nests.len());
+                for nest in &g.nests {
+                    let value = interp.eval(&nest.expr, env)?;
+                    let okeys = match &nest.order_by {
+                        Some(ob) => interp.order_keys(&ob.specs, env)?,
+                        None => Vec::new(),
+                    };
+                    nest_vals.push((okeys, value));
+                }
+
+                let group_idx = if has_using {
+                    // Custom equality (§3.3): linear scan with the
+                    // user-supplied comparator for `using` keys and
+                    // deep-equal for the rest.
+                    let mut found = None;
+                    'groups: for (gi, group) in groups.iter().enumerate() {
+                        for (key, (stored, candidate)) in
+                            g.keys.iter().zip(group.keys.iter().zip(&key_vals))
+                        {
+                            let equal = match key.using {
+                                Some(fid) => {
+                                    let result = interp.call_user_values(
+                                        fid,
+                                        vec![stored.clone(), candidate.clone()],
+                                    )?;
+                                    effective_boolean_value(&result).map_err(EngineError::from)?
+                                }
+                                None => deep_equal(stored, candidate),
+                            };
+                            if !equal {
+                                continue 'groups;
+                            }
+                        }
+                        found = Some(gi);
+                        break;
+                    }
+                    found
+                } else {
+                    index
+                        .find_or_insert_buf(&mut scratch, &key_vals, groups.len(), |i| {
+                            groups[i].keys.as_slice()
+                        })
+                        .ok()
+                };
+
+                match group_idx {
+                    Some(gi) => {
+                        for (slot, entry) in groups[gi].nests.iter_mut().zip(nest_vals) {
+                            slot.push(entry);
+                        }
+                    }
+                    None => {
+                        groups.push(GroupState {
+                            keys: key_vals,
+                            base: t,
+                            nests: nest_vals.into_iter().map(|e| vec![e]).collect(),
+                        });
+                    }
+                }
+            }
+        }
+
+        stats.add_tuples_grouped(consumed);
+        stats.add_groups_emitted(groups.len() as u64);
+
+        // One output tuple per group, in first-appearance order (stable,
+        // matching the materializing path).
+        let mut out = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut t = group.base;
+            for (key, vals) in g.keys.iter().zip(group.keys) {
+                t.bind(key.slot, Arc::new(vals));
+            }
+            for (nest, mut entries) in g.nests.iter().zip(group.nests) {
+                if let Some(ob) = &nest.order_by {
+                    sort_keyed(&mut entries, &ob.specs)?;
+                }
+                let mut seq = Vec::new();
+                for (_, mut vals) in entries {
+                    // Nest values concatenate into one flat sequence —
+                    // "merged and lose their individual identity" (§3.1).
+                    seq.append(&mut vals);
+                }
+                t.bind(nest.slot, Arc::new(seq));
+            }
+            out.push(t);
+        }
+        self.output = out.into_iter();
+        Ok(())
+    }
+}
+
+impl TupleSource for GroupConsume<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        if !self.consumed {
+            self.consumed = true;
+            self.consume(interp, env)?;
+        }
+        Ok(drain_batch(&mut self.output))
+    }
+}
+
+/// `order by`: pipeline breaker. Full stable sort, or — when the top-k
+/// rewrite set a limit — a bounded binary heap that keeps only the k
+/// least tuples seen so far.
+struct OrderBy<'p> {
+    input: BoxSource<'p>,
+    ob: &'p OrderByIr,
+    output: std::vec::IntoIter<Tuple>,
+    consumed: bool,
+}
+
+impl OrderBy<'_> {
+    fn consume(&mut self, interp: &Interpreter, env: &mut Env) -> EngineResult<()> {
+        let specs = &self.ob.specs;
+        let sorted = match self.ob.limit {
+            Some(k) => {
+                let mut heap = TopKHeap::new(specs, k);
+                let mut pruned = 0u64;
+                while let Some(batch) = self.input.next_batch(interp, env)? {
+                    for t in batch {
+                        t.apply(env);
+                        let keys = interp.order_keys(specs, env)?;
+                        // An offer against a full heap prunes exactly one
+                        // tuple: the newcomer (rejected) or an eviction.
+                        let was_full = heap.saturated();
+                        heap.offer(keys, t)?;
+                        if was_full {
+                            pruned += 1;
+                        }
+                    }
+                }
+                interp.dynamic.stats.add_tuples_pruned_topk(pruned);
+                heap.into_sorted()?
+            }
+            None => {
+                let mut keyed: Vec<(OrderKeys, Tuple)> = Vec::new();
+                while let Some(batch) = self.input.next_batch(interp, env)? {
+                    for t in batch {
+                        t.apply(env);
+                        let keys = interp.order_keys(specs, env)?;
+                        keyed.push((keys, t));
+                    }
+                }
+                sort_keyed(&mut keyed, specs)?;
+                keyed.into_iter().map(|(_, t)| t).collect()
+            }
+        };
+        self.output = sorted.into_iter();
+        Ok(())
+    }
+}
+
+impl TupleSource for OrderBy<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        if !self.consumed {
+            self.consumed = true;
+            self.consume(interp, env)?;
+        }
+        Ok(drain_batch(&mut self.output))
+    }
+}
+
+/// Emit up to [`BATCH`] tuples from a breaker's buffered output.
+fn drain_batch(output: &mut std::vec::IntoIter<Tuple>) -> Option<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(BATCH.min(output.len()));
+    for t in output.by_ref() {
+        out.push(t);
+        if out.len() >= BATCH {
+            break;
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// A bounded max-heap of the k least `(keys, seq_no)` entries, with a
+/// *fallible* comparator (order keys of mixed type raise `XPTY0004`,
+/// which `std::collections::BinaryHeap` cannot propagate — hence the
+/// hand-rolled sift loops). `seq_no` breaks ties by input order, so the
+/// survivors are exactly the first k of a full stable sort.
+struct TopKHeap<'p> {
+    specs: &'p [OrderSpecIr],
+    k: usize,
+    /// Max-heap: `entries[0]` is the greatest survivor.
+    entries: Vec<(OrderKeys, usize, Tuple)>,
+    seq: usize,
+}
+
+impl<'p> TopKHeap<'p> {
+    fn new(specs: &'p [OrderSpecIr], k: usize) -> Self {
+        TopKHeap {
+            specs,
+            k,
+            entries: Vec::with_capacity(k.min(1024)),
+            seq: 0,
+        }
+    }
+
+    /// Whether the heap is full (every further offer prunes a tuple).
+    fn saturated(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// Is entry `a` strictly greater than `b` under (keys, seq_no)?
+    fn greater(
+        &self,
+        a: &(OrderKeys, usize, Tuple),
+        b: &(OrderKeys, usize, Tuple),
+    ) -> EngineResult<bool> {
+        Ok(match compare_order_keys(&a.0, &b.0, self.specs)? {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => a.1 > b.1,
+        })
+    }
+
+    /// Offer a tuple; returns whether it was kept.
+    fn offer(&mut self, keys: OrderKeys, tuple: Tuple) -> EngineResult<bool> {
+        let entry = (keys, self.seq, tuple);
+        self.seq += 1;
+        if self.k == 0 {
+            return Ok(false);
+        }
+        if self.entries.len() < self.k {
+            self.entries.push(entry);
+            self.sift_up(self.entries.len() - 1)?;
+            return Ok(true);
+        }
+        if self.greater(&entry, &self.entries[0])? {
+            // Not among the k least: reject.
+            return Ok(false);
+        }
+        self.entries[0] = entry;
+        self.sift_down(0)?;
+        Ok(true)
+    }
+
+    fn sift_up(&mut self, mut i: usize) -> EngineResult<()> {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.greater(&self.entries[i], &self.entries[parent])? {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn sift_down(&mut self, mut i: usize) -> EngineResult<()> {
+        let n = self.entries.len();
+        loop {
+            let mut largest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < n && self.greater(&self.entries[child], &self.entries[largest])? {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                return Ok(());
+            }
+            self.entries.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// The surviving tuples in ascending (keys, seq_no) order.
+    fn into_sorted(self) -> EngineResult<Vec<Tuple>> {
+        let mut entries = self.entries;
+        let specs = self.specs;
+        let mut failure: Option<EngineError> = None;
+        entries.sort_by(|a, b| {
+            if failure.is_some() {
+                return Ordering::Equal;
+            }
+            match compare_order_keys(&a.0, &b.0, specs) {
+                Ok(Ordering::Equal) => a.1.cmp(&b.1),
+                Ok(ord) => ord,
+                Err(e) => {
+                    failure = Some(e);
+                    Ordering::Equal
+                }
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(entries.into_iter().map(|(_, _, t)| t).collect()),
+        }
+    }
+}
+
+/// The pipeline sink: pulls tuples, binds the §4 output ordinal
+/// (`return at $rank`, numbered *after* any order by) and evaluates the
+/// return expression per tuple.
+struct ReturnAt<'p> {
+    at: Option<Slot>,
+    expr: &'p Ir,
+}
+
+impl ReturnAt<'_> {
+    fn execute(
+        &self,
+        mut source: BoxSource<'_>,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Sequence> {
+        let mut out: Sequence = Vec::new();
+        let mut ordinal = 0i64;
+        while let Some(batch) = source.next_batch(interp, env)? {
+            for t in batch {
+                t.apply(env);
+                ordinal += 1;
+                if let Some(at) = self.at {
+                    env.slots[at] = Arc::new(vec![Item::from(ordinal)]);
+                }
+                out.extend(interp.eval(self.expr, env)?);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,4 +1,5 @@
-//! Implicit group-by detection (optimizer ablation).
+//! Optimizer rewrites: implicit group-by detection (AST level) and
+//! top-k pushdown into `order by` ([`pushdown_topk`], IR level).
 //!
 //! The paper argues (§2, §7) that recognizing grouping expressed in
 //! XQuery-1.0 style — `distinct-values` over a path plus a correlated
@@ -428,6 +429,205 @@ fn subexpressions_mut(e: &mut Expr) -> Vec<&mut Expr> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Top-k pushdown (IR level)
+// ---------------------------------------------------------------------
+
+/// Detect positional bounds over a sorted FLWOR — `(for ... order by ...
+/// return E)[position() le k]`, the bare `[k]` form, or
+/// `fn:subsequence(flwor, 1, k)` — and push `limit k` into the
+/// [`crate::ir::OrderByIr`], so the streaming pipeline's order-by runs a
+/// bounded binary heap (O(n log k)) instead of a full sort.
+///
+/// The residual predicate is left in place, so the rewrite never changes
+/// results: the materializing path ignores the limit entirely, and the
+/// streaming path still applies the positional filter to the (at most k)
+/// returned items. Limiting the *tuple* stream to k is only sound when
+/// the return expression contributes exactly one item per tuple, so the
+/// rewrite is gated on a conservative single-item check (constructors
+/// and literals).
+pub fn pushdown_topk(query: &mut crate::ir::CompiledQuery) -> Vec<String> {
+    let mut fired = Vec::new();
+    for g in &mut query.globals {
+        pushdown_ir(&mut g.init, &mut fired);
+    }
+    for f in &mut query.functions {
+        pushdown_ir(&mut f.body, &mut fired);
+    }
+    pushdown_ir(&mut query.body, &mut fired);
+    fired
+}
+
+fn pushdown_ir(ir: &mut crate::ir::Ir, fired: &mut Vec<String>) {
+    use crate::ir::Ir;
+    match ir {
+        Ir::Filter { base, predicates } => {
+            // Only a *leading* positional bound is a prefix of the tuple
+            // stream; predicates after another filter see renumbered
+            // positions.
+            if let (Ir::Flwor(f), Some(first)) = (&mut **base, predicates.first()) {
+                if let Some(k) = positional_bound(first) {
+                    try_limit_flwor(f, k, fired);
+                }
+            }
+        }
+        Ir::CallBuiltin(crate::functions::Builtin::Subsequence, args) => {
+            if let [Ir::Flwor(_), Ir::Int(1), Ir::Int(len)] = args.as_slice() {
+                let k = (*len).max(0) as usize;
+                let Ir::Flwor(f) = &mut args[0] else {
+                    unreachable!()
+                };
+                try_limit_flwor(f, k, fired);
+            }
+        }
+        _ => {}
+    }
+    for child in crate::fold::child_irs(ir) {
+        pushdown_ir(child, fired);
+    }
+}
+
+/// Apply `limit k` to the FLWOR's trailing order-by, if it has one and
+/// the return expression is provably one item per tuple.
+fn try_limit_flwor(f: &mut crate::ir::FlworIr, k: usize, fired: &mut Vec<String>) {
+    use crate::ir::ClauseIr;
+    if !single_item_return(&f.return_expr) {
+        return;
+    }
+    let Some(ClauseIr::OrderBy(ob)) = f.clauses.last_mut() else {
+        return;
+    };
+    let limit = ob.limit.map_or(k, |old| old.min(k));
+    ob.limit = Some(limit);
+    fired.push(format!(
+        "top-k pushdown: order by bounded to a {limit}-tuple heap"
+    ));
+}
+
+/// The `k` of a positional prefix bound, if the predicate is one:
+/// `position() le k`, `position() lt k`, their flipped forms, or a bare
+/// integer literal `[k]` (which selects position k, contained in the
+/// k-prefix).
+fn positional_bound(pred: &crate::ir::Ir) -> Option<usize> {
+    use crate::ir::Ir;
+    use xqa_xdm::CompOp;
+    let as_k = |n: i64| Some(n.max(0) as usize);
+    match pred {
+        Ir::Int(n) => as_k(*n),
+        Ir::ValueComp(op, a, b) | Ir::GeneralComp(op, a, b) => {
+            match (is_position_call(a), &**b, &**a, is_position_call(b), op) {
+                (true, Ir::Int(n), _, _, CompOp::Le) => as_k(*n),
+                (true, Ir::Int(n), _, _, CompOp::Lt) => as_k(*n - 1),
+                (_, _, Ir::Int(n), true, CompOp::Ge) => as_k(*n),
+                (_, _, Ir::Int(n), true, CompOp::Gt) => as_k(*n - 1),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn is_position_call(ir: &crate::ir::Ir) -> bool {
+    matches!(
+        ir,
+        crate::ir::Ir::CallBuiltin(crate::functions::Builtin::Position, args) if args.is_empty()
+    )
+}
+
+/// Conservatively: does the return expression yield exactly one item per
+/// tuple? (Constructors always produce one node; literals one value.)
+fn single_item_return(ir: &crate::ir::Ir) -> bool {
+    use crate::ir::Ir;
+    matches!(
+        ir,
+        Ir::Element(_)
+            | Ir::Comment(_)
+            | Ir::Pi(..)
+            | Ir::Str(_)
+            | Ir::Int(_)
+            | Ir::Dec(_)
+            | Ir::Dbl(_)
+    )
+}
+
+// ---- descendant-step fusion ------------------------------------------
+
+/// Fuse `descendant-or-self::node()/child::T` step pairs (the expansion
+/// of `//T`) into a single `descendant::T` step.
+///
+/// The expanded form materializes *every* node of the subtree as an
+/// intermediate sequence, document-orders it, and then runs the child
+/// step once per node — on a streaming scan that intermediate dwarfs
+/// the useful output. The fused form is the textbook identity: every
+/// descendant is a child of exactly one `descendant-or-self` node, so
+/// `descendant::T` selects the same nodes in the same order for any
+/// node test `T`. Fusion is skipped when either step carries
+/// predicates, because predicates are evaluated per *context* node and
+/// positional predicates would renumber.
+pub fn fuse_descendant_paths(query: &mut crate::ir::CompiledQuery) -> Vec<String> {
+    let mut fused = 0usize;
+    for g in &mut query.globals {
+        fuse_ir(&mut g.init, &mut fused);
+    }
+    for f in &mut query.functions {
+        fuse_ir(&mut f.body, &mut fused);
+    }
+    fuse_ir(&mut query.body, &mut fused);
+    if fused == 0 {
+        Vec::new()
+    } else {
+        vec![format!(
+            "path fusion: {fused} descendant-or-self/child step pair(s) \
+             fused into a single descendant scan"
+        )]
+    }
+}
+
+fn fuse_ir(ir: &mut crate::ir::Ir, fused: &mut usize) {
+    if let crate::ir::Ir::Path(p) = ir {
+        fuse_steps(&mut p.steps, fused);
+    }
+    for child in crate::fold::child_irs(ir) {
+        fuse_ir(child, fused);
+    }
+}
+
+fn fuse_steps(steps: &mut Vec<crate::ir::StepIr>, fused: &mut usize) {
+    use crate::ir::{NodeTestIr, StepIr};
+    use xqa_frontend::ast::Axis;
+    let mut i = 0;
+    while i + 1 < steps.len() {
+        let slash_slash = matches!(
+            &steps[i],
+            StepIr::Axis {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTestIr::AnyKind,
+                predicates,
+            } if predicates.is_empty()
+        );
+        let plain_child = matches!(
+            &steps[i + 1],
+            StepIr::Axis {
+                axis: Axis::Child,
+                predicates,
+                ..
+            } if predicates.is_empty()
+        );
+        if slash_slash && plain_child {
+            let StepIr::Axis { test, .. } = steps.remove(i + 1) else {
+                unreachable!("matched an axis step above")
+            };
+            steps[i] = StepIr::Axis {
+                axis: Axis::Descendant,
+                test,
+                predicates: Vec::new(),
+            };
+            *fused += 1;
+        }
+        i += 1;
+    }
 }
 
 #[cfg(test)]

@@ -271,6 +271,15 @@ fn render_metrics(shared: &Shared) -> String {
     line("xqa_eval_tuples_grouped_total", stats.tuples_grouped);
     line("xqa_eval_groups_emitted_total", stats.groups_emitted);
     line("xqa_eval_comparisons_total", stats.comparisons);
+    line("xqa_eval_tuples_produced_total", stats.tuples_produced);
+    line(
+        "xqa_eval_tuples_pruned_filter_total",
+        stats.tuples_pruned_filter,
+    );
+    line(
+        "xqa_eval_tuples_pruned_topk_total",
+        stats.tuples_pruned_topk,
+    );
     let _ = writeln!(
         &mut out,
         "xqa_plan_cache_hit_rate {:.4}",

@@ -1,0 +1,224 @@
+//! Differential tests for the streaming tuple pipeline.
+//!
+//! Every query here is evaluated twice: once through the default
+//! streaming operator pipeline and once through the legacy
+//! materializing path (`EngineOptions { streaming_pipeline: false }`),
+//! and the serialized results must be byte-identical. The legacy path
+//! is kept for one release exactly so this suite can hold the two
+//! implementations against each other.
+
+use xqa::{serialize_sequence, DynamicContext, Engine, EngineOptions};
+
+fn engines() -> (Engine, Engine) {
+    let streaming = Engine::new();
+    let materializing = Engine::with_options(EngineOptions {
+        streaming_pipeline: false,
+        ..Default::default()
+    });
+    (streaming, materializing)
+}
+
+fn assert_identical_ctx(query: &str, ctx: &DynamicContext) {
+    let (streaming, materializing) = engines();
+    let fast = streaming
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile (streaming): {e}\n{query}"));
+    let slow = materializing
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile (materializing): {e}\n{query}"));
+    let a = fast
+        .run(ctx)
+        .unwrap_or_else(|e| panic!("run (streaming): {e}\n{query}"));
+    let b = slow
+        .run(ctx)
+        .unwrap_or_else(|e| panic!("run (materializing): {e}\n{query}"));
+    assert_eq!(
+        serialize_sequence(&a),
+        serialize_sequence(&b),
+        "streaming and materializing paths disagree for:\n{query}"
+    );
+}
+
+fn assert_identical(query: &str) {
+    assert_identical_ctx(query, &DynamicContext::new());
+}
+
+fn orders_ctx() -> DynamicContext {
+    let doc = xqa_workload::generate_orders(&xqa_workload::OrdersConfig {
+        orders: 120,
+        ..Default::default()
+    });
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    ctx
+}
+
+// ---- grouping ---------------------------------------------------------
+
+#[test]
+fn groupby_single_key() {
+    assert_identical_ctx(
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li into $items \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn groupby_two_keys() {
+    assert_identical_ctx(
+        "for $li in //order/lineitem \
+         group by $li/returnflag into $rf, $li/linestatus into $ls \
+         nest $li/quantity into $qs \
+         order by string($rf), string($ls) \
+         return <g>{string($rf)}{string($ls)}|{count($qs)}|{sum(for $q in $qs return number($q))}</g>",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn groupby_ordered_nest() {
+    assert_identical_ctx(
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li/shipdate order by string($li/shipdate) into $ds \
+         order by string($m) \
+         return <g>{string($m)}:{string($ds[1])}..{string($ds[last()])}</g>",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn groupby_custom_equality() {
+    assert_identical_ctx(
+        "declare function local:eq($a as item()*, $b as item()*) as xs:boolean \
+         { deep-equal($a, $b) }; \
+         for $li in //order/lineitem \
+         group by $li/shipmode into $m using local:eq \
+         nest $li into $items \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn groupby_post_group_let_and_where() {
+    assert_identical_ctx(
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li into $items \
+         let $n := count($items) \
+         where $n ge 10 \
+         order by $n descending, string($m) \
+         return <g>{string($m)}:{$n}</g>",
+        &orders_ctx(),
+    );
+}
+
+// ---- ranking ----------------------------------------------------------
+
+#[test]
+fn rank_query_unbounded() {
+    assert_identical_ctx(
+        "for $li in //order/lineitem \
+         order by number($li/extendedprice) descending \
+         return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn rank_query_topk() {
+    assert_identical_ctx(
+        "(for $li in //order/lineitem \
+          order by number($li/extendedprice) descending \
+          return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>)\
+         [position() le 10]",
+        &orders_ctx(),
+    );
+}
+
+#[test]
+fn rank_groups_topk() {
+    assert_identical_ctx(
+        "(for $li in //order/lineitem \
+          group by $li/shipmode into $m \
+          nest $li into $items \
+          order by count($items) descending, string($m) \
+          return at $r <g rank=\"{$r}\">{string($m)}</g>)\
+         [position() le 3]",
+        &orders_ctx(),
+    );
+}
+
+// ---- windows ----------------------------------------------------------
+
+#[test]
+fn tumbling_window() {
+    assert_identical(
+        "for tumbling window $w in (1 to 50) \
+         start at $s when $s mod 7 = 1 \
+         return <w>{sum($w)}</w>",
+    );
+}
+
+#[test]
+fn tumbling_window_with_end_condition() {
+    assert_identical(
+        "for tumbling window $w in (2, 4, 6, 1, 3, 8, 10, 5) \
+         start $s when $s mod 2 = 0 \
+         end $e when $e mod 2 = 1 \
+         return <w>{$w}</w>",
+    );
+}
+
+#[test]
+fn sliding_window_with_rank() {
+    assert_identical(
+        "for sliding window $w in (1 to 12) \
+         start at $s when true() \
+         only end at $e when $e = $s + 2 \
+         return at $r <w r=\"{$r}\">{sum($w)}</w>",
+    );
+}
+
+// ---- plain FLWOR shapes ----------------------------------------------
+
+#[test]
+fn for_let_where_count() {
+    assert_identical(
+        "for $x in (5, 3, 8, 1, 9, 2) \
+         count $c \
+         let $y := $x * $c \
+         where $y mod 2 = 0 \
+         return <r>{$c}:{$y}</r>",
+    );
+}
+
+#[test]
+fn nested_flwor_in_let() {
+    assert_identical(
+        "for $x in 1 to 5 \
+         let $below := for $y in 1 to 5 where $y lt $x return $y \
+         return <r>{$x}|{count($below)}</r>",
+    );
+}
+
+#[test]
+fn empty_for_input() {
+    assert_identical("for $x in () order by $x return at $r <r>{$r}</r>");
+}
+
+#[test]
+fn multiple_for_clauses() {
+    assert_identical(
+        "for $x in (1, 2, 3) \
+         for $y in (\"a\", \"b\") \
+         order by $y, $x descending \
+         return <r>{$y}{$x}</r>",
+    );
+}
