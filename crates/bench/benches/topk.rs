@@ -41,7 +41,7 @@ fn engines() -> (Engine, Engine) {
 }
 
 /// Compile under both paths, check byte-identical output, bench both.
-fn bench_pair(group: &mut Harness, label: &str, query: &str, ctx: &xqa::DynamicContext) {
+fn bench_pair(group: &mut Harness, label: &str, query: &str, dataset: &Dataset) {
     let (streaming, materializing) = engines();
     let fast = streaming.compile(query).expect("compiles");
     assert!(
@@ -51,15 +51,23 @@ fn bench_pair(group: &mut Harness, label: &str, query: &str, ctx: &xqa::DynamicC
         "top-k pushdown must fire for {label}"
     );
     let slow = materializing.compile(query).expect("compiles");
-    let a = serialize_sequence(&fast.run(ctx).expect("runs"));
-    let b = serialize_sequence(&slow.run(ctx).expect("runs"));
+    let ctx = dataset.context();
+    let a = serialize_sequence(&fast.run(&ctx).expect("runs"));
+    let b = serialize_sequence(&slow.run(&ctx).expect("runs"));
     assert_eq!(a, b, "paths disagree for {label}");
 
-    group.bench(&format!("{label}/streaming_heap"), || {
-        fast.run(ctx).expect("runs");
+    // One profiled run attaches per-operator tuple/time numbers to the
+    // streaming record in BENCH_*.json (the timed loop stays unprofiled).
+    let mut profiled = dataset.context();
+    profiled.enable_profiling();
+    fast.run(&profiled).expect("profiled run");
+    let profile = profiled.take_profile().map(|p| p.to_json());
+
+    group.bench_with_profile(&format!("{label}/streaming_heap"), profile, || {
+        fast.run(&ctx).expect("runs");
     });
     group.bench(&format!("{label}/materializing"), || {
-        slow.run(ctx).expect("runs");
+        slow.run(&ctx).expect("runs");
     });
 }
 
@@ -70,12 +78,11 @@ fn main() {
     let mut group = Harness::group("topk/rank_items");
     for lineitems in [2_000usize, 10_000, 20_000] {
         let dataset = Dataset::generate(lineitems);
-        let ctx = dataset.context();
         bench_pair(
             &mut group,
             &format!("n{lineitems}"),
             &rank_items_query(K),
-            &ctx,
+            &dataset,
         );
     }
 
@@ -83,13 +90,12 @@ fn main() {
     // GroupConsume -> OrderBy(limit) under the same bound.
     let mut group = Harness::group("topk/rank_groups");
     let dataset = Dataset::generate(10_000);
-    let ctx = dataset.context();
     for (key, groups) in [("shipinstruct", 4usize), ("shipmode", 7), ("quantity", 50)] {
         bench_pair(
             &mut group,
             &format!("{key}_g{groups}"),
             &rank_groups_query(key, K),
-            &ctx,
+            &dataset,
         );
     }
 

@@ -282,6 +282,21 @@ fn topk(sizes: &[usize]) {
         );
     }
     println!();
+
+    // One profiled run at the largest size shows where the time goes:
+    // the per-operator rows that back the speedup claim above.
+    if let Some(&size) = sizes.last() {
+        let dataset = Dataset::generate(size);
+        let mut ctx = dataset.context();
+        ctx.enable_profiling();
+        let fast = streaming.compile(&query).expect("compiles");
+        fast.run(&ctx).expect("profiled run");
+        if let Some(profile) = ctx.take_profile() {
+            println!("per-operator profile ({size} lineitems, streaming):");
+            print!("{}", fast.explain_analyze(&profile));
+            println!();
+        }
+    }
 }
 
 fn bench_compiled(query: &xqa::PreparedQuery, ctx: &DynamicContext) -> std::time::Duration {

@@ -30,7 +30,20 @@ impl Harness {
     }
 
     /// Run one benchmark: warm up, estimate, then measure.
-    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        self.bench_with_profile(name, None, f);
+    }
+
+    /// Like [`Harness::bench`], but attaches a pre-serialized operator
+    /// profile (a JSON object, e.g. [`xqa::QueryProfile::to_json`])
+    /// to the machine-readable record, so `BENCH_*.json` carries
+    /// per-operator tuple/time numbers next to the wall-clock figures.
+    pub fn bench_with_profile<F: FnMut()>(
+        &mut self,
+        name: &str,
+        profile_json: Option<String>,
+        mut f: F,
+    ) {
         // Warm-up doubles as the iteration-count estimate.
         let start = Instant::now();
         f();
@@ -59,6 +72,7 @@ impl Harness {
             mean_ns: mean.as_nanos(),
             min_ns: min.as_nanos(),
             iters,
+            profile_json,
         });
     }
 }
@@ -70,6 +84,8 @@ struct Record {
     mean_ns: u128,
     min_ns: u128,
     iters: u32,
+    /// Pre-serialized JSON object with per-operator profile numbers.
+    profile_json: Option<String>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -85,13 +101,18 @@ pub fn write_json(path: &str) -> std::io::Result<()> {
         }
         out.push_str(&format!(
             "  {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {}, \
-             \"min_ns\": {}, \"iters\": {}}}",
+             \"min_ns\": {}, \"iters\": {}",
             escape(&r.group),
             escape(&r.name),
             r.mean_ns,
             r.min_ns,
             r.iters
         ));
+        if let Some(profile) = &r.profile_json {
+            // Already-valid JSON, inserted verbatim.
+            out.push_str(&format!(", \"profile\": {profile}"));
+        }
+        out.push('}');
     }
     out.push_str("\n]\n");
     std::fs::write(path, out)

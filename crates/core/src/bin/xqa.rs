@@ -9,6 +9,10 @@
 //!       --collection NAME=F,..  register a collection for fn:collection("NAME")
 //!       --pretty                pretty-print the result
 //!       --stats                 print evaluator statistics to stderr
+//!       --stats-json            print stats (and profile) as JSON to stderr
+//!       --profile               run profiled; print `explain analyze` to stderr
+//!       --trace-json FILE       write compile/execute trace events to FILE
+//!       --deterministic-clock   profile with a fixed-tick clock (for tests)
 //!       --detect-groupby        enable the implicit group-by rewrite
 //!   -h, --help                  this help
 //!
@@ -20,15 +24,25 @@
 //!       --collection NAME=F,..  as above
 //!       --workers N             worker threads (default: one per core)
 //!       --cache-size N          prepared-plan cache capacity (default 128)
+//!       --slow-query-ms N       log queries slower than N ms to stderr
 //!       --detect-groupby        as above
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use xqa::{
-    parse_document, serialize_sequence_with, DynamicContext, Engine, EngineOptions,
-    SerializeOptions,
+    parse_document, serialize_sequence_with, Clock, DynamicContext, Engine, EngineOptions,
+    MonotonicClock, SerializeOptions, TickClock, TracePhase, TraceRing, TraceSink, Tracer,
 };
 use xqa_service::{DocumentCatalog, Server, ServiceConfig};
+
+/// Tick width of the `--deterministic-clock` profile clock: 1ms per
+/// clock read, so golden profile output is stable across machines.
+const DETERMINISTIC_TICK_NANOS: u64 = 1_000_000;
+
+/// Capacity of the `--trace-json` event ring (events beyond this drop
+/// oldest-first; a single compile-and-run emits far fewer).
+const TRACE_RING_CAPACITY: usize = 1024;
 
 struct Args {
     query_text: Option<String>,
@@ -38,7 +52,11 @@ struct Args {
     collections: Vec<(String, Vec<String>)>,
     pretty: bool,
     stats: bool,
+    stats_json: bool,
     explain: bool,
+    profile: bool,
+    trace_json: Option<String>,
+    deterministic_clock: bool,
     detect_groupby: bool,
 }
 
@@ -52,13 +70,22 @@ options:
                             register a collection for fn:collection(\"NAME\")
       --pretty              pretty-print the result
       --stats               print evaluator statistics to stderr
+      --stats-json          print statistics (and the profile, with --profile)
+                            as one JSON object on stderr
       --explain             print the compiled plan to stderr before running
+      --profile             run with per-operator profiling and print
+                            `explain analyze` to stderr
+      --trace-json FILE     write structured trace events (parse, rewrites,
+                            compile, execute) to FILE as JSON
+      --deterministic-clock profile with a fixed-tick clock so timings are
+                            reproducible (for tests and goldens)
       --detect-groupby      enable the implicit group-by detection rewrite
   -h, --help                show this help
 serve options:
       --addr HOST:PORT      bind address (default 127.0.0.1:8399)
       --workers N           worker threads (default: one per core)
-      --cache-size N        prepared-plan cache capacity (default 128)";
+      --cache-size N        prepared-plan cache capacity (default 128)
+      --slow-query-ms N     log queries slower than N ms to stderr";
 
 fn parse_doc_spec(spec: &str) -> Result<(String, String), String> {
     let (name, file) = spec
@@ -91,7 +118,11 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         collections: Vec::new(),
         pretty: false,
         stats: false,
+        stats_json: false,
         explain: false,
+        profile: false,
+        trace_json: None,
+        deterministic_clock: false,
         detect_groupby: false,
     };
     let mut it = raw;
@@ -117,7 +148,13 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--pretty" => args.pretty = true,
             "--stats" => args.stats = true,
+            "--stats-json" => args.stats_json = true,
             "--explain" => args.explain = true,
+            "--profile" => args.profile = true,
+            "--trace-json" => {
+                args.trace_json = Some(it.next().ok_or("--trace-json requires a file")?);
+            }
+            "--deterministic-clock" => args.deterministic_clock = true,
             "--detect-groupby" => args.detect_groupby = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -148,7 +185,27 @@ fn run(args: &Args) -> Result<(), String> {
         detect_implicit_groupby: args.detect_groupby,
         ..Default::default()
     });
-    let query = engine.compile(&query_source).map_err(|e| e.to_string())?;
+    // One clock serves both the trace timestamps and the profile
+    // timings, so `--deterministic-clock` pins every reading.
+    let clock: Arc<dyn Clock> = if args.deterministic_clock {
+        Arc::new(TickClock::new(DETERMINISTIC_TICK_NANOS))
+    } else {
+        Arc::new(MonotonicClock::new())
+    };
+    let trace_ring = args
+        .trace_json
+        .as_ref()
+        .map(|_| Arc::new(TraceRing::new(TRACE_RING_CAPACITY)));
+    let tracer = trace_ring.as_ref().map(|ring| {
+        Tracer::new(
+            1,
+            Arc::clone(&clock),
+            Arc::clone(ring) as Arc<dyn TraceSink>,
+        )
+    });
+    let query = engine
+        .compile_traced(&query_source, tracer.as_ref())
+        .map_err(|e| e.to_string())?;
     for rewrite in query.applied_rewrites() {
         eprintln!("rewrite: {rewrite}");
     }
@@ -156,6 +213,10 @@ fn run(args: &Args) -> Result<(), String> {
         eprint!("{}", query.explain());
     }
     let mut ctx = DynamicContext::new();
+    ctx.set_clock(Arc::clone(&clock));
+    if args.profile {
+        ctx.enable_profiling();
+    }
     if let Some(input) = &args.input {
         let text =
             std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
@@ -182,12 +243,25 @@ fn run(args: &Args) -> Result<(), String> {
         ctx.register_collection(name.clone(), roots);
     }
     let result = query.run(&ctx).map_err(|e| e.to_string())?;
+    if let Some(t) = &tracer {
+        t.emit(
+            TracePhase::Execute,
+            format!("evaluated: {} item(s) in result", result.len()),
+        );
+    }
     let options = if args.pretty {
         SerializeOptions::pretty()
     } else {
         SerializeOptions::default()
     };
     println!("{}", serialize_sequence_with(&result, options));
+    let profile = if args.profile {
+        let p = ctx.take_profile().unwrap_or_default();
+        eprint!("{}", query.explain_analyze(&p));
+        Some(p)
+    } else {
+        None
+    };
     if args.stats {
         let s = ctx.stats.snapshot();
         eprintln!(
@@ -202,6 +276,16 @@ fn run(args: &Args) -> Result<(), String> {
             s.tuples_pruned_topk
         );
     }
+    if args.stats_json {
+        let s = ctx.stats.snapshot();
+        match &profile {
+            Some(p) => eprintln!("{{\"stats\":{},\"profile\":{}}}", s.to_json(), p.to_json()),
+            None => eprintln!("{{\"stats\":{}}}", s.to_json()),
+        }
+    }
+    if let (Some(file), Some(ring)) = (&args.trace_json, &trace_ring) {
+        std::fs::write(file, ring.to_json()).map_err(|e| format!("cannot write {file}: {e}"))?;
+    }
     Ok(())
 }
 
@@ -212,6 +296,7 @@ struct ServeArgs {
     collections: Vec<(String, Vec<String>)>,
     workers: usize,
     cache_size: usize,
+    slow_query_ms: Option<u64>,
     detect_groupby: bool,
 }
 
@@ -223,6 +308,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         collections: Vec::new(),
         workers: 0,
         cache_size: 128,
+        slow_query_ms: None,
         detect_groupby: false,
     };
     let mut it = raw;
@@ -253,6 +339,10 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
                 let n = it.next().ok_or("--cache-size requires a number")?;
                 args.cache_size = n.parse().map_err(|_| format!("invalid cache size {n}"))?;
             }
+            "--slow-query-ms" => {
+                let n = it.next().ok_or("--slow-query-ms requires a number")?;
+                args.slow_query_ms = Some(n.parse().map_err(|_| format!("invalid threshold {n}"))?);
+            }
             "--detect-groupby" => args.detect_groupby = true,
             other => return Err(format!("unknown serve option {other}")),
         }
@@ -282,6 +372,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
             detect_implicit_groupby: args.detect_groupby,
             ..Default::default()
         },
+        slow_query_ms: args.slow_query_ms,
         ..Default::default()
     };
     let server = Server::start(&args.addr, &catalog, config)

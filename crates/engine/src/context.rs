@@ -1,5 +1,6 @@
 //! Static and dynamic evaluation contexts.
 
+use crate::profile::{Clock, MonotonicClock, Profiler, QueryProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,6 +109,24 @@ impl EvalStats {
         self.tuples_pruned_topk.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add a snapshot's counters into this block (used by the service
+    /// to aggregate per-request snapshots into server-wide totals).
+    pub fn add_snapshot(&self, s: &EvalStatsSnapshot) {
+        self.nodes_visited
+            .fetch_add(s.nodes_visited, Ordering::Relaxed);
+        self.tuples_grouped
+            .fetch_add(s.tuples_grouped, Ordering::Relaxed);
+        self.groups_emitted
+            .fetch_add(s.groups_emitted, Ordering::Relaxed);
+        self.comparisons.fetch_add(s.comparisons, Ordering::Relaxed);
+        self.tuples_produced
+            .fetch_add(s.tuples_produced, Ordering::Relaxed);
+        self.tuples_pruned_filter
+            .fetch_add(s.tuples_pruned_filter, Ordering::Relaxed);
+        self.tuples_pruned_topk
+            .fetch_add(s.tuples_pruned_topk, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> EvalStatsSnapshot {
         EvalStatsSnapshot {
@@ -122,6 +141,24 @@ impl EvalStats {
     }
 }
 
+impl EvalStatsSnapshot {
+    /// Render the snapshot as one JSON object (std-only, hand-rolled).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"nodes_visited\":{},\"tuples_grouped\":{},\"groups_emitted\":{},\
+             \"comparisons\":{},\"tuples_produced\":{},\"tuples_pruned_filter\":{},\
+             \"tuples_pruned_topk\":{}}}",
+            self.nodes_visited,
+            self.tuples_grouped,
+            self.groups_emitted,
+            self.comparisons,
+            self.tuples_produced,
+            self.tuples_pruned_filter,
+            self.tuples_pruned_topk
+        )
+    }
+}
+
 /// The dynamic context: input documents and runtime counters.
 #[derive(Debug)]
 pub struct DynamicContext {
@@ -133,6 +170,13 @@ pub struct DynamicContext {
     /// Runtime counters (always collected; the overhead is a few
     /// relaxed `Cell` bumps).
     pub stats: EvalStats,
+    /// The monotonic clock used for profiling timestamps. Injectable
+    /// ([`DynamicContext::set_clock`]) so profiled runs can be made
+    /// deterministic with a [`crate::profile::TickClock`] in tests.
+    clock: Arc<dyn Clock>,
+    /// Per-operator profile collector; `None` unless profiling was
+    /// enabled, so unprofiled runs pay nothing in the pipeline.
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl Default for DynamicContext {
@@ -156,6 +200,8 @@ impl Default for DynamicContext {
                 tz_offset_min: Some(0),
             },
             stats: EvalStats::default(),
+            clock: Arc::new(MonotonicClock::new()),
+            profiler: None,
         }
     }
 }
@@ -231,6 +277,36 @@ impl DynamicContext {
             Some(n) => self.collections.get(n).map(|v| v.as_slice()),
         }
     }
+
+    /// The clock profiling timestamps are read from.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Replace the profiling clock (inject a deterministic
+    /// [`crate::profile::TickClock`] for golden tests).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) -> &mut Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Turn on per-operator profiling for subsequent runs against this
+    /// context, installing a fresh collector.
+    pub fn enable_profiling(&mut self) -> &mut Self {
+        self.profiler = Some(Arc::new(Profiler::new()));
+        self
+    }
+
+    /// The installed profile collector, if profiling is enabled.
+    pub fn profiler(&self) -> Option<&Arc<Profiler>> {
+        self.profiler.as_ref()
+    }
+
+    /// Drain the collected per-operator profile. `None` when profiling
+    /// was never enabled.
+    pub fn take_profile(&self) -> Option<QueryProfile> {
+        self.profiler.as_ref().map(|p| p.take())
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +354,39 @@ mod tests {
         assert_eq!(ctx.stats.snapshot().nodes_visited, 5);
         ctx.stats.reset();
         assert_eq!(ctx.stats.snapshot(), EvalStatsSnapshot::default());
+    }
+
+    #[test]
+    fn add_snapshot_accumulates() {
+        let totals = EvalStats::default();
+        let s = EvalStatsSnapshot {
+            nodes_visited: 3,
+            tuples_produced: 10,
+            ..Default::default()
+        };
+        totals.add_snapshot(&s);
+        totals.add_snapshot(&s);
+        let t = totals.snapshot();
+        assert_eq!(t.nodes_visited, 6);
+        assert_eq!(t.tuples_produced, 20);
+        assert_eq!(t.comparisons, 0);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let json = EvalStatsSnapshot::default().to_json();
+        assert!(json.starts_with("{\"nodes_visited\":0"));
+        assert!(json.ends_with("\"tuples_pruned_topk\":0}"));
+    }
+
+    #[test]
+    fn profiling_disabled_by_default() {
+        let mut ctx = DynamicContext::new();
+        assert!(ctx.profiler().is_none());
+        assert!(ctx.take_profile().is_none());
+        ctx.enable_profiling();
+        assert!(ctx.profiler().is_some());
+        assert!(ctx.take_profile().expect("enabled").is_empty());
     }
 
     #[test]

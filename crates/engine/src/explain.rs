@@ -7,6 +7,7 @@
 
 use crate::functions::Builtin;
 use crate::ir::*;
+use crate::profile::QueryProfile;
 use std::fmt::Write;
 
 /// Render a whole compiled query.
@@ -32,6 +33,42 @@ pub fn explain_query(query: &CompiledQuery) -> String {
     );
     write_ir(&mut out, &query.body, 1);
     out
+}
+
+/// Render a measured profile as `explain analyze` text: every executed
+/// pipeline with per-operator batch/tuple counts and self time, next to
+/// the plan's `[heap]` / `[materializes]` tags.
+pub fn explain_analyze(profile: &QueryProfile) -> String {
+    let mut out = String::from("explain analyze:\n");
+    if profile.is_empty() {
+        out.push_str("  (no streaming pipeline executed)\n");
+        return out;
+    }
+    for (i, p) in profile.pipelines.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "pipeline #{i} ({} execution(s), total {}):",
+            p.executions,
+            fmt_time(p.total_nanos())
+        );
+        let _ = writeln!(out, "  plan: {}", p.signature());
+        for op in &p.ops {
+            let _ = writeln!(
+                out,
+                "  {:<32} batches={:<6} tuples_in={:<8} tuples_out={:<8} time={}",
+                op.label(),
+                op.batches,
+                op.tuples_in,
+                op.tuples_out,
+                fmt_time(op.nanos)
+            );
+        }
+    }
+    out
+}
+
+fn fmt_time(nanos: u64) -> String {
+    format!("{:.3}ms", nanos as f64 / 1_000_000.0)
 }
 
 fn pad(out: &mut String, depth: usize) {
@@ -351,7 +388,7 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
 /// an annotation stream tuples batch-at-a-time; pipeline breakers are
 /// marked `[materializes]`, and a bounded top-k order-by shows its
 /// `limit` and `[heap]` mode.
-fn render_plan(f: &FlworIr) -> String {
+pub(crate) fn render_plan(f: &FlworIr) -> String {
     let mut parts: Vec<String> = f
         .plan
         .iter()

@@ -31,11 +31,15 @@ pub mod functions;
 pub mod ir;
 pub mod keys;
 mod pipeline;
+pub mod profile;
 pub mod rewrite;
+pub mod trace;
 pub mod types;
 
 pub use context::{DynamicContext, EvalStats, EvalStatsSnapshot, Focus};
 pub use error::{EngineError, EngineResult};
+pub use profile::{Clock, MonotonicClock, OpKind, QueryProfile, TickClock};
+pub use trace::{TraceEvent, TracePhase, TraceRing, TraceSink, Tracer};
 
 use xqa_frontend::parse_query;
 use xqa_xdm::Sequence;
@@ -77,6 +81,67 @@ impl Default for EngineOptions {
     }
 }
 
+/// The kind of optimizer rewrite a [`RewriteNote`] records. The wire
+/// names (`as_str`) key the service's rewrite-fired counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RewriteKind {
+    /// `distinct-values` self-join rewritten to explicit `group by`.
+    ImplicitGroupBy,
+    /// Constant subexpressions folded at compile time.
+    ConstantFolding,
+    /// Positional bound pushed into `order by` as a heap limit.
+    TopKPushdown,
+    /// `descendant-or-self::node()/child::T` fused to `descendant::T`.
+    PathFusion,
+}
+
+impl RewriteKind {
+    /// Every rewrite kind, in compilation order.
+    pub const ALL: [RewriteKind; 4] = [
+        RewriteKind::ImplicitGroupBy,
+        RewriteKind::ConstantFolding,
+        RewriteKind::TopKPushdown,
+        RewriteKind::PathFusion,
+    ];
+
+    /// The wire name of the rewrite.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RewriteKind::ImplicitGroupBy => "implicit-groupby",
+            RewriteKind::ConstantFolding => "constant-folding",
+            RewriteKind::TopKPushdown => "topk-pushdown",
+            RewriteKind::PathFusion => "path-fusion",
+        }
+    }
+}
+
+/// One optimizer rewrite that fired during compilation: a typed kind
+/// plus a human-readable description saying what happened and where.
+///
+/// Derefs to the description `str`, so string-style call sites
+/// (`note.contains(...)`, `format!("{note}")`) keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteNote {
+    /// Which rewrite fired.
+    pub kind: RewriteKind,
+    /// What it did, and in which location (query body / global / function).
+    pub detail: String,
+}
+
+impl std::ops::Deref for RewriteNote {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl std::fmt::Display for RewriteNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
 /// The query engine: compiles query text into executable plans.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct Engine {
@@ -101,28 +166,82 @@ impl Engine {
 
     /// Parse and compile a query.
     pub fn compile(&self, source: &str) -> EngineResult<PreparedQuery> {
+        self.compile_traced(source, None)
+    }
+
+    /// Parse and compile a query, emitting parse / rewrite-fired /
+    /// compile trace events through `tracer` when one is given.
+    pub fn compile_traced(
+        &self,
+        source: &str,
+        tracer: Option<&Tracer>,
+    ) -> EngineResult<PreparedQuery> {
+        let note = |kind: RewriteKind| move |detail: String| RewriteNote { kind, detail };
         let mut module = parse_query(source)?;
-        let mut rewrites = Vec::new();
+        if let Some(t) = tracer {
+            t.emit(
+                TracePhase::Parse,
+                format!("parsed {} byte(s) of query text", source.len()),
+            );
+        }
+        let mut rewrites: Vec<RewriteNote> = Vec::new();
         if self.options.detect_implicit_groupby {
-            rewrites = rewrite::detect_implicit_groupby(&mut module);
+            rewrites.extend(
+                rewrite::detect_implicit_groupby(&mut module)
+                    .into_iter()
+                    .map(note(RewriteKind::ImplicitGroupBy)),
+            );
         }
         let mut compiled = compile::compile(&module)?;
         compiled.streaming = self.options.streaming_pipeline;
         if self.options.constant_folding {
             let folds = fold::fold_query(&mut compiled);
             if folds > 0 {
-                rewrites.push(format!("constant folding: {folds} subexpression(s) folded"));
+                rewrites.push(RewriteNote {
+                    kind: RewriteKind::ConstantFolding,
+                    detail: format!("constant folding: {folds} subexpression(s) folded"),
+                });
             }
         }
         if self.options.topk_pushdown {
             // After folding, so literal bounds like `le 5 + 5` are
             // visible. The limit only changes how the streaming order-by
             // runs; the materializing path ignores it.
-            rewrites.extend(rewrite::pushdown_topk(&mut compiled));
+            rewrites.extend(
+                rewrite::pushdown_topk(&mut compiled)
+                    .into_iter()
+                    .map(note(RewriteKind::TopKPushdown)),
+            );
         }
         // Always-sound plan normalization: `//T` scans one descendant
         // pass instead of materializing every node of the subtree.
-        rewrites.extend(rewrite::fuse_descendant_paths(&mut compiled));
+        rewrites.extend(
+            rewrite::fuse_descendant_paths(&mut compiled)
+                .into_iter()
+                .map(note(RewriteKind::PathFusion)),
+        );
+        if let Some(t) = tracer {
+            for r in &rewrites {
+                t.emit(
+                    TracePhase::RewriteFired,
+                    format!("{}: {}", r.kind.as_str(), r.detail),
+                );
+            }
+            t.emit(
+                TracePhase::Compile,
+                format!(
+                    "compiled: {} global(s), {} function(s), frame size {}, {}",
+                    compiled.globals.len(),
+                    compiled.functions.len(),
+                    compiled.frame_size,
+                    if compiled.streaming {
+                        "streaming pipeline"
+                    } else {
+                        "materializing (legacy)"
+                    }
+                ),
+            );
+        }
         Ok(PreparedQuery { compiled, rewrites })
     }
 }
@@ -131,7 +250,7 @@ impl Engine {
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     compiled: ir::CompiledQuery,
-    rewrites: Vec<String>,
+    rewrites: Vec<RewriteNote>,
 }
 
 impl PreparedQuery {
@@ -140,9 +259,9 @@ impl PreparedQuery {
         eval::execute(&self.compiled, ctx)
     }
 
-    /// Descriptions of optimizer rewrites that fired during compilation
-    /// (empty unless `detect_implicit_groupby` is on and matched).
-    pub fn applied_rewrites(&self) -> &[String] {
+    /// The optimizer rewrites that fired during compilation, with what
+    /// they did and where.
+    pub fn applied_rewrites(&self) -> &[RewriteNote] {
         &self.rewrites
     }
 
@@ -154,6 +273,12 @@ impl PreparedQuery {
     /// Render the compiled plan as an indented operator tree.
     pub fn explain(&self) -> String {
         explain::explain_query(&self.compiled)
+    }
+
+    /// Render a measured profile (from a profiling-enabled run of this
+    /// query) as `explain analyze` text.
+    pub fn explain_analyze(&self, profile: &QueryProfile) -> String {
+        explain::explain_analyze(profile)
     }
 }
 

@@ -28,8 +28,11 @@ use crate::error::{EngineError, EngineResult};
 use crate::eval::{Env, Interpreter};
 use crate::ir::*;
 use crate::keys::GroupIndex;
+use crate::profile::{OpKind, OpProfile, PipelineProfile};
 use crate::types::matches_seq_type;
+use std::cell::Cell;
 use std::cmp::Ordering;
+use std::rc::Rc;
 use std::sync::Arc;
 use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence};
 
@@ -82,9 +85,14 @@ pub(crate) trait TupleSource {
 
 type BoxSource<'p> = Box<dyn TupleSource + 'p>;
 
-/// Evaluate a FLWOR through the streaming pipeline.
+/// Evaluate a FLWOR through the streaming pipeline. When profiling is
+/// enabled on the dynamic context, every operator is wrapped in an
+/// [`Instrumented`] decorator and the measured chain is recorded into
+/// the context's profiler after the run.
 pub(crate) fn run(interp: &Interpreter, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
     debug_assert_eq!(f.plan.len(), f.clauses.len());
+    let profiler = interp.dynamic.profiler().cloned();
+    let mut counters: Vec<Rc<OpCounters>> = Vec::new();
     let mut source: BoxSource = Box::new(Singleton { done: false });
     for clause in &f.clauses {
         source = match clause {
@@ -134,12 +142,129 @@ pub(crate) fn run(interp: &Interpreter, f: &FlworIr, env: &mut Env) -> EngineRes
                 consumed: false,
             }),
         };
+        if profiler.is_some() {
+            let c = Rc::new(OpCounters::default());
+            counters.push(Rc::clone(&c));
+            source = Box::new(Instrumented {
+                input: source,
+                counters: c,
+            });
+        }
     }
-    ReturnAt {
+    let sink = ReturnAt {
         at: f.return_at,
         expr: &f.return_expr,
+    };
+    match profiler {
+        None => sink.execute(source, interp, env).map(|(seq, _)| seq),
+        Some(profiler) => {
+            let clock = Arc::clone(interp.dynamic.clock());
+            let start = clock.now_nanos();
+            let (seq, sink_stats) = sink.execute(source, interp, env)?;
+            let total = clock.now_nanos().saturating_sub(start);
+            profiler.record(build_profile(f, &counters, sink_stats, total));
+            Ok(seq)
+        }
     }
-    .execute(source, interp, env)
+}
+
+/// Interior-mutable counters for one instrumented operator. `Rc<Cell>`
+/// (not atomics) because one pipeline runs on one thread and
+/// [`TupleSource`] is not `Send`.
+#[derive(Debug, Default)]
+struct OpCounters {
+    batches: Cell<u64>,
+    tuples_out: Cell<u64>,
+    /// Cumulative time spent in this operator *and everything upstream*
+    /// of it (`next_batch` pulls recursively); self time is recovered by
+    /// subtracting the input operator's cumulative time.
+    cum_nanos: Cell<u64>,
+}
+
+/// Decorator that meters the operator below it: batches, tuples and
+/// wall time per `next_batch` call, read from the injected clock.
+struct Instrumented<'p> {
+    input: BoxSource<'p>,
+    counters: Rc<OpCounters>,
+}
+
+impl TupleSource for Instrumented<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let clock = interp.dynamic.clock();
+        let start = clock.now_nanos();
+        let result = self.input.next_batch(interp, env);
+        let elapsed = clock.now_nanos().saturating_sub(start);
+        let c = &self.counters;
+        c.cum_nanos.set(c.cum_nanos.get() + elapsed);
+        if let Ok(Some(batch)) = &result {
+            c.batches.set(c.batches.get() + 1);
+            c.tuples_out.set(c.tuples_out.get() + batch.len() as u64);
+        }
+        result
+    }
+}
+
+/// Assemble the measured operator chain for one pipeline execution.
+/// Self time per operator = its cumulative time minus its input's;
+/// tuples_in = the input operator's tuples_out (the `Singleton` root
+/// seeds exactly one tuple).
+fn build_profile(
+    f: &FlworIr,
+    counters: &[Rc<OpCounters>],
+    sink_stats: SinkStats,
+    total_nanos: u64,
+) -> PipelineProfile {
+    let mut ops = Vec::with_capacity(counters.len() + 1);
+    let mut upstream_out = 1u64;
+    let mut upstream_cum = 0u64;
+    for (clause, c) in f.clauses.iter().zip(counters) {
+        let cum = c.cum_nanos.get();
+        ops.push(OpProfile {
+            kind: clause_op_kind(clause),
+            detail: clause_op_detail(clause),
+            batches: c.batches.get(),
+            tuples_in: upstream_out,
+            tuples_out: c.tuples_out.get(),
+            nanos: cum.saturating_sub(upstream_cum),
+        });
+        upstream_out = c.tuples_out.get();
+        upstream_cum = cum;
+    }
+    ops.push(OpProfile {
+        kind: OpKind::ReturnAt,
+        detail: String::new(),
+        batches: sink_stats.batches,
+        tuples_in: upstream_out,
+        tuples_out: sink_stats.tuples,
+        nanos: total_nanos.saturating_sub(upstream_cum),
+    });
+    PipelineProfile { executions: 1, ops }
+}
+
+fn clause_op_kind(clause: &ClauseIr) -> OpKind {
+    match clause {
+        ClauseIr::For { .. } => OpKind::ForScan,
+        ClauseIr::Let { .. } => OpKind::LetBind,
+        ClauseIr::Where(_) => OpKind::Filter,
+        ClauseIr::Count { .. } => OpKind::CountBind,
+        ClauseIr::Window(_) => OpKind::WindowScan,
+        ClauseIr::GroupBy(_) => OpKind::GroupConsume,
+        ClauseIr::OrderBy(_) => OpKind::OrderBy,
+    }
+}
+
+fn clause_op_detail(clause: &ClauseIr) -> String {
+    match clause {
+        ClauseIr::OrderBy(ob) => match ob.limit {
+            Some(k) => format!("limit={k}"),
+            None => String::new(),
+        },
+        _ => String::new(),
+    }
 }
 
 /// The pipeline root: one tuple with no bindings (the incoming frame).
@@ -723,16 +848,27 @@ struct ReturnAt<'p> {
     expr: &'p Ir,
 }
 
+/// What the sink consumed: the operator-level counters for `ReturnAt`'s
+/// row in the profile.
+#[derive(Debug, Default, Clone, Copy)]
+struct SinkStats {
+    batches: u64,
+    tuples: u64,
+}
+
 impl ReturnAt<'_> {
     fn execute(
         &self,
         mut source: BoxSource<'_>,
         interp: &Interpreter,
         env: &mut Env,
-    ) -> EngineResult<Sequence> {
+    ) -> EngineResult<(Sequence, SinkStats)> {
         let mut out: Sequence = Vec::new();
+        let mut stats = SinkStats::default();
         let mut ordinal = 0i64;
         while let Some(batch) = source.next_batch(interp, env)? {
+            stats.batches += 1;
+            stats.tuples += batch.len() as u64;
             for t in batch {
                 t.apply(env);
                 ordinal += 1;
@@ -742,6 +878,6 @@ impl ReturnAt<'_> {
                 out.extend(interp.eval(self.expr, env)?);
             }
         }
-        Ok(out)
+        Ok((out, stats))
     }
 }

@@ -451,16 +451,18 @@ fn subexpressions_mut(e: &mut Expr) -> Vec<&mut Expr> {
 pub fn pushdown_topk(query: &mut crate::ir::CompiledQuery) -> Vec<String> {
     let mut fired = Vec::new();
     for g in &mut query.globals {
-        pushdown_ir(&mut g.init, &mut fired);
+        let loc = format!("global ${}", g.name);
+        pushdown_ir(&mut g.init, &loc, &mut fired);
     }
     for f in &mut query.functions {
-        pushdown_ir(&mut f.body, &mut fired);
+        let loc = format!("function {}#{}", f.name, f.arity);
+        pushdown_ir(&mut f.body, &loc, &mut fired);
     }
-    pushdown_ir(&mut query.body, &mut fired);
+    pushdown_ir(&mut query.body, "query body", &mut fired);
     fired
 }
 
-fn pushdown_ir(ir: &mut crate::ir::Ir, fired: &mut Vec<String>) {
+fn pushdown_ir(ir: &mut crate::ir::Ir, loc: &str, fired: &mut Vec<String>) {
     use crate::ir::Ir;
     match ir {
         Ir::Filter { base, predicates } => {
@@ -469,7 +471,7 @@ fn pushdown_ir(ir: &mut crate::ir::Ir, fired: &mut Vec<String>) {
             // positions.
             if let (Ir::Flwor(f), Some(first)) = (&mut **base, predicates.first()) {
                 if let Some(k) = positional_bound(first) {
-                    try_limit_flwor(f, k, fired);
+                    try_limit_flwor(f, k, loc, fired);
                 }
             }
         }
@@ -479,19 +481,19 @@ fn pushdown_ir(ir: &mut crate::ir::Ir, fired: &mut Vec<String>) {
                 let Ir::Flwor(f) = &mut args[0] else {
                     unreachable!()
                 };
-                try_limit_flwor(f, k, fired);
+                try_limit_flwor(f, k, loc, fired);
             }
         }
         _ => {}
     }
     for child in crate::fold::child_irs(ir) {
-        pushdown_ir(child, fired);
+        pushdown_ir(child, loc, fired);
     }
 }
 
 /// Apply `limit k` to the FLWOR's trailing order-by, if it has one and
 /// the return expression is provably one item per tuple.
-fn try_limit_flwor(f: &mut crate::ir::FlworIr, k: usize, fired: &mut Vec<String>) {
+fn try_limit_flwor(f: &mut crate::ir::FlworIr, k: usize, loc: &str, fired: &mut Vec<String>) {
     use crate::ir::ClauseIr;
     if !single_item_return(&f.return_expr) {
         return;
@@ -502,7 +504,7 @@ fn try_limit_flwor(f: &mut crate::ir::FlworIr, k: usize, fired: &mut Vec<String>
     let limit = ob.limit.map_or(k, |old| old.min(k));
     ob.limit = Some(limit);
     fired.push(format!(
-        "top-k pushdown: order by bounded to a {limit}-tuple heap"
+        "top-k pushdown: order by bounded to a {limit}-tuple heap (in {loc})"
     ));
 }
 
@@ -567,22 +569,29 @@ fn single_item_return(ir: &crate::ir::Ir) -> bool {
 /// predicates, because predicates are evaluated per *context* node and
 /// positional predicates would renumber.
 pub fn fuse_descendant_paths(query: &mut crate::ir::CompiledQuery) -> Vec<String> {
-    let mut fused = 0usize;
+    let mut fired = Vec::new();
+    let mut record = |fused: usize, loc: &str| {
+        if fused > 0 {
+            fired.push(format!(
+                "path fusion: {fused} descendant-or-self/child step pair(s) \
+                 fused into a single descendant scan (in {loc})"
+            ));
+        }
+    };
     for g in &mut query.globals {
+        let mut fused = 0usize;
         fuse_ir(&mut g.init, &mut fused);
+        record(fused, &format!("global ${}", g.name));
     }
     for f in &mut query.functions {
+        let mut fused = 0usize;
         fuse_ir(&mut f.body, &mut fused);
+        record(fused, &format!("function {}#{}", f.name, f.arity));
     }
+    let mut fused = 0usize;
     fuse_ir(&mut query.body, &mut fused);
-    if fused == 0 {
-        Vec::new()
-    } else {
-        vec![format!(
-            "path fusion: {fused} descendant-or-self/child step pair(s) \
-             fused into a single descendant scan"
-        )]
-    }
+    record(fused, "query body");
+    fired
 }
 
 fn fuse_ir(ir: &mut crate::ir::Ir, fused: &mut usize) {

@@ -165,10 +165,23 @@ impl PlanCache {
     /// cache hits behind a slow compile. Failed compilations are not
     /// cached.
     pub fn get_or_compile(&self, engine: &Engine, query: &str) -> EngineResult<Arc<PreparedQuery>> {
+        self.get_or_compile_status(engine, query)
+            .map(|(plan, _)| plan)
+    }
+
+    /// Like [`PlanCache::get_or_compile`], but also reports whether the
+    /// plan was compiled by this call (`true`) or served from the cache
+    /// (`false`) — the signal the server uses to count rewrite firings
+    /// exactly once per compilation.
+    pub fn get_or_compile_status(
+        &self,
+        engine: &Engine,
+        query: &str,
+    ) -> EngineResult<(Arc<PreparedQuery>, bool)> {
         let key = (query.to_string(), engine.options());
         if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(plan);
+            return Ok((plan, false));
         }
         let plan = Arc::new(engine.compile(query)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -177,7 +190,7 @@ impl PlanCache {
             Arc::clone(&plan),
             self.capacity,
         );
-        Ok(plan)
+        Ok((plan, true))
     }
 
     /// Cache hits so far.

@@ -4,7 +4,8 @@
 //! Every entry is an `Arc<Document>`; building a per-request
 //! [`DynamicContext`] from the catalog only clones handles, never
 //! re-parses XML. The catalog is the single owner of input data for a
-//! [`crate::Server`] — workers evaluate against one shared context.
+//! [`crate::Server`] — each request gets its own context (cheap `Arc`
+//! clones) so per-request stats and profiles never interleave.
 
 use std::fmt;
 use std::path::Path;

@@ -135,16 +135,43 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with_headers(writer, status, content_type, &[], body)
+}
+
+/// Write a complete `Connection: close` response with extra headers
+/// (e.g. `X-Request-Id`). Header values must be ASCII without CR/LF.
+pub fn write_response_with_headers(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
+}
+
+/// The value of query parameter `key` in a request target, if present
+/// (`/query?profile=true` → `Some("true")`). No percent-decoding; the
+/// server's parameters are plain tokens.
+pub fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    let (_, params) = target.split_once('?')?;
+    params.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
 }
 
 /// Minimal JSON string escaping for error payloads.
@@ -247,5 +274,33 @@ mod tests {
     fn json_escaping_covers_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn extra_headers_land_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with_headers(
+            &mut out,
+            200,
+            "application/json",
+            &[("X-Request-Id", "42")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: 42\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn query_params_parse_from_the_target() {
+        assert_eq!(query_param("/query?profile=true", "profile"), Some("true"));
+        assert_eq!(
+            query_param("/query?a=1&profile=yes&b=2", "profile"),
+            Some("yes")
+        );
+        assert_eq!(query_param("/query?profile", "profile"), Some(""));
+        assert_eq!(query_param("/query", "profile"), None);
+        assert_eq!(query_param("/query?other=1", "profile"), None);
     }
 }

@@ -51,6 +51,27 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
+    /// Estimated latency quantile in microseconds: the upper bound of
+    /// the first bucket holding the `q`-th observation (0 when empty;
+    /// observations past the last bound clamp to it). Coarse by design —
+    /// the resolution is the bucket layout — but monotone in `q` and
+    /// cheap enough to serve inline from `/metrics`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BOUNDS_US.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            if cumulative >= target {
+                return bound;
+            }
+        }
+        LATENCY_BOUNDS_US[LATENCY_BOUNDS_US.len() - 1]
+    }
+
     /// Append Prometheus-style cumulative buckets named `{name}_bucket`
     /// plus `{name}_sum` / `{name}_count`.
     pub fn render(&self, out: &mut String, name: &str) {
@@ -129,6 +150,30 @@ mod tests {
         assert!(out.contains("lat_us_bucket{le=\"+Inf\"} 2"));
         assert!(out.contains("lat_us_count 2"));
         assert!(out.contains("lat_us_sum 210"));
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(50)); // bucket le=100
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(40_000)); // bucket le=50000
+        }
+        assert_eq!(h.quantile_us(0.5), 100);
+        assert_eq!(h.quantile_us(0.9), 100);
+        assert_eq!(h.quantile_us(0.95), 50_000);
+        assert_eq!(h.quantile_us(0.99), 50_000);
+    }
+
+    #[test]
+    fn overflow_observations_clamp_to_the_last_bound() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(30));
+        assert_eq!(h.quantile_us(0.5), *LATENCY_BOUNDS_US.last().unwrap());
     }
 
     #[test]

@@ -1,28 +1,38 @@
-//! The HTTP server: an acceptor thread feeding a worker pool, all over
-//! one shared catalog context.
+//! The HTTP server: an acceptor thread feeding a worker pool, one
+//! fresh evaluation context per request.
 //!
 //! ```text
-//! POST /query    body = query text -> 200 serialized sequence
-//!                                     400 {"error":{"kind":...,"message":...}}
-//! GET  /healthz  -> 200 "ok"
-//! GET  /metrics  -> 200 Prometheus-style text
+//! POST /query               body = query text -> 200 serialized sequence
+//!                                                400 {"error":{"kind":...,"message":...}}
+//! POST /query?profile=true  -> 200 {"request_id":...,"result":...,"stats":...,"profile":...}
+//! GET  /healthz             -> 200 "ok"
+//! GET  /metrics             -> 200 Prometheus-style text
 //! ```
 //!
-//! One [`DynamicContext`] is built from the catalog at startup and
-//! shared by every worker — documents are parsed exactly once, plans
-//! come from the LRU [`PlanCache`], and [`EvalStats`] aggregate across
-//! requests via their relaxed atomics.
+//! Every request gets its own [`DynamicContext`] built from the shared
+//! [`DocumentCatalog`] (cheap: documents are parsed once at startup and
+//! handed out as `Arc` clones), so per-request [`EvalStats`] and
+//! operator profiles never interleave between concurrent requests.
+//! Completed requests fold their stats snapshot into a service-wide
+//! totals block that `/metrics` reads. Plans come from the LRU
+//! [`PlanCache`]; rewrite-fired counters bump only on cache misses so
+//! one compilation is counted exactly once. Every response carries an
+//! `X-Request-Id` header, and queries slower than the configured
+//! threshold land in a slow-query log on stderr.
 //!
 //! [`EvalStats`]: xqa_engine::EvalStats
+//! [`DynamicContext`]: xqa_engine::DynamicContext
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use xqa_engine::{DynamicContext, Engine, EngineOptions};
+use xqa_engine::{
+    Engine, EngineOptions, EvalStats, EvalStatsSnapshot, OpKind, QueryProfile, RewriteKind,
+};
 use xqa_xmlparse::serialize_sequence;
 
 use crate::cache::PlanCache;
@@ -43,6 +53,9 @@ pub struct ServiceConfig {
     /// Per-connection read timeout (keeps slow clients from pinning a
     /// worker).
     pub read_timeout: Duration,
+    /// Log queries slower than this many milliseconds to stderr
+    /// (`None` disables the slow-query log).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +65,7 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 128,
             engine_options: EngineOptions::default(),
             read_timeout: Duration::from_secs(10),
+            slow_query_ms: None,
         }
     }
 }
@@ -60,8 +74,18 @@ impl Default for ServiceConfig {
 struct Shared {
     engine: Engine,
     cache: PlanCache,
-    ctx: DynamicContext,
+    catalog: DocumentCatalog,
     metrics: Metrics,
+    /// Evaluation counters folded in from per-request snapshots.
+    totals: EvalStats,
+    /// Tuples emitted per operator kind, indexed by [`OpKind::ALL`]
+    /// position, summed from per-request profiles.
+    op_tuples: [AtomicU64; OpKind::ALL.len()],
+    /// Compilations in which each rewrite fired, indexed by
+    /// [`RewriteKind::ALL`] position (cache misses only).
+    rewrites_fired: [AtomicU64; RewriteKind::ALL.len()],
+    next_request_id: AtomicU64,
+    slow_query_ms: Option<u64>,
     pool: ThreadPool,
     started: Instant,
     read_timeout: Duration,
@@ -104,8 +128,13 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: Engine::with_options(config.engine_options),
             cache: PlanCache::new(config.plan_cache_capacity),
-            ctx: catalog.new_context(),
+            catalog: catalog.clone(),
             metrics: Metrics::new(),
+            totals: EvalStats::default(),
+            op_tuples: std::array::from_fn(|_| AtomicU64::new(0)),
+            rewrites_fired: std::array::from_fn(|_| AtomicU64::new(0)),
+            next_request_id: AtomicU64::new(0),
+            slow_query_ms: config.slow_query_ms,
             pool: ThreadPool::new("xqa-worker", workers),
             started: Instant::now(),
             read_timeout: config.read_timeout,
@@ -208,49 +237,125 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     }
 }
 
+/// What a successful query evaluation hands back to the response path.
+struct QueryOutcome {
+    body: String,
+    stats: EvalStatsSnapshot,
+    profile: QueryProfile,
+    query: String,
+}
+
 fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     let start = Instant::now();
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
     Metrics::bump(&shared.metrics.query_requests);
+    let want_profile = matches!(
+        http::query_param(&request.target, "profile"),
+        Some("true") | Some("1")
+    );
     let outcome = (|| {
         let query = std::str::from_utf8(&request.body)
             .map_err(|_| ("body".to_string(), "query text must be UTF-8".to_string()))?;
-        let plan = shared
+        let (plan, compiled_now) = shared
             .cache
-            .get_or_compile(&shared.engine, query)
+            .get_or_compile_status(&shared.engine, query)
             .map_err(|e| ("compile".to_string(), e.to_string()))?;
+        if compiled_now {
+            // Count each rewrite once per compilation, not per request:
+            // cache hits reuse the plan without re-firing anything.
+            for note in plan.applied_rewrites() {
+                if let Some(i) = RewriteKind::ALL.iter().position(|k| *k == note.kind) {
+                    shared.rewrites_fired[i].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Fresh context per request: stats and the operator profile
+        // belong to this request alone, then fold into the totals.
+        let mut ctx = shared.catalog.new_context();
+        ctx.enable_profiling();
         let result = plan
-            .run(&shared.ctx)
+            .run(&ctx)
             .map_err(|e| ("runtime".to_string(), e.to_string()))?;
-        Ok(serialize_sequence(&result))
+        let stats = ctx.stats.snapshot();
+        shared.totals.add_snapshot(&stats);
+        let profile = ctx.take_profile().unwrap_or_default();
+        for pipeline in &profile.pipelines {
+            for op in &pipeline.ops {
+                if let Some(i) = OpKind::ALL.iter().position(|k| *k == op.kind) {
+                    shared.op_tuples[i].fetch_add(op.tuples_out, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(QueryOutcome {
+            body: serialize_sequence(&result),
+            stats,
+            profile,
+            query: query.to_string(),
+        })
     })();
-    shared.metrics.query_latency.record(start.elapsed());
+    let elapsed = start.elapsed();
+    shared.metrics.query_latency.record(elapsed);
+    let id_text = request_id.to_string();
+    let id_header: [(&str, &str); 1] = [("X-Request-Id", &id_text)];
     match outcome {
-        Ok(body) => {
+        Ok(outcome) => {
             Metrics::bump(&shared.metrics.query_ok);
-            respond(
-                stream,
-                200,
-                "application/xml; charset=utf-8",
-                body.as_bytes(),
-            );
+            if let Some(threshold_ms) = shared.slow_query_ms {
+                let ms = elapsed.as_millis() as u64;
+                if ms >= threshold_ms {
+                    eprintln!(
+                        "[xqa-service] slow query #{request_id}: {ms}ms (threshold {threshold_ms}ms) \
+                         tuples_produced={} query={}",
+                        outcome.stats.tuples_produced,
+                        truncate_for_log(&outcome.query),
+                    );
+                }
+            }
+            if want_profile {
+                let body = format!(
+                    "{{\"request_id\":{request_id},\"result\":\"{}\",\"stats\":{},\"profile\":{}}}",
+                    http::json_escape(&outcome.body),
+                    outcome.stats.to_json(),
+                    outcome.profile.to_json()
+                );
+                respond_with(stream, 200, "application/json", &id_header, body.as_bytes());
+            } else {
+                respond_with(
+                    stream,
+                    200,
+                    "application/xml; charset=utf-8",
+                    &id_header,
+                    outcome.body.as_bytes(),
+                );
+            }
         }
         Err((kind, message)) => {
             Metrics::bump(&shared.metrics.query_errors);
             let body = format!(
-                "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+                "{{\"request_id\":{request_id},\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
                 http::json_escape(&kind),
                 http::json_escape(&message)
             );
-            respond(stream, 400, "application/json", body.as_bytes());
+            respond_with(stream, 400, "application/json", &id_header, body.as_bytes());
         }
     }
+}
+
+/// One log-friendly line of query text (whitespace collapsed, capped).
+fn truncate_for_log(query: &str) -> String {
+    const MAX: usize = 120;
+    let mut flat: String = query.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.chars().count() > MAX {
+        flat = flat.chars().take(MAX).collect::<String>() + "...";
+    }
+    flat
 }
 
 /// Render the Prometheus-style metrics page.
 fn render_metrics(shared: &Shared) -> String {
     use std::fmt::Write as _;
     let m = &shared.metrics;
-    let stats = shared.ctx.stats.snapshot();
+    let stats = shared.totals.snapshot();
     let mut out = String::with_capacity(1024);
     let mut line = |name: &str, value: u64| {
         let _ = writeln!(&mut out, "{name} {value}");
@@ -280,16 +385,39 @@ fn render_metrics(shared: &Shared) -> String {
         "xqa_eval_tuples_pruned_topk_total",
         stats.tuples_pruned_topk,
     );
+    for (i, kind) in OpKind::ALL.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "xqa_op_tuples_total{{op=\"{}\"}} {}",
+            kind.as_str(),
+            shared.op_tuples[i].load(Ordering::Relaxed)
+        );
+    }
+    for (i, kind) in RewriteKind::ALL.iter().enumerate() {
+        let _ = writeln!(
+            &mut out,
+            "xqa_rewrite_fired_total{{rewrite=\"{}\"}} {}",
+            kind.as_str(),
+            shared.rewrites_fired[i].load(Ordering::Relaxed)
+        );
+    }
     let _ = writeln!(
         &mut out,
         "xqa_plan_cache_hit_rate {:.4}",
         shared.cache.hit_rate()
     );
+    for q in [0.5, 0.95, 0.99] {
+        let _ = writeln!(
+            &mut out,
+            "xqa_query_latency_quantile_us{{quantile=\"{q}\"}} {}",
+            m.query_latency.quantile_us(q)
+        );
+    }
     let _ = writeln!(
         &mut out,
-        "xqa_query_latency_mean_us {}",
-        m.query_latency.mean_us()
+        "# HELP xqa_query_latency_us End-to-end query latency (receipt to serialized response)."
     );
+    let _ = writeln!(&mut out, "# TYPE xqa_query_latency_us histogram");
     m.query_latency.render(&mut out, "xqa_query_latency_us");
     out
 }
@@ -299,8 +427,18 @@ fn respond_text(stream: &mut impl Write, status: u16, body: &str) {
 }
 
 fn respond(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
+    respond_with(stream, status, content_type, &[], body);
+}
+
+fn respond_with(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) {
     // The client may already be gone; nothing useful to do about it.
-    let _ = http::write_response(stream, status, content_type, body);
+    let _ = http::write_response_with_headers(stream, status, content_type, extra_headers, body);
 }
 
 #[cfg(test)]

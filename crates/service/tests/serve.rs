@@ -27,13 +27,50 @@ fn http(addr: SocketAddr, raw: &str) -> (u16, String) {
 }
 
 fn post_query(addr: SocketAddr, query: &str) -> (u16, String) {
-    http(
-        addr,
-        &format!(
-            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
-            query.len()
-        ),
-    )
+    post_query_at(addr, "/query", query).1
+}
+
+/// POST `query` to `target`, returning the raw head (status line plus
+/// headers) alongside (status, body) so tests can inspect headers.
+fn post_query_at(addr: SocketAddr, target: &str, query: &str) -> (String, (u16, String)) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+                query.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (head, (status, body))
+}
+
+/// The value of `header` in a response head, if present.
+fn header_value(head: &str, header: &str) -> Option<String> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case(header)
+            .then(|| value.trim().to_string())
+    })
+}
+
+/// The flat `"stats":{...}` object embedded in a profiled response.
+fn stats_object(body: &str) -> &str {
+    let start = body.find("\"stats\":{").expect("stats object") + "\"stats\":".len();
+    let end = body[start..].find('}').expect("stats closes") + start + 1;
+    &body[start..end]
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
@@ -142,10 +179,113 @@ fn parallel_clients_match_one_shot_results_and_metrics_aggregate() {
     assert_eq!(metric(&metrics, "xqa_plan_cache_misses_total") as u64, 14);
     assert!(metric(&metrics, "xqa_plan_cache_hit_rate") > 0.0);
     assert_eq!(metric(&metrics, "xqa_query_latency_us_count") as u64, 20);
-    // The group-by queries ran through the grouping operator, so the
-    // shared context's stats picked up tuples and groups.
+    // The group-by queries ran through the grouping operator; the
+    // per-request snapshots folded into the service totals.
     assert!(metric(&metrics, "xqa_eval_tuples_grouped_total") > 0.0);
     assert!(metric(&metrics, "xqa_eval_groups_emitted_total") > 0.0);
+    // Per-operator tuple totals come from the per-request profiles:
+    // every query ran a ForScan, and 4 group-by runs emitted 7 groups
+    // each through GroupConsume.
+    assert!(metric(&metrics, "xqa_op_tuples_total{op=\"ForScan\"}") > 0.0);
+    assert_eq!(
+        metric(&metrics, "xqa_op_tuples_total{op=\"GroupConsume\"}") as u64,
+        4 * 7
+    );
+    // All `//order/lineitem` plans fused their descendant steps; the
+    // counter counts compilations (14 misses), not requests.
+    let fused = metric(&metrics, "xqa_rewrite_fired_total{rewrite=\"path-fusion\"}") as u64;
+    assert!((1..=14).contains(&fused), "fused = {fused}");
+    // No positional bounds in this traffic, so no top-k pushdown.
+    assert_eq!(
+        metric(
+            &metrics,
+            "xqa_rewrite_fired_total{rewrite=\"topk-pushdown\"}"
+        ) as u64,
+        0
+    );
+    // Latency quantiles are served precomputed from the histogram.
+    for q in ["0.5", "0.95", "0.99"] {
+        let v = metric(
+            &metrics,
+            &format!("xqa_query_latency_quantile_us{{quantile=\"{q}\"}}"),
+        );
+        assert!(v > 0.0, "quantile {q} = {v}");
+    }
+    // The histogram is annotated for Prometheus scrapers, and the old
+    // ad-hoc mean gauge is gone.
+    assert!(metrics.contains("# TYPE xqa_query_latency_us histogram"));
+    assert!(!metrics.contains("xqa_query_latency_mean_us"));
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_profiled_requests_report_disjoint_stats() {
+    let mut catalog = DocumentCatalog::new();
+    catalog.set_context(generate_orders(&OrdersConfig::with_total_lineitems(200)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        &catalog,
+        ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Solo baselines: with a fresh context per request, a query's stats
+    // depend only on the query, so a concurrent run must reproduce them
+    // exactly — any cross-request bleed shows up as a diff.
+    let queries = [GROUPBY_QUERY, RANK_QUERY];
+    let baselines: Vec<(String, String)> = queries
+        .iter()
+        .map(|q| {
+            let (_, (status, body)) = post_query_at(addr, "/query?profile=true", q);
+            assert_eq!(status, 200, "{body}");
+            (stats_object(&body).to_string(), body)
+        })
+        .collect();
+
+    let heads_and_bodies: Vec<(usize, String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                s.spawn(move || {
+                    let (head, (status, body)) =
+                        post_query_at(addr, "/query?profile=true", queries[i % 2]);
+                    assert_eq!(status, 200, "{body}");
+                    (i % 2, head, body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut seen_ids = std::collections::HashSet::new();
+    for (which, head, body) in &heads_and_bodies {
+        assert_eq!(
+            stats_object(body),
+            baselines[*which].0,
+            "stats interleaved for query {which}"
+        );
+        let id: u64 = header_value(head, "X-Request-Id")
+            .expect("request id header")
+            .parse()
+            .expect("numeric request id");
+        assert!(seen_ids.insert(id), "request id {id} reused");
+    }
+
+    // The profiled body names the pipeline operators and carries the
+    // serialized result alongside.
+    let groupby_body = &baselines[0].1;
+    for op in ["ForScan", "GroupConsume", "OrderBy", "ReturnAt"] {
+        assert!(
+            groupby_body.contains(&format!("\"op\":\"{op}\"")),
+            "{op} missing in {groupby_body}"
+        );
+    }
+    assert!(groupby_body.contains("\"request_id\":1"), "{groupby_body}");
+    assert!(groupby_body.contains("\"result\":\""), "{groupby_body}");
 
     server.shutdown();
 }

@@ -18,7 +18,7 @@ fn engines() -> (Engine, Engine) {
     (streaming, materializing)
 }
 
-fn assert_identical_ctx(query: &str, ctx: &DynamicContext) {
+fn assert_identical_ctx(query: &str, ctx: &mut DynamicContext) {
     let (streaming, materializing) = engines();
     let fast = streaming
         .compile(query)
@@ -26,9 +26,20 @@ fn assert_identical_ctx(query: &str, ctx: &DynamicContext) {
     let slow = materializing
         .compile(query)
         .unwrap_or_else(|e| panic!("compile (materializing): {e}\n{query}"));
+    // The streaming run is profiled: instrumentation must never change
+    // results, and every streaming FLWOR must record its pipeline.
+    ctx.enable_profiling();
     let a = fast
         .run(ctx)
         .unwrap_or_else(|e| panic!("run (streaming): {e}\n{query}"));
+    let profile = ctx.take_profile().expect("profiling was enabled");
+    assert!(
+        !profile.is_empty(),
+        "no pipeline profile recorded for:\n{query}"
+    );
+    for pipeline in &profile.pipelines {
+        assert!(!pipeline.ops.is_empty(), "empty pipeline in profile");
+    }
     let b = slow
         .run(ctx)
         .unwrap_or_else(|e| panic!("run (materializing): {e}\n{query}"));
@@ -40,7 +51,7 @@ fn assert_identical_ctx(query: &str, ctx: &DynamicContext) {
 }
 
 fn assert_identical(query: &str) {
-    assert_identical_ctx(query, &DynamicContext::new());
+    assert_identical_ctx(query, &mut DynamicContext::new());
 }
 
 fn orders_ctx() -> DynamicContext {
@@ -63,7 +74,7 @@ fn groupby_single_key() {
          nest $li into $items \
          order by string($m) \
          return <g>{string($m)}:{count($items)}</g>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -75,7 +86,7 @@ fn groupby_two_keys() {
          nest $li/quantity into $qs \
          order by string($rf), string($ls) \
          return <g>{string($rf)}{string($ls)}|{count($qs)}|{sum(for $q in $qs return number($q))}</g>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -87,7 +98,7 @@ fn groupby_ordered_nest() {
          nest $li/shipdate order by string($li/shipdate) into $ds \
          order by string($m) \
          return <g>{string($m)}:{string($ds[1])}..{string($ds[last()])}</g>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -101,7 +112,7 @@ fn groupby_custom_equality() {
          nest $li into $items \
          order by string($m) \
          return <g>{string($m)}:{count($items)}</g>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -115,7 +126,7 @@ fn groupby_post_group_let_and_where() {
          where $n ge 10 \
          order by $n descending, string($m) \
          return <g>{string($m)}:{$n}</g>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -127,7 +138,7 @@ fn rank_query_unbounded() {
         "for $li in //order/lineitem \
          order by number($li/extendedprice) descending \
          return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -138,7 +149,7 @@ fn rank_query_topk() {
           order by number($li/extendedprice) descending \
           return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>)\
          [position() le 10]",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
@@ -151,7 +162,7 @@ fn rank_groups_topk() {
           order by count($items) descending, string($m) \
           return at $r <g rank=\"{$r}\">{string($m)}</g>)\
          [position() le 3]",
-        &orders_ctx(),
+        &mut orders_ctx(),
     );
 }
 
