@@ -1,0 +1,100 @@
+//! Morsel-parallel scaling over the Section-6 purchase-order workload:
+//! the same queries at 1/2/4/8 intra-query threads, asserting
+//! byte-identical output against the serial baseline and reporting
+//! speedup-vs-threads.
+//!
+//! Every record in `BENCH_parallel.json` carries its `threads` count,
+//! so the scaling curve is reconstructible from the artifact alone.
+//! Speedups are whatever the host actually delivers: on a single-core
+//! machine they hover around 1.0x (the morsel machinery then measures
+//! its own overhead, which is the honest number to watch there).
+
+use std::time::Duration;
+use xqa::{serialize_sequence, Engine, EngineOptions};
+use xqa_bench::harness::Harness;
+use xqa_bench::Dataset;
+
+/// 100k lineitems; `partkey` is drawn from 1..200_000, so the grouping
+/// query aggregates into tens of thousands of distinct groups.
+const LINEITEMS: usize = 100_000;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn engine(threads: usize) -> Engine {
+    Engine::with_options(EngineOptions {
+        threads,
+        ..Default::default()
+    })
+}
+
+/// Bench one query across the thread sweep; parallel output must be
+/// byte-identical to the threads=1 run.
+fn bench_scaling(label: &str, query: &str, dataset: &Dataset) {
+    let mut group = Harness::group(&format!("parallel/{label}"));
+    let ctx = dataset.context();
+    let mut baseline: Option<(String, Duration)> = None;
+    let mut means: Vec<(usize, Duration)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let compiled = engine(threads).compile(query).expect("compiles");
+        let out = serialize_sequence(&compiled.run(&ctx).expect("runs"));
+        match &baseline {
+            None => baseline = Some((out, Duration::ZERO)),
+            Some((expected, _)) => assert_eq!(
+                expected, &out,
+                "threads={threads} output differs from serial for {label}"
+            ),
+        }
+        group.set_threads(threads);
+        let mean = group.bench(&format!("threads={threads}"), || {
+            compiled.run(&ctx).expect("runs");
+        });
+        means.push((threads, mean));
+    }
+    let serial = means[0].1;
+    let summary: Vec<String> = means
+        .iter()
+        .map(|(n, mean)| {
+            let speedup = serial.as_secs_f64() / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+            format!("{n}t={speedup:.2}x")
+        })
+        .collect();
+    println!("speedup vs 1 thread ({label}): {}", summary.join(" "));
+}
+
+fn main() {
+    let dataset = Dataset::generate(LINEITEMS);
+
+    // Parallel hash grouping: partitioned per-worker tables merged by
+    // key (first-appearance order, no order by needed for determinism).
+    bench_scaling(
+        "group_partkey",
+        "for $li in //order/lineitem \
+         group by $li/partkey into $k \
+         nest $li/quantity into $qs \
+         return <g>{data($k)}:{count($qs)}</g>",
+        &dataset,
+    );
+
+    // Merged top-k: per-worker bounded heaps, k survivors merged.
+    bench_scaling(
+        "topk_price",
+        "(for $li in //order/lineitem \
+          order by number($li/extendedprice) descending \
+          return at $r <top rank=\"{$r}\">{data($li/partkey)}</top>)\
+         [position() le 10]",
+        &dataset,
+    );
+
+    // Fully streamed chain: morsel fragments concatenated in order.
+    bench_scaling(
+        "filter_scan",
+        "for $li in //order/lineitem \
+         where number($li/quantity) ge 45 \
+         return <r>{data($li/partkey)}</r>",
+        &dataset,
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        xqa_bench::harness::write_json(&path).expect("write bench json");
+    }
+}

@@ -18,20 +18,33 @@ const BUDGET: Duration = Duration::from_millis(500);
 /// A named group of benchmarks, printed as a table.
 pub struct Harness {
     group: String,
+    /// Intra-query thread count recorded with each measurement, so
+    /// `BENCH_*.json` figures are comparable across parallelism levels.
+    threads: usize,
 }
 
 impl Harness {
-    /// Start a group (prints its header).
+    /// Start a group (prints its header). Measurements record the
+    /// resolved default intra-query thread count until
+    /// [`Harness::set_threads`] overrides it.
     pub fn group(name: &str) -> Harness {
         println!("\n== {name} ==");
         Harness {
             group: name.to_string(),
+            threads: xqa::resolve_threads(0),
         }
     }
 
-    /// Run one benchmark: warm up, estimate, then measure.
-    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
-        self.bench_with_profile(name, None, f);
+    /// Record subsequent measurements as running with `threads`
+    /// intra-query threads (for benches that sweep the thread count).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// Run one benchmark: warm up, estimate, then measure. Returns the
+    /// mean wall-clock time per iteration.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) -> Duration {
+        self.bench_with_profile(name, None, f)
     }
 
     /// Like [`Harness::bench`], but attaches a pre-serialized operator
@@ -43,7 +56,7 @@ impl Harness {
         name: &str,
         profile_json: Option<String>,
         mut f: F,
-    ) {
+    ) -> Duration {
         // Warm-up doubles as the iteration-count estimate.
         let start = Instant::now();
         f();
@@ -72,8 +85,10 @@ impl Harness {
             mean_ns: mean.as_nanos(),
             min_ns: min.as_nanos(),
             iters,
+            threads: self.threads,
             profile_json,
         });
+        mean
     }
 }
 
@@ -84,6 +99,8 @@ struct Record {
     mean_ns: u128,
     min_ns: u128,
     iters: u32,
+    /// Intra-query thread count the measurement ran with.
+    threads: usize,
     /// Pre-serialized JSON object with per-operator profile numbers.
     profile_json: Option<String>,
 }
@@ -101,12 +118,13 @@ pub fn write_json(path: &str) -> std::io::Result<()> {
         }
         out.push_str(&format!(
             "  {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {}, \
-             \"min_ns\": {}, \"iters\": {}",
+             \"min_ns\": {}, \"iters\": {}, \"threads\": {}",
             escape(&r.group),
             escape(&r.name),
             r.mean_ns,
             r.min_ns,
-            r.iters
+            r.iters,
+            r.threads
         ));
         if let Some(profile) = &r.profile_json {
             // Already-valid JSON, inserted verbatim.

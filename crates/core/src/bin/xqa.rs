@@ -14,6 +14,8 @@
 //!       --trace-json FILE       write compile/execute trace events to FILE
 //!       --deterministic-clock   profile with a fixed-tick clock (for tests)
 //!       --detect-groupby        enable the implicit group-by rewrite
+//!       --threads N             intra-query parallelism (default: all cores;
+//!                               1 = serial)
 //!   -h, --help                  this help
 //!
 //! xqa serve [OPTIONS]           start the HTTP query service
@@ -23,6 +25,8 @@
 //!       --doc NAME=FILE         as above
 //!       --collection NAME=F,..  as above
 //!       --workers N             worker threads (default: one per core)
+//!       --query-threads N       intra-query parallelism per request
+//!                               (default: all cores; 1 = serial)
 //!       --cache-size N          prepared-plan cache capacity (default 128)
 //!       --slow-query-ms N       log queries slower than N ms to stderr
 //!       --detect-groupby        as above
@@ -58,6 +62,7 @@ struct Args {
     trace_json: Option<String>,
     deterministic_clock: bool,
     detect_groupby: bool,
+    threads: usize,
 }
 
 const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
@@ -80,10 +85,15 @@ options:
       --deterministic-clock profile with a fixed-tick clock so timings are
                             reproducible (for tests and goldens)
       --detect-groupby      enable the implicit group-by detection rewrite
+      --threads N           intra-query parallelism: worker threads for
+                            eligible FLWORs (default: all cores, or
+                            XQA_THREADS; 1 = serial)
   -h, --help                show this help
 serve options:
       --addr HOST:PORT      bind address (default 127.0.0.1:8399)
       --workers N           worker threads (default: one per core)
+      --query-threads N     intra-query parallelism per request (default:
+                            all cores, or XQA_THREADS; 1 = serial)
       --cache-size N        prepared-plan cache capacity (default 128)
       --slow-query-ms N     log queries slower than N ms to stderr";
 
@@ -124,6 +134,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         trace_json: None,
         deterministic_clock: false,
         detect_groupby: false,
+        threads: 0,
     };
     let mut it = raw;
     let mut positional: Vec<String> = Vec::new();
@@ -156,6 +167,13 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--deterministic-clock" => args.deterministic_clock = true,
             "--detect-groupby" => args.detect_groupby = true,
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a number")?;
+                args.threads = n.parse().map_err(|_| format!("invalid thread count {n}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -183,6 +201,7 @@ fn run(args: &Args) -> Result<(), String> {
     };
     let engine = Engine::with_options(EngineOptions {
         detect_implicit_groupby: args.detect_groupby,
+        threads: args.threads,
         ..Default::default()
     });
     // One clock serves both the trace timestamps and the profile
@@ -295,6 +314,7 @@ struct ServeArgs {
     docs: Vec<(String, String)>,
     collections: Vec<(String, Vec<String>)>,
     workers: usize,
+    query_threads: usize,
     cache_size: usize,
     slow_query_ms: Option<u64>,
     detect_groupby: bool,
@@ -307,6 +327,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         docs: Vec::new(),
         collections: Vec::new(),
         workers: 0,
+        query_threads: 0,
         cache_size: 128,
         slow_query_ms: None,
         detect_groupby: false,
@@ -334,6 +355,13 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
             "--workers" => {
                 let n = it.next().ok_or("--workers requires a number")?;
                 args.workers = n.parse().map_err(|_| format!("invalid worker count {n}"))?;
+            }
+            "--query-threads" => {
+                let n = it.next().ok_or("--query-threads requires a number")?;
+                args.query_threads = n.parse().map_err(|_| format!("invalid thread count {n}"))?;
+                if args.query_threads == 0 {
+                    return Err("--query-threads must be at least 1".to_string());
+                }
             }
             "--cache-size" => {
                 let n = it.next().ok_or("--cache-size requires a number")?;
@@ -370,6 +398,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         plan_cache_capacity: args.cache_size,
         engine_options: EngineOptions {
             detect_implicit_groupby: args.detect_groupby,
+            threads: args.query_threads,
             ..Default::default()
         },
         slow_query_ms: args.slow_query_ms,

@@ -43,9 +43,9 @@
 #![warn(missing_docs)]
 
 pub use xqa_engine::{
-    Clock, DynamicContext, Engine, EngineError, EngineOptions, EngineResult, EvalStats,
-    EvalStatsSnapshot, Focus, MonotonicClock, OpKind, PreparedQuery, QueryProfile, RewriteKind,
-    RewriteNote, TickClock, TraceEvent, TracePhase, TraceRing, TraceSink, Tracer,
+    resolve_threads, Clock, DynamicContext, Engine, EngineError, EngineOptions, EngineResult,
+    EvalStats, EvalStatsSnapshot, Focus, MonotonicClock, OpKind, PreparedQuery, QueryProfile,
+    RewriteKind, RewriteNote, TickClock, TraceEvent, TracePhase, TraceRing, TraceSink, Tracer,
 };
 pub use xqa_xmlparse::{
     parse_document, parse_document_with, parse_fragment, serialize_node, serialize_node_with,

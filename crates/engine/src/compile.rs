@@ -57,6 +57,7 @@ pub fn compile(module: &ast::Module) -> EngineResult<ir::CompiledQuery> {
         frame_size: c.frame.max_slots,
         ordered: module.prolog.ordering != Some(ast::OrderingMode::Unordered),
         streaming: true,
+        threads: 1,
     })
 }
 
@@ -574,11 +575,13 @@ impl Compiler {
         }
         self.frame.truncate(flwor_mark);
         let plan = ir::plan_pipeline(&clauses);
+        let parallel = ir::parallel_eligible(&clauses);
         Ok(Ir::Flwor(Box::new(ir::FlworIr {
             clauses,
             plan,
             return_at,
             return_expr,
+            parallel,
         })))
     }
 

@@ -7,7 +7,7 @@
 //! arithmetic, comparisons, paths, constructors, and function calls.
 
 use crate::casts::cast_atomic;
-use crate::context::{DynamicContext, Focus};
+use crate::context::{DynamicContext, EvalStats, Focus};
 use crate::error::{EngineError, EngineResult};
 use crate::functions::{self, FnCtx};
 use crate::ir::*;
@@ -32,6 +32,8 @@ pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<
         dynamic,
         globals: Vec::new(),
         depth: Cell::new(0),
+        stats: &dynamic.stats,
+        parallel_ok: true,
     };
     for g in &query.globals {
         let mut env = Env::new(g.frame_size, initial_focus(dynamic));
@@ -73,9 +75,32 @@ pub(crate) struct Interpreter<'a> {
     pub(crate) dynamic: &'a DynamicContext,
     pub(crate) globals: Vec<Arc<Sequence>>,
     depth: Cell<usize>,
+    /// Where evaluator counters go. Normally `&dynamic.stats`; a forked
+    /// worker interpreter points at a thread-local sink merged into the
+    /// context stats once at pipeline close, so `--stats` totals don't
+    /// interleave mid-query across parallel workers.
+    pub(crate) stats: &'a EvalStats,
+    /// Whether this interpreter may spawn morsel workers. False in
+    /// forked workers, so nested FLWORs inside a parallel region run
+    /// serially instead of oversubscribing.
+    pub(crate) parallel_ok: bool,
 }
 
 impl<'a> Interpreter<'a> {
+    /// A worker-thread clone of this interpreter: shares the compiled
+    /// query, dynamic context, and evaluated globals, but counts into
+    /// its own stats sink and may not re-parallelize.
+    pub(crate) fn fork<'b>(&'b self, stats: &'b EvalStats) -> Interpreter<'b> {
+        Interpreter {
+            query: self.query,
+            dynamic: self.dynamic,
+            globals: self.globals.clone(),
+            depth: Cell::new(self.depth.get()),
+            stats,
+            parallel_ok: false,
+        }
+    }
+
     pub(crate) fn eval(&self, ir: &Ir, env: &mut Env) -> EngineResult<Sequence> {
         match ir {
             Ir::Str(s) => Ok(vec![Item::Atomic(AtomicValue::String(Arc::clone(s)))]),
@@ -126,9 +151,7 @@ impl<'a> Interpreter<'a> {
             Ir::GeneralComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
                 let rhs = self.eval(b, env)?;
-                self.dynamic
-                    .stats
-                    .add_comparisons((lhs.len() * rhs.len()) as u64);
+                self.stats.add_comparisons((lhs.len() * rhs.len()) as u64);
                 Ok(vec![Item::from(
                     general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?,
                 )])
@@ -140,7 +163,7 @@ impl<'a> Interpreter<'a> {
                 let ra = opt_atomic(&rhs, "value comparison")?;
                 match (la, ra) {
                     (Some(la), Some(ra)) => {
-                        self.dynamic.stats.add_comparisons(1);
+                        self.stats.add_comparisons(1);
                         // Value comparisons treat untyped operands as strings.
                         let la = untyped_to_string(la);
                         let ra = untyped_to_string(ra);
@@ -539,7 +562,7 @@ impl<'a> Interpreter<'a> {
 
     /// The nodes selected by `axis::test` from `node`, in axis order.
     fn axis_nodes(&self, axis: Axis, node: &NodeHandle, test: &NodeTestIr) -> Vec<NodeHandle> {
-        let stats = &self.dynamic.stats;
+        let stats = &self.stats;
         let mut visited = 0u64;
         let out: Vec<NodeHandle> = match axis {
             Axis::Child => node

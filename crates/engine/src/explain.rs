@@ -10,16 +10,23 @@ use crate::ir::*;
 use crate::profile::QueryProfile;
 use std::fmt::Write;
 
-/// Render a whole compiled query.
+/// Render a whole compiled query. Eligible FLWOR pipelines are
+/// annotated `[parallel ×N]` with the thread count the query would
+/// resolve at run time (materializing queries always run serial).
 pub fn explain_query(query: &CompiledQuery) -> String {
+    let threads = if query.streaming {
+        crate::resolve_threads(query.threads)
+    } else {
+        1
+    };
     let mut out = String::new();
     for (i, g) in query.globals.iter().enumerate() {
         let _ = writeln!(out, "global ${} (slot g{i}):", g.name);
-        write_ir(&mut out, &g.init, 1);
+        write_ir(&mut out, threads, &g.init, 1);
     }
     for f in &query.functions {
         let _ = writeln!(out, "function {}#{}:", f.name, f.arity);
-        write_ir(&mut out, &f.body, 1);
+        write_ir(&mut out, threads, &f.body, 1);
     }
     let _ = writeln!(
         out,
@@ -31,7 +38,7 @@ pub fn explain_query(query: &CompiledQuery) -> String {
             "materializing (legacy)"
         }
     );
-    write_ir(&mut out, &query.body, 1);
+    write_ir(&mut out, threads, &query.body, 1);
     out
 }
 
@@ -51,7 +58,11 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
             p.executions,
             fmt_time(p.total_nanos())
         );
-        let _ = writeln!(out, "  plan: {}", p.signature());
+        if p.workers > 1 {
+            let _ = writeln!(out, "  plan: {} [parallel ×{}]", p.signature(), p.workers);
+        } else {
+            let _ = writeln!(out, "  plan: {}", p.signature());
+        }
         for op in &p.ops {
             let _ = writeln!(
                 out,
@@ -83,7 +94,7 @@ fn line(out: &mut String, depth: usize, text: &str) {
     out.push('\n');
 }
 
-fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
+fn write_ir(out: &mut String, threads: usize, ir: &Ir, depth: usize) {
     match ir {
         Ir::Str(s) => line(out, depth, &format!("string {s:?}")),
         Ir::Int(v) => line(out, depth, &format!("integer {v}")),
@@ -93,7 +104,7 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
         Ir::Seq(items) => {
             line(out, depth, "sequence");
             for item in items {
-                write_ir(out, item, depth + 1);
+                write_ir(out, threads, item, depth + 1);
             }
         }
         Ir::Var(slot) => line(out, depth, &format!("var slot{slot}")),
@@ -101,55 +112,55 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
         Ir::ContextItem => line(out, depth, "context-item"),
         Ir::Range(a, b) => {
             line(out, depth, "range");
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::Arith(op, a, b) => {
             line(out, depth, &format!("arith {op:?}"));
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::Neg(a) => {
             line(out, depth, "negate");
-            write_ir(out, a, depth + 1);
+            write_ir(out, threads, a, depth + 1);
         }
         Ir::GeneralComp(op, a, b) => {
             line(out, depth, &format!("general-compare {op:?} (existential)"));
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::ValueComp(op, a, b) => {
             line(out, depth, &format!("value-compare {op:?}"));
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::NodeComp(op, a, b) => {
             line(out, depth, &format!("node-compare {op:?}"));
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::And(a, b) => {
             line(out, depth, "and");
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::Or(a, b) => {
             line(out, depth, "or");
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::SetOp(op, a, b) => {
             line(out, depth, &format!("set-op {op:?}"));
-            write_ir(out, a, depth + 1);
-            write_ir(out, b, depth + 1);
+            write_ir(out, threads, a, depth + 1);
+            write_ir(out, threads, b, depth + 1);
         }
         Ir::If(c, t, e) => {
             line(out, depth, "if");
-            write_ir(out, c, depth + 1);
+            write_ir(out, threads, c, depth + 1);
             line(out, depth, "then");
-            write_ir(out, t, depth + 1);
+            write_ir(out, threads, t, depth + 1);
             line(out, depth, "else");
-            write_ir(out, e, depth + 1);
+            write_ir(out, threads, e, depth + 1);
         }
         Ir::Quantified {
             kind,
@@ -159,22 +170,26 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
             line(out, depth, &format!("quantified {kind:?}"));
             for (slot, expr) in bindings {
                 line(out, depth + 1, &format!("bind slot{slot} in"));
-                write_ir(out, expr, depth + 2);
+                write_ir(out, threads, expr, depth + 2);
             }
             line(out, depth + 1, "satisfies");
-            write_ir(out, satisfies, depth + 2);
+            write_ir(out, threads, satisfies, depth + 2);
         }
         Ir::Flwor(f) => {
             line(out, depth, "FLWOR");
-            line(out, depth + 1, &format!("pipeline: {}", render_plan(f)));
+            line(
+                out,
+                depth + 1,
+                &format!("pipeline: {}", render_plan(f, threads)),
+            );
             for clause in &f.clauses {
-                write_clause(out, clause, depth + 1);
+                write_clause(out, threads, clause, depth + 1);
             }
             match f.return_at {
                 Some(slot) => line(out, depth + 1, &format!("return at slot{slot}")),
                 None => line(out, depth + 1, "return"),
             }
-            write_ir(out, &f.return_expr, depth + 2);
+            write_ir(out, threads, &f.return_expr, depth + 2);
         }
         Ir::Path(p) => {
             let start = match &p.start {
@@ -184,7 +199,7 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
             };
             line(out, depth, &format!("path from {start}"));
             if let PathStartIr::Expr(e) = &p.start {
-                write_ir(out, e, depth + 1);
+                write_ir(out, threads, e, depth + 1);
             }
             for step in &p.steps {
                 match step {
@@ -203,14 +218,14 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
                             ),
                         );
                         for p in predicates {
-                            write_ir(out, p, depth + 2);
+                            write_ir(out, threads, p, depth + 2);
                         }
                     }
                     StepIr::Expr { expr, predicates } => {
                         line(out, depth + 1, &format!("step expr{}", preds(predicates)));
-                        write_ir(out, expr, depth + 2);
+                        write_ir(out, threads, expr, depth + 2);
                         for p in predicates {
-                            write_ir(out, p, depth + 2);
+                            write_ir(out, threads, p, depth + 2);
                         }
                     }
                 }
@@ -218,21 +233,21 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
         }
         Ir::Filter { base, predicates } => {
             line(out, depth, &format!("filter{}", preds(predicates)));
-            write_ir(out, base, depth + 1);
+            write_ir(out, threads, base, depth + 1);
             for p in predicates {
-                write_ir(out, p, depth + 1);
+                write_ir(out, threads, p, depth + 1);
             }
         }
         Ir::CallBuiltin(b, args) => {
             line(out, depth, &format!("call fn:{}", builtin_name(*b)));
             for a in args {
-                write_ir(out, a, depth + 1);
+                write_ir(out, threads, a, depth + 1);
             }
         }
         Ir::CallUser(id, args) => {
             line(out, depth, &format!("call user#{id}"));
             for a in args {
-                write_ir(out, a, depth + 1);
+                write_ir(out, threads, a, depth + 1);
             }
         }
         Ir::Element(el) => {
@@ -242,7 +257,7 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
                 for part in parts {
                     match part {
                         AttrPartIr::Literal(s) => line(out, depth + 2, &format!("literal {s:?}")),
-                        AttrPartIr::Enclosed(e) => write_ir(out, e, depth + 2),
+                        AttrPartIr::Enclosed(e) => write_ir(out, threads, e, depth + 2),
                     }
                 }
             }
@@ -251,42 +266,42 @@ fn write_ir(out: &mut String, ir: &Ir, depth: usize) {
                     ContentIr::Literal(s) => line(out, depth + 1, &format!("text {s:?}")),
                     ContentIr::Enclosed(e) => {
                         line(out, depth + 1, "enclosed");
-                        write_ir(out, e, depth + 2);
+                        write_ir(out, threads, e, depth + 2);
                     }
-                    ContentIr::Child(e) => write_ir(out, e, depth + 1),
+                    ContentIr::Child(e) => write_ir(out, threads, e, depth + 1),
                 }
             }
         }
         Ir::Attribute { name, value } => {
             line(out, depth, &format!("construct attribute {name}"));
             if let Some(v) = value {
-                write_ir(out, v, depth + 1);
+                write_ir(out, threads, v, depth + 1);
             }
         }
         Ir::Text(content) => {
             line(out, depth, "construct text");
             if let Some(c) = content {
-                write_ir(out, c, depth + 1);
+                write_ir(out, threads, c, depth + 1);
             }
         }
         Ir::Comment(text) => line(out, depth, &format!("construct comment {text:?}")),
         Ir::Pi(target, _) => line(out, depth, &format!("construct pi <?{target}?>")),
         Ir::InstanceOf(a, _) => {
             line(out, depth, "instance-of");
-            write_ir(out, a, depth + 1);
+            write_ir(out, threads, a, depth + 1);
         }
         Ir::Cast(a, target, _) => {
             line(out, depth, &format!("cast as {target:?}"));
-            write_ir(out, a, depth + 1);
+            write_ir(out, threads, a, depth + 1);
         }
         Ir::Castable(a, target, _) => {
             line(out, depth, &format!("castable as {target:?}"));
-            write_ir(out, a, depth + 1);
+            write_ir(out, threads, a, depth + 1);
         }
     }
 }
 
-fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
+fn write_clause(out: &mut String, threads: usize, clause: &ClauseIr, depth: usize) {
     match clause {
         ClauseIr::For {
             slot,
@@ -296,15 +311,15 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
         } => {
             let at = at_slot.map(|s| format!(" at slot{s}")).unwrap_or_default();
             line(out, depth, &format!("for slot{slot}{at} in"));
-            write_ir(out, expr, depth + 1);
+            write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Let { slot, expr, .. } => {
             line(out, depth, &format!("let slot{slot} :="));
-            write_ir(out, expr, depth + 1);
+            write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Where(cond) => {
             line(out, depth, "where");
-            write_ir(out, cond, depth + 1);
+            write_ir(out, threads, cond, depth + 1);
         }
         ClauseIr::Count { slot } => {
             line(out, depth, &format!("count slot{slot}"));
@@ -320,12 +335,12 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                     if w.only_end { " (only end)" } else { "" }
                 ),
             );
-            write_ir(out, &w.expr, depth + 1);
+            write_ir(out, threads, &w.expr, depth + 1);
             line(out, depth + 1, "start when");
-            write_ir(out, &w.start.when, depth + 2);
+            write_ir(out, threads, &w.start.when, depth + 2);
             if let Some(end) = &w.end {
                 line(out, depth + 1, "end when");
-                write_ir(out, &end.when, depth + 2);
+                write_ir(out, threads, &end.when, depth + 2);
             }
         }
         ClauseIr::GroupBy(g) => {
@@ -336,7 +351,7 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                     None => String::new(),
                 };
                 line(out, depth + 1, &format!("key -> slot{}{using}", key.slot));
-                write_ir(out, &key.expr, depth + 2);
+                write_ir(out, threads, &key.expr, depth + 2);
             }
             for nest in &g.nests {
                 let ordered = if nest.order_by.is_some() {
@@ -349,7 +364,7 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                     depth + 1,
                     &format!("nest -> slot{}{ordered}", nest.slot),
                 );
-                write_ir(out, &nest.expr, depth + 2);
+                write_ir(out, threads, &nest.expr, depth + 2);
                 if let Some(ob) = &nest.order_by {
                     for spec in &ob.specs {
                         line(
@@ -357,7 +372,7 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                             depth + 2,
                             &format!("order key{}", if spec.descending { " desc" } else { "" }),
                         );
-                        write_ir(out, &spec.expr, depth + 3);
+                        write_ir(out, threads, &spec.expr, depth + 3);
                     }
                 }
             }
@@ -378,7 +393,7 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
                     depth + 1,
                     &format!("key{}", if spec.descending { " desc" } else { "" }),
                 );
-                write_ir(out, &spec.expr, depth + 2);
+                write_ir(out, threads, &spec.expr, depth + 2);
             }
         }
     }
@@ -387,8 +402,9 @@ fn write_clause(out: &mut String, clause: &ClauseIr, depth: usize) {
 /// Render the compiled operator plan as a `->` chain. Operators without
 /// an annotation stream tuples batch-at-a-time; pipeline breakers are
 /// marked `[materializes]`, and a bounded top-k order-by shows its
-/// `limit` and `[heap]` mode.
-pub(crate) fn render_plan(f: &FlworIr) -> String {
+/// `limit` and `[heap]` mode. A chain that is parallel-eligible and
+/// would resolve to more than one thread gets a `[parallel ×N]` suffix.
+pub(crate) fn render_plan(f: &FlworIr, threads: usize) -> String {
     let mut parts: Vec<String> = f
         .plan
         .iter()
@@ -409,7 +425,11 @@ pub(crate) fn render_plan(f: &FlworIr) -> String {
         })
         .collect();
     parts.push("ReturnAt".to_string());
-    parts.join(" -> ")
+    let mut plan = parts.join(" -> ");
+    if f.parallel && threads > 1 {
+        let _ = write!(plan, " [parallel ×{threads}]");
+    }
+    plan
 }
 
 fn preds(predicates: &[Ir]) -> String {

@@ -318,12 +318,13 @@ impl Interpreter<'_> {
             nests: Vec<Vec<(OrderKeys, Sequence)>>,
         }
 
-        let stats = &self.dynamic.stats;
+        let stats = &self.stats;
         stats.add_tuples_grouped(tuples.len() as u64);
 
         let has_using = g.keys.iter().any(|k| k.using.is_some());
         let mut groups: Vec<Group> = Vec::new();
         let mut index = GroupIndex::new();
+        let mut scratch = String::new();
 
         for tuple in tuples {
             env.slots = tuple;
@@ -373,7 +374,9 @@ impl Interpreter<'_> {
                 found
             } else {
                 index
-                    .find_or_insert(&key_vals, groups.len(), |i| groups[i].keys.as_slice())
+                    .find_or_insert_buf(&mut scratch, &key_vals, groups.len(), |i| {
+                        groups[i].keys.as_slice()
+                    })
                     .ok()
             };
 

@@ -164,6 +164,9 @@ pub fn sequence_key_into(seq: &[Item], out: &mut String) {
 #[derive(Debug, Default)]
 pub struct AtomicDistinctSet {
     buckets: HashMap<String, Vec<AtomicValue>>,
+    /// Reused key buffer: a hit (the common case on low-cardinality
+    /// data) allocates nothing.
+    scratch: String,
 }
 
 impl AtomicDistinctSet {
@@ -174,15 +177,18 @@ impl AtomicDistinctSet {
 
     /// Insert, returning `true` when the value was not yet present.
     pub fn insert(&mut self, v: &AtomicValue) -> bool {
-        let mut key = String::new();
-        atomic_key(v, &mut key);
-        let bucket = self.buckets.entry(key).or_default();
-        for existing in bucket.iter() {
-            if atomic_eq_for_distinct(existing, v) {
-                return false;
+        self.scratch.clear();
+        atomic_key(v, &mut self.scratch);
+        if let Some(bucket) = self.buckets.get_mut(self.scratch.as_str()) {
+            for existing in bucket.iter() {
+                if atomic_eq_for_distinct(existing, v) {
+                    return false;
+                }
             }
+            bucket.push(v.clone());
+            return true;
         }
-        bucket.push(v.clone());
+        self.buckets.insert(self.scratch.clone(), vec![v.clone()]);
         true
     }
 }

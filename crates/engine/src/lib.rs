@@ -68,6 +68,14 @@ pub struct EngineOptions {
     /// top-k heap instead of a full sort (on by default; never changes
     /// results — the residual predicate stays in place).
     pub topk_pushdown: bool,
+    /// Degree of intra-query parallelism for the streaming pipeline.
+    /// `0` (the default) resolves at run time via the `XQA_THREADS`
+    /// environment variable, falling back to
+    /// `std::thread::available_parallelism`. `1` forces the exact
+    /// single-threaded legacy execution path. Values above 1 split the
+    /// outermost `for` binding sequence into morsels executed by that
+    /// many scoped worker threads; output is byte-identical to serial.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -77,8 +85,29 @@ impl Default for EngineOptions {
             constant_folding: true,
             streaming_pipeline: true,
             topk_pushdown: true,
+            threads: 0,
         }
     }
+}
+
+/// Resolve a requested degree of parallelism to an effective thread
+/// count: an explicit `requested > 0` wins, then a positive integer in
+/// the `XQA_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`] (or 1 if unavailable).
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("XQA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// The kind of optimizer rewrite a [`RewriteNote`] records. The wire
@@ -194,6 +223,7 @@ impl Engine {
         }
         let mut compiled = compile::compile(&module)?;
         compiled.streaming = self.options.streaming_pipeline;
+        compiled.threads = self.options.threads;
         if self.options.constant_folding {
             let folds = fold::fold_query(&mut compiled);
             if folds > 0 {

@@ -24,6 +24,7 @@
 //! binding in a body has a globally unique slot ([`Ir::Quantified`]
 //! evaluation already relies on the same contract).
 
+use crate::context::{EvalStats, Focus};
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{Env, Interpreter};
 use crate::ir::*;
@@ -33,6 +34,7 @@ use crate::types::matches_seq_type;
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence};
 
@@ -41,6 +43,19 @@ use crate::flwor::{compare_order_keys, sort_keyed, OrderKeys};
 /// Tuples per batch. Large enough to amortize the virtual `next_batch`
 /// call, small enough that a streaming chain stays cache-resident.
 pub(crate) const BATCH: usize = 64;
+
+/// Items per morsel: the unit of work claimed by parallel workers from
+/// the outermost `for` binding sequence. Large enough that a claim (one
+/// atomic increment plus a slice copy) is noise, small enough to
+/// load-balance skewed per-item work across threads.
+pub(crate) const MORSEL: usize = 1024;
+
+/// Global position of a tuple in the serial stream: (morsel index,
+/// emission ordinal within the morsel). Morsels are contiguous chunks
+/// and each morsel's chain runs serially, so sorting by tag restores
+/// exactly the serial tuple order — the stable-sort / first-appearance
+/// tie-breaking the serial path gets for free.
+type Tag = (usize, usize);
 
 /// A copy-on-write tuple: bindings this FLWOR has made, layered over the
 /// shared parent frame. Slots absent from the delta hold their parent
@@ -89,58 +104,67 @@ type BoxSource<'p> = Box<dyn TupleSource + 'p>;
 /// enabled on the dynamic context, every operator is wrapped in an
 /// [`Instrumented`] decorator and the measured chain is recorded into
 /// the context's profiler after the run.
+///
+/// A parallel-eligible chain (see [`crate::ir::parallel_eligible`])
+/// running where more than one thread is available evaluates the outer
+/// `for` binding sequence up front: inputs larger than one [`MORSEL`]
+/// go to the morsel-parallel executor, smaller ones feed the already
+/// evaluated items through the ordinary serial chain.
 pub(crate) fn run(interp: &Interpreter, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
     debug_assert_eq!(f.plan.len(), f.clauses.len());
+    if f.parallel && interp.parallel_ok {
+        let threads = crate::resolve_threads(interp.query.threads);
+        if threads > 1 {
+            let ClauseIr::For { expr, .. } = &f.clauses[0] else {
+                unreachable!("parallel-eligible FLWOR starts with a for clause");
+            };
+            let items = interp.eval(expr, env)?;
+            if items.len() > MORSEL {
+                return run_parallel(interp, f, env, items, threads);
+            }
+            return run_serial(interp, f, env, Some(items));
+        }
+    }
+    run_serial(interp, f, env, None)
+}
+
+/// The single-threaded pipeline: the exact legacy execution path. When
+/// `seed` carries an already evaluated outer binding sequence (the
+/// too-small-to-split parallel fallback), the outermost `ForScan`
+/// starts pre-seeded instead of evaluating its expression again.
+fn run_serial(
+    interp: &Interpreter,
+    f: &FlworIr,
+    env: &mut Env,
+    mut seed: Option<Vec<Item>>,
+) -> EngineResult<Sequence> {
     let profiler = interp.dynamic.profiler().cloned();
     let mut counters: Vec<Rc<OpCounters>> = Vec::new();
     let mut source: BoxSource = Box::new(Singleton { done: false });
-    for clause in &f.clauses {
-        source = match clause {
-            ClauseIr::For {
-                slot,
-                at_slot,
-                ty,
-                expr,
-            } => Box::new(ForScan {
+    for (i, clause) in f.clauses.iter().enumerate() {
+        source = match (i, seed.take(), clause) {
+            (
+                0,
+                Some(items),
+                ClauseIr::For {
+                    slot,
+                    at_slot,
+                    ty,
+                    expr,
+                },
+            ) => Box::new(ForScan {
                 input: source,
                 slot: *slot,
                 at_slot: *at_slot,
                 ty: ty.as_ref(),
                 expr,
                 batch: Vec::new().into_iter(),
-                items: Vec::new().into_iter(),
+                items: items.into_iter(),
                 item_pos: 0,
                 base: Tuple::default(),
-                input_done: false,
+                input_done: true,
             }),
-            ClauseIr::Let { slot, ty, expr } => Box::new(LetBind {
-                input: source,
-                slot: *slot,
-                ty: ty.as_ref(),
-                expr,
-            }),
-            ClauseIr::Where(cond) => Box::new(Filter {
-                input: source,
-                cond,
-            }),
-            ClauseIr::Count { slot } => Box::new(CountBind {
-                input: source,
-                slot: *slot,
-                n: 0,
-            }),
-            ClauseIr::Window(w) => Box::new(WindowScan { input: source, w }),
-            ClauseIr::GroupBy(g) => Box::new(GroupConsume {
-                input: source,
-                g,
-                output: Vec::new().into_iter(),
-                consumed: false,
-            }),
-            ClauseIr::OrderBy(ob) => Box::new(OrderBy {
-                input: source,
-                ob,
-                output: Vec::new().into_iter(),
-                consumed: false,
-            }),
+            (_, _, clause) => clause_source(clause, source),
         };
         if profiler.is_some() {
             let c = Rc::new(OpCounters::default());
@@ -165,6 +189,54 @@ pub(crate) fn run(interp: &Interpreter, f: &FlworIr, env: &mut Env) -> EngineRes
             profiler.record(build_profile(f, &counters, sink_stats, total));
             Ok(seq)
         }
+    }
+}
+
+/// Lower one clause onto `input`, yielding the clause's operator.
+fn clause_source<'p>(clause: &'p ClauseIr, input: BoxSource<'p>) -> BoxSource<'p> {
+    match clause {
+        ClauseIr::For {
+            slot,
+            at_slot,
+            ty,
+            expr,
+        } => Box::new(ForScan {
+            input,
+            slot: *slot,
+            at_slot: *at_slot,
+            ty: ty.as_ref(),
+            expr,
+            batch: Vec::new().into_iter(),
+            items: Vec::new().into_iter(),
+            item_pos: 0,
+            base: Tuple::default(),
+            input_done: false,
+        }),
+        ClauseIr::Let { slot, ty, expr } => Box::new(LetBind {
+            input,
+            slot: *slot,
+            ty: ty.as_ref(),
+            expr,
+        }),
+        ClauseIr::Where(cond) => Box::new(Filter { input, cond }),
+        ClauseIr::Count { slot } => Box::new(CountBind {
+            input,
+            slot: *slot,
+            n: 0,
+        }),
+        ClauseIr::Window(w) => Box::new(WindowScan { input, w }),
+        ClauseIr::GroupBy(g) => Box::new(GroupConsume {
+            input,
+            g,
+            output: Vec::new().into_iter(),
+            consumed: false,
+        }),
+        ClauseIr::OrderBy(ob) => Box::new(OrderBy {
+            input,
+            ob,
+            output: Vec::new().into_iter(),
+            consumed: false,
+        }),
     }
 }
 
@@ -242,7 +314,11 @@ fn build_profile(
         tuples_out: sink_stats.tuples,
         nanos: total_nanos.saturating_sub(upstream_cum),
     });
-    PipelineProfile { executions: 1, ops }
+    PipelineProfile {
+        executions: 1,
+        workers: 1,
+        ops,
+    }
 }
 
 fn clause_op_kind(clause: &ClauseIr) -> OpKind {
@@ -324,7 +400,7 @@ impl TupleSource for ForScan<'_> {
                 }
                 out.push(t);
                 if out.len() >= BATCH {
-                    interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+                    interp.stats.add_tuples_produced(out.len() as u64);
                     return Ok(Some(out));
                 }
             }
@@ -336,7 +412,7 @@ impl TupleSource for ForScan<'_> {
                     self.base = base;
                 }
                 None if self.input_done => {
-                    interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+                    interp.stats.add_tuples_produced(out.len() as u64);
                     return Ok(if out.is_empty() { None } else { Some(out) });
                 }
                 None => match self.input.next_batch(interp, env)? {
@@ -407,7 +483,6 @@ impl TupleSource for Filter<'_> {
             }
         }
         interp
-            .dynamic
             .stats
             .add_tuples_pruned_filter((before - out.len()) as u64);
         Ok(Some(out))
@@ -474,7 +549,7 @@ impl TupleSource for WindowScan<'_> {
                 out.push(nt);
             }
         }
-        interp.dynamic.stats.add_tuples_produced(out.len() as u64);
+        interp.stats.add_tuples_produced(out.len() as u64);
         Ok(Some(out))
     }
 }
@@ -521,7 +596,7 @@ struct GroupState {
 impl GroupConsume<'_> {
     fn consume(&mut self, interp: &Interpreter, env: &mut Env) -> EngineResult<()> {
         let g = self.g;
-        let stats = &interp.dynamic.stats;
+        let stats = &interp.stats;
         let has_using = g.keys.iter().any(|k| k.using.is_some());
         let mut groups: Vec<GroupState> = Vec::new();
         let mut index = GroupIndex::new();
@@ -601,31 +676,36 @@ impl GroupConsume<'_> {
         stats.add_tuples_grouped(consumed);
         stats.add_groups_emitted(groups.len() as u64);
 
-        // One output tuple per group, in first-appearance order (stable,
-        // matching the materializing path).
-        let mut out = Vec::with_capacity(groups.len());
-        for group in groups {
-            let mut t = group.base;
-            for (key, vals) in g.keys.iter().zip(group.keys) {
-                t.bind(key.slot, Arc::new(vals));
-            }
-            for (nest, mut entries) in g.nests.iter().zip(group.nests) {
-                if let Some(ob) = &nest.order_by {
-                    sort_keyed(&mut entries, &ob.specs)?;
-                }
-                let mut seq = Vec::new();
-                for (_, mut vals) in entries {
-                    // Nest values concatenate into one flat sequence —
-                    // "merged and lose their individual identity" (§3.1).
-                    seq.append(&mut vals);
-                }
-                t.bind(nest.slot, Arc::new(seq));
-            }
-            out.push(t);
-        }
-        self.output = out.into_iter();
+        self.output = emit_groups(g, groups)?.into_iter();
         Ok(())
     }
+}
+
+/// One output tuple per group, in first-appearance order (stable,
+/// matching the materializing path): bind the key slots and the sorted,
+/// concatenated nest sequences onto each group's base tuple.
+fn emit_groups(g: &GroupByIr, groups: Vec<GroupState>) -> EngineResult<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut t = group.base;
+        for (key, vals) in g.keys.iter().zip(group.keys) {
+            t.bind(key.slot, Arc::new(vals));
+        }
+        for (nest, mut entries) in g.nests.iter().zip(group.nests) {
+            if let Some(ob) = &nest.order_by {
+                sort_keyed(&mut entries, &ob.specs)?;
+            }
+            let mut seq = Vec::new();
+            for (_, mut vals) in entries {
+                // Nest values concatenate into one flat sequence —
+                // "merged and lose their individual identity" (§3.1).
+                seq.append(&mut vals);
+            }
+            t.bind(nest.slot, Arc::new(seq));
+        }
+        out.push(t);
+    }
+    Ok(out)
 }
 
 impl TupleSource for GroupConsume<'_> {
@@ -659,6 +739,7 @@ impl OrderBy<'_> {
             Some(k) => {
                 let mut heap = TopKHeap::new(specs, k);
                 let mut pruned = 0u64;
+                let mut seq = 0usize;
                 while let Some(batch) = self.input.next_batch(interp, env)? {
                     for t in batch {
                         t.apply(env);
@@ -666,13 +747,14 @@ impl OrderBy<'_> {
                         // An offer against a full heap prunes exactly one
                         // tuple: the newcomer (rejected) or an eviction.
                         let was_full = heap.saturated();
-                        heap.offer(keys, t)?;
+                        heap.offer(keys, (0, seq), t)?;
+                        seq += 1;
                         if was_full {
                             pruned += 1;
                         }
                     }
                 }
-                interp.dynamic.stats.add_tuples_pruned_topk(pruned);
+                interp.stats.add_tuples_pruned_topk(pruned);
                 heap.into_sorted()?
             }
             None => {
@@ -723,17 +805,18 @@ fn drain_batch(output: &mut std::vec::IntoIter<Tuple>) -> Option<Vec<Tuple>> {
     }
 }
 
-/// A bounded max-heap of the k least `(keys, seq_no)` entries, with a
+/// A bounded max-heap of the k least `(keys, tag)` entries, with a
 /// *fallible* comparator (order keys of mixed type raise `XPTY0004`,
 /// which `std::collections::BinaryHeap` cannot propagate — hence the
-/// hand-rolled sift loops). `seq_no` breaks ties by input order, so the
-/// survivors are exactly the first k of a full stable sort.
+/// hand-rolled sift loops). The [`Tag`] breaks ties by global input
+/// order, so the survivors are exactly the first k of a full stable
+/// sort — on the serial path tags are `(0, seq)`, in a parallel worker
+/// they carry the morsel index.
 struct TopKHeap<'p> {
     specs: &'p [OrderSpecIr],
     k: usize,
     /// Max-heap: `entries[0]` is the greatest survivor.
-    entries: Vec<(OrderKeys, usize, Tuple)>,
-    seq: usize,
+    entries: Vec<(OrderKeys, Tag, Tuple)>,
 }
 
 impl<'p> TopKHeap<'p> {
@@ -742,7 +825,6 @@ impl<'p> TopKHeap<'p> {
             specs,
             k,
             entries: Vec::with_capacity(k.min(1024)),
-            seq: 0,
         }
     }
 
@@ -751,11 +833,11 @@ impl<'p> TopKHeap<'p> {
         self.entries.len() >= self.k
     }
 
-    /// Is entry `a` strictly greater than `b` under (keys, seq_no)?
+    /// Is entry `a` strictly greater than `b` under (keys, tag)?
     fn greater(
         &self,
-        a: &(OrderKeys, usize, Tuple),
-        b: &(OrderKeys, usize, Tuple),
+        a: &(OrderKeys, Tag, Tuple),
+        b: &(OrderKeys, Tag, Tuple),
     ) -> EngineResult<bool> {
         Ok(match compare_order_keys(&a.0, &b.0, self.specs)? {
             Ordering::Greater => true,
@@ -765,9 +847,8 @@ impl<'p> TopKHeap<'p> {
     }
 
     /// Offer a tuple; returns whether it was kept.
-    fn offer(&mut self, keys: OrderKeys, tuple: Tuple) -> EngineResult<bool> {
-        let entry = (keys, self.seq, tuple);
-        self.seq += 1;
+    fn offer(&mut self, keys: OrderKeys, tag: Tag, tuple: Tuple) -> EngineResult<bool> {
+        let entry = (keys, tag, tuple);
         if self.k == 0 {
             return Ok(false);
         }
@@ -815,28 +896,770 @@ impl<'p> TopKHeap<'p> {
         }
     }
 
-    /// The surviving tuples in ascending (keys, seq_no) order.
+    /// The surviving tuples in ascending (keys, tag) order.
     fn into_sorted(self) -> EngineResult<Vec<Tuple>> {
-        let mut entries = self.entries;
         let specs = self.specs;
-        let mut failure: Option<EngineError> = None;
-        entries.sort_by(|a, b| {
-            if failure.is_some() {
-                return Ordering::Equal;
+        let mut entries = self.entries;
+        sort_tagged(&mut entries, specs)?;
+        Ok(entries.into_iter().map(|(_, _, t)| t).collect())
+    }
+
+    /// The raw surviving entries (the parallel merge sorts them with the
+    /// other workers' survivors before dropping the tags).
+    fn into_entries(self) -> Vec<(OrderKeys, Tag, Tuple)> {
+        self.entries
+    }
+}
+
+/// Stable sort of tagged entries by (order keys, tag), capturing the
+/// first comparator failure instead of unwinding mid-sort.
+fn sort_tagged(entries: &mut [(OrderKeys, Tag, Tuple)], specs: &[OrderSpecIr]) -> EngineResult<()> {
+    let mut failure: Option<EngineError> = None;
+    entries.sort_by(|a, b| {
+        if failure.is_some() {
+            return Ordering::Equal;
+        }
+        match compare_order_keys(&a.0, &b.0, specs) {
+            Ok(Ordering::Equal) => a.1.cmp(&b.1),
+            Ok(ord) => ord,
+            Err(e) => {
+                failure = Some(e);
+                Ordering::Equal
             }
-            match compare_order_keys(&a.0, &b.0, specs) {
-                Ok(Ordering::Equal) => a.1.cmp(&b.1),
-                Ok(ord) => ord,
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+// ──────────────────── morsel-driven parallelism ────────────────────
+//
+// A parallel-eligible chain (outer `for`, then only tuple-local
+// streaming clauses up to at most one breaker) is split at the breaker:
+// workers claim [`MORSEL`]-sized chunks of the outer binding sequence
+// from a shared atomic counter and run their own clone of the streaming
+// chain into a *partitioned* breaker state (per-worker hash tables or
+// top-k heaps). The coordinator merges the partials back into the exact
+// serial tuple order — every tuple carries a [`Tag`] — and feeds any
+// clauses after the breaker, plus the `return` sink, serially.
+
+/// A per-worker group: [`GroupState`] plus the tags the merge needs to
+/// restore serial first-appearance order and per-group nest order.
+struct WGroup {
+    keys: Vec<Sequence>,
+    base: Tuple,
+    /// Tag of the group's first member seen by this worker; the merged
+    /// group keeps the base/keys of the globally smallest tag.
+    first: Tag,
+    /// Per nest binding, per member: tagged so merged entries can be
+    /// re-sorted into serial arrival order before any nest `order by`.
+    nests: Vec<Vec<(Tag, OrderKeys, Sequence)>>,
+}
+
+/// What one worker hands back to the coordinator.
+enum WorkerOutput {
+    /// No breaker, no `return at`: fully evaluated per-morsel output
+    /// fragments, keyed by morsel index for ordered concatenation.
+    Seqs(Vec<(usize, Sequence)>),
+    /// No breaker but `return at $rank`: tagged tuples; ranks are
+    /// assigned by the serial sink after the order-restoring merge.
+    Tuples(Vec<(Tag, Tuple)>),
+    /// Partitioned hash aggregation for a `group by` breaker.
+    Groups(Vec<WGroup>),
+    /// Locally sorted run (or top-k survivors) for an `order by`.
+    Runs(Vec<(OrderKeys, Tag, Tuple)>),
+}
+
+/// A plain-data snapshot of one [`OpCounters`] (`Rc` is not `Send`, so
+/// workers snapshot before returning).
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnap {
+    batches: u64,
+    tuples_out: u64,
+    cum_nanos: u64,
+}
+
+/// Everything a worker thread reports back.
+struct WorkerReport {
+    /// The partial output, or the first error with the index of the
+    /// morsel that raised it (the coordinator keeps the smallest).
+    output: Result<WorkerOutput, (usize, EngineError)>,
+    /// Per-chain-operator counter snapshots (empty when not profiling).
+    counters: Vec<CounterSnap>,
+    /// Wall time this worker spent in its claim loop (0 when not
+    /// profiling — no clock reads off the profiled path).
+    loop_nanos: u64,
+}
+
+/// A worker's breaker-side accumulator, chosen from the clause at the
+/// split point.
+enum Acc<'p> {
+    Seqs(Vec<(usize, Sequence)>),
+    Tuples(Vec<(Tag, Tuple)>),
+    Groups {
+        g: &'p GroupByIr,
+        groups: Vec<WGroup>,
+        index: GroupIndex,
+        scratch: String,
+        consumed: u64,
+    },
+    TopK {
+        heap: TopKHeap<'p>,
+        pruned: u64,
+    },
+    Runs {
+        entries: Vec<(OrderKeys, Tag, Tuple)>,
+        specs: &'p [OrderSpecIr],
+    },
+}
+
+/// Coordinator-side source replaying merged breaker output into the
+/// clauses after the split point (and the sink).
+struct Replay {
+    output: std::vec::IntoIter<Tuple>,
+}
+
+impl TupleSource for Replay {
+    fn next_batch(&mut self, _: &Interpreter, _: &mut Env) -> EngineResult<Option<Vec<Tuple>>> {
+        Ok(drain_batch(&mut self.output))
+    }
+}
+
+/// Morsel-parallel execution of an eligible FLWOR over an already
+/// evaluated outer binding sequence.
+fn run_parallel(
+    interp: &Interpreter,
+    f: &FlworIr,
+    env: &mut Env,
+    items: Vec<Item>,
+    threads: usize,
+) -> EngineResult<Sequence> {
+    // The split point: the first breaker, or the whole chain. Clauses
+    // after the breaker (and the sink) run serially on the merged,
+    // serial-order stream, so they need no eligibility restrictions of
+    // their own.
+    let cut = f
+        .clauses
+        .iter()
+        .position(|c| matches!(c, ClauseIr::GroupBy(_) | ClauseIr::OrderBy(_)))
+        .unwrap_or(f.clauses.len());
+    let morsel_count = items.len().div_ceil(MORSEL);
+    let workers = threads.min(morsel_count);
+    let profiler = interp.dynamic.profiler().cloned();
+    let profiling = profiler.is_some();
+    let clock = profiling.then(|| Arc::clone(interp.dynamic.clock()));
+    let total_start = clock.as_ref().map(|c| c.now_nanos());
+
+    let next = AtomicUsize::new(0);
+    let error_floor = AtomicUsize::new(usize::MAX);
+    // One private stats sink per worker, merged once after the join:
+    // a single `add_snapshot` call per worker per query instead of
+    // contended per-batch atomics on the shared sink.
+    let worker_stats: Vec<EvalStats> = (0..workers).map(|_| EvalStats::default()).collect();
+    let items_ref: &[Item] = &items;
+    let mut reports: Vec<WorkerReport> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for ws in &worker_stats {
+            // Interpreter is Send but not Sync (its recursion-depth
+            // Cell): fork on the coordinator, move into the thread.
+            let winterp = interp.fork(ws);
+            let wslots = env.slots.clone();
+            let wfocus = env.focus.clone();
+            let next = &next;
+            let error_floor = &error_floor;
+            handles.push(s.spawn(move || {
+                run_worker(
+                    winterp,
+                    f,
+                    cut,
+                    items_ref,
+                    morsel_count,
+                    next,
+                    error_floor,
+                    wslots,
+                    wfocus,
+                    profiling,
+                )
+            }));
+        }
+        for h in handles {
+            reports.push(h.join().expect("parallel pipeline worker panicked"));
+        }
+    });
+    for ws in &worker_stats {
+        interp.stats.add_snapshot(&ws.snapshot());
+    }
+
+    let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(workers);
+    let mut snaps: Vec<Vec<CounterSnap>> = Vec::with_capacity(workers);
+    let mut worker_loop_nanos = 0u64;
+    let mut first_error: Option<(usize, EngineError)> = None;
+    for r in reports {
+        worker_loop_nanos += r.loop_nanos;
+        snaps.push(r.counters);
+        match r.output {
+            Ok(o) => outputs.push(o),
+            // Keep the error from the smallest morsel index: tuple
+            // results are independent, so that is exactly the error the
+            // serial pipeline would have raised first.
+            Err((m, e)) => match &first_error {
+                Some((fm, _)) if *fm <= m => {}
+                _ => first_error = Some((m, e)),
+            },
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    let merge_start = clock.as_ref().map(|c| c.now_nanos());
+
+    if cut == f.clauses.len() && f.return_at.is_none() {
+        // Fully streamed: concatenate per-morsel fragments in order.
+        let mut frags: Vec<(usize, Sequence)> = Vec::new();
+        for o in outputs {
+            let WorkerOutput::Seqs(v) = o else {
+                unreachable!("worker output mode mismatch");
+            };
+            frags.extend(v);
+        }
+        frags.sort_unstable_by_key(|(m, _)| *m);
+        let mut out: Sequence = Vec::new();
+        for (_, mut frag) in frags {
+            out.append(&mut frag);
+        }
+        if let (Some(profiler), Some(clock), Some(start)) = (&profiler, &clock, total_start) {
+            let merge_nanos = clock
+                .now_nanos()
+                .saturating_sub(merge_start.unwrap_or_default());
+            let total = clock.now_nanos().saturating_sub(start);
+            profiler.record(build_parallel_profile(
+                f,
+                cut,
+                workers,
+                &snaps,
+                worker_loop_nanos,
+                merge_nanos,
+                None,
+                None,
+                total,
+            ));
+        }
+        return Ok(out);
+    }
+
+    // Merge the partials back into the exact serial-order tuple stream.
+    let merged: Vec<Tuple> = if cut == f.clauses.len() {
+        // No breaker, but `return at` needs globally ranked tuples.
+        let mut tagged: Vec<(Tag, Tuple)> = Vec::new();
+        for o in outputs {
+            let WorkerOutput::Tuples(v) = o else {
+                unreachable!("worker output mode mismatch");
+            };
+            tagged.extend(v);
+        }
+        tagged.sort_unstable_by_key(|(tag, _)| *tag);
+        tagged.into_iter().map(|(_, t)| t).collect()
+    } else {
+        match &f.clauses[cut] {
+            ClauseIr::GroupBy(g) => {
+                let mut merged: Vec<WGroup> = Vec::new();
+                let mut index = GroupIndex::new();
+                let mut scratch = String::new();
+                for o in outputs {
+                    let WorkerOutput::Groups(groups) = o else {
+                        unreachable!("worker output mode mismatch");
+                    };
+                    for wg in groups {
+                        let hit = index
+                            .find_or_insert_buf(&mut scratch, &wg.keys, merged.len(), |i| {
+                                merged[i].keys.as_slice()
+                            })
+                            .ok();
+                        match hit {
+                            Some(gi) => {
+                                let dst = &mut merged[gi];
+                                for (slot, mut entries) in dst.nests.iter_mut().zip(wg.nests) {
+                                    slot.append(&mut entries);
+                                }
+                                if wg.first < dst.first {
+                                    // Serial semantics: the group's base
+                                    // tuple and key values come from its
+                                    // globally first member. The keys are
+                                    // deep-equal (same canonical string),
+                                    // so the index stays valid.
+                                    dst.first = wg.first;
+                                    dst.keys = wg.keys;
+                                    dst.base = wg.base;
+                                }
+                            }
+                            None => merged.push(wg),
+                        }
+                    }
+                }
+                // First-appearance order across the whole input.
+                merged.sort_unstable_by_key(|wg| wg.first);
+                interp.stats.add_groups_emitted(merged.len() as u64);
+                let mut states = Vec::with_capacity(merged.len());
+                for wg in merged {
+                    let mut nests = Vec::with_capacity(wg.nests.len());
+                    for mut entries in wg.nests {
+                        // Serial arrival order first; any nest `order by`
+                        // then stable-sorts on top (emit_groups).
+                        entries.sort_unstable_by_key(|e| e.0);
+                        nests.push(
+                            entries
+                                .into_iter()
+                                .map(|(_, okeys, v)| (okeys, v))
+                                .collect::<Vec<_>>(),
+                        );
+                    }
+                    states.push(GroupState {
+                        keys: wg.keys,
+                        base: wg.base,
+                        nests,
+                    });
+                }
+                emit_groups(g, states)?
+            }
+            ClauseIr::OrderBy(ob) => {
+                let mut entries: Vec<(OrderKeys, Tag, Tuple)> = Vec::new();
+                for o in outputs {
+                    let WorkerOutput::Runs(v) = o else {
+                        unreachable!("worker output mode mismatch");
+                    };
+                    entries.extend(v);
+                }
+                sort_tagged(&mut entries, &ob.specs)?;
+                if let Some(k) = ob.limit {
+                    if entries.len() > k {
+                        // Workers already counted their local prunes;
+                        // the cross-worker survivors cut here complete
+                        // the serial total of n − k.
+                        interp
+                            .stats
+                            .add_tuples_pruned_topk((entries.len() - k) as u64);
+                        entries.truncate(k);
+                    }
+                }
+                entries.into_iter().map(|(_, _, t)| t).collect()
+            }
+            _ => unreachable!("cut points at a breaker clause"),
+        }
+    };
+    let merge_nanos = match (&clock, merge_start) {
+        (Some(c), Some(s)) => c.now_nanos().saturating_sub(s),
+        _ => 0,
+    };
+
+    let has_breaker = cut < f.clauses.len();
+    let mut source: BoxSource = Box::new(Replay {
+        output: merged.into_iter(),
+    });
+    let replay_counter = (profiling && has_breaker).then(|| Rc::new(OpCounters::default()));
+    if let Some(c) = &replay_counter {
+        source = Box::new(Instrumented {
+            input: source,
+            counters: Rc::clone(c),
+        });
+    }
+    let mut down_counters: Vec<Rc<OpCounters>> = Vec::new();
+    if has_breaker {
+        for clause in &f.clauses[cut + 1..] {
+            source = clause_source(clause, source);
+            if profiling {
+                let c = Rc::new(OpCounters::default());
+                down_counters.push(Rc::clone(&c));
+                source = Box::new(Instrumented {
+                    input: source,
+                    counters: c,
+                });
+            }
+        }
+    }
+    let sink = ReturnAt {
+        at: f.return_at,
+        expr: &f.return_expr,
+    };
+    let (seq, sink_stats) = sink.execute(source, interp, env)?;
+    if let (Some(profiler), Some(clock), Some(start)) = (&profiler, &clock, total_start) {
+        let total = clock.now_nanos().saturating_sub(start);
+        profiler.record(build_parallel_profile(
+            f,
+            cut,
+            workers,
+            &snaps,
+            worker_loop_nanos,
+            merge_nanos,
+            replay_counter
+                .as_ref()
+                .map(|c| (c.as_ref(), down_counters.as_slice())),
+            Some(sink_stats),
+            total,
+        ));
+    }
+    Ok(seq)
+}
+
+/// One worker thread: claim morsels until the input (or the error
+/// floor) is exhausted, streaming each through a private chain into the
+/// breaker-side accumulator.
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    interp: Interpreter,
+    f: &FlworIr,
+    cut: usize,
+    items: &[Item],
+    morsel_count: usize,
+    next: &AtomicUsize,
+    error_floor: &AtomicUsize,
+    slots: Vec<Arc<Sequence>>,
+    focus: Option<Focus>,
+    profiling: bool,
+) -> WorkerReport {
+    let clock = profiling.then(|| Arc::clone(interp.dynamic.clock()));
+    let loop_start = clock.as_ref().map(|c| c.now_nanos());
+    let mut env = Env { slots, focus };
+    let counters: Option<Vec<Rc<OpCounters>>> =
+        profiling.then(|| (0..cut).map(|_| Rc::new(OpCounters::default())).collect());
+    let mut acc = match (f.clauses.get(cut), f.return_at) {
+        (None, None) => Acc::Seqs(Vec::new()),
+        (None, Some(_)) => Acc::Tuples(Vec::new()),
+        (Some(ClauseIr::GroupBy(g)), _) => Acc::Groups {
+            g,
+            groups: Vec::new(),
+            index: GroupIndex::new(),
+            scratch: String::new(),
+            consumed: 0,
+        },
+        (Some(ClauseIr::OrderBy(ob)), _) => match ob.limit {
+            Some(k) => Acc::TopK {
+                heap: TopKHeap::new(&ob.specs, k),
+                pruned: 0,
+            },
+            None => Acc::Runs {
+                entries: Vec::new(),
+                specs: &ob.specs,
+            },
+        },
+        (Some(_), _) => unreachable!("cut points at a breaker clause"),
+    };
+    let mut result: Result<(), (usize, EngineError)> = Ok(());
+    loop {
+        let m = next.fetch_add(1, AtomicOrdering::Relaxed);
+        // Claims are monotonic, so every index below a claimed `m` is
+        // already owned by someone; past the error floor there is no
+        // point doing work whose output will be discarded.
+        if m >= morsel_count || m > error_floor.load(AtomicOrdering::Relaxed) {
+            break;
+        }
+        if let Err(e) = process_morsel(&interp, f, cut, items, m, &mut env, &mut acc, &counters) {
+            error_floor.fetch_min(m, AtomicOrdering::Relaxed);
+            result = Err((m, e));
+            break;
+        }
+    }
+    // Fold breaker-local tallies into this worker's private stats sink
+    // exactly once (the coordinator merges each sink with one
+    // add_snapshot call).
+    let output = match result {
+        Err(e) => Err(e),
+        Ok(()) => match acc {
+            Acc::Seqs(v) => Ok(WorkerOutput::Seqs(v)),
+            Acc::Tuples(v) => Ok(WorkerOutput::Tuples(v)),
+            Acc::Groups {
+                groups, consumed, ..
+            } => {
+                interp.stats.add_tuples_grouped(consumed);
+                Ok(WorkerOutput::Groups(groups))
+            }
+            Acc::TopK { heap, pruned } => {
+                interp.stats.add_tuples_pruned_topk(pruned);
+                Ok(WorkerOutput::Runs(heap.into_entries()))
+            }
+            Acc::Runs { mut entries, specs } => match sort_tagged(&mut entries, specs) {
+                Ok(()) => Ok(WorkerOutput::Runs(entries)),
                 Err(e) => {
-                    failure = Some(e);
-                    Ordering::Equal
+                    let m = entries.iter().map(|e| e.1 .0).min().unwrap_or(0);
+                    error_floor.fetch_min(m, AtomicOrdering::Relaxed);
+                    Err((m, e))
+                }
+            },
+        },
+    };
+    let counters = counters
+        .map(|cs| {
+            cs.iter()
+                .map(|c| CounterSnap {
+                    batches: c.batches.get(),
+                    tuples_out: c.tuples_out.get(),
+                    cum_nanos: c.cum_nanos.get(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let loop_nanos = match (&clock, loop_start) {
+        (Some(c), Some(s)) => c.now_nanos().saturating_sub(s),
+        _ => 0,
+    };
+    WorkerReport {
+        output,
+        counters,
+        loop_nanos,
+    }
+}
+
+/// Stream one morsel through a fresh clone of the pre-breaker chain
+/// into the worker's accumulator. The seeded `ForScan` starts its `at`
+/// ordinals at the morsel's global offset, so positional variables are
+/// identical to the serial run.
+#[allow(clippy::too_many_arguments)]
+fn process_morsel(
+    interp: &Interpreter,
+    f: &FlworIr,
+    cut: usize,
+    items: &[Item],
+    m: usize,
+    env: &mut Env,
+    acc: &mut Acc,
+    counters: &Option<Vec<Rc<OpCounters>>>,
+) -> EngineResult<()> {
+    let lo = m * MORSEL;
+    let hi = items.len().min(lo + MORSEL);
+    // ForScan owns its item iterator, so the morsel slice is cloned
+    // into the worker here; `Item` is an Arc-backed handle.
+    let morsel: Vec<Item> = items[lo..hi].to_vec();
+    let ClauseIr::For {
+        slot,
+        at_slot,
+        ty,
+        expr,
+    } = &f.clauses[0]
+    else {
+        unreachable!("parallel-eligible FLWOR starts with a for clause");
+    };
+    let mut source: BoxSource = Box::new(ForScan {
+        input: Box::new(Singleton { done: true }),
+        slot: *slot,
+        at_slot: *at_slot,
+        ty: ty.as_ref(),
+        expr,
+        batch: Vec::new().into_iter(),
+        items: morsel.into_iter(),
+        item_pos: lo as i64,
+        base: Tuple::default(),
+        input_done: true,
+    });
+    if let Some(cs) = counters {
+        source = Box::new(Instrumented {
+            input: source,
+            counters: Rc::clone(&cs[0]),
+        });
+    }
+    for (i, clause) in f.clauses[1..cut].iter().enumerate() {
+        source = clause_source(clause, source);
+        if let Some(cs) = counters {
+            source = Box::new(Instrumented {
+                input: source,
+                counters: Rc::clone(&cs[i + 1]),
+            });
+        }
+    }
+    let mut seq_in_morsel = 0usize;
+    match acc {
+        Acc::Seqs(frags) => {
+            let mut frag: Sequence = Vec::new();
+            while let Some(batch) = source.next_batch(interp, env)? {
+                for t in batch {
+                    t.apply(env);
+                    frag.extend(interp.eval(&f.return_expr, env)?);
                 }
             }
-        });
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(entries.into_iter().map(|(_, _, t)| t).collect()),
+            frags.push((m, frag));
         }
+        Acc::Tuples(tuples) => {
+            while let Some(batch) = source.next_batch(interp, env)? {
+                for t in batch {
+                    tuples.push(((m, seq_in_morsel), t));
+                    seq_in_morsel += 1;
+                }
+            }
+        }
+        Acc::Groups {
+            g,
+            groups,
+            index,
+            scratch,
+            consumed,
+        } => {
+            while let Some(batch) = source.next_batch(interp, env)? {
+                *consumed += batch.len() as u64;
+                for t in batch {
+                    t.apply(env);
+                    let mut key_vals: Vec<Sequence> = Vec::with_capacity(g.keys.len());
+                    for key in &g.keys {
+                        key_vals.push(interp.eval(&key.expr, env)?);
+                    }
+                    let tag = (m, seq_in_morsel);
+                    seq_in_morsel += 1;
+                    let mut nest_vals: Vec<(Tag, OrderKeys, Sequence)> =
+                        Vec::with_capacity(g.nests.len());
+                    for nest in &g.nests {
+                        let value = interp.eval(&nest.expr, env)?;
+                        let okeys = match &nest.order_by {
+                            Some(ob) => interp.order_keys(&ob.specs, env)?,
+                            None => Vec::new(),
+                        };
+                        nest_vals.push((tag, okeys, value));
+                    }
+                    let hit = index
+                        .find_or_insert_buf(scratch, &key_vals, groups.len(), |i| {
+                            groups[i].keys.as_slice()
+                        })
+                        .ok();
+                    match hit {
+                        Some(gi) => {
+                            for (slot, entry) in groups[gi].nests.iter_mut().zip(nest_vals) {
+                                slot.push(entry);
+                            }
+                        }
+                        None => {
+                            groups.push(WGroup {
+                                keys: key_vals,
+                                base: t,
+                                first: tag,
+                                nests: nest_vals.into_iter().map(|e| vec![e]).collect(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Acc::TopK { heap, pruned } => {
+            while let Some(batch) = source.next_batch(interp, env)? {
+                for t in batch {
+                    t.apply(env);
+                    let keys = interp.order_keys(heap.specs, env)?;
+                    let was_full = heap.saturated();
+                    heap.offer(keys, (m, seq_in_morsel), t)?;
+                    seq_in_morsel += 1;
+                    if was_full {
+                        *pruned += 1;
+                    }
+                }
+            }
+        }
+        Acc::Runs { entries, specs } => {
+            while let Some(batch) = source.next_batch(interp, env)? {
+                for t in batch {
+                    t.apply(env);
+                    let keys = interp.order_keys(specs, env)?;
+                    entries.push((keys, (m, seq_in_morsel), t));
+                    seq_in_morsel += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Assemble the profile of a parallel pipeline execution. Rows for the
+/// worker-side chain sum the per-worker counters, so their batch and
+/// tuple counts are exact and their nanos are *CPU time across all
+/// workers* (the pipeline total stays wall time; `workers` in the
+/// profile flags the discrepancy for renderers). The breaker row, when
+/// present, collects the workers' accumulator time, the coordinator
+/// merge and the replay drain.
+#[allow(clippy::too_many_arguments)]
+fn build_parallel_profile(
+    f: &FlworIr,
+    cut: usize,
+    workers: usize,
+    snaps: &[Vec<CounterSnap>],
+    worker_loop_nanos: u64,
+    merge_nanos: u64,
+    breaker: Option<(&OpCounters, &[Rc<OpCounters>])>,
+    sink_stats: Option<SinkStats>,
+    total_nanos: u64,
+) -> PipelineProfile {
+    let mut ops = Vec::with_capacity(f.clauses.len() + 1);
+    let mut upstream_out = 1u64;
+    for (i, clause) in f.clauses[..cut].iter().enumerate() {
+        let mut batches = 0u64;
+        let mut out = 0u64;
+        let mut self_nanos = 0u64;
+        for w in snaps {
+            batches += w[i].batches;
+            out += w[i].tuples_out;
+            let prev = if i > 0 { w[i - 1].cum_nanos } else { 0 };
+            self_nanos += w[i].cum_nanos.saturating_sub(prev);
+        }
+        ops.push(OpProfile {
+            kind: clause_op_kind(clause),
+            detail: clause_op_detail(clause),
+            batches,
+            tuples_in: upstream_out,
+            tuples_out: out,
+            nanos: self_nanos,
+        });
+        upstream_out = out;
+    }
+    // Worker time not spent pulling the chain went into the breaker
+    // accumulator (or, with no breaker, the return expression).
+    let top_cum: u64 = snaps.iter().map(|w| w[cut - 1].cum_nanos).sum();
+    let acc_nanos = worker_loop_nanos.saturating_sub(top_cum);
+    if let Some((replay, down)) = breaker {
+        let clause = &f.clauses[cut];
+        ops.push(OpProfile {
+            kind: clause_op_kind(clause),
+            detail: clause_op_detail(clause),
+            batches: replay.batches.get(),
+            tuples_in: upstream_out,
+            tuples_out: replay.tuples_out.get(),
+            nanos: acc_nanos + merge_nanos + replay.cum_nanos.get(),
+        });
+        upstream_out = replay.tuples_out.get();
+        let mut prev_cum = replay.cum_nanos.get();
+        for (clause, c) in f.clauses[cut + 1..].iter().zip(down) {
+            let cum = c.cum_nanos.get();
+            ops.push(OpProfile {
+                kind: clause_op_kind(clause),
+                detail: clause_op_detail(clause),
+                batches: c.batches.get(),
+                tuples_in: upstream_out,
+                tuples_out: c.tuples_out.get(),
+                nanos: cum.saturating_sub(prev_cum),
+            });
+            upstream_out = c.tuples_out.get();
+            prev_cum = cum;
+        }
+    }
+    let (sink_batches, sink_tuples) = match sink_stats {
+        Some(s) => (s.batches, s.tuples),
+        // No sink ran on the coordinator: the workers evaluated the
+        // return expression; mirror the chain's top row.
+        None => (snaps.iter().map(|w| w[cut - 1].batches).sum(), upstream_out),
+    };
+    let accounted: u64 = ops.iter().map(|o| o.nanos).sum();
+    let sink_nanos = match sink_stats {
+        None => acc_nanos + merge_nanos,
+        Some(_) => total_nanos.saturating_sub(accounted),
+    };
+    ops.push(OpProfile {
+        kind: OpKind::ReturnAt,
+        detail: String::new(),
+        batches: sink_batches,
+        tuples_in: upstream_out,
+        tuples_out: sink_tuples,
+        nanos: sink_nanos,
+    });
+    PipelineProfile {
+        executions: 1,
+        workers: workers as u64,
+        ops,
     }
 }
 

@@ -202,6 +202,11 @@ impl OpProfile {
 pub struct PipelineProfile {
     /// How many times this pipeline ran.
     pub executions: u64,
+    /// The widest degree of parallelism any execution ran at (1 =
+    /// serial). Parallel executions sum worker-side operator counters,
+    /// so per-operator `nanos` are CPU time while the pipeline total
+    /// stays wall time.
+    pub workers: u64,
     /// Per-operator counters, source first, `ReturnAt` sink last.
     pub ops: Vec<OpProfile>,
 }
@@ -222,9 +227,10 @@ impl PipelineProfile {
     fn to_json(&self) -> String {
         let ops: Vec<String> = self.ops.iter().map(|op| op.to_json()).collect();
         format!(
-            "{{\"signature\":\"{}\",\"executions\":{},\"total_ns\":{},\"ops\":[{}]}}",
+            "{{\"signature\":\"{}\",\"executions\":{},\"workers\":{},\"total_ns\":{},\"ops\":[{}]}}",
             self.signature(),
             self.executions,
+            self.workers,
             self.total_nanos(),
             ops.join(",")
         )
@@ -251,6 +257,7 @@ impl QueryProfile {
         for existing in &mut self.pipelines {
             if existing.signature() == sig {
                 existing.executions += p.executions;
+                existing.workers = existing.workers.max(p.workers);
                 for (a, b) in existing.ops.iter_mut().zip(&p.ops) {
                     a.merge(b);
                 }
@@ -356,6 +363,7 @@ mod tests {
     fn merge_by_signature_sums_counters() {
         let run = || PipelineProfile {
             executions: 1,
+            workers: 1,
             ops: vec![op(OpKind::ForScan, "", 10), op(OpKind::ReturnAt, "", 10)],
         };
         let mut q = QueryProfile::default();
@@ -363,6 +371,7 @@ mod tests {
         q.merge(run());
         q.merge(PipelineProfile {
             executions: 1,
+            workers: 1,
             ops: vec![op(OpKind::LetBind, "", 1), op(OpKind::ReturnAt, "", 1)],
         });
         assert_eq!(q.pipelines.len(), 2);
@@ -377,6 +386,7 @@ mod tests {
         let p = Profiler::new();
         p.record(PipelineProfile {
             executions: 1,
+            workers: 1,
             ops: vec![op(OpKind::ForScan, "", 1)],
         });
         assert!(!p.snapshot().is_empty());
@@ -389,6 +399,7 @@ mod tests {
         let mut q = QueryProfile::default();
         q.merge(PipelineProfile {
             executions: 1,
+            workers: 1,
             ops: vec![op(OpKind::OrderBy, "limit=3", 3)],
         });
         let json = q.to_json();

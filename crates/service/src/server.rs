@@ -86,6 +86,9 @@ struct Shared {
     rewrites_fired: [AtomicU64; RewriteKind::ALL.len()],
     next_request_id: AtomicU64,
     slow_query_ms: Option<u64>,
+    /// Resolved intra-query parallelism (the `threads` engine option
+    /// after defaulting), exported on `/metrics`.
+    query_threads: usize,
     pool: ThreadPool,
     started: Instant,
     read_timeout: Duration,
@@ -135,6 +138,7 @@ impl Server {
             rewrites_fired: std::array::from_fn(|_| AtomicU64::new(0)),
             next_request_id: AtomicU64::new(0),
             slow_query_ms: config.slow_query_ms,
+            query_threads: xqa_engine::resolve_threads(config.engine_options.threads),
             pool: ThreadPool::new("xqa-worker", workers),
             started: Instant::now(),
             read_timeout: config.read_timeout,
@@ -362,6 +366,7 @@ fn render_metrics(shared: &Shared) -> String {
     };
     line("xqa_uptime_seconds", shared.started.elapsed().as_secs());
     line("xqa_workers", shared.pool.size() as u64);
+    line("xqa_query_threads", shared.query_threads as u64);
     line("xqa_worker_panics_total", shared.pool.panic_count());
     line("xqa_query_requests_total", Metrics::read(&m.query_requests));
     line("xqa_query_ok_total", Metrics::read(&m.query_ok));

@@ -233,3 +233,313 @@ fn multiple_for_clauses() {
          return <r>{$y}{$x}</r>",
     );
 }
+
+// ---- intra-query parallelism ------------------------------------------
+//
+// Every query above (and a set of large-input shapes that actually split
+// into multiple morsels) is also evaluated with `threads: 1` vs
+// `threads: 4`; the serialized results must be byte-identical and the
+// evaluator accounting (tuples produced/grouped/pruned, groups emitted)
+// must match exactly.
+
+fn threaded_engines() -> (Engine, Engine) {
+    let serial = Engine::with_options(EngineOptions {
+        threads: 1,
+        ..Default::default()
+    });
+    let parallel = Engine::with_options(EngineOptions {
+        threads: 4,
+        ..Default::default()
+    });
+    (serial, parallel)
+}
+
+fn assert_threads_identical_ctx(query: &str, ctx: &mut DynamicContext) {
+    let (serial, parallel) = threaded_engines();
+    let s = serial
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile (threads=1): {e}\n{query}"));
+    let p = parallel
+        .compile(query)
+        .unwrap_or_else(|e| panic!("compile (threads=4): {e}\n{query}"));
+    let base = ctx.stats.snapshot();
+    let a = s
+        .run(ctx)
+        .unwrap_or_else(|e| panic!("run (threads=1): {e}\n{query}"));
+    let mid = ctx.stats.snapshot();
+    let b = p
+        .run(ctx)
+        .unwrap_or_else(|e| panic!("run (threads=4): {e}\n{query}"));
+    let end = ctx.stats.snapshot();
+    assert_eq!(
+        serialize_sequence(&a),
+        serialize_sequence(&b),
+        "threads=1 and threads=4 disagree for:\n{query}"
+    );
+    // The parallel run must do the same logical work as the serial one.
+    let deltas = [
+        (
+            "tuples_produced",
+            base.tuples_produced,
+            mid.tuples_produced,
+            end.tuples_produced,
+        ),
+        (
+            "tuples_grouped",
+            base.tuples_grouped,
+            mid.tuples_grouped,
+            end.tuples_grouped,
+        ),
+        (
+            "groups_emitted",
+            base.groups_emitted,
+            mid.groups_emitted,
+            end.groups_emitted,
+        ),
+        (
+            "tuples_pruned_filter",
+            base.tuples_pruned_filter,
+            mid.tuples_pruned_filter,
+            end.tuples_pruned_filter,
+        ),
+        (
+            "tuples_pruned_topk",
+            base.tuples_pruned_topk,
+            mid.tuples_pruned_topk,
+            end.tuples_pruned_topk,
+        ),
+    ];
+    for (name, base, mid, end) in deltas {
+        assert_eq!(
+            mid - base,
+            end - mid,
+            "{name} differs between threads=1 and threads=4 for:\n{query}"
+        );
+    }
+}
+
+/// The full corpus above, replayed as a threads=1 vs threads=4
+/// differential. Inputs below one morsel take the pre-seeded serial
+/// fallback; the large-input tests further down exercise the real
+/// multi-worker split.
+#[test]
+fn parallel_corpus_differential() {
+    let orders_corpus = [
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li into $items \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+        "for $li in //order/lineitem \
+         group by $li/returnflag into $rf, $li/linestatus into $ls \
+         nest $li/quantity into $qs \
+         order by string($rf), string($ls) \
+         return <g>{string($rf)}{string($ls)}|{count($qs)}|{sum(for $q in $qs return number($q))}</g>",
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li/shipdate order by string($li/shipdate) into $ds \
+         order by string($m) \
+         return <g>{string($m)}:{string($ds[1])}..{string($ds[last()])}</g>",
+        "declare function local:eq($a as item()*, $b as item()*) as xs:boolean \
+         { deep-equal($a, $b) }; \
+         for $li in //order/lineitem \
+         group by $li/shipmode into $m using local:eq \
+         nest $li into $items \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li into $items \
+         let $n := count($items) \
+         where $n ge 10 \
+         order by $n descending, string($m) \
+         return <g>{string($m)}:{$n}</g>",
+        "for $li in //order/lineitem \
+         order by number($li/extendedprice) descending \
+         return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>",
+        "(for $li in //order/lineitem \
+          order by number($li/extendedprice) descending \
+          return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>)\
+         [position() le 10]",
+        "(for $li in //order/lineitem \
+          group by $li/shipmode into $m \
+          nest $li into $items \
+          order by count($items) descending, string($m) \
+          return at $r <g rank=\"{$r}\">{string($m)}</g>)\
+         [position() le 3]",
+    ];
+    for query in orders_corpus {
+        assert_threads_identical_ctx(query, &mut orders_ctx());
+    }
+    let plain_corpus = [
+        "for tumbling window $w in (1 to 50) \
+         start at $s when $s mod 7 = 1 \
+         return <w>{sum($w)}</w>",
+        "for tumbling window $w in (2, 4, 6, 1, 3, 8, 10, 5) \
+         start $s when $s mod 2 = 0 \
+         end $e when $e mod 2 = 1 \
+         return <w>{$w}</w>",
+        "for sliding window $w in (1 to 12) \
+         start at $s when true() \
+         only end at $e when $e = $s + 2 \
+         return at $r <w r=\"{$r}\">{sum($w)}</w>",
+        "for $x in (5, 3, 8, 1, 9, 2) \
+         count $c \
+         let $y := $x * $c \
+         where $y mod 2 = 0 \
+         return <r>{$c}:{$y}</r>",
+        "for $x in 1 to 5 \
+         let $below := for $y in 1 to 5 where $y lt $x return $y \
+         return <r>{$x}|{count($below)}</r>",
+        "for $x in () order by $x return at $r <r>{$r}</r>",
+        "for $x in (1, 2, 3) \
+         for $y in (\"a\", \"b\") \
+         order by $y, $x descending \
+         return <r>{$y}{$x}</r>",
+    ];
+    for query in plain_corpus {
+        assert_threads_identical_ctx(query, &mut DynamicContext::new());
+    }
+}
+
+#[test]
+fn parallel_large_streamed_chain() {
+    // No breaker: per-morsel output fragments concatenated in order.
+    assert_threads_identical_ctx(
+        "for $x in 1 to 4000 \
+         let $y := $x * 3 \
+         where $y mod 7 = 0 \
+         return <r>{$y}</r>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_positional_at() {
+    // `at` ordinals are global positions, not morsel-local ones.
+    assert_threads_identical_ctx(
+        "for $x at $i in 2 to 4001 \
+         where $x mod 997 = 0 \
+         return <r>{$i}:{$x}</r>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_rank_without_order() {
+    // No breaker but `return at`: ranks are assigned after the merge.
+    assert_threads_identical_ctx(
+        "for $x in 1 to 3000 \
+         where $x mod 2 = 0 \
+         return at $r <r>{$r}:{$x}</r>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_group_by_deep_equal_keys() {
+    // Sequence-valued grouping keys exercise the deep-equal fallback in
+    // every worker's hash table and again in the cross-worker merge;
+    // with no order by, group order is first appearance across morsels.
+    assert_threads_identical_ctx(
+        "for $x in 1 to 5000 \
+         group by ($x mod 7, $x mod 3) into $k \
+         nest $x into $xs \
+         return <g>{$k[1]}-{$k[2]}|{count($xs)}|{sum($xs)}</g>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_group_by_ordered_nest() {
+    assert_threads_identical_ctx(
+        "for $x in 1 to 5000 \
+         group by $x mod 11 into $k \
+         nest $x order by $x mod 13, $x into $xs \
+         order by $k \
+         return <g>{$k}|{$xs[1]}|{$xs[last()]}</g>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_top_k_ties_and_rank() {
+    // Massive ties on the sort key: the survivors and their ranks must
+    // match the serial stable order (tags break ties by input position).
+    assert_threads_identical_ctx(
+        "(for $x in 1 to 5000 \
+          order by $x mod 10 \
+          return at $r <r rank=\"{$r}\">{$x}</r>)[position() le 25]",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_full_sort_stability() {
+    assert_threads_identical_ctx(
+        "for $x in 1 to 3000 \
+         order by $x mod 4 \
+         return <r>{$x}</r>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_large_groupby_then_downstream_clauses() {
+    // Clauses after the breaker (let/where/order by) run serially on
+    // the merged stream.
+    assert_threads_identical_ctx(
+        "for $x in 1 to 5000 \
+         group by $x mod 17 into $k \
+         nest $x into $xs \
+         let $n := count($xs) \
+         where $k mod 2 = 0 \
+         order by $n descending, $k \
+         return <g>{$k}:{$n}</g>",
+        &mut DynamicContext::new(),
+    );
+}
+
+#[test]
+fn parallel_error_matches_serial() {
+    // The parallel run must surface exactly the error the serial run
+    // raises first, even when later morsels would also fail.
+    let (serial, parallel) = threaded_engines();
+    let query = "for $x in 1 to 3000 return $x idiv ($x - 1500)";
+    let ctx = DynamicContext::new();
+    let e1 = serial
+        .compile(query)
+        .expect("compile")
+        .run(&ctx)
+        .expect_err("threads=1 must fail");
+    let e4 = parallel
+        .compile(query)
+        .expect("compile")
+        .run(&ctx)
+        .expect_err("threads=4 must fail");
+    assert_eq!(e1.to_string(), e4.to_string());
+}
+
+#[test]
+fn parallel_profile_reports_workers() {
+    // A profiled parallel run records the widest worker fan-out.
+    let parallel = Engine::with_options(EngineOptions {
+        threads: 4,
+        ..Default::default()
+    });
+    let query = parallel
+        .compile(
+            "for $x in 1 to 5000 \
+             group by $x mod 5 into $k \
+             nest $x into $xs \
+             order by $k \
+             return <g>{$k}:{count($xs)}</g>",
+        )
+        .expect("compile");
+    let mut ctx = DynamicContext::new();
+    ctx.enable_profiling();
+    query.run(&ctx).expect("run");
+    let profile = ctx.take_profile().expect("profile");
+    let workers = profile.pipelines.iter().map(|p| p.workers).max().unwrap();
+    assert_eq!(workers, 4, "expected a 4-worker parallel pipeline");
+}
