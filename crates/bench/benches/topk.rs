@@ -1,7 +1,7 @@
 //! Top-k rank benches: `return at $rank` under a positional bound, the
-//! §4 headline use case. Measures the streaming pipeline's bounded-heap
-//! order-by (top-k pushdown) against the legacy materializing path,
-//! over growing input sizes and growing group counts (k = 10).
+//! §4 headline use case. Measures the bounded-heap order-by (top-k
+//! pushdown) against the same pipeline with the rewrite disabled (full
+//! sort), over growing input sizes and growing group counts (k = 10).
 
 use xqa::{serialize_sequence, Engine, EngineOptions};
 use xqa_bench::harness::Harness;
@@ -32,25 +32,25 @@ fn rank_groups_query(key: &str, k: usize) -> String {
 }
 
 fn engines() -> (Engine, Engine) {
-    let streaming = Engine::new();
-    let materializing = Engine::with_options(EngineOptions {
-        streaming_pipeline: false,
+    let with_pushdown = Engine::new();
+    let full_sort = Engine::with_options(EngineOptions {
+        topk_pushdown: false,
         ..Default::default()
     });
-    (streaming, materializing)
+    (with_pushdown, full_sort)
 }
 
-/// Compile under both paths, check byte-identical output, bench both.
+/// Compile under both plans, check byte-identical output, bench both.
 fn bench_pair(group: &mut Harness, label: &str, query: &str, dataset: &Dataset) {
-    let (streaming, materializing) = engines();
-    let fast = streaming.compile(query).expect("compiles");
+    let (with_pushdown, full_sort) = engines();
+    let fast = with_pushdown.compile(query).expect("compiles");
     assert!(
         fast.applied_rewrites()
             .iter()
             .any(|r| r.contains("top-k pushdown")),
         "top-k pushdown must fire for {label}"
     );
-    let slow = materializing.compile(query).expect("compiles");
+    let slow = full_sort.compile(query).expect("compiles");
     let ctx = dataset.context();
     let a = serialize_sequence(&fast.run(&ctx).expect("runs"));
     let b = serialize_sequence(&slow.run(&ctx).expect("runs"));
@@ -66,7 +66,7 @@ fn bench_pair(group: &mut Harness, label: &str, query: &str, dataset: &Dataset) 
     group.bench_with_profile(&format!("{label}/streaming_heap"), profile, || {
         fast.run(&ctx).expect("runs");
     });
-    group.bench(&format!("{label}/materializing"), || {
+    group.bench(&format!("{label}/full_sort"), || {
         slow.run(&ctx).expect("runs");
     });
 }

@@ -7,8 +7,8 @@
 //!                              group count, one series per input size;
 //!                              --svg also draws the figure
 //! repro ablation               the DESIGN.md ablation measurements
-//! repro topk [--sizes A,B,C]   streaming top-k heap vs the legacy
-//!                              materializing path on rank queries
+//! repro topk [--sizes A,B,C]   streaming top-k heap vs a full sort
+//!                              (pushdown disabled) on rank queries
 //! repro all                    everything (default)
 //! ```
 
@@ -240,10 +240,10 @@ fn ablation() {
 }
 
 /// Top-k rank queries (`return at $rank` under `[position() le 10]`):
-/// the streaming pipeline's bounded heap vs the materializing path.
+/// the bounded heap vs the same pipeline with the rewrite disabled.
 fn topk(sizes: &[usize]) {
     const K: usize = 10;
-    println!("== Top-k rank: streaming heap vs materializing path (k = {K}) ==\n");
+    println!("== Top-k rank: streaming heap vs full sort (k = {K}) ==\n");
     println!("intra-query threads: {}", xqa::resolve_threads(0));
     let query = format!(
         "(for $li in //order/lineitem \
@@ -253,13 +253,13 @@ fn topk(sizes: &[usize]) {
     );
     println!("query: {query}\n");
     let streaming = Engine::new();
-    let materializing = Engine::with_options(EngineOptions {
-        streaming_pipeline: false,
+    let full_sort = Engine::with_options(EngineOptions {
+        topk_pushdown: false,
         ..Default::default()
     });
     println!(
         "{:<10} {:>14} {:>16} {:>9}",
-        "lineitems", "streaming", "materializing", "speedup"
+        "lineitems", "heap", "full_sort", "speedup"
     );
     for &size in sizes {
         let dataset = Dataset::generate(size);
@@ -271,7 +271,7 @@ fn topk(sizes: &[usize]) {
                 .any(|r| r.contains("top-k pushdown")),
             "top-k pushdown must fire"
         );
-        let slow = materializing.compile(&query).expect("compiles");
+        let slow = full_sort.compile(&query).expect("compiles");
         let a = xqa::serialize_sequence(&fast.run(&ctx).expect("runs"));
         let b = xqa::serialize_sequence(&slow.run(&ctx).expect("runs"));
         assert_eq!(a, b, "paths disagree at {size} lineitems");

@@ -21,6 +21,8 @@ pub struct Harness {
     /// Intra-query thread count recorded with each measurement, so
     /// `BENCH_*.json` figures are comparable across parallelism levels.
     threads: usize,
+    /// Annotations attached to the next recorded measurement.
+    pending: Vec<(String, String)>,
 }
 
 impl Harness {
@@ -32,6 +34,7 @@ impl Harness {
         Harness {
             group: name.to_string(),
             threads: xqa::resolve_threads(0),
+            pending: Vec::new(),
         }
     }
 
@@ -39,6 +42,13 @@ impl Harness {
     /// intra-query threads (for benches that sweep the thread count).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+
+    /// Attach an already-serialized JSON value under `key` to the next
+    /// recorded measurement (e.g. copy-counter summaries in the seq
+    /// bench). Annotations are drained by the next `bench*` call.
+    pub fn annotate(&mut self, key: &str, json: String) {
+        self.pending.push((key.to_string(), json));
     }
 
     /// Run one benchmark: warm up, estimate, then measure. Returns the
@@ -87,6 +97,7 @@ impl Harness {
             iters,
             threads: self.threads,
             profile_json,
+            extra: std::mem::take(&mut self.pending),
         });
         mean
     }
@@ -103,13 +114,39 @@ struct Record {
     threads: usize,
     /// Pre-serialized JSON object with per-operator profile numbers.
     profile_json: Option<String>,
+    /// Extra pre-serialized `(key, json)` annotations.
+    extra: Vec<(String, String)>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
-/// Write every benchmark measured so far as a JSON array (used by CI to
-/// upload a machine-readable artifact next to the textual report).
+/// The repository root: the nearest ancestor of this crate that holds
+/// the workspace `Cargo.lock`. Bench targets run with the *package*
+/// directory as CWD, so relative `BENCH_JSON` paths would otherwise
+/// land in `crates/bench/` where nothing picks them up.
+fn repo_root() -> std::path::PathBuf {
+    let mut dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            return std::path::PathBuf::from(".");
+        }
+    }
+    dir
+}
+
+/// Write every benchmark measured so far as a JSON array. Relative
+/// paths resolve against the repository root, so
+/// `BENCH_JSON=BENCH_seq.json` lands next to the committed trajectory
+/// files regardless of the bench target's working directory.
 pub fn write_json(path: &str) -> std::io::Result<()> {
+    let path = {
+        let p = std::path::Path::new(path);
+        if p.is_absolute() {
+            p.to_path_buf()
+        } else {
+            repo_root().join(p)
+        }
+    };
     let records = RECORDS.lock().unwrap();
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
@@ -129,6 +166,9 @@ pub fn write_json(path: &str) -> std::io::Result<()> {
         if let Some(profile) = &r.profile_json {
             // Already-valid JSON, inserted verbatim.
             out.push_str(&format!(", \"profile\": {profile}"));
+        }
+        for (key, json) in &r.extra {
+            out.push_str(&format!(", \"{}\": {json}", escape(key)));
         }
         out.push('}');
     }

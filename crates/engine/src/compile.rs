@@ -56,7 +56,6 @@ pub fn compile(module: &ast::Module) -> EngineResult<ir::CompiledQuery> {
         body,
         frame_size: c.frame.max_slots,
         ordered: module.prolog.ordering != Some(ast::OrderingMode::Unordered),
-        streaming: true,
         threads: 1,
     })
 }

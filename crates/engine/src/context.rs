@@ -41,6 +41,11 @@ pub struct EvalStats {
     pub tuples_pruned_filter: AtomicU64,
     /// Tuples rejected or evicted by the bounded top-k heap.
     pub tuples_pruned_topk: AtomicU64,
+    /// Items cloned into newly allocated sequence backing storage.
+    pub seq_items_copied: AtomicU64,
+    /// Items whose copy was avoided because a sequence clone shared its
+    /// backing allocation (each would have been a copy under `Vec`).
+    pub seq_clones_shared: AtomicU64,
 }
 
 /// A plain-value copy of [`EvalStats`] taken at one instant.
@@ -60,6 +65,10 @@ pub struct EvalStatsSnapshot {
     pub tuples_pruned_filter: u64,
     /// Tuples rejected or evicted by the bounded top-k heap.
     pub tuples_pruned_topk: u64,
+    /// Items cloned into newly allocated sequence backing storage.
+    pub seq_items_copied: u64,
+    /// Items whose copy a shared sequence clone avoided.
+    pub seq_clones_shared: u64,
 }
 
 impl EvalStats {
@@ -72,6 +81,8 @@ impl EvalStats {
         self.tuples_produced.store(0, Ordering::Relaxed);
         self.tuples_pruned_filter.store(0, Ordering::Relaxed);
         self.tuples_pruned_topk.store(0, Ordering::Relaxed);
+        self.seq_items_copied.store(0, Ordering::Relaxed);
+        self.seq_clones_shared.store(0, Ordering::Relaxed);
     }
 
     /// Add `n` to the nodes-visited counter.
@@ -109,6 +120,13 @@ impl EvalStats {
         self.tuples_pruned_topk.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Fold a drained pair of thread-local sequence-copy counters
+    /// ([`xqa_xdm::take_seq_counters`]) into this block.
+    pub fn add_seq_counters(&self, copied: u64, shared: u64) {
+        self.seq_items_copied.fetch_add(copied, Ordering::Relaxed);
+        self.seq_clones_shared.fetch_add(shared, Ordering::Relaxed);
+    }
+
     /// Add a snapshot's counters into this block (used by the service
     /// to aggregate per-request snapshots into server-wide totals).
     pub fn add_snapshot(&self, s: &EvalStatsSnapshot) {
@@ -125,6 +143,10 @@ impl EvalStats {
             .fetch_add(s.tuples_pruned_filter, Ordering::Relaxed);
         self.tuples_pruned_topk
             .fetch_add(s.tuples_pruned_topk, Ordering::Relaxed);
+        self.seq_items_copied
+            .fetch_add(s.seq_items_copied, Ordering::Relaxed);
+        self.seq_clones_shared
+            .fetch_add(s.seq_clones_shared, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -137,6 +159,8 @@ impl EvalStats {
             tuples_produced: self.tuples_produced.load(Ordering::Relaxed),
             tuples_pruned_filter: self.tuples_pruned_filter.load(Ordering::Relaxed),
             tuples_pruned_topk: self.tuples_pruned_topk.load(Ordering::Relaxed),
+            seq_items_copied: self.seq_items_copied.load(Ordering::Relaxed),
+            seq_clones_shared: self.seq_clones_shared.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,14 +171,16 @@ impl EvalStatsSnapshot {
         format!(
             "{{\"nodes_visited\":{},\"tuples_grouped\":{},\"groups_emitted\":{},\
              \"comparisons\":{},\"tuples_produced\":{},\"tuples_pruned_filter\":{},\
-             \"tuples_pruned_topk\":{}}}",
+             \"tuples_pruned_topk\":{},\"seq_items_copied\":{},\"seq_clones_shared\":{}}}",
             self.nodes_visited,
             self.tuples_grouped,
             self.groups_emitted,
             self.comparisons,
             self.tuples_produced,
             self.tuples_pruned_filter,
-            self.tuples_pruned_topk
+            self.tuples_pruned_topk,
+            self.seq_items_copied,
+            self.seq_clones_shared
         )
     }
 }
@@ -376,7 +402,7 @@ mod tests {
     fn snapshot_json_shape() {
         let json = EvalStatsSnapshot::default().to_json();
         assert!(json.starts_with("{\"nodes_visited\":0"));
-        assert!(json.ends_with("\"tuples_pruned_topk\":0}"));
+        assert!(json.ends_with("\"seq_clones_shared\":0}"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use xqa_frontend::ast::{ArithOp, Axis, NodeComparison, Quantifier, SetOp};
 use xqa_xdm::{
     effective_boolean_value, general_compare, AtomicValue, Decimal, Document, DocumentBuilder,
-    ErrorCode, Item, NodeHandle, NodeKind, Sequence,
+    ErrorCode, Item, NodeHandle, NodeKind, Sequence, SequenceBuilder,
 };
 
 /// Maximum user-function recursion depth. Kept conservative because each
@@ -27,6 +27,31 @@ const MAX_RECURSION: usize = 64;
 
 /// Execute a compiled query against a dynamic context.
 pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<Sequence> {
+    // Discard sequence-copy counts accumulated outside evaluation
+    // (compile-time constant folding, earlier runs on this thread) so
+    // the per-run totals cover this evaluation alone.
+    let _ = xqa_xdm::take_seq_counters();
+    let before = dynamic.profiler().map(|_| dynamic.stats.snapshot());
+    let result = execute_inner(query, dynamic);
+    let (copied, shared) = xqa_xdm::take_seq_counters();
+    dynamic.stats.add_seq_counters(copied, shared);
+    // The stats delta (not the local drain alone) also covers counts
+    // parallel workers merged in through their per-worker sinks.
+    if let (Some(profiler), Some(before)) = (dynamic.profiler(), before) {
+        let after = dynamic.stats.snapshot();
+        profiler.add_seq(
+            after
+                .seq_items_copied
+                .saturating_sub(before.seq_items_copied),
+            after
+                .seq_clones_shared
+                .saturating_sub(before.seq_clones_shared),
+        );
+    }
+    result
+}
+
+fn execute_inner(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<Sequence> {
     let mut interp = Interpreter {
         query,
         dynamic,
@@ -38,7 +63,7 @@ pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<
     for g in &query.globals {
         let mut env = Env::new(g.frame_size, initial_focus(dynamic));
         let v = interp.eval(&g.init, &mut env)?;
-        interp.globals.push(Arc::new(v));
+        interp.globals.push(v);
     }
     let mut env = Env::new(query.frame_size, initial_focus(dynamic));
     interp.eval(&query.body, &mut env)
@@ -54,17 +79,17 @@ fn initial_focus(dynamic: &DynamicContext) -> Option<Focus> {
 
 /// The evaluation environment: frame slots plus the focus.
 pub(crate) struct Env {
-    /// Variable slots (`Arc` so tuple snapshots are cheap).
-    pub slots: Vec<Arc<Sequence>>,
+    /// Variable slots (`Sequence` clones are O(1), so tuple snapshots
+    /// bind values directly — no `Arc<Sequence>` double indirection).
+    pub slots: Vec<Sequence>,
     /// The focus, if a context item is defined.
     pub focus: Option<Focus>,
 }
 
 impl Env {
     pub(crate) fn new(frame_size: usize, focus: Option<Focus>) -> Env {
-        let empty: Arc<Sequence> = Arc::new(Vec::new());
         Env {
-            slots: vec![empty; frame_size],
+            slots: vec![Sequence::Empty; frame_size],
             focus,
         }
     }
@@ -73,7 +98,7 @@ impl Env {
 pub(crate) struct Interpreter<'a> {
     pub(crate) query: &'a CompiledQuery,
     pub(crate) dynamic: &'a DynamicContext,
-    pub(crate) globals: Vec<Arc<Sequence>>,
+    pub(crate) globals: Vec<Sequence>,
     depth: Cell<usize>,
     /// Where evaluator counters go. Normally `&dynamic.stats`; a forked
     /// worker interpreter points at a thread-local sink merged into the
@@ -103,22 +128,24 @@ impl<'a> Interpreter<'a> {
 
     pub(crate) fn eval(&self, ir: &Ir, env: &mut Env) -> EngineResult<Sequence> {
         match ir {
-            Ir::Str(s) => Ok(vec![Item::Atomic(AtomicValue::String(Arc::clone(s)))]),
-            Ir::Int(v) => Ok(vec![Item::from(*v)]),
-            Ir::Dec(v) => Ok(vec![Item::Atomic(AtomicValue::Decimal(*v))]),
-            Ir::Dbl(v) => Ok(vec![Item::from(*v)]),
-            Ir::Empty => Ok(vec![]),
+            Ir::Str(s) => Ok(Sequence::one(Item::Atomic(AtomicValue::String(
+                Arc::clone(s),
+            )))),
+            Ir::Int(v) => Ok(Sequence::one(*v)),
+            Ir::Dec(v) => Ok(Sequence::one(Item::Atomic(AtomicValue::Decimal(*v)))),
+            Ir::Dbl(v) => Ok(Sequence::one(*v)),
+            Ir::Empty => Ok(Sequence::Empty),
             Ir::Seq(items) => {
-                let mut out = Vec::new();
+                let mut out = SequenceBuilder::new();
                 for item in items {
-                    out.extend(self.eval(item, env)?);
+                    out.append(self.eval(item, env)?);
                 }
-                Ok(out)
+                Ok(out.build())
             }
-            Ir::Var(slot) => Ok((*env.slots[*slot]).clone()),
-            Ir::Global(g) => Ok((*self.globals[*g]).clone()),
+            Ir::Var(slot) => Ok(env.slots[*slot].clone()),
+            Ir::Global(g) => Ok(self.globals[*g].clone()),
             Ir::ContextItem => match &env.focus {
-                Some(f) => Ok(vec![f.item.clone()]),
+                Some(f) => Ok(Sequence::one(f.item.clone())),
                 None => Err(no_context("'.'")),
             },
             Ir::Range(a, b) => {
@@ -126,7 +153,7 @@ impl<'a> Interpreter<'a> {
                 let hi = self.eval_opt_integer(b, env, "range end")?;
                 match (lo, hi) {
                     (Some(lo), Some(hi)) if lo <= hi => Ok((lo..=hi).map(Item::from).collect()),
-                    _ => Ok(vec![]),
+                    _ => Ok(Sequence::Empty),
                 }
             }
             Ir::Arith(op, a, b) => {
@@ -137,14 +164,14 @@ impl<'a> Interpreter<'a> {
             Ir::Neg(a) => {
                 let v = self.eval(a, env)?;
                 match opt_numeric(&v, "unary minus")? {
-                    None => Ok(vec![]),
+                    None => Ok(Sequence::Empty),
                     Some(AtomicValue::Integer(i)) => {
-                        Ok(vec![Item::from(i.checked_neg().ok_or_else(overflow)?)])
+                        Ok(Sequence::one(i.checked_neg().ok_or_else(overflow)?))
                     }
                     Some(AtomicValue::Decimal(d)) => {
-                        Ok(vec![Item::Atomic(AtomicValue::Decimal(d.neg()))])
+                        Ok(Sequence::one(Item::Atomic(AtomicValue::Decimal(d.neg()))))
                     }
-                    Some(AtomicValue::Double(d)) => Ok(vec![Item::from(-d)]),
+                    Some(AtomicValue::Double(d)) => Ok(Sequence::one(-d)),
                     Some(_) => unreachable!("opt_numeric returns numerics"),
                 }
             }
@@ -152,9 +179,9 @@ impl<'a> Interpreter<'a> {
                 let lhs = self.eval(a, env)?;
                 let rhs = self.eval(b, env)?;
                 self.stats.add_comparisons((lhs.len() * rhs.len()) as u64);
-                Ok(vec![Item::from(
+                Ok(Sequence::one(
                     general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?,
-                )])
+                ))
             }
             Ir::ValueComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
@@ -167,11 +194,11 @@ impl<'a> Interpreter<'a> {
                         // Value comparisons treat untyped operands as strings.
                         let la = untyped_to_string(la);
                         let ra = untyped_to_string(ra);
-                        Ok(vec![Item::from(
+                        Ok(Sequence::one(
                             xqa_xdm::value_compare(&la, &ra, *op).map_err(EngineError::from)?,
-                        )])
+                        ))
                     }
-                    _ => Ok(vec![]),
+                    _ => Ok(Sequence::Empty),
                 }
             }
             Ir::NodeComp(op, a, b) => {
@@ -186,24 +213,24 @@ impl<'a> Interpreter<'a> {
                             NodeComparison::Precedes => ln.document_order(&rn).is_lt(),
                             NodeComparison::Follows => ln.document_order(&rn).is_gt(),
                         };
-                        Ok(vec![Item::from(result)])
+                        Ok(Sequence::one(result))
                     }
-                    _ => Ok(vec![]),
+                    _ => Ok(Sequence::Empty),
                 }
             }
             Ir::And(a, b) => {
                 let lhs = self.eval_ebv(a, env)?;
                 if !lhs {
-                    return Ok(vec![Item::from(false)]);
+                    return Ok(Sequence::one(false));
                 }
-                Ok(vec![Item::from(self.eval_ebv(b, env)?)])
+                Ok(Sequence::one(self.eval_ebv(b, env)?))
             }
             Ir::Or(a, b) => {
                 let lhs = self.eval_ebv(a, env)?;
                 if lhs {
-                    return Ok(vec![Item::from(true)]);
+                    return Ok(Sequence::one(true));
                 }
-                Ok(vec![Item::from(self.eval_ebv(b, env)?)])
+                Ok(Sequence::one(self.eval_ebv(b, env)?))
             }
             Ir::SetOp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
@@ -223,7 +250,7 @@ impl<'a> Interpreter<'a> {
                 satisfies,
             } => {
                 let result = self.eval_quantified(*kind, bindings, satisfies, env, 0)?;
-                Ok(vec![Item::from(result)])
+                Ok(Sequence::one(result))
             }
             Ir::Flwor(f) => self.eval_flwor(f, env),
             Ir::Path(p) => self.eval_path(p, env),
@@ -252,17 +279,17 @@ impl<'a> Interpreter<'a> {
                     .children()
                     .next()
                     .expect("constructor built one element");
-                Ok(vec![Item::Node(node)])
+                Ok(Sequence::one(Item::Node(node)))
             }
             Ir::Attribute { name, value } => {
                 let text = match value {
                     Some(v) => atomize_join(&self.eval(v, env)?),
                     None => String::new(),
                 };
-                Ok(vec![Item::Node(Document::standalone_attribute(
+                Ok(Sequence::one(Item::Node(Document::standalone_attribute(
                     name.clone(),
                     text.as_str(),
-                ))])
+                ))))
             }
             Ir::Text(content) => {
                 let text = match content {
@@ -271,34 +298,34 @@ impl<'a> Interpreter<'a> {
                 };
                 if text.is_empty() {
                     // Zero-length text constructors produce no node.
-                    return Ok(vec![]);
+                    return Ok(Sequence::Empty);
                 }
                 let mut b = DocumentBuilder::new();
                 b.text(&text);
                 let doc = b.finish();
-                Ok(vec![Item::Node(
+                Ok(Sequence::one(Item::Node(
                     doc.root().children().next().expect("text node built"),
-                )])
+                )))
             }
             Ir::Comment(text) => {
                 let mut b = DocumentBuilder::new();
                 b.comment(&**text);
                 let doc = b.finish();
-                Ok(vec![Item::Node(
+                Ok(Sequence::one(Item::Node(
                     doc.root().children().next().expect("comment built"),
-                )])
+                )))
             }
             Ir::Pi(target, data) => {
                 let mut b = DocumentBuilder::new();
                 b.processing_instruction(target.clone(), &**data);
                 let doc = b.finish();
-                Ok(vec![Item::Node(
+                Ok(Sequence::one(Item::Node(
                     doc.root().children().next().expect("PI built"),
-                )])
+                )))
             }
             Ir::InstanceOf(a, ty) => {
                 let v = self.eval(a, env)?;
-                Ok(vec![Item::from(matches_seq_type(&v, ty))])
+                Ok(Sequence::one(matches_seq_type(&v, ty)))
             }
             Ir::Castable(a, target, optional) => {
                 let v = self.eval(a, env)?;
@@ -307,14 +334,14 @@ impl<'a> Interpreter<'a> {
                     Ok(None) => *optional,
                     Ok(Some(v)) => cast_atomic(&v, *target).is_ok(),
                 };
-                Ok(vec![Item::from(ok)])
+                Ok(Sequence::one(ok))
             }
             Ir::Cast(a, target, optional) => {
                 let v = self.eval(a, env)?;
                 match opt_atomic(&v, "cast")? {
                     None => {
                         if *optional {
-                            Ok(vec![])
+                            Ok(Sequence::Empty)
                         } else {
                             Err(EngineError::dynamic(
                                 ErrorCode::XPTY0004,
@@ -322,7 +349,7 @@ impl<'a> Interpreter<'a> {
                             ))
                         }
                     }
-                    Some(v) => Ok(vec![Item::Atomic(cast_atomic(&v, *target)?)]),
+                    Some(v) => Ok(Sequence::one(Item::Atomic(cast_atomic(&v, *target)?))),
                 }
             }
         }
@@ -367,7 +394,7 @@ impl<'a> Interpreter<'a> {
         let (slot, ref expr) = bindings[index];
         let seq = self.eval(expr, env)?;
         for item in seq {
-            env.slots[slot] = Arc::new(vec![item]);
+            env.slots[slot] = Sequence::One(item);
             let inner = self.eval_quantified(kind, bindings, satisfies, env, index + 1)?;
             match kind {
                 Quantifier::Some if inner => return Ok(true),
@@ -402,7 +429,7 @@ impl<'a> Interpreter<'a> {
                 }
                 None => value,
             };
-            callee.slots[i] = Arc::new(value);
+            callee.slots[i] = value;
         }
         self.depth.set(depth + 1);
         let result = self.eval(&func.body, &mut callee);
@@ -441,7 +468,7 @@ impl<'a> Interpreter<'a> {
                 }
                 None => value,
             };
-            callee.slots[i] = Arc::new(value);
+            callee.slots[i] = value;
         }
         self.depth.set(depth + 1);
         let result = self.eval(&func.body, &mut callee);
@@ -458,14 +485,14 @@ impl<'a> Interpreter<'a> {
     fn eval_path(&self, p: &PathIr, env: &mut Env) -> EngineResult<Sequence> {
         let mut current: Sequence = match &p.start {
             PathStartIr::Context => match &env.focus {
-                Some(f) => vec![f.item.clone()],
+                Some(f) => Sequence::one(f.item.clone()),
                 None => return Err(no_context("relative path")),
             },
             PathStartIr::Root => match &env.focus {
                 Some(f) => match &f.item {
                     Item::Node(n) => {
                         let root = n.ancestors().last().unwrap_or_else(|| n.clone());
-                        vec![Item::Node(root)]
+                        Sequence::one(Item::Node(root))
                     }
                     _ => {
                         return Err(EngineError::dynamic(
@@ -491,7 +518,7 @@ impl<'a> Interpreter<'a> {
                 test,
                 predicates,
             } => {
-                let mut out: Sequence = Vec::new();
+                let mut out: Vec<Item> = Vec::new();
                 for item in &input {
                     let node = match item {
                         Item::Node(n) => n,
@@ -515,12 +542,12 @@ impl<'a> Interpreter<'a> {
                     }
                 }
                 dedup_sort_document_order(&mut out);
-                Ok(out)
+                Ok(out.into())
             }
             StepIr::Expr { expr, predicates } => {
                 let size = input.len() as i64;
                 let saved = env.focus.take();
-                let mut out: Sequence = Vec::new();
+                let mut out: Vec<Item> = Vec::new();
                 let mut result: EngineResult<()> = Ok(());
                 for (i, item) in input.iter().enumerate() {
                     env.focus = Some(Focus {
@@ -547,9 +574,9 @@ impl<'a> Interpreter<'a> {
                 let nodes = out.iter().filter(|i| i.is_node()).count();
                 if nodes == out.len() {
                     dedup_sort_document_order(&mut out);
-                    Ok(out)
+                    Ok(out.into())
                 } else if nodes == 0 {
-                    Ok(out)
+                    Ok(out.into())
                 } else {
                     Err(EngineError::dynamic(
                         ErrorCode::XPTY0004,
@@ -647,7 +674,7 @@ impl<'a> Interpreter<'a> {
         for pred in predicates {
             let size = current.len() as i64;
             let saved = env.focus.take();
-            let mut kept: Sequence = Vec::with_capacity(current.len());
+            let mut kept: Vec<Item> = Vec::with_capacity(current.len());
             let mut failure: Option<EngineError> = None;
             for (i, item) in current.iter().enumerate() {
                 let position = i as i64 + 1;
@@ -675,7 +702,7 @@ impl<'a> Interpreter<'a> {
             if let Some(e) = failure {
                 return Err(e);
             }
-            current = kept;
+            current = kept.into();
         }
         Ok(current)
     }
@@ -880,7 +907,7 @@ pub(crate) fn eval_arith(op: ArithOp, lhs: &[Item], rhs: &[Item]) -> EngineResul
     let b = opt_numeric(rhs, "arithmetic")?;
     let (a, b) = match (a, b) {
         (Some(a), Some(b)) => (a, b),
-        _ => return Ok(vec![]),
+        _ => return Ok(Sequence::Empty),
     };
     use AtomicValue as V;
     let out = match (&a, &b) {
@@ -896,7 +923,7 @@ pub(crate) fn eval_arith(op: ArithOp, lhs: &[Item], rhs: &[Item]) -> EngineResul
             decimal_arith(op, &x, &y)?
         }
     };
-    Ok(vec![Item::Atomic(out)])
+    Ok(Sequence::one(Item::Atomic(out)))
 }
 
 fn to_decimal(v: &AtomicValue) -> EngineResult<Decimal> {
@@ -967,7 +994,7 @@ fn double_arith(op: ArithOp, x: f64, y: f64) -> EngineResult<AtomicValue> {
 }
 
 /// Sort nodes into document order and drop duplicate identities.
-pub(crate) fn dedup_sort_document_order(items: &mut Sequence) {
+pub(crate) fn dedup_sort_document_order(items: &mut Vec<Item>) {
     items.sort_by(|a, b| match (a, b) {
         (Item::Node(x), Item::Node(y)) => x.document_order(y),
         _ => std::cmp::Ordering::Equal,
@@ -998,7 +1025,7 @@ fn eval_set_op(op: SetOp, lhs: Sequence, rhs: Sequence) -> EngineResult<Sequence
     let l = as_nodes(lhs)?;
     let r = as_nodes(rhs)?;
     let r_ids: HashSet<(u64, u32)> = r.iter().map(node_identity_key).collect();
-    let mut out: Sequence = match op {
+    let mut out: Vec<Item> = match op {
         SetOp::Union => l.into_iter().chain(r).map(Item::Node).collect(),
         SetOp::Intersect => l
             .into_iter()
@@ -1012,7 +1039,7 @@ fn eval_set_op(op: SetOp, lhs: Sequence, rhs: Sequence) -> EngineResult<Sequence
             .collect(),
     };
     dedup_sort_document_order(&mut out);
-    Ok(out)
+    Ok(out.into())
 }
 
 /// Atomize a sequence and join the string values with single spaces

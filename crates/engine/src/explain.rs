@@ -12,13 +12,9 @@ use std::fmt::Write;
 
 /// Render a whole compiled query. Eligible FLWOR pipelines are
 /// annotated `[parallel ×N]` with the thread count the query would
-/// resolve at run time (materializing queries always run serial).
+/// resolve at run time.
 pub fn explain_query(query: &CompiledQuery) -> String {
-    let threads = if query.streaming {
-        crate::resolve_threads(query.threads)
-    } else {
-        1
-    };
+    let threads = crate::resolve_threads(query.threads);
     let mut out = String::new();
     for (i, g) in query.globals.iter().enumerate() {
         let _ = writeln!(out, "global ${} (slot g{i}):", g.name);
@@ -30,13 +26,8 @@ pub fn explain_query(query: &CompiledQuery) -> String {
     }
     let _ = writeln!(
         out,
-        "query body (frame size {}, {}):",
+        "query body (frame size {}, streaming pipeline):",
         query.frame_size,
-        if query.streaming {
-            "streaming pipeline"
-        } else {
-            "materializing (legacy)"
-        }
     );
     write_ir(&mut out, threads, &query.body, 1);
     out
@@ -75,6 +66,11 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
             );
         }
     }
+    let _ = writeln!(
+        out,
+        "seq copies: items_copied={} clones_shared={}",
+        profile.seq_items_copied, profile.seq_clones_shared
+    );
     out
 }
 

@@ -12,139 +12,23 @@
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{opt_atomic, untyped_to_string, Env, Interpreter};
 use crate::ir::*;
-use crate::keys::GroupIndex;
-use crate::types::matches_seq_type;
 use std::cmp::Ordering;
-use std::sync::Arc;
-use xqa_xdm::{
-    deep_equal, effective_boolean_value, sort_compare, AtomicValue, ErrorCode, Item, Sequence,
-};
+use xqa_xdm::{effective_boolean_value, sort_compare, AtomicValue, ErrorCode, Item, Sequence};
 
-/// One tuple of the stream: a snapshot of the frame slots.
-pub(crate) type Tuple = Vec<Arc<Sequence>>;
+/// One tuple of the stream: a snapshot of the frame slots. `Sequence`
+/// clones are O(1), so snapshots bind values directly.
+pub(crate) type Tuple = Vec<Sequence>;
 
 /// Order-by key values for one tuple (one entry per spec).
 pub(crate) type OrderKeys = Vec<Option<AtomicValue>>;
 
 impl Interpreter<'_> {
     pub(crate) fn eval_flwor(&self, f: &FlworIr, env: &mut Env) -> EngineResult<Sequence> {
-        if self.query.streaming {
-            // The streaming path writes slots in place: every binding in
-            // the query has a globally unique slot (the compiler's frame
-            // only shrinks *visibility*, never reuses numbers), so there
-            // is nothing to save or restore.
-            return crate::pipeline::run(self, f, env);
-        }
-        // Legacy materializing path. Scope guard: move the frame out
-        // (no clone), seed the pipeline with one snapshot, and move it
-        // back on exit — one allocation instead of the former two.
-        let saved = std::mem::take(&mut env.slots);
-        let result = self.eval_flwor_inner(f, saved.clone(), env);
-        env.slots = saved;
-        result
-    }
-
-    fn eval_flwor_inner(&self, f: &FlworIr, seed: Tuple, env: &mut Env) -> EngineResult<Sequence> {
-        let mut tuples: Vec<Tuple> = vec![seed];
-        for clause in &f.clauses {
-            tuples = self.apply_clause(clause, tuples, env)?;
-        }
-        let mut out: Sequence = Vec::new();
-        for (i, tuple) in tuples.into_iter().enumerate() {
-            env.slots = tuple;
-            if let Some(at) = f.return_at {
-                // §4: the output ordinal, after any order by.
-                env.slots[at] = Arc::new(vec![Item::from(i as i64 + 1)]);
-            }
-            out.extend(self.eval(&f.return_expr, env)?);
-        }
-        Ok(out)
-    }
-
-    fn apply_clause(
-        &self,
-        clause: &ClauseIr,
-        tuples: Vec<Tuple>,
-        env: &mut Env,
-    ) -> EngineResult<Vec<Tuple>> {
-        match clause {
-            ClauseIr::For {
-                slot,
-                at_slot,
-                ty,
-                expr,
-            } => {
-                let mut out = Vec::new();
-                for tuple in tuples {
-                    env.slots = tuple;
-                    let seq = self.eval(expr, env)?;
-                    let tuple = std::mem::take(&mut env.slots);
-                    for (i, item) in seq.into_iter().enumerate() {
-                        if let Some(ty) = ty {
-                            let single = [item.clone()];
-                            if !matches_seq_type(&single, ty) {
-                                return Err(EngineError::dynamic(
-                                    ErrorCode::XPTY0004,
-                                    "for-binding value does not match its declared type",
-                                ));
-                            }
-                        }
-                        let mut t = tuple.clone();
-                        t[*slot] = Arc::new(vec![item]);
-                        if let Some(at) = at_slot {
-                            t[*at] = Arc::new(vec![Item::from(i as i64 + 1)]);
-                        }
-                        out.push(t);
-                    }
-                }
-                Ok(out)
-            }
-            ClauseIr::Let { slot, ty, expr } => {
-                let mut out = Vec::with_capacity(tuples.len());
-                for tuple in tuples {
-                    env.slots = tuple;
-                    let seq = self.eval(expr, env)?;
-                    if let Some(ty) = ty {
-                        if !matches_seq_type(&seq, ty) {
-                            return Err(EngineError::dynamic(
-                                ErrorCode::XPTY0004,
-                                "let-binding value does not match its declared type",
-                            ));
-                        }
-                    }
-                    let mut t = std::mem::take(&mut env.slots);
-                    t[*slot] = Arc::new(seq);
-                    out.push(t);
-                }
-                Ok(out)
-            }
-            ClauseIr::Where(cond) => {
-                let mut out = Vec::with_capacity(tuples.len());
-                for tuple in tuples {
-                    env.slots = tuple;
-                    let keep = {
-                        let v = self.eval(cond, env)?;
-                        effective_boolean_value(&v).map_err(EngineError::from)?
-                    };
-                    let t = std::mem::take(&mut env.slots);
-                    if keep {
-                        out.push(t);
-                    }
-                }
-                Ok(out)
-            }
-            ClauseIr::Count { slot } => {
-                let mut out = Vec::with_capacity(tuples.len());
-                for (i, mut tuple) in tuples.into_iter().enumerate() {
-                    tuple[*slot] = Arc::new(vec![Item::from(i as i64 + 1)]);
-                    out.push(tuple);
-                }
-                Ok(out)
-            }
-            ClauseIr::Window(w) => self.apply_window(w, tuples, env),
-            ClauseIr::GroupBy(g) => self.apply_group_by(g, tuples, env),
-            ClauseIr::OrderBy(ob) => self.apply_order_by(ob, tuples, env),
-        }
+        // The pipeline writes slots in place: every binding in the query
+        // has a globally unique slot (the compiler's frame only shrinks
+        // *visibility*, never reuses numbers), so there is nothing to
+        // save or restore.
+        crate::pipeline::run(self, f, env)
     }
 
     /// XQuery 3.0 windows: emit one tuple per window over the binding
@@ -262,7 +146,7 @@ impl Interpreter<'_> {
             }
 
             for (s_idx, e_idx, mut t) in windows {
-                t[w.slot] = Arc::new(items[s_idx..=e_idx].to_vec());
+                t[w.slot] = Sequence::from_slice(&items[s_idx..=e_idx]);
                 out.push(t);
             }
         }
@@ -283,146 +167,6 @@ impl Interpreter<'_> {
             keys.push(key.map(untyped_to_string));
         }
         Ok(keys)
-    }
-
-    fn apply_order_by(
-        &self,
-        ob: &OrderByIr,
-        tuples: Vec<Tuple>,
-        env: &mut Env,
-    ) -> EngineResult<Vec<Tuple>> {
-        let mut keyed: Vec<(OrderKeys, Tuple)> = Vec::with_capacity(tuples.len());
-        for tuple in tuples {
-            env.slots = tuple;
-            let keys = self.order_keys(&ob.specs, env)?;
-            keyed.push((keys, std::mem::take(&mut env.slots)));
-        }
-        sort_keyed(&mut keyed, &ob.specs)?;
-        Ok(keyed.into_iter().map(|(_, t)| t).collect())
-    }
-
-    fn apply_group_by(
-        &self,
-        g: &GroupByIr,
-        tuples: Vec<Tuple>,
-        env: &mut Env,
-    ) -> EngineResult<Vec<Tuple>> {
-        struct Group {
-            /// One key sequence per grouping variable.
-            keys: Vec<Sequence>,
-            /// The first member tuple (source of outer-variable values
-            /// for the output tuple; pre-group slots in it are hidden by
-            /// the compiler's §3.2 scope rule).
-            base: Tuple,
-            /// Collected nest entries: per nest binding, per member.
-            nests: Vec<Vec<(OrderKeys, Sequence)>>,
-        }
-
-        let stats = &self.stats;
-        stats.add_tuples_grouped(tuples.len() as u64);
-
-        let has_using = g.keys.iter().any(|k| k.using.is_some());
-        let mut groups: Vec<Group> = Vec::new();
-        let mut index = GroupIndex::new();
-        let mut scratch = String::new();
-
-        for tuple in tuples {
-            env.slots = tuple;
-            // Grouping keys and nest values are computed in the
-            // pre-group scope, per input tuple.
-            let mut key_vals: Vec<Sequence> = Vec::with_capacity(g.keys.len());
-            for key in &g.keys {
-                key_vals.push(self.eval(&key.expr, env)?);
-            }
-            let mut nest_vals: Vec<(OrderKeys, Sequence)> = Vec::with_capacity(g.nests.len());
-            for nest in &g.nests {
-                let value = self.eval(&nest.expr, env)?;
-                let okeys = match &nest.order_by {
-                    Some(ob) => self.order_keys(&ob.specs, env)?,
-                    None => Vec::new(),
-                };
-                nest_vals.push((okeys, value));
-            }
-            let tuple = std::mem::take(&mut env.slots);
-
-            let group_idx = if has_using {
-                // Custom equality (§3.3): linear scan with the
-                // user-supplied comparator for `using` keys and
-                // deep-equal for the rest.
-                let mut found = None;
-                'groups: for (gi, group) in groups.iter().enumerate() {
-                    for (key, (stored, candidate)) in
-                        g.keys.iter().zip(group.keys.iter().zip(&key_vals))
-                    {
-                        let equal = match key.using {
-                            Some(fid) => {
-                                let result = self.call_user_values(
-                                    fid,
-                                    vec![stored.clone(), candidate.clone()],
-                                )?;
-                                effective_boolean_value(&result).map_err(EngineError::from)?
-                            }
-                            None => deep_equal(stored, candidate),
-                        };
-                        if !equal {
-                            continue 'groups;
-                        }
-                    }
-                    found = Some(gi);
-                    break;
-                }
-                found
-            } else {
-                index
-                    .find_or_insert_buf(&mut scratch, &key_vals, groups.len(), |i| {
-                        groups[i].keys.as_slice()
-                    })
-                    .ok()
-            };
-
-            match group_idx {
-                Some(gi) => {
-                    for (slot, entry) in groups[gi].nests.iter_mut().zip(nest_vals) {
-                        slot.push(entry);
-                    }
-                }
-                None => {
-                    groups.push(Group {
-                        keys: key_vals,
-                        base: tuple,
-                        nests: nest_vals.into_iter().map(|e| vec![e]).collect(),
-                    });
-                }
-            }
-        }
-
-        stats.add_groups_emitted(groups.len() as u64);
-
-        // Emit one output tuple per group, in order of first appearance
-        // (the ordering-mode=ordered behaviour; with no order by the
-        // result order of a grouped FLWOR is implementation-defined,
-        // §3.4.2 — ours is first-appearance order, which is stable).
-        let mut out = Vec::with_capacity(groups.len());
-        for group in groups {
-            let mut tuple = group.base;
-            for (key, vals) in g.keys.iter().zip(group.keys) {
-                tuple[key.slot] = Arc::new(vals);
-            }
-            for (nest, mut entries) in g.nests.iter().zip(group.nests) {
-                if let Some(ob) = &nest.order_by {
-                    sort_keyed(&mut entries, &ob.specs)?;
-                }
-                let mut seq = Vec::new();
-                for (_, mut vals) in entries {
-                    // Nest values concatenate into one flat sequence —
-                    // "merged and lose their individual identity" (§3.1).
-                    seq.append(&mut vals);
-                }
-                tuple[nest.slot] = Arc::new(seq);
-            }
-            out.push(tuple);
-        }
-        Ok(out)
     }
 }
 
@@ -499,25 +243,23 @@ pub(crate) fn compare_order_keys(
 /// Bind a window condition's variables on the tuple for boundary `i`.
 fn bind_window_vars(t: &mut Tuple, cond: &WindowCondIr, items: &[Item], i: usize) {
     if let Some(slot) = cond.item_slot {
-        t[slot] = Arc::new(vec![items[i].clone()]);
+        t[slot] = Sequence::One(items[i].clone());
     }
     if let Some(slot) = cond.at_slot {
-        t[slot] = Arc::new(vec![Item::from(i as i64 + 1)]);
+        t[slot] = Sequence::one(i as i64 + 1);
     }
     if let Some(slot) = cond.previous_slot {
-        t[slot] = Arc::new(if i > 0 {
-            vec![items[i - 1].clone()]
+        t[slot] = if i > 0 {
+            Sequence::One(items[i - 1].clone())
         } else {
-            Vec::new()
-        });
+            Sequence::Empty
+        };
     }
     if let Some(slot) = cond.next_slot {
-        t[slot] = Arc::new(
-            items
-                .get(i + 1)
-                .map(|x| vec![x.clone()])
-                .unwrap_or_default(),
-        );
+        t[slot] = items
+            .get(i + 1)
+            .map(|x| Sequence::One(x.clone()))
+            .unwrap_or(Sequence::Empty);
     }
 }
 

@@ -245,12 +245,12 @@ pub struct FnCtx<'a> {
 pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineResult<Sequence> {
     use Builtin::*;
     match b {
-        Count => Ok(vec![Item::from(args[0].len() as i64)]),
+        Count => Ok(Sequence::one(Item::from(args[0].len() as i64))),
         Sum => {
             let zero = if args.len() == 2 {
                 args.pop().expect("arity checked")
             } else {
-                vec![Item::from(0i64)]
+                Sequence::one(Item::from(0i64))
             };
             fn_sum(&args[0], zero)
         }
@@ -258,12 +258,12 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
         Min => fn_min_max(&args[0], true),
         Max => fn_min_max(&args[0], false),
         DistinctValues => fn_distinct_values(&args[0]),
-        Empty => Ok(vec![Item::from(args[0].is_empty())]),
-        Exists => Ok(vec![Item::from(!args[0].is_empty())]),
+        Empty => Ok(Sequence::one(Item::from(args[0].is_empty()))),
+        Exists => Ok(Sequence::one(Item::from(!args[0].is_empty()))),
         Reverse => {
-            let mut s = args.pop().expect("arity checked");
+            let mut s = args.pop().expect("arity checked").into_vec();
             s.reverse();
-            Ok(s)
+            Ok(s.into())
         }
         Subsequence => fn_subsequence(args),
         InsertBefore => fn_insert_before(args),
@@ -273,7 +273,7 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
         StringJoin => {
             let sep = string_arg(&args[1], "string-join separator")?;
             let parts: Vec<String> = args[0].iter().map(|i| i.string_value()).collect();
-            Ok(vec![Item::from(parts.join(&sep).as_str())])
+            Ok(Sequence::one(Item::from(parts.join(&sep).as_str())))
         }
         ZeroOrOne => {
             if args[0].len() <= 1 {
@@ -306,19 +306,23 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             }
         }
         Unordered => Ok(args.pop().expect("arity checked")),
-        DeepEqual => Ok(vec![Item::from(deep_equal(&args[0], &args[1]))]),
-        Not => Ok(vec![Item::from(!effective_boolean_value(&args[0])?)]),
-        BooleanFn => Ok(vec![Item::from(effective_boolean_value(&args[0])?)]),
-        TrueFn => Ok(vec![Item::from(true)]),
-        FalseFn => Ok(vec![Item::from(false)]),
+        DeepEqual => Ok(Sequence::one(Item::from(deep_equal(&args[0], &args[1])))),
+        Not => Ok(Sequence::one(Item::from(!effective_boolean_value(
+            &args[0],
+        )?))),
+        BooleanFn => Ok(Sequence::one(Item::from(effective_boolean_value(
+            &args[0],
+        )?))),
+        TrueFn => Ok(Sequence::one(Item::from(true))),
+        FalseFn => Ok(Sequence::one(Item::from(false))),
         StringFn => {
             let target = zero_or_one_focus(args, cx, "string")?;
-            Ok(vec![Item::from(
+            Ok(Sequence::one(Item::from(
                 target
                     .map(|i| i.string_value())
                     .unwrap_or_default()
                     .as_str(),
-            )])
+            )))
         }
         Concat => {
             let mut out = String::new();
@@ -327,48 +331,48 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                     out.push_str(&v.string_value());
                 }
             }
-            Ok(vec![Item::from(out.as_str())])
+            Ok(Sequence::one(Item::from(out.as_str())))
         }
         Substring => fn_substring(args),
         StringLength => {
             let target = zero_or_one_focus(args, cx, "string-length")?;
             let s = target.map(|i| i.string_value()).unwrap_or_default();
-            Ok(vec![Item::from(s.chars().count() as i64)])
+            Ok(Sequence::one(Item::from(s.chars().count() as i64)))
         }
         UpperCase => {
             let s = string_arg(&args[0], "upper-case")?;
-            Ok(vec![Item::from(s.to_uppercase().as_str())])
+            Ok(Sequence::one(Item::from(s.to_uppercase().as_str())))
         }
         LowerCase => {
             let s = string_arg(&args[0], "lower-case")?;
-            Ok(vec![Item::from(s.to_lowercase().as_str())])
+            Ok(Sequence::one(Item::from(s.to_lowercase().as_str())))
         }
         Contains => {
             let (a, b) = (
                 string_arg(&args[0], "contains")?,
                 string_arg(&args[1], "contains")?,
             );
-            Ok(vec![Item::from(a.contains(&b))])
+            Ok(Sequence::one(Item::from(a.contains(&b))))
         }
         StartsWith => {
             let (a, b) = (
                 string_arg(&args[0], "starts-with")?,
                 string_arg(&args[1], "starts-with")?,
             );
-            Ok(vec![Item::from(a.starts_with(&b))])
+            Ok(Sequence::one(Item::from(a.starts_with(&b))))
         }
         EndsWith => {
             let (a, b) = (
                 string_arg(&args[0], "ends-with")?,
                 string_arg(&args[1], "ends-with")?,
             );
-            Ok(vec![Item::from(a.ends_with(&b))])
+            Ok(Sequence::one(Item::from(a.ends_with(&b))))
         }
         NormalizeSpace => {
             let target = zero_or_one_focus(args, cx, "normalize-space")?;
             let s = target.map(|i| i.string_value()).unwrap_or_default();
             let normalized: Vec<&str> = s.split_ascii_whitespace().collect();
-            Ok(vec![Item::from(normalized.join(" ").as_str())])
+            Ok(Sequence::one(Item::from(normalized.join(" ").as_str())))
         }
         SubstringBefore => {
             let (a, b) = (
@@ -376,7 +380,7 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 string_arg(&args[1], "substring-before")?,
             );
             let out = a.find(&b).map(|i| &a[..i]).unwrap_or("");
-            Ok(vec![Item::from(out)])
+            Ok(Sequence::one(Item::from(out)))
         }
         SubstringAfter => {
             let (a, b) = (
@@ -384,7 +388,7 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 string_arg(&args[1], "substring-after")?,
             );
             let out = a.find(&b).map(|i| &a[i + b.len()..]).unwrap_or("");
-            Ok(vec![Item::from(out)])
+            Ok(Sequence::one(Item::from(out)))
         }
         Translate => {
             let s = string_arg(&args[0], "translate")?;
@@ -397,7 +401,7 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                     None => Some(c),
                 })
                 .collect();
-            Ok(vec![Item::from(out.as_str())])
+            Ok(Sequence::one(Item::from(out.as_str())))
         }
         NumberFn => {
             let target = zero_or_one_focus(args, cx, "number")?;
@@ -405,7 +409,7 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 None => f64::NAN,
                 Some(item) => item.atomize().to_double().unwrap_or(f64::NAN),
             };
-            Ok(vec![Item::from(v)])
+            Ok(Sequence::one(Item::from(v)))
         }
         Abs | Floor | Ceiling | Round => fn_numeric_unary(b, &args[0]),
         RoundHalfToEven => fn_round_half_even(args),
@@ -414,9 +418,9 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             let node = match target {
                 None => {
                     return Ok(if b == NodeName {
-                        vec![]
+                        Sequence::Empty
                     } else {
-                        vec![Item::from("")]
+                        Sequence::one(Item::from(""))
                     })
                 }
                 Some(item) => match item {
@@ -432,25 +436,25 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             let name = node.name();
             match b {
                 NodeName => Ok(name
-                    .map(|q| vec![Item::from(q.to_string().as_str())])
+                    .map(|q| Sequence::one(Item::from(q.to_string().as_str())))
                     .unwrap_or_default()),
-                LocalName => Ok(vec![Item::from(
+                LocalName => Ok(Sequence::one(Item::from(
                     name.map(|q| q.local_part().to_string())
                         .unwrap_or_default()
                         .as_str(),
-                )]),
-                _ => Ok(vec![Item::from(
+                ))),
+                _ => Ok(Sequence::one(Item::from(
                     name.map(|q| q.to_string()).unwrap_or_default().as_str(),
-                )]),
+                ))),
             }
         }
         Root => {
             let target = zero_or_one_focus(args, cx, "root")?;
             match target {
-                None => Ok(vec![]),
+                None => Ok(Sequence::Empty),
                 Some(Item::Node(n)) => {
                     let root = n.ancestors().last().unwrap_or(n);
-                    Ok(vec![Item::Node(root)])
+                    Ok(Sequence::one(Item::Node(root)))
                 }
                 Some(_) => Err(EngineError::dynamic(
                     ErrorCode::XPTY0004,
@@ -459,11 +463,11 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             }
         }
         Position => match cx.focus {
-            Some(f) => Ok(vec![Item::from(f.position)]),
+            Some(f) => Ok(Sequence::one(Item::from(f.position))),
             None => Err(no_focus("position()")),
         },
         Last => match cx.focus {
-            Some(f) => Ok(vec![Item::from(f.size)]),
+            Some(f) => Ok(Sequence::one(Item::from(f.size))),
             None => Err(no_focus("last()")),
         },
         YearFromDateTime | MonthFromDateTime | DayFromDateTime | HoursFromDateTime
@@ -471,11 +475,11 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
         YearFromDate | MonthFromDate | DayFromDate => fn_date_component(b, &args[0]),
         Doc => {
             let uri = match opt_atomic(&args[0], "doc")? {
-                None => return Ok(vec![]),
+                None => return Ok(Sequence::Empty),
                 Some(v) => v.string_value(),
             };
             match cx.dynamic.document(&uri) {
-                Some(root) => Ok(vec![Item::Node(root.clone())]),
+                Some(root) => Ok(Sequence::one(Item::Node(root.clone()))),
                 None => Err(EngineError::dynamic(
                     ErrorCode::Other,
                     format!("doc: no document registered under {uri:?}"),
@@ -509,12 +513,12 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 .unwrap_or_else(|| "error raised by fn:error()".to_string());
             Err(EngineError::dynamic(ErrorCode::FOER0000, description))
         }
-        CurrentDateTime => Ok(vec![Item::Atomic(AtomicValue::DateTime(
+        CurrentDateTime => Ok(Sequence::one(Item::Atomic(AtomicValue::DateTime(
             cx.dynamic.current_datetime(),
-        ))]),
-        CurrentDate => Ok(vec![Item::Atomic(AtomicValue::Date(
+        )))),
+        CurrentDate => Ok(Sequence::one(Item::Atomic(AtomicValue::Date(
             cx.dynamic.current_datetime().date(),
-        ))]),
+        )))),
         Trace => {
             let label = string_arg(&args[1], "trace label")?;
             eprintln!("trace[{label}]: {} item(s)", args[0].len());
@@ -526,13 +530,13 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
             match (a, b) {
                 (Some(a), Some(b)) => {
                     let ord = a.string_value().cmp(&b.string_value());
-                    Ok(vec![Item::from(match ord {
+                    Ok(Sequence::one(Item::from(match ord {
                         std::cmp::Ordering::Less => -1i64,
                         std::cmp::Ordering::Equal => 0,
                         std::cmp::Ordering::Greater => 1,
-                    })])
+                    })))
                 }
-                _ => Ok(vec![]),
+                _ => Ok(Sequence::Empty),
             }
         }
         StringToCodepoints => {
@@ -548,12 +552,12 @@ pub fn dispatch(b: Builtin, mut args: Vec<Sequence>, cx: &FnCtx<'_>) -> EngineRe
                 })?;
                 out.push(c);
             }
-            Ok(vec![Item::from(out.as_str())])
+            Ok(Sequence::one(Item::from(out.as_str())))
         }
         XqaMovingSum | XqaMovingAvg => fn_xqa_moving(b, &args[0], &args[1]),
         Cast(target) => match opt_atomic(&args[0], "constructor function")? {
-            None => Ok(vec![]),
-            Some(v) => Ok(vec![Item::Atomic(cast_atomic(&v, target)?)]),
+            None => Ok(Sequence::Empty),
+            Some(v) => Ok(Sequence::one(Item::Atomic(cast_atomic(&v, target)?))),
         },
         XqaPaths => fn_xqa_paths(&args[0]),
         XqaCube => fn_xqa_cube(&args[0]),
@@ -691,12 +695,12 @@ fn fn_sum(seq: &[Item], zero: Sequence) -> EngineResult<Sequence> {
     for item in seq {
         acc = acc.add(&aggregate_value(item, "sum")?)?;
     }
-    Ok(vec![acc.into_item()])
+    Ok(Sequence::one(acc.into_item()))
 }
 
 fn fn_avg(seq: &[Item]) -> EngineResult<Sequence> {
     if seq.is_empty() {
-        return Ok(vec![]);
+        return Ok(Sequence::Empty);
     }
     let mut acc = NumAcc::Int(0);
     for item in seq {
@@ -718,12 +722,12 @@ fn fn_avg(seq: &[Item]) -> EngineResult<Sequence> {
             Item::Atomic(AtomicValue::Decimal(d))
         }
     };
-    Ok(vec![avg])
+    Ok(Sequence::one(avg))
 }
 
 fn fn_min_max(seq: &[Item], is_min: bool) -> EngineResult<Sequence> {
     if seq.is_empty() {
-        return Ok(vec![]);
+        return Ok(Sequence::Empty);
     }
     let mut best: Option<AtomicValue> = None;
     for item in seq {
@@ -736,7 +740,7 @@ fn fn_min_max(seq: &[Item], is_min: bool) -> EngineResult<Sequence> {
         }
         // NaN poisons the whole aggregate.
         if matches!(v, AtomicValue::Double(d) if d.is_nan()) {
-            return Ok(vec![Item::from(f64::NAN)]);
+            return Ok(Sequence::one(Item::from(f64::NAN)));
         }
         best = Some(match best {
             None => v,
@@ -753,7 +757,7 @@ fn fn_min_max(seq: &[Item], is_min: bool) -> EngineResult<Sequence> {
             }
         });
     }
-    Ok(vec![Item::Atomic(best.expect("non-empty input"))])
+    Ok(Sequence::one(Item::Atomic(best.expect("non-empty input"))))
 }
 
 fn fn_distinct_values(seq: &[Item]) -> EngineResult<Sequence> {
@@ -765,7 +769,7 @@ fn fn_distinct_values(seq: &[Item]) -> EngineResult<Sequence> {
             out.push(Item::Atomic(v));
         }
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn double_arg(seq: &[Item], what: &str) -> EngineResult<f64> {
@@ -795,7 +799,7 @@ fn fn_subsequence(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
         Some(l) => start_r + l.round(),
     };
     if start_r.is_nan() || end_r.is_nan() {
-        return Ok(vec![]);
+        return Ok(Sequence::Empty);
     }
     Ok(seq
         .into_iter()
@@ -816,26 +820,28 @@ fn fn_insert_before(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     )? as i64;
     let target = args.pop().expect("arity checked");
     let pos = pos.max(1).min(target.len() as i64 + 1) as usize - 1;
-    let mut out = target;
+    let mut out = target.into_vec();
     // Splice the insert sequence at `pos`.
     let tail = out.split_off(pos);
     out.extend(inserts);
     out.extend(tail);
-    Ok(out)
+    Ok(out.into())
 }
 
 fn fn_remove(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
     let pos = double_arg(&args.pop().expect("arity checked"), "remove position")? as i64;
-    let mut seq = args.pop().expect("arity checked");
+    let seq = args.pop().expect("arity checked");
     if pos >= 1 && (pos as usize) <= seq.len() {
-        seq.remove(pos as usize - 1);
+        let mut out = seq.into_vec();
+        out.remove(pos as usize - 1);
+        return Ok(out.into());
     }
     Ok(seq)
 }
 
 fn fn_index_of(seq: &[Item], search: &[Item]) -> EngineResult<Sequence> {
     let needle = match opt_atomic(search, "index-of search value")? {
-        None => return Ok(vec![]),
+        None => return Ok(Sequence::Empty),
         Some(v) => v,
     };
     let mut out = Vec::new();
@@ -858,7 +864,7 @@ fn fn_index_of(seq: &[Item], search: &[Item]) -> EngineResult<Sequence> {
             }
         }
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn fn_substring(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
@@ -878,7 +884,7 @@ fn fn_substring(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
         Some(l) => start_r + l.round(),
     };
     if start_r.is_nan() || end_r.is_nan() {
-        return Ok(vec![Item::from("")]);
+        return Ok(Sequence::one(Item::from("")));
     }
     let out: String = s
         .chars()
@@ -889,12 +895,12 @@ fn fn_substring(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
         })
         .map(|(_, c)| c)
         .collect();
-    Ok(vec![Item::from(out.as_str())])
+    Ok(Sequence::one(Item::from(out.as_str())))
 }
 
 fn fn_numeric_unary(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
     let v = match opt_atomic(seq, "numeric function")? {
-        None => return Ok(vec![]),
+        None => return Ok(Sequence::Empty),
         Some(v) => v,
     };
     let v = match v {
@@ -926,7 +932,7 @@ fn fn_numeric_unary(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
             ))
         }
     };
-    Ok(vec![Item::Atomic(out)])
+    Ok(Sequence::one(Item::Atomic(out)))
 }
 
 fn fn_round_half_even(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
@@ -939,7 +945,7 @@ fn fn_round_half_even(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
         0
     };
     let v = match opt_atomic(&args.pop().expect("arity checked"), "round-half-to-even")? {
-        None => return Ok(vec![]),
+        None => return Ok(Sequence::Empty),
         Some(v) => v,
     };
     let out = match v {
@@ -985,7 +991,7 @@ fn fn_round_half_even(mut args: Vec<Sequence>) -> EngineResult<Sequence> {
             ))
         }
     };
-    Ok(vec![Item::Atomic(out)])
+    Ok(Sequence::one(Item::Atomic(out)))
 }
 
 fn last_digit(d: &Decimal, precision: u32) -> i128 {
@@ -997,7 +1003,7 @@ fn last_digit(d: &Decimal, precision: u32) -> i128 {
 
 fn fn_datetime_component(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
     let v = match opt_atomic(seq, "dateTime component")? {
-        None => return Ok(vec![]),
+        None => return Ok(Sequence::Empty),
         Some(v) => v,
     };
     let dt = match v {
@@ -1030,12 +1036,12 @@ fn fn_datetime_component(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
         }
         _ => unreachable!("dispatched subset"),
     };
-    Ok(vec![out])
+    Ok(Sequence::one(out))
 }
 
 fn fn_date_component(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
     let v = match opt_atomic(seq, "date component")? {
-        None => return Ok(vec![]),
+        None => return Ok(Sequence::Empty),
         Some(v) => v,
     };
     let d = match v {
@@ -1056,7 +1062,7 @@ fn fn_date_component(b: Builtin, seq: &[Item]) -> EngineResult<Sequence> {
         Builtin::DayFromDate => Item::from(d.day as i64),
         _ => unreachable!("dispatched subset"),
     };
-    Ok(vec![out])
+    Ok(Sequence::one(out))
 }
 
 /// `xqa:paths($roots as element()*) as xs:string*` — all slash-joined
@@ -1076,7 +1082,7 @@ fn fn_xqa_paths(seq: &[Item]) -> EngineResult<Sequence> {
         };
         collect_paths(node, None, &mut out);
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn collect_paths(node: &NodeHandle, prefix: Option<&str>, out: &mut Vec<Item>) {
@@ -1134,7 +1140,7 @@ fn fn_xqa_moving(b: Builtin, values: &[Item], window: &[Item]) -> EngineResult<S
         };
         out.push(Item::from(value));
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 /// `xqa:cube($dims as item()*) as element()*` — the powerset of the
@@ -1177,13 +1183,13 @@ fn fn_xqa_cube(seq: &[Item]) -> EngineResult<Sequence> {
         let dims = doc.root().children().next().expect("dims element built");
         out.push(Item::Node(dims));
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xqa_xdm::DocumentBuilder;
+    use xqa_xdm::{seq, DocumentBuilder};
 
     fn cx_owned() -> DynamicContext {
         DynamicContext::new()
@@ -1204,7 +1210,7 @@ mod tests {
 
     #[test]
     fn count_sum_avg() {
-        let seq = vec![dec("65.00"), dec("43.00"), dec("57.00")];
+        let seq = seq![dec("65.00"), dec("43.00"), dec("57.00")];
         assert_eq!(
             call(Builtin::Count, vec![seq.clone()]).unwrap()[0].string_value(),
             "3"
@@ -1221,7 +1227,7 @@ mod tests {
 
     #[test]
     fn avg_of_untyped_goes_double() {
-        let seq = vec![
+        let seq = seq![
             Item::Atomic(AtomicValue::untyped("1")),
             Item::Atomic(AtomicValue::untyped("2")),
         ];
@@ -1232,24 +1238,24 @@ mod tests {
     #[test]
     fn sum_empty_returns_zero_or_custom() {
         assert_eq!(
-            call(Builtin::Sum, vec![vec![]]).unwrap()[0].string_value(),
+            call(Builtin::Sum, vec![seq![]]).unwrap()[0].string_value(),
             "0"
         );
-        let custom = call(Builtin::Sum, vec![vec![], vec![Item::from("none")]]).unwrap();
+        let custom = call(Builtin::Sum, vec![seq![], seq![Item::from("none")]]).unwrap();
         assert_eq!(custom[0].string_value(), "none");
-        assert!(call(Builtin::Avg, vec![vec![]]).unwrap().is_empty());
+        assert!(call(Builtin::Avg, vec![seq![]]).unwrap().is_empty());
     }
 
     #[test]
     fn sum_integer_overflow_widens() {
-        let seq = vec![Item::from(i64::MAX), Item::from(1i64)];
+        let seq = seq![Item::from(i64::MAX), Item::from(1i64)];
         let out = call(Builtin::Sum, vec![seq]).unwrap();
         assert_eq!(out[0].string_value(), "9223372036854775808");
     }
 
     #[test]
     fn min_max_across_types() {
-        let seq = vec![Item::from(3i64), dec("2.5"), Item::from(4.0f64)];
+        let seq = seq![Item::from(3i64), dec("2.5"), Item::from(4.0f64)];
         assert_eq!(
             call(Builtin::Min, vec![seq.clone()]).unwrap()[0].string_value(),
             "2.5"
@@ -1259,25 +1265,25 @@ mod tests {
             "4"
         );
         // strings compare too
-        let strs = vec![Item::from("pear"), Item::from("apple")];
+        let strs = seq![Item::from("pear"), Item::from("apple")];
         assert_eq!(
             call(Builtin::Min, vec![strs]).unwrap()[0].string_value(),
             "apple"
         );
         // NaN poisons
-        let with_nan = vec![Item::from(1i64), Item::from(f64::NAN)];
+        let with_nan = seq![Item::from(1i64), Item::from(f64::NAN)];
         assert_eq!(
             call(Builtin::Min, vec![with_nan]).unwrap()[0].string_value(),
             "NaN"
         );
         // incomparable mix errors
-        let mixed = vec![Item::from(1i64), Item::from("x")];
+        let mixed = seq![Item::from(1i64), Item::from("x")];
         assert!(call(Builtin::Min, vec![mixed]).is_err());
     }
 
     #[test]
     fn distinct_values_dedups_preserving_first() {
-        let seq = vec![
+        let seq = seq![
             Item::from("b"),
             Item::from("a"),
             Item::from("b"),
@@ -1296,36 +1302,36 @@ mod tests {
         assert_eq!(rev[0].string_value(), "5");
         let sub = call(
             Builtin::Subsequence,
-            vec![seq.clone(), vec![Item::from(2i64)], vec![Item::from(2i64)]],
+            vec![seq.clone(), seq![Item::from(2i64)], seq![Item::from(2i64)]],
         )
         .unwrap();
         assert_eq!(sub.len(), 2);
         assert_eq!(sub[0].string_value(), "2");
         let ins = call(
             Builtin::InsertBefore,
-            vec![seq.clone(), vec![Item::from(1i64)], vec![Item::from(0i64)]],
+            vec![seq.clone(), seq![Item::from(1i64)], seq![Item::from(0i64)]],
         )
         .unwrap();
         assert_eq!(ins[0].string_value(), "0");
         assert_eq!(ins.len(), 6);
-        let rem = call(Builtin::Remove, vec![seq.clone(), vec![Item::from(1i64)]]).unwrap();
+        let rem = call(Builtin::Remove, vec![seq.clone(), seq![Item::from(1i64)]]).unwrap();
         assert_eq!(rem.len(), 4);
         assert_eq!(rem[0].string_value(), "2");
-        let idx = call(Builtin::IndexOf, vec![seq, vec![Item::from(3i64)]]).unwrap();
+        let idx = call(Builtin::IndexOf, vec![seq, seq![Item::from(3i64)]]).unwrap();
         assert_eq!(idx[0].string_value(), "3");
     }
 
     #[test]
     fn cardinality_checks() {
-        assert!(call(Builtin::ZeroOrOne, vec![vec![]]).is_ok());
+        assert!(call(Builtin::ZeroOrOne, vec![seq![]]).is_ok());
         assert!(call(
             Builtin::ZeroOrOne,
-            vec![vec![Item::from(1i64), Item::from(2i64)]]
+            vec![seq![Item::from(1i64), Item::from(2i64)]]
         )
         .is_err());
-        assert!(call(Builtin::OneOrMore, vec![vec![]]).is_err());
-        assert!(call(Builtin::ExactlyOne, vec![vec![Item::from(1i64)]]).is_ok());
-        assert!(call(Builtin::ExactlyOne, vec![vec![]]).is_err());
+        assert!(call(Builtin::OneOrMore, vec![seq![]]).is_err());
+        assert!(call(Builtin::ExactlyOne, vec![seq![Item::from(1i64)]]).is_ok());
+        assert!(call(Builtin::ExactlyOne, vec![seq![]]).is_err());
     }
 
     #[test]
@@ -1333,7 +1339,7 @@ mod tests {
         assert_eq!(
             call(
                 Builtin::Concat,
-                vec![vec![Item::from("a")], vec![Item::from("b")], vec![]]
+                vec![seq![Item::from("a")], seq![Item::from("b")], seq![]]
             )
             .unwrap()[0]
                 .string_value(),
@@ -1342,7 +1348,7 @@ mod tests {
         assert_eq!(
             call(
                 Builtin::Substring,
-                vec![vec![Item::from("motor car")], vec![Item::from(6i64)]]
+                vec![seq![Item::from("motor car")], seq![Item::from(6i64)]]
             )
             .unwrap()[0]
                 .string_value(),
@@ -1352,9 +1358,9 @@ mod tests {
             call(
                 Builtin::Substring,
                 vec![
-                    vec![Item::from("metadata")],
-                    vec![Item::from(4i64)],
-                    vec![Item::from(3i64)]
+                    seq![Item::from("metadata")],
+                    seq![Item::from(4i64)],
+                    seq![Item::from(3i64)]
                 ]
             )
             .unwrap()[0]
@@ -1362,7 +1368,7 @@ mod tests {
             "ada"
         );
         assert_eq!(
-            call(Builtin::NormalizeSpace, vec![vec![Item::from("  a  b ")]]).unwrap()[0]
+            call(Builtin::NormalizeSpace, vec![seq![Item::from("  a  b ")]]).unwrap()[0]
                 .string_value(),
             "a b"
         );
@@ -1370,9 +1376,9 @@ mod tests {
             call(
                 Builtin::Translate,
                 vec![
-                    vec![Item::from("bar")],
-                    vec![Item::from("abc")],
-                    vec![Item::from("ABC")]
+                    seq![Item::from("bar")],
+                    seq![Item::from("abc")],
+                    seq![Item::from("ABC")]
                 ]
             )
             .unwrap()[0]
@@ -1382,7 +1388,7 @@ mod tests {
         assert_eq!(
             call(
                 Builtin::SubstringBefore,
-                vec![vec![Item::from("a/b/c")], vec![Item::from("/")]]
+                vec![seq![Item::from("a/b/c")], seq![Item::from("/")]]
             )
             .unwrap()[0]
                 .string_value(),
@@ -1391,7 +1397,7 @@ mod tests {
         assert_eq!(
             call(
                 Builtin::SubstringAfter,
-                vec![vec![Item::from("a/b/c")], vec![Item::from("/")]]
+                vec![seq![Item::from("a/b/c")], seq![Item::from("/")]]
             )
             .unwrap()[0]
                 .string_value(),
@@ -1402,15 +1408,15 @@ mod tests {
     #[test]
     fn number_never_errors() {
         assert_eq!(
-            call(Builtin::NumberFn, vec![vec![Item::from("42")]]).unwrap()[0].string_value(),
+            call(Builtin::NumberFn, vec![seq![Item::from("42")]]).unwrap()[0].string_value(),
             "42"
         );
         assert_eq!(
-            call(Builtin::NumberFn, vec![vec![Item::from("nope")]]).unwrap()[0].string_value(),
+            call(Builtin::NumberFn, vec![seq![Item::from("nope")]]).unwrap()[0].string_value(),
             "NaN"
         );
         assert_eq!(
-            call(Builtin::NumberFn, vec![vec![]]).unwrap()[0].string_value(),
+            call(Builtin::NumberFn, vec![seq![]]).unwrap()[0].string_value(),
             "NaN"
         );
     }
@@ -1418,38 +1424,38 @@ mod tests {
     #[test]
     fn rounding_family() {
         assert_eq!(
-            call(Builtin::Floor, vec![vec![dec("2.7")]]).unwrap()[0].string_value(),
+            call(Builtin::Floor, vec![seq![dec("2.7")]]).unwrap()[0].string_value(),
             "2"
         );
         assert_eq!(
-            call(Builtin::Ceiling, vec![vec![dec("2.1")]]).unwrap()[0].string_value(),
+            call(Builtin::Ceiling, vec![seq![dec("2.1")]]).unwrap()[0].string_value(),
             "3"
         );
         assert_eq!(
-            call(Builtin::Round, vec![vec![dec("2.5")]]).unwrap()[0].string_value(),
+            call(Builtin::Round, vec![seq![dec("2.5")]]).unwrap()[0].string_value(),
             "3"
         );
         // fn:round on double: round half toward +INF
         assert_eq!(
-            call(Builtin::Round, vec![vec![Item::from(-2.5f64)]]).unwrap()[0].string_value(),
+            call(Builtin::Round, vec![seq![Item::from(-2.5f64)]]).unwrap()[0].string_value(),
             "-2"
         );
         assert_eq!(
-            call(Builtin::RoundHalfToEven, vec![vec![Item::from(2.5f64)]]).unwrap()[0]
+            call(Builtin::RoundHalfToEven, vec![seq![Item::from(2.5f64)]]).unwrap()[0]
                 .string_value(),
             "2"
         );
         assert_eq!(
-            call(Builtin::RoundHalfToEven, vec![vec![Item::from(3.5f64)]]).unwrap()[0]
+            call(Builtin::RoundHalfToEven, vec![seq![Item::from(3.5f64)]]).unwrap()[0]
                 .string_value(),
             "4"
         );
-        assert!(call(Builtin::Abs, vec![vec![]]).unwrap().is_empty());
+        assert!(call(Builtin::Abs, vec![seq![]]).unwrap().is_empty());
     }
 
     #[test]
     fn datetime_components() {
-        let dt = vec![Item::Atomic(AtomicValue::untyped("2004-01-31T11:32:07"))];
+        let dt = seq![Item::Atomic(AtomicValue::untyped("2004-01-31T11:32:07"))];
         assert_eq!(
             call(Builtin::YearFromDateTime, vec![dt.clone()]).unwrap()[0].string_value(),
             "2004"
@@ -1470,7 +1476,7 @@ mod tests {
             call(Builtin::SecondsFromDateTime, vec![dt]).unwrap()[0].string_value(),
             "7"
         );
-        let d = vec![Item::Atomic(AtomicValue::untyped("1993-06-15"))];
+        let d = seq![Item::Atomic(AtomicValue::untyped("1993-06-15"))];
         assert_eq!(
             call(Builtin::YearFromDate, vec![d.clone()]).unwrap()[0].string_value(),
             "1993"
@@ -1486,18 +1492,18 @@ mod tests {
         assert_eq!(
             call(
                 Builtin::Cast(CastTarget::Integer),
-                vec![vec![Item::from("7")]]
+                vec![seq![Item::from("7")]]
             )
             .unwrap()[0]
                 .string_value(),
             "7"
         );
-        assert!(call(Builtin::Cast(CastTarget::Integer), vec![vec![]])
+        assert!(call(Builtin::Cast(CastTarget::Integer), vec![seq![]])
             .unwrap()
             .is_empty());
         assert!(call(
             Builtin::Cast(CastTarget::Integer),
-            vec![vec![Item::from("x")]]
+            vec![seq![Item::from("x")]]
         )
         .is_err());
     }
@@ -1508,7 +1514,7 @@ mod tests {
         assert_eq!(err.code(), ErrorCode::FOER0000);
         let err = call(
             Builtin::ErrorFn,
-            vec![vec![Item::from("code")], vec![Item::from("boom")]],
+            vec![seq![Item::from("code")], seq![Item::from("boom")]],
         )
         .unwrap_err();
         assert!(err.to_string().contains("boom"));
@@ -1557,7 +1563,7 @@ mod tests {
 
     #[test]
     fn xqa_cube_powerset() {
-        let dims = vec![Item::from("A"), Item::from("B")];
+        let dims = seq![Item::from("A"), Item::from("B")];
         let out = call(Builtin::XqaCube, vec![dims]).unwrap();
         assert_eq!(out.len(), 4);
         // Every subset is a <dims> element.

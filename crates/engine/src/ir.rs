@@ -436,9 +436,8 @@ pub struct OrderByIr {
     pub specs: Vec<OrderSpecIr>,
     /// Keep only the first `k` tuples of the sorted stream (top-k
     /// pushdown, set by [`crate::rewrite::pushdown_topk`]). The
-    /// streaming engine then runs a bounded binary heap instead of a
-    /// full sort; the materializing path ignores it (the residual
-    /// positional predicate still bounds the result).
+    /// pipeline then runs a bounded binary heap instead of a full sort
+    /// (the residual positional predicate still bounds the result).
     pub limit: Option<usize>,
 }
 
@@ -559,12 +558,6 @@ pub struct CompiledQuery {
     /// Whether `declare ordering unordered` was in effect (informational;
     /// the engine always produces the ordered result).
     pub ordered: bool,
-    /// Evaluate FLWORs through the pull-based operator pipeline
-    /// (default). `false` selects the legacy clause-by-clause
-    /// materializing path, kept for one release behind
-    /// [`crate::EngineOptions::streaming_pipeline`] to back the
-    /// differential test suite.
-    pub streaming: bool,
     /// Requested degree of intra-query parallelism, copied from
     /// [`crate::EngineOptions::threads`] (0 = resolve at run time).
     pub threads: usize,

@@ -395,8 +395,14 @@ mod tests {
     #[test]
     fn group_index_find_or_insert() {
         let mut idx = GroupIndex::new();
-        let keys_a: Vec<Sequence> = vec![vec![Item::from("West")], vec![Item::from(2004i64)]];
-        let keys_b: Vec<Sequence> = vec![vec![Item::from("East")], vec![Item::from(2004i64)]];
+        let keys_a: Vec<Sequence> = vec![
+            vec![Item::from("West")].into(),
+            vec![Item::from(2004i64)].into(),
+        ];
+        let keys_b: Vec<Sequence> = vec![
+            vec![Item::from("East")].into(),
+            vec![Item::from(2004i64)].into(),
+        ];
         let stored: Vec<Vec<Sequence>> = vec![keys_a.clone(), keys_b.clone()];
         let lookup = |i: usize| stored[i].as_slice();
         assert_eq!(idx.find_or_insert(&keys_a, 0, lookup), Err(0));
@@ -408,8 +414,8 @@ mod tests {
     #[test]
     fn empty_sequence_is_its_own_group_key() {
         let mut idx = GroupIndex::new();
-        let empty: Vec<Sequence> = vec![vec![]];
-        let nonempty: Vec<Sequence> = vec![vec![Item::from("x")]];
+        let empty: Vec<Sequence> = vec![Sequence::Empty];
+        let nonempty: Vec<Sequence> = vec![vec![Item::from("x")].into()];
         let stored = [empty.clone(), nonempty.clone()];
         let lookup = |i: usize| stored[i].as_slice();
         assert_eq!(idx.find_or_insert(&empty, 0, lookup), Err(0));

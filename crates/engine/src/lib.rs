@@ -58,11 +58,6 @@ pub struct EngineOptions {
     /// Fold constant subexpressions at compile time (on by default;
     /// never changes results, only when work happens).
     pub constant_folding: bool,
-    /// Evaluate FLWORs through the pull-based streaming operator
-    /// pipeline (on by default). `false` selects the legacy
-    /// clause-by-clause materializing evaluator, kept for one release to
-    /// back the differential test suite.
-    pub streaming_pipeline: bool,
     /// Push `[position() le k]`-style bounds over an `order by` FLWOR
     /// into the sort as a `limit`, so the streaming path runs a bounded
     /// top-k heap instead of a full sort (on by default; never changes
@@ -83,7 +78,6 @@ impl Default for EngineOptions {
         EngineOptions {
             detect_implicit_groupby: false,
             constant_folding: true,
-            streaming_pipeline: true,
             topk_pushdown: true,
             threads: 0,
         }
@@ -222,7 +216,6 @@ impl Engine {
             );
         }
         let mut compiled = compile::compile(&module)?;
-        compiled.streaming = self.options.streaming_pipeline;
         compiled.threads = self.options.threads;
         if self.options.constant_folding {
             let folds = fold::fold_query(&mut compiled);
@@ -235,8 +228,8 @@ impl Engine {
         }
         if self.options.topk_pushdown {
             // After folding, so literal bounds like `le 5 + 5` are
-            // visible. The limit only changes how the streaming order-by
-            // runs; the materializing path ignores it.
+            // visible. The limit only changes how the order-by runs;
+            // the residual predicate stays in place.
             rewrites.extend(
                 rewrite::pushdown_topk(&mut compiled)
                     .into_iter()
@@ -260,15 +253,10 @@ impl Engine {
             t.emit(
                 TracePhase::Compile,
                 format!(
-                    "compiled: {} global(s), {} function(s), frame size {}, {}",
+                    "compiled: {} global(s), {} function(s), frame size {}, streaming pipeline",
                     compiled.globals.len(),
                     compiled.functions.len(),
                     compiled.frame_size,
-                    if compiled.streaming {
-                        "streaming pipeline"
-                    } else {
-                        "materializing (legacy)"
-                    }
                 ),
             );
         }

@@ -1,16 +1,16 @@
 //! The pull-based streaming FLWOR pipeline.
 //!
-//! The materializing evaluator in [`crate::flwor`] realizes the paper's
-//! §3.1 tuple stream as a `Vec<Tuple>` snapshot after every clause,
-//! cloning the full slot frame per tuple. This module replaces it with a
-//! Volcano-style operator pipeline (the architecture VXQuery showed is
-//! what makes an XQuery engine scale):
+//! Realizes the paper's §3.1 tuple stream as a Volcano-style operator
+//! pipeline (the architecture VXQuery showed is what makes an XQuery
+//! engine scale) instead of materializing a `Vec<Tuple>` snapshot after
+//! every clause:
 //!
 //! - [`TupleSource`] is the pull interface. Operators exchange *batches*
 //!   of tuples ([`BATCH`] at a time) to amortize dynamic dispatch.
 //! - A [`Tuple`] is copy-on-write: a small delta of `(slot, value)`
 //!   bindings layered over the shared parent frame, instead of a full
-//!   frame snapshot. Cloning a tuple clones a handful of `Arc`s.
+//!   frame snapshot. Cloning a tuple clones a handful of [`Sequence`]
+//!   handles — O(1) each, sharing the backing storage.
 //! - `ForScan`, `LetBind`, `Filter`, `CountBind` and `WindowScan`
 //!   stream; [`GroupConsume`] and [`OrderBy`] are pipeline *breakers*
 //!   that drain their input before emitting.
@@ -36,7 +36,8 @@ use std::cmp::Ordering;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
-use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence};
+use xqa_xdm::sequence::SequenceIntoIter;
+use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence, SequenceBuilder};
 
 use crate::flwor::{compare_order_keys, sort_keyed, OrderKeys};
 
@@ -62,13 +63,13 @@ type Tag = (usize, usize);
 /// values in `env.slots`, which no pipeline operator ever overwrites.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Tuple {
-    delta: Vec<(Slot, Arc<Sequence>)>,
+    delta: Vec<(Slot, Sequence)>,
 }
 
 impl Tuple {
     /// Bind `slot` in this tuple (replacing an existing binding: the
     /// compiler can re-bind a slot only for the same variable).
-    fn bind(&mut self, slot: Slot, value: Arc<Sequence>) {
+    fn bind(&mut self, slot: Slot, value: Sequence) {
         for entry in &mut self.delta {
             if entry.0 == slot {
                 entry.1 = value;
@@ -79,10 +80,10 @@ impl Tuple {
     }
 
     /// Install this tuple's bindings into the frame before evaluating a
-    /// per-tuple expression. O(|delta|) `Arc` clones.
+    /// per-tuple expression. O(|delta|) `Sequence` clones.
     fn apply(&self, env: &mut Env) {
         for (slot, value) in &self.delta {
-            env.slots[*slot] = Arc::clone(value);
+            env.slots[*slot] = value.clone();
         }
     }
 }
@@ -136,7 +137,7 @@ fn run_serial(
     interp: &Interpreter,
     f: &FlworIr,
     env: &mut Env,
-    mut seed: Option<Vec<Item>>,
+    mut seed: Option<Sequence>,
 ) -> EngineResult<Sequence> {
     let profiler = interp.dynamic.profiler().cloned();
     let mut counters: Vec<Rc<OpCounters>> = Vec::new();
@@ -207,7 +208,7 @@ fn clause_source<'p>(clause: &'p ClauseIr, input: BoxSource<'p>) -> BoxSource<'p
             ty: ty.as_ref(),
             expr,
             batch: Vec::new().into_iter(),
-            items: Vec::new().into_iter(),
+            items: Sequence::Empty.into_iter(),
             item_pos: 0,
             base: Tuple::default(),
             input_done: false,
@@ -368,7 +369,7 @@ struct ForScan<'p> {
     ty: Option<&'p SeqTypeIr>,
     expr: &'p Ir,
     batch: std::vec::IntoIter<Tuple>,
-    items: std::vec::IntoIter<Item>,
+    items: SequenceIntoIter,
     item_pos: i64,
     base: Tuple,
     input_done: bool,
@@ -394,9 +395,9 @@ impl TupleSource for ForScan<'_> {
                 }
                 self.item_pos += 1;
                 let mut t = self.base.clone();
-                t.bind(self.slot, Arc::new(vec![item]));
+                t.bind(self.slot, Sequence::One(item));
                 if let Some(at) = self.at_slot {
-                    t.bind(at, Arc::new(vec![Item::from(self.item_pos)]));
+                    t.bind(at, Sequence::one(self.item_pos));
                 }
                 out.push(t);
                 if out.len() >= BATCH {
@@ -452,7 +453,7 @@ impl TupleSource for LetBind<'_> {
                     ));
                 }
             }
-            t.bind(self.slot, Arc::new(seq));
+            t.bind(self.slot, seq);
         }
         Ok(Some(batch))
     }
@@ -507,7 +508,7 @@ impl TupleSource for CountBind<'_> {
         };
         for t in &mut batch {
             self.n += 1;
-            t.bind(self.slot, Arc::new(vec![Item::from(self.n)]));
+            t.bind(self.slot, Sequence::one(self.n));
         }
         Ok(Some(batch))
     }
@@ -554,11 +555,11 @@ impl TupleSource for WindowScan<'_> {
     }
 }
 
-fn bind_from_frame(t: &mut Tuple, frame: &[Arc<Sequence>], slot: Slot) {
-    t.bind(slot, Arc::clone(&frame[slot]));
+fn bind_from_frame(t: &mut Tuple, frame: &[Sequence], slot: Slot) {
+    t.bind(slot, frame[slot].clone());
 }
 
-fn bind_cond_slots(t: &mut Tuple, frame: &[Arc<Sequence>], cond: &WindowCondIr) {
+fn bind_cond_slots(t: &mut Tuple, frame: &[Sequence], cond: &WindowCondIr) {
     for slot in [
         cond.item_slot,
         cond.at_slot,
@@ -689,19 +690,20 @@ fn emit_groups(g: &GroupByIr, groups: Vec<GroupState>) -> EngineResult<Vec<Tuple
     for group in groups {
         let mut t = group.base;
         for (key, vals) in g.keys.iter().zip(group.keys) {
-            t.bind(key.slot, Arc::new(vals));
+            t.bind(key.slot, vals);
         }
         for (nest, mut entries) in g.nests.iter().zip(group.nests) {
             if let Some(ob) = &nest.order_by {
                 sort_keyed(&mut entries, &ob.specs)?;
             }
-            let mut seq = Vec::new();
-            for (_, mut vals) in entries {
+            let mut seq = SequenceBuilder::new();
+            for (_, vals) in entries {
                 // Nest values concatenate into one flat sequence —
                 // "merged and lose their individual identity" (§3.1).
-                seq.append(&mut vals);
+                // A single-member nest adopts its value's storage whole.
+                seq.append(vals);
             }
-            t.bind(nest.slot, Arc::new(seq));
+            t.bind(nest.slot, seq.build());
         }
         out.push(t);
     }
@@ -1033,7 +1035,7 @@ fn run_parallel(
     interp: &Interpreter,
     f: &FlworIr,
     env: &mut Env,
-    items: Vec<Item>,
+    items: Sequence,
     threads: usize,
 ) -> EngineResult<Sequence> {
     // The split point: the first breaker, or the whole chain. Clauses
@@ -1127,10 +1129,11 @@ fn run_parallel(
             frags.extend(v);
         }
         frags.sort_unstable_by_key(|(m, _)| *m);
-        let mut out: Sequence = Vec::new();
-        for (_, mut frag) in frags {
-            out.append(&mut frag);
+        let mut out = SequenceBuilder::new();
+        for (_, frag) in frags {
+            out.append(frag);
         }
+        let out = out.build();
         if let (Some(profiler), Some(clock), Some(start)) = (&profiler, &clock, total_start) {
             let merge_nanos = clock
                 .now_nanos()
@@ -1316,7 +1319,7 @@ fn run_worker(
     morsel_count: usize,
     next: &AtomicUsize,
     error_floor: &AtomicUsize,
-    slots: Vec<Arc<Sequence>>,
+    slots: Vec<Sequence>,
     focus: Option<Focus>,
     profiling: bool,
 ) -> WorkerReport {
@@ -1405,6 +1408,11 @@ fn run_worker(
         (Some(c), Some(s)) => c.now_nanos().saturating_sub(s),
         _ => 0,
     };
+    // Drain this thread's sequence-copy counters into the worker's
+    // private sink so the coordinator's single add_snapshot merge picks
+    // them up (the thread dies with the scope; counts would be lost).
+    let (copied, shared) = xqa_xdm::take_seq_counters();
+    interp.stats.add_seq_counters(copied, shared);
     WorkerReport {
         output,
         counters,
@@ -1431,7 +1439,7 @@ fn process_morsel(
     let hi = items.len().min(lo + MORSEL);
     // ForScan owns its item iterator, so the morsel slice is cloned
     // into the worker here; `Item` is an Arc-backed handle.
-    let morsel: Vec<Item> = items[lo..hi].to_vec();
+    let morsel = Sequence::from_slice(&items[lo..hi]);
     let ClauseIr::For {
         slot,
         at_slot,
@@ -1471,14 +1479,14 @@ fn process_morsel(
     let mut seq_in_morsel = 0usize;
     match acc {
         Acc::Seqs(frags) => {
-            let mut frag: Sequence = Vec::new();
+            let mut frag = SequenceBuilder::new();
             while let Some(batch) = source.next_batch(interp, env)? {
                 for t in batch {
                     t.apply(env);
-                    frag.extend(interp.eval(&f.return_expr, env)?);
+                    frag.append(interp.eval(&f.return_expr, env)?);
                 }
             }
-            frags.push((m, frag));
+            frags.push((m, frag.build()));
         }
         Acc::Tuples(tuples) => {
             while let Some(batch) = source.next_batch(interp, env)? {
@@ -1686,7 +1694,7 @@ impl ReturnAt<'_> {
         interp: &Interpreter,
         env: &mut Env,
     ) -> EngineResult<(Sequence, SinkStats)> {
-        let mut out: Sequence = Vec::new();
+        let mut out = SequenceBuilder::new();
         let mut stats = SinkStats::default();
         let mut ordinal = 0i64;
         while let Some(batch) = source.next_batch(interp, env)? {
@@ -1696,11 +1704,11 @@ impl ReturnAt<'_> {
                 t.apply(env);
                 ordinal += 1;
                 if let Some(at) = self.at {
-                    env.slots[at] = Arc::new(vec![Item::from(ordinal)]);
+                    env.slots[at] = Sequence::one(ordinal);
                 }
-                out.extend(interp.eval(self.expr, env)?);
+                out.append(interp.eval(self.expr, env)?);
             }
         }
-        Ok((out, stats))
+        Ok((out.build(), stats))
     }
 }

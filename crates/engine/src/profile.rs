@@ -242,6 +242,11 @@ impl PipelineProfile {
 pub struct QueryProfile {
     /// Pipelines in first-execution order.
     pub pipelines: Vec<PipelineProfile>,
+    /// Items cloned into newly allocated sequence backing storage over
+    /// the profiled run(s) (the [`crate::EvalStats`] delta).
+    pub seq_items_copied: u64,
+    /// Items whose copy a shared sequence clone avoided.
+    pub seq_clones_shared: u64,
 }
 
 impl QueryProfile {
@@ -270,7 +275,12 @@ impl QueryProfile {
     /// The machine-readable form: one JSON object, no dependencies.
     pub fn to_json(&self) -> String {
         let pipelines: Vec<String> = self.pipelines.iter().map(|p| p.to_json()).collect();
-        format!("{{\"pipelines\":[{}]}}", pipelines.join(","))
+        format!(
+            "{{\"pipelines\":[{}],\"seq_items_copied\":{},\"seq_clones_shared\":{}}}",
+            pipelines.join(","),
+            self.seq_items_copied,
+            self.seq_clones_shared
+        )
     }
 }
 
@@ -290,6 +300,13 @@ impl Profiler {
     /// Record one pipeline execution (merged by plan signature).
     pub fn record(&self, p: PipelineProfile) {
         self.profile.lock().expect("profiler poisoned").merge(p);
+    }
+
+    /// Fold a run's sequence-copy counter deltas into the profile.
+    pub fn add_seq(&self, copied: u64, shared: u64) {
+        let mut p = self.profile.lock().expect("profiler poisoned");
+        p.seq_items_copied += copied;
+        p.seq_clones_shared += shared;
     }
 
     /// Drain the collected profile, leaving the profiler empty.

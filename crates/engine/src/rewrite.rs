@@ -442,9 +442,8 @@ fn subexpressions_mut(e: &mut Expr) -> Vec<&mut Expr> {
 /// bounded binary heap (O(n log k)) instead of a full sort.
 ///
 /// The residual predicate is left in place, so the rewrite never changes
-/// results: the materializing path ignores the limit entirely, and the
-/// streaming path still applies the positional filter to the (at most k)
-/// returned items. Limiting the *tuple* stream to k is only sound when
+/// results: the pipeline still applies the positional filter to the (at
+/// most k) returned items. Limiting the *tuple* stream to k is only sound when
 /// the return expression contributes exactly one item per tuple, so the
 /// rewrite is gated on a conservative single-item check (constructors
 /// and literals).

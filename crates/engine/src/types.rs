@@ -90,7 +90,7 @@ pub fn function_conversion(seq: Sequence, ty: &SeqTypeIr, what: &str) -> EngineR
             };
             out.push(Item::Atomic(v));
         }
-        out
+        out.into()
     } else {
         seq
     };
@@ -180,11 +180,15 @@ mod tests {
     #[test]
     fn conversion_casts_untyped_and_promotes() {
         let ty = st(ItemTypeIr::Atomic(CastTarget::Double), OccurrenceIr::One);
-        let out =
-            function_conversion(vec![Item::Atomic(AtomicValue::untyped("2.5"))], &ty, "t").unwrap();
+        let out = function_conversion(
+            vec![Item::Atomic(AtomicValue::untyped("2.5"))].into(),
+            &ty,
+            "t",
+        )
+        .unwrap();
         assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(d)) if d == 2.5));
         // integer promoted to double
-        let out = function_conversion(vec![Item::from(2i64)], &ty, "t").unwrap();
+        let out = function_conversion(vec![Item::from(2i64)].into(), &ty, "t").unwrap();
         assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(_))));
         // node atomized then cast
         let el = {
@@ -194,7 +198,7 @@ mod tests {
                 .end_element();
             Item::Node(b.finish().root().children().next().unwrap())
         };
-        let out = function_conversion(vec![el], &ty, "t").unwrap();
+        let out = function_conversion(vec![el].into(), &ty, "t").unwrap();
         assert!(matches!(out[0], Item::Atomic(AtomicValue::Double(d)) if d == 9.5));
     }
 
@@ -202,21 +206,25 @@ mod tests {
     fn conversion_failures() {
         let ty = st(ItemTypeIr::Atomic(CastTarget::Integer), OccurrenceIr::One);
         assert!(
-            function_conversion(vec![], &ty, "t").is_err(),
+            function_conversion(Sequence::Empty, &ty, "t").is_err(),
             "cardinality"
         );
         assert!(
-            function_conversion(vec![Item::from("abc")], &ty, "t").is_err(),
+            function_conversion(vec![Item::from("abc")].into(), &ty, "t").is_err(),
             "string is not an integer (no implicit cast for typed values)"
         );
-        let ok = function_conversion(vec![Item::Atomic(AtomicValue::untyped("7"))], &ty, "t");
+        let ok = function_conversion(
+            vec![Item::Atomic(AtomicValue::untyped("7"))].into(),
+            &ty,
+            "t",
+        );
         assert!(ok.is_ok());
     }
 
     #[test]
     fn node_types_pass_through_conversion() {
         let ty = st(ItemTypeIr::Element(None), OccurrenceIr::ZeroOrMore);
-        let out = function_conversion(vec![element("c")], &ty, "t").unwrap();
+        let out = function_conversion(vec![element("c")].into(), &ty, "t").unwrap();
         assert!(matches!(out[0], Item::Node(_)));
     }
 }

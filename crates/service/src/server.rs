@@ -390,6 +390,8 @@ fn render_metrics(shared: &Shared) -> String {
         "xqa_eval_tuples_pruned_topk_total",
         stats.tuples_pruned_topk,
     );
+    line("xqa_eval_seq_items_copied_total", stats.seq_items_copied);
+    line("xqa_eval_seq_clones_shared_total", stats.seq_clones_shared);
     for (i, kind) in OpKind::ALL.iter().enumerate() {
         let _ = writeln!(
             &mut out,

@@ -1,11 +1,12 @@
-//! Items, atomic values and sequences.
+//! Items, atomic values and sequence-level predicates.
 //!
 //! An XDM value is a flat sequence of items; an item is a node or an
-//! atomic value. Sequences are plain `Vec<Item>` — flatness is an
-//! invariant maintained by construction (there is no way to put a
-//! sequence inside an `Item`), which is exactly the property the paper
-//! leans on when it notes that nest expressions "are merged and lose
-//! their individual identity" (§3.1).
+//! atomic value. Sequences live in [`crate::sequence`] as a
+//! copy-on-write enum — flatness is an invariant maintained by
+//! construction (there is no way to put a sequence inside an `Item`),
+//! which is exactly the property the paper leans on when it notes that
+//! nest expressions "are merged and lose their individual identity"
+//! (§3.1).
 
 use crate::datetime::{Date, DateTime};
 use crate::decimal::Decimal;
@@ -306,11 +307,8 @@ impl From<&str> for Item {
     }
 }
 
-/// An XDM value: a flat, ordered sequence of items.
-pub type Sequence = Vec<Item>;
-
 /// Atomize a whole sequence (`fn:data`).
-pub fn atomize_sequence(seq: &[Item]) -> Sequence {
+pub fn atomize_sequence(seq: &[Item]) -> crate::sequence::Sequence {
     seq.iter().map(|i| Item::Atomic(i.atomize())).collect()
 }
 

@@ -6,7 +6,9 @@
 //! node in an immutable tree with node identity and document order.
 //!
 //! Modules:
-//! - [`item`] — items, atomic values, sequences, atomization, EBV;
+//! - [`item`] — items, atomic values, atomization, EBV;
+//! - [`sequence`] — the copy-on-write sequence representation and its
+//!   builder;
 //! - [`node`] — arena-backed documents, handles, builders;
 //! - [`qname`] — qualified names;
 //! - [`decimal`] — exact `xs:decimal` arithmetic;
@@ -23,6 +25,7 @@ pub mod error;
 pub mod item;
 pub mod node;
 pub mod qname;
+pub mod sequence;
 
 pub use compare::{
     deep_equal, general_compare, node_deep_equal, sort_compare, value_compare, CompOp,
@@ -32,7 +35,8 @@ pub use decimal::Decimal;
 pub use error::{ErrorCode, XdmError, XdmResult};
 pub use item::{
     atomize_sequence, effective_boolean_value, format_double, parse_boolean, parse_double,
-    singleton, AtomicType, AtomicValue, Item, Sequence,
+    singleton, AtomicType, AtomicValue, Item,
 };
 pub use node::{Document, DocumentBuilder, NodeHandle, NodeId, NodeKind};
 pub use qname::QName;
+pub use sequence::{take_seq_counters, Sequence, SequenceBuilder};

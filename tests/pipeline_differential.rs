@@ -1,37 +1,40 @@
 //! Differential tests for the streaming tuple pipeline.
 //!
-//! Every query here is evaluated twice: once through the default
-//! streaming operator pipeline and once through the legacy
-//! materializing path (`EngineOptions { streaming_pipeline: false }`),
-//! and the serialized results must be byte-identical. The legacy path
-//! is kept for one release exactly so this suite can hold the two
-//! implementations against each other.
+//! The legacy clause-by-clause materializing path is gone; the pipeline
+//! is now held against itself across degrees of parallelism instead.
+//! Every query here is evaluated at threads=1 (profiled — the run that
+//! also asserts instrumentation never changes results and that every
+//! FLWOR records its operator pipeline) and at threads=4, and the
+//! serialized results must be byte-identical.
 
 use xqa::{serialize_sequence, DynamicContext, Engine, EngineOptions};
 
-fn engines() -> (Engine, Engine) {
-    let streaming = Engine::new();
-    let materializing = Engine::with_options(EngineOptions {
-        streaming_pipeline: false,
+fn threaded_engines() -> (Engine, Engine) {
+    let serial = Engine::with_options(EngineOptions {
+        threads: 1,
         ..Default::default()
     });
-    (streaming, materializing)
+    let parallel = Engine::with_options(EngineOptions {
+        threads: 4,
+        ..Default::default()
+    });
+    (serial, parallel)
 }
 
 fn assert_identical_ctx(query: &str, ctx: &mut DynamicContext) {
-    let (streaming, materializing) = engines();
-    let fast = streaming
+    let (serial, parallel) = threaded_engines();
+    let fast = serial
         .compile(query)
-        .unwrap_or_else(|e| panic!("compile (streaming): {e}\n{query}"));
-    let slow = materializing
+        .unwrap_or_else(|e| panic!("compile (threads=1): {e}\n{query}"));
+    let slow = parallel
         .compile(query)
-        .unwrap_or_else(|e| panic!("compile (materializing): {e}\n{query}"));
-    // The streaming run is profiled: instrumentation must never change
+        .unwrap_or_else(|e| panic!("compile (threads=4): {e}\n{query}"));
+    // The serial run is profiled: instrumentation must never change
     // results, and every streaming FLWOR must record its pipeline.
     ctx.enable_profiling();
     let a = fast
         .run(ctx)
-        .unwrap_or_else(|e| panic!("run (streaming): {e}\n{query}"));
+        .unwrap_or_else(|e| panic!("run (threads=1): {e}\n{query}"));
     let profile = ctx.take_profile().expect("profiling was enabled");
     assert!(
         !profile.is_empty(),
@@ -42,11 +45,11 @@ fn assert_identical_ctx(query: &str, ctx: &mut DynamicContext) {
     }
     let b = slow
         .run(ctx)
-        .unwrap_or_else(|e| panic!("run (materializing): {e}\n{query}"));
+        .unwrap_or_else(|e| panic!("run (threads=4): {e}\n{query}"));
     assert_eq!(
         serialize_sequence(&a),
         serialize_sequence(&b),
-        "streaming and materializing paths disagree for:\n{query}"
+        "threads=1 and threads=4 disagree for:\n{query}"
     );
 }
 
@@ -241,18 +244,6 @@ fn multiple_for_clauses() {
 // `threads: 4`; the serialized results must be byte-identical and the
 // evaluator accounting (tuples produced/grouped/pruned, groups emitted)
 // must match exactly.
-
-fn threaded_engines() -> (Engine, Engine) {
-    let serial = Engine::with_options(EngineOptions {
-        threads: 1,
-        ..Default::default()
-    });
-    let parallel = Engine::with_options(EngineOptions {
-        threads: 4,
-        ..Default::default()
-    });
-    (serial, parallel)
-}
 
 fn assert_threads_identical_ctx(query: &str, ctx: &mut DynamicContext) {
     let (serial, parallel) = threaded_engines();

@@ -1,0 +1,223 @@
+//! Property-style equivalence tests for the copy-on-write `Sequence`
+//! representation: whatever mix of variants (`Empty` / `One` / `Many`)
+//! and construction routes (`From<Vec<Item>>`, `from_slice`, a
+//! `SequenceBuilder` fed random push/append/extend splits) produces a
+//! value, its observable semantics must match the old `Vec<Item>`
+//! representation item for item — ordering, node identity, atomization,
+//! `fn:deep-equal`, and effective boolean value.
+//!
+//! Deterministically driven (`xqa_workload::DetRng`, std-only): every
+//! run checks the same cases.
+
+use xqa::run_query_items;
+use xqa::xdm::{
+    atomize_sequence, deep_equal, effective_boolean_value, AtomicValue, Item, Sequence,
+    SequenceBuilder,
+};
+use xqa_workload::DetRng;
+
+const CASES: usize = 128;
+
+/// A random atomic item drawn from a small mixed domain.
+fn gen_atomic(rng: &mut DetRng) -> Item {
+    match rng.gen_range(0..4u32) {
+        0 => Item::from(rng.gen_range(-5i64..50)),
+        1 => Item::from(format!("s{}", rng.gen_range(0..9u32)).as_str()),
+        2 => Item::from(rng.gen_range(0..2u32) == 1),
+        _ => Item::Atomic(AtomicValue::Double(rng.gen_range(0..100u32) as f64 / 4.0)),
+    }
+}
+
+/// A pool of real document nodes to mix into generated sequences.
+fn node_pool() -> Vec<Item> {
+    let seq = run_query_items("//v", "<r><v>1</v><v>2</v><v>3</v><v>4</v><v>5</v></r>")
+        .expect("node pool query");
+    seq.iter().cloned().collect()
+}
+
+/// A random item vector of `len in [0, max_len)`, atomics and nodes.
+fn gen_items(rng: &mut DetRng, nodes: &[Item], max_len: usize) -> Vec<Item> {
+    let len = rng.gen_range(0..max_len);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                nodes[rng.gen_range(0..nodes.len())].clone()
+            } else {
+                gen_atomic(rng)
+            }
+        })
+        .collect()
+}
+
+/// Build the same item list through a `SequenceBuilder` using a random
+/// split into push / append(sub-sequence) / extend_from_slice calls.
+fn build_via_builder(rng: &mut DetRng, items: &[Item]) -> Sequence {
+    let mut b = SequenceBuilder::new();
+    let mut i = 0;
+    while i < items.len() {
+        let chunk = rng.gen_range(1..4usize).min(items.len() - i);
+        match rng.gen_range(0..3u32) {
+            0 => {
+                for item in &items[i..i + chunk] {
+                    b.push(item.clone());
+                }
+            }
+            1 => b.append(Sequence::from(items[i..i + chunk].to_vec())),
+            _ => b.extend_from_slice(&items[i..i + chunk]),
+        }
+        i += chunk;
+    }
+    b.build()
+}
+
+/// Every construction route for the same items, paired with its name.
+fn all_routes(rng: &mut DetRng, items: &[Item]) -> Vec<(&'static str, Sequence)> {
+    vec![
+        ("From<Vec>", Sequence::from(items.to_vec())),
+        ("from_slice", Sequence::from_slice(items)),
+        ("builder", build_via_builder(rng, items)),
+        ("collected", items.iter().cloned().collect()),
+    ]
+}
+
+/// EBV results compared as `Result<bool, code>` so error cases (a
+/// multi-item sequence led by an atomic) must match too.
+fn ebv_key(items: &[Item]) -> Result<bool, String> {
+    effective_boolean_value(items).map_err(|e| e.code.to_string())
+}
+
+#[test]
+fn every_route_matches_vec_ordering() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(7);
+    for _ in 0..CASES {
+        let items = gen_items(&mut rng, &nodes, 12);
+        for (route, seq) in all_routes(&mut rng, &items) {
+            assert_eq!(seq.len(), items.len(), "{route}: length");
+            // Deref slice iteration, indexing, and the owning iterator
+            // must all agree with the vector's order.
+            for (i, item) in seq.iter().enumerate() {
+                assert!(
+                    deep_equal(std::slice::from_ref(item), std::slice::from_ref(&items[i])),
+                    "{route}: item {i} differs"
+                );
+            }
+            let owned: Vec<Item> = seq.clone().into_iter().collect();
+            assert!(deep_equal(&owned, &items), "{route}: into_iter order");
+        }
+    }
+}
+
+#[test]
+fn node_identity_survives_sharing() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let items = gen_items(&mut rng, &nodes, 10);
+        for (route, seq) in all_routes(&mut rng, &items) {
+            // A clone shares (or copies) the backing storage; either
+            // way the *nodes* must stay the same identity, never deep
+            // copies of the tree.
+            let cloned = seq.clone();
+            for (a, b) in items.iter().zip(cloned.iter()) {
+                if let (Item::Node(x), Item::Node(y)) = (a, b) {
+                    assert!(x.is_same_node(y), "{route}: node identity lost");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn atomization_matches_vec_semantics() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let items = gen_items(&mut rng, &nodes, 10);
+        let expected = atomize_sequence(&items);
+        for (route, seq) in all_routes(&mut rng, &items) {
+            let atomized = atomize_sequence(&seq);
+            assert!(
+                deep_equal(&atomized, &expected),
+                "{route}: atomization differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_equal_across_variants_and_clones() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(17);
+    for _ in 0..CASES {
+        let items = gen_items(&mut rng, &nodes, 10);
+        let routes = all_routes(&mut rng, &items);
+        for (route, seq) in &routes {
+            assert!(deep_equal(seq, &items), "{route}: != source vec");
+            assert!(deep_equal(&seq.clone(), &items), "{route}: clone differs");
+        }
+        // Pairwise: every route agrees with every other.
+        for (ra, a) in &routes {
+            for (rb, b) in &routes {
+                assert!(deep_equal(a, b), "{ra} != {rb}");
+            }
+        }
+        // And a perturbed vector must NOT compare deep-equal.
+        if !items.is_empty() {
+            let mut other = items.clone();
+            other.push(Item::from("sentinel"));
+            assert!(!deep_equal(&routes[0].1, &other), "length must matter");
+        }
+    }
+}
+
+#[test]
+fn effective_boolean_value_matches_vec_semantics() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(19);
+    for _ in 0..CASES {
+        let items = gen_items(&mut rng, &nodes, 6);
+        let expected = ebv_key(&items);
+        for (route, seq) in all_routes(&mut rng, &items) {
+            assert_eq!(ebv_key(&seq), expected, "{route}: EBV differs");
+        }
+    }
+    // The three canonical shapes, explicitly.
+    assert_eq!(ebv_key(&Sequence::Empty), Ok(false));
+    assert_eq!(ebv_key(&Sequence::one(Item::from(true))), Ok(true));
+    assert_eq!(ebv_key(&Sequence::one(Item::from(""))), Ok(false));
+}
+
+#[test]
+fn builder_matches_vec_concatenation() {
+    let nodes = node_pool();
+    let mut rng = DetRng::seed_from_u64(23);
+    for _ in 0..CASES {
+        // The same random op stream applied to a builder and a Vec.
+        let mut b = SequenceBuilder::new();
+        let mut expected: Vec<Item> = Vec::new();
+        for _ in 0..rng.gen_range(0..8usize) {
+            let chunk = gen_items(&mut rng, &nodes, 5);
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    for item in &chunk {
+                        b.push(item.clone());
+                    }
+                }
+                1 => b.append(Sequence::from(chunk.clone())),
+                _ => b.extend_from_slice(&chunk),
+            }
+            expected.extend_from_slice(&chunk);
+        }
+        assert_eq!(b.len(), expected.len());
+        assert_eq!(b.is_empty(), expected.is_empty());
+        let seq = b.build();
+        assert!(deep_equal(&seq, &expected), "builder != vec concat");
+        // Normalization invariant: the variant matches the length.
+        match (&seq, expected.len()) {
+            (Sequence::Empty, 0) | (Sequence::One(_), 1) => {}
+            (Sequence::Many(_), n) if n >= 2 => {}
+            (other, n) => panic!("unnormalized variant {other:?} for len {n}"),
+        }
+    }
+}
