@@ -57,6 +57,24 @@ impl Harness {
         self.bench_with_profile(name, None, f)
     }
 
+    /// Push a derived, untimed record (e.g. a ratio computed from two
+    /// measured means). Pending [`Harness::annotate`] values attach to
+    /// it, so figures like `speedup_vs_walk` land in `BENCH_*.json` as
+    /// their own rows.
+    pub fn record_derived(&mut self, name: &str) {
+        println!("{:<40} (derived)", format!("{}/{name}", self.group));
+        RECORDS.lock().unwrap().push(Record {
+            group: self.group.clone(),
+            name: name.to_string(),
+            mean_ns: 0,
+            min_ns: 0,
+            iters: 0,
+            threads: self.threads,
+            profile_json: None,
+            extra: std::mem::take(&mut self.pending),
+        });
+    }
+
     /// Like [`Harness::bench`], but attaches a pre-serialized operator
     /// profile (a JSON object, e.g. [`xqa::QueryProfile::to_json`])
     /// to the machine-readable record, so `BENCH_*.json` carries

@@ -35,8 +35,9 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use xqa::{
-    parse_document, serialize_sequence_with, Clock, DynamicContext, Engine, EngineOptions,
-    MonotonicClock, SerializeOptions, TickClock, TracePhase, TraceRing, TraceSink, Tracer,
+    parse_document, serialize_sequence_with, AccessPathMode, Clock, DynamicContext, Engine,
+    EngineOptions, MonotonicClock, SerializeOptions, TickClock, TracePhase, TraceRing, TraceSink,
+    Tracer,
 };
 use xqa_service::{DocumentCatalog, Server, ServiceConfig};
 
@@ -63,6 +64,7 @@ struct Args {
     deterministic_clock: bool,
     detect_groupby: bool,
     threads: usize,
+    access_path: AccessPathMode,
 }
 
 const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
@@ -88,6 +90,10 @@ options:
       --threads N           intra-query parallelism: worker threads for
                             eligible FLWORs (default: all cores, or
                             XQA_THREADS; 1 = serial)
+      --access-path MODE    scan access path: auto (statistics decide),
+                            walk (always tree-walk), index (force index
+                            scans); default auto, overridable with
+                            XQA_FORCE_ACCESS_PATH
   -h, --help                show this help
 serve options:
       --addr HOST:PORT      bind address (default 127.0.0.1:8399)
@@ -95,7 +101,8 @@ serve options:
       --query-threads N     intra-query parallelism per request (default:
                             all cores, or XQA_THREADS; 1 = serial)
       --cache-size N        prepared-plan cache capacity (default 128)
-      --slow-query-ms N     log queries slower than N ms to stderr";
+      --slow-query-ms N     log queries slower than N ms to stderr
+      --access-path MODE    as above (auto|walk|index)";
 
 fn parse_doc_spec(spec: &str) -> Result<(String, String), String> {
     let (name, file) = spec
@@ -135,6 +142,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         deterministic_clock: false,
         detect_groupby: false,
         threads: 0,
+        access_path: AccessPathMode::Auto,
     };
     let mut it = raw;
     let mut positional: Vec<String> = Vec::new();
@@ -174,6 +182,11 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
             }
+            "--access-path" => {
+                let mode = it.next().ok_or("--access-path requires a mode")?;
+                args.access_path = AccessPathMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid access path {mode} (auto|walk|index)"))?;
+            }
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
@@ -199,11 +212,6 @@ fn run(args: &Args) -> Result<(), String> {
         }
         (None, None) => unreachable!("parse_args guarantees a query"),
     };
-    let engine = Engine::with_options(EngineOptions {
-        detect_implicit_groupby: args.detect_groupby,
-        threads: args.threads,
-        ..Default::default()
-    });
     // One clock serves both the trace timestamps and the profile
     // timings, so `--deterministic-clock` pins every reading.
     let clock: Arc<dyn Clock> = if args.deterministic_clock {
@@ -211,26 +219,9 @@ fn run(args: &Args) -> Result<(), String> {
     } else {
         Arc::new(MonotonicClock::new())
     };
-    let trace_ring = args
-        .trace_json
-        .as_ref()
-        .map(|_| Arc::new(TraceRing::new(TRACE_RING_CAPACITY)));
-    let tracer = trace_ring.as_ref().map(|ring| {
-        Tracer::new(
-            1,
-            Arc::clone(&clock),
-            Arc::clone(ring) as Arc<dyn TraceSink>,
-        )
-    });
-    let query = engine
-        .compile_traced(&query_source, tracer.as_ref())
-        .map_err(|e| e.to_string())?;
-    for rewrite in query.applied_rewrites() {
-        eprintln!("rewrite: {rewrite}");
-    }
-    if args.explain {
-        eprint!("{}", query.explain());
-    }
+    // Load documents before compiling: the indexed stores built over
+    // them yield the statistics the planner's access-path decisions
+    // consult.
     let mut ctx = DynamicContext::new();
     ctx.set_clock(Arc::clone(&clock));
     if args.profile {
@@ -260,6 +251,37 @@ fn run(args: &Args) -> Result<(), String> {
             registered.push(doc);
         }
         ctx.register_collection(name.clone(), roots);
+    }
+    ctx.index_documents();
+    let statistics = Arc::new(xqa::storage::CatalogStatistics::from_stores(
+        ctx.stores().map(Arc::as_ref),
+    ));
+    let engine = Engine::with_options(EngineOptions {
+        detect_implicit_groupby: args.detect_groupby,
+        threads: args.threads,
+        access_path: args.access_path,
+        ..Default::default()
+    })
+    .with_statistics(statistics);
+    let trace_ring = args
+        .trace_json
+        .as_ref()
+        .map(|_| Arc::new(TraceRing::new(TRACE_RING_CAPACITY)));
+    let tracer = trace_ring.as_ref().map(|ring| {
+        Tracer::new(
+            1,
+            Arc::clone(&clock),
+            Arc::clone(ring) as Arc<dyn TraceSink>,
+        )
+    });
+    let query = engine
+        .compile_traced(&query_source, tracer.as_ref())
+        .map_err(|e| e.to_string())?;
+    for rewrite in query.applied_rewrites() {
+        eprintln!("rewrite: {rewrite}");
+    }
+    if args.explain {
+        eprint!("{}", query.explain());
     }
     let result = query.run(&ctx).map_err(|e| e.to_string())?;
     if let Some(t) = &tracer {
@@ -318,6 +340,7 @@ struct ServeArgs {
     cache_size: usize,
     slow_query_ms: Option<u64>,
     detect_groupby: bool,
+    access_path: AccessPathMode,
 }
 
 fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -331,6 +354,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         cache_size: 128,
         slow_query_ms: None,
         detect_groupby: false,
+        access_path: AccessPathMode::Auto,
     };
     let mut it = raw;
     while let Some(arg) = it.next() {
@@ -372,6 +396,11 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
                 args.slow_query_ms = Some(n.parse().map_err(|_| format!("invalid threshold {n}"))?);
             }
             "--detect-groupby" => args.detect_groupby = true,
+            "--access-path" => {
+                let mode = it.next().ok_or("--access-path requires a mode")?;
+                args.access_path = AccessPathMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid access path {mode} (auto|walk|index)"))?;
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -399,6 +428,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
         engine_options: EngineOptions {
             detect_implicit_groupby: args.detect_groupby,
             threads: args.query_threads,
+            access_path: args.access_path,
             ..Default::default()
         },
         slow_query_ms: args.slow_query_ms,

@@ -43,9 +43,10 @@
 #![warn(missing_docs)]
 
 pub use xqa_engine::{
-    resolve_threads, Clock, DynamicContext, Engine, EngineError, EngineOptions, EngineResult,
-    EvalStats, EvalStatsSnapshot, Focus, MonotonicClock, OpKind, PreparedQuery, QueryProfile,
-    RewriteKind, RewriteNote, TickClock, TraceEvent, TracePhase, TraceRing, TraceSink, Tracer,
+    resolve_access_path, resolve_threads, AccessPathMode, Clock, DynamicContext, Engine,
+    EngineError, EngineOptions, EngineResult, EvalStats, EvalStatsSnapshot, Focus, MonotonicClock,
+    OpKind, PreparedQuery, QueryProfile, RewriteKind, RewriteNote, TickClock, TraceEvent,
+    TracePhase, TraceRing, TraceSink, Tracer,
 };
 pub use xqa_xmlparse::{
     parse_document, parse_document_with, parse_fragment, serialize_node, serialize_node_with,
@@ -61,6 +62,11 @@ pub use xqa_frontend as frontend;
 /// The serving layer (document catalog, plan cache, HTTP server) behind
 /// `xqa serve`.
 pub use xqa_service as service;
+
+/// The indexed document-store layer: dictionary-encoded names,
+/// structural interval labels, element postings, typed-value indexes
+/// and the per-path statistics the planner consults.
+pub use xqa_storage as storage;
 
 use xqa_xdm::Sequence;
 

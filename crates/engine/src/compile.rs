@@ -667,7 +667,11 @@ impl Compiler {
                 },
             });
         }
-        Ok(Ir::Path(Box::new(ir::PathIr { start, steps })))
+        Ok(Ir::Path(Box::new(ir::PathIr {
+            start,
+            steps,
+            access: ir::AccessPathIr::Walk,
+        })))
     }
 
     fn compile_direct_element(&mut self, el: &ast::DirectElement) -> EngineResult<Ir> {

@@ -4,6 +4,7 @@ use crate::profile::{Clock, MonotonicClock, Profiler, QueryProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use xqa_storage::DocumentStore;
 use xqa_xdm::{DateTime, Document, Item, NodeHandle};
 
 /// The focus: context item, position and size, as set by path steps and
@@ -46,6 +47,12 @@ pub struct EvalStats {
     /// Items whose copy was avoided because a sequence clone shared its
     /// backing allocation (each would have been a copy under `Vec`).
     pub seq_clones_shared: AtomicU64,
+    /// Leading descendant steps served by a document-store index lookup.
+    pub scan_index_hits: AtomicU64,
+    /// Tuples produced by index-resolved scans.
+    pub scan_index_tuples: AtomicU64,
+    /// Tuples produced by tree-walk descendant scans.
+    pub scan_walk_tuples: AtomicU64,
 }
 
 /// A plain-value copy of [`EvalStats`] taken at one instant.
@@ -69,6 +76,12 @@ pub struct EvalStatsSnapshot {
     pub seq_items_copied: u64,
     /// Items whose copy a shared sequence clone avoided.
     pub seq_clones_shared: u64,
+    /// Leading descendant steps served by a document-store index lookup.
+    pub scan_index_hits: u64,
+    /// Tuples produced by index-resolved scans.
+    pub scan_index_tuples: u64,
+    /// Tuples produced by tree-walk descendant scans.
+    pub scan_walk_tuples: u64,
 }
 
 impl EvalStats {
@@ -83,6 +96,9 @@ impl EvalStats {
         self.tuples_pruned_topk.store(0, Ordering::Relaxed);
         self.seq_items_copied.store(0, Ordering::Relaxed);
         self.seq_clones_shared.store(0, Ordering::Relaxed);
+        self.scan_index_hits.store(0, Ordering::Relaxed);
+        self.scan_index_tuples.store(0, Ordering::Relaxed);
+        self.scan_walk_tuples.store(0, Ordering::Relaxed);
     }
 
     /// Add `n` to the nodes-visited counter.
@@ -127,6 +143,17 @@ impl EvalStats {
         self.seq_clones_shared.fetch_add(shared, Ordering::Relaxed);
     }
 
+    /// Record one index-served scan producing `tuples` tuples.
+    pub fn add_scan_index(&self, tuples: u64) {
+        self.scan_index_hits.fetch_add(1, Ordering::Relaxed);
+        self.scan_index_tuples.fetch_add(tuples, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the walk-scan tuple counter.
+    pub fn add_scan_walk_tuples(&self, n: u64) {
+        self.scan_walk_tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Add a snapshot's counters into this block (used by the service
     /// to aggregate per-request snapshots into server-wide totals).
     pub fn add_snapshot(&self, s: &EvalStatsSnapshot) {
@@ -147,6 +174,12 @@ impl EvalStats {
             .fetch_add(s.seq_items_copied, Ordering::Relaxed);
         self.seq_clones_shared
             .fetch_add(s.seq_clones_shared, Ordering::Relaxed);
+        self.scan_index_hits
+            .fetch_add(s.scan_index_hits, Ordering::Relaxed);
+        self.scan_index_tuples
+            .fetch_add(s.scan_index_tuples, Ordering::Relaxed);
+        self.scan_walk_tuples
+            .fetch_add(s.scan_walk_tuples, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -161,6 +194,9 @@ impl EvalStats {
             tuples_pruned_topk: self.tuples_pruned_topk.load(Ordering::Relaxed),
             seq_items_copied: self.seq_items_copied.load(Ordering::Relaxed),
             seq_clones_shared: self.seq_clones_shared.load(Ordering::Relaxed),
+            scan_index_hits: self.scan_index_hits.load(Ordering::Relaxed),
+            scan_index_tuples: self.scan_index_tuples.load(Ordering::Relaxed),
+            scan_walk_tuples: self.scan_walk_tuples.load(Ordering::Relaxed),
         }
     }
 }
@@ -171,7 +207,8 @@ impl EvalStatsSnapshot {
         format!(
             "{{\"nodes_visited\":{},\"tuples_grouped\":{},\"groups_emitted\":{},\
              \"comparisons\":{},\"tuples_produced\":{},\"tuples_pruned_filter\":{},\
-             \"tuples_pruned_topk\":{},\"seq_items_copied\":{},\"seq_clones_shared\":{}}}",
+             \"tuples_pruned_topk\":{},\"seq_items_copied\":{},\"seq_clones_shared\":{},\
+             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{}}}",
             self.nodes_visited,
             self.tuples_grouped,
             self.groups_emitted,
@@ -180,7 +217,10 @@ impl EvalStatsSnapshot {
             self.tuples_pruned_filter,
             self.tuples_pruned_topk,
             self.seq_items_copied,
-            self.seq_clones_shared
+            self.seq_clones_shared,
+            self.scan_index_hits,
+            self.scan_index_tuples,
+            self.scan_walk_tuples
         )
     }
 }
@@ -192,6 +232,10 @@ pub struct DynamicContext {
     documents: HashMap<String, NodeHandle>,
     default_collection: Option<Vec<NodeHandle>>,
     collections: HashMap<String, Vec<NodeHandle>>,
+    /// Indexed document stores, keyed by document serial. The evaluator
+    /// resolves index-annotated path steps against these; documents
+    /// without a store fall back to the tree walk per item.
+    stores: HashMap<u64, Arc<DocumentStore>>,
     current_datetime: DateTime,
     /// Runtime counters (always collected; the overhead is a few
     /// relaxed `Cell` bumps).
@@ -212,6 +256,7 @@ impl Default for DynamicContext {
             documents: HashMap::new(),
             default_collection: None,
             collections: HashMap::new(),
+            stores: HashMap::new(),
             // A fixed instant so queries are deterministic by default
             // (June 14, 2005 — the paper's SIGMOD). Override with
             // `set_current_datetime` for wall-clock behaviour.
@@ -302,6 +347,56 @@ impl DynamicContext {
             None => self.default_collection.as_deref(),
             Some(n) => self.collections.get(n).map(|v| v.as_slice()),
         }
+    }
+
+    /// Register an indexed store for its document (keyed by document
+    /// serial). Re-registering for the same document replaces the store.
+    pub fn register_store(&mut self, store: Arc<DocumentStore>) -> &mut Self {
+        self.stores.insert(store.document().serial(), store);
+        self
+    }
+
+    /// The store indexing the document with the given serial, if any.
+    pub fn store(&self, doc_serial: u64) -> Option<&Arc<DocumentStore>> {
+        self.stores.get(&doc_serial)
+    }
+
+    /// The registered stores, in arbitrary order.
+    pub fn stores(&self) -> impl Iterator<Item = &Arc<DocumentStore>> {
+        self.stores.values()
+    }
+
+    /// Build and register a [`DocumentStore`] for every document
+    /// reachable from this context (context item, `fn:doc` registry,
+    /// default and named collections) that does not have one yet.
+    /// Returns how many stores were built.
+    pub fn index_documents(&mut self) -> usize {
+        let mut docs: Vec<Arc<Document>> = Vec::new();
+        let mut seen: std::collections::HashSet<u64> = self.stores.keys().copied().collect();
+        let push = |doc: &Arc<Document>,
+                    docs: &mut Vec<Arc<Document>>,
+                    seen: &mut std::collections::HashSet<u64>| {
+            if seen.insert(doc.serial()) {
+                docs.push(Arc::clone(doc));
+            }
+        };
+        if let Some(Item::Node(n)) = &self.context_item {
+            push(n.document(), &mut docs, &mut seen);
+        }
+        for n in self.documents.values() {
+            push(n.document(), &mut docs, &mut seen);
+        }
+        for n in self.default_collection.iter().flatten() {
+            push(n.document(), &mut docs, &mut seen);
+        }
+        for n in self.collections.values().flatten() {
+            push(n.document(), &mut docs, &mut seen);
+        }
+        let built = docs.len();
+        for doc in docs {
+            self.register_store(Arc::new(DocumentStore::build(&doc)));
+        }
+        built
     }
 
     /// The clock profiling timestamps are read from.
@@ -402,7 +497,7 @@ mod tests {
     fn snapshot_json_shape() {
         let json = EvalStatsSnapshot::default().to_json();
         assert!(json.starts_with("{\"nodes_visited\":0"));
-        assert!(json.ends_with("\"seq_clones_shared\":0}"));
+        assert!(json.ends_with("\"scan_walk_tuples\":0}"));
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<
                 .seq_clones_shared
                 .saturating_sub(before.seq_clones_shared),
         );
+        profiler.add_access(
+            after.scan_index_hits.saturating_sub(before.scan_index_hits),
+            after
+                .scan_index_tuples
+                .saturating_sub(before.scan_index_tuples),
+            after
+                .scan_walk_tuples
+                .saturating_sub(before.scan_walk_tuples),
+        );
     }
     result
 }
@@ -505,10 +514,113 @@ impl<'a> Interpreter<'a> {
             },
             PathStartIr::Expr(e) => self.eval(e, env)?,
         };
-        for step in &p.steps {
+        let mut steps = p.steps.as_slice();
+        if p.access != AccessPathIr::Walk {
+            if let Some((first, rest)) = steps.split_first() {
+                current = self.eval_indexed_step(&p.access, first, current, env)?;
+                steps = rest;
+            }
+        }
+        for step in steps {
             current = self.eval_step(step, current, env)?;
         }
         Ok(current)
+    }
+
+    /// Evaluate an index-annotated leading step. Resolution is decided
+    /// per context item: items whose document has a registered store
+    /// (and whose index can answer exactly) are served from postings /
+    /// the value index, everything else tree-walks — so mixed inputs
+    /// and store-less documents stay byte-identical to the walk.
+    fn eval_indexed_step(
+        &self,
+        access: &AccessPathIr,
+        step: &StepIr,
+        input: Sequence,
+        env: &mut Env,
+    ) -> EngineResult<Sequence> {
+        let StepIr::Axis {
+            axis: Axis::Descendant,
+            test,
+            predicates,
+        } = step
+        else {
+            // The annotation only ever lands on descendant axis steps;
+            // anything else means a stale plan — walk it.
+            return self.eval_step(step, input, env);
+        };
+        let NodeTestIr::Name(name) = test else {
+            return self.eval_step(step, input, env);
+        };
+        let mut out: Vec<Item> = Vec::new();
+        for item in &input {
+            let node = match item {
+                Item::Node(n) => n,
+                Item::Atomic(_) => {
+                    return Err(EngineError::dynamic(
+                        ErrorCode::XPTY0004,
+                        "axis step applied to an atomic value",
+                    ))
+                }
+            };
+            let candidates = match self.index_candidates(access, name, node) {
+                Some(nodes) => {
+                    self.stats.add_scan_index(nodes.len() as u64);
+                    nodes
+                }
+                None => self.axis_nodes(Axis::Descendant, node, test),
+            };
+            if predicates.is_empty() {
+                out.extend(candidates.into_iter().map(Item::Node));
+            } else {
+                // Residual predicates always re-run on the candidates
+                // (the index prefilters; the walk semantics decide).
+                let filtered = self.apply_predicates(
+                    candidates.into_iter().map(Item::Node).collect(),
+                    predicates,
+                    env,
+                )?;
+                out.extend(filtered);
+            }
+        }
+        dedup_sort_document_order(&mut out);
+        Ok(out.into())
+    }
+
+    /// The index-resolved candidates for one origin node, or `None`
+    /// when the lookup must fall back to the tree walk (no store for
+    /// the document, or the value index cannot answer exactly).
+    fn index_candidates(
+        &self,
+        access: &AccessPathIr,
+        name: &xqa_xdm::QName,
+        node: &NodeHandle,
+    ) -> Option<Vec<NodeHandle>> {
+        let doc = node.document();
+        let store = self.dynamic.store(doc.serial())?;
+        match access {
+            AccessPathIr::Walk => None,
+            AccessPathIr::IndexDescendant => {
+                let ids = store.descendants_named(node.id(), name);
+                Some(ids.iter().filter_map(|&id| doc.handle(id)).collect())
+            }
+            AccessPathIr::IndexValueEq { child, probe } => {
+                let parents = match probe {
+                    ValueProbeIr::Str(s) => store.parents_by_string_eq(child, s)?,
+                    ValueProbeIr::Num(v) => store.parents_by_numeric_eq(child, *v)?,
+                };
+                let origin = node.id();
+                let end = store.subtree_end(origin);
+                Some(
+                    parents
+                        .into_iter()
+                        .filter(|&id| id > origin && id <= end)
+                        .filter_map(|id| doc.handle(id))
+                        .filter(|h| h.kind() == NodeKind::Element && h.name() == Some(name))
+                        .collect(),
+                )
+            }
+        }
     }
 
     fn eval_step(&self, step: &StepIr, input: Sequence, env: &mut Env) -> EngineResult<Sequence> {
@@ -659,6 +771,9 @@ impl<'a> Interpreter<'a> {
             }
         };
         stats.add_nodes_visited(visited);
+        if matches!(axis, Axis::Descendant | Axis::DescendantOrSelf) {
+            stats.add_scan_walk_tuples(out.len() as u64);
+        }
         out
     }
 

@@ -71,6 +71,11 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
         "seq copies: items_copied={} clones_shared={}",
         profile.seq_items_copied, profile.seq_clones_shared
     );
+    let _ = writeln!(
+        out,
+        "index scans: hits={} index_tuples={} walk_tuples={}",
+        profile.scan_index_hits, profile.scan_index_tuples, profile.scan_walk_tuples
+    );
     out
 }
 
@@ -193,7 +198,11 @@ fn write_ir(out: &mut String, threads: usize, ir: &Ir, depth: usize) {
                 PathStartIr::Root => "root".to_string(),
                 PathStartIr::Expr(_) => "expr".to_string(),
             };
-            line(out, depth, &format!("path from {start}"));
+            line(
+                out,
+                depth,
+                &format!("path from {start}{}", describe_access(p)),
+            );
             if let PathStartIr::Expr(e) = &p.start {
                 write_ir(out, threads, e, depth + 1);
             }
@@ -426,6 +435,30 @@ pub(crate) fn render_plan(f: &FlworIr, threads: usize) -> String {
         let _ = write!(plan, " [parallel ×{threads}]");
     }
     plan
+}
+
+/// The `[index scan ...]` plan tag for an index-annotated path: the
+/// leading descendant step resolves via the document store instead of a
+/// tree walk (with per-document fallback at run time).
+fn describe_access(p: &PathIr) -> String {
+    let name = match p.steps.first() {
+        Some(StepIr::Axis {
+            test: NodeTestIr::Name(q),
+            ..
+        }) => q.to_string(),
+        _ => "?".to_string(),
+    };
+    match &p.access {
+        AccessPathIr::Walk => String::new(),
+        AccessPathIr::IndexDescendant => format!(" [index scan path=//{name}]"),
+        AccessPathIr::IndexValueEq { child, probe } => {
+            let probe = match probe {
+                ValueProbeIr::Str(s) => format!("{s:?}"),
+                ValueProbeIr::Num(v) => format!("{v}"),
+            };
+            format!(" [index scan path=//{name} value-eq {child}={probe}]")
+        }
+    }
 }
 
 fn preds(predicates: &[Ir]) -> String {

@@ -459,6 +459,41 @@ pub struct PathIr {
     pub start: PathStartIr,
     /// Steps, left to right.
     pub steps: Vec<StepIr>,
+    /// How the leading step is executed: tree walk (default) or a
+    /// document-store index lookup, chosen at plan time by
+    /// [`crate::rewrite::annotate_index_scans`]. Runtime falls back to
+    /// the walk per context item when no store covers its document.
+    pub access: AccessPathIr,
+}
+
+/// The plan-time access-path decision for a path's leading step.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum AccessPathIr {
+    /// Tree-walk the axis (always applicable).
+    #[default]
+    Walk,
+    /// Resolve a leading `descendant::T` step as a label-range slice of
+    /// `T`'s element postings in the document store.
+    IndexDescendant,
+    /// Resolve `descendant::T[c = literal]` via the typed-value index:
+    /// candidate parents from the index, then the residual predicate
+    /// re-evaluated so results stay byte-identical to the walk.
+    IndexValueEq {
+        /// The leaf child name the equality predicate probes.
+        child: QName,
+        /// The literal being compared against.
+        probe: ValueProbeIr,
+    },
+}
+
+/// The comparison literal of an index-resolved value predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueProbeIr {
+    /// A string literal — exact codepoint equality on leaf values.
+    Str(std::sync::Arc<str>),
+    /// A numeric literal — `xs:double` equality on leaf values (the
+    /// same promotion general comparison applies to untyped operands).
+    Num(f64),
 }
 
 /// Where a path starts.

@@ -71,6 +71,12 @@ pub struct EngineOptions {
     /// outermost `for` binding sequence into morsels executed by that
     /// many scoped worker threads; output is byte-identical to serial.
     pub threads: usize,
+    /// How leading `descendant::T` path steps are executed (see
+    /// [`AccessPathMode`]). `Auto` (the default) consults the catalog
+    /// statistics attached to the engine; the `XQA_FORCE_ACCESS_PATH`
+    /// environment variable (`walk` | `index`) overrides at compile
+    /// time, mirroring `XQA_THREADS`.
+    pub access_path: AccessPathMode,
 }
 
 impl Default for EngineOptions {
@@ -80,8 +86,61 @@ impl Default for EngineOptions {
             constant_folding: true,
             topk_pushdown: true,
             threads: 0,
+            access_path: AccessPathMode::Auto,
         }
     }
+}
+
+/// Plan-time access-path policy for `//T` descendant scans and simple
+/// value predicates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AccessPathMode {
+    /// Decide from catalog statistics: index-annotate a scan only when
+    /// statistics are attached and favor the index (selective name, or a
+    /// value predicate the typed-value index can answer exactly). With
+    /// no statistics attached every plan keeps the tree walk, so plans
+    /// compiled without a catalog behave exactly as before.
+    #[default]
+    Auto,
+    /// Never annotate: always tree-walk.
+    Walk,
+    /// Annotate every eligible scan shape regardless of statistics; the
+    /// runtime still falls back to the walk per document when no store
+    /// covers it or the value index cannot answer exactly.
+    Index,
+}
+
+impl AccessPathMode {
+    /// The wire/CLI name (`auto` | `walk` | `index`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AccessPathMode::Auto => "auto",
+            AccessPathMode::Walk => "walk",
+            AccessPathMode::Index => "index",
+        }
+    }
+
+    /// Parse a wire/CLI name; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<AccessPathMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(AccessPathMode::Auto),
+            "walk" => Some(AccessPathMode::Walk),
+            "index" => Some(AccessPathMode::Index),
+            _ => None,
+        }
+    }
+}
+
+/// The effective access-path mode: `XQA_FORCE_ACCESS_PATH` (`walk` |
+/// `index`) wins over the engine option, mirroring how `XQA_THREADS`
+/// overrides the thread count.
+pub fn resolve_access_path(requested: AccessPathMode) -> AccessPathMode {
+    if let Ok(v) = std::env::var("XQA_FORCE_ACCESS_PATH") {
+        if let Some(mode) = AccessPathMode::parse(&v) {
+            return mode;
+        }
+    }
+    requested
 }
 
 /// Resolve a requested degree of parallelism to an effective thread
@@ -116,15 +175,19 @@ pub enum RewriteKind {
     TopKPushdown,
     /// `descendant-or-self::node()/child::T` fused to `descendant::T`.
     PathFusion,
+    /// `//T` scan or value predicate annotated to resolve against the
+    /// document store's label-range / typed-value indexes.
+    IndexScan,
 }
 
 impl RewriteKind {
     /// Every rewrite kind, in compilation order.
-    pub const ALL: [RewriteKind; 4] = [
+    pub const ALL: [RewriteKind; 5] = [
         RewriteKind::ImplicitGroupBy,
         RewriteKind::ConstantFolding,
         RewriteKind::TopKPushdown,
         RewriteKind::PathFusion,
+        RewriteKind::IndexScan,
     ];
 
     /// The wire name of the rewrite.
@@ -134,6 +197,7 @@ impl RewriteKind {
             RewriteKind::ConstantFolding => "constant-folding",
             RewriteKind::TopKPushdown => "topk-pushdown",
             RewriteKind::PathFusion => "path-fusion",
+            RewriteKind::IndexScan => "index-scan",
         }
     }
 }
@@ -166,9 +230,13 @@ impl std::fmt::Display for RewriteNote {
 }
 
 /// The query engine: compiles query text into executable plans.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct Engine {
     options: EngineOptions,
+    /// Catalog statistics the access-path planner consults, attached by
+    /// the service/CLI after loading documents. `None` = no catalog →
+    /// `Auto` keeps every plan on the tree walk.
+    statistics: Option<std::sync::Arc<xqa_storage::CatalogStatistics>>,
 }
 
 impl Engine {
@@ -179,7 +247,33 @@ impl Engine {
 
     /// An engine with explicit options.
     pub fn with_options(options: EngineOptions) -> Engine {
-        Engine { options }
+        Engine {
+            options,
+            statistics: None,
+        }
+    }
+
+    /// Attach catalog statistics for plan-time access-path decisions.
+    pub fn set_statistics(
+        &mut self,
+        stats: std::sync::Arc<xqa_storage::CatalogStatistics>,
+    ) -> &mut Self {
+        self.statistics = Some(stats);
+        self
+    }
+
+    /// Builder form of [`Engine::set_statistics`].
+    pub fn with_statistics(
+        mut self,
+        stats: std::sync::Arc<xqa_storage::CatalogStatistics>,
+    ) -> Self {
+        self.statistics = Some(stats);
+        self
+    }
+
+    /// The attached catalog statistics, if any.
+    pub fn statistics(&self) -> Option<&std::sync::Arc<xqa_storage::CatalogStatistics>> {
+        self.statistics.as_ref()
     }
 
     /// The active options.
@@ -242,6 +336,16 @@ impl Engine {
             rewrite::fuse_descendant_paths(&mut compiled)
                 .into_iter()
                 .map(note(RewriteKind::PathFusion)),
+        );
+        // After fusion, so `//T` is visible as a `descendant::T` step.
+        rewrites.extend(
+            rewrite::annotate_index_scans(
+                &mut compiled,
+                resolve_access_path(self.options.access_path),
+                self.statistics.as_deref(),
+            )
+            .into_iter()
+            .map(note(RewriteKind::IndexScan)),
         );
         if let Some(t) = tracer {
             for r in &rewrites {

@@ -340,6 +340,26 @@ fn clause_op_detail(clause: &ClauseIr) -> String {
             Some(k) => format!("limit={k}"),
             None => String::new(),
         },
+        // A `for` over an index-annotated path advertises the access
+        // path so `explain analyze` shows where tuples came from.
+        ClauseIr::For { expr, .. } => match expr {
+            Ir::Path(p) if p.access != AccessPathIr::Walk => {
+                let name = match p.steps.first() {
+                    Some(StepIr::Axis {
+                        test: NodeTestIr::Name(q),
+                        ..
+                    }) => q.to_string(),
+                    _ => "?".to_string(),
+                };
+                match &p.access {
+                    AccessPathIr::IndexValueEq { child, .. } => {
+                        format!("index scan //{name}[{child}=..]")
+                    }
+                    _ => format!("index scan //{name}"),
+                }
+            }
+            _ => String::new(),
+        },
         _ => String::new(),
     }
 }

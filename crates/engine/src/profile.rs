@@ -247,6 +247,13 @@ pub struct QueryProfile {
     pub seq_items_copied: u64,
     /// Items whose copy a shared sequence clone avoided.
     pub seq_clones_shared: u64,
+    /// Path steps the profiled run(s) answered from a document store
+    /// index (postings slice or value-index probe).
+    pub scan_index_hits: u64,
+    /// Tuples those index-resolved steps produced.
+    pub scan_index_tuples: u64,
+    /// Tuples produced by tree-walking descendant axis steps.
+    pub scan_walk_tuples: u64,
 }
 
 impl QueryProfile {
@@ -276,10 +283,14 @@ impl QueryProfile {
     pub fn to_json(&self) -> String {
         let pipelines: Vec<String> = self.pipelines.iter().map(|p| p.to_json()).collect();
         format!(
-            "{{\"pipelines\":[{}],\"seq_items_copied\":{},\"seq_clones_shared\":{}}}",
+            "{{\"pipelines\":[{}],\"seq_items_copied\":{},\"seq_clones_shared\":{},\
+             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{}}}",
             pipelines.join(","),
             self.seq_items_copied,
-            self.seq_clones_shared
+            self.seq_clones_shared,
+            self.scan_index_hits,
+            self.scan_index_tuples,
+            self.scan_walk_tuples
         )
     }
 }
@@ -307,6 +318,14 @@ impl Profiler {
         let mut p = self.profile.lock().expect("profiler poisoned");
         p.seq_items_copied += copied;
         p.seq_clones_shared += shared;
+    }
+
+    /// Fold a run's scan access-path counter deltas into the profile.
+    pub fn add_access(&self, index_hits: u64, index_tuples: u64, walk_tuples: u64) {
+        let mut p = self.profile.lock().expect("profiler poisoned");
+        p.scan_index_hits += index_hits;
+        p.scan_index_tuples += index_tuples;
+        p.scan_walk_tuples += walk_tuples;
     }
 
     /// Drain the collected profile, leaving the profiler empty.

@@ -638,6 +638,242 @@ fn fuse_steps(steps: &mut Vec<crate::ir::StepIr>, fused: &mut usize) {
     }
 }
 
+// ---- index-scan annotation -------------------------------------------
+
+/// In `Auto` mode, a descendant scan is only index-annotated when the
+/// scanned name accounts for at most this fraction of all catalog
+/// elements. Above it, the walk visits about as many nodes as the
+/// posting list holds, so the index buys nothing but handle churn.
+const MAX_INDEX_SELECTIVITY: f64 = 0.5;
+
+/// Annotate leading `descendant::T` path steps with an index access
+/// path (see [`crate::ir::AccessPathIr`]) when the effective mode and
+/// catalog statistics favor it. Two shapes qualify:
+///
+/// - `descendant::T` with no predicates → [`AccessPathIr::IndexDescendant`]:
+///   a label-range slice of `T`'s element postings.
+/// - `descendant::T[c = literal]` (either operand order, `c` a plain
+///   child name step from the context, the literal a string or numeric
+///   constant) → [`AccessPathIr::IndexValueEq`]: candidate parents from
+///   the typed-value index, residual predicate re-evaluated. The exact
+///   shape guarantees the predicate is position-free, so prefiltering
+///   cannot renumber anything; in `Auto` mode the statistics must also
+///   confirm the value index answers exactly (every `c` is a leaf, and
+///   for numeric probes every value parses as `xs:double` — otherwise
+///   the walk could raise a cast error the index would skip).
+///
+/// The annotation is a plan-time *choice*, not a promise: the evaluator
+/// still falls back to the walk per context item when no store covers
+/// its document or the store's gates refuse, so results are always
+/// byte-identical to the walk.
+pub fn annotate_index_scans(
+    query: &mut crate::ir::CompiledQuery,
+    mode: crate::AccessPathMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+) -> Vec<String> {
+    use crate::AccessPathMode;
+    if mode == AccessPathMode::Walk {
+        return Vec::new();
+    }
+    if mode == AccessPathMode::Auto && stats.is_none() {
+        return Vec::new();
+    }
+    let mut fired = Vec::new();
+    let mut record = |notes: Vec<String>, loc: &str| {
+        fired.extend(
+            notes
+                .into_iter()
+                .map(|n| format!("index scan: {n} (in {loc})")),
+        );
+    };
+    for g in &mut query.globals {
+        let mut notes = Vec::new();
+        annotate_ir(&mut g.init, mode, stats, &mut notes);
+        record(notes, &format!("global ${}", g.name));
+    }
+    for f in &mut query.functions {
+        let mut notes = Vec::new();
+        annotate_ir(&mut f.body, mode, stats, &mut notes);
+        record(notes, &format!("function {}#{}", f.name, f.arity));
+    }
+    let mut notes = Vec::new();
+    annotate_ir(&mut query.body, mode, stats, &mut notes);
+    record(notes, "query body");
+    fired
+}
+
+fn annotate_ir(
+    ir: &mut crate::ir::Ir,
+    mode: crate::AccessPathMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+    notes: &mut Vec<String>,
+) {
+    if let crate::ir::Ir::Path(p) = ir {
+        fuse_value_eq_shape(p);
+        if let Some((access, note)) = choose_access_path(p, mode, stats) {
+            p.access = access;
+            notes.push(note);
+        }
+    }
+    for child in crate::fold::child_irs(ir) {
+        annotate_ir(child, mode, stats, notes);
+    }
+}
+
+/// Fuse the leading `descendant-or-self::node()/child::T[c = literal]`
+/// pair into `descendant::T[c = literal]` so the value-eq index shape
+/// can match. The general fusion pass skips predicated child steps
+/// because positional predicates renumber under fusion; the value-eq
+/// shape is position-free by construction (an existential `=` over a
+/// plain child step and a literal), so the selected node set is
+/// identical either way.
+fn fuse_value_eq_shape(p: &mut crate::ir::PathIr) {
+    use crate::ir::{NodeTestIr, StepIr};
+    use xqa_frontend::ast::Axis;
+    let leading_slash_slash = matches!(
+        p.steps.first(),
+        Some(StepIr::Axis {
+            axis: Axis::DescendantOrSelf,
+            test: NodeTestIr::AnyKind,
+            predicates,
+        }) if predicates.is_empty()
+    );
+    if !leading_slash_slash {
+        return;
+    }
+    let fusable = matches!(
+        p.steps.get(1),
+        Some(StepIr::Axis {
+            axis: Axis::Child,
+            test: NodeTestIr::Name(_),
+            predicates,
+        }) if matches!(predicates.as_slice(), [pred] if match_value_eq_predicate(pred).is_some())
+    );
+    if !fusable {
+        return;
+    }
+    let StepIr::Axis {
+        test, predicates, ..
+    } = p.steps.remove(1)
+    else {
+        unreachable!("matched an axis step above")
+    };
+    p.steps[0] = StepIr::Axis {
+        axis: Axis::Descendant,
+        test,
+        predicates,
+    };
+}
+
+/// Decide the access path for one compiled path, if an index shape
+/// matches. Returns the annotation plus its rewrite-note text.
+fn choose_access_path(
+    p: &crate::ir::PathIr,
+    mode: crate::AccessPathMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+) -> Option<(crate::ir::AccessPathIr, String)> {
+    use crate::ir::{AccessPathIr, NodeTestIr, StepIr};
+    use crate::AccessPathMode;
+    use xqa_frontend::ast::Axis;
+    let StepIr::Axis {
+        axis: Axis::Descendant,
+        test: NodeTestIr::Name(name),
+        predicates,
+    } = p.steps.first()?
+    else {
+        return None;
+    };
+    match predicates.as_slice() {
+        [] => {
+            if mode == AccessPathMode::Auto {
+                let stats = stats?;
+                let selectivity = stats.descendant_selectivity(name);
+                if selectivity > MAX_INDEX_SELECTIVITY {
+                    return None;
+                }
+                return Some((
+                    AccessPathIr::IndexDescendant,
+                    format!(
+                        "descendant scan //{name} resolved via label-range postings \
+                         (selectivity {selectivity:.3})"
+                    ),
+                ));
+            }
+            Some((
+                AccessPathIr::IndexDescendant,
+                format!("descendant scan //{name} resolved via label-range postings (forced)"),
+            ))
+        }
+        [pred] => {
+            let (child, probe) = match_value_eq_predicate(pred)?;
+            if mode == AccessPathMode::Auto {
+                let stats = stats?;
+                let numeric = matches!(probe, crate::ir::ValueProbeIr::Num(_));
+                if !stats.value_eq_indexable(&child, numeric) {
+                    return None;
+                }
+            }
+            let desc = match &probe {
+                crate::ir::ValueProbeIr::Str(s) => format!("//{name}[{child} = {s:?}]"),
+                crate::ir::ValueProbeIr::Num(v) => format!("//{name}[{child} = {v}]"),
+            };
+            Some((
+                AccessPathIr::IndexValueEq { child, probe },
+                format!("value predicate {desc} resolved via typed-value index"),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// Match the predicate shape `child::c = literal` (either operand
+/// order) under a general comparison. Returns the child name and the
+/// probe literal. Anything else — other operators, paths with
+/// predicates or extra steps, non-literal operands — declines, which is
+/// also what keeps the predicate provably position-free.
+fn match_value_eq_predicate(
+    pred: &crate::ir::Ir,
+) -> Option<(xqa_xdm::QName, crate::ir::ValueProbeIr)> {
+    use crate::ir::{Ir, NodeTestIr, PathStartIr, StepIr, ValueProbeIr};
+    use xqa_frontend::ast::Axis;
+    use xqa_xdm::CompOp;
+    let Ir::GeneralComp(CompOp::Eq, a, b) = pred else {
+        return None;
+    };
+    let child_of = |side: &Ir| -> Option<xqa_xdm::QName> {
+        let Ir::Path(p) = side else { return None };
+        if !matches!(p.start, PathStartIr::Context) {
+            return None;
+        }
+        let [StepIr::Axis {
+            axis: Axis::Child,
+            test: NodeTestIr::Name(c),
+            predicates,
+        }] = p.steps.as_slice()
+        else {
+            return None;
+        };
+        predicates.is_empty().then(|| c.clone())
+    };
+    let probe_of = |side: &Ir| -> Option<ValueProbeIr> {
+        match side {
+            Ir::Str(s) => Some(ValueProbeIr::Str(std::sync::Arc::clone(s))),
+            // All numeric literals compare to untyped leaf values under
+            // xs:double promotion, so one f64 probe covers them. NaN
+            // never equals anything; declining keeps the walk's
+            // comparison semantics authoritative.
+            Ir::Int(v) => Some(ValueProbeIr::Num(*v as f64)),
+            Ir::Dec(d) => Some(ValueProbeIr::Num(d.to_f64())),
+            Ir::Dbl(v) => (!v.is_nan()).then_some(ValueProbeIr::Num(*v)),
+            _ => None,
+        }
+    };
+    let try_sides = |path_side: &Ir, lit_side: &Ir| -> Option<(xqa_xdm::QName, ValueProbeIr)> {
+        Some((child_of(path_side)?, probe_of(lit_side)?))
+    };
+    try_sides(a, b).or_else(|| try_sides(b, a))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

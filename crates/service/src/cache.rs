@@ -1,8 +1,12 @@
 //! LRU cache of prepared query plans.
 //!
-//! Keyed by `(query text, EngineOptions)` — the two inputs that fully
-//! determine a compiled plan — so a server can skip the
-//! parse/compile/rewrite pipeline for repeated queries. The recency
+//! Keyed by `(query text, EngineOptions, catalog version)` — the
+//! inputs that fully determine a compiled plan — so a server can skip
+//! the parse/compile/rewrite pipeline for repeated queries. The
+//! catalog version comes from the statistics attached to the engine
+//! (zero when none): reindexing the catalog bumps the version, so
+//! plans whose access-path decisions were made against stale
+//! statistics are never served. The recency
 //! list is an intrusive doubly-linked list over a slot vector (no
 //! per-entry allocation, O(1) touch/insert/evict); a `Mutex` guards the
 //! structure while hit/miss counters are lock-free atomics so
@@ -14,7 +18,7 @@ use std::sync::{Arc, Mutex};
 
 use xqa_engine::{Engine, EngineOptions, EngineResult, PreparedQuery};
 
-type CacheKey = (String, EngineOptions);
+type CacheKey = (String, EngineOptions, u64);
 
 /// Sentinel for "no slot" in the intrusive list.
 const NIL: usize = usize::MAX;
@@ -178,7 +182,8 @@ impl PlanCache {
         engine: &Engine,
         query: &str,
     ) -> EngineResult<(Arc<PreparedQuery>, bool)> {
-        let key = (query.to_string(), engine.options());
+        let version = engine.statistics().map_or(0, |s| s.version());
+        let key = (query.to_string(), engine.options(), version);
         if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((plan, false));
@@ -296,6 +301,29 @@ mod tests {
         });
         cache.get_or_compile(&plain, "1 + 1").unwrap();
         cache.get_or_compile(&rewriting, "1 + 1").unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn different_catalog_versions_key_different_plans() {
+        use xqa_storage::{CatalogStatistics, DocumentStore};
+        let cache = PlanCache::new(8);
+        let store_stats = || {
+            let doc = xqa_xmlparse::parse_document("<r><v>1</v></r>").unwrap();
+            let store = DocumentStore::build(&doc);
+            Arc::new(CatalogStatistics::from_stores([&store]))
+        };
+        let a = Engine::new().with_statistics(store_stats());
+        let b = Engine::new().with_statistics(store_stats());
+        assert_ne!(
+            a.statistics().unwrap().version(),
+            b.statistics().unwrap().version(),
+            "store versions are monotonic"
+        );
+        cache.get_or_compile(&a, "1 + 1").unwrap();
+        // Same query text + options, newer catalog: recompiled.
+        cache.get_or_compile(&b, "1 + 1").unwrap();
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
     }

@@ -7,11 +7,13 @@
 //! [`crate::Server`] — each request gets its own context (cheap `Arc`
 //! clones) so per-request stats and profiles never interleave.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 
 use xqa_engine::DynamicContext;
+use xqa_storage::{CatalogStatistics, DocumentStore};
 use xqa_xdm::Document;
 use xqa_xmlparse::parse_document;
 
@@ -57,6 +59,13 @@ pub struct DocumentCatalog {
     context: Option<Arc<Document>>,
     documents: Vec<(String, Arc<Document>)>,
     collections: Vec<(String, Vec<Arc<Document>>)>,
+    /// Parsed files by canonicalized path: a path repeated across (or
+    /// within) collection lists parses once and shares one `Arc`.
+    file_cache: HashMap<String, Arc<Document>>,
+    /// Indexed stores built by [`DocumentCatalog::build_indexes`],
+    /// keyed by document serial.
+    stores: HashMap<u64, Arc<DocumentStore>>,
+    statistics: Option<Arc<CatalogStatistics>>,
 }
 
 impl DocumentCatalog {
@@ -65,28 +74,57 @@ impl DocumentCatalog {
         DocumentCatalog::default()
     }
 
+    /// Indexes (and statistics) reflect the documents present when
+    /// [`DocumentCatalog::build_indexes`] ran; any later mutation
+    /// discards them so stale stores can never be served.
+    fn invalidate_indexes(&mut self) {
+        self.stores.clear();
+        self.statistics = None;
+    }
+
+    /// Parse a file, serving repeats of the same path from the cache so
+    /// the document is parsed once and shared via one `Arc`.
+    fn load_file(&mut self, path: &Path) -> Result<Arc<Document>, CatalogError> {
+        // Canonicalize so `a.xml` and `./a.xml` hit the same entry;
+        // fall back to the literal path for files that vanish between
+        // listing and loading (the read below will report the error).
+        let key = std::fs::canonicalize(path)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|_| path.display().to_string());
+        if let Some(doc) = self.file_cache.get(&key) {
+            return Ok(Arc::clone(doc));
+        }
+        let doc = parse_named(&path.display().to_string(), &read_file(path)?)?;
+        self.file_cache.insert(key, Arc::clone(&doc));
+        Ok(doc)
+    }
+
     /// Set the context document (the initial context item) from a
     /// pre-built document.
     pub fn set_context(&mut self, doc: Arc<Document>) -> &mut Self {
+        self.invalidate_indexes();
         self.context = Some(doc);
         self
     }
 
     /// Set the context document from XML text.
     pub fn set_context_xml(&mut self, xml: &str) -> Result<&mut Self, CatalogError> {
+        self.invalidate_indexes();
         self.context = Some(parse_named("<context>", xml)?);
         Ok(self)
     }
 
     /// Set the context document from a file.
     pub fn set_context_file(&mut self, path: impl AsRef<Path>) -> Result<&mut Self, CatalogError> {
-        let path = path.as_ref();
-        self.context = Some(parse_named(&path.display().to_string(), &read_file(path)?)?);
+        self.invalidate_indexes();
+        let doc = self.load_file(path.as_ref())?;
+        self.context = Some(doc);
         Ok(self)
     }
 
     /// Register a pre-built document for `fn:doc("name")`.
     pub fn add_document(&mut self, name: impl Into<String>, doc: Arc<Document>) -> &mut Self {
+        self.invalidate_indexes();
         self.documents.push((name.into(), doc));
         self
     }
@@ -97,6 +135,7 @@ impl DocumentCatalog {
         name: impl Into<String>,
         xml: &str,
     ) -> Result<&mut Self, CatalogError> {
+        self.invalidate_indexes();
         let name = name.into();
         let doc = parse_named(&name, xml)?;
         self.documents.push((name, doc));
@@ -109,8 +148,8 @@ impl DocumentCatalog {
         name: impl Into<String>,
         path: impl AsRef<Path>,
     ) -> Result<&mut Self, CatalogError> {
-        let path = path.as_ref();
-        let doc = parse_named(&path.display().to_string(), &read_file(path)?)?;
+        self.invalidate_indexes();
+        let doc = self.load_file(path.as_ref())?;
         self.documents.push((name.into(), doc));
         Ok(self)
     }
@@ -121,24 +160,90 @@ impl DocumentCatalog {
         name: impl Into<String>,
         docs: Vec<Arc<Document>>,
     ) -> &mut Self {
+        self.invalidate_indexes();
         self.collections.push((name.into(), docs));
         self
     }
 
     /// Register a collection for `fn:collection("name")` from files, in
-    /// the given order.
+    /// the given order. A path repeated in the list (or already loaded
+    /// for another entry) is parsed once and shared.
     pub fn add_collection_files<P: AsRef<Path>>(
         &mut self,
         name: impl Into<String>,
         paths: &[P],
     ) -> Result<&mut Self, CatalogError> {
+        self.invalidate_indexes();
         let mut docs = Vec::with_capacity(paths.len());
         for path in paths {
-            let path = path.as_ref();
-            docs.push(parse_named(&path.display().to_string(), &read_file(path)?)?);
+            docs.push(self.load_file(path.as_ref())?);
         }
         self.collections.push((name.into(), docs));
         Ok(self)
+    }
+
+    /// Build an indexed [`DocumentStore`] for every distinct document
+    /// in the catalog (context document, named documents, collection
+    /// members — deduplicated by document identity) and derive the
+    /// catalog-wide [`CatalogStatistics`] the planner consults.
+    /// Subsequent [`DocumentCatalog::new_context`] calls register the
+    /// stores so queries can take the index access path. Returns the
+    /// statistics; calling again without mutations is a no-op rebuild.
+    pub fn build_indexes(&mut self) -> Arc<CatalogStatistics> {
+        let mut docs: Vec<Arc<Document>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut push = |doc: &Arc<Document>| {
+            if seen.insert(doc.serial()) {
+                docs.push(Arc::clone(doc));
+            }
+        };
+        if let Some(doc) = &self.context {
+            push(doc);
+        }
+        for (_, doc) in &self.documents {
+            push(doc);
+        }
+        for (_, members) in &self.collections {
+            for doc in members {
+                push(doc);
+            }
+        }
+        self.stores = docs
+            .iter()
+            .map(|doc| {
+                let store = Arc::new(DocumentStore::build(doc));
+                (doc.serial(), store)
+            })
+            .collect();
+        let stats = Arc::new(CatalogStatistics::from_stores(
+            self.stores.values().map(Arc::as_ref),
+        ));
+        self.statistics = Some(Arc::clone(&stats));
+        stats
+    }
+
+    /// The statistics from the last [`DocumentCatalog::build_indexes`],
+    /// if the catalog has not been mutated since.
+    pub fn statistics(&self) -> Option<&Arc<CatalogStatistics>> {
+        self.statistics.as_ref()
+    }
+
+    /// The catalog version: the highest store version among the built
+    /// indexes (0 when indexes have not been built). Strictly grows as
+    /// documents are (re)indexed, so it invalidates plan-cache entries
+    /// compiled against older statistics.
+    pub fn version(&self) -> u64 {
+        self.statistics.as_ref().map_or(0, |s| s.version())
+    }
+
+    /// Number of indexed document stores currently built.
+    pub fn indexed_document_count(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// Total estimated index heap footprint across built stores.
+    pub fn index_bytes(&self) -> u64 {
+        self.stores.values().map(|s| s.index_bytes()).sum()
     }
 
     /// Number of named documents.
@@ -170,6 +275,9 @@ impl DocumentCatalog {
         }
         for (name, docs) in &self.collections {
             ctx.register_collection(name.clone(), docs.iter().map(|d| d.root()).collect());
+        }
+        for store in self.stores.values() {
+            ctx.register_store(Arc::clone(store));
         }
         ctx
     }
@@ -225,6 +333,66 @@ mod tests {
             .add_document_file("x", "/nonexistent/path.xml")
             .unwrap_err();
         assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn repeated_collection_files_parse_once_and_share() {
+        let dir = std::env::temp_dir().join(format!("xqa-catalog-dedupe-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("doc.xml");
+        std::fs::write(&file, "<d><v>5</v></d>").unwrap();
+        let mut catalog = DocumentCatalog::new();
+        // The same file three times: twice in one list (once via a
+        // relative-ish ./ spelling) and again in a second collection.
+        let dotted = dir.join(".").join("doc.xml");
+        catalog
+            .add_collection_files("c", &[file.clone(), dotted, file.clone()])
+            .unwrap();
+        catalog
+            .add_collection_files("c2", std::slice::from_ref(&file))
+            .unwrap();
+        let ctx = catalog.new_context();
+        let collect = |name: &str| match ctx.collection(Some(name)) {
+            Some(nodes) => nodes.to_vec(),
+            None => panic!("collection {name} missing"),
+        };
+        let c = collect("c");
+        let c2 = collect("c2");
+        // Collection order (and multiplicity) is preserved...
+        assert_eq!(c.len(), 3);
+        assert_eq!(c2.len(), 1);
+        // ...but every entry is the same parsed document.
+        assert!(c[0].is_same_node(&c[1]));
+        assert!(c[0].is_same_node(&c[2]));
+        assert!(c[0].is_same_node(&c2[0]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_indexes_registers_stores_and_statistics() {
+        let mut catalog = DocumentCatalog::new();
+        catalog
+            .set_context_xml("<r><item><p>1</p></item><item><p>2</p></item></r>")
+            .unwrap();
+        catalog
+            .add_document_xml("aux", "<aux><p>3</p></aux>")
+            .unwrap();
+        let stats = catalog.build_indexes();
+        assert_eq!(catalog.indexed_document_count(), 2);
+        assert!(catalog.index_bytes() > 0);
+        assert_eq!(catalog.version(), stats.version());
+        assert!(catalog.version() > 0);
+        let p = xqa_xdm::QName::local("p");
+        assert_eq!(stats.element_count(&p), 3);
+        // Contexts built after indexing carry the stores.
+        let ctx = catalog.new_context();
+        assert_eq!(ctx.stores().count(), 2);
+        // Mutation invalidates: stale stores are never served.
+        catalog.add_document_xml("more", "<m/>").unwrap();
+        assert!(catalog.statistics().is_none());
+        assert_eq!(catalog.indexed_document_count(), 0);
+        let v2 = catalog.build_indexes().version();
+        assert!(v2 > stats.version());
     }
 
     #[test]

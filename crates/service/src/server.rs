@@ -128,10 +128,16 @@ impl Server {
         } else {
             config.workers
         };
+        // Index the server's copy of the catalog so every request
+        // context carries document stores, and hand the derived
+        // statistics to the engine for plan-time access-path decisions
+        // (the statistics version also keys the plan cache).
+        let mut catalog = catalog.clone();
+        let statistics = catalog.build_indexes();
         let shared = Arc::new(Shared {
-            engine: Engine::with_options(config.engine_options),
+            engine: Engine::with_options(config.engine_options).with_statistics(statistics),
             cache: PlanCache::new(config.plan_cache_capacity),
-            catalog: catalog.clone(),
+            catalog,
             metrics: Metrics::new(),
             totals: EvalStats::default(),
             op_tuples: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -392,6 +398,15 @@ fn render_metrics(shared: &Shared) -> String {
     );
     line("xqa_eval_seq_items_copied_total", stats.seq_items_copied);
     line("xqa_eval_seq_clones_shared_total", stats.seq_clones_shared);
+    line(
+        "xqa_catalog_documents",
+        shared.catalog.indexed_document_count() as u64,
+    );
+    line("xqa_catalog_version", shared.catalog.version());
+    line("xqa_storage_index_bytes", shared.catalog.index_bytes());
+    line("xqa_scan_index_hits_total", stats.scan_index_hits);
+    line("xqa_scan_index_tuples_total", stats.scan_index_tuples);
+    line("xqa_scan_walk_tuples_total", stats.scan_walk_tuples);
     for (i, kind) in OpKind::ALL.iter().enumerate() {
         let _ = writeln!(
             &mut out,

@@ -96,6 +96,16 @@ impl Document {
             id: 0,
         }
     }
+
+    /// Handle to an arbitrary node by arena id. Node ids are stable for
+    /// the lifetime of the (immutable) document, so an id recorded in an
+    /// external index resolves to the identical node later.
+    pub fn handle(self: &Arc<Self>, id: NodeId) -> Option<NodeHandle> {
+        ((id as usize) < self.nodes.len()).then(|| NodeHandle {
+            doc: Arc::clone(self),
+            id,
+        })
+    }
 }
 
 /// A reference to one node: the owning document plus the node's id.

@@ -1,0 +1,65 @@
+//! `XQA_FORCE_ACCESS_PATH` overrides the engine's configured access
+//! path at plan time. Lives in its own test binary: the variable is
+//! process-global, so this is the only test in the process that sets
+//! it (serially, for both values).
+
+use xqa::{AccessPathMode, DynamicContext, Engine, EngineOptions};
+
+fn indexed_ctx() -> (
+    DynamicContext,
+    std::sync::Arc<xqa::storage::CatalogStatistics>,
+) {
+    let doc = xqa::parse_document(
+        "<r><item><p>1</p></item><item><p>2</p></item><pad/><pad/><pad/><pad/></r>",
+    )
+    .unwrap();
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    ctx.index_documents();
+    let stats = std::sync::Arc::new(xqa::storage::CatalogStatistics::from_stores(
+        ctx.stores().map(std::sync::Arc::as_ref),
+    ));
+    (ctx, stats)
+}
+
+fn index_hits(engine: &Engine, ctx: &DynamicContext, query: &str) -> u64 {
+    let before = ctx.stats.snapshot();
+    let out = engine
+        .compile(query)
+        .expect("compile")
+        .run(ctx)
+        .expect("run");
+    assert_eq!(out[0].string_value(), "1", "query result drifted");
+    ctx.stats.snapshot().scan_index_hits - before.scan_index_hits
+}
+
+#[test]
+fn env_override_wins_over_engine_options() {
+    let (ctx, stats) = indexed_ctx();
+    let query = "count(//item[p = 2])";
+    let forced_index = Engine::with_options(EngineOptions {
+        access_path: AccessPathMode::Index,
+        ..Default::default()
+    })
+    .with_statistics(std::sync::Arc::clone(&stats));
+    let auto = Engine::with_options(EngineOptions::default())
+        .with_statistics(std::sync::Arc::clone(&stats));
+
+    // Baseline (no override): both engines take the index.
+    assert!(index_hits(&forced_index, &ctx, query) > 0);
+    assert!(index_hits(&auto, &ctx, query) > 0);
+
+    // walk override beats even an explicit Index option.
+    std::env::set_var("XQA_FORCE_ACCESS_PATH", "walk");
+    assert_eq!(index_hits(&forced_index, &ctx, query), 0);
+    assert_eq!(index_hits(&auto, &ctx, query), 0);
+
+    // index override forces annotation under default options.
+    std::env::set_var("XQA_FORCE_ACCESS_PATH", "index");
+    assert!(index_hits(&auto, &ctx, query) > 0);
+
+    // Unknown values are ignored, not errors.
+    std::env::set_var("XQA_FORCE_ACCESS_PATH", "bogus");
+    assert!(index_hits(&auto, &ctx, query) > 0);
+    std::env::remove_var("XQA_FORCE_ACCESS_PATH");
+}

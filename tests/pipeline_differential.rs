@@ -511,6 +511,143 @@ fn parallel_error_matches_serial() {
     assert_eq!(e1.to_string(), e4.to_string());
 }
 
+// ---- access paths -----------------------------------------------------
+//
+// Every query below is evaluated four ways — access path forced to
+// `walk` and forced to `index`, each at threads=1 and threads=4 —
+// against a context whose documents carry indexed stores. All four
+// serialized results must be byte-identical: the index path is a pure
+// access-method substitution, never a semantic one.
+
+fn indexed_orders_ctx() -> (
+    xqa::DynamicContext,
+    std::sync::Arc<xqa::storage::CatalogStatistics>,
+) {
+    let mut ctx = orders_ctx();
+    ctx.index_documents();
+    let stats = std::sync::Arc::new(xqa::storage::CatalogStatistics::from_stores(
+        ctx.stores().map(std::sync::Arc::as_ref),
+    ));
+    (ctx, stats)
+}
+
+fn assert_access_paths_identical(
+    query: &str,
+    ctx: &xqa::DynamicContext,
+    stats: &std::sync::Arc<xqa::storage::CatalogStatistics>,
+) {
+    use xqa::AccessPathMode;
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for threads in [1usize, 4] {
+        for mode in [AccessPathMode::Walk, AccessPathMode::Index] {
+            let engine = Engine::with_options(EngineOptions {
+                threads,
+                access_path: mode,
+                ..Default::default()
+            })
+            .with_statistics(std::sync::Arc::clone(stats));
+            let plan = engine
+                .compile(query)
+                .unwrap_or_else(|e| panic!("compile ({mode:?}, threads={threads}): {e}\n{query}"));
+            let out = plan
+                .run(ctx)
+                .unwrap_or_else(|e| panic!("run ({mode:?}, threads={threads}): {e}\n{query}"));
+            outputs.push((
+                format!("{mode:?} threads={threads}"),
+                serialize_sequence(&out),
+            ));
+        }
+    }
+    let (baseline_label, baseline) = &outputs[0];
+    for (label, out) in &outputs[1..] {
+        assert_eq!(
+            baseline, out,
+            "{baseline_label} and {label} disagree for:\n{query}"
+        );
+    }
+}
+
+/// The paper-workload corpus replayed as a walk-vs-index differential.
+/// Descendant scans, string and numeric value predicates, predicates
+/// the value index must refuse (non-leaf children, inequalities), and
+/// FLWOR pipelines above them all serialize byte-identically whichever
+/// access path resolves the scan.
+#[test]
+fn access_path_corpus_differential() {
+    let (ctx, stats) = indexed_orders_ctx();
+    let corpus = [
+        // plain descendant scans, high and low selectivity
+        "count(//lineitem)",
+        "count(//order)",
+        "for $m in //shipmode return string($m)",
+        // value-eq predicates: string probe, numeric probe, empty result
+        "count(//lineitem[returnflag = \"A\"])",
+        "count(//lineitem[quantity = 10])",
+        "count(//lineitem[quantity = 999999])",
+        "for $li in //lineitem[linestatus = \"O\"] return string($li/partkey)",
+        // value index must refuse: non-leaf child, inequality, doubled preds
+        "count(//order[customer = \"x\"])",
+        "count(//lineitem[quantity > 10])",
+        "count(//lineitem[quantity = 10][returnflag = \"A\"])",
+        // descendant scan feeding the paper's grouping pipeline
+        "for $li in //order/lineitem \
+         group by $li/shipmode into $m \
+         nest $li into $items \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+        // value predicate below a top-k ranking pipeline
+        "(for $li in //lineitem[returnflag = \"R\"] \
+          order by number($li/extendedprice) descending \
+          return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>)\
+         [position() le 5]",
+        // nested rescan: the inner path is re-annotated per tuple
+        "for $m in distinct-values(//lineitem/shipmode) \
+         let $n := count(//lineitem[shipmode = $m]) \
+         order by string($m) \
+         return <g>{string($m)}:{$n}</g>",
+    ];
+    for query in corpus {
+        assert_access_paths_identical(query, &ctx, &stats);
+    }
+}
+
+/// The forced-index corpus must actually exercise the index: a run with
+/// everything forced to `index` records index hits, and the same
+/// queries forced to `walk` record none.
+#[test]
+fn access_path_differential_takes_the_index() {
+    use xqa::AccessPathMode;
+    let (ctx, stats) = indexed_orders_ctx();
+    let query = "count(//lineitem[quantity = 10]) + count(//lineitem)";
+    let run = |mode: AccessPathMode| {
+        let engine = Engine::with_options(EngineOptions {
+            access_path: mode,
+            threads: 1,
+            ..Default::default()
+        })
+        .with_statistics(std::sync::Arc::clone(&stats));
+        let before = ctx.stats.snapshot();
+        engine
+            .compile(query)
+            .expect("compile")
+            .run(&ctx)
+            .expect("run");
+        let after = ctx.stats.snapshot();
+        (
+            after.scan_index_hits - before.scan_index_hits,
+            after.scan_walk_tuples - before.scan_walk_tuples,
+        )
+    };
+    let (index_hits, _) = run(AccessPathMode::Index);
+    assert!(
+        index_hits >= 2,
+        "forced index run recorded {index_hits} hits"
+    );
+    let (walk_hits, walk_tuples) = run(AccessPathMode::Walk);
+    assert_eq!(walk_hits, 0, "forced walk run must not touch the index");
+    assert!(walk_tuples > 0, "forced walk run must tree-walk");
+}
+
 #[test]
 fn parallel_profile_reports_workers() {
     // A profiled parallel run records the widest worker fan-out.
