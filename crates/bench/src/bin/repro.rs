@@ -295,6 +295,10 @@ fn topk(sizes: &[usize]) {
         if let Some(profile) = ctx.take_profile() {
             println!("per-operator profile ({size} lineitems, streaming):");
             print!("{}", fast.explain_analyze(&profile));
+            println!(
+                "expression evaluation: {} compiled-program evals, {} tree-walker fallbacks",
+                profile.expr_compiled, profile.expr_fallback
+            );
             println!();
         }
     }

@@ -16,6 +16,8 @@
 //!       --detect-groupby        enable the implicit group-by rewrite
 //!       --threads N             intra-query parallelism (default: all cores;
 //!                               1 = serial)
+//!       --expr-eval MODE        scalar expression evaluation: auto | bytecode
+//!                               | tree (default auto)
 //!   -h, --help                  this help
 //!
 //! xqa serve [OPTIONS]           start the HTTP query service
@@ -30,14 +32,15 @@
 //!       --cache-size N          prepared-plan cache capacity (default 128)
 //!       --slow-query-ms N       log queries slower than N ms to stderr
 //!       --detect-groupby        as above
+//!       --expr-eval MODE        as above (auto|bytecode|tree)
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use xqa::{
     parse_document, serialize_sequence_with, AccessPathMode, Clock, DynamicContext, Engine,
-    EngineOptions, MonotonicClock, SerializeOptions, TickClock, TracePhase, TraceRing, TraceSink,
-    Tracer,
+    EngineOptions, ExprEvalMode, MonotonicClock, SerializeOptions, TickClock, TracePhase,
+    TraceRing, TraceSink, Tracer,
 };
 use xqa_service::{DocumentCatalog, Server, ServiceConfig};
 
@@ -65,6 +68,7 @@ struct Args {
     detect_groupby: bool,
     threads: usize,
     access_path: AccessPathMode,
+    expr_eval: ExprEvalMode,
 }
 
 const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
@@ -94,6 +98,10 @@ options:
                             walk (always tree-walk), index (force index
                             scans); default auto, overridable with
                             XQA_FORCE_ACCESS_PATH
+      --expr-eval MODE      scalar expression evaluation: auto (bytecode
+                            where lowering succeeds), bytecode (same,
+                            explicit), tree (always tree-walk); default
+                            auto, overridable with XQA_FORCE_EXPR_EVAL
   -h, --help                show this help
 serve options:
       --addr HOST:PORT      bind address (default 127.0.0.1:8399)
@@ -102,7 +110,8 @@ serve options:
                             all cores, or XQA_THREADS; 1 = serial)
       --cache-size N        prepared-plan cache capacity (default 128)
       --slow-query-ms N     log queries slower than N ms to stderr
-      --access-path MODE    as above (auto|walk|index)";
+      --access-path MODE    as above (auto|walk|index)
+      --expr-eval MODE      as above (auto|bytecode|tree)";
 
 fn parse_doc_spec(spec: &str) -> Result<(String, String), String> {
     let (name, file) = spec
@@ -143,6 +152,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         detect_groupby: false,
         threads: 0,
         access_path: AccessPathMode::Auto,
+        expr_eval: ExprEvalMode::Auto,
     };
     let mut it = raw;
     let mut positional: Vec<String> = Vec::new();
@@ -186,6 +196,11 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 let mode = it.next().ok_or("--access-path requires a mode")?;
                 args.access_path = AccessPathMode::parse(&mode)
                     .ok_or_else(|| format!("invalid access path {mode} (auto|walk|index)"))?;
+            }
+            "--expr-eval" => {
+                let mode = it.next().ok_or("--expr-eval requires a mode")?;
+                args.expr_eval = ExprEvalMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid expr eval mode {mode} (auto|bytecode|tree)"))?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -260,6 +275,7 @@ fn run(args: &Args) -> Result<(), String> {
         detect_implicit_groupby: args.detect_groupby,
         threads: args.threads,
         access_path: args.access_path,
+        expr_eval: args.expr_eval,
         ..Default::default()
     })
     .with_statistics(statistics);
@@ -341,6 +357,7 @@ struct ServeArgs {
     slow_query_ms: Option<u64>,
     detect_groupby: bool,
     access_path: AccessPathMode,
+    expr_eval: ExprEvalMode,
 }
 
 fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -355,6 +372,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         slow_query_ms: None,
         detect_groupby: false,
         access_path: AccessPathMode::Auto,
+        expr_eval: ExprEvalMode::Auto,
     };
     let mut it = raw;
     while let Some(arg) = it.next() {
@@ -401,6 +419,11 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
                 args.access_path = AccessPathMode::parse(&mode)
                     .ok_or_else(|| format!("invalid access path {mode} (auto|walk|index)"))?;
             }
+            "--expr-eval" => {
+                let mode = it.next().ok_or("--expr-eval requires a mode")?;
+                args.expr_eval = ExprEvalMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid expr eval mode {mode} (auto|bytecode|tree)"))?;
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -429,6 +452,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
             detect_implicit_groupby: args.detect_groupby,
             threads: args.query_threads,
             access_path: args.access_path,
+            expr_eval: args.expr_eval,
             ..Default::default()
         },
         slow_query_ms: args.slow_query_ms,

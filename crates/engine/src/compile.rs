@@ -581,6 +581,9 @@ impl Compiler {
             return_at,
             return_expr,
             parallel,
+            // Filled by the engine's expression-compilation pass
+            // (`bytecode::lower_query`) after all IR rewrites.
+            programs: Vec::new(),
         })))
     }
 

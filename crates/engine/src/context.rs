@@ -53,6 +53,12 @@ pub struct EvalStats {
     pub scan_index_tuples: AtomicU64,
     /// Tuples produced by tree-walk descendant scans.
     pub scan_walk_tuples: AtomicU64,
+    /// Scalar expression evaluations served by a compiled bytecode
+    /// program.
+    pub expr_compiled: AtomicU64,
+    /// Scalar expression evaluations that fell back to the IR
+    /// tree-walker because lowering declined the expression.
+    pub expr_fallback: AtomicU64,
 }
 
 /// A plain-value copy of [`EvalStats`] taken at one instant.
@@ -82,6 +88,10 @@ pub struct EvalStatsSnapshot {
     pub scan_index_tuples: u64,
     /// Tuples produced by tree-walk descendant scans.
     pub scan_walk_tuples: u64,
+    /// Scalar expression evaluations served by compiled bytecode.
+    pub expr_compiled: u64,
+    /// Scalar expression evaluations that fell back to the tree-walker.
+    pub expr_fallback: u64,
 }
 
 impl EvalStats {
@@ -99,6 +109,8 @@ impl EvalStats {
         self.scan_index_hits.store(0, Ordering::Relaxed);
         self.scan_index_tuples.store(0, Ordering::Relaxed);
         self.scan_walk_tuples.store(0, Ordering::Relaxed);
+        self.expr_compiled.store(0, Ordering::Relaxed);
+        self.expr_fallback.store(0, Ordering::Relaxed);
     }
 
     /// Add `n` to the nodes-visited counter.
@@ -154,6 +166,16 @@ impl EvalStats {
         self.scan_walk_tuples.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add `n` to the compiled-expression evaluation counter.
+    pub fn add_expr_compiled(&self, n: u64) {
+        self.expr_compiled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the tree-walker fallback evaluation counter.
+    pub fn add_expr_fallback(&self, n: u64) {
+        self.expr_fallback.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Add a snapshot's counters into this block (used by the service
     /// to aggregate per-request snapshots into server-wide totals).
     pub fn add_snapshot(&self, s: &EvalStatsSnapshot) {
@@ -180,6 +202,10 @@ impl EvalStats {
             .fetch_add(s.scan_index_tuples, Ordering::Relaxed);
         self.scan_walk_tuples
             .fetch_add(s.scan_walk_tuples, Ordering::Relaxed);
+        self.expr_compiled
+            .fetch_add(s.expr_compiled, Ordering::Relaxed);
+        self.expr_fallback
+            .fetch_add(s.expr_fallback, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -197,6 +223,8 @@ impl EvalStats {
             scan_index_hits: self.scan_index_hits.load(Ordering::Relaxed),
             scan_index_tuples: self.scan_index_tuples.load(Ordering::Relaxed),
             scan_walk_tuples: self.scan_walk_tuples.load(Ordering::Relaxed),
+            expr_compiled: self.expr_compiled.load(Ordering::Relaxed),
+            expr_fallback: self.expr_fallback.load(Ordering::Relaxed),
         }
     }
 }
@@ -208,7 +236,8 @@ impl EvalStatsSnapshot {
             "{{\"nodes_visited\":{},\"tuples_grouped\":{},\"groups_emitted\":{},\
              \"comparisons\":{},\"tuples_produced\":{},\"tuples_pruned_filter\":{},\
              \"tuples_pruned_topk\":{},\"seq_items_copied\":{},\"seq_clones_shared\":{},\
-             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{}}}",
+             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{},\
+             \"expr_compiled\":{},\"expr_fallback\":{}}}",
             self.nodes_visited,
             self.tuples_grouped,
             self.groups_emitted,
@@ -220,7 +249,9 @@ impl EvalStatsSnapshot {
             self.seq_clones_shared,
             self.scan_index_hits,
             self.scan_index_tuples,
-            self.scan_walk_tuples
+            self.scan_walk_tuples,
+            self.expr_compiled,
+            self.expr_fallback
         )
     }
 }
@@ -497,7 +528,7 @@ mod tests {
     fn snapshot_json_shape() {
         let json = EvalStatsSnapshot::default().to_json();
         assert!(json.starts_with("{\"nodes_visited\":0"));
-        assert!(json.ends_with("\"scan_walk_tuples\":0}"));
+        assert!(json.ends_with("\"expr_fallback\":0}"));
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<
                 .scan_walk_tuples
                 .saturating_sub(before.scan_walk_tuples),
         );
+        profiler.add_expr(
+            after.expr_compiled.saturating_sub(before.expr_compiled),
+            after.expr_fallback.saturating_sub(before.expr_fallback),
+        );
     }
     result
 }
@@ -158,8 +162,8 @@ impl<'a> Interpreter<'a> {
                 None => Err(no_context("'.'")),
             },
             Ir::Range(a, b) => {
-                let lo = self.eval_opt_integer(a, env, "range start")?;
-                let hi = self.eval_opt_integer(b, env, "range end")?;
+                let lo = range_bound(&self.eval(a, env)?, "range start")?;
+                let hi = range_bound(&self.eval(b, env)?, "range end")?;
                 match (lo, hi) {
                     (Some(lo), Some(hi)) if lo <= hi => Ok((lo..=hi).map(Item::from).collect()),
                     _ => Ok(Sequence::Empty),
@@ -172,43 +176,17 @@ impl<'a> Interpreter<'a> {
             }
             Ir::Neg(a) => {
                 let v = self.eval(a, env)?;
-                match opt_numeric(&v, "unary minus")? {
-                    None => Ok(Sequence::Empty),
-                    Some(AtomicValue::Integer(i)) => {
-                        Ok(Sequence::one(i.checked_neg().ok_or_else(overflow)?))
-                    }
-                    Some(AtomicValue::Decimal(d)) => {
-                        Ok(Sequence::one(Item::Atomic(AtomicValue::Decimal(d.neg()))))
-                    }
-                    Some(AtomicValue::Double(d)) => Ok(Sequence::one(-d)),
-                    Some(_) => unreachable!("opt_numeric returns numerics"),
-                }
+                eval_neg(&v)
             }
             Ir::GeneralComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
                 let rhs = self.eval(b, env)?;
-                self.stats.add_comparisons((lhs.len() * rhs.len()) as u64);
-                Ok(Sequence::one(
-                    general_compare(&lhs, &rhs, *op).map_err(EngineError::from)?,
-                ))
+                eval_general_comp(*op, &lhs, &rhs, self.stats)
             }
             Ir::ValueComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
                 let rhs = self.eval(b, env)?;
-                let la = opt_atomic(&lhs, "value comparison")?;
-                let ra = opt_atomic(&rhs, "value comparison")?;
-                match (la, ra) {
-                    (Some(la), Some(ra)) => {
-                        self.stats.add_comparisons(1);
-                        // Value comparisons treat untyped operands as strings.
-                        let la = untyped_to_string(la);
-                        let ra = untyped_to_string(ra);
-                        Ok(Sequence::one(
-                            xqa_xdm::value_compare(&la, &ra, *op).map_err(EngineError::from)?,
-                        ))
-                    }
-                    _ => Ok(Sequence::Empty),
-                }
+                eval_value_comp(*op, &lhs, &rhs, self.stats)
             }
             Ir::NodeComp(op, a, b) => {
                 let lhs = self.eval(a, env)?;
@@ -338,28 +316,11 @@ impl<'a> Interpreter<'a> {
             }
             Ir::Castable(a, target, optional) => {
                 let v = self.eval(a, env)?;
-                let ok = match opt_atomic(&v, "castable") {
-                    Err(_) => false, // more than one item is never castable
-                    Ok(None) => *optional,
-                    Ok(Some(v)) => cast_atomic(&v, *target).is_ok(),
-                };
-                Ok(Sequence::one(ok))
+                Ok(eval_castable(&v, *target, *optional))
             }
             Ir::Cast(a, target, optional) => {
                 let v = self.eval(a, env)?;
-                match opt_atomic(&v, "cast")? {
-                    None => {
-                        if *optional {
-                            Ok(Sequence::Empty)
-                        } else {
-                            Err(EngineError::dynamic(
-                                ErrorCode::XPTY0004,
-                                "cast of an empty sequence (use 'cast as T?' to allow it)",
-                            ))
-                        }
-                    }
-                    Some(v) => Ok(Sequence::one(Item::Atomic(cast_atomic(&v, *target)?))),
-                }
+                eval_cast(&v, *target, *optional)
             }
         }
     }
@@ -367,26 +328,6 @@ impl<'a> Interpreter<'a> {
     pub(crate) fn eval_ebv(&self, ir: &Ir, env: &mut Env) -> EngineResult<bool> {
         let v = self.eval(ir, env)?;
         effective_boolean_value(&v).map_err(EngineError::from)
-    }
-
-    fn eval_opt_integer(&self, ir: &Ir, env: &mut Env, what: &str) -> EngineResult<Option<i64>> {
-        let v = self.eval(ir, env)?;
-        match opt_numeric(&v, what)? {
-            None => Ok(None),
-            Some(AtomicValue::Integer(i)) => Ok(Some(i)),
-            Some(AtomicValue::Decimal(d)) => Ok(Some(d.to_i64()?)),
-            Some(AtomicValue::Double(d)) => {
-                if d.fract() == 0.0 && d.is_finite() {
-                    Ok(Some(d as i64))
-                } else {
-                    Err(EngineError::dynamic(
-                        ErrorCode::XPTY0004,
-                        format!("{what}: not an integer"),
-                    ))
-                }
-            }
-            Some(_) => unreachable!("opt_numeric returns numerics"),
-        }
     }
 
     fn eval_quantified(
@@ -999,6 +940,112 @@ pub(crate) fn untyped_to_string(v: AtomicValue) -> AtomicValue {
     }
 }
 
+// ---- scalar kernels shared with the bytecode evaluator ---------------
+//
+// Each kernel is the single implementation of one scalar op's dynamic
+// semantics, called by both the tree-walking arms above and the
+// compiled programs in `crate::bytecode` — results and error codes
+// cannot drift between the two evaluation strategies.
+
+/// Unary minus over an atomized optional numeric singleton.
+pub(crate) fn eval_neg(v: &[Item]) -> EngineResult<Sequence> {
+    match opt_numeric(v, "unary minus")? {
+        None => Ok(Sequence::Empty),
+        Some(AtomicValue::Integer(i)) => Ok(Sequence::one(i.checked_neg().ok_or_else(overflow)?)),
+        Some(AtomicValue::Decimal(d)) => {
+            Ok(Sequence::one(Item::Atomic(AtomicValue::Decimal(d.neg()))))
+        }
+        Some(AtomicValue::Double(d)) => Ok(Sequence::one(-d)),
+        Some(_) => unreachable!("opt_numeric returns numerics"),
+    }
+}
+
+/// Value comparison (`eq`, `lt`, ...): optional singletons, untyped
+/// operands compared as strings, empty when either side is empty.
+pub(crate) fn eval_value_comp(
+    op: xqa_xdm::CompOp,
+    lhs: &[Item],
+    rhs: &[Item],
+    stats: &EvalStats,
+) -> EngineResult<Sequence> {
+    let la = opt_atomic(lhs, "value comparison")?;
+    let ra = opt_atomic(rhs, "value comparison")?;
+    match (la, ra) {
+        (Some(la), Some(ra)) => {
+            stats.add_comparisons(1);
+            // Value comparisons treat untyped operands as strings.
+            let la = untyped_to_string(la);
+            let ra = untyped_to_string(ra);
+            Ok(Sequence::one(
+                xqa_xdm::value_compare(&la, &ra, op).map_err(EngineError::from)?,
+            ))
+        }
+        _ => Ok(Sequence::Empty),
+    }
+}
+
+/// General (existential) comparison (`=`, `<`, ...).
+pub(crate) fn eval_general_comp(
+    op: xqa_xdm::CompOp,
+    lhs: &[Item],
+    rhs: &[Item],
+    stats: &EvalStats,
+) -> EngineResult<Sequence> {
+    stats.add_comparisons((lhs.len() * rhs.len()) as u64);
+    Ok(Sequence::one(
+        general_compare(lhs, rhs, op).map_err(EngineError::from)?,
+    ))
+}
+
+/// `cast as`: empty input is an error unless the target is optional.
+pub(crate) fn eval_cast(v: &[Item], target: CastTarget, optional: bool) -> EngineResult<Sequence> {
+    match opt_atomic(v, "cast")? {
+        None => {
+            if optional {
+                Ok(Sequence::Empty)
+            } else {
+                Err(EngineError::dynamic(
+                    ErrorCode::XPTY0004,
+                    "cast of an empty sequence (use 'cast as T?' to allow it)",
+                ))
+            }
+        }
+        Some(v) => Ok(Sequence::one(Item::Atomic(cast_atomic(&v, target)?))),
+    }
+}
+
+/// `castable as` — never raises; multi-item inputs are simply not
+/// castable.
+pub(crate) fn eval_castable(v: &[Item], target: CastTarget, optional: bool) -> Sequence {
+    let ok = match opt_atomic(v, "castable") {
+        Err(_) => false, // more than one item is never castable
+        Ok(None) => optional,
+        Ok(Some(v)) => cast_atomic(&v, target).is_ok(),
+    };
+    Sequence::one(ok)
+}
+
+/// A range bound: an atomized optional numeric singleton coerced to an
+/// integer (whole doubles allowed, anything fractional is a type error).
+pub(crate) fn range_bound(v: &[Item], what: &str) -> EngineResult<Option<i64>> {
+    match opt_numeric(v, what)? {
+        None => Ok(None),
+        Some(AtomicValue::Integer(i)) => Ok(Some(i)),
+        Some(AtomicValue::Decimal(d)) => Ok(Some(d.to_i64()?)),
+        Some(AtomicValue::Double(d)) => {
+            if d.fract() == 0.0 && d.is_finite() {
+                Ok(Some(d as i64))
+            } else {
+                Err(EngineError::dynamic(
+                    ErrorCode::XPTY0004,
+                    format!("{what}: not an integer"),
+                ))
+            }
+        }
+        Some(_) => unreachable!("opt_numeric returns numerics"),
+    }
+}
+
 /// Atomized optional singleton coerced to a numeric (untyped → double).
 fn opt_numeric(seq: &[Item], what: &str) -> EngineResult<Option<AtomicValue>> {
     match opt_atomic(seq, what)? {
@@ -1049,7 +1096,7 @@ fn to_decimal(v: &AtomicValue) -> EngineResult<Decimal> {
     })
 }
 
-fn integer_arith(op: ArithOp, x: i64, y: i64) -> EngineResult<AtomicValue> {
+pub(crate) fn integer_arith(op: ArithOp, x: i64, y: i64) -> EngineResult<AtomicValue> {
     Ok(match op {
         ArithOp::Add => AtomicValue::Integer(x.checked_add(y).ok_or_else(overflow)?),
         ArithOp::Sub => AtomicValue::Integer(x.checked_sub(y).ok_or_else(overflow)?),
@@ -1076,7 +1123,7 @@ fn integer_arith(op: ArithOp, x: i64, y: i64) -> EngineResult<AtomicValue> {
     })
 }
 
-fn decimal_arith(op: ArithOp, x: &Decimal, y: &Decimal) -> EngineResult<AtomicValue> {
+pub(crate) fn decimal_arith(op: ArithOp, x: &Decimal, y: &Decimal) -> EngineResult<AtomicValue> {
     Ok(match op {
         ArithOp::Add => AtomicValue::Decimal(x.checked_add(y)?),
         ArithOp::Sub => AtomicValue::Decimal(x.checked_sub(y)?),
@@ -1089,7 +1136,7 @@ fn decimal_arith(op: ArithOp, x: &Decimal, y: &Decimal) -> EngineResult<AtomicVa
     })
 }
 
-fn double_arith(op: ArithOp, x: f64, y: f64) -> EngineResult<AtomicValue> {
+pub(crate) fn double_arith(op: ArithOp, x: f64, y: f64) -> EngineResult<AtomicValue> {
     Ok(match op {
         ArithOp::Add => AtomicValue::Double(x + y),
         ArithOp::Sub => AtomicValue::Double(x - y),

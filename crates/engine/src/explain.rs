@@ -5,6 +5,7 @@
 //! single scan feeding one `GroupBy`, while the `Q` plan is a
 //! `distinct-values` scan with a *nested re-scan per tuple*.
 
+use crate::bytecode::ExprPlan;
 use crate::functions::Builtin;
 use crate::ir::*;
 use crate::profile::QueryProfile;
@@ -75,6 +76,11 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
         out,
         "index scans: hits={} index_tuples={} walk_tuples={}",
         profile.scan_index_hits, profile.scan_index_tuples, profile.scan_walk_tuples
+    );
+    let _ = writeln!(
+        out,
+        "expr: compiled={} fallback={}",
+        profile.expr_compiled, profile.expr_fallback
     );
     out
 }
@@ -183,8 +189,9 @@ fn write_ir(out: &mut String, threads: usize, ir: &Ir, depth: usize) {
                 depth + 1,
                 &format!("pipeline: {}", render_plan(f, threads)),
             );
-            for clause in &f.clauses {
-                write_clause(out, threads, clause, depth + 1);
+            for (i, clause) in f.clauses.iter().enumerate() {
+                let plan = f.programs.get(i).and_then(Option::as_ref);
+                write_clause(out, threads, clause, plan, depth + 1);
             }
             match f.return_at {
                 Some(slot) => line(out, depth + 1, &format!("return at slot{slot}")),
@@ -306,7 +313,25 @@ fn write_ir(out: &mut String, threads: usize, ir: &Ir, depth: usize) {
     }
 }
 
-fn write_clause(out: &mut String, threads: usize, clause: &ClauseIr, depth: usize) {
+/// The clause-line suffix naming how the clause's expression runs:
+/// through a compiled bytecode program, through the tree-walker after
+/// lowering declined, or unannotated when the expression-compilation
+/// pass never ran (tree mode, or IR compiled without an engine).
+fn expr_tag(plan: Option<&ExprPlan>) -> &'static str {
+    match plan {
+        Some(ExprPlan::Compiled(_)) => " [compiled]",
+        Some(ExprPlan::Interpreted) => " [interpreted]",
+        None => "",
+    }
+}
+
+fn write_clause(
+    out: &mut String,
+    threads: usize,
+    clause: &ClauseIr,
+    plan: Option<&ExprPlan>,
+    depth: usize,
+) {
     match clause {
         ClauseIr::For {
             slot,
@@ -315,15 +340,19 @@ fn write_clause(out: &mut String, threads: usize, clause: &ClauseIr, depth: usiz
             ..
         } => {
             let at = at_slot.map(|s| format!(" at slot{s}")).unwrap_or_default();
-            line(out, depth, &format!("for slot{slot}{at} in"));
+            line(
+                out,
+                depth,
+                &format!("for slot{slot}{at} in{}", expr_tag(plan)),
+            );
             write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Let { slot, expr, .. } => {
-            line(out, depth, &format!("let slot{slot} :="));
+            line(out, depth, &format!("let slot{slot} :={}", expr_tag(plan)));
             write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Where(cond) => {
-            line(out, depth, "where");
+            line(out, depth, &format!("where{}", expr_tag(plan)));
             write_ir(out, threads, cond, depth + 1);
         }
         ClauseIr::Count { slot } => {

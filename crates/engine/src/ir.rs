@@ -231,6 +231,14 @@ pub struct FlworIr {
     /// happens is decided at run time from the effective thread count
     /// and the input size.
     pub parallel: bool,
+    /// Per-clause expression programs, aligned with `clauses` — the
+    /// output of [`crate::bytecode::lower_query`]. `Some(Compiled)`
+    /// for clause expressions lowered to register programs,
+    /// `Some(Interpreted)` for eligible expressions the lowering
+    /// declined, `None` for clause kinds without a scalar expression.
+    /// Empty (the construction default) until the engine's expression
+    /// compilation pass runs, or when `expr_eval` is `Tree`.
+    pub programs: Vec<Option<crate::bytecode::ExprPlan>>,
 }
 
 /// One operator of the compiled pipeline plan.

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod casts;
 pub mod compile;
 pub mod context;
@@ -77,6 +78,11 @@ pub struct EngineOptions {
     /// environment variable (`walk` | `index`) overrides at compile
     /// time, mirroring `XQA_THREADS`.
     pub access_path: AccessPathMode,
+    /// How FLWOR clause expressions are evaluated (see [`ExprEvalMode`]).
+    /// `Auto` (the default) compiles the scalar subset to register
+    /// programs; the `XQA_FORCE_EXPR_EVAL` environment variable
+    /// (`bytecode` | `tree`) overrides at compile time.
+    pub expr_eval: ExprEvalMode,
 }
 
 impl Default for EngineOptions {
@@ -87,6 +93,7 @@ impl Default for EngineOptions {
             topk_pushdown: true,
             threads: 0,
             access_path: AccessPathMode::Auto,
+            expr_eval: ExprEvalMode::Auto,
         }
     }
 }
@@ -137,6 +144,56 @@ impl AccessPathMode {
 pub fn resolve_access_path(requested: AccessPathMode) -> AccessPathMode {
     if let Ok(v) = std::env::var("XQA_FORCE_ACCESS_PATH") {
         if let Some(mode) = AccessPathMode::parse(&v) {
+            return mode;
+        }
+    }
+    requested
+}
+
+/// Plan-time expression-evaluation policy for FLWOR clause expressions
+/// (`for` bindings, `let` values, `where` conditions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ExprEvalMode {
+    /// Compile the scalar subset to register programs (the bytecode
+    /// path); expressions outside the subset stay on the tree-walker
+    /// per expression, silently. Currently identical to `Bytecode` —
+    /// the lowering itself decides per expression.
+    #[default]
+    Auto,
+    /// Same as `Auto`: lower everything the scalar subset covers.
+    Bytecode,
+    /// Never lower: every expression evaluates on the IR tree-walker
+    /// (the pre-bytecode behavior, kept as the differential baseline).
+    Tree,
+}
+
+impl ExprEvalMode {
+    /// The wire/CLI name (`auto` | `bytecode` | `tree`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExprEvalMode::Auto => "auto",
+            ExprEvalMode::Bytecode => "bytecode",
+            ExprEvalMode::Tree => "tree",
+        }
+    }
+
+    /// Parse a wire/CLI name; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<ExprEvalMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(ExprEvalMode::Auto),
+            "bytecode" => Some(ExprEvalMode::Bytecode),
+            "tree" => Some(ExprEvalMode::Tree),
+            _ => None,
+        }
+    }
+}
+
+/// The effective expression-evaluation mode: `XQA_FORCE_EXPR_EVAL`
+/// (`bytecode` | `tree`) wins over the engine option, mirroring
+/// [`resolve_access_path`]. Unknown values are ignored, not errors.
+pub fn resolve_expr_eval(requested: ExprEvalMode) -> ExprEvalMode {
+    if let Ok(v) = std::env::var("XQA_FORCE_EXPR_EVAL") {
+        if let Some(mode) = ExprEvalMode::parse(&v) {
             return mode;
         }
     }
@@ -347,6 +404,26 @@ impl Engine {
             .into_iter()
             .map(note(RewriteKind::IndexScan)),
         );
+        // Expression compilation runs last: every earlier rewrite
+        // (folding, top-k pushdown, path fusion, index annotation)
+        // mutates the IR the programs are lowered from.
+        if resolve_expr_eval(self.options.expr_eval) != ExprEvalMode::Tree {
+            let summary = bytecode::lower_query(&mut compiled);
+            if let Some(t) = tracer {
+                if !(summary.lowered.is_empty() && summary.interpreted.is_empty()) {
+                    t.emit(
+                        TracePhase::CompileExpr,
+                        format!(
+                            "expr bytecode: lowered {} [{}], interpreted {} [{}]",
+                            summary.lowered.len(),
+                            summary.lowered.join(", "),
+                            summary.interpreted.len(),
+                            summary.interpreted.join(", "),
+                        ),
+                    );
+                }
+            }
+        }
         if let Some(t) = tracer {
             for r in &rewrites {
                 t.emit(

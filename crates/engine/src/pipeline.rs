@@ -24,6 +24,7 @@
 //! binding in a body has a globally unique slot ([`Ir::Quantified`]
 //! evaluation already relies on the same contract).
 
+use crate::bytecode::{ExprPlan, ExprProgram};
 use crate::context::{EvalStats, Focus};
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{Env, Interpreter};
@@ -159,13 +160,14 @@ fn run_serial(
                 at_slot: *at_slot,
                 ty: ty.as_ref(),
                 expr,
+                expr_eval: ExprEval::new(flwor_plan(f, 0)),
                 batch: Vec::new().into_iter(),
                 items: items.into_iter(),
                 item_pos: 0,
                 base: Tuple::default(),
                 input_done: true,
             }),
-            (_, _, clause) => clause_source(clause, source),
+            (_, _, clause) => clause_source(clause, flwor_plan(f, i), source),
         };
         if profiler.is_some() {
             let c = Rc::new(OpCounters::default());
@@ -193,8 +195,87 @@ fn run_serial(
     }
 }
 
+/// The clause's compiled-expression plan, tolerating the empty table
+/// tree mode and engine-less compilation leave behind.
+fn flwor_plan(f: &FlworIr, i: usize) -> Option<&ExprPlan> {
+    f.programs.get(i).and_then(Option::as_ref)
+}
+
+/// Per-operator expression-evaluation state: the compiled bytecode
+/// program when lowering produced one, the register scratch it runs in
+/// (sized once, reused across every tuple the operator sees), and
+/// locally batched counter updates flushed to the shared stats block
+/// once per output batch instead of once per tuple.
+///
+/// Programs are total — they raise exactly the errors the tree-walker
+/// would — so an operator holding a `Compiled` plan never consults the
+/// interpreter for its expression. `Interpreted` means lowering
+/// declined the expression at compile time: the tree-walker evaluates
+/// it and each evaluation counts as an `expr_fallback`. `None` (tree
+/// mode, or IR that never went through lowering) counts nothing.
+struct ExprEval<'p> {
+    program: Option<&'p ExprProgram>,
+    counts_fallback: bool,
+    regs: Vec<Sequence>,
+    n_compiled: u64,
+    n_fallback: u64,
+}
+
+impl<'p> ExprEval<'p> {
+    fn new(plan: Option<&'p ExprPlan>) -> ExprEval<'p> {
+        let (program, counts_fallback) = match plan {
+            Some(ExprPlan::Compiled(p)) => (Some(p), false),
+            Some(ExprPlan::Interpreted) => (None, true),
+            None => (None, false),
+        };
+        ExprEval {
+            program,
+            counts_fallback,
+            regs: vec![Sequence::Empty; program.map_or(0, |p| p.reg_count())],
+            n_compiled: 0,
+            n_fallback: 0,
+        }
+    }
+
+    /// Evaluate the clause expression against the current env frame,
+    /// through the program when one was compiled.
+    fn eval(&mut self, expr: &Ir, interp: &Interpreter, env: &mut Env) -> EngineResult<Sequence> {
+        match self.program {
+            Some(p) => {
+                self.n_compiled += 1;
+                p.eval(interp, env, &mut self.regs)
+            }
+            None => {
+                if self.counts_fallback {
+                    self.n_fallback += 1;
+                }
+                interp.eval(expr, env)
+            }
+        }
+    }
+
+    /// Flush locally accumulated evaluation counts to the stats block.
+    fn flush(&mut self, stats: &EvalStats) {
+        if self.n_compiled > 0 {
+            stats.add_expr_compiled(self.n_compiled);
+            self.n_compiled = 0;
+        }
+        if self.n_fallback > 0 {
+            stats.add_expr_fallback(self.n_fallback);
+            self.n_fallback = 0;
+        }
+    }
+}
+
 /// Lower one clause onto `input`, yielding the clause's operator.
-fn clause_source<'p>(clause: &'p ClauseIr, input: BoxSource<'p>) -> BoxSource<'p> {
+/// `plan` is the clause's entry in [`FlworIr::programs`] (None for
+/// clause kinds without a single lowerable expression, or in tree
+/// mode).
+fn clause_source<'p>(
+    clause: &'p ClauseIr,
+    plan: Option<&'p ExprPlan>,
+    input: BoxSource<'p>,
+) -> BoxSource<'p> {
     match clause {
         ClauseIr::For {
             slot,
@@ -207,6 +288,7 @@ fn clause_source<'p>(clause: &'p ClauseIr, input: BoxSource<'p>) -> BoxSource<'p
             at_slot: *at_slot,
             ty: ty.as_ref(),
             expr,
+            expr_eval: ExprEval::new(plan),
             batch: Vec::new().into_iter(),
             items: Sequence::Empty.into_iter(),
             item_pos: 0,
@@ -218,8 +300,13 @@ fn clause_source<'p>(clause: &'p ClauseIr, input: BoxSource<'p>) -> BoxSource<'p
             slot: *slot,
             ty: ty.as_ref(),
             expr,
+            expr_eval: ExprEval::new(plan),
         }),
-        ClauseIr::Where(cond) => Box::new(Filter { input, cond }),
+        ClauseIr::Where(cond) => Box::new(Filter {
+            input,
+            cond,
+            expr_eval: ExprEval::new(plan),
+        }),
         ClauseIr::Count { slot } => Box::new(CountBind {
             input,
             slot: *slot,
@@ -388,6 +475,7 @@ struct ForScan<'p> {
     at_slot: Option<Slot>,
     ty: Option<&'p SeqTypeIr>,
     expr: &'p Ir,
+    expr_eval: ExprEval<'p>,
     batch: std::vec::IntoIter<Tuple>,
     items: SequenceIntoIter,
     item_pos: i64,
@@ -422,18 +510,20 @@ impl TupleSource for ForScan<'_> {
                 out.push(t);
                 if out.len() >= BATCH {
                     interp.stats.add_tuples_produced(out.len() as u64);
+                    self.expr_eval.flush(interp.stats);
                     return Ok(Some(out));
                 }
             }
             match self.batch.next() {
                 Some(base) => {
                     base.apply(env);
-                    self.items = interp.eval(self.expr, env)?.into_iter();
+                    self.items = self.expr_eval.eval(self.expr, interp, env)?.into_iter();
                     self.item_pos = 0;
                     self.base = base;
                 }
                 None if self.input_done => {
                     interp.stats.add_tuples_produced(out.len() as u64);
+                    self.expr_eval.flush(interp.stats);
                     return Ok(if out.is_empty() { None } else { Some(out) });
                 }
                 None => match self.input.next_batch(interp, env)? {
@@ -451,6 +541,7 @@ struct LetBind<'p> {
     slot: Slot,
     ty: Option<&'p SeqTypeIr>,
     expr: &'p Ir,
+    expr_eval: ExprEval<'p>,
 }
 
 impl TupleSource for LetBind<'_> {
@@ -464,7 +555,7 @@ impl TupleSource for LetBind<'_> {
         };
         for t in &mut batch {
             t.apply(env);
-            let seq = interp.eval(self.expr, env)?;
+            let seq = self.expr_eval.eval(self.expr, interp, env)?;
             if let Some(ty) = self.ty {
                 if !matches_seq_type(&seq, ty) {
                     return Err(EngineError::dynamic(
@@ -475,6 +566,7 @@ impl TupleSource for LetBind<'_> {
             }
             t.bind(self.slot, seq);
         }
+        self.expr_eval.flush(interp.stats);
         Ok(Some(batch))
     }
 }
@@ -483,6 +575,7 @@ impl TupleSource for LetBind<'_> {
 struct Filter<'p> {
     input: BoxSource<'p>,
     cond: &'p Ir,
+    expr_eval: ExprEval<'p>,
 }
 
 impl TupleSource for Filter<'_> {
@@ -498,7 +591,7 @@ impl TupleSource for Filter<'_> {
         let mut out = Vec::with_capacity(before);
         for t in batch {
             t.apply(env);
-            let v = interp.eval(self.cond, env)?;
+            let v = self.expr_eval.eval(self.cond, interp, env)?;
             if effective_boolean_value(&v).map_err(EngineError::from)? {
                 out.push(t);
             }
@@ -506,6 +599,7 @@ impl TupleSource for Filter<'_> {
         interp
             .stats
             .add_tuples_pruned_filter((before - out.len()) as u64);
+        self.expr_eval.flush(interp.stats);
         Ok(Some(out))
     }
 }
@@ -1291,8 +1385,8 @@ fn run_parallel(
     }
     let mut down_counters: Vec<Rc<OpCounters>> = Vec::new();
     if has_breaker {
-        for clause in &f.clauses[cut + 1..] {
-            source = clause_source(clause, source);
+        for (j, clause) in f.clauses[cut + 1..].iter().enumerate() {
+            source = clause_source(clause, flwor_plan(f, cut + 1 + j), source);
             if profiling {
                 let c = Rc::new(OpCounters::default());
                 down_counters.push(Rc::clone(&c));
@@ -1475,6 +1569,7 @@ fn process_morsel(
         at_slot: *at_slot,
         ty: ty.as_ref(),
         expr,
+        expr_eval: ExprEval::new(flwor_plan(f, 0)),
         batch: Vec::new().into_iter(),
         items: morsel.into_iter(),
         item_pos: lo as i64,
@@ -1488,7 +1583,7 @@ fn process_morsel(
         });
     }
     for (i, clause) in f.clauses[1..cut].iter().enumerate() {
-        source = clause_source(clause, source);
+        source = clause_source(clause, flwor_plan(f, i + 1), source);
         if let Some(cs) = counters {
             source = Box::new(Instrumented {
                 input: source,

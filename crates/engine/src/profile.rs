@@ -254,6 +254,12 @@ pub struct QueryProfile {
     pub scan_index_tuples: u64,
     /// Tuples produced by tree-walking descendant axis steps.
     pub scan_walk_tuples: u64,
+    /// Scalar expression evaluations served by a compiled bytecode
+    /// program over the profiled run(s).
+    pub expr_compiled: u64,
+    /// Scalar expression evaluations that fell back to the IR
+    /// tree-walker because lowering declined the expression.
+    pub expr_fallback: u64,
 }
 
 impl QueryProfile {
@@ -284,13 +290,16 @@ impl QueryProfile {
         let pipelines: Vec<String> = self.pipelines.iter().map(|p| p.to_json()).collect();
         format!(
             "{{\"pipelines\":[{}],\"seq_items_copied\":{},\"seq_clones_shared\":{},\
-             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{}}}",
+             \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{},\
+             \"expr_compiled\":{},\"expr_fallback\":{}}}",
             pipelines.join(","),
             self.seq_items_copied,
             self.seq_clones_shared,
             self.scan_index_hits,
             self.scan_index_tuples,
-            self.scan_walk_tuples
+            self.scan_walk_tuples,
+            self.expr_compiled,
+            self.expr_fallback
         )
     }
 }
@@ -326,6 +335,14 @@ impl Profiler {
         p.scan_index_hits += index_hits;
         p.scan_index_tuples += index_tuples;
         p.scan_walk_tuples += walk_tuples;
+    }
+
+    /// Fold a run's expression-evaluation counter deltas into the
+    /// profile.
+    pub fn add_expr(&self, compiled: u64, fallback: u64) {
+        let mut p = self.profile.lock().expect("profiler poisoned");
+        p.expr_compiled += compiled;
+        p.expr_fallback += fallback;
     }
 
     /// Drain the collected profile, leaving the profiler empty.

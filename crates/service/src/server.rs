@@ -407,6 +407,8 @@ fn render_metrics(shared: &Shared) -> String {
     line("xqa_scan_index_hits_total", stats.scan_index_hits);
     line("xqa_scan_index_tuples_total", stats.scan_index_tuples);
     line("xqa_scan_walk_tuples_total", stats.scan_walk_tuples);
+    line("xqa_eval_expr_compiled_total", stats.expr_compiled);
+    line("xqa_eval_expr_fallback_total", stats.expr_fallback);
     for (i, kind) in OpKind::ALL.iter().enumerate() {
         let _ = writeln!(
             &mut out,

@@ -1,0 +1,48 @@
+//! `XQA_FORCE_EXPR_EVAL` overrides the engine's configured expression
+//! evaluation mode at plan time. Lives in its own test binary: the
+//! variable is process-global, so this is the only test in the process
+//! that sets it (serially, for each value).
+
+use xqa::{DynamicContext, Engine, EngineOptions, ExprEvalMode};
+
+/// Runs a fully-lowerable query and reports how many compiled-program
+/// evaluations it executed.
+fn compiled_evals(engine: &Engine, ctx: &DynamicContext, query: &str) -> u64 {
+    let before = ctx.stats.snapshot();
+    let out = engine
+        .compile(query)
+        .expect("compile")
+        .run(ctx)
+        .expect("run");
+    assert_eq!(out[0].string_value(), "3", "query result drifted");
+    ctx.stats.snapshot().expr_compiled - before.expr_compiled
+}
+
+#[test]
+fn env_override_wins_over_engine_options() {
+    let ctx = DynamicContext::new();
+    let query = "for $x in 1 to 9 where $x mod 3 = 0 return $x";
+    let forced_bytecode = Engine::with_options(EngineOptions {
+        expr_eval: ExprEvalMode::Bytecode,
+        ..Default::default()
+    });
+    let auto = Engine::with_options(EngineOptions::default());
+
+    // Baseline (no override): both engines compile the scalar clauses.
+    assert!(compiled_evals(&forced_bytecode, &ctx, query) > 0);
+    assert!(compiled_evals(&auto, &ctx, query) > 0);
+
+    // tree override beats even an explicit Bytecode option.
+    std::env::set_var("XQA_FORCE_EXPR_EVAL", "tree");
+    assert_eq!(compiled_evals(&forced_bytecode, &ctx, query), 0);
+    assert_eq!(compiled_evals(&auto, &ctx, query), 0);
+
+    // bytecode override restores compilation under default options.
+    std::env::set_var("XQA_FORCE_EXPR_EVAL", "bytecode");
+    assert!(compiled_evals(&auto, &ctx, query) > 0);
+
+    // Unknown values are ignored, not errors.
+    std::env::set_var("XQA_FORCE_EXPR_EVAL", "bogus");
+    assert!(compiled_evals(&auto, &ctx, query) > 0);
+    std::env::remove_var("XQA_FORCE_EXPR_EVAL");
+}

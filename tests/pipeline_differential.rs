@@ -309,13 +309,9 @@ fn assert_threads_identical_ctx(query: &str, ctx: &mut DynamicContext) {
     }
 }
 
-/// The full corpus above, replayed as a threads=1 vs threads=4
-/// differential. Inputs below one morsel take the pre-seeded serial
-/// fallback; the large-input tests further down exercise the real
-/// multi-worker split.
-#[test]
-fn parallel_corpus_differential() {
-    let orders_corpus = [
+/// The orders-document corpus shared by the threads, access-path, and
+/// expression-bytecode differentials.
+const ORDERS_CORPUS: [&str; 8] = [
         "for $li in //order/lineitem \
          group by $li/shipmode into $m \
          nest $li into $items \
@@ -358,37 +354,46 @@ fn parallel_corpus_differential() {
           order by count($items) descending, string($m) \
           return at $r <g rank=\"{$r}\">{string($m)}</g>)\
          [position() le 3]",
-    ];
-    for query in orders_corpus {
-        assert_threads_identical_ctx(query, &mut orders_ctx());
-    }
-    let plain_corpus = [
-        "for tumbling window $w in (1 to 50) \
+];
+
+/// The document-free corpus shared by the same differentials.
+const PLAIN_CORPUS: [&str; 7] = [
+    "for tumbling window $w in (1 to 50) \
          start at $s when $s mod 7 = 1 \
          return <w>{sum($w)}</w>",
-        "for tumbling window $w in (2, 4, 6, 1, 3, 8, 10, 5) \
+    "for tumbling window $w in (2, 4, 6, 1, 3, 8, 10, 5) \
          start $s when $s mod 2 = 0 \
          end $e when $e mod 2 = 1 \
          return <w>{$w}</w>",
-        "for sliding window $w in (1 to 12) \
+    "for sliding window $w in (1 to 12) \
          start at $s when true() \
          only end at $e when $e = $s + 2 \
          return at $r <w r=\"{$r}\">{sum($w)}</w>",
-        "for $x in (5, 3, 8, 1, 9, 2) \
+    "for $x in (5, 3, 8, 1, 9, 2) \
          count $c \
          let $y := $x * $c \
          where $y mod 2 = 0 \
          return <r>{$c}:{$y}</r>",
-        "for $x in 1 to 5 \
+    "for $x in 1 to 5 \
          let $below := for $y in 1 to 5 where $y lt $x return $y \
          return <r>{$x}|{count($below)}</r>",
-        "for $x in () order by $x return at $r <r>{$r}</r>",
-        "for $x in (1, 2, 3) \
+    "for $x in () order by $x return at $r <r>{$r}</r>",
+    "for $x in (1, 2, 3) \
          for $y in (\"a\", \"b\") \
          order by $y, $x descending \
          return <r>{$y}{$x}</r>",
-    ];
-    for query in plain_corpus {
+];
+
+/// The full corpus above, replayed as a threads=1 vs threads=4
+/// differential. Inputs below one morsel take the pre-seeded serial
+/// fallback; the large-input tests further down exercise the real
+/// multi-worker split.
+#[test]
+fn parallel_corpus_differential() {
+    for query in ORDERS_CORPUS {
+        assert_threads_identical_ctx(query, &mut orders_ctx());
+    }
+    for query in PLAIN_CORPUS {
         assert_threads_identical_ctx(query, &mut DynamicContext::new());
     }
 }
@@ -575,41 +580,44 @@ fn assert_access_paths_identical(
 #[test]
 fn access_path_corpus_differential() {
     let (ctx, stats) = indexed_orders_ctx();
-    let corpus = [
-        // plain descendant scans, high and low selectivity
-        "count(//lineitem)",
-        "count(//order)",
-        "for $m in //shipmode return string($m)",
-        // value-eq predicates: string probe, numeric probe, empty result
-        "count(//lineitem[returnflag = \"A\"])",
-        "count(//lineitem[quantity = 10])",
-        "count(//lineitem[quantity = 999999])",
-        "for $li in //lineitem[linestatus = \"O\"] return string($li/partkey)",
-        // value index must refuse: non-leaf child, inequality, doubled preds
-        "count(//order[customer = \"x\"])",
-        "count(//lineitem[quantity > 10])",
-        "count(//lineitem[quantity = 10][returnflag = \"A\"])",
-        // descendant scan feeding the paper's grouping pipeline
-        "for $li in //order/lineitem \
+    for query in ACCESS_PATH_CORPUS {
+        assert_access_paths_identical(query, &ctx, &stats);
+    }
+}
+
+/// The paper-workload access-path corpus, shared with the
+/// expression-bytecode differential below.
+const ACCESS_PATH_CORPUS: [&str; 13] = [
+    // plain descendant scans, high and low selectivity
+    "count(//lineitem)",
+    "count(//order)",
+    "for $m in //shipmode return string($m)",
+    // value-eq predicates: string probe, numeric probe, empty result
+    "count(//lineitem[returnflag = \"A\"])",
+    "count(//lineitem[quantity = 10])",
+    "count(//lineitem[quantity = 999999])",
+    "for $li in //lineitem[linestatus = \"O\"] return string($li/partkey)",
+    // value index must refuse: non-leaf child, inequality, doubled preds
+    "count(//order[customer = \"x\"])",
+    "count(//lineitem[quantity > 10])",
+    "count(//lineitem[quantity = 10][returnflag = \"A\"])",
+    // descendant scan feeding the paper's grouping pipeline
+    "for $li in //order/lineitem \
          group by $li/shipmode into $m \
          nest $li into $items \
          order by string($m) \
          return <g>{string($m)}:{count($items)}</g>",
-        // value predicate below a top-k ranking pipeline
-        "(for $li in //lineitem[returnflag = \"R\"] \
+    // value predicate below a top-k ranking pipeline
+    "(for $li in //lineitem[returnflag = \"R\"] \
           order by number($li/extendedprice) descending \
           return at $r <p rank=\"{$r}\">{data($li/partkey)}</p>)\
          [position() le 5]",
-        // nested rescan: the inner path is re-annotated per tuple
-        "for $m in distinct-values(//lineitem/shipmode) \
+    // nested rescan: the inner path is re-annotated per tuple
+    "for $m in distinct-values(//lineitem/shipmode) \
          let $n := count(//lineitem[shipmode = $m]) \
          order by string($m) \
          return <g>{string($m)}:{$n}</g>",
-    ];
-    for query in corpus {
-        assert_access_paths_identical(query, &ctx, &stats);
-    }
-}
+];
 
 /// The forced-index corpus must actually exercise the index: a run with
 /// everything forced to `index` records index hits, and the same
@@ -670,4 +678,195 @@ fn parallel_profile_reports_workers() {
     let profile = ctx.take_profile().expect("profile");
     let workers = profile.pipelines.iter().map(|p| p.workers).max().unwrap();
     assert_eq!(workers, 4, "expected a 4-worker parallel pipeline");
+}
+
+// ---- expression bytecode ----------------------------------------------
+//
+// Every query in the corpora above is evaluated four ways — scalar
+// expression evaluation forced to `bytecode` and forced to `tree`, each
+// at threads=1 and threads=4. All four serialized results must be
+// byte-identical: a compiled program is a pure evaluation-method
+// substitution for the tree-walker, never a semantic one.
+
+fn engine_with_expr_eval(mode: xqa::ExprEvalMode, threads: usize) -> Engine {
+    Engine::with_options(EngineOptions {
+        threads,
+        expr_eval: mode,
+        ..Default::default()
+    })
+}
+
+fn assert_expr_evals_identical(query: &str, ctx: &DynamicContext) {
+    use xqa::ExprEvalMode;
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    let mut serial_comparisons: Vec<u64> = Vec::new();
+    for threads in [1usize, 4] {
+        for mode in [ExprEvalMode::Bytecode, ExprEvalMode::Tree] {
+            let engine = engine_with_expr_eval(mode, threads);
+            let plan = engine
+                .compile(query)
+                .unwrap_or_else(|e| panic!("compile ({mode:?}, threads={threads}): {e}\n{query}"));
+            let before = ctx.stats.snapshot();
+            let out = plan
+                .run(ctx)
+                .unwrap_or_else(|e| panic!("run ({mode:?}, threads={threads}): {e}\n{query}"));
+            let after = ctx.stats.snapshot();
+            if threads == 1 {
+                serial_comparisons.push(after.comparisons - before.comparisons);
+            }
+            outputs.push((
+                format!("{mode:?} threads={threads}"),
+                serialize_sequence(&out),
+            ));
+        }
+    }
+    let (baseline_label, baseline) = &outputs[0];
+    for (label, out) in &outputs[1..] {
+        assert_eq!(
+            baseline, out,
+            "{baseline_label} and {label} disagree for:\n{query}"
+        );
+    }
+    // The type-specialized comparison fast paths must count exactly the
+    // comparisons the tree-walker's kernels count (serial runs are
+    // deterministic; parallel grouping merges can legitimately differ).
+    assert_eq!(
+        serial_comparisons[0], serial_comparisons[1],
+        "bytecode and tree comparison counts diverge at threads=1 for:\n{query}"
+    );
+}
+
+/// The orders and document-free corpora replayed as a bytecode-vs-tree
+/// differential across thread counts.
+#[test]
+fn expr_eval_corpus_differential() {
+    for query in ORDERS_CORPUS {
+        assert_expr_evals_identical(query, &orders_ctx());
+    }
+    for query in PLAIN_CORPUS {
+        assert_expr_evals_identical(query, &DynamicContext::new());
+    }
+}
+
+/// The access-path corpus replayed the same way against an indexed
+/// context: path-heavy queries mostly decline lowering, so this leg
+/// pins the fallback boundary (compiled clause next to an interpreted
+/// one) to identical output.
+#[test]
+fn expr_eval_access_path_corpus_differential() {
+    let (ctx, _stats) = indexed_orders_ctx();
+    for query in ACCESS_PATH_CORPUS {
+        assert_expr_evals_identical(query, &ctx);
+    }
+}
+
+/// The large multi-morsel shapes, where compiled programs run inside
+/// worker threads with per-worker register scratch and stats sinks.
+#[test]
+fn expr_eval_parallel_morsel_differential() {
+    let corpus = [
+        "for $x in 1 to 4000 \
+         let $y := $x * 3 \
+         where $y mod 7 = 0 \
+         return <r>{$y}</r>",
+        "for $x at $i in 2 to 4001 \
+         where $x mod 997 = 0 \
+         return <r>{$i}:{$x}</r>",
+        "for $x in 1 to 5000 \
+         group by $x mod 7 into $k \
+         nest $x into $xs \
+         order by $k \
+         return <g>{$k}|{count($xs)}|{sum($xs)}</g>",
+        "(for $x in 1 to 5000 \
+          order by $x mod 10 \
+          return at $r <r rank=\"{$r}\">{$x}</r>)[position() le 25]",
+    ];
+    for query in corpus {
+        assert_expr_evals_identical(query, &DynamicContext::new());
+    }
+}
+
+/// Forced-bytecode runs on queries whose for/let/where clauses are all
+/// in the scalar subset must actually execute compiled programs — and
+/// forced-tree runs must execute none.
+#[test]
+fn forced_bytecode_actually_compiles() {
+    use xqa::ExprEvalMode;
+    // The process-wide override deliberately defeats per-engine modes,
+    // so the tree-side zero assertions below would be wrong under it.
+    if std::env::var_os("XQA_FORCE_EXPR_EVAL").is_some() {
+        return;
+    }
+    let lowering_corpus = [
+        "for $x in 1 to 100 where $x mod 3 = 0 return $x",
+        "for $x in 1 to 50 let $y := $x * 2 + 1 where $y > 20 return $y",
+        "for $x in 1 to 20 \
+         count $c \
+         let $y := $x * $c \
+         where $y mod 2 = 0 \
+         return <r>{$c}:{$y}</r>",
+    ];
+    let ctx = DynamicContext::new();
+    for query in lowering_corpus {
+        let before = ctx.stats.snapshot();
+        engine_with_expr_eval(ExprEvalMode::Bytecode, 1)
+            .compile(query)
+            .expect("compile")
+            .run(&ctx)
+            .expect("run");
+        let mid = ctx.stats.snapshot();
+        engine_with_expr_eval(ExprEvalMode::Tree, 1)
+            .compile(query)
+            .expect("compile")
+            .run(&ctx)
+            .expect("run");
+        let after = ctx.stats.snapshot();
+        assert!(
+            mid.expr_compiled > before.expr_compiled,
+            "forced bytecode executed no compiled programs for:\n{query}"
+        );
+        assert_eq!(
+            mid.expr_fallback, before.expr_fallback,
+            "fully-lowerable query recorded fallbacks for:\n{query}"
+        );
+        assert_eq!(
+            after.expr_compiled, mid.expr_compiled,
+            "forced tree executed compiled programs for:\n{query}"
+        );
+        assert_eq!(
+            after.expr_fallback, mid.expr_fallback,
+            "tree mode must not count fallbacks for:\n{query}"
+        );
+    }
+}
+
+/// A query mixing lowerable and unloweable clauses records both
+/// counters: the scalar `where` compiles while the path-valued `for`
+/// binding falls back.
+#[test]
+fn mixed_query_counts_compiled_and_fallback() {
+    use xqa::ExprEvalMode;
+    if std::env::var_os("XQA_FORCE_EXPR_EVAL").is_some() {
+        return;
+    }
+    let ctx = orders_ctx();
+    let query = "for $li in //order/lineitem \
+                 let $q := number($li/quantity) \
+                 where $q >= 0 \
+                 return $li/partkey";
+    let before = ctx.stats.snapshot();
+    engine_with_expr_eval(ExprEvalMode::Bytecode, 1)
+        .compile(query)
+        .expect("compile")
+        .run(&ctx)
+        .expect("run");
+    let after = ctx.stats.snapshot();
+    assert!(
+        after.expr_compiled > before.expr_compiled,
+        "the scalar where clause must run compiled"
+    );
+    assert!(
+        after.expr_fallback > before.expr_fallback,
+        "the path-valued for and function-calling let must fall back"
+    );
 }
