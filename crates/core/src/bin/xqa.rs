@@ -12,6 +12,9 @@
 //!       --stats-json            print stats (and profile) as JSON to stderr
 //!       --profile               run profiled; print `explain analyze` to stderr
 //!       --trace-json FILE       write compile/execute trace events to FILE
+//!       --diag-json FILE        write one diagnostics object (plan fingerprint,
+//!                               rewrites, stats, profile with spans and
+//!                               q-errors, trace events) to FILE
 //!       --deterministic-clock   profile with a fixed-tick clock (for tests)
 //!       --detect-groupby        enable the implicit group-by rewrite
 //!       --threads N             intra-query parallelism (default: all cores;
@@ -31,6 +34,9 @@
 //!                               (default: all cores; 1 = serial)
 //!       --cache-size N          prepared-plan cache capacity (default 128)
 //!       --slow-query-ms N       log queries slower than N ms to stderr
+//!       --flight-recorder-capacity N
+//!                               per-query records kept for /debug/* endpoints
+//!                               (default 256; 0 disables the recorder)
 //!       --detect-groupby        as above
 //!       --expr-eval MODE        as above (auto|bytecode|tree)
 //! ```
@@ -64,6 +70,7 @@ struct Args {
     explain: bool,
     profile: bool,
     trace_json: Option<String>,
+    diag_json: Option<String>,
     deterministic_clock: bool,
     detect_groupby: bool,
     threads: usize,
@@ -88,6 +95,11 @@ options:
                             `explain analyze` to stderr
       --trace-json FILE     write structured trace events (parse, rewrites,
                             compile, execute) to FILE as JSON
+      --diag-json FILE      write one diagnostics JSON object to FILE: the
+                            plan fingerprint, applied rewrites, evaluator
+                            stats, the full profile (operator est/actual
+                            counters, q-errors, span timeline) and the
+                            compile/execute trace events
       --deterministic-clock profile with a fixed-tick clock so timings are
                             reproducible (for tests and goldens)
       --detect-groupby      enable the implicit group-by detection rewrite
@@ -110,6 +122,11 @@ serve options:
                             all cores, or XQA_THREADS; 1 = serial)
       --cache-size N        prepared-plan cache capacity (default 128)
       --slow-query-ms N     log queries slower than N ms to stderr
+      --flight-recorder-capacity N
+                            completed-query records retained for the
+                            /debug/queries, /debug/query/<id> and
+                            /debug/plans endpoints (default 256;
+                            0 disables the recorder)
       --access-path MODE    as above (auto|walk|index)
       --expr-eval MODE      as above (auto|bytecode|tree)";
 
@@ -148,6 +165,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         explain: false,
         profile: false,
         trace_json: None,
+        diag_json: None,
         deterministic_clock: false,
         detect_groupby: false,
         threads: 0,
@@ -182,6 +200,9 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
             "--profile" => args.profile = true,
             "--trace-json" => {
                 args.trace_json = Some(it.next().ok_or("--trace-json requires a file")?);
+            }
+            "--diag-json" => {
+                args.diag_json = Some(it.next().ok_or("--diag-json requires a file")?);
             }
             "--deterministic-clock" => args.deterministic_clock = true,
             "--detect-groupby" => args.detect_groupby = true,
@@ -239,7 +260,7 @@ fn run(args: &Args) -> Result<(), String> {
     // consult.
     let mut ctx = DynamicContext::new();
     ctx.set_clock(Arc::clone(&clock));
-    if args.profile {
+    if args.profile || args.diag_json.is_some() {
         ctx.enable_profiling();
     }
     if let Some(input) = &args.input {
@@ -279,10 +300,8 @@ fn run(args: &Args) -> Result<(), String> {
         ..Default::default()
     })
     .with_statistics(statistics);
-    let trace_ring = args
-        .trace_json
-        .as_ref()
-        .map(|_| Arc::new(TraceRing::new(TRACE_RING_CAPACITY)));
+    let trace_ring = (args.trace_json.is_some() || args.diag_json.is_some())
+        .then(|| Arc::new(TraceRing::new(TRACE_RING_CAPACITY)));
     let tracer = trace_ring.as_ref().map(|ring| {
         Tracer::new(
             1,
@@ -312,9 +331,11 @@ fn run(args: &Args) -> Result<(), String> {
         SerializeOptions::default()
     };
     println!("{}", serialize_sequence_with(&result, options));
-    let profile = if args.profile {
+    let profile = if args.profile || args.diag_json.is_some() {
         let p = ctx.take_profile().unwrap_or_default();
-        eprint!("{}", query.explain_analyze(&p));
+        if args.profile {
+            eprint!("{}", query.explain_analyze(&p));
+        }
         Some(p)
     } else {
         None
@@ -343,6 +364,27 @@ fn run(args: &Args) -> Result<(), String> {
     if let (Some(file), Some(ring)) = (&args.trace_json, &trace_ring) {
         std::fs::write(file, ring.to_json()).map_err(|e| format!("cannot write {file}: {e}"))?;
     }
+    if let Some(file) = &args.diag_json {
+        // One self-contained diagnostics object — the CLI's offline
+        // equivalent of a server-side flight record.
+        let rewrites = query
+            .applied_rewrites()
+            .iter()
+            .map(|r| format!("\"{}\"", xqa_service::http::json_escape(&r.to_string())))
+            .collect::<Vec<_>>()
+            .join(",");
+        let diag = format!(
+            "{{\"fingerprint\":\"{:016x}\",\"rewrites\":[{rewrites}],\"stats\":{},\
+             \"profile\":{},\"trace\":{}}}",
+            query.fingerprint(),
+            ctx.stats.snapshot().to_json(),
+            profile.as_ref().expect("profiling enabled").to_json(),
+            trace_ring
+                .as_ref()
+                .map_or_else(|| "[]".to_string(), |r| r.to_json()),
+        );
+        std::fs::write(file, diag).map_err(|e| format!("cannot write {file}: {e}"))?;
+    }
     Ok(())
 }
 
@@ -355,6 +397,7 @@ struct ServeArgs {
     query_threads: usize,
     cache_size: usize,
     slow_query_ms: Option<u64>,
+    flight_recorder_capacity: usize,
     detect_groupby: bool,
     access_path: AccessPathMode,
     expr_eval: ExprEvalMode,
@@ -370,6 +413,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         query_threads: 0,
         cache_size: 128,
         slow_query_ms: None,
+        flight_recorder_capacity: ServiceConfig::default().flight_recorder_capacity,
         detect_groupby: false,
         access_path: AccessPathMode::Auto,
         expr_eval: ExprEvalMode::Auto,
@@ -412,6 +456,13 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
             "--slow-query-ms" => {
                 let n = it.next().ok_or("--slow-query-ms requires a number")?;
                 args.slow_query_ms = Some(n.parse().map_err(|_| format!("invalid threshold {n}"))?);
+            }
+            "--flight-recorder-capacity" => {
+                let n = it
+                    .next()
+                    .ok_or("--flight-recorder-capacity requires a number")?;
+                args.flight_recorder_capacity =
+                    n.parse().map_err(|_| format!("invalid capacity {n}"))?;
             }
             "--detect-groupby" => args.detect_groupby = true,
             "--access-path" => {
@@ -456,6 +507,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
             ..Default::default()
         },
         slow_query_ms: args.slow_query_ms,
+        flight_recorder_capacity: args.flight_recorder_capacity,
         ..Default::default()
     };
     let server = Server::start(&args.addr, &catalog, config)

@@ -581,9 +581,10 @@ impl Compiler {
             return_at,
             return_expr,
             parallel,
-            // Filled by the engine's expression-compilation pass
-            // (`bytecode::lower_query`) after all IR rewrites.
+            // Filled by the engine's expression-compilation and
+            // cardinality-estimation passes after all IR rewrites.
             programs: Vec::new(),
+            estimates: Vec::new(),
         })))
     }
 

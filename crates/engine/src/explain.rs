@@ -56,8 +56,7 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
             let _ = writeln!(out, "  plan: {}", p.signature());
         }
         for op in &p.ops {
-            let _ = writeln!(
-                out,
+            let mut row = format!(
                 "  {:<32} batches={:<6} tuples_in={:<8} tuples_out={:<8} time={}",
                 op.label(),
                 op.batches,
@@ -65,6 +64,10 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
                 op.tuples_out,
                 fmt_time(op.nanos)
             );
+            if let (Some(est), Some(q)) = (op.estimate, op.q_error()) {
+                let _ = write!(row, " est/actual={}/{} (q={:.1})", est, op.tuples_out, q);
+            }
+            let _ = writeln!(out, "{row}");
         }
     }
     let _ = writeln!(
@@ -82,7 +85,33 @@ pub fn explain_analyze(profile: &QueryProfile) -> String {
         "expr: compiled={} fallback={}",
         profile.expr_compiled, profile.expr_fallback
     );
+    if let Some(m) = profile.worst_misestimate() {
+        let _ = writeln!(
+            out,
+            "worst misestimate: {} est={} actual={} (q={:.1})",
+            m.label, m.estimated, m.actual, m.q_error
+        );
+    }
     out
+}
+
+/// A stable fingerprint of the rewritten plan: FNV-1a (64-bit) over the
+/// full `explain` rendering — clause structure, operator plan, access
+/// paths, expression-compilation tags and the resolved parallel
+/// annotation all feed the hash, so two requests share a fingerprint
+/// exactly when the optimizer produced the same plan shape. FNV-1a is
+/// spelled out here (not `DefaultHasher`) so fingerprints are stable
+/// across Rust releases and processes — they key the service's
+/// flight-recorder aggregation and may be logged or compared offline.
+pub fn plan_fingerprint(query: &CompiledQuery) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in explain_query(query).bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 fn fmt_time(nanos: u64) -> String {
@@ -575,6 +604,22 @@ mod tests {
             "{plan}"
         );
         assert!(plan.contains("function local:eq#2"), "{plan}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminates_plans() {
+        let compile = |src: &str| {
+            let module = parse_query(src).expect("parse");
+            compile::compile(&module).expect("compile")
+        };
+        let a = compile("for $x in 1 to 10 return $x");
+        let b = compile("for $x in 1 to 10 return $x");
+        let c = compile("for $x in 1 to 10 order by $x return $x");
+        assert_eq!(plan_fingerprint(&a), plan_fingerprint(&b));
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&c));
+        // Whitespace-only source differences share a plan shape.
+        let d = compile("for   $x in 1 to 10   return $x");
+        assert_eq!(plan_fingerprint(&a), plan_fingerprint(&d));
     }
 
     #[test]

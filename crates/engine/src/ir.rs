@@ -239,6 +239,12 @@ pub struct FlworIr {
     /// Empty (the construction default) until the engine's expression
     /// compilation pass runs, or when `expr_eval` is `Tree`.
     pub programs: Vec<Option<crate::bytecode::ExprPlan>>,
+    /// Planner row estimates, one per clause operator plus a trailing
+    /// entry for the `ReturnAt` sink — the output of
+    /// [`crate::estimate::stamp_estimates`]. `None` marks an operator
+    /// the planner could not estimate. Empty (the construction
+    /// default) until the engine's estimation pass runs.
+    pub estimates: Vec<Option<u64>>,
 }
 
 /// One operator of the compiled pipeline plan.

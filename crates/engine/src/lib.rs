@@ -24,6 +24,7 @@ pub mod casts;
 pub mod compile;
 pub mod context;
 pub mod error;
+pub mod estimate;
 mod eval;
 pub mod explain;
 mod flwor;
@@ -39,7 +40,8 @@ pub mod types;
 
 pub use context::{DynamicContext, EvalStats, EvalStatsSnapshot, Focus};
 pub use error::{EngineError, EngineResult};
-pub use profile::{Clock, MonotonicClock, OpKind, QueryProfile, TickClock};
+pub use explain::plan_fingerprint;
+pub use profile::{Clock, Misestimate, MonotonicClock, OpKind, QueryProfile, Span, TickClock};
 pub use trace::{TraceEvent, TracePhase, TraceRing, TraceSink, Tracer};
 
 use xqa_frontend::parse_query;
@@ -404,6 +406,10 @@ impl Engine {
             .into_iter()
             .map(note(RewriteKind::IndexScan)),
         );
+        // Cardinality estimation runs after every plan-shaping rewrite
+        // (it reads top-k limits and access-path annotations) and
+        // before expression compilation (which only fills programs).
+        estimate::stamp_estimates(&mut compiled, self.statistics.as_deref());
         // Expression compilation runs last: every earlier rewrite
         // (folding, top-k pushdown, path fusion, index annotation)
         // mutates the IR the programs are lowered from.
@@ -441,7 +447,12 @@ impl Engine {
                 ),
             );
         }
-        Ok(PreparedQuery { compiled, rewrites })
+        let fingerprint = explain::plan_fingerprint(&compiled);
+        Ok(PreparedQuery {
+            compiled,
+            rewrites,
+            fingerprint,
+        })
     }
 }
 
@@ -450,12 +461,21 @@ impl Engine {
 pub struct PreparedQuery {
     compiled: ir::CompiledQuery,
     rewrites: Vec<RewriteNote>,
+    fingerprint: u64,
 }
 
 impl PreparedQuery {
     /// Evaluate against a dynamic context.
     pub fn run(&self, ctx: &DynamicContext) -> EngineResult<Sequence> {
         eval::execute(&self.compiled, ctx)
+    }
+
+    /// The stable plan fingerprint (see
+    /// [`explain::plan_fingerprint`]): identical exactly when the
+    /// optimizer produced the same rewritten plan, even for textually
+    /// different query sources.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The optimizer rewrites that fired during compilation, with what

@@ -30,7 +30,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::eval::{Env, Interpreter};
 use crate::ir::*;
 use crate::keys::GroupIndex;
-use crate::profile::{OpKind, OpProfile, PipelineProfile};
+use crate::profile::{OpKind, OpProfile, PipelineProfile, Span};
 use crate::types::matches_seq_type;
 use std::cell::Cell;
 use std::cmp::Ordering;
@@ -189,7 +189,9 @@ fn run_serial(
             let start = clock.now_nanos();
             let (seq, sink_stats) = sink.execute(source, interp, env)?;
             let total = clock.now_nanos().saturating_sub(start);
-            profiler.record(build_profile(f, &counters, sink_stats, total));
+            let p = build_profile(f, &counters, sink_stats, total);
+            profiler.add_span(serial_span(&p, start, total));
+            profiler.record(p);
             Ok(seq)
         }
     }
@@ -381,7 +383,7 @@ fn build_profile(
     let mut ops = Vec::with_capacity(counters.len() + 1);
     let mut upstream_out = 1u64;
     let mut upstream_cum = 0u64;
-    for (clause, c) in f.clauses.iter().zip(counters) {
+    for (i, (clause, c)) in f.clauses.iter().zip(counters).enumerate() {
         let cum = c.cum_nanos.get();
         ops.push(OpProfile {
             kind: clause_op_kind(clause),
@@ -390,6 +392,7 @@ fn build_profile(
             tuples_in: upstream_out,
             tuples_out: c.tuples_out.get(),
             nanos: cum.saturating_sub(upstream_cum),
+            estimate: f.estimates.get(i).copied().flatten(),
         });
         upstream_out = c.tuples_out.get();
         upstream_cum = cum;
@@ -401,12 +404,28 @@ fn build_profile(
         tuples_in: upstream_out,
         tuples_out: sink_stats.tuples,
         nanos: total_nanos.saturating_sub(upstream_cum),
+        estimate: f.estimates.get(f.clauses.len()).copied().flatten(),
     });
     PipelineProfile {
         executions: 1,
         workers: 1,
         ops,
     }
+}
+
+/// Lay a serial execution's operator chain out as a span timeline.
+/// The pipeline interleaves its operators batch-at-a-time, so exact
+/// per-operator intervals don't exist; the children are placed
+/// end-to-end by measured self time instead, preserving durations.
+fn serial_span(p: &PipelineProfile, start_nanos: u64, total_nanos: u64) -> Span {
+    let mut root = Span::leaf("pipeline", start_nanos, start_nanos + total_nanos);
+    let mut at = start_nanos;
+    for op in &p.ops {
+        let end = at + op.nanos;
+        root.children.push(Span::leaf(op.label(), at, end));
+        at = end;
+    }
+    root
 }
 
 fn clause_op_kind(clause: &ClauseIr) -> OpKind {
@@ -1107,6 +1126,9 @@ struct WorkerReport {
     /// Wall time this worker spent in its claim loop (0 when not
     /// profiling — no clock reads off the profiled path).
     loop_nanos: u64,
+    /// The loop's (start, end) readings on the shared profiling clock,
+    /// for the span timeline (`None` when not profiling).
+    loop_span: Option<(u64, u64)>,
 }
 
 /// A worker's breaker-side accumulator, chosen from the clause at the
@@ -1212,9 +1234,19 @@ fn run_parallel(
     let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(workers);
     let mut snaps: Vec<Vec<CounterSnap>> = Vec::with_capacity(workers);
     let mut worker_loop_nanos = 0u64;
+    let mut worker_spans: Vec<Span> = Vec::new();
     let mut first_error: Option<(usize, EngineError)> = None;
-    for r in reports {
+    for (wid, r) in reports.into_iter().enumerate() {
         worker_loop_nanos += r.loop_nanos;
+        if let Some((s, e)) = r.loop_span {
+            worker_spans.push(Span {
+                name: "worker".to_string(),
+                start_nanos: s,
+                end_nanos: e,
+                worker: Some(wid as u64),
+                children: Vec::new(),
+            });
+        }
         snaps.push(r.counters);
         match r.output {
             Ok(o) => outputs.push(o),
@@ -1253,6 +1285,13 @@ fn run_parallel(
                 .now_nanos()
                 .saturating_sub(merge_start.unwrap_or_default());
             let total = clock.now_nanos().saturating_sub(start);
+            profiler.add_span(parallel_span(
+                start,
+                start + total,
+                worker_spans,
+                merge_start.unwrap_or_default(),
+                merge_nanos,
+            ));
             profiler.record(build_parallel_profile(
                 f,
                 cut,
@@ -1404,6 +1443,13 @@ fn run_parallel(
     let (seq, sink_stats) = sink.execute(source, interp, env)?;
     if let (Some(profiler), Some(clock), Some(start)) = (&profiler, &clock, total_start) {
         let total = clock.now_nanos().saturating_sub(start);
+        profiler.add_span(parallel_span(
+            start,
+            start + total,
+            worker_spans,
+            merge_start.unwrap_or_default(),
+            merge_nanos,
+        ));
         profiler.record(build_parallel_profile(
             f,
             cut,
@@ -1518,9 +1564,12 @@ fn run_worker(
                 .collect()
         })
         .unwrap_or_default();
-    let loop_nanos = match (&clock, loop_start) {
-        (Some(c), Some(s)) => c.now_nanos().saturating_sub(s),
-        _ => 0,
+    let (loop_nanos, loop_span) = match (&clock, loop_start) {
+        (Some(c), Some(s)) => {
+            let end = c.now_nanos();
+            (end.saturating_sub(s), Some((s, end)))
+        }
+        _ => (0, None),
     };
     // Drain this thread's sequence-copy counters into the worker's
     // private sink so the coordinator's single add_snapshot merge picks
@@ -1531,6 +1580,7 @@ fn run_worker(
         output,
         counters,
         loop_nanos,
+        loop_span,
     }
 }
 
@@ -1689,6 +1739,23 @@ fn process_morsel(
     Ok(())
 }
 
+/// The span timeline of a parallel execution: the real loop interval
+/// of every morsel worker (attributed by worker id) plus the
+/// coordinator's merge interval, under one pipeline root.
+fn parallel_span(
+    start_nanos: u64,
+    end_nanos: u64,
+    workers: Vec<Span>,
+    merge_start: u64,
+    merge_nanos: u64,
+) -> Span {
+    let mut root = Span::leaf("pipeline", start_nanos, end_nanos);
+    root.children = workers;
+    root.children
+        .push(Span::leaf("merge", merge_start, merge_start + merge_nanos));
+    root
+}
+
 /// Assemble the profile of a parallel pipeline execution. Rows for the
 /// worker-side chain sum the per-worker counters, so their batch and
 /// tuple counts are exact and their nanos are *CPU time across all
@@ -1727,6 +1794,7 @@ fn build_parallel_profile(
             tuples_in: upstream_out,
             tuples_out: out,
             nanos: self_nanos,
+            estimate: f.estimates.get(i).copied().flatten(),
         });
         upstream_out = out;
     }
@@ -1743,10 +1811,11 @@ fn build_parallel_profile(
             tuples_in: upstream_out,
             tuples_out: replay.tuples_out.get(),
             nanos: acc_nanos + merge_nanos + replay.cum_nanos.get(),
+            estimate: f.estimates.get(cut).copied().flatten(),
         });
         upstream_out = replay.tuples_out.get();
         let mut prev_cum = replay.cum_nanos.get();
-        for (clause, c) in f.clauses[cut + 1..].iter().zip(down) {
+        for (j, (clause, c)) in f.clauses[cut + 1..].iter().zip(down).enumerate() {
             let cum = c.cum_nanos.get();
             ops.push(OpProfile {
                 kind: clause_op_kind(clause),
@@ -1755,6 +1824,7 @@ fn build_parallel_profile(
                 tuples_in: upstream_out,
                 tuples_out: c.tuples_out.get(),
                 nanos: cum.saturating_sub(prev_cum),
+                estimate: f.estimates.get(cut + 1 + j).copied().flatten(),
             });
             upstream_out = c.tuples_out.get();
             prev_cum = cum;
@@ -1778,6 +1848,7 @@ fn build_parallel_profile(
         tuples_in: upstream_out,
         tuples_out: sink_tuples,
         nanos: sink_nanos,
+        estimate: f.estimates.get(f.clauses.len()).copied().flatten(),
     });
     PipelineProfile {
         executions: 1,

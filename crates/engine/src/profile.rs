@@ -148,6 +148,10 @@ pub struct OpProfile {
     pub tuples_out: u64,
     /// Self wall time (cumulative time minus the input's share).
     pub nanos: u64,
+    /// The planner's row estimate for this operator (tuples it was
+    /// expected to emit), stamped by [`crate::estimate::stamp_estimates`].
+    /// `None` when the planner had no basis for an estimate.
+    pub estimate: Option<u64>,
 }
 
 impl OpProfile {
@@ -172,10 +176,20 @@ impl OpProfile {
         self.kind.materializes()
     }
 
+    /// The estimation quality factor `max(est/actual, actual/est)`,
+    /// with both sides clamped to ≥ 1 so empty operators don't divide
+    /// by zero. 1.0 is a perfect estimate; `None` when the planner
+    /// recorded no estimate for this operator.
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.estimate?.max(1) as f64;
+        let actual = self.tuples_out.max(1) as f64;
+        Some((est / actual).max(actual / est))
+    }
+
     fn to_json(&self) -> String {
-        format!(
+        let mut s = format!(
             "{{\"op\":\"{}\",\"detail\":\"{}\",\"materializes\":{},\
-             \"batches\":{},\"tuples_in\":{},\"tuples_out\":{},\"time_ns\":{}}}",
+             \"batches\":{},\"tuples_in\":{},\"tuples_out\":{},\"time_ns\":{}",
             self.kind.as_str(),
             self.detail,
             self.materializes(),
@@ -183,7 +197,12 @@ impl OpProfile {
             self.tuples_in,
             self.tuples_out,
             self.nanos
-        )
+        );
+        if let (Some(est), Some(q)) = (self.estimate, self.q_error()) {
+            let _ = write!(s, ",\"est\":{est},\"q_error\":{q:.2}");
+        }
+        s.push('}');
+        s
     }
 
     fn merge(&mut self, other: &OpProfile) {
@@ -191,7 +210,81 @@ impl OpProfile {
         self.tuples_in += other.tuples_in;
         self.tuples_out += other.tuples_out;
         self.nanos += other.nanos;
+        // Repeated executions of one plan share one estimate.
+        self.estimate = self.estimate.or(other.estimate);
     }
+}
+
+/// One node of a query's span timeline: a named interval on the
+/// profiling clock, optionally attributed to a morsel worker, with
+/// nested child spans. Serial pipelines lay their per-operator child
+/// spans out cumulatively by self time (the pipeline ran the operators
+/// interleaved, so exact per-operator intervals don't exist); parallel
+/// pipelines report each worker's real loop interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// What ran: `"pipeline #N"`, an operator label, `"worker"`,
+    /// `"merge+replay"`, or a compile phase name.
+    pub name: String,
+    /// Interval start on the profiling clock (nanoseconds).
+    pub start_nanos: u64,
+    /// Interval end on the profiling clock (nanoseconds).
+    pub end_nanos: u64,
+    /// The morsel worker that ran this span, if it ran off-coordinator.
+    pub worker: Option<u64>,
+    /// Nested spans, in start order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A leaf span.
+    pub fn leaf(name: impl Into<String>, start_nanos: u64, end_nanos: u64) -> Span {
+        Span {
+            name: name.into(),
+            start_nanos,
+            end_nanos,
+            worker: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// The span's duration in nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// The machine-readable form (recursive).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{}",
+            crate::trace::json_escape(&self.name),
+            self.start_nanos,
+            self.end_nanos
+        );
+        if let Some(w) = self.worker {
+            let _ = write!(s, ",\"worker\":{w}");
+        }
+        if !self.children.is_empty() {
+            let children: Vec<String> = self.children.iter().map(|c| c.to_json()).collect();
+            let _ = write!(s, ",\"children\":[{}]", children.join(","));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// The worst cardinality misestimate of a profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Misestimate {
+    /// The offending operator's plan label.
+    pub label: String,
+    /// What the planner expected.
+    pub estimated: u64,
+    /// What the run produced.
+    pub actual: u64,
+    /// `max(est/actual, actual/est)`, clamped sides (see
+    /// [`OpProfile::q_error`]).
+    pub q_error: f64,
 }
 
 /// The measured operator chain of one FLWOR pipeline. Repeated
@@ -260,12 +353,37 @@ pub struct QueryProfile {
     /// Scalar expression evaluations that fell back to the IR
     /// tree-walker because lowering declined the expression.
     pub expr_fallback: u64,
+    /// Execution span timeline: one root span per recorded pipeline
+    /// execution (capped at [`QueryProfile::MAX_SPANS`] to stay
+    /// compact), with per-operator and per-worker child spans.
+    pub spans: Vec<Span>,
 }
 
 impl QueryProfile {
+    /// Retained span cap: a query that re-enters a pipeline thousands
+    /// of times keeps only the first executions' timelines.
+    pub const MAX_SPANS: usize = 64;
+
     /// Whether any pipeline was recorded.
     pub fn is_empty(&self) -> bool {
         self.pipelines.is_empty()
+    }
+
+    /// The single worst cardinality misestimate across every operator
+    /// of every pipeline, or `None` when nothing carried an estimate.
+    pub fn worst_misestimate(&self) -> Option<Misestimate> {
+        self.pipelines
+            .iter()
+            .flat_map(|p| &p.ops)
+            .filter_map(|op| {
+                op.q_error().map(|q| Misestimate {
+                    label: op.label(),
+                    estimated: op.estimate.unwrap_or(0),
+                    actual: op.tuples_out,
+                    q_error: q,
+                })
+            })
+            .max_by(|a, b| a.q_error.total_cmp(&b.q_error))
     }
 
     /// Merge another pipeline execution into the profile: same plan
@@ -288,10 +406,22 @@ impl QueryProfile {
     /// The machine-readable form: one JSON object, no dependencies.
     pub fn to_json(&self) -> String {
         let pipelines: Vec<String> = self.pipelines.iter().map(|p| p.to_json()).collect();
+        let spans: Vec<String> = self.spans.iter().map(|s| s.to_json()).collect();
+        let worst = match self.worst_misestimate() {
+            Some(m) => format!(
+                "{{\"op\":\"{}\",\"est\":{},\"actual\":{},\"q_error\":{:.2}}}",
+                crate::trace::json_escape(&m.label),
+                m.estimated,
+                m.actual,
+                m.q_error
+            ),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"pipelines\":[{}],\"seq_items_copied\":{},\"seq_clones_shared\":{},\
              \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{},\
-             \"expr_compiled\":{},\"expr_fallback\":{}}}",
+             \"expr_compiled\":{},\"expr_fallback\":{},\
+             \"worst_misestimate\":{},\"spans\":[{}]}}",
             pipelines.join(","),
             self.seq_items_copied,
             self.seq_clones_shared,
@@ -299,7 +429,9 @@ impl QueryProfile {
             self.scan_index_tuples,
             self.scan_walk_tuples,
             self.expr_compiled,
-            self.expr_fallback
+            self.expr_fallback,
+            worst,
+            spans.join(","),
         )
     }
 }
@@ -320,6 +452,15 @@ impl Profiler {
     /// Record one pipeline execution (merged by plan signature).
     pub fn record(&self, p: PipelineProfile) {
         self.profile.lock().expect("profiler poisoned").merge(p);
+    }
+
+    /// Record one execution's span timeline. Dropped silently past
+    /// [`QueryProfile::MAX_SPANS`] retained roots.
+    pub fn add_span(&self, span: Span) {
+        let mut p = self.profile.lock().expect("profiler poisoned");
+        if p.spans.len() < QueryProfile::MAX_SPANS {
+            p.spans.push(span);
+        }
     }
 
     /// Fold a run's sequence-copy counter deltas into the profile.
@@ -368,6 +509,7 @@ mod tests {
             tuples_in: 1,
             tuples_out,
             nanos: 100,
+            estimate: None,
         }
     }
 
@@ -448,6 +590,63 @@ mod tests {
     }
 
     #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        let mut o = op(OpKind::ForScan, "", 10);
+        assert_eq!(o.q_error(), None);
+        o.estimate = Some(10);
+        assert_eq!(o.q_error(), Some(1.0));
+        o.estimate = Some(40); // over-estimate 4x
+        assert_eq!(o.q_error(), Some(4.0));
+        o.estimate = Some(2); // under-estimate 5x: same scale
+        assert_eq!(o.q_error(), Some(5.0));
+        o.tuples_out = 0; // empty actual clamps to 1, no div-by-zero
+        assert_eq!(o.q_error(), Some(2.0));
+    }
+
+    #[test]
+    fn worst_misestimate_picks_the_largest_q() {
+        let mut q = QueryProfile::default();
+        let mut scan = op(OpKind::ForScan, "", 100);
+        scan.estimate = Some(10);
+        let mut filter = op(OpKind::Filter, "", 50);
+        filter.estimate = Some(40);
+        q.merge(PipelineProfile {
+            executions: 1,
+            workers: 1,
+            ops: vec![scan, filter],
+        });
+        let worst = q.worst_misestimate().expect("has estimates");
+        assert_eq!(worst.label, "ForScan");
+        assert_eq!((worst.estimated, worst.actual), (10, 100));
+        assert_eq!(worst.q_error, 10.0);
+        assert!(QueryProfile::default().worst_misestimate().is_none());
+    }
+
+    #[test]
+    fn span_json_nests_and_names_workers() {
+        let mut root = Span::leaf("pipeline #0", 1_000, 9_000);
+        let mut w = Span::leaf("worker", 1_000, 5_000);
+        w.worker = Some(1);
+        root.children.push(w);
+        let json = root.to_json();
+        assert_eq!(
+            json,
+            "{\"name\":\"pipeline #0\",\"start_ns\":1000,\"end_ns\":9000,\
+             \"children\":[{\"name\":\"worker\",\"start_ns\":1000,\"end_ns\":5000,\"worker\":1}]}"
+        );
+        assert_eq!(root.duration_nanos(), 8_000);
+    }
+
+    #[test]
+    fn profiler_caps_retained_spans() {
+        let p = Profiler::new();
+        for i in 0..(QueryProfile::MAX_SPANS + 10) {
+            p.add_span(Span::leaf(format!("s{i}"), 0, 1));
+        }
+        assert_eq!(p.snapshot().spans.len(), QueryProfile::MAX_SPANS);
+    }
+
+    #[test]
     fn json_shape() {
         let mut q = QueryProfile::default();
         q.merge(PipelineProfile {
@@ -461,5 +660,28 @@ mod tests {
         assert!(json.contains("\"detail\":\"limit=3\""));
         assert!(json.contains("\"materializes\":true"));
         assert!(json.contains("\"time_ns\":100"));
+        // No estimates recorded: per-op est keys absent, worst null.
+        assert!(!json.contains("\"est\":"));
+        assert!(json.contains("\"worst_misestimate\":null"));
+        assert!(json.contains("\"spans\":[]"));
+
+        let mut scan = op(OpKind::ForScan, "", 6);
+        scan.estimate = Some(3);
+        q.merge(PipelineProfile {
+            executions: 1,
+            workers: 1,
+            ops: vec![scan],
+        });
+        q.spans.push(Span::leaf("pipeline #0", 0, 100));
+        let json = q.to_json();
+        assert!(json.contains("\"est\":3,\"q_error\":2.00"), "{json}");
+        assert!(
+            json.contains("\"worst_misestimate\":{\"op\":\"ForScan\",\"est\":3,\"actual\":6,\"q_error\":2.00}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"spans\":[{\"name\":\"pipeline #0\""),
+            "{json}"
+        );
     }
 }

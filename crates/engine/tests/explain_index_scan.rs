@@ -112,4 +112,8 @@ fn explain_analyze_reports_index_scan_counters() {
         text.contains("index scans: hits=1 index_tuples=2 walk_tuples=0"),
         "{text}"
     );
+    // The statistics-driven estimate rides along: 6 `item` elements,
+    // value-eq probe guessed at ⌈√6⌉ = 2 — exactly the 2 matches.
+    assert!(text.contains("est/actual=2/2 (q=1.0)"), "{text}");
+    assert!(text.contains("worst misestimate:"), "{text}");
 }

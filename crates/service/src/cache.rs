@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use xqa_engine::{Engine, EngineOptions, EngineResult, PreparedQuery};
+use xqa_engine::{Engine, EngineOptions, EngineResult, PreparedQuery, Tracer};
 
 type CacheKey = (String, EngineOptions, u64);
 
@@ -182,13 +182,26 @@ impl PlanCache {
         engine: &Engine,
         query: &str,
     ) -> EngineResult<(Arc<PreparedQuery>, bool)> {
+        self.get_or_compile_traced(engine, query, None)
+    }
+
+    /// Like [`PlanCache::get_or_compile_status`], but threads a
+    /// [`Tracer`] into the compilation pipeline so compile-phase events
+    /// (parse, rewrites fired, bytecode lowering) land in the caller's
+    /// trace sink. Cache hits emit nothing — compilation never ran.
+    pub fn get_or_compile_traced(
+        &self,
+        engine: &Engine,
+        query: &str,
+        tracer: Option<&Tracer>,
+    ) -> EngineResult<(Arc<PreparedQuery>, bool)> {
         let version = engine.statistics().map_or(0, |s| s.version());
         let key = (query.to_string(), engine.options(), version);
         if let Some(plan) = self.inner.lock().expect("plan cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((plan, false));
         }
-        let plan = Arc::new(engine.compile(query)?);
+        let plan = Arc::new(engine.compile_traced(query, tracer)?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.inner.lock().expect("plan cache poisoned").insert(
             key,

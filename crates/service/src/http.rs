@@ -13,15 +13,29 @@ pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 /// Maximum accepted request-body size.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
-/// A parsed request: method, target and raw body.
+/// A parsed request: method, target, headers and raw body.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Request {
     /// The HTTP method, uppercased as received (`GET`, `POST`, ...).
     pub method: String,
     /// The request target (path plus any query string).
     pub target: String,
+    /// Header `(name, value)` pairs in arrival order, names lowercased,
+    /// values trimmed. Bounded by [`MAX_HEADER_BYTES`] like the rest of
+    /// the header section.
+    pub headers: Vec<(String, String)>,
     /// The request body (empty without `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Why a request could not be parsed.
@@ -88,6 +102,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
     }
 
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let line = read_line(reader, &mut budget)?;
         if line.is_empty() {
@@ -96,12 +111,14 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
         let Some((name, value)) = line.split_once(':') else {
             return Err(RequestError::Malformed("header line"));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse()
                 .map_err(|_| RequestError::Malformed("content-length"))?;
         }
+        headers.push((name, value));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::TooLarge);
@@ -111,6 +128,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
     Ok(Request {
         method,
         target,
+        headers,
         body,
     })
 }
@@ -223,6 +241,24 @@ mod tests {
     fn header_names_are_case_insensitive() {
         let req = parse(b"POST /q HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi").unwrap();
         assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn headers_are_retained_and_looked_up_case_insensitively() {
+        let req =
+            parse(b"POST /q HTTP/1.1\r\nX-Request-Id:  abc-123 \r\nContent-Length: 2\r\n\r\nhi")
+                .unwrap();
+        assert_eq!(req.header("x-request-id"), Some("abc-123"));
+        assert_eq!(req.header("X-REQUEST-ID"), Some("abc-123"));
+        assert_eq!(req.header("content-length"), Some("2"));
+        assert_eq!(req.header("absent"), None);
+        assert_eq!(
+            req.headers,
+            vec![
+                ("x-request-id".to_string(), "abc-123".to_string()),
+                ("content-length".to_string(), "2".to_string()),
+            ]
+        );
     }
 
     #[test]

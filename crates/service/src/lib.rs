@@ -30,6 +30,7 @@
 
 pub mod cache;
 pub mod catalog;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod pool;
@@ -37,6 +38,7 @@ pub mod server;
 
 pub use cache::PlanCache;
 pub use catalog::{CatalogError, DocumentCatalog};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use metrics::Metrics;
 pub use pool::ThreadPool;
 pub use server::{Server, ServiceConfig};

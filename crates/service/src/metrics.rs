@@ -170,6 +170,15 @@ mod tests {
     }
 
     #[test]
+    fn every_quantile_of_a_single_sample_is_its_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(300)); // bucket le=500
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_us(q), 500, "q={q}");
+        }
+    }
+
+    #[test]
     fn overflow_observations_clamp_to_the_last_bound() {
         let h = LatencyHistogram::default();
         h.record(Duration::from_secs(30));

@@ -7,6 +7,9 @@
 //! POST /query?profile=true  -> 200 {"request_id":...,"result":...,"stats":...,"profile":...}
 //! GET  /healthz             -> 200 "ok"
 //! GET  /metrics             -> 200 Prometheus-style text
+//! GET  /debug/queries       -> 200 flight-recorder ring, newest first
+//! GET  /debug/query/<id>    -> 200 one full record (spans, stats, compile trace)
+//! GET  /debug/plans         -> 200 per-plan-fingerprint aggregates
 //! ```
 //!
 //! Every request gets its own [`DynamicContext`] built from the shared
@@ -17,8 +20,12 @@
 //! totals block that `/metrics` reads. Plans come from the LRU
 //! [`PlanCache`]; rewrite-fired counters bump only on cache misses so
 //! one compilation is counted exactly once. Every response carries an
-//! `X-Request-Id` header, and queries slower than the configured
-//! threshold land in a slow-query log on stderr.
+//! `X-Request-Id` header — the client's own, when it sent one — and
+//! queries slower than the configured threshold land in a slow-query
+//! log on stderr. Completed requests also deposit a record in the
+//! [`FlightRecorder`] behind the `/debug/*` endpoints: plan
+//! fingerprint, latency, stats, span timeline and the worst
+//! cardinality misestimate, aggregated per plan shape.
 //!
 //! [`EvalStats`]: xqa_engine::EvalStats
 //! [`DynamicContext`]: xqa_engine::DynamicContext
@@ -31,12 +38,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use xqa_engine::{
-    Engine, EngineOptions, EvalStats, EvalStatsSnapshot, OpKind, QueryProfile, RewriteKind,
+    Engine, EngineOptions, EvalStats, EvalStatsSnapshot, MonotonicClock, OpKind, QueryProfile,
+    RewriteKind, TraceRing, Tracer,
 };
 use xqa_xmlparse::serialize_sequence;
 
 use crate::cache::PlanCache;
 use crate::catalog::DocumentCatalog;
+use crate::flight::{self, FlightRecord, FlightRecorder};
 use crate::http::{self, Request, RequestError};
 use crate::metrics::Metrics;
 use crate::pool::ThreadPool;
@@ -56,6 +65,9 @@ pub struct ServiceConfig {
     /// Log queries slower than this many milliseconds to stderr
     /// (`None` disables the slow-query log).
     pub slow_query_ms: Option<u64>,
+    /// Completed-query records retained by the flight recorder
+    /// (`0` disables recording).
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +78,7 @@ impl Default for ServiceConfig {
             engine_options: EngineOptions::default(),
             read_timeout: Duration::from_secs(10),
             slow_query_ms: None,
+            flight_recorder_capacity: 256,
         }
     }
 }
@@ -85,6 +98,11 @@ struct Shared {
     /// [`RewriteKind::ALL`] position (cache misses only).
     rewrites_fired: [AtomicU64; RewriteKind::ALL.len()],
     next_request_id: AtomicU64,
+    /// The always-on flight recorder behind the `/debug/*` endpoints.
+    flight: FlightRecorder,
+    /// One process-lifetime clock stamps every trace event so compile
+    /// timelines from different requests are comparable.
+    trace_clock: Arc<MonotonicClock>,
     slow_query_ms: Option<u64>,
     /// Resolved intra-query parallelism (the `threads` engine option
     /// after defaulting), exported on `/metrics`.
@@ -143,6 +161,8 @@ impl Server {
             op_tuples: std::array::from_fn(|_| AtomicU64::new(0)),
             rewrites_fired: std::array::from_fn(|_| AtomicU64::new(0)),
             next_request_id: AtomicU64::new(0),
+            flight: FlightRecorder::new(config.flight_recorder_capacity),
+            trace_clock: Arc::new(MonotonicClock::new()),
             slow_query_ms: config.slow_query_ms,
             query_threads: xqa_engine::resolve_threads(config.engine_options.threads),
             pool: ThreadPool::new("xqa-worker", workers),
@@ -236,7 +256,33 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
         ("POST", "/query") => handle_query(stream, request, shared),
         ("GET", "/healthz") => respond_text(stream, 200, "ok\n"),
         ("GET", "/metrics") => respond_text(stream, 200, &render_metrics(shared)),
-        (_, "/query" | "/healthz" | "/metrics") => {
+        ("GET", "/debug/queries") => {
+            respond(
+                stream,
+                200,
+                "application/json",
+                shared.flight.recent_json().as_bytes(),
+            );
+        }
+        ("GET", "/debug/plans") => {
+            respond(
+                stream,
+                200,
+                "application/json",
+                shared.flight.plans_json(DEBUG_PLANS_TOP_K).as_bytes(),
+            );
+        }
+        ("GET", p) if p.starts_with("/debug/query/") => {
+            let id = &p["/debug/query/".len()..];
+            match shared.flight.query_json(id) {
+                Some(body) => respond(stream, 200, "application/json", body.as_bytes()),
+                None => {
+                    Metrics::bump(&shared.metrics.not_found);
+                    respond_text(stream, 404, "no such request id\n");
+                }
+            }
+        }
+        (_, "/query" | "/healthz" | "/metrics" | "/debug/queries" | "/debug/plans") => {
             Metrics::bump(&shared.metrics.not_found);
             respond_text(stream, 405, "method not allowed\n");
         }
@@ -245,6 +291,21 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             respond_text(stream, 404, "not found\n");
         }
     }
+}
+
+/// How many per-fingerprint aggregates `GET /debug/plans` returns.
+const DEBUG_PLANS_TOP_K: usize = 20;
+
+/// The client's `X-Request-Id`, when one arrived and is sane
+/// (non-empty, bounded, no control characters — it is echoed inside a
+/// response header). `None` means "generate one".
+fn client_request_id(request: &Request) -> Option<String> {
+    const MAX_ID_CHARS: usize = 128;
+    let id = request.header("x-request-id")?;
+    let sane = !id.is_empty()
+        && id.chars().count() <= MAX_ID_CHARS
+        && id.chars().all(|c| (c as u32) >= 0x20 && c != '\u{7f}');
+    sane.then(|| id.to_string())
 }
 
 /// What a successful query evaluation hands back to the response path.
@@ -257,19 +318,39 @@ struct QueryOutcome {
 
 fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     let start = Instant::now();
-    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    // One counter draw per request: it is the trace query id, and the
+    // response's request id when the client did not supply one.
+    let seq = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let request_id = client_request_id(request).unwrap_or_else(|| seq.to_string());
     Metrics::bump(&shared.metrics.query_requests);
     let want_profile = matches!(
         http::query_param(&request.target, "profile"),
         Some("true") | Some("1")
     );
+    // Compile-phase trace events are collected per request (only cache
+    // misses emit any) and retired into the flight record.
+    let trace_ring = shared
+        .flight
+        .enabled()
+        .then(|| Arc::new(TraceRing::new(64)));
+    let tracer = trace_ring.as_ref().map(|ring| {
+        Tracer::new(
+            seq,
+            Arc::clone(&shared.trace_clock) as _,
+            Arc::clone(ring) as _,
+        )
+    });
+    // (fingerprint, served-from-cache) once the plan exists — survives
+    // into the flight record even when the run itself fails.
+    let mut plan_meta: Option<(u64, bool)> = None;
     let outcome = (|| {
         let query = std::str::from_utf8(&request.body)
             .map_err(|_| ("body".to_string(), "query text must be UTF-8".to_string()))?;
         let (plan, compiled_now) = shared
             .cache
-            .get_or_compile_status(&shared.engine, query)
+            .get_or_compile_traced(&shared.engine, query, tracer.as_ref())
             .map_err(|e| ("compile".to_string(), e.to_string()))?;
+        plan_meta = Some((plan.fingerprint(), !compiled_now));
         if compiled_now {
             // Count each rewrite once per compilation, not per request:
             // cache hits reuse the plan without re-firing anything.
@@ -305,8 +386,44 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     })();
     let elapsed = start.elapsed();
     shared.metrics.query_latency.record(elapsed);
-    let id_text = request_id.to_string();
-    let id_header: [(&str, &str); 1] = [("X-Request-Id", &id_text)];
+    if shared.flight.enabled() {
+        let trace_json = trace_ring
+            .as_ref()
+            .map_or_else(|| "[]".to_string(), |r| r.to_json());
+        let record = match &outcome {
+            Ok(o) => FlightRecord {
+                request_id: request_id.clone(),
+                fingerprint: plan_meta.map(|(fp, _)| fp),
+                query: flight::truncate_query(&o.query),
+                ok: true,
+                error: None,
+                cached_plan: plan_meta.is_some_and(|(_, cached)| cached),
+                latency_us: elapsed.as_micros() as u64,
+                tuples: o.stats.tuples_produced,
+                worst_q_error: o.profile.worst_misestimate().map(|m| m.q_error),
+                stats_json: Some(o.stats.to_json()),
+                profile_json: Some(o.profile.to_json()),
+                trace_json,
+            },
+            Err((kind, message)) => FlightRecord {
+                request_id: request_id.clone(),
+                fingerprint: plan_meta.map(|(fp, _)| fp),
+                query: flight::truncate_query(&String::from_utf8_lossy(&request.body)),
+                ok: false,
+                error: Some(format!("{kind}: {message}")),
+                cached_plan: plan_meta.is_some_and(|(_, cached)| cached),
+                latency_us: elapsed.as_micros() as u64,
+                tuples: 0,
+                worst_q_error: None,
+                stats_json: None,
+                profile_json: None,
+                trace_json,
+            },
+        };
+        shared.flight.record(record);
+    }
+    let id_header: [(&str, &str); 1] = [("X-Request-Id", &request_id)];
+    let id_json = http::json_escape(&request_id);
     match outcome {
         Ok(outcome) => {
             Metrics::bump(&shared.metrics.query_ok);
@@ -323,7 +440,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             }
             if want_profile {
                 let body = format!(
-                    "{{\"request_id\":{request_id},\"result\":\"{}\",\"stats\":{},\"profile\":{}}}",
+                    "{{\"request_id\":\"{id_json}\",\"result\":\"{}\",\"stats\":{},\"profile\":{}}}",
                     http::json_escape(&outcome.body),
                     outcome.stats.to_json(),
                     outcome.profile.to_json()
@@ -342,7 +459,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
         Err((kind, message)) => {
             Metrics::bump(&shared.metrics.query_errors);
             let body = format!(
-                "{{\"request_id\":{request_id},\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
+                "{{\"request_id\":\"{id_json}\",\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
                 http::json_escape(&kind),
                 http::json_escape(&message)
             );
@@ -409,6 +526,11 @@ fn render_metrics(shared: &Shared) -> String {
     line("xqa_scan_walk_tuples_total", stats.scan_walk_tuples);
     line("xqa_eval_expr_compiled_total", stats.expr_compiled);
     line("xqa_eval_expr_fallback_total", stats.expr_fallback);
+    line("xqa_flight_records", shared.flight.len() as u64);
+    line(
+        "xqa_plan_fingerprints",
+        shared.flight.fingerprint_count() as u64,
+    );
     for (i, kind) in OpKind::ALL.iter().enumerate() {
         let _ = writeln!(
             &mut out,
@@ -425,6 +547,11 @@ fn render_metrics(shared: &Shared) -> String {
             shared.rewrites_fired[i].load(Ordering::Relaxed)
         );
     }
+    let _ = writeln!(
+        &mut out,
+        "xqa_cardinality_qerror_max {:.4}",
+        shared.flight.max_q_error()
+    );
     let _ = writeln!(
         &mut out,
         "xqa_plan_cache_hit_rate {:.4}",
@@ -561,5 +688,122 @@ mod tests {
         server.shutdown();
         server.shutdown();
         drop(server);
+    }
+
+    /// One-shot POST with extra headers, returning the raw response
+    /// (status line + headers + body) for header assertions.
+    fn post_query_raw_response(addr: SocketAddr, query: &str, extra: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\n{extra}Content-Length: {}\r\n\r\n{}",
+            query.len(),
+            query
+        );
+        stream.write_all(raw.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    #[test]
+    fn client_request_ids_are_echoed_on_success_and_error() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let ok = post_query_raw_response(addr, "sum(//v)", "X-Request-Id: trace-me-42\r\n");
+        assert!(ok.contains("X-Request-Id: trace-me-42\r\n"), "{ok}");
+        let err = post_query_raw_response(addr, "for $x in", "X-Request-Id: trace-me-43\r\n");
+        assert!(err.contains("X-Request-Id: trace-me-43\r\n"), "{err}");
+        assert!(err.contains("\"request_id\":\"trace-me-43\""), "{err}");
+        // An unusable id (empty) falls back to a generated one.
+        let gen = post_query_raw_response(addr, "sum(//v)", "X-Request-Id:\r\n");
+        assert!(!gen.contains("X-Request-Id: \r\n"), "{gen}");
+        assert!(gen.contains("X-Request-Id: "), "{gen}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_endpoints_expose_the_flight_recorder() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let raw = post_query_raw_response(addr, "sum(//v)", "X-Request-Id: fr-1\r\n");
+        assert!(raw.contains("X-Request-Id: fr-1"), "{raw}");
+
+        let (status, body) = get(addr, "/debug/queries");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"request_id\":\"fr-1\""), "{body}");
+        assert!(body.contains("\"ok\":true"), "{body}");
+        assert!(body.contains("\"fingerprint\":\""), "{body}");
+
+        let (status, full) = get(addr, "/debug/query/fr-1");
+        assert_eq!(status, 200);
+        assert!(full.contains("\"profile\":{"), "{full}");
+        assert!(full.contains("\"spans\":["), "{full}");
+        // First request for this plan shape: compiled now, so the
+        // compile-phase trace events from PR 3's tracer are retained.
+        assert!(full.contains("\"cached_plan\":false"), "{full}");
+        assert!(full.contains("\"phase\":\"parse\""), "{full}");
+        assert!(full.contains("\"phase\":\"compile\""), "{full}");
+
+        // Re-running the same query hits the plan cache: same
+        // fingerprint, no compile events this time.
+        let _ = post_query_raw_response(addr, "sum(//v)", "X-Request-Id: fr-2\r\n");
+        let (_, cached) = get(addr, "/debug/query/fr-2");
+        assert!(cached.contains("\"cached_plan\":true"), "{cached}");
+        assert!(!cached.contains("\"phase\":\"parse\""), "{cached}");
+
+        let (status, plans) = get(addr, "/debug/plans");
+        assert_eq!(status, 200);
+        assert!(plans.contains("\"fingerprints\":1"), "{plans}");
+        assert!(plans.contains("\"count\":2"), "{plans}");
+
+        assert_eq!(get(addr, "/debug/query/never-seen").0, 404);
+        assert_eq!(post_query(addr, "1").0, 200); // POST /debug 405 check below
+        let (status, _) = request(addr, "POST /debug/queries HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_queries_are_recorded_too() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let _ = post_query_raw_response(addr, "for $x in", "X-Request-Id: boom\r\n");
+        let (status, full) = get(addr, "/debug/query/boom");
+        assert_eq!(status, 200);
+        assert!(full.contains("\"ok\":false"), "{full}");
+        assert!(full.contains("\"fingerprint\":null"), "{full}");
+        assert!(full.contains("\"error\":\"compile:"), "{full}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_export_flight_recorder_gauges() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let _ = post_query(addr, "sum(//v)");
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("xqa_flight_records 1"), "{body}");
+        assert!(body.contains("xqa_plan_fingerprints 1"), "{body}");
+        assert!(body.contains("xqa_cardinality_qerror_max "), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn recorder_off_serves_empty_debug_payloads() {
+        let mut catalog = DocumentCatalog::new();
+        catalog.set_context_xml("<r><v>1</v></r>").unwrap();
+        let config = ServiceConfig {
+            workers: 1,
+            flight_recorder_capacity: 0,
+            ..Default::default()
+        };
+        let server = Server::start("127.0.0.1:0", &catalog, config).expect("bind");
+        let addr = server.local_addr();
+        assert_eq!(post_query(addr, "sum(//v)").0, 200);
+        let (status, body) = get(addr, "/debug/queries");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"records\":[]"), "{body}");
+        assert_eq!(get(addr, "/debug/query/1").0, 404);
+        server.shutdown();
     }
 }

@@ -284,10 +284,76 @@ fn concurrent_profiled_requests_report_disjoint_stats() {
             "{op} missing in {groupby_body}"
         );
     }
-    assert!(groupby_body.contains("\"request_id\":1"), "{groupby_body}");
+    assert!(
+        groupby_body.contains("\"request_id\":\"1\""),
+        "{groupby_body}"
+    );
     assert!(groupby_body.contains("\"result\":\""), "{groupby_body}");
 
     server.shutdown();
+}
+
+#[test]
+fn flight_recorder_on_and_off_serve_byte_identical_bodies() {
+    let mut catalog = DocumentCatalog::new();
+    catalog.set_context(generate_orders(&OrdersConfig::with_total_lineitems(200)));
+    let start = |capacity: usize| {
+        Server::start(
+            "127.0.0.1:0",
+            &catalog,
+            ServiceConfig {
+                workers: 2,
+                flight_recorder_capacity: capacity,
+                ..Default::default()
+            },
+        )
+        .expect("start server")
+    };
+    let with_recorder = start(64);
+    let without_recorder = start(0);
+
+    // Identical traffic against both servers: the recorder observes
+    // requests, it must never change what they return — including
+    // error bodies, modulo nothing (request ids are client-pinned).
+    let queries = [
+        GROUPBY_QUERY,
+        RANK_QUERY,
+        "sum(//order/lineitem/quantity)",
+        "1 +",
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        let send = |addr: SocketAddr| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(
+                    format!(
+                        "POST /query HTTP/1.1\r\nHost: t\r\nX-Request-Id: diff-{i}\r\n\
+                         Content-Length: {}\r\n\r\n{q}",
+                        q.len()
+                    )
+                    .as_bytes(),
+                )
+                .expect("send");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("read");
+            response
+                .split_once("\r\n\r\n")
+                .map(|(_, b)| b.to_string())
+                .unwrap_or_default()
+        };
+        let on = send(with_recorder.local_addr());
+        let off = send(without_recorder.local_addr());
+        assert_eq!(on, off, "query {i} diverged with the recorder on");
+    }
+
+    // And the recorder did actually observe the on-server's traffic.
+    let (_, debug) = get(with_recorder.local_addr(), "/debug/queries");
+    assert!(debug.contains("\"request_id\":\"diff-0\""), "{debug}");
+    let (_, debug_off) = get(without_recorder.local_addr(), "/debug/queries");
+    assert!(debug_off.contains("\"records\":[]"), "{debug_off}");
+
+    with_recorder.shutdown();
+    without_recorder.shutdown();
 }
 
 #[test]
