@@ -30,6 +30,7 @@ fn recorder_tax_ns(profile_json: &str, query: &str) -> f64 {
         stats_json: Some("{\"tuples_produced\":1000}".to_string()),
         profile_json: Some(profile_json.to_string()),
         trace_json: "[]".to_string(),
+        rewrites: vec!["topk-pushdown".to_string()],
     };
     let timed = |recorder: &FlightRecorder| {
         let start = std::time::Instant::now();

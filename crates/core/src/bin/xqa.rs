@@ -21,6 +21,8 @@
 //!                               1 = serial)
 //!       --expr-eval MODE        scalar expression evaluation: auto | bytecode
 //!                               | tree (default auto)
+//!       --join MODE             joinable nested-FLWOR execution: auto | hash
+//!                               | nested (default auto)
 //!   -h, --help                  this help
 //!
 //! xqa serve [OPTIONS]           start the HTTP query service
@@ -39,13 +41,14 @@
 //!                               (default 256; 0 disables the recorder)
 //!       --detect-groupby        as above
 //!       --expr-eval MODE        as above (auto|bytecode|tree)
+//!       --join MODE             as above (auto|hash|nested)
 //! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use xqa::{
     parse_document, serialize_sequence_with, AccessPathMode, Clock, DynamicContext, Engine,
-    EngineOptions, ExprEvalMode, MonotonicClock, SerializeOptions, TickClock, TracePhase,
+    EngineOptions, ExprEvalMode, JoinMode, MonotonicClock, SerializeOptions, TickClock, TracePhase,
     TraceRing, TraceSink, Tracer,
 };
 use xqa_service::{DocumentCatalog, Server, ServiceConfig};
@@ -76,6 +79,7 @@ struct Args {
     threads: usize,
     access_path: AccessPathMode,
     expr_eval: ExprEvalMode,
+    join: JoinMode,
 }
 
 const USAGE: &str = "usage: xqa [OPTIONS] <query.xq | -q QUERY> [input.xml]
@@ -114,6 +118,10 @@ options:
                             where lowering succeeds), bytecode (same,
                             explicit), tree (always tree-walk); default
                             auto, overridable with XQA_FORCE_EXPR_EVAL
+      --join MODE           joinable nested-FLWOR execution: auto
+                            (statistics decide), hash (always unnest to a
+                            hash join), nested (never); default auto,
+                            overridable with XQA_FORCE_JOIN
   -h, --help                show this help
 serve options:
       --addr HOST:PORT      bind address (default 127.0.0.1:8399)
@@ -128,7 +136,8 @@ serve options:
                             /debug/plans endpoints (default 256;
                             0 disables the recorder)
       --access-path MODE    as above (auto|walk|index)
-      --expr-eval MODE      as above (auto|bytecode|tree)";
+      --expr-eval MODE      as above (auto|bytecode|tree)
+      --join MODE           as above (auto|hash|nested)";
 
 fn parse_doc_spec(spec: &str) -> Result<(String, String), String> {
     let (name, file) = spec
@@ -171,6 +180,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         threads: 0,
         access_path: AccessPathMode::Auto,
         expr_eval: ExprEvalMode::Auto,
+        join: JoinMode::Auto,
     };
     let mut it = raw;
     let mut positional: Vec<String> = Vec::new();
@@ -222,6 +232,11 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 let mode = it.next().ok_or("--expr-eval requires a mode")?;
                 args.expr_eval = ExprEvalMode::parse(&mode)
                     .ok_or_else(|| format!("invalid expr eval mode {mode} (auto|bytecode|tree)"))?;
+            }
+            "--join" => {
+                let mode = it.next().ok_or("--join requires a mode")?;
+                args.join = JoinMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid join mode {mode} (auto|hash|nested)"))?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -297,6 +312,7 @@ fn run(args: &Args) -> Result<(), String> {
         threads: args.threads,
         access_path: args.access_path,
         expr_eval: args.expr_eval,
+        join: args.join,
         ..Default::default()
     })
     .with_statistics(statistics);
@@ -401,6 +417,7 @@ struct ServeArgs {
     detect_groupby: bool,
     access_path: AccessPathMode,
     expr_eval: ExprEvalMode,
+    join: JoinMode,
 }
 
 fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, String> {
@@ -417,6 +434,7 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         detect_groupby: false,
         access_path: AccessPathMode::Auto,
         expr_eval: ExprEvalMode::Auto,
+        join: JoinMode::Auto,
     };
     let mut it = raw;
     while let Some(arg) = it.next() {
@@ -475,6 +493,11 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
                 args.expr_eval = ExprEvalMode::parse(&mode)
                     .ok_or_else(|| format!("invalid expr eval mode {mode} (auto|bytecode|tree)"))?;
             }
+            "--join" => {
+                let mode = it.next().ok_or("--join requires a mode")?;
+                args.join = JoinMode::parse(&mode)
+                    .ok_or_else(|| format!("invalid join mode {mode} (auto|hash|nested)"))?;
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -504,6 +527,7 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
             threads: args.query_threads,
             access_path: args.access_path,
             expr_eval: args.expr_eval,
+            join: args.join,
             ..Default::default()
         },
         slow_query_ms: args.slow_query_ms,

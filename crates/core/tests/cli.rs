@@ -279,3 +279,52 @@ fn serve_answers_queries_like_one_shot_runs() {
         .unwrap_or("");
     assert_eq!(body, expected);
 }
+
+#[test]
+fn join_flag_controls_unnesting() {
+    let input = write_temp(
+        "join.xml",
+        "<r><order><lineitem><shipmode>AIR</shipmode></lineitem>\
+         <lineitem><shipmode>RAIL</shipmode></lineitem></order>\
+         <order><lineitem><shipmode>AIR</shipmode></lineitem></order></r>",
+    );
+    let query = "for $m in distinct-values(//order/lineitem/shipmode) \
+                 let $items := for $li in //order/lineitem where $li/shipmode = $m return $li \
+                 order by string($m) \
+                 return <g>{string($m)}:{count($items)}</g>";
+    let run = |mode: &str| {
+        let out = xqa()
+            .args(["-q", query, "--explain", "--join", mode])
+            .arg(&input)
+            .output()
+            .expect("run xqa");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout).trim(),
+            "<g>AIR:2</g><g>RAIL:1</g>"
+        );
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert!(run("hash").contains("[hash join"), "hash mode must unnest");
+    assert!(
+        !run("nested").contains("[hash join"),
+        "nested mode must not unnest"
+    );
+    // The CLI builds catalog statistics from the input, so auto mode
+    // unnests too.
+    assert!(run("auto").contains("[hash join"), "auto mode must unnest");
+    let bad = xqa()
+        .args(["-q", "1", "--join", "sideways"])
+        .output()
+        .expect("run xqa");
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("invalid join mode"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}

@@ -581,10 +581,12 @@ impl Compiler {
             return_at,
             return_expr,
             parallel,
-            // Filled by the engine's expression-compilation and
-            // cardinality-estimation passes after all IR rewrites.
+            // Filled by the engine's expression-compilation,
+            // cardinality-estimation and join-unnesting passes after
+            // all IR rewrites.
             programs: Vec::new(),
             estimates: Vec::new(),
+            joins: Vec::new(),
         })))
     }
 

@@ -59,6 +59,11 @@ pub struct EvalStats {
     /// Scalar expression evaluations that fell back to the IR
     /// tree-walker because lowering declined the expression.
     pub expr_fallback: AtomicU64,
+    /// Probe lookups served by `HashJoin` operators (one per tuple
+    /// probed against a build table).
+    pub join_hash_probes: AtomicU64,
+    /// Items materialized into `HashJoin` build tables.
+    pub join_build_tuples: AtomicU64,
 }
 
 /// A plain-value copy of [`EvalStats`] taken at one instant.
@@ -92,6 +97,10 @@ pub struct EvalStatsSnapshot {
     pub expr_compiled: u64,
     /// Scalar expression evaluations that fell back to the tree-walker.
     pub expr_fallback: u64,
+    /// Probe lookups served by `HashJoin` operators.
+    pub join_hash_probes: u64,
+    /// Items materialized into `HashJoin` build tables.
+    pub join_build_tuples: u64,
 }
 
 impl EvalStats {
@@ -111,6 +120,8 @@ impl EvalStats {
         self.scan_walk_tuples.store(0, Ordering::Relaxed);
         self.expr_compiled.store(0, Ordering::Relaxed);
         self.expr_fallback.store(0, Ordering::Relaxed);
+        self.join_hash_probes.store(0, Ordering::Relaxed);
+        self.join_build_tuples.store(0, Ordering::Relaxed);
     }
 
     /// Add `n` to the nodes-visited counter.
@@ -176,6 +187,16 @@ impl EvalStats {
         self.expr_fallback.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add `n` to the hash-join probe counter.
+    pub fn add_join_hash_probes(&self, n: u64) {
+        self.join_hash_probes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add `n` to the hash-join build-tuple counter.
+    pub fn add_join_build_tuples(&self, n: u64) {
+        self.join_build_tuples.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Add a snapshot's counters into this block (used by the service
     /// to aggregate per-request snapshots into server-wide totals).
     pub fn add_snapshot(&self, s: &EvalStatsSnapshot) {
@@ -206,6 +227,10 @@ impl EvalStats {
             .fetch_add(s.expr_compiled, Ordering::Relaxed);
         self.expr_fallback
             .fetch_add(s.expr_fallback, Ordering::Relaxed);
+        self.join_hash_probes
+            .fetch_add(s.join_hash_probes, Ordering::Relaxed);
+        self.join_build_tuples
+            .fetch_add(s.join_build_tuples, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of all counters.
@@ -225,6 +250,8 @@ impl EvalStats {
             scan_walk_tuples: self.scan_walk_tuples.load(Ordering::Relaxed),
             expr_compiled: self.expr_compiled.load(Ordering::Relaxed),
             expr_fallback: self.expr_fallback.load(Ordering::Relaxed),
+            join_hash_probes: self.join_hash_probes.load(Ordering::Relaxed),
+            join_build_tuples: self.join_build_tuples.load(Ordering::Relaxed),
         }
     }
 }
@@ -237,7 +264,8 @@ impl EvalStatsSnapshot {
              \"comparisons\":{},\"tuples_produced\":{},\"tuples_pruned_filter\":{},\
              \"tuples_pruned_topk\":{},\"seq_items_copied\":{},\"seq_clones_shared\":{},\
              \"scan_index_hits\":{},\"scan_index_tuples\":{},\"scan_walk_tuples\":{},\
-             \"expr_compiled\":{},\"expr_fallback\":{}}}",
+             \"expr_compiled\":{},\"expr_fallback\":{},\
+             \"join_hash_probes\":{},\"join_build_tuples\":{}}}",
             self.nodes_visited,
             self.tuples_grouped,
             self.groups_emitted,
@@ -251,7 +279,9 @@ impl EvalStatsSnapshot {
             self.scan_index_tuples,
             self.scan_walk_tuples,
             self.expr_compiled,
-            self.expr_fallback
+            self.expr_fallback,
+            self.join_hash_probes,
+            self.join_build_tuples
         )
     }
 }
@@ -528,7 +558,7 @@ mod tests {
     fn snapshot_json_shape() {
         let json = EvalStatsSnapshot::default().to_json();
         assert!(json.starts_with("{\"nodes_visited\":0"));
-        assert!(json.ends_with("\"expr_fallback\":0}"));
+        assert!(json.ends_with("\"join_build_tuples\":0}"));
     }
 
     #[test]

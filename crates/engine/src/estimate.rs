@@ -21,9 +21,16 @@
 //!
 //! - `ForScan` — fan-out per input tuple from [`source_cardinality`];
 //!   unknown sources poison the rest of the chain (`None` propagates).
-//! - `LetBind` / `CountBind` — 1:1, estimate passes through.
-//! - `Filter` — fixed selectivity [`FILTER_SELECTIVITY`] (the classic
-//!   System-R default of 1/2 for an unanalyzed predicate).
+//! - `LetBind` / `CountBind` — 1:1, estimate passes through. A
+//!   `HashJoin`-annotated `let` is still 1:1 on the *tuple* stream (it
+//!   binds a sequence per tuple); the matched-pairs volume is the
+//!   classic [`join_cardinality`] `|build| × |probe| / ndv(key)`.
+//! - `Filter` — equality predicates against a value-indexed leaf use
+//!   the catalog's distinct-value count (`1/ndv` selectivity); a
+//!   `HashJoin`-annotated existential filter uses [`join_cardinality`]
+//!   capped at its input; everything else keeps the fixed
+//!   [`FILTER_SELECTIVITY`] (the classic System-R default of 1/2 for
+//!   an unanalyzed predicate).
 //! - `WindowScan` — emits an unknown number of windows → `None`.
 //! - `GroupConsume` — distinct-group count guessed as `⌈√n⌉` of its
 //!   input (no distinct-value statistics are kept yet).
@@ -70,7 +77,8 @@ fn estimate_chain(f: &FlworIr, stats: Option<&CatalogStatistics>) -> Vec<Option<
     // Tuples flowing into the next operator; the chain starts with the
     // single empty tuple every FLWOR conceptually begins from.
     let mut card: Option<u64> = Some(1);
-    for clause in &f.clauses {
+    for (i, clause) in f.clauses.iter().enumerate() {
+        let join = f.joins.get(i).and_then(|j| j.as_ref());
         card = match clause {
             ClauseIr::For { expr, .. } => {
                 let fanout = source_cardinality(expr, stats);
@@ -80,7 +88,19 @@ fn estimate_chain(f: &FlworIr, stats: Option<&CatalogStatistics>) -> Vec<Option<
                 }
             }
             ClauseIr::Let { .. } | ClauseIr::Count { .. } => card,
-            ClauseIr::Where(_) => card.map(|n| (n as f64 * FILTER_SELECTIVITY).ceil() as u64),
+            ClauseIr::Where(pred) => match join {
+                // Semi-join: tuples whose probe key hits the build
+                // table, estimated from the equi-join formula capped at
+                // the input (each tuple survives at most once).
+                Some(j) => match (card, join_estimate(j, card, stats)) {
+                    (Some(n), Some(m)) => Some(n.min(m)),
+                    _ => card.map(filter_fallback),
+                },
+                None => card.map(|n| match eq_pred_selectivity(pred, stats) {
+                    Some(sel) => ((n as f64 * sel).ceil() as u64).max(1),
+                    None => filter_fallback(n),
+                }),
+            },
             ClauseIr::Window(_) => None,
             ClauseIr::GroupBy(_) => card.map(|n| isqrt(n).max(1)),
             ClauseIr::OrderBy(ob) => match ob.limit {
@@ -95,11 +115,70 @@ fn estimate_chain(f: &FlworIr, stats: Option<&CatalogStatistics>) -> Vec<Option<
     estimates
 }
 
+fn filter_fallback(n: u64) -> u64 {
+    (n as f64 * FILTER_SELECTIVITY).ceil() as u64
+}
+
+/// Classic equi-join output cardinality under uniformity:
+/// `|build| × |probe| / ndv(key)` — every probe key matches
+/// `|build| / ndv` build rows on average.
+pub(crate) fn join_cardinality(build: u64, probe: u64, ndv: u64) -> u64 {
+    ((build as f64) * (probe as f64) / (ndv.max(1) as f64)).ceil() as u64
+}
+
+/// Matched-pairs estimate for an annotated join: build-side cardinality
+/// from [`source_cardinality`], key ndv from the catalog's per-name
+/// distinct counts (keyed by the build key's deepest named step).
+fn join_estimate(
+    j: &crate::ir::JoinIr,
+    probe: Option<u64>,
+    stats: Option<&CatalogStatistics>,
+) -> Option<u64> {
+    let build = source_cardinality(&j.build_src, stats)?;
+    let ndv = stats?.distinct_values(&key_leaf_name(&j.build_key)?)?;
+    Some(join_cardinality(build, probe?, ndv))
+}
+
+/// The deepest named element step of a key path — the leaf whose
+/// per-name ndv stands in for the join key's distinct count.
+fn key_leaf_name(key: &Ir) -> Option<xqa_xdm::QName> {
+    let Ir::Path(p) = key else { return None };
+    p.steps.iter().rev().find_map(|step| match step {
+        StepIr::Axis {
+            test: NodeTestIr::Name(q),
+            predicates,
+            ..
+        } if predicates.is_empty() => Some(q.clone()),
+        _ => None,
+    })
+}
+
+/// Selectivity of an equality `where` predicate whose compared side is
+/// a predicate-free named path (`$x/c = lit`, `//T/c = $v`, either
+/// operand order): `1/ndv` when the catalog can answer equality on that
+/// leaf exactly. `None` falls back to [`FILTER_SELECTIVITY`].
+fn eq_pred_selectivity(pred: &Ir, stats: Option<&CatalogStatistics>) -> Option<f64> {
+    use xqa_xdm::CompOp;
+    let stats = stats?;
+    let (Ir::GeneralComp(CompOp::Eq, a, b) | Ir::ValueComp(CompOp::Eq, a, b)) = pred else {
+        return None;
+    };
+    let ndv_of = |side: &Ir| {
+        let name = key_leaf_name(side)?;
+        if !stats.value_eq_indexable(&name, false) {
+            return None;
+        }
+        stats.distinct_values(&name)
+    };
+    let ndv = ndv_of(a).or_else(|| ndv_of(b))?;
+    Some(1.0 / ndv as f64)
+}
+
 /// How many items the planner expects a `for` binding sequence to
 /// yield. `None` means "no idea" — the honest answer for arbitrary
 /// expressions — and poisons downstream estimates rather than
 /// fabricating a magic constant.
-fn source_cardinality(expr: &Ir, stats: Option<&CatalogStatistics>) -> Option<u64> {
+pub(crate) fn source_cardinality(expr: &Ir, stats: Option<&CatalogStatistics>) -> Option<u64> {
     match expr {
         Ir::Int(_) | Ir::Dec(_) | Ir::Dbl(_) | Ir::Str(_) => Some(1),
         Ir::Empty => Some(0),
@@ -119,10 +198,10 @@ fn source_cardinality(expr: &Ir, stats: Option<&CatalogStatistics>) -> Option<u6
 /// the *deepest named element step* bounds the scan's output (each
 /// element appears at most once however it is reached), discounted by
 /// [`FILTER_SELECTIVITY`] per predicate on that step. A value-eq index
-/// probe selects among those elements by one child's value; without
-/// distinct-value statistics the group-count heuristic `⌈√n⌉` stands
-/// in for the number of matches per probed value (and subsumes the
-/// probe predicate itself).
+/// probe selects among those elements by one child's value: with the
+/// catalog's distinct count for that leaf, `count / ndv` matches per
+/// probed value; without it the group-count heuristic `⌈√n⌉` stands in
+/// (and subsumes the probe predicate itself).
 fn path_cardinality(p: &PathIr, stats: &CatalogStatistics) -> Option<u64> {
     if !matches!(p.start, PathStartIr::Root | PathStartIr::Context) {
         return None;
@@ -136,7 +215,10 @@ fn path_cardinality(p: &PathIr, stats: &CatalogStatistics) -> Option<u64> {
         _ => None,
     })?;
     let count = stats.element_count(deepest);
-    if let AccessPathIr::IndexValueEq { .. } = &p.access {
+    if let AccessPathIr::IndexValueEq { child, .. } = &p.access {
+        if let Some(ndv) = stats.distinct_values(child) {
+            return Some((count / ndv).max(1));
+        }
         return Some(isqrt(count).max(1));
     }
     let mut est = count as f64;

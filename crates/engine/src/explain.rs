@@ -220,7 +220,8 @@ fn write_ir(out: &mut String, threads: usize, ir: &Ir, depth: usize) {
             );
             for (i, clause) in f.clauses.iter().enumerate() {
                 let plan = f.programs.get(i).and_then(Option::as_ref);
-                write_clause(out, threads, clause, plan, depth + 1);
+                let join = f.joins.get(i).and_then(Option::as_ref);
+                write_clause(out, threads, clause, plan, join, depth + 1);
             }
             match f.return_at {
                 Some(slot) => line(out, depth + 1, &format!("return at slot{slot}")),
@@ -359,8 +360,15 @@ fn write_clause(
     threads: usize,
     clause: &ClauseIr,
     plan: Option<&ExprPlan>,
+    join: Option<&JoinIr>,
     depth: usize,
 ) {
+    // The `[hash join key=…]` tag on a join-annotated `let` / `where`:
+    // the clause runs as a HashJoin probe, not by re-evaluating the
+    // nested expression per tuple.
+    let join_tag = join
+        .map(|j| format!(" [hash join {}]", j.key_desc))
+        .unwrap_or_default();
     match clause {
         ClauseIr::For {
             slot,
@@ -377,11 +385,15 @@ fn write_clause(
             write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Let { slot, expr, .. } => {
-            line(out, depth, &format!("let slot{slot} :={}", expr_tag(plan)));
+            line(
+                out,
+                depth,
+                &format!("let slot{slot} :={}{join_tag}", expr_tag(plan)),
+            );
             write_ir(out, threads, expr, depth + 1);
         }
         ClauseIr::Where(cond) => {
-            line(out, depth, &format!("where{}", expr_tag(plan)));
+            line(out, depth, &format!("where{}{join_tag}", expr_tag(plan)));
             write_ir(out, threads, cond, depth + 1);
         }
         ClauseIr::Count { slot } => {
@@ -472,7 +484,8 @@ pub(crate) fn render_plan(f: &FlworIr, threads: usize) -> String {
         .plan
         .iter()
         .zip(&f.clauses)
-        .map(|(op, clause)| match op {
+        .enumerate()
+        .map(|(i, (op, clause))| match op {
             PlanOpIr::ForScan => "ForScan".to_string(),
             PlanOpIr::LetBind => "LetBind".to_string(),
             PlanOpIr::Filter => "Filter".to_string(),
@@ -484,6 +497,10 @@ pub(crate) fn render_plan(f: &FlworIr, threads: usize) -> String {
                     format!("OrderBy(limit={}) [heap]", ob.limit.unwrap())
                 }
                 _ => "OrderBy [materializes]".to_string(),
+            },
+            PlanOpIr::HashJoin => match f.joins.get(i).and_then(Option::as_ref) {
+                Some(j) => format!("HashJoin({})", j.key_desc),
+                None => "HashJoin".to_string(),
             },
         })
         .collect();

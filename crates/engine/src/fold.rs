@@ -268,6 +268,126 @@ pub(crate) fn child_irs(ir: &mut Ir) -> Vec<&mut Ir> {
     out
 }
 
+/// Read-only twin of [`child_irs`], for analyses that inspect subtrees
+/// while the parent is immutably borrowed (e.g. the join-unnesting
+/// detector's slot-reference and rebuild-safety checks). Keep the
+/// traversal coverage in sync with [`child_irs`].
+pub(crate) fn child_irs_ref(ir: &Ir) -> Vec<&Ir> {
+    let mut out: Vec<&Ir> = Vec::new();
+    match ir {
+        Ir::Str(_)
+        | Ir::Int(_)
+        | Ir::Dec(_)
+        | Ir::Dbl(_)
+        | Ir::Empty
+        | Ir::Var(_)
+        | Ir::Global(_)
+        | Ir::ContextItem
+        | Ir::Comment(_)
+        | Ir::Pi(..) => {}
+        Ir::Seq(items) => out.extend(items.iter()),
+        Ir::Range(a, b)
+        | Ir::Arith(_, a, b)
+        | Ir::GeneralComp(_, a, b)
+        | Ir::ValueComp(_, a, b)
+        | Ir::NodeComp(_, a, b)
+        | Ir::And(a, b)
+        | Ir::Or(a, b)
+        | Ir::SetOp(_, a, b) => {
+            out.push(a);
+            out.push(b);
+        }
+        Ir::Neg(a) | Ir::InstanceOf(a, _) | Ir::Cast(a, _, _) | Ir::Castable(a, _, _) => {
+            out.push(a)
+        }
+        Ir::If(c, t, e) => {
+            out.push(c);
+            out.push(t);
+            out.push(e);
+        }
+        Ir::Quantified {
+            bindings,
+            satisfies,
+            ..
+        } => {
+            out.extend(bindings.iter().map(|(_, e)| e));
+            out.push(satisfies);
+        }
+        Ir::Flwor(f) => {
+            for clause in &f.clauses {
+                match clause {
+                    ClauseIr::For { expr, .. } | ClauseIr::Let { expr, .. } => out.push(expr),
+                    ClauseIr::Where(cond) => out.push(cond),
+                    ClauseIr::Count { .. } => {}
+                    ClauseIr::Window(w) => {
+                        out.push(&w.expr);
+                        out.push(&w.start.when);
+                        if let Some(end) = &w.end {
+                            out.push(&end.when);
+                        }
+                    }
+                    ClauseIr::GroupBy(g) => {
+                        out.extend(g.keys.iter().map(|k| &k.expr));
+                        for nest in &g.nests {
+                            out.push(&nest.expr);
+                            if let Some(ob) = &nest.order_by {
+                                out.extend(ob.specs.iter().map(|s| &s.expr));
+                            }
+                        }
+                    }
+                    ClauseIr::OrderBy(ob) => out.extend(ob.specs.iter().map(|s| &s.expr)),
+                }
+            }
+            out.push(&f.return_expr);
+        }
+        Ir::Path(p) => {
+            if let PathStartIr::Expr(e) = &p.start {
+                out.push(e);
+            }
+            for step in &p.steps {
+                match step {
+                    StepIr::Axis { predicates, .. } => out.extend(predicates.iter()),
+                    StepIr::Expr { expr, predicates } => {
+                        out.push(expr);
+                        out.extend(predicates.iter());
+                    }
+                }
+            }
+        }
+        Ir::Filter { base, predicates } => {
+            out.push(base);
+            out.extend(predicates.iter());
+        }
+        Ir::CallBuiltin(_, args) | Ir::CallUser(_, args) => out.extend(args.iter()),
+        Ir::Element(el) => {
+            for (_, parts) in &el.attributes {
+                for part in parts {
+                    if let AttrPartIr::Enclosed(e) = part {
+                        out.push(e);
+                    }
+                }
+            }
+            for part in &el.content {
+                match part {
+                    ContentIr::Enclosed(e) | ContentIr::Child(e) => out.push(e),
+                    ContentIr::Literal(_) => {}
+                }
+            }
+        }
+        Ir::Attribute { value, .. } => {
+            if let Some(v) = value {
+                out.push(v);
+            }
+        }
+        Ir::Text(content) => {
+            if let Some(c) = content {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -245,6 +245,67 @@ pub struct FlworIr {
     /// the planner could not estimate. Empty (the construction
     /// default) until the engine's estimation pass runs.
     pub estimates: Vec<Option<u64>>,
+    /// Join annotations, aligned with `clauses` — the output of
+    /// [`crate::rewrite::detect_join_unnest`]. `Some` on a `let` or
+    /// `where` clause whose nested equality predicate was unnested to a
+    /// [`PlanOpIr::HashJoin`]; the clause's original IR is kept intact
+    /// so the nested-loop plan remains available (`--join nested`
+    /// differential baseline, and the per-probe fallback scan). Empty
+    /// (the construction default) until the detection pass runs.
+    pub joins: Vec<Option<JoinIr>>,
+}
+
+/// A join-graph annotation: one nested-FLWOR equality predicate proven
+/// unnestable into a hash join (see [`crate::rewrite::detect_join_unnest`]
+/// for the exact detection rules).
+#[derive(Debug, Clone)]
+pub struct JoinIr {
+    /// What the probe result feeds: a `let` binding of all matching
+    /// build items, or an existential `where` filter.
+    pub kind: JoinKindIr,
+    /// Slot of the inner binding variable (`$y`), bound per build item
+    /// when key expressions and the residual predicate are evaluated.
+    pub build_slot: Slot,
+    /// The build-side source — independent of every slot the enclosing
+    /// FLWOR binds, so it is evaluated once per FLWOR execution.
+    pub build_src: Ir,
+    /// The original equality predicate, re-evaluated per candidate to
+    /// verify bucket matches (and wholesale on the fallback scan path).
+    pub pred: Ir,
+    /// The predicate side that references `$y` — atomized per build
+    /// item into the hash-table keys.
+    pub build_key: Ir,
+    /// The predicate side independent of `$y` — atomized per probe
+    /// tuple into lookup keys.
+    pub probe_key: Ir,
+    /// Whether the probe side is the predicate's left operand
+    /// (evaluation-order bookkeeping: the runtime reproduces the
+    /// nested-loop plan's first-pair error ordering exactly).
+    pub probe_is_lhs: bool,
+    /// `true` for a value comparison (`eq`, singleton atomization with
+    /// XPTY0004 on more), `false` for a general comparison (`=`,
+    /// existential over both atomized sequences).
+    pub value_comp: bool,
+    /// Human-readable `probe ~ build` key description for explain
+    /// output and rewrite notes.
+    pub key_desc: String,
+}
+
+/// The output shape of an unnested join.
+#[derive(Debug, Clone)]
+pub enum JoinKindIr {
+    /// From `let $m := (for $y in S where <eq> return $y)`: bind `$m`
+    /// to every matching build item, in build order.
+    LetMany {
+        /// The `let` clause's slot.
+        slot: Slot,
+        /// The `let` clause's declared type check, if any.
+        ty: Option<SeqTypeIr>,
+    },
+    /// From `where some $y in S satisfies <eq>`: keep the tuple iff any
+    /// build item matches (first match short-circuits, like the
+    /// quantifier it replaces).
+    ExistsSemi,
 }
 
 /// One operator of the compiled pipeline plan.
@@ -271,11 +332,16 @@ pub enum PlanOpIr {
     /// `order by` — pipeline breaker: full sort, or a bounded binary
     /// heap when [`OrderByIr::limit`] is set (top-k in O(n log k)).
     OrderBy,
+    /// An unnested join probe (`let` binding or existential filter with
+    /// a [`JoinIr`] annotation): streams probe tuples against a build
+    /// table materialized once per FLWOR execution.
+    HashJoin,
 }
 
 impl PlanOpIr {
     /// Whether the operator streams tuples through (`true`) or must
-    /// materialize its whole input first (`false`).
+    /// materialize its whole input first (`false`). `HashJoin` streams:
+    /// only the build side (not the tuple stream) is materialized.
     pub fn streams(&self) -> bool {
         !matches!(self, PlanOpIr::GroupConsume | PlanOpIr::OrderBy)
     }

@@ -85,6 +85,11 @@ pub struct EngineOptions {
     /// programs; the `XQA_FORCE_EXPR_EVAL` environment variable
     /// (`bytecode` | `tree`) overrides at compile time.
     pub expr_eval: ExprEvalMode,
+    /// How joinable nested-FLWOR equality predicates are executed (see
+    /// [`JoinMode`]). `Auto` (the default) consults catalog statistics;
+    /// the `XQA_FORCE_JOIN` environment variable (`hash` | `nested`)
+    /// overrides at compile time, mirroring `XQA_FORCE_ACCESS_PATH`.
+    pub join: JoinMode,
 }
 
 impl Default for EngineOptions {
@@ -96,6 +101,7 @@ impl Default for EngineOptions {
             threads: 0,
             access_path: AccessPathMode::Auto,
             expr_eval: ExprEvalMode::Auto,
+            join: JoinMode::Auto,
         }
     }
 }
@@ -202,6 +208,64 @@ pub fn resolve_expr_eval(requested: ExprEvalMode) -> ExprEvalMode {
     requested
 }
 
+/// Plan-time policy for joinable nested-FLWOR equality predicates
+/// (an inner `for $y in <independent source> where $x/k eq $y/k`
+/// binding, or its `some $y satisfies` existential form).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum JoinMode {
+    /// Decide from catalog statistics: unnest to a `HashJoin` only when
+    /// statistics are attached and the build side is either unknown or
+    /// small enough to materialize ([`MAX_HASH_BUILD_ROWS`]). With no
+    /// statistics attached every plan keeps the nested-loop evaluation,
+    /// so plans compiled without a catalog behave exactly as before.
+    #[default]
+    Auto,
+    /// Unnest every eligible join shape regardless of statistics; the
+    /// runtime still falls back to an ordered build scan per probe when
+    /// atom classes make hashing unable to reproduce comparison errors.
+    Hash,
+    /// Never unnest: always re-evaluate the inner FLWOR per tuple.
+    Nested,
+}
+
+/// `Auto` declines to build a hash table the planner expects to exceed
+/// this many rows (it would trade O(n·m) time for an oversized
+/// materialization); `Hash` ignores the bound.
+pub const MAX_HASH_BUILD_ROWS: u64 = 10_000_000;
+
+impl JoinMode {
+    /// The wire/CLI name (`auto` | `hash` | `nested`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JoinMode::Auto => "auto",
+            JoinMode::Hash => "hash",
+            JoinMode::Nested => "nested",
+        }
+    }
+
+    /// Parse a wire/CLI name; `None` for anything unrecognized.
+    pub fn parse(s: &str) -> Option<JoinMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(JoinMode::Auto),
+            "hash" => Some(JoinMode::Hash),
+            "nested" => Some(JoinMode::Nested),
+            _ => None,
+        }
+    }
+}
+
+/// The effective join mode: `XQA_FORCE_JOIN` (`hash` | `nested`) wins
+/// over the engine option, mirroring [`resolve_access_path`]. Unknown
+/// values are ignored, not errors.
+pub fn resolve_join(requested: JoinMode) -> JoinMode {
+    if let Ok(v) = std::env::var("XQA_FORCE_JOIN") {
+        if let Some(mode) = JoinMode::parse(&v) {
+            return mode;
+        }
+    }
+    requested
+}
+
 /// Resolve a requested degree of parallelism to an effective thread
 /// count: an explicit `requested > 0` wins, then a positive integer in
 /// the `XQA_THREADS` environment variable, then
@@ -237,16 +301,20 @@ pub enum RewriteKind {
     /// `//T` scan or value predicate annotated to resolve against the
     /// document store's label-range / typed-value indexes.
     IndexScan,
+    /// Nested-FLWOR equality predicate over an independent source
+    /// unnested into a `HashJoin` pipeline operator.
+    JoinUnnest,
 }
 
 impl RewriteKind {
     /// Every rewrite kind, in compilation order.
-    pub const ALL: [RewriteKind; 5] = [
+    pub const ALL: [RewriteKind; 6] = [
         RewriteKind::ImplicitGroupBy,
         RewriteKind::ConstantFolding,
         RewriteKind::TopKPushdown,
         RewriteKind::PathFusion,
         RewriteKind::IndexScan,
+        RewriteKind::JoinUnnest,
     ];
 
     /// The wire name of the rewrite.
@@ -257,6 +325,7 @@ impl RewriteKind {
             RewriteKind::TopKPushdown => "topk-pushdown",
             RewriteKind::PathFusion => "path-fusion",
             RewriteKind::IndexScan => "index-scan",
+            RewriteKind::JoinUnnest => "join-unnest",
         }
     }
 }
@@ -405,6 +474,17 @@ impl Engine {
             )
             .into_iter()
             .map(note(RewriteKind::IndexScan)),
+        );
+        // Join unnesting runs after index annotation so the build-side
+        // cardinality gate sees the final access paths.
+        rewrites.extend(
+            rewrite::detect_join_unnest(
+                &mut compiled,
+                resolve_join(self.options.join),
+                self.statistics.as_deref(),
+            )
+            .into_iter()
+            .map(note(RewriteKind::JoinUnnest)),
         );
         // Cardinality estimation runs after every plan-shaping rewrite
         // (it reads top-k limits and access-path annotations) and

@@ -27,18 +27,21 @@
 use crate::bytecode::{ExprPlan, ExprProgram};
 use crate::context::{EvalStats, Focus};
 use crate::error::{EngineError, EngineResult};
-use crate::eval::{Env, Interpreter};
+use crate::eval::{opt_atomic, untyped_to_string, Env, Interpreter};
 use crate::ir::*;
-use crate::keys::GroupIndex;
+use crate::keys::{atomic_key, GroupIndex};
 use crate::profile::{OpKind, OpProfile, PipelineProfile, Span};
 use crate::types::matches_seq_type;
 use std::cell::Cell;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use xqa_xdm::sequence::SequenceIntoIter;
-use xqa_xdm::{deep_equal, effective_boolean_value, ErrorCode, Item, Sequence, SequenceBuilder};
+use xqa_xdm::{
+    deep_equal, effective_boolean_value, AtomicValue, ErrorCode, Item, Sequence, SequenceBuilder,
+};
 
 use crate::flwor::{compare_order_keys, sort_keyed, OrderKeys};
 
@@ -142,6 +145,7 @@ fn run_serial(
 ) -> EngineResult<Sequence> {
     let profiler = interp.dynamic.profiler().cloned();
     let mut counters: Vec<Rc<OpCounters>> = Vec::new();
+    let cells = join_cells(f);
     let mut source: BoxSource = Box::new(Singleton { done: false });
     for (i, clause) in f.clauses.iter().enumerate() {
         source = match (i, seed.take(), clause) {
@@ -167,7 +171,9 @@ fn run_serial(
                 base: Tuple::default(),
                 input_done: true,
             }),
-            (_, _, clause) => clause_source(clause, flwor_plan(f, i), source),
+            (_, _, clause) => {
+                clause_source(clause, flwor_plan(f, i), join_at(f, &cells, i), source)
+            }
         };
         if profiler.is_some() {
             let c = Rc::new(OpCounters::default());
@@ -272,12 +278,24 @@ impl<'p> ExprEval<'p> {
 /// Lower one clause onto `input`, yielding the clause's operator.
 /// `plan` is the clause's entry in [`FlworIr::programs`] (None for
 /// clause kinds without a single lowerable expression, or in tree
-/// mode).
+/// mode). A clause whose plan slot the join-unnesting rewrite marked
+/// [`PlanOpIr::HashJoin`] lowers to the hash-join operator instead of
+/// its nested form; `join` carries the annotation plus the run-scoped
+/// build-table cell shared by every lowering of the same clause.
 fn clause_source<'p>(
     clause: &'p ClauseIr,
     plan: Option<&'p ExprPlan>,
+    join: Option<(&'p JoinIr, JoinCell)>,
     input: BoxSource<'p>,
 ) -> BoxSource<'p> {
+    if let Some((j, cell)) = join {
+        return Box::new(HashJoin {
+            input,
+            j,
+            cell,
+            table: None,
+        });
+    }
     match clause {
         ClauseIr::For {
             slot,
@@ -386,8 +404,8 @@ fn build_profile(
     for (i, (clause, c)) in f.clauses.iter().zip(counters).enumerate() {
         let cum = c.cum_nanos.get();
         ops.push(OpProfile {
-            kind: clause_op_kind(clause),
-            detail: clause_op_detail(clause),
+            kind: clause_op_kind(clause, join_ir(f, i)),
+            detail: clause_op_detail(clause, join_ir(f, i)),
             batches: c.batches.get(),
             tuples_in: upstream_out,
             tuples_out: c.tuples_out.get(),
@@ -428,7 +446,10 @@ fn serial_span(p: &PipelineProfile, start_nanos: u64, total_nanos: u64) -> Span 
     root
 }
 
-fn clause_op_kind(clause: &ClauseIr) -> OpKind {
+fn clause_op_kind(clause: &ClauseIr, join: Option<&JoinIr>) -> OpKind {
+    if join.is_some() {
+        return OpKind::HashJoin;
+    }
     match clause {
         ClauseIr::For { .. } => OpKind::ForScan,
         ClauseIr::Let { .. } => OpKind::LetBind,
@@ -440,7 +461,10 @@ fn clause_op_kind(clause: &ClauseIr) -> OpKind {
     }
 }
 
-fn clause_op_detail(clause: &ClauseIr) -> String {
+fn clause_op_detail(clause: &ClauseIr, join: Option<&JoinIr>) -> String {
+    if let Some(j) = join {
+        return j.key_desc.clone();
+    }
     match clause {
         ClauseIr::OrderBy(ob) => match ob.limit {
             Some(k) => format!("limit={k}"),
@@ -619,6 +643,480 @@ impl TupleSource for Filter<'_> {
             .stats
             .add_tuples_pruned_filter((before - out.len()) as u64);
         self.expr_eval.flush(interp.stats);
+        Ok(Some(out))
+    }
+}
+
+// ──────────────────────── hash join ────────────────────────
+//
+// The join-unnesting rewrite (`crate::rewrite::detect_join_unnest`)
+// marks a `let $m := for $y in SRC where KEY-pred return $y` clause or
+// a `where some $y in SRC satisfies KEY-pred` clause whose SRC is
+// independent of the enclosing bindings. The operator here replaces
+// the per-tuple nested loop: SRC is materialized *once per FLWOR
+// execution*, its key atoms bucketed by the canonical-key machinery of
+// `crate::keys`, and each probing tuple does one hash lookup plus an
+// exact verifying comparison per candidate.
+//
+// Output is byte-identical to the nested plan, including errors:
+//
+// - The build is lazy (first probing tuple). Zero probing tuples never
+//   evaluate SRC — exactly like the nested loop.
+// - Bucket hits are *candidates only*: equal values always share a
+//   canonical key, the converse is verified with the real `eq`, and
+//   candidates are visited in build order, so a many-match `let` binds
+//   its items in SRC order.
+// - Comparisons that could *raise* never take the hash path. Atoms are
+//   partitioned into comparison classes (string/untyped, the numeric
+//   tower, boolean, date, dateTime); within one class `=`/`eq` is
+//   total, across classes it can error. A build side that mixes
+//   classes or raised evaluating any key, and any probing tuple whose
+//   atoms fall outside the build's class, fall back to a literal
+//   nested-loop scan of the materialized items — same values, same
+//   errors, same error order as the nested plan.
+
+/// Comparison classes: `=`/`eq` between two atoms of the same class
+/// never raises, and value equality implies canonical-key equality.
+const CLASS_STRING: u8 = 1 << 0;
+const CLASS_NUMERIC: u8 = 1 << 1;
+const CLASS_BOOLEAN: u8 = 1 << 2;
+const CLASS_DATE: u8 = 1 << 3;
+const CLASS_DATETIME: u8 = 1 << 4;
+
+fn atom_class(v: &AtomicValue) -> u8 {
+    match v {
+        // Untyped atomics compare as strings against strings (both
+        // comparison kinds), so they share the string class; against
+        // any other class they cast — which can raise — so mixing
+        // routes to the fallback scan.
+        AtomicValue::String(_) | AtomicValue::Untyped(_) => CLASS_STRING,
+        AtomicValue::Integer(_) | AtomicValue::Decimal(_) | AtomicValue::Double(_) => CLASS_NUMERIC,
+        AtomicValue::Boolean(_) => CLASS_BOOLEAN,
+        AtomicValue::Date(_) => CLASS_DATE,
+        AtomicValue::DateTime(_) => CLASS_DATETIME,
+    }
+}
+
+/// `eq` between two atoms of one comparison class (the only pairing
+/// the class gate admits). NaN stays unequal to itself, matching both
+/// comparison kinds.
+fn atom_eq(a: &AtomicValue, b: &AtomicValue) -> bool {
+    let a = untyped_to_string(a.clone());
+    let b = untyped_to_string(b.clone());
+    matches!(
+        xqa_xdm::value_compare(&a, &b, xqa_xdm::CompOp::Eq),
+        Ok(true)
+    )
+}
+
+/// Existential match: any (probe atom, build atom) pair equal.
+fn atoms_match(probe: &[AtomicValue], build: &[AtomicValue]) -> bool {
+    probe.iter().any(|p| build.iter().any(|b| atom_eq(p, b)))
+}
+
+/// The materialized build side of one hash join.
+struct JoinTable {
+    /// SRC items in evaluation order.
+    items: Vec<Item>,
+    /// Per item, the atomized key (aligned with `items`; truncated and
+    /// unused when `scan_only`).
+    keys: Vec<Vec<AtomicValue>>,
+    /// Canonical atom key → ascending indices of items carrying it.
+    buckets: HashMap<String, Vec<usize>>,
+    /// Union of every build atom's class bit.
+    classes: u8,
+    /// Every probe must take the verbatim nested-loop scan: a build key
+    /// raised, or the build atoms span comparison classes.
+    scan_only: bool,
+}
+
+/// The per-run, per-clause build cell. Serial runs own one privately;
+/// parallel runs share it across workers, so whichever worker probes
+/// first builds and the rest (and the coordinator's replay chain)
+/// reuse the table — or replay the build's error.
+type JoinCell = Arc<OnceLock<Result<Arc<JoinTable>, EngineError>>>;
+
+/// One cell per clause carrying a join annotation, created per
+/// pipeline execution (enclosing bindings are fixed for the duration
+/// of one `run`, so the table is reusable exactly within it).
+fn join_cells(f: &FlworIr) -> Vec<Option<JoinCell>> {
+    f.joins
+        .iter()
+        .map(|j| j.as_ref().map(|_| JoinCell::default()))
+        .collect()
+}
+
+/// The join annotation + cell for clause `i`, if the rewrite attached
+/// one (the argument `clause_source` consumes).
+fn join_at<'p>(
+    f: &'p FlworIr,
+    cells: &[Option<JoinCell>],
+    i: usize,
+) -> Option<(&'p JoinIr, JoinCell)> {
+    let j = f.joins.get(i)?.as_ref()?;
+    let cell = cells.get(i)?.clone()?;
+    Some((j, cell))
+}
+
+fn join_ir(f: &FlworIr, i: usize) -> Option<&JoinIr> {
+    f.joins.get(i).and_then(Option::as_ref)
+}
+
+/// The build key of one item (already bound into the env), atomized
+/// under the comparison's rules: a value comparison admits at most one
+/// atom, a general comparison atomizes the whole sequence.
+fn eval_join_key(
+    j: &JoinIr,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<Vec<AtomicValue>> {
+    let seq = interp.eval(&j.build_key, env)?;
+    if j.value_comp {
+        Ok(opt_atomic(&seq, "value comparison")?.into_iter().collect())
+    } else {
+        Ok(seq.iter().map(Item::atomize).collect())
+    }
+}
+
+/// Evaluate SRC and materialize the build table (serial form).
+fn build_join_table(j: &JoinIr, interp: &Interpreter, env: &mut Env) -> EngineResult<JoinTable> {
+    let src = interp.eval(&j.build_src, env)?;
+    build_join_table_from(j, interp, env, src.into_iter().collect())
+}
+
+/// Key, classify and bucket already-materialized SRC items. A key that
+/// raises does not surface here: whether and when it would have in the
+/// nested plan depends on the probe (a `some` stops at its first
+/// preceding match), so the table just degrades to scan-only and the
+/// per-probe scan re-raises it at exactly the nested position.
+fn build_join_table_from(
+    j: &JoinIr,
+    interp: &Interpreter,
+    env: &mut Env,
+    items: Vec<Item>,
+) -> EngineResult<JoinTable> {
+    let mut table = JoinTable {
+        keys: Vec::with_capacity(items.len()),
+        items,
+        buckets: HashMap::new(),
+        classes: 0,
+        scan_only: false,
+    };
+    let mut scratch = String::new();
+    for (idx, item) in table.items.iter().enumerate() {
+        env.slots[j.build_slot] = Sequence::One(item.clone());
+        let Ok(atoms) = eval_join_key(j, interp, env) else {
+            table.scan_only = true;
+            break;
+        };
+        for a in &atoms {
+            table.classes |= atom_class(a);
+            scratch.clear();
+            atomic_key(a, &mut scratch);
+            let bucket = table.buckets.entry(scratch.clone()).or_default();
+            if bucket.last() != Some(&idx) {
+                bucket.push(idx);
+            }
+        }
+        table.keys.push(atoms);
+    }
+    if table.classes.count_ones() > 1 {
+        table.scan_only = true;
+    }
+    interp.stats.add_join_build_tuples(table.items.len() as u64);
+    Ok(table)
+}
+
+/// Morsel-partitioned build for the parallel pre-build: SRC items are
+/// chunked across scoped worker threads that atomize keys and bucket
+/// their chunk (global indices), then the per-chunk buckets merge in
+/// chunk order — per-key index lists stay ascending, so probe results
+/// are identical to the serial build.
+fn build_join_table_parallel(
+    j: &JoinIr,
+    interp: &Interpreter,
+    env: &mut Env,
+    threads: usize,
+) -> EngineResult<JoinTable> {
+    let src = interp.eval(&j.build_src, env)?;
+    let items: Vec<Item> = src.into_iter().collect();
+    if threads <= 1 || items.len() <= MORSEL {
+        return build_join_table_from(j, interp, env, items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let chunks: Vec<(usize, &[Item])> = items
+        .chunks(chunk)
+        .enumerate()
+        .map(|(ci, c)| (ci * chunk, c))
+        .collect();
+    let worker_stats: Vec<EvalStats> = (0..chunks.len()).map(|_| EvalStats::default()).collect();
+    type ChunkPart = (Vec<Vec<AtomicValue>>, HashMap<String, Vec<usize>>, u8, bool);
+    let mut parts: Vec<ChunkPart> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        for (ws, (base, chunk_items)) in worker_stats.iter().zip(&chunks) {
+            let winterp = interp.fork(ws);
+            let wslots = env.slots.clone();
+            let wfocus = env.focus.clone();
+            let (base, chunk_items) = (*base, *chunk_items);
+            handles.push(s.spawn(move || {
+                let mut wenv = Env {
+                    slots: wslots,
+                    focus: wfocus,
+                };
+                let mut keys: Vec<Vec<AtomicValue>> = Vec::with_capacity(chunk_items.len());
+                let mut buckets: HashMap<String, Vec<usize>> = HashMap::new();
+                let mut classes = 0u8;
+                let mut scratch = String::new();
+                for (off, item) in chunk_items.iter().enumerate() {
+                    wenv.slots[j.build_slot] = Sequence::One(item.clone());
+                    let Ok(atoms) = eval_join_key(j, &winterp, &mut wenv) else {
+                        return (keys, buckets, classes, true);
+                    };
+                    for a in &atoms {
+                        classes |= atom_class(a);
+                        scratch.clear();
+                        atomic_key(a, &mut scratch);
+                        let bucket = buckets.entry(scratch.clone()).or_default();
+                        if bucket.last() != Some(&(base + off)) {
+                            bucket.push(base + off);
+                        }
+                    }
+                    keys.push(atoms);
+                }
+                (keys, buckets, classes, false)
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("join build worker panicked"));
+        }
+    });
+    for ws in &worker_stats {
+        interp.stats.add_snapshot(&ws.snapshot());
+    }
+    let mut table = JoinTable {
+        keys: Vec::with_capacity(items.len()),
+        items,
+        buckets: HashMap::new(),
+        classes: 0,
+        scan_only: false,
+    };
+    for (keys, buckets, classes, raised) in parts {
+        table.classes |= classes;
+        table.keys.extend(keys);
+        for (key, idxs) in buckets {
+            table.buckets.entry(key).or_default().extend(idxs);
+        }
+        if raised {
+            // Scan-only regardless of which chunk noticed first: the
+            // flag depends only on the (deterministic) key values.
+            table.scan_only = true;
+            break;
+        }
+    }
+    if table.classes.count_ones() > 1 {
+        table.scan_only = true;
+    }
+    interp.stats.add_join_build_tuples(table.items.len() as u64);
+    Ok(table)
+}
+
+/// The probe key's atoms for the current tuple, or `None` when this
+/// tuple must take the fallback scan (an atom outside the build class
+/// means a real pair comparison could raise).
+fn probe_atoms(
+    j: &JoinIr,
+    table: &JoinTable,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<Option<Vec<AtomicValue>>> {
+    let seq = interp.eval(&j.probe_key, env)?;
+    let atoms: Vec<AtomicValue> = if j.value_comp {
+        opt_atomic(&seq, "value comparison")?.into_iter().collect()
+    } else {
+        seq.iter().map(Item::atomize).collect()
+    };
+    // An all-empty build side (classes == 0) can never pair with
+    // anything: no comparison happens, so any probe is safe (and
+    // matches nothing).
+    if table.classes != 0 && atoms.iter().any(|a| atom_class(a) != table.classes) {
+        return Ok(None);
+    }
+    Ok(Some(atoms))
+}
+
+/// Candidate build indices for a probe: the union of its atoms'
+/// buckets, ascending (build order) and deduplicated.
+fn join_candidates(table: &JoinTable, atoms: &[AtomicValue]) -> Vec<usize> {
+    let mut scratch = String::new();
+    let mut cands: Vec<usize> = Vec::new();
+    for a in atoms {
+        scratch.clear();
+        atomic_key(a, &mut scratch);
+        if let Some(bucket) = table.buckets.get(scratch.as_str()) {
+            cands.extend_from_slice(bucket);
+        }
+    }
+    cands.sort_unstable();
+    cands.dedup();
+    cands
+}
+
+/// One `let`-side probe: the matching build items in SRC order.
+fn probe_let(
+    j: &JoinIr,
+    table: &JoinTable,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<Sequence> {
+    if table.items.is_empty() {
+        // The nested loop iterates nothing and never touches the
+        // probe-side expression.
+        return Ok(Sequence::Empty);
+    }
+    if table.scan_only {
+        return scan_let(j, table, interp, env);
+    }
+    let Some(atoms) = probe_atoms(j, table, interp, env)? else {
+        return scan_let(j, table, interp, env);
+    };
+    interp.stats.add_join_hash_probes(1);
+    let mut out = SequenceBuilder::new();
+    for idx in join_candidates(table, &atoms) {
+        if atoms_match(&atoms, &table.keys[idx]) {
+            out.push(table.items[idx].clone());
+        }
+    }
+    Ok(out.build())
+}
+
+/// One semi-join probe: does any build item match?
+fn probe_semi(
+    j: &JoinIr,
+    table: &JoinTable,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<bool> {
+    if table.items.is_empty() {
+        return Ok(false);
+    }
+    if table.scan_only {
+        return scan_semi(j, table, interp, env);
+    }
+    let Some(atoms) = probe_atoms(j, table, interp, env)? else {
+        return scan_semi(j, table, interp, env);
+    };
+    interp.stats.add_join_hash_probes(1);
+    Ok(join_candidates(table, &atoms)
+        .into_iter()
+        .any(|idx| atoms_match(&atoms, &table.keys[idx])))
+}
+
+/// Verbatim replay of the nested `for $y in SRC where pred return $y`
+/// loop over the materialized items: same values, same errors, same
+/// error order (SRC is constructor-free, so materializing it once
+/// preserves item — and node — identity).
+fn scan_let(
+    j: &JoinIr,
+    table: &JoinTable,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<Sequence> {
+    let mut out = SequenceBuilder::new();
+    for item in &table.items {
+        env.slots[j.build_slot] = Sequence::One(item.clone());
+        let v = interp.eval(&j.pred, env)?;
+        if effective_boolean_value(&v).map_err(EngineError::from)? {
+            out.push(item.clone());
+        }
+    }
+    Ok(out.build())
+}
+
+/// Verbatim replay of `some $y in SRC satisfies pred`: first match
+/// wins, and — exactly like the quantifier — an erroring predicate
+/// only raises if no earlier item matched.
+fn scan_semi(
+    j: &JoinIr,
+    table: &JoinTable,
+    interp: &Interpreter,
+    env: &mut Env,
+) -> EngineResult<bool> {
+    for item in &table.items {
+        env.slots[j.build_slot] = Sequence::One(item.clone());
+        if interp.eval_ebv(&j.pred, env)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// The hash-join operator: a streaming binder (`let` shape) or filter
+/// (`some` shape) probing the shared build table.
+struct HashJoin<'p> {
+    input: BoxSource<'p>,
+    j: &'p JoinIr,
+    cell: JoinCell,
+    /// Resolved handle, cached after the first probe.
+    table: Option<Arc<JoinTable>>,
+}
+
+impl HashJoin<'_> {
+    /// The build table, building it on first use (and replaying the
+    /// build's error on every later probe, as re-evaluating SRC would).
+    fn table(&mut self, interp: &Interpreter, env: &mut Env) -> EngineResult<Arc<JoinTable>> {
+        if let Some(t) = &self.table {
+            return Ok(Arc::clone(t));
+        }
+        let built = self
+            .cell
+            .get_or_init(|| build_join_table(self.j, interp, env).map(Arc::new))
+            .clone()?;
+        self.table = Some(Arc::clone(&built));
+        Ok(built)
+    }
+}
+
+impl TupleSource for HashJoin<'_> {
+    fn next_batch(
+        &mut self,
+        interp: &Interpreter,
+        env: &mut Env,
+    ) -> EngineResult<Option<Vec<Tuple>>> {
+        let Some(batch) = self.input.next_batch(interp, env)? else {
+            return Ok(None);
+        };
+        let before = batch.len();
+        let mut out = Vec::with_capacity(before);
+        for mut t in batch {
+            t.apply(env);
+            let table = self.table(interp, env)?;
+            match &self.j.kind {
+                JoinKindIr::LetMany { slot, ty } => {
+                    let seq = probe_let(self.j, &table, interp, env)?;
+                    if let Some(ty) = ty {
+                        if !matches_seq_type(&seq, ty) {
+                            return Err(EngineError::dynamic(
+                                ErrorCode::XPTY0004,
+                                "let-binding value does not match its declared type",
+                            ));
+                        }
+                    }
+                    t.bind(*slot, seq);
+                    out.push(t);
+                }
+                JoinKindIr::ExistsSemi => {
+                    if probe_semi(self.j, &table, interp, env)? {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+        if matches!(self.j.kind, JoinKindIr::ExistsSemi) {
+            interp
+                .stats
+                .add_tuples_pruned_filter((before - out.len()) as u64);
+        }
         Ok(Some(out))
     }
 }
@@ -1185,6 +1683,23 @@ fn run_parallel(
         .unwrap_or(f.clauses.len());
     let morsel_count = items.len().div_ceil(MORSEL);
     let workers = threads.min(morsel_count);
+    let cells = join_cells(f);
+    // Pre-build a join table sitting directly behind the outer `for`
+    // with the morsel-partitioned parallel build. Safe to build eagerly
+    // only there: the outer binding has items (> MORSEL) and an
+    // untyped `for` cannot raise before its first tuple probes, so the
+    // build side is certain to be evaluated; behind any later clause a
+    // filter or a raising expression could mean it never is, and those
+    // joins stay lazy (first probing worker builds into the shared
+    // cell).
+    if let Some(j) = join_ir(f, 1) {
+        if matches!(&f.clauses[0], ClauseIr::For { ty: None, .. }) {
+            if let Some(cell) = cells[1].as_ref() {
+                let built = build_join_table_parallel(j, interp, env, threads).map(Arc::new);
+                let _ = cell.set(built);
+            }
+        }
+    }
     let profiler = interp.dynamic.profiler().cloned();
     let profiling = profiler.is_some();
     let clock = profiling.then(|| Arc::clone(interp.dynamic.clock()));
@@ -1208,6 +1723,7 @@ fn run_parallel(
             let wfocus = env.focus.clone();
             let next = &next;
             let error_floor = &error_floor;
+            let cells = &cells;
             handles.push(s.spawn(move || {
                 run_worker(
                     winterp,
@@ -1220,6 +1736,7 @@ fn run_parallel(
                     wslots,
                     wfocus,
                     profiling,
+                    cells,
                 )
             }));
         }
@@ -1425,7 +1942,12 @@ fn run_parallel(
     let mut down_counters: Vec<Rc<OpCounters>> = Vec::new();
     if has_breaker {
         for (j, clause) in f.clauses[cut + 1..].iter().enumerate() {
-            source = clause_source(clause, flwor_plan(f, cut + 1 + j), source);
+            source = clause_source(
+                clause,
+                flwor_plan(f, cut + 1 + j),
+                join_at(f, &cells, cut + 1 + j),
+                source,
+            );
             if profiling {
                 let c = Rc::new(OpCounters::default());
                 down_counters.push(Rc::clone(&c));
@@ -1482,6 +2004,7 @@ fn run_worker(
     slots: Vec<Sequence>,
     focus: Option<Focus>,
     profiling: bool,
+    cells: &[Option<JoinCell>],
 ) -> WorkerReport {
     let clock = profiling.then(|| Arc::clone(interp.dynamic.clock()));
     let loop_start = clock.as_ref().map(|c| c.now_nanos());
@@ -1519,7 +2042,9 @@ fn run_worker(
         if m >= morsel_count || m > error_floor.load(AtomicOrdering::Relaxed) {
             break;
         }
-        if let Err(e) = process_morsel(&interp, f, cut, items, m, &mut env, &mut acc, &counters) {
+        if let Err(e) = process_morsel(
+            &interp, f, cut, items, m, &mut env, &mut acc, &counters, cells,
+        ) {
             error_floor.fetch_min(m, AtomicOrdering::Relaxed);
             result = Err((m, e));
             break;
@@ -1598,6 +2123,7 @@ fn process_morsel(
     env: &mut Env,
     acc: &mut Acc,
     counters: &Option<Vec<Rc<OpCounters>>>,
+    cells: &[Option<JoinCell>],
 ) -> EngineResult<()> {
     let lo = m * MORSEL;
     let hi = items.len().min(lo + MORSEL);
@@ -1633,7 +2159,12 @@ fn process_morsel(
         });
     }
     for (i, clause) in f.clauses[1..cut].iter().enumerate() {
-        source = clause_source(clause, flwor_plan(f, i + 1), source);
+        source = clause_source(
+            clause,
+            flwor_plan(f, i + 1),
+            join_at(f, cells, i + 1),
+            source,
+        );
         if let Some(cs) = counters {
             source = Box::new(Instrumented {
                 input: source,
@@ -1788,8 +2319,8 @@ fn build_parallel_profile(
             self_nanos += w[i].cum_nanos.saturating_sub(prev);
         }
         ops.push(OpProfile {
-            kind: clause_op_kind(clause),
-            detail: clause_op_detail(clause),
+            kind: clause_op_kind(clause, join_ir(f, i)),
+            detail: clause_op_detail(clause, join_ir(f, i)),
             batches,
             tuples_in: upstream_out,
             tuples_out: out,
@@ -1805,8 +2336,8 @@ fn build_parallel_profile(
     if let Some((replay, down)) = breaker {
         let clause = &f.clauses[cut];
         ops.push(OpProfile {
-            kind: clause_op_kind(clause),
-            detail: clause_op_detail(clause),
+            kind: clause_op_kind(clause, join_ir(f, cut)),
+            detail: clause_op_detail(clause, join_ir(f, cut)),
             batches: replay.batches.get(),
             tuples_in: upstream_out,
             tuples_out: replay.tuples_out.get(),
@@ -1818,8 +2349,8 @@ fn build_parallel_profile(
         for (j, (clause, c)) in f.clauses[cut + 1..].iter().zip(down).enumerate() {
             let cum = c.cum_nanos.get();
             ops.push(OpProfile {
-                kind: clause_op_kind(clause),
-                detail: clause_op_detail(clause),
+                kind: clause_op_kind(clause, join_ir(f, cut + 1 + j)),
+                detail: clause_op_detail(clause, join_ir(f, cut + 1 + j)),
                 batches: c.batches.get(),
                 tuples_in: upstream_out,
                 tuples_out: c.tuples_out.get(),

@@ -77,7 +77,7 @@ impl Clock for TickClock {
     }
 }
 
-/// The operator kinds of the streaming pipeline (the seven planned
+/// The operator kinds of the streaming pipeline (the eight planned
 /// clause operators plus the `ReturnAt` sink).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
@@ -95,13 +95,16 @@ pub enum OpKind {
     GroupConsume,
     /// `order by`: sort (or bounded-heap) breaker.
     OrderBy,
+    /// Unnested join probe (`let` binding or existential filter):
+    /// streams tuples against a once-materialized build table.
+    HashJoin,
     /// The sink: binds `return at` ordinals, evaluates the return expr.
     ReturnAt,
 }
 
 impl OpKind {
     /// Every operator kind, in pipeline order of introduction.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::ForScan,
         OpKind::LetBind,
         OpKind::Filter,
@@ -109,6 +112,7 @@ impl OpKind {
         OpKind::WindowScan,
         OpKind::GroupConsume,
         OpKind::OrderBy,
+        OpKind::HashJoin,
         OpKind::ReturnAt,
     ];
 
@@ -122,6 +126,7 @@ impl OpKind {
             OpKind::WindowScan => "WindowScan",
             OpKind::GroupConsume => "GroupConsume",
             OpKind::OrderBy => "OrderBy",
+            OpKind::HashJoin => "HashJoin",
             OpKind::ReturnAt => "ReturnAt",
         }
     }

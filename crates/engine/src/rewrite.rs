@@ -874,6 +874,319 @@ fn match_value_eq_predicate(
     try_sides(a, b).or_else(|| try_sides(b, a))
 }
 
+// ---- join unnesting ---------------------------------------------------
+
+/// Detect joinable nested-FLWOR equality predicates and annotate them
+/// for the pipeline's `HashJoin` operator. Two shapes match:
+///
+/// 1. **Let-join** — `let $m := (for $y in S where <eq> return $y)`
+///    with no `at` / type / output-numbering decoration on the inner
+///    FLWOR, binding `$m` to the matching build items.
+/// 2. **Semi-join** — `where some $y in S satisfies <eq>`, a single
+///    existential binding used as a filter.
+///
+/// In both, `<eq>` must be one `=` or `eq` comparison with exactly one
+/// operand referencing `$y`; that side (the build key) may reference no
+/// other slot the enclosing FLWOR binds, and the build source `S` must
+/// be independent of every enclosing binding so it is sound to evaluate
+/// once per FLWOR execution. `S` must also be free of node constructors
+/// and user-function calls: the nested-loop plan constructs fresh nodes
+/// per outer tuple, and sharing one materialization would change node
+/// identity (constructors) or is too opaque to prove repeat-safe
+/// (recursion). The probe side may be anything — it is (re)evaluated
+/// per tuple either way.
+///
+/// The clause's original IR is left untouched; the annotation only
+/// flips its plan operator, so `--join nested` and the runtime's
+/// per-probe fallback scan still evaluate the exact original predicate.
+///
+/// Gate: `Nested` never annotates. `Auto` requires attached statistics
+/// and declines a build side the planner estimates above
+/// [`crate::MAX_HASH_BUILD_ROWS`] (unknown estimates are allowed — the
+/// hash table is never larger than what the nested loop re-scans per
+/// tuple). `Hash` annotates every matching shape.
+pub fn detect_join_unnest(
+    query: &mut crate::ir::CompiledQuery,
+    mode: crate::JoinMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+) -> Vec<String> {
+    use crate::JoinMode;
+    if mode == JoinMode::Nested {
+        return Vec::new();
+    }
+    if mode == JoinMode::Auto && stats.is_none() {
+        return Vec::new();
+    }
+    let mut fired = Vec::new();
+    for g in &mut query.globals {
+        let loc = format!("global ${}", g.name);
+        detect_join_ir(&mut g.init, mode, stats, &loc, &mut fired);
+    }
+    for f in &mut query.functions {
+        let loc = format!("function {}#{}", f.name, f.arity);
+        detect_join_ir(&mut f.body, mode, stats, &loc, &mut fired);
+    }
+    detect_join_ir(&mut query.body, mode, stats, "query body", &mut fired);
+    fired
+}
+
+fn detect_join_ir(
+    ir: &mut crate::ir::Ir,
+    mode: crate::JoinMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+    loc: &str,
+    fired: &mut Vec<String>,
+) {
+    if let crate::ir::Ir::Flwor(f) = ir {
+        detect_join_flwor(f, mode, stats, loc, fired);
+    }
+    for child in crate::fold::child_irs(ir) {
+        detect_join_ir(child, mode, stats, loc, fired);
+    }
+}
+
+fn detect_join_flwor(
+    f: &mut crate::ir::FlworIr,
+    mode: crate::JoinMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+    loc: &str,
+    fired: &mut Vec<String>,
+) {
+    use crate::ir::PlanOpIr;
+    let bound = flwor_bound_slots(f);
+    let mut joins: Vec<Option<crate::ir::JoinIr>> = vec![None; f.clauses.len()];
+    for (i, clause) in f.clauses.iter().enumerate() {
+        let Some(join) = match_join_clause(clause, &bound, mode, stats) else {
+            continue;
+        };
+        fired.push(format!(
+            "hash join: {} unnested on {} (in {loc})",
+            match join.kind {
+                crate::ir::JoinKindIr::LetMany { slot, .. } => format!("let slot{slot} binding"),
+                crate::ir::JoinKindIr::ExistsSemi => "existential filter".to_string(),
+            },
+            join.key_desc,
+        ));
+        f.plan[i] = PlanOpIr::HashJoin;
+        joins[i] = Some(join);
+    }
+    if joins.iter().any(|j| j.is_some()) {
+        f.joins = joins;
+    }
+}
+
+/// Every slot the FLWOR's own clauses (or `return at`) bind — the set a
+/// build side must be independent of.
+fn flwor_bound_slots(f: &crate::ir::FlworIr) -> std::collections::HashSet<crate::ir::Slot> {
+    use crate::ir::ClauseIr;
+    let mut bound = std::collections::HashSet::new();
+    for clause in &f.clauses {
+        match clause {
+            ClauseIr::For { slot, at_slot, .. } => {
+                bound.insert(*slot);
+                bound.extend(at_slot.iter().copied());
+            }
+            ClauseIr::Let { slot, .. } | ClauseIr::Count { slot } => {
+                bound.insert(*slot);
+            }
+            ClauseIr::Window(w) => {
+                bound.insert(w.slot);
+                for cond in std::iter::once(&w.start).chain(w.end.iter()) {
+                    for s in [
+                        cond.item_slot,
+                        cond.at_slot,
+                        cond.previous_slot,
+                        cond.next_slot,
+                    ] {
+                        bound.extend(s);
+                    }
+                }
+            }
+            ClauseIr::GroupBy(g) => {
+                bound.extend(g.keys.iter().map(|k| k.slot));
+                bound.extend(g.nests.iter().map(|n| n.slot));
+            }
+            ClauseIr::OrderBy(_) | ClauseIr::Where(_) => {}
+        }
+    }
+    bound.extend(f.return_at.iter().copied());
+    bound
+}
+
+fn match_join_clause(
+    clause: &crate::ir::ClauseIr,
+    bound: &std::collections::HashSet<crate::ir::Slot>,
+    mode: crate::JoinMode,
+    stats: Option<&xqa_storage::CatalogStatistics>,
+) -> Option<crate::ir::JoinIr> {
+    use crate::ir::{ClauseIr, Ir, JoinKindIr};
+    use xqa_frontend::ast::Quantifier;
+    let (kind, y, src, pred) = match clause {
+        // Pattern 1: let $m := (for $y in S where <eq> return $y).
+        ClauseIr::Let { slot, ty, expr } => {
+            let Ir::Flwor(inner) = expr else { return None };
+            if inner.return_at.is_some() {
+                return None;
+            }
+            let [ClauseIr::For {
+                slot: y,
+                at_slot: None,
+                ty: None,
+                expr: src,
+            }, ClauseIr::Where(pred)] = inner.clauses.as_slice()
+            else {
+                return None;
+            };
+            if !matches!(&inner.return_expr, Ir::Var(v) if v == y) {
+                return None;
+            }
+            let kind = JoinKindIr::LetMany {
+                slot: *slot,
+                ty: ty.clone(),
+            };
+            (kind, *y, src, pred)
+        }
+        // Pattern 2: where some $y in S satisfies <eq>.
+        ClauseIr::Where(Ir::Quantified {
+            kind: Quantifier::Some,
+            bindings,
+            satisfies,
+        }) => {
+            let [(y, src)] = bindings.as_slice() else {
+                return None;
+            };
+            (JoinKindIr::ExistsSemi, *y, src, satisfies.as_ref())
+        }
+        _ => return None,
+    };
+    if !rebuild_safe(src) || refs_any_slot(src, bound) {
+        return None;
+    }
+    let (build_key, probe_key, probe_is_lhs, value_comp) = split_eq_pred(pred, y, bound)?;
+    if mode == crate::JoinMode::Auto {
+        if let Some(est) = crate::estimate::source_cardinality(src, stats) {
+            if est > crate::MAX_HASH_BUILD_ROWS {
+                return None;
+            }
+        }
+    }
+    let op = if value_comp { "eq" } else { "=" };
+    let key_desc = format!(
+        "key={} {op} {}",
+        expr_oneline(probe_key),
+        expr_oneline(build_key)
+    );
+    Some(crate::ir::JoinIr {
+        kind,
+        build_slot: y,
+        build_src: src.clone(),
+        pred: pred.clone(),
+        build_key: build_key.clone(),
+        probe_key: probe_key.clone(),
+        probe_is_lhs,
+        value_comp,
+        key_desc,
+    })
+}
+
+/// Split a single `=` / `eq` comparison into (build side referencing
+/// `$y` and nothing else the enclosing FLWOR binds, probe side not
+/// referencing `$y`). Conjunctions and every other operator decline.
+fn split_eq_pred<'a>(
+    pred: &'a crate::ir::Ir,
+    y: crate::ir::Slot,
+    bound: &std::collections::HashSet<crate::ir::Slot>,
+) -> Option<(&'a crate::ir::Ir, &'a crate::ir::Ir, bool, bool)> {
+    use crate::ir::Ir;
+    use xqa_xdm::CompOp;
+    let (a, b, value_comp) = match pred {
+        Ir::GeneralComp(CompOp::Eq, a, b) => (a.as_ref(), b.as_ref(), false),
+        Ir::ValueComp(CompOp::Eq, a, b) => (a.as_ref(), b.as_ref(), true),
+        _ => return None,
+    };
+    let y_only = std::collections::HashSet::from([y]);
+    let (build, probe, probe_is_lhs) = match (refs_any_slot(a, &y_only), refs_any_slot(b, &y_only))
+    {
+        (true, false) => (a, b, false),
+        (false, true) => (b, a, true),
+        _ => return None,
+    };
+    if refs_any_slot(build, bound) {
+        return None;
+    }
+    Some((build, probe, probe_is_lhs, value_comp))
+}
+
+/// Does the expression reference any of the given frame slots? Slot
+/// numbers are globally unique per compiled query (no shadowing), so a
+/// plain `Var` scan over the whole subtree is exact.
+fn refs_any_slot(ir: &crate::ir::Ir, slots: &std::collections::HashSet<crate::ir::Slot>) -> bool {
+    if let crate::ir::Ir::Var(s) = ir {
+        if slots.contains(s) {
+            return true;
+        }
+    }
+    crate::fold::child_irs_ref(ir)
+        .into_iter()
+        .any(|child| refs_any_slot(child, slots))
+}
+
+/// May the expression be evaluated once and its result shared across
+/// outer tuples? Node constructors mint fresh node identities per
+/// evaluation, and user-function bodies are not inspected — both
+/// decline. Everything else in the IR is pure and deterministic.
+fn rebuild_safe(ir: &crate::ir::Ir) -> bool {
+    use crate::ir::Ir;
+    if matches!(
+        ir,
+        Ir::Element(_)
+            | Ir::Attribute { .. }
+            | Ir::Text(_)
+            | Ir::Comment(_)
+            | Ir::Pi(..)
+            | Ir::CallUser(..)
+    ) {
+        return false;
+    }
+    crate::fold::child_irs_ref(ir).into_iter().all(rebuild_safe)
+}
+
+/// A compact one-line rendering of a join key expression for rewrite
+/// notes and the `[hash join key=…]` explain tag.
+fn expr_oneline(ir: &crate::ir::Ir) -> String {
+    use crate::ir::{Ir, NodeTestIr, PathStartIr, StepIr};
+    match ir {
+        Ir::Var(s) => format!("$slot{s}"),
+        Ir::Global(g) => format!("$global{g}"),
+        Ir::ContextItem => ".".to_string(),
+        Ir::Str(s) => format!("{s:?}"),
+        Ir::Int(v) => v.to_string(),
+        Ir::Dec(d) => d.to_string(),
+        Ir::Dbl(v) => v.to_string(),
+        Ir::Path(p) => {
+            let mut out = match &p.start {
+                PathStartIr::Context => String::new(),
+                PathStartIr::Root => "/".to_string(),
+                PathStartIr::Expr(e) => expr_oneline(e),
+            };
+            for step in &p.steps {
+                if !out.is_empty() && !out.ends_with('/') {
+                    out.push('/');
+                }
+                match step {
+                    StepIr::Axis {
+                        test: NodeTestIr::Name(q),
+                        ..
+                    } => out.push_str(&q.to_string()),
+                    _ => out.push_str("step()"),
+                }
+            }
+            out
+        }
+        _ => "expr()".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,9 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use xqa_engine::{DynamicContext, Engine, OpKind, PreparedQuery, QueryProfile, TickClock};
+use xqa_engine::{
+    DynamicContext, Engine, EngineOptions, JoinMode, OpKind, PreparedQuery, QueryProfile, TickClock,
+};
 
 /// 1ms per clock read: large enough that rendered times are round.
 const TICK_NANOS: u64 = 1_000_000;
@@ -30,8 +32,26 @@ const WINDOW_QUERY: &str = "for tumbling window $w in (1 to 20) \
      start at $s when $s mod 5 = 1 \
      return <w>{sum($w)}</w>";
 
+/// A joinable nested FLWOR, exercising the HashJoin operator (needs
+/// `JoinMode::Hash` — the default `auto` keeps it nested without
+/// catalog statistics).
+const JOIN_QUERY: &str = "for $x in 1 to 8 \
+     let $m := for $y in (2, 4, 6) where $y = $x return $y \
+     return <j>{$x}:{count($m)}</j>";
+
+fn engine_for(query: &str) -> Engine {
+    if query == JOIN_QUERY {
+        Engine::with_options(EngineOptions {
+            join: JoinMode::Hash,
+            ..Default::default()
+        })
+    } else {
+        Engine::new()
+    }
+}
+
 fn profiled_run(query: &str) -> (PreparedQuery, QueryProfile) {
-    let engine = Engine::new();
+    let engine = engine_for(query);
     let plan = engine.compile(query).expect("compiles");
     let mut ctx = DynamicContext::new();
     ctx.set_clock(Arc::new(TickClock::new(TICK_NANOS)));
@@ -80,11 +100,17 @@ fn window_matches_golden() {
     );
 }
 
-/// The two golden queries exercise every pipeline operator kind.
+#[test]
+fn join_matches_golden() {
+    let (plan, profile) = profiled_run(JOIN_QUERY);
+    assert_matches_golden("explain_analyze_join.txt", &plan.explain_analyze(&profile));
+}
+
+/// The three golden queries exercise every pipeline operator kind.
 #[test]
 fn golden_queries_cover_every_op_kind() {
     let mut seen: BTreeSet<&'static str> = BTreeSet::new();
-    for query in [GROUP_TOPK_QUERY, WINDOW_QUERY] {
+    for query in [GROUP_TOPK_QUERY, WINDOW_QUERY, JOIN_QUERY] {
         let (_, profile) = profiled_run(query);
         for pipeline in &profile.pipelines {
             for op in &pipeline.ops {
@@ -101,7 +127,7 @@ fn golden_queries_cover_every_op_kind() {
 /// tuples_in equals its upstream's tuples_out.
 #[test]
 fn profiles_report_materialization_and_tuple_flow_consistently() {
-    for query in [GROUP_TOPK_QUERY, WINDOW_QUERY] {
+    for query in [GROUP_TOPK_QUERY, WINDOW_QUERY, JOIN_QUERY] {
         let (_, profile) = profiled_run(query);
         for pipeline in &profile.pipelines {
             for pair in pipeline.ops.windows(2) {

@@ -112,8 +112,43 @@ fn explain_analyze_reports_index_scan_counters() {
         text.contains("index scans: hits=1 index_tuples=2 walk_tuples=0"),
         "{text}"
     );
-    // The statistics-driven estimate rides along: 6 `item` elements,
-    // value-eq probe guessed at ⌈√6⌉ = 2 — exactly the 2 matches.
+    // The statistics-driven estimate rides along: 6 `item` elements
+    // over 3 distinct `p` values, value-eq probe estimated at
+    // 6/ndv(p) = 2 — exactly the 2 matches.
     assert!(text.contains("est/actual=2/2 (q=1.0)"), "{text}");
     assert!(text.contains("worst misestimate:"), "{text}");
+}
+
+/// Twelve `item` elements but only two distinct `p` values: the
+/// catalog ndv drives the value-eq estimate to 12/2 = 6, where the
+/// old ⌈√12⌉ = 3 fallback would have been off by 2×.
+const SKEW_DOC: &str = "<r>\
+     <item><p>1</p></item><item><p>2</p></item><item><p>1</p></item>\
+     <item><p>2</p></item><item><p>1</p></item><item><p>2</p></item>\
+     <item><p>1</p></item><item><p>2</p></item><item><p>1</p></item>\
+     <item><p>2</p></item><item><p>1</p></item><item><p>2</p></item>\
+     <pad/><pad/><pad/><pad/><pad/><pad/>\
+     <pad/><pad/><pad/><pad/><pad/><pad/>\
+     </r>";
+
+#[test]
+fn explain_analyze_value_eq_estimate_uses_catalog_ndv() {
+    let doc = xqa_xmlparse::parse_document(SKEW_DOC).expect("parse");
+    let mut ctx = DynamicContext::new();
+    ctx.set_context_document(&doc);
+    ctx.index_documents();
+    let stats = Arc::new(CatalogStatistics::from_stores(
+        ctx.stores().map(Arc::as_ref),
+    ));
+    let engine = Engine::new().with_statistics(stats);
+    let plan = engine
+        .compile("for $i in //item[p = 1] return string($i/p)")
+        .expect("compile");
+    ctx.set_clock(Arc::new(TickClock::new(TICK_NANOS)));
+    ctx.enable_profiling();
+    plan.run(&ctx).expect("run");
+    let profile = ctx.take_profile().expect("profiling was enabled");
+    let text = plan.explain_analyze(&profile);
+    assert_matches_golden("explain_analyze_value_eq_ndv.txt", &text);
+    assert!(text.contains("est/actual=6/6 (q=1.0)"), "{text}");
 }

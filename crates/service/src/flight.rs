@@ -61,6 +61,24 @@ pub struct FlightRecord {
     /// Pre-rendered JSON array of compile-phase trace events (empty
     /// array for cache hits — compilation never ran).
     pub trace_json: String,
+    /// The rewrite kinds that fired when this plan compiled (cache hits
+    /// carry the kinds recorded on the plan, not an empty list).
+    pub rewrites: Vec<String>,
+}
+
+/// Render rewrite kinds as a JSON array of strings.
+fn rewrites_json(rewrites: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, kind) in rewrites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(kind));
+        out.push('"');
+    }
+    out.push(']');
+    out
 }
 
 /// Cap on retained query text per record.
@@ -110,6 +128,8 @@ impl FlightRecord {
         out.push_str(self.profile_json.as_deref().unwrap_or("null"));
         out.push_str(",\"compile_trace\":");
         out.push_str(&self.trace_json);
+        out.push_str(",\"rewrites\":");
+        out.push_str(&rewrites_json(&self.rewrites));
         out.push('}');
         out
     }
@@ -134,6 +154,9 @@ struct PlanAggregate {
     q_sum: f64,
     q_count: u64,
     q_max: f64,
+    /// Rewrite kinds that fired for this plan shape (a property of the
+    /// fingerprint, captured from the first record folded in).
+    rewrites: Vec<String>,
 }
 
 impl PlanAggregate {
@@ -148,11 +171,15 @@ impl PlanAggregate {
             q_sum: 0.0,
             q_count: 0,
             q_max: 0.0,
+            rewrites: Vec::new(),
         }
     }
 
     fn fold(&mut self, record: &FlightRecord) {
         self.count += 1;
+        if self.rewrites.is_empty() && !record.rewrites.is_empty() {
+            self.rewrites = record.rewrites.clone();
+        }
         if !record.ok {
             self.errors += 1;
         }
@@ -187,6 +214,8 @@ impl PlanAggregate {
         } else {
             out.push_str(",\"mean_q_error\":null,\"max_q_error\":null");
         }
+        out.push_str(",\"rewrites\":");
+        out.push_str(&rewrites_json(&self.rewrites));
         out.push_str(&format!(",\"query\":\"{}\"}}", json_escape(&self.query)));
         out
     }
@@ -346,6 +375,7 @@ mod tests {
             stats_json: Some("{}".to_string()),
             profile_json: Some("{}".to_string()),
             trace_json: "[]".to_string(),
+            rewrites: vec!["index-scan".to_string()],
         }
     }
 
@@ -471,6 +501,7 @@ mod tests {
             stats_json: None,
             profile_json: None,
             trace_json: "[]".to_string(),
+            rewrites: Vec::new(),
         });
         assert_eq!(recorder.len(), 1);
         assert_eq!(recorder.fingerprint_count(), 0);
@@ -483,6 +514,26 @@ mod tests {
         );
         assert!(full.contains("\"stats\":null"), "{full}");
         assert!(full.contains("\"profile\":null"), "{full}");
+    }
+
+    #[test]
+    fn rewrite_kinds_ride_the_record_and_the_aggregate() {
+        let recorder = FlightRecorder::new(4);
+        let mut first = record("r1", 7, 10, None);
+        first.rewrites = vec!["index-scan".to_string(), "join-unnest".to_string()];
+        recorder.record(first);
+        recorder.record(record("r2", 7, 20, None));
+        let full = recorder.query_json("r1").unwrap();
+        assert!(
+            full.contains("\"rewrites\":[\"index-scan\",\"join-unnest\"]"),
+            "{full}"
+        );
+        // The aggregate keeps the first non-empty list for the shape.
+        let plans = recorder.plans_json(10);
+        assert!(
+            plans.contains("\"rewrites\":[\"index-scan\",\"join-unnest\"]"),
+            "{plans}"
+        );
     }
 
     #[test]

@@ -343,6 +343,9 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     // (fingerprint, served-from-cache) once the plan exists — survives
     // into the flight record even when the run itself fails.
     let mut plan_meta: Option<(u64, bool)> = None;
+    // Rewrite kinds recorded on the plan (cache hits included): a
+    // property of the plan shape, retained by the flight recorder.
+    let mut plan_rewrites: Vec<String> = Vec::new();
     let outcome = (|| {
         let query = std::str::from_utf8(&request.body)
             .map_err(|_| ("body".to_string(), "query text must be UTF-8".to_string()))?;
@@ -351,6 +354,12 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
             .get_or_compile_traced(&shared.engine, query, tracer.as_ref())
             .map_err(|e| ("compile".to_string(), e.to_string()))?;
         plan_meta = Some((plan.fingerprint(), !compiled_now));
+        for note in plan.applied_rewrites() {
+            let kind = note.kind.as_str().to_string();
+            if !plan_rewrites.contains(&kind) {
+                plan_rewrites.push(kind);
+            }
+        }
         if compiled_now {
             // Count each rewrite once per compilation, not per request:
             // cache hits reuse the plan without re-firing anything.
@@ -404,6 +413,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 stats_json: Some(o.stats.to_json()),
                 profile_json: Some(o.profile.to_json()),
                 trace_json,
+                rewrites: plan_rewrites.clone(),
             },
             Err((kind, message)) => FlightRecord {
                 request_id: request_id.clone(),
@@ -418,6 +428,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 stats_json: None,
                 profile_json: None,
                 trace_json,
+                rewrites: plan_rewrites.clone(),
             },
         };
         shared.flight.record(record);
@@ -526,6 +537,8 @@ fn render_metrics(shared: &Shared) -> String {
     line("xqa_scan_walk_tuples_total", stats.scan_walk_tuples);
     line("xqa_eval_expr_compiled_total", stats.expr_compiled);
     line("xqa_eval_expr_fallback_total", stats.expr_fallback);
+    line("xqa_join_hash_total", stats.join_hash_probes);
+    line("xqa_join_build_tuples_total", stats.join_build_tuples);
     line("xqa_flight_records", shared.flight.len() as u64);
     line(
         "xqa_plan_fingerprints",
@@ -785,6 +798,38 @@ mod tests {
         assert!(body.contains("xqa_flight_records 1"), "{body}");
         assert!(body.contains("xqa_plan_fingerprints 1"), "{body}");
         assert!(body.contains("xqa_cardinality_qerror_max "), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn join_queries_move_the_join_metrics_and_surface_rewrites() {
+        // The server compiles with catalog statistics, so the default
+        // Auto join mode unnests this joinable self-join shape.
+        let server = test_server();
+        let addr = server.local_addr();
+        let query = "for $m in distinct-values(//v) \
+                     let $hits := for $y in //v where $y = $m return $y \
+                     order by string($m) \
+                     return count($hits)";
+        let raw = post_query_raw_response(addr, query, "X-Request-Id: join-1\r\n");
+        assert!(raw.contains("1 1 1"), "{raw}");
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("xqa_join_hash_total 3"), "{metrics}");
+        assert!(
+            metrics.contains("xqa_join_build_tuples_total 3"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("xqa_rewrite_fired_total{rewrite=\"join-unnest\"} 1"),
+            "{metrics}"
+        );
+        // The record and the per-plan aggregate both carry the fired
+        // rewrite kinds.
+        let (_, full) = get(addr, "/debug/query/join-1");
+        assert!(full.contains("\"rewrites\":["), "{full}");
+        assert!(full.contains("join-unnest"), "{full}");
+        let (_, plans) = get(addr, "/debug/plans");
+        assert!(plans.contains("join-unnest"), "{plans}");
         server.shutdown();
     }
 

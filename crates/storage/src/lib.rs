@@ -436,6 +436,15 @@ impl CatalogStatistics {
         }
     }
 
+    /// Distinct leaf values of `child` summed across the catalog (the
+    /// per-name ndv the estimator divides equality selectivities by).
+    /// `None` when the name is unseen or some document's elements of
+    /// that name are not indexable leaves — the sum would undercount.
+    pub fn distinct_values(&self, child: &QName) -> Option<u64> {
+        let s = self.per_name.get(child)?;
+        (s.all_leaf && s.distinct_values > 0).then_some(s.distinct_values)
+    }
+
     /// Total elements across the catalog.
     pub fn total_elements(&self) -> u64 {
         self.total_elements

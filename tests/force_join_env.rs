@@ -1,0 +1,72 @@
+//! `XQA_FORCE_JOIN` overrides the engine's configured join mode at
+//! plan time. Lives in its own test binary: the variable is
+//! process-global, so this is the only test in the process that sets
+//! it (serially, for both values).
+
+use xqa::{DynamicContext, Engine, EngineOptions, JoinMode};
+
+const DOC: &str = "<r>\
+     <order><lineitem><shipmode>AIR</shipmode></lineitem>\
+            <lineitem><shipmode>RAIL</shipmode></lineitem></order>\
+     <order><lineitem><shipmode>AIR</shipmode></lineitem></order>\
+     </r>";
+
+const QUERY: &str = "for $m in distinct-values(//order/lineitem/shipmode) \
+     let $items := for $li in //order/lineitem where $li/shipmode = $m return $li \
+     order by string($m) \
+     return <g>{string($m)}:{count($items)}</g>";
+
+fn ctx() -> DynamicContext {
+    let doc = xqa::parse_document(DOC).unwrap();
+    let mut c = DynamicContext::new();
+    c.set_context_document(&doc);
+    c
+}
+
+/// Compile with `mode`, run, and return the hash-probe delta plus
+/// whether the plan carried the hash-join annotation.
+fn probes(mode: JoinMode, ctx: &DynamicContext) -> (u64, bool) {
+    let engine = Engine::with_options(EngineOptions {
+        join: mode,
+        ..Default::default()
+    });
+    let plan = engine.compile(QUERY).expect("compile");
+    let annotated = plan.explain().contains("[hash join");
+    let before = ctx.stats.snapshot();
+    let out = plan.run(ctx).expect("run");
+    assert_eq!(
+        xqa::serialize_sequence(&out),
+        "<g>AIR:2</g><g>RAIL:1</g>",
+        "query result drifted"
+    );
+    (
+        ctx.stats.snapshot().join_hash_probes - before.join_hash_probes,
+        annotated,
+    )
+}
+
+#[test]
+fn env_override_wins_over_engine_options() {
+    let ctx = ctx();
+
+    // Baseline (no override): the option decides. Auto has no
+    // statistics here, so it stays nested.
+    assert_eq!(probes(JoinMode::Hash, &ctx), (2, true));
+    assert!(matches!(probes(JoinMode::Nested, &ctx), (0, false)));
+    assert!(matches!(probes(JoinMode::Auto, &ctx), (0, false)));
+
+    // nested override beats even an explicit Hash option.
+    std::env::set_var("XQA_FORCE_JOIN", "nested");
+    assert!(matches!(probes(JoinMode::Hash, &ctx), (0, false)));
+
+    // hash override forces unnesting under default options.
+    std::env::set_var("XQA_FORCE_JOIN", "hash");
+    assert_eq!(probes(JoinMode::Auto, &ctx), (2, true));
+    assert_eq!(probes(JoinMode::Nested, &ctx), (2, true));
+
+    // Unknown values are ignored, not errors.
+    std::env::set_var("XQA_FORCE_JOIN", "bogus");
+    assert!(matches!(probes(JoinMode::Auto, &ctx), (0, false)));
+    assert_eq!(probes(JoinMode::Hash, &ctx), (2, true));
+    std::env::remove_var("XQA_FORCE_JOIN");
+}

@@ -669,7 +669,12 @@ fn implicit_groupby_rewrite_preserves_results() {
         serialize_sequence(&baseline.run(&ctx).unwrap()),
         serialize_sequence(&rewritten.run(&ctx).unwrap())
     );
-    // And the rewritten plan does dramatically less node visiting.
+    // And the rewritten plan does dramatically less node visiting. Under
+    // a forced join mode the baseline also stops re-scanning (the hash
+    // join builds once), so the comparison only holds in default mode.
+    if std::env::var_os("XQA_FORCE_JOIN").is_some() {
+        return;
+    }
     ctx.stats.reset();
     baseline.run(&ctx).unwrap();
     let baseline_nodes = ctx.stats.snapshot().nodes_visited;

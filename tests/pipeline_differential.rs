@@ -840,6 +840,163 @@ fn forced_bytecode_actually_compiles() {
     }
 }
 
+// ---- join unnesting ----------------------------------------------------
+//
+// Every query below is evaluated four ways — join strategy forced to
+// `hash` and forced to `nested`, each at threads=1 and threads=4. All
+// four serialized results must be byte-identical: the hash join is a
+// pure join-method substitution for the nested loop, never a semantic
+// one. Every corpus entry is a joinable shape, so the hash-mode plans
+// are additionally required to carry the `[hash join ...]` annotation
+// (unless the process-wide `XQA_FORCE_JOIN` override is in play).
+
+fn engine_with_join(mode: xqa::JoinMode, threads: usize) -> Engine {
+    Engine::with_options(EngineOptions {
+        threads,
+        join: mode,
+        ..Default::default()
+    })
+}
+
+fn assert_join_modes_identical(query: &str, ctx: &DynamicContext) {
+    use xqa::JoinMode;
+    let forced = std::env::var_os("XQA_FORCE_JOIN").is_some();
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for threads in [1usize, 4] {
+        for mode in [JoinMode::Hash, JoinMode::Nested] {
+            let engine = engine_with_join(mode, threads);
+            let plan = engine
+                .compile(query)
+                .unwrap_or_else(|e| panic!("compile ({mode:?}, threads={threads}): {e}\n{query}"));
+            if mode == JoinMode::Hash && !forced {
+                assert!(
+                    plan.explain().contains("[hash join"),
+                    "hash mode did not unnest:\n{query}\n{}",
+                    plan.explain()
+                );
+            }
+            let out = plan
+                .run(ctx)
+                .unwrap_or_else(|e| panic!("run ({mode:?}, threads={threads}): {e}\n{query}"));
+            outputs.push((
+                format!("{mode:?} threads={threads}"),
+                serialize_sequence(&out),
+            ));
+        }
+    }
+    let (baseline_label, baseline) = &outputs[0];
+    for (label, out) in &outputs[1..] {
+        assert_eq!(
+            baseline, out,
+            "{baseline_label} and {label} disagree for:\n{query}"
+        );
+    }
+}
+
+/// Joinable shapes over the orders document: the paper's §6 self-join
+/// baseline, `eq` and reversed-operand variants, a numeric key, the
+/// existential semi-join, and a join feeding a top-k ranking pipeline.
+const JOIN_CORPUS: [&str; 6] = [
+    "for $m in distinct-values(//order/lineitem/shipmode) \
+         let $items := for $li in //order/lineitem where $li/shipmode = $m return $li \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+    "for $m in distinct-values(//order/lineitem/shipmode) \
+         let $items := for $li in //order/lineitem where $li/shipmode eq $m return $li \
+         order by string($m) \
+         return <g>{string($m)}:{count($items)}</g>",
+    "for $m in distinct-values(//order/lineitem/shipmode) \
+         let $items := for $li in //order/lineitem where $m = $li/shipmode return $li \
+         order by string($m) \
+         return <g>{count($items)}</g>",
+    "for $q in distinct-values(//order/lineitem/quantity) \
+         let $ls := for $li in //order/lineitem where $li/quantity = $q return $li \
+         order by number($q) \
+         return <g>{string($q)}:{count($ls)}</g>",
+    "for $o in //order \
+         where some $li in //order/lineitem[returnflag = \"R\"] satisfies \
+             $li/shipmode = $o/lineitem[1]/shipmode \
+         return <o>{count($o/lineitem)}</o>",
+    "(for $m in distinct-values(//order/lineitem/shipmode) \
+          let $items := for $li in //order/lineitem where $li/shipmode = $m return $li \
+          order by count($items) descending, string($m) \
+          return at $r <g rank=\"{$r}\">{string($m)}:{count($items)}</g>)\
+         [position() le 3]",
+];
+
+#[test]
+fn join_corpus_differential() {
+    let ctx = orders_ctx();
+    for query in JOIN_CORPUS {
+        assert_join_modes_identical(query, &ctx);
+    }
+}
+
+/// Large document-free shapes where the probe side (and in one case the
+/// build side) splits into multiple morsels, exercising the shared
+/// build cell, the eager parallel pre-build, and per-worker probing.
+#[test]
+fn join_large_morsel_differential() {
+    let corpus = [
+        "for $x in 1 to 3000 \
+         let $m := for $y in (2, 4, 6, 8) where $y = $x mod 10 return $y \
+         return <r>{$x}:{count($m)}</r>",
+        "for $x in 1 to 1200 \
+         let $m := for $y in 1 to 3000 where $y = $x * 2 return $y \
+         return count($m)",
+        "for $x in 1 to 3000 \
+         where some $y in (3, 5, 7) satisfies $y = $x mod 11 \
+         return $x",
+    ];
+    let ctx = DynamicContext::new();
+    for query in corpus {
+        assert_join_modes_identical(query, &ctx);
+    }
+}
+
+/// Forced-hash runs must actually take the hash path — the build and
+/// probe counters move — and forced-nested runs must leave them alone.
+#[test]
+fn join_differential_takes_the_hash_path() {
+    use xqa::JoinMode;
+    // The process-wide override deliberately defeats per-engine modes,
+    // so the nested-side zero assertions below would be wrong under it.
+    if std::env::var_os("XQA_FORCE_JOIN").is_some() {
+        return;
+    }
+    let ctx = orders_ctx();
+    let query = JOIN_CORPUS[0];
+    let before = ctx.stats.snapshot();
+    engine_with_join(JoinMode::Hash, 1)
+        .compile(query)
+        .expect("compile")
+        .run(&ctx)
+        .expect("run");
+    let mid = ctx.stats.snapshot();
+    engine_with_join(JoinMode::Nested, 1)
+        .compile(query)
+        .expect("compile")
+        .run(&ctx)
+        .expect("run");
+    let after = ctx.stats.snapshot();
+    assert!(
+        mid.join_hash_probes > before.join_hash_probes,
+        "forced hash recorded no probes"
+    );
+    assert!(
+        mid.join_build_tuples > before.join_build_tuples,
+        "forced hash recorded no build tuples"
+    );
+    assert_eq!(
+        after.join_hash_probes, mid.join_hash_probes,
+        "forced nested must not probe a hash table"
+    );
+    assert_eq!(
+        after.join_build_tuples, mid.join_build_tuples,
+        "forced nested must not build a hash table"
+    );
+}
+
 /// A query mixing lowerable and unloweable clauses records both
 /// counters: the scalar `where` compiles while the path-valued `for`
 /// binding falls back.
