@@ -1,0 +1,256 @@
+//! Concurrent load-test harness for the HTTP serving path: an
+//! in-process server driven by N client threads over real sockets,
+//! sweeping connection reuse (keep-alive vs per-request close) and
+//! result transport (chunked streaming vs buffered).
+//!
+//! Every row is a derived record carrying `clients`,
+//! `requests_per_sec`, `p50_us` and `p99_us` (quantiles from the
+//! service's own fixed-bucket histogram). The
+//! `keepalive_vs_close_speedup_c16` row carries the throughput ratio
+//! CI enforces (keep-alive must be >= 1.5x close at 16 clients).
+//!
+//! `SERVE_BENCH_REQUESTS` overrides the per-client request count
+//! (default 200) so the CI smoke job can run a small sweep.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use xqa_bench::harness::Harness;
+use xqa_service::metrics::LatencyHistogram;
+use xqa_service::{DocumentCatalog, Server, ServiceConfig};
+use xqa_workload::{generate_orders, OrdersConfig};
+
+// Deliberately cheap: the sweep measures the serving path (connection
+// setup, admission, dispatch, framing), not the evaluator, so engine
+// time must not mask the connection-reuse effect.
+const QUERY: &str = "sum(1 to 100)";
+const CLIENTS: [usize; 3] = [1, 4, 16];
+
+fn per_client_requests() -> usize {
+    std::env::var("SERVE_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Read one framed response off a keep-alive socket; returns the body.
+fn read_response(reader: &mut BufReader<TcpStream>) -> String {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read head") > 0,
+            "connection closed mid-response"
+        );
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+    let lower = head.to_ascii_lowercase();
+    if lower.contains("transfer-encoding: chunked") {
+        let mut out = String::new();
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line).expect("chunk size");
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex size");
+            let mut chunk = vec![0u8; size + 2];
+            reader.read_exact(&mut chunk).expect("chunk data");
+            if size == 0 {
+                break;
+            }
+            out.push_str(std::str::from_utf8(&chunk[..size]).expect("utf-8"));
+        }
+        out
+    } else {
+        let len: usize = lower
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .map(|v| v.trim().parse().expect("content-length"))
+            .unwrap_or(0);
+        let mut buf = vec![0u8; len];
+        reader.read_exact(&mut buf).expect("body");
+        String::from_utf8(buf).expect("utf-8 body")
+    }
+}
+
+fn request_line(target: &str, close: bool) -> String {
+    format!(
+        "POST {target} HTTP/1.1\r\nHost: bench\r\n{}Content-Length: {}\r\n\r\n{QUERY}",
+        if close { "Connection: close\r\n" } else { "" },
+        QUERY.len()
+    )
+}
+
+/// One client's run: `requests` request/response cycles, returning the
+/// per-request latencies. Keep-alive reuses one socket; close mode
+/// reconnects per request.
+fn run_client(
+    addr: std::net::SocketAddr,
+    keep_alive: bool,
+    target: &str,
+    requests: usize,
+    expected: &str,
+) -> Vec<Duration> {
+    let mut latencies = Vec::with_capacity(requests);
+    if keep_alive {
+        let raw = request_line(target, false);
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        for _ in 0..requests {
+            let start = Instant::now();
+            stream.write_all(raw.as_bytes()).expect("send");
+            let body = read_response(&mut reader);
+            latencies.push(start.elapsed());
+            assert_eq!(body, expected);
+        }
+    } else {
+        let raw = request_line(target, true);
+        for _ in 0..requests {
+            let start = Instant::now();
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(raw.as_bytes()).expect("send");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("read");
+            latencies.push(start.elapsed());
+            assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+            assert!(response.contains(expected), "{response}");
+        }
+    }
+    latencies
+}
+
+/// Drive `clients` threads against the server and record one derived
+/// row. Returns total requests per second.
+#[allow(clippy::too_many_arguments)]
+fn run_load(
+    group: &mut Harness,
+    addr: std::net::SocketAddr,
+    name: &str,
+    clients: usize,
+    keep_alive: bool,
+    target: &str,
+    requests: usize,
+    expected: &str,
+) -> f64 {
+    // Warm-up: prime the plan cache and fault in the serving path.
+    run_client(addr, keep_alive, target, 2, expected);
+    let start = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| s.spawn(move || run_client(addr, keep_alive, target, requests, expected)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let total = (clients * requests) as f64;
+    let rps = total / wall.as_secs_f64().max(1e-9);
+
+    let histogram = LatencyHistogram::default();
+    for l in &latencies {
+        histogram.record(*l);
+    }
+    let p50 = histogram.quantile_us(0.5);
+    let p99 = histogram.quantile_us(0.99);
+    println!(
+        "serve/{name:<28} {rps:>10.0} req/s  p50 {p50:>8}us  p99 {p99:>8}us  \
+         ({clients} clients x {requests} requests)"
+    );
+    group.annotate("clients", clients.to_string());
+    group.annotate("requests_per_client", requests.to_string());
+    group.annotate("requests_per_sec", format!("{rps:.1}"));
+    group.annotate("p50_us", p50.to_string());
+    group.annotate("p99_us", p99.to_string());
+    group.record_derived(name);
+    rps
+}
+
+fn main() {
+    let requests = per_client_requests();
+    let mut catalog = DocumentCatalog::new();
+    catalog.set_context(generate_orders(&OrdersConfig::with_total_lineitems(500)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        &catalog,
+        ServiceConfig {
+            workers: 16,
+            max_queue: 256,
+            max_inflight_per_client: 256,
+            // Recording every load-test request would measure the
+            // recorder, not the serving path.
+            flight_recorder_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    // Reference result, used to verify every response body.
+    let expected = {
+        let engine = xqa::Engine::new();
+        let plan = engine.compile(QUERY).expect("compile");
+        let ctx = catalog.new_context();
+        xqa::serialize_sequence(&plan.run(&ctx).expect("run"))
+    };
+
+    let mut group = Harness::group("serve");
+    let mut keepalive_c16 = 0.0;
+    let mut close_c16 = 0.0;
+    for clients in CLIENTS {
+        let ka = run_load(
+            &mut group,
+            addr,
+            &format!("c{clients}/keepalive/streamed"),
+            clients,
+            true,
+            "/query",
+            requests,
+            &expected,
+        );
+        let close = run_load(
+            &mut group,
+            addr,
+            &format!("c{clients}/close/streamed"),
+            clients,
+            false,
+            "/query",
+            requests,
+            &expected,
+        );
+        if clients == 16 {
+            keepalive_c16 = ka;
+            close_c16 = close;
+        }
+    }
+    // Transport comparison at the highest concurrency: chunked
+    // streaming vs buffered content-length bodies, both keep-alive.
+    run_load(
+        &mut group,
+        addr,
+        "c16/keepalive/buffered",
+        16,
+        true,
+        "/query?stream=false",
+        requests,
+        &expected,
+    );
+
+    let speedup = keepalive_c16 / close_c16.max(1e-9);
+    println!("serve/keepalive_vs_close_speedup_c16   {speedup:.2}x");
+    group.annotate("clients", "16".to_string());
+    group.annotate("speedup", format!("{speedup:.3}"));
+    group.record_derived("keepalive_vs_close_speedup_c16");
+
+    server.shutdown();
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        xqa_bench::harness::write_json(&path).expect("write bench json");
+        println!("\nbench records written to {path}");
+    }
+}

@@ -31,6 +31,7 @@ fn recorder_tax_ns(profile_json: &str, query: &str) -> f64 {
         profile_json: Some(profile_json.to_string()),
         trace_json: "[]".to_string(),
         rewrites: vec!["topk-pushdown".to_string()],
+        streamed: false,
     };
     let timed = |recorder: &FlightRecorder| {
         let start = std::time::Instant::now();

@@ -35,6 +35,14 @@
 //!       --query-threads N       intra-query parallelism per request
 //!                               (default: all cores; 1 = serial)
 //!       --cache-size N          prepared-plan cache capacity (default 128)
+//!       --max-queue N           admitted connections allowed to wait for a
+//!                               worker; excess shed with 429 (default 128)
+//!       --max-inflight-per-client N
+//!                               admitted connections per client IP
+//!                               (default 64)
+//!       --max-requests-per-conn N
+//!                               keep-alive requests served per connection
+//!                               before the server closes it (default 1000)
 //!       --slow-query-ms N       log queries slower than N ms to stderr
 //!       --flight-recorder-capacity N
 //!                               per-query records kept for /debug/* endpoints
@@ -129,6 +137,16 @@ serve options:
       --query-threads N     intra-query parallelism per request (default:
                             all cores, or XQA_THREADS; 1 = serial)
       --cache-size N        prepared-plan cache capacity (default 128)
+      --max-queue N         admitted connections allowed to wait for a
+                            worker beyond the workers themselves; excess
+                            connections are shed with 429 + Retry-After
+                            (default 128)
+      --max-inflight-per-client N
+                            admitted connections allowed per client IP at
+                            once (default 64)
+      --max-requests-per-conn N
+                            keep-alive requests served on one connection
+                            before the server closes it (default 1000)
       --slow-query-ms N     log queries slower than N ms to stderr
       --flight-recorder-capacity N
                             completed-query records retained for the
@@ -412,6 +430,9 @@ struct ServeArgs {
     workers: usize,
     query_threads: usize,
     cache_size: usize,
+    max_queue: usize,
+    max_inflight_per_client: usize,
+    max_requests_per_conn: usize,
     slow_query_ms: Option<u64>,
     flight_recorder_capacity: usize,
     detect_groupby: bool,
@@ -429,6 +450,9 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
         workers: 0,
         query_threads: 0,
         cache_size: 128,
+        max_queue: ServiceConfig::default().max_queue,
+        max_inflight_per_client: ServiceConfig::default().max_inflight_per_client,
+        max_requests_per_conn: ServiceConfig::default().max_requests_per_conn,
         slow_query_ms: None,
         flight_recorder_capacity: ServiceConfig::default().flight_recorder_capacity,
         detect_groupby: false,
@@ -470,6 +494,30 @@ fn parse_serve_args(raw: impl Iterator<Item = String>) -> Result<ServeArgs, Stri
             "--cache-size" => {
                 let n = it.next().ok_or("--cache-size requires a number")?;
                 args.cache_size = n.parse().map_err(|_| format!("invalid cache size {n}"))?;
+            }
+            "--max-queue" => {
+                let n = it.next().ok_or("--max-queue requires a number")?;
+                args.max_queue = n.parse().map_err(|_| format!("invalid queue bound {n}"))?;
+            }
+            "--max-inflight-per-client" => {
+                let n = it
+                    .next()
+                    .ok_or("--max-inflight-per-client requires a number")?;
+                args.max_inflight_per_client =
+                    n.parse().map_err(|_| format!("invalid quota {n}"))?;
+                if args.max_inflight_per_client == 0 {
+                    return Err("--max-inflight-per-client must be at least 1".to_string());
+                }
+            }
+            "--max-requests-per-conn" => {
+                let n = it
+                    .next()
+                    .ok_or("--max-requests-per-conn requires a number")?;
+                args.max_requests_per_conn =
+                    n.parse().map_err(|_| format!("invalid request cap {n}"))?;
+                if args.max_requests_per_conn == 0 {
+                    return Err("--max-requests-per-conn must be at least 1".to_string());
+                }
             }
             "--slow-query-ms" => {
                 let n = it.next().ok_or("--slow-query-ms requires a number")?;
@@ -530,6 +578,9 @@ fn serve(args: &ServeArgs) -> Result<(), String> {
             join: args.join,
             ..Default::default()
         },
+        max_queue: args.max_queue,
+        max_inflight_per_client: args.max_inflight_per_client,
+        max_requests_per_conn: args.max_requests_per_conn,
         slow_query_ms: args.slow_query_ms,
         flight_recorder_capacity: args.flight_recorder_capacity,
         ..Default::default()

@@ -261,7 +261,8 @@ fn serve_answers_queries_like_one_shot_runs() {
         use std::io::Write as _;
         write!(
             stream,
-            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+            "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{query}",
             query.len()
         )?;
         let mut response = String::new();
@@ -273,10 +274,26 @@ fn serve_answers_queries_like_one_shot_runs() {
 
     let response = served.expect("query over HTTP");
     assert!(response.starts_with("HTTP/1.1 200"), "{response}");
-    let body = response
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b)
-        .unwrap_or("");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or(("", ""));
+    // Streamed responses arrive chunked; reassemble the payload.
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let mut out = String::new();
+        let mut rest = body;
+        while let Some((size_line, after)) = rest.split_once("\r\n") {
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("chunk size");
+            if size == 0 {
+                break;
+            }
+            out.push_str(&after[..size]);
+            rest = &after[size + 2..];
+        }
+        out
+    } else {
+        body.to_string()
+    };
     assert_eq!(body, expected);
 }
 

@@ -27,12 +27,59 @@ const MAX_RECURSION: usize = 64;
 
 /// Execute a compiled query against a dynamic context.
 pub fn execute(query: &CompiledQuery, dynamic: &DynamicContext) -> EngineResult<Sequence> {
+    with_run_accounting(dynamic, || execute_inner(query, dynamic))
+}
+
+/// Streaming twin of [`execute`]: instead of materializing the result,
+/// each pipeline batch of result items is handed to `emit` as it is
+/// produced. Returns the total item count. Counter and profiler
+/// bookkeeping matches [`execute`] exactly, so `--stats` totals and
+/// flight records look the same whether a request streamed or not.
+pub fn execute_streaming(
+    query: &CompiledQuery,
+    dynamic: &DynamicContext,
+    emit: &mut dyn FnMut(&[Item]) -> EngineResult<()>,
+) -> EngineResult<u64> {
+    with_run_accounting(dynamic, || {
+        let mut interp = Interpreter {
+            query,
+            dynamic,
+            globals: Vec::new(),
+            depth: Cell::new(0),
+            stats: &dynamic.stats,
+            parallel_ok: true,
+        };
+        for g in &query.globals {
+            let mut env = Env::new(g.frame_size, initial_focus(dynamic));
+            let v = interp.eval(&g.init, &mut env)?;
+            interp.globals.push(v);
+        }
+        let mut env = Env::new(query.frame_size, initial_focus(dynamic));
+        match &query.body {
+            // A FLWOR body streams straight off the pipeline sink.
+            Ir::Flwor(f) => crate::pipeline::run_streaming(&interp, f, &mut env, emit),
+            // Any other body shape materializes (there is no tuple
+            // pipeline to tap), then feeds out in batches.
+            body => {
+                let seq = interp.eval(body, &mut env)?;
+                crate::pipeline::emit_sequence(&seq, emit)
+            }
+        }
+    })
+}
+
+/// Wrap one evaluation in the per-run sequence-copy drain and profiler
+/// delta bookkeeping shared by the materializing and streaming paths.
+fn with_run_accounting<T>(
+    dynamic: &DynamicContext,
+    run: impl FnOnce() -> EngineResult<T>,
+) -> EngineResult<T> {
     // Discard sequence-copy counts accumulated outside evaluation
     // (compile-time constant folding, earlier runs on this thread) so
     // the per-run totals cover this evaluation alone.
     let _ = xqa_xdm::take_seq_counters();
     let before = dynamic.profiler().map(|_| dynamic.stats.snapshot());
-    let result = execute_inner(query, dynamic);
+    let result = run();
     let (copied, shared) = xqa_xdm::take_seq_counters();
     dynamic.stats.add_seq_counters(copied, shared);
     // The stats delta (not the local drain alone) also covers counts

@@ -550,6 +550,84 @@ impl PreparedQuery {
         eval::execute(&self.compiled, ctx)
     }
 
+    /// Evaluate while streaming result items to `sink` batch by batch
+    /// instead of materializing the full result sequence. Returns the
+    /// total number of items handed to the sink.
+    ///
+    /// The error tells the caller exactly how far the stream got: a
+    /// [`StreamError::BeforeFirstItem`] means nothing reached the sink
+    /// (the caller may still produce an ordinary error response), while
+    /// [`StreamError::MidStream`] / [`StreamError::Sink`] mean output
+    /// was already handed over and the transport must signal truncation
+    /// itself (e.g. by closing a chunked HTTP response without the
+    /// terminal chunk).
+    pub fn run_streaming(
+        &self,
+        ctx: &DynamicContext,
+        sink: &mut dyn FnMut(&[xqa_xdm::Item]) -> std::io::Result<()>,
+    ) -> Result<u64, StreamError> {
+        let mut emitted: u64 = 0;
+        let mut sink_error: Option<std::io::Error> = None;
+        let result = eval::execute_streaming(&self.compiled, ctx, &mut |items| {
+            match sink(items) {
+                Ok(()) => {
+                    emitted += items.len() as u64;
+                    Ok(())
+                }
+                Err(e) => {
+                    // Remember the transport failure and abort the
+                    // pipeline through the engine's error channel; the
+                    // classification below turns it back into `Sink`.
+                    sink_error = Some(e);
+                    Err(EngineError::dynamic(
+                        xqa_xdm::ErrorCode::Other,
+                        "result sink failed",
+                    ))
+                }
+            }
+        });
+        match result {
+            Ok(items) => Ok(items),
+            Err(_) if sink_error.is_some() => Err(StreamError::Sink {
+                error: sink_error.expect("sink error recorded"),
+                items_emitted: emitted,
+            }),
+            Err(e) if emitted == 0 => Err(StreamError::BeforeFirstItem(e)),
+            Err(e) => Err(StreamError::MidStream {
+                error: e,
+                items_emitted: emitted,
+            }),
+        }
+    }
+
+    /// Evaluate and serialize incrementally: each streamed batch is
+    /// serialized with the engine's standard sequence serialization
+    /// (single spaces between adjacent atomics, carried across batch
+    /// boundaries) and handed to `write` as a text chunk. The
+    /// concatenated chunks are byte-identical to serializing the
+    /// materialized result of [`run`](Self::run).
+    pub fn run_serialized(
+        &self,
+        ctx: &DynamicContext,
+        write: &mut dyn FnMut(&str) -> std::io::Result<()>,
+    ) -> Result<StreamStats, StreamError> {
+        let mut ser = xqa_xmlparse::SequenceSerializer::new(Default::default());
+        let mut buf = String::new();
+        let mut stats = StreamStats::default();
+        let items = self.run_streaming(ctx, &mut |items| {
+            buf.clear();
+            ser.push(items, &mut buf);
+            if !buf.is_empty() {
+                stats.chunks += 1;
+                stats.bytes += buf.len() as u64;
+                write(&buf)?;
+            }
+            Ok(())
+        })?;
+        stats.items = items;
+        Ok(stats)
+    }
+
     /// The stable plan fingerprint (see
     /// [`explain::plan_fingerprint`]): identical exactly when the
     /// optimizer produced the same rewritten plan, even for textually
@@ -579,6 +657,61 @@ impl PreparedQuery {
     pub fn explain_analyze(&self, profile: &QueryProfile) -> String {
         explain::explain_analyze(profile)
     }
+}
+
+/// How far a streaming run ([`PreparedQuery::run_streaming`] /
+/// [`PreparedQuery::run_serialized`]) got before failing. The serving
+/// layer branches on this: before the first item it can still send an
+/// ordinary error response; after, it can only truncate the stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The query failed before any item reached the sink; nothing has
+    /// been written and a normal error response is still possible.
+    BeforeFirstItem(EngineError),
+    /// The query failed after `items_emitted` items were handed over;
+    /// the transport must signal truncation to the client.
+    MidStream {
+        /// The engine error that aborted the pipeline.
+        error: EngineError,
+        /// Items already delivered to the sink before the failure.
+        items_emitted: u64,
+    },
+    /// The sink itself failed (e.g. the client hung up mid-response).
+    Sink {
+        /// The I/O error the sink returned.
+        error: std::io::Error,
+        /// Items already delivered to the sink before the failure.
+        items_emitted: u64,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BeforeFirstItem(e) => write!(f, "{e}"),
+            StreamError::MidStream {
+                error,
+                items_emitted,
+            } => write!(f, "{error} (after {items_emitted} items streamed)"),
+            StreamError::Sink {
+                error,
+                items_emitted,
+            } => write!(f, "result sink failed after {items_emitted} items: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Summary of a completed [`PreparedQuery::run_serialized`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Result items streamed.
+    pub items: u64,
+    /// Non-empty serialized chunks handed to the writer.
+    pub chunks: u64,
+    /// Total serialized bytes.
+    pub bytes: u64,
 }
 
 #[cfg(test)]

@@ -203,6 +203,127 @@ fn run_serial(
     }
 }
 
+/// Batch sink for the streaming execution path: receives each
+/// non-empty result batch in pipeline order. An `Err` aborts the run
+/// (used by the serving layer to propagate socket write failures).
+pub(crate) type EmitBatch<'e> = dyn FnMut(&[Item]) -> EngineResult<()> + 'e;
+
+/// Streaming twin of [`run`]: instead of materializing the full result
+/// `Sequence`, each pipeline batch's return-expression output is handed
+/// to `emit` as soon as the batch is pulled. Returns the total number
+/// of items emitted.
+///
+/// The morsel-parallel executor's deterministic merges need the whole
+/// result before anything can be emitted in order, so the parallel path
+/// materializes exactly as [`run`] does and then feeds the merged
+/// sequence out in [`BATCH`]-sized chunks — the emitted bytes match the
+/// serial path either way.
+pub(crate) fn run_streaming(
+    interp: &Interpreter,
+    f: &FlworIr,
+    env: &mut Env,
+    emit: &mut EmitBatch,
+) -> EngineResult<u64> {
+    debug_assert_eq!(f.plan.len(), f.clauses.len());
+    if f.parallel && interp.parallel_ok {
+        let threads = crate::resolve_threads(interp.query.threads);
+        if threads > 1 {
+            let ClauseIr::For { expr, .. } = &f.clauses[0] else {
+                unreachable!("parallel-eligible FLWOR starts with a for clause");
+            };
+            let items = interp.eval(expr, env)?;
+            if items.len() > MORSEL {
+                let seq = run_parallel(interp, f, env, items, threads)?;
+                return emit_sequence(&seq, emit);
+            }
+            return run_serial_stream(interp, f, env, Some(items), emit);
+        }
+    }
+    run_serial_stream(interp, f, env, None, emit)
+}
+
+/// Feed an already materialized sequence through `emit` in
+/// [`BATCH`]-sized chunks. Used wherever a streaming caller hits a
+/// path that must materialize (parallel merges, non-FLWOR bodies).
+pub(crate) fn emit_sequence(seq: &Sequence, emit: &mut EmitBatch) -> EngineResult<u64> {
+    for chunk in seq.chunks(BATCH) {
+        if !chunk.is_empty() {
+            emit(chunk)?;
+        }
+    }
+    Ok(seq.len() as u64)
+}
+
+/// Streaming twin of [`run_serial`]: identical operator chain and
+/// profiling, but the sink emits per-batch instead of building one
+/// `Sequence`.
+fn run_serial_stream(
+    interp: &Interpreter,
+    f: &FlworIr,
+    env: &mut Env,
+    mut seed: Option<Sequence>,
+    emit: &mut EmitBatch,
+) -> EngineResult<u64> {
+    let profiler = interp.dynamic.profiler().cloned();
+    let mut counters: Vec<Rc<OpCounters>> = Vec::new();
+    let cells = join_cells(f);
+    let mut source: BoxSource = Box::new(Singleton { done: false });
+    for (i, clause) in f.clauses.iter().enumerate() {
+        source = match (i, seed.take(), clause) {
+            (
+                0,
+                Some(items),
+                ClauseIr::For {
+                    slot,
+                    at_slot,
+                    ty,
+                    expr,
+                },
+            ) => Box::new(ForScan {
+                input: source,
+                slot: *slot,
+                at_slot: *at_slot,
+                ty: ty.as_ref(),
+                expr,
+                expr_eval: ExprEval::new(flwor_plan(f, 0)),
+                batch: Vec::new().into_iter(),
+                items: items.into_iter(),
+                item_pos: 0,
+                base: Tuple::default(),
+                input_done: true,
+            }),
+            (_, _, clause) => {
+                clause_source(clause, flwor_plan(f, i), join_at(f, &cells, i), source)
+            }
+        };
+        if profiler.is_some() {
+            let c = Rc::new(OpCounters::default());
+            counters.push(Rc::clone(&c));
+            source = Box::new(Instrumented {
+                input: source,
+                counters: c,
+            });
+        }
+    }
+    let sink = ReturnAt {
+        at: f.return_at,
+        expr: &f.return_expr,
+    };
+    match profiler {
+        None => sink.stream(source, interp, env, emit).map(|(n, _)| n),
+        Some(profiler) => {
+            let clock = Arc::clone(interp.dynamic.clock());
+            let start = clock.now_nanos();
+            let (items, sink_stats) = sink.stream(source, interp, env, emit)?;
+            let total = clock.now_nanos().saturating_sub(start);
+            let p = build_profile(f, &counters, sink_stats, total);
+            profiler.add_span(serial_span(&p, start, total));
+            profiler.record(p);
+            Ok(items)
+        }
+    }
+}
+
 /// The clause's compiled-expression plan, tolerating the empty table
 /// tree mode and engine-less compilation leave behind.
 fn flwor_plan(f: &FlworIr, i: usize) -> Option<&ExprPlan> {
@@ -2427,5 +2548,40 @@ impl ReturnAt<'_> {
             }
         }
         Ok((out.build(), stats))
+    }
+
+    /// Streaming variant of [`execute`](Self::execute): the return
+    /// expression's output for each input batch is built into its own
+    /// small `Sequence` and emitted as soon as the batch is processed,
+    /// so the first result bytes leave before later batches are pulled.
+    fn stream(
+        &self,
+        mut source: BoxSource<'_>,
+        interp: &Interpreter,
+        env: &mut Env,
+        emit: &mut EmitBatch,
+    ) -> EngineResult<(u64, SinkStats)> {
+        let mut stats = SinkStats::default();
+        let mut ordinal = 0i64;
+        let mut items = 0u64;
+        while let Some(batch) = source.next_batch(interp, env)? {
+            stats.batches += 1;
+            stats.tuples += batch.len() as u64;
+            let mut out = SequenceBuilder::new();
+            for t in batch {
+                t.apply(env);
+                ordinal += 1;
+                if let Some(at) = self.at {
+                    env.slots[at] = Sequence::one(ordinal);
+                }
+                out.append(interp.eval(self.expr, env)?);
+            }
+            let seq = out.build();
+            if !seq.is_empty() {
+                items += seq.len() as u64;
+                emit(&seq)?;
+            }
+        }
+        Ok((items, stats))
     }
 }

@@ -1,0 +1,211 @@
+//! Bounded admission in front of the connection pool.
+//!
+//! The acceptor thread asks [`Admission::try_admit`] before handing a
+//! freshly accepted socket to the pool. Admission is bounded two ways:
+//!
+//! - **Total capacity**: at most `workers + max_queue` connections may
+//!   be admitted at once — the pool's workers plus a bounded backlog of
+//!   connections waiting for one. Beyond that the acceptor sheds the
+//!   connection with `429` + `Retry-After` instead of growing an
+//!   unbounded queue of sockets nobody is serving.
+//! - **Per-client quota**: at most `max_inflight_per_client` admitted
+//!   connections per peer IP address, so one greedy client cannot
+//!   occupy the whole pool.
+//!
+//! The returned [`AdmissionGuard`] releases both counts on drop, so a
+//! connection that panics or errors out still frees its slot. The
+//! guard also distinguishes *queued* from *running* (the worker calls
+//! [`AdmissionGuard::mark_running`] when it picks the connection up),
+//! which is what the `/metrics` gauges `xqa_http_connections_active`
+//! and `xqa_admission_queue_depth` report.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Why a connection was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Every worker and queue slot is occupied.
+    QueueFull,
+    /// The peer already has `max_inflight_per_client` connections
+    /// admitted.
+    ClientQuota,
+}
+
+/// Shared admission state (see module docs).
+#[derive(Debug)]
+pub struct Admission {
+    /// Admitted-connection ceiling: pool workers + queue bound.
+    capacity: usize,
+    max_per_client: usize,
+    /// Connections admitted and not yet finished (queued + running).
+    admitted: AtomicUsize,
+    /// Connections a worker is actively serving.
+    running: AtomicUsize,
+    /// Connections shed since startup.
+    shed: AtomicU64,
+    per_client: Mutex<HashMap<IpAddr, usize>>,
+}
+
+impl Admission {
+    /// Admission state for a pool of `workers` workers, allowing
+    /// `max_queue` connections to wait and `max_per_client` admitted
+    /// connections per peer IP (minimum 1 each).
+    pub fn new(workers: usize, max_queue: usize, max_per_client: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            capacity: workers.max(1) + max_queue,
+            max_per_client: max_per_client.max(1),
+            admitted: AtomicUsize::new(0),
+            running: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+            per_client: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Try to admit a connection from `peer`. `Err` means the caller
+    /// should shed it (the shed counter is already bumped).
+    pub fn try_admit(self: &Arc<Self>, peer: Option<IpAddr>) -> Result<AdmissionGuard, ShedReason> {
+        if let Some(ip) = peer {
+            let mut clients = self.per_client.lock().expect("admission clients poisoned");
+            let count = clients.entry(ip).or_insert(0);
+            if *count >= self.max_per_client {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ShedReason::ClientQuota);
+            }
+            *count += 1;
+        }
+        if self.admitted.fetch_add(1, Ordering::AcqRel) >= self.capacity {
+            self.admitted.fetch_sub(1, Ordering::AcqRel);
+            self.release_client(peer);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        Ok(AdmissionGuard {
+            admission: Arc::clone(self),
+            peer,
+            running: false,
+        })
+    }
+
+    /// Connections currently being served by a worker.
+    pub fn active_connections(&self) -> usize {
+        self.running.load(Ordering::Relaxed)
+    }
+
+    /// Admitted connections still waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.admitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.running.load(Ordering::Relaxed))
+    }
+
+    /// Connections shed (either reason) since startup.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    fn release_client(&self, peer: Option<IpAddr>) {
+        if let Some(ip) = peer {
+            let mut clients = self.per_client.lock().expect("admission clients poisoned");
+            if let Some(count) = clients.get_mut(&ip) {
+                *count -= 1;
+                if *count == 0 {
+                    clients.remove(&ip);
+                }
+            }
+        }
+    }
+}
+
+/// One admitted connection's slot; releases it on drop.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    admission: Arc<Admission>,
+    peer: Option<IpAddr>,
+    running: bool,
+}
+
+impl AdmissionGuard {
+    /// Mark the connection as picked up by a worker (queued → running).
+    pub fn mark_running(&mut self) {
+        if !self.running {
+            self.running = true;
+            self.admission.running.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        if self.running {
+            self.admission.running.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.admission.admitted.fetch_sub(1, Ordering::AcqRel);
+        self.admission.release_client(self.peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Option<IpAddr> {
+        Some(IpAddr::from([127, 0, 0, last]))
+    }
+
+    #[test]
+    fn capacity_bounds_admissions() {
+        let adm = Admission::new(1, 1, 16);
+        let a = adm.try_admit(ip(1)).expect("first fits");
+        let b = adm.try_admit(ip(2)).expect("queue slot fits");
+        assert_eq!(adm.try_admit(ip(3)).err(), Some(ShedReason::QueueFull));
+        assert_eq!(adm.shed_total(), 1);
+        drop(a);
+        let _c = adm.try_admit(ip(3)).expect("slot freed on drop");
+        drop(b);
+    }
+
+    #[test]
+    fn per_client_quota_binds_before_capacity() {
+        let adm = Admission::new(8, 8, 2);
+        let _a = adm.try_admit(ip(1)).unwrap();
+        let _b = adm.try_admit(ip(1)).unwrap();
+        assert_eq!(adm.try_admit(ip(1)).err(), Some(ShedReason::ClientQuota));
+        // Another client is unaffected.
+        let _c = adm.try_admit(ip(2)).unwrap();
+    }
+
+    #[test]
+    fn quota_slot_frees_on_drop() {
+        let adm = Admission::new(8, 8, 1);
+        let a = adm.try_admit(ip(1)).unwrap();
+        assert_eq!(adm.try_admit(ip(1)).err(), Some(ShedReason::ClientQuota));
+        drop(a);
+        let _b = adm.try_admit(ip(1)).expect("quota released");
+    }
+
+    #[test]
+    fn gauges_track_queued_vs_running() {
+        let adm = Admission::new(4, 4, 16);
+        let mut a = adm.try_admit(ip(1)).unwrap();
+        let _b = adm.try_admit(ip(2)).unwrap();
+        assert_eq!(adm.active_connections(), 0);
+        assert_eq!(adm.queue_depth(), 2);
+        a.mark_running();
+        a.mark_running(); // idempotent
+        assert_eq!(adm.active_connections(), 1);
+        assert_eq!(adm.queue_depth(), 1);
+        drop(a);
+        assert_eq!(adm.active_connections(), 0);
+        assert_eq!(adm.queue_depth(), 1);
+    }
+
+    #[test]
+    fn anonymous_peers_skip_the_quota_but_count_against_capacity() {
+        let adm = Admission::new(1, 0, 1);
+        let _a = adm.try_admit(None).unwrap();
+        assert_eq!(adm.try_admit(None).err(), Some(ShedReason::QueueFull));
+    }
+}

@@ -42,6 +42,9 @@ pub struct FlightRecord {
     pub error: Option<String>,
     /// Whether the plan came from the cache (`false` = compiled now).
     pub cached_plan: bool,
+    /// Whether the response body streamed out as chunked transfer
+    /// encoding (vs a buffered `Content-Length` response).
+    pub streamed: bool,
     /// End-to-end latency in microseconds.
     pub latency_us: u64,
     /// Tuples produced by the evaluation (0 on error).
@@ -101,8 +104,8 @@ impl FlightRecord {
             None => out.push_str(",\"fingerprint\":null"),
         }
         out.push_str(&format!(
-            ",\"ok\":{},\"cached_plan\":{},\"latency_us\":{},\"tuples\":{}",
-            self.ok, self.cached_plan, self.latency_us, self.tuples
+            ",\"ok\":{},\"cached_plan\":{},\"streamed\":{},\"latency_us\":{},\"tuples\":{}",
+            self.ok, self.cached_plan, self.streamed, self.latency_us, self.tuples
         ));
         match self.worst_q_error {
             Some(q) => out.push_str(&format!(",\"worst_q_error\":{q:.2}")),
@@ -369,6 +372,7 @@ mod tests {
             ok: true,
             error: None,
             cached_plan: false,
+            streamed: false,
             latency_us,
             tuples: 3,
             worst_q_error: q,
@@ -495,6 +499,7 @@ mod tests {
             ok: false,
             error: Some("compile: unexpected end".to_string()),
             cached_plan: false,
+            streamed: false,
             latency_us: 7,
             tuples: 0,
             worst_q_error: None,

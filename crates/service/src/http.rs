@@ -1,9 +1,13 @@
 //! A deliberately minimal HTTP/1.1 layer over `std::io`.
 //!
-//! Parses just enough of a request for the service's three endpoints —
-//! request line, `Content-Length`, body — and writes
-//! `Connection: close` responses. Hard limits on header and body size
-//! keep a misbehaving client from pinning a worker.
+//! Parses just enough of a request for the service's endpoints —
+//! request line (with HTTP version), headers, `Content-Length`, body —
+//! and writes responses either whole (with `Content-Length`) or as
+//! `Transfer-Encoding: chunked` streams. Connection lifetime is the
+//! caller's business: the parser reports whether the client asked for
+//! keep-alive and the writers take an explicit close/keep-alive flag.
+//! Hard limits on header and body size keep a misbehaving client from
+//! pinning a worker.
 
 use std::io::{BufRead, Read, Write};
 
@@ -20,6 +24,8 @@ pub struct Request {
     pub method: String,
     /// The request target (path plus any query string).
     pub target: String,
+    /// Minor HTTP/1.x version from the request line (0 or 1).
+    pub minor_version: u8,
     /// Header `(name, value)` pairs in arrival order, names lowercased,
     /// values trimmed. Bounded by [`MAX_HEADER_BYTES`] like the rest of
     /// the header section.
@@ -36,6 +42,20 @@ impl Request {
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether this request asks to reuse the connection, per HTTP/1.x
+    /// semantics: an explicit `Connection: close` always wins; HTTP/1.1
+    /// defaults to keep-alive, HTTP/1.0 defaults to close unless the
+    /// client sent `Connection: keep-alive`.
+    pub fn keep_alive_requested(&self) -> bool {
+        let tokens =
+            |v: &str, needle: &str| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(needle));
+        match self.header("connection") {
+            Some(v) if tokens(v, "close") => false,
+            Some(v) if tokens(v, "keep-alive") => true,
+            _ => self.minor_version >= 1,
+        }
+    }
 }
 
 /// Why a request could not be parsed.
@@ -45,6 +65,11 @@ pub enum RequestError {
     Malformed(&'static str),
     /// Headers or body exceeded the size limits.
     TooLarge,
+    /// The client closed the connection cleanly before sending any
+    /// byte of a request — the normal end of a keep-alive session.
+    Closed,
+    /// A read deadline expired mid-request (slow or stalled client).
+    Timeout,
     /// The connection dropped mid-request.
     Io(std::io::ErrorKind),
 }
@@ -54,6 +79,8 @@ impl std::fmt::Display for RequestError {
         match self {
             RequestError::Malformed(what) => write!(f, "malformed request: {what}"),
             RequestError::TooLarge => write!(f, "request too large"),
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Timeout => write!(f, "request read timed out"),
             RequestError::Io(kind) => write!(f, "i/o error: {kind:?}"),
         }
     }
@@ -61,34 +88,60 @@ impl std::fmt::Display for RequestError {
 
 impl From<std::io::Error> for RequestError {
     fn from(e: std::io::Error) -> RequestError {
-        RequestError::Io(e.kind())
+        match e.kind() {
+            // Both kinds occur for an expired socket read deadline,
+            // depending on platform.
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+            kind => RequestError::Io(kind),
+        }
     }
 }
 
-/// Read one line terminated by `\n`, stripping `\r\n`/`\n`, bounding
-/// the running header total.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+/// Read one line terminated by `\n`, stripping the `\r\n`/`\n` ending,
+/// bounding the running header total. `Ok(None)` is clean EOF before
+/// any byte of this line. A carriage return anywhere else in the line
+/// (CR-only endings, doubled CRs) is malformed.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<Option<String>, RequestError> {
     let mut line = Vec::new();
     // Cap the read so a newline-free flood cannot grow unboundedly.
     let mut limited = reader.take(*budget as u64 + 1);
     let n = limited.read_until(b'\n', &mut line)?;
     if n == 0 {
-        return Err(RequestError::Malformed("unexpected end of stream"));
+        return Ok(None);
     }
     if n > *budget {
         return Err(RequestError::TooLarge);
     }
     *budget -= n;
-    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+    if line.last() == Some(&b'\n') {
         line.pop();
     }
-    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 header"))
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    if line.iter().any(|&b| b == b'\r' || b == b'\n') {
+        return Err(RequestError::Malformed("bare carriage return"));
+    }
+    String::from_utf8(line)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("non-UTF-8 header"))
 }
 
-/// Parse one HTTP/1.1 request from `reader`.
+/// Parse one HTTP/1.x request from `reader`.
+///
+/// Distinguishes the ways a keep-alive connection ends: a clean EOF
+/// before the first byte is [`RequestError::Closed`] (close silently),
+/// an expired read deadline is [`RequestError::Timeout`] (respond 408),
+/// and anything else mid-request is malformed or an I/O error.
 pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
     let mut budget = MAX_HEADER_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
+    let request_line = match read_line(reader, &mut budget)? {
+        Some(line) => line,
+        None => return Err(RequestError::Closed),
+    };
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().map(str::to_string);
@@ -97,14 +150,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
         (Some(t), Some(v), None) if !method.is_empty() && !t.is_empty() => (t, v),
         _ => return Err(RequestError::Malformed("request line")),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(RequestError::Malformed("unsupported HTTP version"));
-    }
+    let minor_version = match version {
+        "HTTP/1.0" => 0,
+        "HTTP/1.1" => 1,
+        _ => return Err(RequestError::Malformed("unsupported HTTP version")),
+    };
 
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     let mut headers: Vec<(String, String)> = Vec::new();
     loop {
-        let line = read_line(reader, &mut budget)?;
+        let line = match read_line(reader, &mut budget)? {
+            Some(line) => line,
+            None => return Err(RequestError::Malformed("unexpected end of stream")),
+        };
         if line.is_empty() {
             break;
         }
@@ -114,20 +172,34 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value
+            let parsed = value
                 .parse()
                 .map_err(|_| RequestError::Malformed("content-length"))?;
+            // A request smuggling vector if ever proxied: reject
+            // instead of silently taking either value.
+            if content_length.replace(parsed).is_some() {
+                return Err(RequestError::Malformed("duplicate content-length"));
+            }
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(RequestError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        match RequestError::from(e) {
+            // A deadline mid-body is still a timeout; a clean EOF
+            // mid-body is a dropped connection, not `Closed`.
+            RequestError::Timeout => RequestError::Timeout,
+            other => other,
+        }
+    })?;
     Ok(Request {
         method,
         target,
+        minor_version,
         headers,
         body,
     })
@@ -140,8 +212,11 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -153,31 +228,82 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write_response_with_headers(writer, status, content_type, &[], body)
+    write_response_with_headers(writer, status, content_type, &[], body, false)
 }
 
-/// Write a complete `Connection: close` response with extra headers
-/// (e.g. `X-Request-Id`). Header values must be ASCII without CR/LF.
+/// Write a complete response with extra headers (e.g. `X-Request-Id`)
+/// and an explicit connection disposition. Header values must be ASCII
+/// without CR/LF.
 pub fn write_response_with_headers(
     writer: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason(status),
         content_type,
-        body.len()
+        body.len(),
+        connection,
     )?;
     for (name, value) in extra_headers {
         write!(writer, "{name}: {value}\r\n")?;
     }
     writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Write the head of a `Transfer-Encoding: chunked` response. Body
+/// bytes follow via [`write_chunk`]; a complete response ends with
+/// [`finish_chunked`], and an aborted one simply never does (closing
+/// the socket without the terminal chunk is how HTTP signals a
+/// truncated chunked body).
+pub fn write_chunked_head(
+    writer: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+        status,
+        reason(status),
+        content_type,
+        connection,
+    )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")
+}
+
+/// Write one chunk of a chunked response body. Empty input writes
+/// nothing (a zero-length chunk would terminate the body).
+pub fn write_chunk(writer: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    // One buffered write per chunk: size line + payload + CRLF.
+    let mut framed = Vec::with_capacity(data.len() + 16);
+    framed.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    framed.extend_from_slice(data);
+    framed.extend_from_slice(b"\r\n");
+    writer.write_all(&framed)
+}
+
+/// Write the terminal chunk of a chunked response and flush.
+pub fn finish_chunked(writer: &mut impl Write) -> std::io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
     writer.flush()
 }
 
@@ -226,6 +352,7 @@ mod tests {
             parse(b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\nsum(1)\n").unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/query");
+        assert_eq!(req.minor_version, 1);
         assert_eq!(req.body, b"sum(1)\n");
     }
 
@@ -262,6 +389,48 @@ mod tests {
     }
 
     #[test]
+    fn connection_semantics_by_version() {
+        // HTTP/1.1 defaults to keep-alive; explicit close wins.
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        // Token lists: `close` anywhere in the list still closes.
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: TE, close\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        // HTTP/1.0 defaults to close; explicit keep-alive opts in.
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+        // An unrelated Connection value falls back to the version default.
+        assert!(parse(b"GET / HTTP/1.1\r\nConnection: TE\r\n\r\n")
+            .unwrap()
+            .keep_alive_requested());
+    }
+
+    #[test]
+    fn clean_eof_before_any_byte_is_closed() {
+        assert_eq!(parse(b""), Err(RequestError::Closed));
+    }
+
+    #[test]
+    fn eof_mid_headers_is_malformed_not_closed() {
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(RequestError::Malformed("unexpected end of stream"))
+        );
+    }
+
+    #[test]
     fn rejects_garbage_request_line() {
         assert_eq!(
             parse(b"NONSENSE\r\n\r\n"),
@@ -270,6 +439,62 @@ mod tests {
         assert_eq!(
             parse(b"GET / SPDY/3\r\n\r\n"),
             Err(RequestError::Malformed("unsupported HTTP version"))
+        );
+        // Truncated request line: method only, no target/version.
+        assert_eq!(
+            parse(b"GET\r\n\r\n"),
+            Err(RequestError::Malformed("request line"))
+        );
+        assert_eq!(
+            parse(b"GET /x\r\n\r\n"),
+            Err(RequestError::Malformed("request line"))
+        );
+        // HTTP/2-style or fractional versions are refused outright.
+        assert_eq!(
+            parse(b"GET / HTTP/1.2\r\n\r\n"),
+            Err(RequestError::Malformed("unsupported HTTP version"))
+        );
+    }
+
+    #[test]
+    fn rejects_header_without_colon() {
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(RequestError::Malformed("header line"))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        assert_eq!(
+            parse(b"POST /q HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi"),
+            Err(RequestError::Malformed("duplicate content-length"))
+        );
+        // Even duplicates that agree are refused.
+        assert_eq!(
+            parse(b"POST /q HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi"),
+            Err(RequestError::Malformed("duplicate content-length"))
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_content_length() {
+        assert_eq!(
+            parse(b"POST /q HTTP/1.1\r\nContent-Length: two\r\n\r\nhi"),
+            Err(RequestError::Malformed("content-length"))
+        );
+    }
+
+    #[test]
+    fn rejects_cr_only_line_endings() {
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\rHost: x\r\r\n"),
+            Err(RequestError::Malformed("bare carriage return"))
+        );
+        // Doubled CR before the LF is not a valid line ending either.
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\r\n\r\n"),
+            Err(RequestError::Malformed("bare carriage return"))
         );
     }
 
@@ -307,6 +532,38 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_responses_say_so() {
+        let mut out = Vec::new();
+        write_response_with_headers(&mut out, 200, "text/plain", &[], b"ok", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_response_framing() {
+        let mut out = Vec::new();
+        write_chunked_head(
+            &mut out,
+            200,
+            "application/xml",
+            &[("X-Request-Id", "7")],
+            true,
+        )
+        .unwrap();
+        write_chunk(&mut out, b"<a/>").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // ignored, not terminal
+        write_chunk(&mut out, &[b'x'; 16]).unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains("X-Request-Id: 7\r\n"), "{text}");
+        assert!(
+            text.ends_with("\r\n\r\n4\r\n<a/>\r\n10\r\nxxxxxxxxxxxxxxxx\r\n0\r\n\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn json_escaping_covers_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
@@ -321,11 +578,19 @@ mod tests {
             "application/json",
             &[("X-Request-Id", "42")],
             b"{}",
+            false,
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("X-Request-Id: 42\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn timeout_reason_phrases_exist() {
+        assert_eq!(reason(408), "Request Timeout");
+        assert_eq!(reason(429), "Too Many Requests");
+        assert_eq!(reason(503), "Service Unavailable");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod catalog;
 pub mod flight;
@@ -36,6 +37,7 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 
+pub use admission::{Admission, ShedReason};
 pub use cache::PlanCache;
 pub use catalog::{CatalogError, DocumentCatalog};
 pub use flight::{FlightRecord, FlightRecorder};

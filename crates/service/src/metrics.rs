@@ -100,6 +100,13 @@ pub struct Metrics {
     pub not_found: AtomicU64,
     /// Connections whose request could not be parsed.
     pub bad_requests: AtomicU64,
+    /// Requests answered `408` because a read deadline expired.
+    pub request_timeouts: AtomicU64,
+    /// Query responses streamed as chunked transfer encoding.
+    pub streamed_responses: AtomicU64,
+    /// Streamed responses aborted after the first byte (truncated
+    /// chunked body, connection closed).
+    pub mid_stream_aborts: AtomicU64,
     /// End-to-end query latency (receipt to serialized response).
     pub query_latency: LatencyHistogram,
 }

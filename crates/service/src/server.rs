@@ -1,9 +1,11 @@
-//! The HTTP server: an acceptor thread feeding a worker pool, one
-//! fresh evaluation context per request.
+//! The HTTP server: an acceptor thread feeding a worker pool whose
+//! jobs are whole *connections* (HTTP/1.1 keep-alive request loops),
+//! one fresh evaluation context per request.
 //!
 //! ```text
-//! POST /query               body = query text -> 200 serialized sequence
+//! POST /query               body = query text -> 200 chunked serialized sequence
 //!                                                400 {"error":{"kind":...,"message":...}}
+//! POST /query?stream=false  -> 200 buffered (Content-Length) response
 //! POST /query?profile=true  -> 200 {"request_id":...,"result":...,"stats":...,"profile":...}
 //! GET  /healthz             -> 200 "ok"
 //! GET  /metrics             -> 200 Prometheus-style text
@@ -11,6 +13,27 @@
 //! GET  /debug/query/<id>    -> 200 one full record (spans, stats, compile trace)
 //! GET  /debug/plans         -> 200 per-plan-fingerprint aggregates
 //! ```
+//!
+//! **Connection lifecycle.** The acceptor asks the [`Admission`] layer
+//! before dispatching: connections past the `workers + max_queue`
+//! bound or the per-client quota are shed inline with `429` +
+//! `Retry-After`. Admitted connections run a keep-alive loop: up to
+//! `max_requests_per_conn` requests are served per socket, waiting up
+//! to `idle_timeout` for each next request and `read_timeout` per read
+//! once one starts (an expired mid-request deadline answers `408` and
+//! closes; an idle expiry or clean client EOF closes silently).
+//! `Connection: close` and HTTP/1.0 semantics are honored and echoed.
+//!
+//! **Streaming.** Plain `POST /query` over HTTP/1.1 streams the result
+//! as `Transfer-Encoding: chunked`, serializing each pipeline batch as
+//! it is pulled ([`PreparedQuery::run_serialized`]). An error before
+//! the first result byte still produces an ordinary `400` JSON
+//! response; an error after bytes have left truncates the chunked body
+//! (no terminal chunk) and closes the connection, which is HTTP's
+//! mid-stream failure signal. `?stream=false`, `?profile=true` and
+//! HTTP/1.0 requests buffer as before.
+//!
+//! [`PreparedQuery::run_serialized`]: xqa_engine::PreparedQuery::run_serialized
 //!
 //! Every request gets its own [`DynamicContext`] built from the shared
 //! [`DocumentCatalog`] (cheap: documents are parsed once at startup and
@@ -30,7 +53,7 @@
 //! [`EvalStats`]: xqa_engine::EvalStats
 //! [`DynamicContext`]: xqa_engine::DynamicContext
 
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,6 +66,7 @@ use xqa_engine::{
 };
 use xqa_xmlparse::serialize_sequence;
 
+use crate::admission::{Admission, AdmissionGuard, ShedReason};
 use crate::cache::PlanCache;
 use crate::catalog::DocumentCatalog;
 use crate::flight::{self, FlightRecord, FlightRecorder};
@@ -59,9 +83,20 @@ pub struct ServiceConfig {
     pub plan_cache_capacity: usize,
     /// Options for the engine compiling every query.
     pub engine_options: EngineOptions,
-    /// Per-connection read timeout (keeps slow clients from pinning a
-    /// worker).
+    /// Per-read deadline once a request has started arriving (keeps a
+    /// slow-loris client from pinning a worker; expiry answers `408`).
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server closes it
+    /// (bounds how long one socket can monopolize a worker).
+    pub max_requests_per_conn: usize,
+    /// Admitted connections allowed to wait for a worker beyond the
+    /// workers themselves; excess connections are shed with `429`.
+    pub max_queue: usize,
+    /// Admitted connections allowed per client IP at once.
+    pub max_inflight_per_client: usize,
     /// Log queries slower than this many milliseconds to stderr
     /// (`None` disables the slow-query log).
     pub slow_query_ms: Option<u64>,
@@ -77,6 +112,10 @@ impl Default for ServiceConfig {
             plan_cache_capacity: 128,
             engine_options: EngineOptions::default(),
             read_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
+            max_queue: 128,
+            max_inflight_per_client: 64,
             slow_query_ms: None,
             flight_recorder_capacity: 256,
         }
@@ -109,7 +148,11 @@ struct Shared {
     query_threads: usize,
     pool: ThreadPool,
     started: Instant,
+    /// Bounded admission + per-client quotas (see [`Admission`]).
+    admission: Arc<Admission>,
     read_timeout: Duration,
+    idle_timeout: Duration,
+    max_requests_per_conn: usize,
 }
 
 /// A running query service bound to a TCP address.
@@ -167,7 +210,10 @@ impl Server {
             query_threads: xqa_engine::resolve_threads(config.engine_options.threads),
             pool: ThreadPool::new("xqa-worker", workers),
             started: Instant::now(),
+            admission: Admission::new(workers, config.max_queue, config.max_inflight_per_client),
             read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor = {
@@ -181,10 +227,16 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = conn else { continue };
-                        let conn_shared = Arc::clone(&shared);
-                        shared
-                            .pool
-                            .execute(move || handle_connection(stream, &conn_shared));
+                        let peer = stream.peer_addr().ok().map(|a| a.ip());
+                        match shared.admission.try_admit(peer) {
+                            Ok(guard) => {
+                                let conn_shared = Arc::clone(&shared);
+                                shared.pool.execute(move || {
+                                    handle_connection(stream, &conn_shared, guard)
+                                });
+                            }
+                            Err(reason) => shed_connection(stream, reason, &shared),
+                        }
                     }
                 })?
         };
@@ -227,41 +279,105 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+/// Shed a connection the admission layer refused: an inline `429`
+/// written from the acceptor thread (cheap — no query work, one small
+/// buffered write), then close.
+fn shed_connection(mut stream: TcpStream, reason: ShedReason, shared: &Shared) {
+    // Never let a dead client block the acceptor.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = match reason {
+        ShedReason::QueueFull => "server overloaded, retry later\n",
+        ShedReason::ClientQuota => "per-client connection quota exceeded, retry later\n",
+    };
+    let _ = http::write_response_with_headers(
+        &mut stream,
+        429,
+        "text/plain; charset=utf-8",
+        &[("Retry-After", "1")],
+        body.as_bytes(),
+        false,
+    );
+    let _ = shared; // shed count lives in Admission::try_admit
+}
+
+/// The per-connection keep-alive loop (one pool job per connection):
+/// serve requests off the socket until the client closes, asks to
+/// close, times out, errors, or hits the per-connection request cap.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, mut guard: AdmissionGuard) {
+    guard.mark_running();
+    // Small pipelined responses should not wait on Nagle.
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     });
-    let request = match http::read_request(&mut reader) {
-        Ok(request) => request,
-        Err(err) => {
-            Metrics::bump(&shared.metrics.bad_requests);
-            let status = if err == RequestError::TooLarge {
-                413
-            } else {
-                400
-            };
-            respond_text(&mut stream, status, &format!("{err}\n"));
+    for served in 0..shared.max_requests_per_conn {
+        // Wait for the first byte of the next request under the idle
+        // deadline; an idle expiry or clean EOF between requests is the
+        // normal end of a keep-alive session.
+        let _ = stream.set_read_timeout(Some(shared.idle_timeout));
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF
+            Ok(_) => {}       // request bytes waiting
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return; // idle timeout
+            }
+            Err(_) => return,
+        }
+        // From here every read of this request runs under the tighter
+        // read deadline.
+        let _ = stream.set_read_timeout(Some(shared.read_timeout));
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => request,
+            Err(RequestError::Closed) => return,
+            Err(RequestError::Timeout) => {
+                Metrics::bump(&shared.metrics.request_timeouts);
+                respond_text(&mut stream, 408, "request read timed out\n", false);
+                return;
+            }
+            Err(err) => {
+                Metrics::bump(&shared.metrics.bad_requests);
+                let status = if err == RequestError::TooLarge {
+                    413
+                } else {
+                    400
+                };
+                respond_text(&mut stream, status, &format!("{err}\n"), false);
+                return;
+            }
+        };
+        // The response's connection disposition: what the client asked
+        // for, capped by the per-connection request budget.
+        let keep_alive =
+            request.keep_alive_requested() && served + 1 < shared.max_requests_per_conn;
+        if !route(&mut stream, &request, shared, keep_alive) {
             return;
         }
-    };
-    route(&mut stream, &request, shared);
+    }
 }
 
-fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+/// Dispatch one request. Returns whether the connection may serve
+/// another request (`keep_alive`, unless the handler had to abort a
+/// stream mid-response).
+fn route(stream: &mut TcpStream, request: &Request, shared: &Shared, keep_alive: bool) -> bool {
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
-        ("POST", "/query") => handle_query(stream, request, shared),
-        ("GET", "/healthz") => respond_text(stream, 200, "ok\n"),
-        ("GET", "/metrics") => respond_text(stream, 200, &render_metrics(shared)),
+        ("POST", "/query") => return handle_query(stream, request, shared, keep_alive),
+        ("GET", "/healthz") => respond_text(stream, 200, "ok\n", keep_alive),
+        ("GET", "/metrics") => respond_text(stream, 200, &render_metrics(shared), keep_alive),
         ("GET", "/debug/queries") => {
             respond(
                 stream,
                 200,
                 "application/json",
                 shared.flight.recent_json().as_bytes(),
+                keep_alive,
             );
         }
         ("GET", "/debug/plans") => {
@@ -270,27 +386,29 @@ fn route(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 200,
                 "application/json",
                 shared.flight.plans_json(DEBUG_PLANS_TOP_K).as_bytes(),
+                keep_alive,
             );
         }
         ("GET", p) if p.starts_with("/debug/query/") => {
             let id = &p["/debug/query/".len()..];
             match shared.flight.query_json(id) {
-                Some(body) => respond(stream, 200, "application/json", body.as_bytes()),
+                Some(body) => respond(stream, 200, "application/json", body.as_bytes(), keep_alive),
                 None => {
                     Metrics::bump(&shared.metrics.not_found);
-                    respond_text(stream, 404, "no such request id\n");
+                    respond_text(stream, 404, "no such request id\n", keep_alive);
                 }
             }
         }
         (_, "/query" | "/healthz" | "/metrics" | "/debug/queries" | "/debug/plans") => {
             Metrics::bump(&shared.metrics.not_found);
-            respond_text(stream, 405, "method not allowed\n");
+            respond_text(stream, 405, "method not allowed\n", keep_alive);
         }
         _ => {
             Metrics::bump(&shared.metrics.not_found);
-            respond_text(stream, 404, "not found\n");
+            respond_text(stream, 404, "not found\n", keep_alive);
         }
     }
+    keep_alive
 }
 
 /// How many per-fingerprint aggregates `GET /debug/plans` returns.
@@ -309,14 +427,63 @@ fn client_request_id(request: &Request) -> Option<String> {
 }
 
 /// What a successful query evaluation hands back to the response path.
+/// `body` is `None` when the response already streamed out chunk by
+/// chunk (nothing left to write).
 struct QueryOutcome {
-    body: String,
+    body: Option<String>,
     stats: EvalStatsSnapshot,
     profile: QueryProfile,
     query: String,
+    streamed: bool,
 }
 
-fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
+/// How a query request failed, split by how much of the response had
+/// already reached the wire.
+enum QueryFailure {
+    /// Failed before any response byte: an ordinary `400` follows.
+    Early { kind: String, message: String },
+    /// The engine failed after response bytes streamed out: the chunked
+    /// body was truncated (no terminal chunk) and the connection closes.
+    MidStream { message: String, items: u64 },
+    /// The socket write failed mid-stream (client hung up).
+    Sink { message: String },
+}
+
+impl QueryFailure {
+    fn early(kind: &str, message: impl Into<String>) -> QueryFailure {
+        QueryFailure::Early {
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Fold one finished run's stats and profile into the service totals.
+fn snapshot_run(
+    shared: &Shared,
+    ctx: &mut xqa_engine::DynamicContext,
+) -> (EvalStatsSnapshot, QueryProfile) {
+    let stats = ctx.stats.snapshot();
+    shared.totals.add_snapshot(&stats);
+    let profile = ctx.take_profile().unwrap_or_default();
+    for pipeline in &profile.pipelines {
+        for op in &pipeline.ops {
+            if let Some(i) = OpKind::ALL.iter().position(|k| *k == op.kind) {
+                shared.op_tuples[i].fetch_add(op.tuples_out, Ordering::Relaxed);
+            }
+        }
+    }
+    (stats, profile)
+}
+
+/// Serve one `POST /query`. Returns whether the connection may serve
+/// another request (false after a truncated stream).
+fn handle_query(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    keep_alive: bool,
+) -> bool {
     let start = Instant::now();
     // One counter draw per request: it is the trace query id, and the
     // response's request id when the client did not supply one.
@@ -327,6 +494,11 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
         http::query_param(&request.target, "profile"),
         Some("true") | Some("1")
     );
+    // Stream unless the client opted out, asked for the profile
+    // envelope, or speaks HTTP/1.0 (chunked framing needs 1.1).
+    let want_stream = request.minor_version >= 1
+        && !want_profile
+        && http::query_param(&request.target, "stream") != Some("false");
     // Compile-phase trace events are collected per request (only cache
     // misses emit any) and retired into the flight record.
     let trace_ring = shared
@@ -346,13 +518,14 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
     // Rewrite kinds recorded on the plan (cache hits included): a
     // property of the plan shape, retained by the flight recorder.
     let mut plan_rewrites: Vec<String> = Vec::new();
-    let outcome = (|| {
+    let id_header: [(&str, &str); 1] = [("X-Request-Id", &request_id)];
+    let outcome: Result<QueryOutcome, QueryFailure> = (|| {
         let query = std::str::from_utf8(&request.body)
-            .map_err(|_| ("body".to_string(), "query text must be UTF-8".to_string()))?;
+            .map_err(|_| QueryFailure::early("body", "query text must be UTF-8"))?;
         let (plan, compiled_now) = shared
             .cache
             .get_or_compile_traced(&shared.engine, query, tracer.as_ref())
-            .map_err(|e| ("compile".to_string(), e.to_string()))?;
+            .map_err(|e| QueryFailure::early("compile", e.to_string()))?;
         plan_meta = Some((plan.fingerprint(), !compiled_now));
         for note in plan.applied_rewrites() {
             let kind = note.kind.as_str().to_string();
@@ -373,25 +546,80 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
         // belong to this request alone, then fold into the totals.
         let mut ctx = shared.catalog.new_context();
         ctx.enable_profiling();
-        let result = plan
-            .run(&ctx)
-            .map_err(|e| ("runtime".to_string(), e.to_string()))?;
-        let stats = ctx.stats.snapshot();
-        shared.totals.add_snapshot(&stats);
-        let profile = ctx.take_profile().unwrap_or_default();
-        for pipeline in &profile.pipelines {
-            for op in &pipeline.ops {
-                if let Some(i) = OpKind::ALL.iter().position(|k| *k == op.kind) {
-                    shared.op_tuples[i].fetch_add(op.tuples_out, Ordering::Relaxed);
+        if want_stream {
+            // Chunked streaming: the response head goes out lazily with
+            // the first serialized batch, so an engine error before the
+            // first result byte still becomes an ordinary 400.
+            let mut head_written = false;
+            let run = plan.run_serialized(&ctx, &mut |chunk: &str| {
+                if !head_written {
+                    http::write_chunked_head(
+                        stream,
+                        200,
+                        "application/xml; charset=utf-8",
+                        &id_header,
+                        keep_alive,
+                    )?;
+                    head_written = true;
                 }
+                http::write_chunk(stream, chunk.as_bytes())
+            });
+            match run {
+                Ok(_) => {
+                    // An empty result still owes the client its head.
+                    let finish = if head_written {
+                        http::finish_chunked(stream)
+                    } else {
+                        http::write_chunked_head(
+                            stream,
+                            200,
+                            "application/xml; charset=utf-8",
+                            &id_header,
+                            keep_alive,
+                        )
+                        .and_then(|()| http::finish_chunked(stream))
+                    };
+                    if let Err(e) = finish {
+                        return Err(QueryFailure::Sink {
+                            message: e.to_string(),
+                        });
+                    }
+                    let (stats, profile) = snapshot_run(shared, &mut ctx);
+                    Ok(QueryOutcome {
+                        body: None,
+                        stats,
+                        profile,
+                        query: query.to_string(),
+                        streamed: true,
+                    })
+                }
+                Err(xqa_engine::StreamError::BeforeFirstItem(e)) => {
+                    Err(QueryFailure::early("runtime", e.to_string()))
+                }
+                Err(xqa_engine::StreamError::MidStream {
+                    error,
+                    items_emitted,
+                }) => Err(QueryFailure::MidStream {
+                    message: error.to_string(),
+                    items: items_emitted,
+                }),
+                Err(xqa_engine::StreamError::Sink { error, .. }) => Err(QueryFailure::Sink {
+                    message: error.to_string(),
+                }),
             }
+        } else {
+            let result = plan
+                .run(&ctx)
+                .map_err(|e| QueryFailure::early("runtime", e.to_string()))?;
+            let (stats, profile) = snapshot_run(shared, &mut ctx);
+            Ok(QueryOutcome {
+                body: Some(serialize_sequence(&result)),
+                stats,
+                profile,
+                query: query.to_string(),
+                streamed: false,
+            })
         }
-        Ok(QueryOutcome {
-            body: serialize_sequence(&result),
-            stats,
-            profile,
-            query: query.to_string(),
-        })
     })();
     let elapsed = start.elapsed();
     shared.metrics.query_latency.record(elapsed);
@@ -407,6 +635,7 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 ok: true,
                 error: None,
                 cached_plan: plan_meta.is_some_and(|(_, cached)| cached),
+                streamed: o.streamed,
                 latency_us: elapsed.as_micros() as u64,
                 tuples: o.stats.tuples_produced,
                 worst_q_error: o.profile.worst_misestimate().map(|m| m.q_error),
@@ -415,29 +644,43 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                 trace_json,
                 rewrites: plan_rewrites.clone(),
             },
-            Err((kind, message)) => FlightRecord {
-                request_id: request_id.clone(),
-                fingerprint: plan_meta.map(|(fp, _)| fp),
-                query: flight::truncate_query(&String::from_utf8_lossy(&request.body)),
-                ok: false,
-                error: Some(format!("{kind}: {message}")),
-                cached_plan: plan_meta.is_some_and(|(_, cached)| cached),
-                latency_us: elapsed.as_micros() as u64,
-                tuples: 0,
-                worst_q_error: None,
-                stats_json: None,
-                profile_json: None,
-                trace_json,
-                rewrites: plan_rewrites.clone(),
-            },
+            Err(failure) => {
+                let (error, streamed, tuples) = match failure {
+                    QueryFailure::Early { kind, message } => {
+                        (format!("{kind}: {message}"), false, 0)
+                    }
+                    QueryFailure::MidStream { message, items } => {
+                        (format!("runtime (mid-stream): {message}"), true, *items)
+                    }
+                    QueryFailure::Sink { message } => (format!("sink: {message}"), true, 0),
+                };
+                FlightRecord {
+                    request_id: request_id.clone(),
+                    fingerprint: plan_meta.map(|(fp, _)| fp),
+                    query: flight::truncate_query(&String::from_utf8_lossy(&request.body)),
+                    ok: false,
+                    error: Some(error),
+                    cached_plan: plan_meta.is_some_and(|(_, cached)| cached),
+                    streamed,
+                    latency_us: elapsed.as_micros() as u64,
+                    tuples,
+                    worst_q_error: None,
+                    stats_json: None,
+                    profile_json: None,
+                    trace_json,
+                    rewrites: plan_rewrites.clone(),
+                }
+            }
         };
         shared.flight.record(record);
     }
-    let id_header: [(&str, &str); 1] = [("X-Request-Id", &request_id)];
     let id_json = http::json_escape(&request_id);
     match outcome {
         Ok(outcome) => {
             Metrics::bump(&shared.metrics.query_ok);
+            if outcome.streamed {
+                Metrics::bump(&shared.metrics.streamed_responses);
+            }
             if let Some(threshold_ms) = shared.slow_query_ms {
                 let ms = elapsed.as_millis() as u64;
                 if ms >= threshold_ms {
@@ -449,32 +692,71 @@ fn handle_query(stream: &mut TcpStream, request: &Request, shared: &Shared) {
                     );
                 }
             }
-            if want_profile {
-                let body = format!(
-                    "{{\"request_id\":\"{id_json}\",\"result\":\"{}\",\"stats\":{},\"profile\":{}}}",
-                    http::json_escape(&outcome.body),
-                    outcome.stats.to_json(),
-                    outcome.profile.to_json()
-                );
-                respond_with(stream, 200, "application/json", &id_header, body.as_bytes());
-            } else {
-                respond_with(
-                    stream,
-                    200,
-                    "application/xml; charset=utf-8",
-                    &id_header,
-                    outcome.body.as_bytes(),
-                );
+            match outcome.body {
+                // Already streamed out chunk by chunk; nothing to write.
+                None => keep_alive,
+                Some(body) if want_profile => {
+                    let body = format!(
+                        "{{\"request_id\":\"{id_json}\",\"result\":\"{}\",\"stats\":{},\"profile\":{}}}",
+                        http::json_escape(&body),
+                        outcome.stats.to_json(),
+                        outcome.profile.to_json()
+                    );
+                    respond_with(
+                        stream,
+                        200,
+                        "application/json",
+                        &id_header,
+                        body.as_bytes(),
+                        keep_alive,
+                    );
+                    keep_alive
+                }
+                Some(body) => {
+                    respond_with(
+                        stream,
+                        200,
+                        "application/xml; charset=utf-8",
+                        &id_header,
+                        body.as_bytes(),
+                        keep_alive,
+                    );
+                    keep_alive
+                }
             }
         }
-        Err((kind, message)) => {
+        Err(QueryFailure::Early { kind, message }) => {
             Metrics::bump(&shared.metrics.query_errors);
             let body = format!(
                 "{{\"request_id\":\"{id_json}\",\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}",
                 http::json_escape(&kind),
                 http::json_escape(&message)
             );
-            respond_with(stream, 400, "application/json", &id_header, body.as_bytes());
+            respond_with(
+                stream,
+                400,
+                "application/json",
+                &id_header,
+                body.as_bytes(),
+                keep_alive,
+            );
+            keep_alive
+        }
+        Err(QueryFailure::MidStream { message, items }) => {
+            // Response bytes already left: truncate the chunked body
+            // (no terminal chunk) and close so the client sees the
+            // failure instead of a silently short result.
+            Metrics::bump(&shared.metrics.query_errors);
+            Metrics::bump(&shared.metrics.mid_stream_aborts);
+            eprintln!(
+                "[xqa-service] query #{request_id} failed mid-stream after {items} items: {message}"
+            );
+            false
+        }
+        Err(QueryFailure::Sink { .. }) => {
+            // The client hung up (or the socket died); nothing to send.
+            Metrics::bump(&shared.metrics.mid_stream_aborts);
+            false
         }
     }
 }
@@ -539,6 +821,27 @@ fn render_metrics(shared: &Shared) -> String {
     line("xqa_eval_expr_fallback_total", stats.expr_fallback);
     line("xqa_join_hash_total", stats.join_hash_probes);
     line("xqa_join_build_tuples_total", stats.join_build_tuples);
+    line(
+        "xqa_http_connections_active",
+        shared.admission.active_connections() as u64,
+    );
+    line(
+        "xqa_admission_queue_depth",
+        shared.admission.queue_depth() as u64,
+    );
+    line("xqa_requests_shed_total", shared.admission.shed_total());
+    line(
+        "xqa_request_timeouts_total",
+        Metrics::read(&m.request_timeouts),
+    );
+    line(
+        "xqa_streamed_responses_total",
+        Metrics::read(&m.streamed_responses),
+    );
+    line(
+        "xqa_mid_stream_aborts_total",
+        Metrics::read(&m.mid_stream_aborts),
+    );
     line("xqa_flight_records", shared.flight.len() as u64);
     line(
         "xqa_plan_fingerprints",
@@ -586,12 +889,24 @@ fn render_metrics(shared: &Shared) -> String {
     out
 }
 
-fn respond_text(stream: &mut impl Write, status: u16, body: &str) {
-    respond(stream, status, "text/plain; charset=utf-8", body.as_bytes());
+fn respond_text(stream: &mut impl Write, status: u16, body: &str, keep_alive: bool) {
+    respond(
+        stream,
+        status,
+        "text/plain; charset=utf-8",
+        body.as_bytes(),
+        keep_alive,
+    );
 }
 
-fn respond(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
-    respond_with(stream, status, content_type, &[], body);
+fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    respond_with(stream, status, content_type, &[], body, keep_alive);
 }
 
 fn respond_with(
@@ -600,9 +915,17 @@ fn respond_with(
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) {
     // The client may already be gone; nothing useful to do about it.
-    let _ = http::write_response_with_headers(stream, status, content_type, extra_headers, body);
+    let _ = http::write_response_with_headers(
+        stream,
+        status,
+        content_type,
+        extra_headers,
+        body,
+        keep_alive,
+    );
 }
 
 #[cfg(test)]
@@ -610,7 +933,26 @@ mod tests {
     use super::*;
     use std::io::Read;
 
-    /// Blocking one-shot HTTP client for tests.
+    /// Reassemble a chunked transfer-encoded body into its payload.
+    pub(crate) fn dechunk(body: &str) -> String {
+        let mut out = String::new();
+        let mut rest = body;
+        while let Some((size_line, after)) = rest.split_once("\r\n") {
+            let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+                break;
+            };
+            if size == 0 {
+                break;
+            }
+            out.push_str(&after[..size]);
+            rest = &after[size + 2..]; // skip the chunk's trailing CRLF
+        }
+        out
+    }
+
+    /// Blocking one-shot HTTP client for tests. The raw request should
+    /// ask for `Connection: close` so `read_to_string` terminates;
+    /// chunked bodies are reassembled transparently.
     pub(crate) fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.write_all(raw.as_bytes()).expect("send");
@@ -621,10 +963,18 @@ mod tests {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .expect("status line");
-        let body = response
+        let (head, body) = response
             .split_once("\r\n\r\n")
-            .map(|(_, b)| b.to_string())
+            .map(|(h, b)| (h.to_string(), b.to_string()))
             .unwrap_or_default();
+        let body = if head
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+        {
+            dechunk(&body)
+        } else {
+            body
+        };
         (status, body)
     }
 
@@ -632,7 +982,7 @@ mod tests {
         request(
             addr,
             &format!(
-                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
                 query.len(),
                 query
             ),
@@ -640,7 +990,10 @@ mod tests {
     }
 
     pub(crate) fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+        request(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
     }
 
     fn test_server() -> Server {
@@ -708,7 +1061,7 @@ mod tests {
     fn post_query_raw_response(addr: SocketAddr, query: &str, extra: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         let raw = format!(
-            "POST /query HTTP/1.1\r\nHost: t\r\n{extra}Content-Length: {}\r\n\r\n{}",
+            "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n{extra}Content-Length: {}\r\n\r\n{}",
             query.len(),
             query
         );
@@ -771,7 +1124,10 @@ mod tests {
 
         assert_eq!(get(addr, "/debug/query/never-seen").0, 404);
         assert_eq!(post_query(addr, "1").0, 200); // POST /debug 405 check below
-        let (status, _) = request(addr, "POST /debug/queries HTTP/1.1\r\nHost: t\r\n\r\n");
+        let (status, _) = request(
+            addr,
+            "POST /debug/queries HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
         assert_eq!(status, 405);
         server.shutdown();
     }

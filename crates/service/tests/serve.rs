@@ -9,20 +9,53 @@ use xqa_service::{DocumentCatalog, Server, ServiceConfig};
 use xqa_workload::{generate_orders, OrdersConfig};
 use xqa_xmlparse::serialize_sequence;
 
-fn http(addr: SocketAddr, raw: &str) -> (u16, String) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream.write_all(raw.as_bytes()).expect("send");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read response");
+/// Reassemble a chunked transfer-encoded body into its payload.
+fn dechunk(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    while let Some((size_line, after)) = rest.split_once("\r\n") {
+        let Ok(size) = usize::from_str_radix(size_line.trim(), 16) else {
+            break;
+        };
+        if size == 0 {
+            break;
+        }
+        out.push_str(&after[..size]);
+        rest = &after[size + 2..]; // skip the chunk's trailing CRLF
+    }
+    out
+}
+
+/// Split a raw response into (head, status, de-chunked body). Raw
+/// requests in this file ask for `Connection: close` so
+/// `read_to_string` terminates.
+fn parse_response(response: &str) -> (String, u16, String) {
     let status: u16 = response
         .split(' ')
         .nth(1)
         .and_then(|s| s.parse().ok())
         .expect("status line");
-    let body = response
+    let (head, body) = response
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        dechunk(&body)
+    } else {
+        body
+    };
+    (head, status, body)
+}
+
+fn http(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (_, status, body) = parse_response(&response);
     (status, body)
 }
 
@@ -37,7 +70,8 @@ fn post_query_at(addr: SocketAddr, target: &str, query: &str) -> (String, (u16, 
     stream
         .write_all(
             format!(
-                "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{query}",
+                "POST {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                 Content-Length: {}\r\n\r\n{query}",
                 query.len()
             )
             .as_bytes(),
@@ -45,15 +79,7 @@ fn post_query_at(addr: SocketAddr, target: &str, query: &str) -> (String, (u16, 
         .expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
-    let status: u16 = response
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .expect("status line");
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .map(|(h, b)| (h.to_string(), b.to_string()))
-        .unwrap_or_default();
+    let (head, status, body) = parse_response(&response);
     (head, (status, body))
 }
 
@@ -74,7 +100,10 @@ fn stats_object(body: &str) -> &str {
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
-    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn metric(metrics: &str, name: &str) -> f64 {
@@ -327,8 +356,8 @@ fn flight_recorder_on_and_off_serve_byte_identical_bodies() {
             stream
                 .write_all(
                     format!(
-                        "POST /query HTTP/1.1\r\nHost: t\r\nX-Request-Id: diff-{i}\r\n\
-                         Content-Length: {}\r\n\r\n{q}",
+                        "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+                         X-Request-Id: diff-{i}\r\nContent-Length: {}\r\n\r\n{q}",
                         q.len()
                     )
                     .as_bytes(),
@@ -336,10 +365,8 @@ fn flight_recorder_on_and_off_serve_byte_identical_bodies() {
                 .expect("send");
             let mut response = String::new();
             stream.read_to_string(&mut response).expect("read");
-            response
-                .split_once("\r\n\r\n")
-                .map(|(_, b)| b.to_string())
-                .unwrap_or_default()
+            let (_, _, body) = parse_response(&response);
+            body
         };
         let on = send(with_recorder.local_addr());
         let off = send(without_recorder.local_addr());

@@ -15,5 +15,5 @@ pub use error::{ParseError, ParseResult};
 pub use parser::{parse_document, parse_document_with, parse_fragment, ParseOptions};
 pub use serializer::{
     escape_attr, escape_text, serialize_node, serialize_node_with, serialize_sequence,
-    serialize_sequence_with, SerializeOptions,
+    serialize_sequence_with, SequenceSerializer, SerializeOptions,
 };

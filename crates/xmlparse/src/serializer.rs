@@ -44,26 +44,67 @@ pub fn serialize_sequence(seq: &[Item]) -> String {
 /// Serialize a whole sequence with options.
 pub fn serialize_sequence_with(seq: &[Item], options: SerializeOptions) -> String {
     let mut out = String::new();
-    let mut prev_atomic = false;
-    for (idx, item) in seq.iter().enumerate() {
-        match item {
-            Item::Node(n) => {
-                if options.indent.is_some() && idx > 0 {
-                    out.push('\n');
-                }
-                write_node(&mut out, n, &options, 0);
-                prev_atomic = false;
-            }
-            Item::Atomic(a) => {
-                if prev_atomic {
-                    out.push(' ');
-                }
-                out.push_str(&a.string_value());
-                prev_atomic = true;
-            }
+    let mut ser = SequenceSerializer::new(options);
+    ser.push(seq, &mut out);
+    out
+}
+
+/// Incremental sequence serializer: feed the items of one logical
+/// sequence across any number of [`push`](Self::push) calls and the
+/// concatenated output is byte-identical to a single
+/// [`serialize_sequence_with`] call over the whole sequence.
+///
+/// The inter-item state (the adjacent-atomic space rule and the
+/// indent-mode newline between top-level nodes) is carried across
+/// batch boundaries, which is what makes the streaming serving path
+/// safe: the engine can hand over each 64-item pipeline batch as it is
+/// pulled without changing the wire bytes.
+#[derive(Debug, Clone)]
+pub struct SequenceSerializer {
+    options: SerializeOptions,
+    /// Items serialized so far (drives the indent-mode newline rule).
+    index: usize,
+    /// Whether the previous item was an atomic (drives the space rule).
+    prev_atomic: bool,
+}
+
+impl SequenceSerializer {
+    /// Start a fresh sequence with the given options.
+    pub fn new(options: SerializeOptions) -> Self {
+        SequenceSerializer {
+            options,
+            index: 0,
+            prev_atomic: false,
         }
     }
-    out
+
+    /// Serialize the next batch of items onto `out`.
+    pub fn push(&mut self, items: &[Item], out: &mut String) {
+        for item in items {
+            match item {
+                Item::Node(n) => {
+                    if self.options.indent.is_some() && self.index > 0 {
+                        out.push('\n');
+                    }
+                    write_node(out, n, &self.options, 0);
+                    self.prev_atomic = false;
+                }
+                Item::Atomic(a) => {
+                    if self.prev_atomic {
+                        out.push(' ');
+                    }
+                    out.push_str(&a.string_value());
+                    self.prev_atomic = true;
+                }
+            }
+            self.index += 1;
+        }
+    }
+
+    /// Number of items serialized so far.
+    pub fn items(&self) -> usize {
+        self.index
+    }
 }
 
 fn write_node(out: &mut String, node: &NodeHandle, options: &SerializeOptions, depth: usize) {
@@ -222,6 +263,43 @@ mod tests {
             escape_attr(r#"say "hi" & <go>"#),
             "say &quot;hi&quot; &amp; &lt;go>"
         );
+    }
+
+    #[test]
+    fn incremental_serializer_matches_one_shot_at_every_split() {
+        let doc = parse_document("<a>v</a>").unwrap();
+        let a = doc.root().children().next().unwrap();
+        let seq = vec![
+            Item::from(1i64),
+            Item::from(2i64),
+            Item::Node(a.clone()),
+            Item::from("x"),
+            Item::from("y"),
+            Item::Node(a),
+            Item::from(3i64),
+        ];
+        for options in [SerializeOptions::default(), SerializeOptions::pretty()] {
+            let whole = serialize_sequence_with(&seq, options);
+            for split in 0..=seq.len() {
+                let mut ser = SequenceSerializer::new(options);
+                let mut out = String::new();
+                ser.push(&seq[..split], &mut out);
+                ser.push(&seq[split..], &mut out);
+                assert_eq!(out, whole, "split at {split} with {options:?}");
+                assert_eq!(ser.items(), seq.len());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_serializer_ignores_empty_batches() {
+        let seq = [Item::from(1i64), Item::from(2i64)];
+        let mut ser = SequenceSerializer::new(SerializeOptions::default());
+        let mut out = String::new();
+        ser.push(&seq[..1], &mut out);
+        ser.push(&[], &mut out);
+        ser.push(&seq[1..], &mut out);
+        assert_eq!(out, "1 2");
     }
 
     #[test]
